@@ -1,0 +1,30 @@
+"""Shared fixtures for the table/figure regeneration harness.
+
+Simulation results are memoised process-wide (see repro.eval.runner), so
+the suite of experiments shares benchmark runs.  Each experiment prints
+the paper's rows/series and also writes them under ``results/``.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Print an experiment's table and persist it to results/<name>.txt."""
+
+    def _record(name, text):
+        print()
+        print(text)
+        (results_dir / ("%s.txt" % name)).write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,46 @@
+"""Ablation benches: what each section-3 technique buys.
+
+DESIGN.md calls out the design choices of the optimised configuration;
+this harness disables them one at a time and measures the run-time,
+logic-area, and storage consequences.
+"""
+
+from repro.eval.ablations import (
+    hardware_ablation,
+    render_ablation,
+    runtime_ablation,
+)
+
+
+def test_ablations(benchmark, record_result):
+    runtime_rows = benchmark.pedantic(runtime_ablation,
+                                      rounds=1, iterations=1)
+    hardware_rows = hardware_ablation()
+    record_result("ablations", render_ablation(runtime_rows, hardware_rows))
+
+    # --- hardware deltas (paper-geometry area model) ----------------------
+    # Moving bounds logic back into every lane costs hundreds of ALMs per
+    # lane (Figure 7's setBounds alone is 287).
+    assert hardware_rows["lane_bounds"]["alms_delta"] > 32 * 400
+    # Dynamic PC metadata restores per-warp PCC comparators and per-thread
+    # PCC storage.
+    assert hardware_rows["dynamic_pcc"]["alms_delta"] > 0
+    assert hardware_rows["dynamic_pcc"]["storage_delta_kb"] > 0
+    # A private metadata VRF duplicates slot storage the shared VRF avoids.
+    assert hardware_rows["split_vrf"]["storage_delta_kb"] > 0
+    # A dual-ported metadata SRF doubles its SRAM.
+    assert hardware_rows["dual_port_srf"]["storage_delta_kb"] > 0
+    # Dropping compression entirely is the big one: back to ~double RF
+    # storage (the 103% overhead the paper starts from).
+    assert hardware_rows["no_metadata_compression"]["storage_delta_kb"] > 1500
+
+    # --- runtime deltas ------------------------------------------------------
+    # None of the hardware-saving techniques costs meaningful performance:
+    # that is the paper's whole argument.  Each ablation's speed effect is
+    # within a small band around zero.
+    for name, row in runtime_rows.items():
+        assert abs(row["overhead"]) < 0.05, (name, row["overhead"])
+    # The SFU slow path can only *help* the ablated design (per-lane bounds
+    # logic has no serialisation), so lane_bounds must not be slower than
+    # the SFU design by more than noise.
+    assert runtime_rows["lane_bounds"]["overhead"] < 0.02

@@ -1,0 +1,26 @@
+"""Figure 10: proportion of registers stored as vectors in the VRF."""
+
+from repro.eval.experiments import fig10_vrf_residency
+from repro.eval.report import render_fig10
+
+
+def test_fig10_vrf_residency(benchmark, record_result):
+    rows = benchmark.pedantic(fig10_vrf_residency, rounds=1, iterations=1)
+    record_result("fig10_vrf_occupancy", render_fig10(rows))
+    by_name = {row["benchmark"]: row for row in rows}
+    # Capability metadata is far more compressible than data: with the
+    # NVO, essentially no benchmark except BlkStencil keeps metadata in
+    # the VRF (paper section 4.3).
+    for row in rows:
+        if row["benchmark"] == "BlkStencil":
+            continue
+        assert row["meta_nvo"] <= 0.02, row
+    # BlkStencil's pointer select creates genuine metadata divergence.
+    assert by_name["BlkStencil"]["meta_nvo"] > 0.0
+    # The NVO only ever helps.
+    for row in rows:
+        assert row["meta_nvo"] <= row["meta_no_nvo"] + 1e-9, row
+    # Data registers are much less compressible than metadata overall.
+    mean_gp = sum(r["gp"] for r in rows) / len(rows)
+    mean_meta = sum(r["meta_nvo"] for r in rows) / len(rows)
+    assert mean_meta < mean_gp

@@ -1,0 +1,23 @@
+"""Figure 13: execution-time overhead of optimised CHERI vs baseline."""
+
+from repro.eval.experiments import fig13_execution_overhead
+from repro.eval.report import render_overheads
+
+
+def test_fig13_execution_overhead(benchmark, record_result):
+    rows, mean = benchmark.pedantic(fig13_execution_overhead,
+                                    rounds=1, iterations=1)
+    record_result(
+        "fig13_exec_overhead",
+        render_overheads("Figure 13: CHERI (Optimised) execution-time "
+                         "overhead vs Baseline", rows, mean))
+    overheads = dict(rows)
+    # Headline result: small single-digit geomean overhead (paper: 1.6%).
+    assert -0.02 <= mean <= 0.08, mean
+    # Every benchmark individually stays low...
+    for name, overhead in rows:
+        assert overhead < 0.25, (name, overhead)
+    # ...and BlkStencil is the outlier (metadata divergence + CSC stalls).
+    worst = max(overheads, key=overheads.get)
+    assert worst == "BlkStencil" or overheads["BlkStencil"] >= mean, \
+        overheads

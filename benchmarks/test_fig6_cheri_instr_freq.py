@@ -1,0 +1,25 @@
+"""Figure 6: execution frequency of CHERI instructions on GPU workloads."""
+
+from repro.eval.experiments import fig6_cheri_instruction_frequency
+from repro.eval.report import render_fig6
+
+
+def test_fig6_cheri_instruction_frequency(benchmark, record_result):
+    series = benchmark.pedantic(fig6_cheri_instruction_frequency,
+                                rounds=1, iterations=1)
+    record_result("fig6_cheri_instr_freq", render_fig6(series))
+    freq = dict(series)
+    # Shape checks against the paper's histogram: capability loads/stores
+    # and pointer arithmetic dominate; get/set-bounds are rare (that is
+    # what justifies the SFU slow path).
+    assert freq, "CHERI instructions must execute under purecap"
+    hot = {"CLW", "CSW", "CINCOFFSET", "CINCOFFSETIMM", "CLB", "CLBU"}
+    hottest = series[0][0]
+    assert hottest in hot
+    bounds_ops = sum(freq.get(name, 0.0)
+                     for name in ("CSETBOUNDS", "CSETBOUNDSIMM",
+                                  "CSETBOUNDSEXACT", "CGETBASE", "CGETLEN"))
+    assert bounds_ops < 0.01, "bounds manipulation must be off the hot path"
+    # CSC (store capability) is infrequent -- the premise of the
+    # one-read-port metadata SRF (paper reports about 2%).
+    assert freq.get("CSC", 0.0) < 0.05

@@ -1,0 +1,32 @@
+"""Figure 7: CheriCapLib function costs (and functional spot checks)."""
+
+from repro.area.model import MULTIPLIER_ALMS
+from repro.cheri import concentrate
+from repro.eval.experiments import fig7_caplib_costs
+from repro.eval.report import render_fig7
+
+
+def _exercise_caplib():
+    """Run every CheriCapLib-equivalent function once (functional check)."""
+    bounds, exact, base, top = concentrate.encode_bounds(0x1000, 0x2000)
+    assert exact
+    assert concentrate.decode_bounds(bounds, 0x1000) == (base, top)
+    assert concentrate.is_representable(bounds, 0x1000, 0x1ff0)
+    assert concentrate.crrl(0x1001) >= 0x1001
+    assert concentrate.crml(0x1001) != 0
+    return fig7_caplib_costs()
+
+
+def test_fig7_caplib_costs(benchmark, record_result):
+    costs = benchmark(_exercise_caplib)
+    record_result("fig7_caplib_costs", render_fig7(costs))
+    # The headline relation of Figure 7: checking an access against
+    # partially-decompressed bounds is far cheaper than decompressing
+    # (getBase/getTop) and comparing.
+    assert costs["isAccessInBounds"] < costs["getBase"] + costs["getTop"]
+    # setBounds is the expensive one - the motivation for the SFU slow path.
+    assert costs["setBounds"] == max(costs.values())
+    # The whole fast path costs less than one 32-bit multiplier.
+    fast_path = (costs["fromMem"] + costs["toMem"] + costs["setAddr"]
+                 + costs["isAccessInBounds"])
+    assert fast_path < MULTIPLIER_ALMS

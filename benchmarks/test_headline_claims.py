@@ -1,0 +1,23 @@
+"""The abstract's headline numbers, measured end to end."""
+
+from repro.eval.experiments import headline_summary
+
+
+def test_headline_claims(benchmark, record_result):
+    summary = benchmark.pedantic(headline_summary, rounds=1, iterations=1)
+    lines = ["Headline claims (paper abstract) vs this reproduction:"]
+    lines.append("  register-file storage overhead: paper 14%%  -> %.1f%%"
+                 % (100 * summary["rf_storage_overhead"]))
+    lines.append("  ... with half-size metadata SRF: paper 7%%  -> %.1f%%"
+                 % (100 * summary["rf_storage_overhead_halved_srf"]))
+    lines.append("  logic-area overhead reduction:  paper 44%% -> %.1f%%"
+                 % (100 * summary["area_overhead_reduction"]))
+    lines.append("  execution-time overhead:        paper 1.6%% -> %.2f%%"
+                 % (100 * summary["execution_overhead"]))
+    lines.append("  software bounds-check overhead: paper 34%% -> %.1f%%"
+                 % (100 * summary["boundscheck_overhead"]))
+    record_result("headline_claims", "\n".join(lines))
+    assert 0.08 <= summary["rf_storage_overhead"] <= 0.20
+    assert 0.40 <= summary["area_overhead_reduction"] <= 0.48
+    assert summary["execution_overhead"] < 0.08
+    assert summary["boundscheck_overhead"] > 0.10

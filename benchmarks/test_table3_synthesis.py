@@ -1,0 +1,27 @@
+"""Table 3: synthesis results for the three SM configurations."""
+
+from repro.eval.experiments import table3_synthesis
+from repro.eval.report import render_table3
+
+
+def test_table3_synthesis(benchmark, record_result):
+    rows = benchmark(table3_synthesis)
+    record_result("table3_synthesis", render_table3(rows))
+    (b_name, b_alms, _, b_bram, b_fmax), \
+        (c_name, c_alms, _, c_bram, c_fmax), \
+        (o_name, o_alms, _, o_bram, o_fmax) = rows
+    # Area ordering and the ~44% overhead reduction.
+    assert b_alms < o_alms < c_alms
+    reduction = 1.0 - (o_alms - b_alms) / (c_alms - b_alms)
+    assert 0.40 <= reduction <= 0.48, reduction
+    # The optimised per-lane overhead is comparable to (but slightly
+    # larger than) one 32-bit multiplier (567 ALMs) per vector lane.
+    from repro.area.model import MULTIPLIER_ALMS
+    per_lane = (o_alms - b_alms) / 32
+    assert MULTIPLIER_ALMS < per_lane < 2 * MULTIPLIER_ALMS
+    # The BRAM overhead is largely eliminated by metadata compression:
+    # unoptimised CHERI roughly doubles storage; optimised adds ~10%.
+    assert c_bram > 1.8 * b_bram
+    assert o_bram < 1.15 * b_bram
+    # Fmax essentially unchanged.
+    assert abs(c_fmax - b_fmax) <= 2 and abs(o_fmax - b_fmax) <= 2

@@ -1,0 +1,72 @@
+"""The paper's Figure 3 workload: a 256-bin histogram in shared memory.
+
+Demonstrates CUDA-style shared local memory, barriers, and atomics in the
+kernel DSL, then inspects what CHERI actually executed: which capability
+instructions ran, how compressible the capability metadata was, and how
+many registers ever held capabilities.
+
+Run:  python examples/histogram_shared_memory.py
+"""
+
+import random
+
+from repro.isa.instructions import CHERI_OPS
+from repro.nocl import NoCLRuntime, i32, kernel, ptr, u8
+
+
+@kernel
+def histogram(n: i32, data: ptr[u8], out: ptr[i32]):
+    bins = shared(i32, 256)
+    i = threadIdx.x
+    while i < 256:
+        bins[i] = 0
+        i += blockDim.x
+    syncthreads()
+    i = threadIdx.x
+    while i < n:
+        atomic_add(bins, data[i], 1)
+        i += blockDim.x
+    syncthreads()
+    i = threadIdx.x
+    while i < 256:
+        out[i] = bins[i]
+        i += blockDim.x
+
+
+def main():
+    rt = NoCLRuntime("purecap")
+    rng = random.Random(7)
+    n = 4096
+    values = [rng.randrange(256) for _ in range(n)]
+    data = rt.alloc(u8, n)
+    out = rt.alloc(i32, 256)
+    rt.upload(data, values)
+
+    block = rt.config.num_threads  # one block occupying the SM (Figure 3)
+    stats = rt.launch(histogram, 1, block, [n, data, out])
+
+    expect = [0] * 256
+    for v in values:
+        expect[v] += 1
+    assert rt.download(out) == expect, "histogram mismatch"
+    print("histogram of %d bytes verified against the host reference\n"
+          % n)
+
+    print("cycles=%d  instrs=%d  IPC=%.2f  scratchpad accesses=%d"
+          % (stats.cycles, stats.instrs_issued, stats.ipc,
+             stats.scratchpad_accesses))
+    print("\nCHERI instruction mix (share of all executed instructions):")
+    total = sum(stats.opcode_counts.values())
+    for op, count in stats.opcode_counts.most_common():
+        if op in CHERI_OPS:
+            print("  %-16s %6.2f%%" % (op.name, 100 * count / total))
+    print("\nregisters per thread that ever held a capability: %d of 32"
+          % stats.cap_regs_per_thread)
+    print("capability metadata vectors spilled to the VRF: %d"
+          % stats.meta_spills)
+    print("(uniform bounds across the warp compress to almost nothing - "
+          "the paper's key observation)")
+
+
+if __name__ == "__main__":
+    main()

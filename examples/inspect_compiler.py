@@ -1,0 +1,43 @@
+"""Peek inside the compiler: the same kernel in all three modes.
+
+Prints the generated RISC-V(-CHERI) assembly for a small kernel compiled
+as unprotected baseline, pure-capability CHERI, and software-bounds-check
+code — the clearest way to see what each protection scheme actually costs
+per memory access.
+
+Run:  python examples/inspect_compiler.py
+"""
+
+from repro.isa.instructions import CHERI_OPS
+from repro.nocl import compile_kernel, i32, kernel, ptr
+
+
+@kernel
+def scale(n: i32, src: ptr[i32], dst: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        dst[i] = src[i] * 3
+
+
+def main():
+    for mode in ("baseline", "purecap", "boundscheck"):
+        compiled = compile_kernel(scale, mode)
+        cheri = sum(1 for instr in compiled.instrs if instr.op in CHERI_OPS)
+        print("=" * 72)
+        print("mode=%s   %d instructions (%d CHERI), %d-byte arg block"
+              % (mode, len(compiled.instrs), cheri,
+                 compiled.arg_block_bytes))
+        print("=" * 72)
+        print(compiled.listing())
+        print()
+    print("Things to notice:")
+    print(" * purecap swaps lw/sw for clw/csw and add for cincoffset -")
+    print("   same instruction count, hardware-checked bounds for free.")
+    print(" * boundscheck inserts a bltu+trap pair before each access -")
+    print("   the Rust-style cost the paper measures at 34%.")
+    print(" * pointer arguments load via clc (a 2-flit capability load)")
+    print("   in purecap, and as address+length word pairs in boundscheck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: write a CUDA-style kernel once, run it in all three modes.
+
+This is the paper's core workflow: the *same* kernel source runs with no
+memory safety (baseline), with hardware capability protection (purecap —
+"simply recompiled" for CHERI), or with Rust-style software bounds checks
+(boundscheck).  Results are identical; costs differ.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa.instructions import CHERI_OPS
+from repro.nocl import NoCLRuntime, i32, kernel, ptr
+
+
+@kernel
+def saxpy_int(n: i32, a: i32, x: ptr[i32], y: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        out[i] = a * x[i] + y[i]
+        i += blockDim.x * gridDim.x
+
+
+def run_mode(mode):
+    rt = NoCLRuntime(mode)
+    n = 1024
+    x = rt.alloc(i32, n)
+    y = rt.alloc(i32, n)
+    out = rt.alloc(i32, n)
+    rt.upload(x, list(range(n)))
+    rt.upload(y, [2 * i for i in range(n)])
+    stats = rt.launch(saxpy_int, grid_dim=8, block_dim=32,
+                      args=[n, 3, x, y, out])
+    result = rt.download(out)
+    assert result == [3 * i + 2 * i for i in range(n)], "wrong results!"
+    cheri_instrs = sum(c for op, c in stats.opcode_counts.items()
+                       if op in CHERI_OPS)
+    print("%-12s cycles=%-8d instrs=%-8d IPC=%.2f  CHERI instrs=%d"
+          % (mode, stats.cycles, stats.instrs_issued, stats.ipc,
+             cheri_instrs))
+    return stats
+
+
+def main():
+    print("saxpy on the simulated SIMTight SM, one kernel, three modes:\n")
+    baseline = run_mode("baseline")
+    purecap = run_mode("purecap")
+    checked = run_mode("boundscheck")
+    print()
+    print("CHERI (hardware) overhead:      %+5.1f%%"
+          % (100 * (purecap.cycles / baseline.cycles - 1)))
+    print("bounds-check (software) overhead: %+5.1f%%"
+          % (100 * (checked.cycles / baseline.cycles - 1)))
+    print("\nSame results, full spatial memory safety under purecap - and")
+    print("the kernel source never changed.")
+
+
+if __name__ == "__main__":
+    main()

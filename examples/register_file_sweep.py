@@ -1,0 +1,45 @@
+"""Sweep the vector-register-file size (the paper's Table 2 experiment).
+
+SIMTight's compressed register file stores uniform/affine vectors in a
+small scalar file and only general vectors in a size-constrained VRF.
+Shrinking the VRF saves storage until the working set no longer fits and
+dynamic spilling to DRAM kicks in.  This example sweeps the VRF fraction
+on one benchmark and prints the storage/cycles/traffic trade-off.
+
+Run:  python examples/register_file_sweep.py
+"""
+
+from repro.area.model import paper_geometry, storage_bits
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.nocl import NoCLRuntime
+from repro.simt import SMConfig
+
+
+def main():
+    bench = ALL_BENCHMARKS["MatMul"]
+    print("MatMul under shrinking VRF sizes (baseline configuration):\n")
+    print("%-10s %12s %10s %10s %12s %8s" % (
+        "VRF", "storage(Kb)", "cycles", "spills", "spill bytes", "IPC"))
+    reference = None
+    for fraction in (1.0, 0.5, 0.375, 0.25, 0.125):
+        cfg = SMConfig.baseline(num_warps=8, num_lanes=8,
+                                vrf_fraction=fraction)
+        rt = NoCLRuntime("baseline", config=cfg)
+        stats = bench.run(rt)
+        paper_cfg = paper_geometry(SMConfig.baseline).with_(
+            vrf_fraction=fraction)
+        bits = storage_bits(paper_cfg)
+        storage_kb = (bits["gp_vrf"] + bits["gp_srf"]) // 1024
+        if reference is None:
+            reference = stats.cycles
+        print("%-10s %12d %10d %10d %12d %7.2f   (%+.1f%% cycles)" % (
+            "%g" % fraction, storage_kb, stats.cycles, stats.gp_spills,
+            stats.dram_spill_bytes, stats.ipc,
+            100 * (stats.cycles / reference - 1)))
+    print("\nStorage shrinks linearly with the VRF; the cliff appears when")
+    print("the benchmark's uncompressible vectors exceed the VRF and spill")
+    print("traffic floods DRAM - exactly Table 2's shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Artifact-style sweep over the paper's three SIMTight configurations.
+
+Mirrors the paper artifact's ``scripts/sweep.py`` (appendix A.5):
+
+    python scripts/sweep.py test    # run the full suite per configuration
+    python scripts/sweep.py bench   # write one .bench file per config
+
+``test`` runs every Table 1 benchmark under Baseline, CHERI, and CHERI
+(Optimised) and reports the artifact's "All tests passed" per
+configuration.  ``bench`` additionally records per-benchmark performance
+counters into ``results/<config>.bench``.
+"""
+
+import pathlib
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.benchsuite import ALL_BENCHMARKS          # noqa: E402
+from repro.eval.runner import config_for             # noqa: E402
+from repro.nocl import NoCLRuntime                   # noqa: E402
+
+#: The artifact's three configurations (paper section 4.1).
+CONFIGURATIONS = (
+    ("Baseline", "baseline"),
+    ("CHERI", "cheri"),
+    ("CHERI (Optimised)", "cheri_opt"),
+)
+
+
+def run_configuration(label, config_name, record=None):
+    print("=== %s ===" % label)
+    failures = 0
+    for bench in ALL_BENCHMARKS.values():
+        mode, config = config_for(config_name)
+        runtime = NoCLRuntime(mode, config=config)
+        started = time.time()
+        try:
+            stats = bench.run(runtime)
+        except Exception as exc:  # pragma: no cover - failure path
+            failures += 1
+            print("  %-12s FAILED: %s" % (bench.name, exc))
+            continue
+        elapsed = time.time() - started
+        print("  %-12s ok   cycles=%-9d instrs=%-9d (%.1fs)"
+              % (bench.name, stats.cycles, stats.instrs_issued, elapsed))
+        if record is not None:
+            record.append("%s cycles=%d instrs=%d ipc=%.3f dram_bytes=%d"
+                          % (bench.name, stats.cycles, stats.instrs_issued,
+                             stats.ipc, stats.dram_total_bytes))
+    if failures:
+        print("%d TESTS FAILED" % failures)
+        return False
+    print("All tests passed")
+    return True
+
+
+def main(argv):
+    command = argv[1] if len(argv) > 1 else "test"
+    if command not in ("test", "bench"):
+        print(__doc__)
+        return 2
+    ok = True
+    results_dir = REPO / "results"
+    results_dir.mkdir(exist_ok=True)
+    for label, config_name in CONFIGURATIONS:
+        record = [] if command == "bench" else None
+        ok &= run_configuration(label, config_name, record)
+        if record is not None:
+            path = results_dir / ("%s.bench" % config_name)
+            record.append("All tests passed")
+            path.write_text("\n".join(record) + "\n")
+            print("  wrote %s" % path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

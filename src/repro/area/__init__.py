@@ -1,0 +1,17 @@
+"""Analytical FPGA cost model (logic area, block RAM, Fmax)."""
+
+from repro.area.model import (
+    CAPLIB_ALMS,
+    AreaReport,
+    caplib_function_costs,
+    storage_bits,
+    synthesis_report,
+)
+
+__all__ = [
+    "CAPLIB_ALMS",
+    "AreaReport",
+    "caplib_function_costs",
+    "storage_bits",
+    "synthesis_report",
+]

@@ -1,0 +1,53 @@
+"""The NoCL benchmark suite (paper Table 1), ported to the Python DSL.
+
+Fourteen CUDA-style kernels, each with a host-side reference check (the
+"self test" of the SIMTight distribution).  A benchmark's ``run(rt,
+scale)`` allocates data on the given :class:`repro.nocl.NoCLRuntime`,
+launches its kernel(s), verifies the results against a pure-Python
+reference, and returns the accumulated SM stats.
+
+Kernels that use shared local memory launch with one thread block
+occupying the whole SM (block slots share the scratchpad in this
+simulator), matching the paper's Histogram formulation.
+"""
+
+from repro.benchsuite import (
+    bitonic,
+    blkstencil,
+    histogram,
+    matmul,
+    matvecmul,
+    motionest,
+    reduce_,
+    scan,
+    spmv,
+    strstencil,
+    transpose,
+    vecadd,
+    vecgcd,
+)
+
+#: name -> benchmark object, in the paper's Table 1 order.
+ALL_BENCHMARKS = {
+    bench.name: bench
+    for bench in (
+        vecadd.VecAdd(),
+        histogram.Histogram(),
+        reduce_.Reduce(),
+        scan.Scan(),
+        transpose.Transpose(),
+        matvecmul.MatVecMul(),
+        matmul.MatMul(),
+        bitonic.BitonicSmall(),
+        bitonic.BitonicLarge(),
+        spmv.SPMV(),
+        blkstencil.BlkStencil(),
+        strstencil.StrStencil(),
+        vecgcd.VecGCD(),
+        motionest.MotionEst(),
+    )
+}
+
+BENCHMARK_NAMES = tuple(ALL_BENCHMARKS)
+
+__all__ = ["ALL_BENCHMARKS", "BENCHMARK_NAMES"]

@@ -1,0 +1,55 @@
+"""Shared benchmark machinery."""
+
+import random
+
+
+class VerificationError(AssertionError):
+    """A benchmark's device results disagree with the host reference."""
+
+
+class Benchmark:
+    """Base class: one Table 1 benchmark.
+
+    Subclasses set ``name``/``description``/``origin`` and implement
+    ``run(rt, scale)``; ``scale`` multiplies the default problem size.
+    """
+
+    name = None
+    description = None
+    origin = None
+    #: does the kernel use shared local memory (forces single-block-slot
+    #: launches in this simulator)?
+    uses_shared = False
+
+    def run(self, rt, scale=1):
+        raise NotImplementedError
+
+    def rng(self):
+        """Deterministic per-benchmark random stream (reproducible runs)."""
+        return random.Random(hash(self.name) & 0xFFFFFFFF)
+
+    def full_block(self, rt):
+        """blockDim occupying the entire SM (for shared-memory kernels)."""
+        return rt.config.num_threads
+
+    def default_block(self, rt):
+        """A reasonable blockDim for kernels without shared memory."""
+        cfg = rt.config
+        return min(cfg.num_threads, max(cfg.num_lanes, 16))
+
+    def check(self, got, expect, what):
+        if got != expect:
+            mismatches = [
+                (i, g, e) for i, (g, e) in enumerate(zip(got, expect))
+                if g != e
+            ][:5]
+            raise VerificationError(
+                "%s: %s mismatch (first diffs: %s)"
+                % (self.name, what, mismatches))
+
+    def check_close(self, got, expect, what, tol=1e-4):
+        for i, (g, e) in enumerate(zip(got, expect)):
+            if abs(g - e) > tol * max(1.0, abs(e)):
+                raise VerificationError(
+                    "%s: %s mismatch at %d: %r vs %r"
+                    % (self.name, what, i, g, e))

@@ -1,0 +1,104 @@
+"""Bitonic sorters: in-shared-memory (small) and multi-pass global (large)."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def bitonic_small_kernel(n: i32, data: ptr[i32], out: ptr[i32]):
+    keys = shared(i32, 1024)
+    i = threadIdx.x
+    while i < n:
+        keys[i] = data[i]
+        i += blockDim.x
+    syncthreads()
+    k = 2
+    while k <= n:
+        j = k >> 1
+        while j > 0:
+            i = threadIdx.x
+            while i < n:
+                ixj = i ^ j
+                if ixj > i:
+                    a = keys[i]
+                    b = keys[ixj]
+                    if (i & k) == 0:
+                        if a > b:
+                            keys[i] = b
+                            keys[ixj] = a
+                    else:
+                        if a < b:
+                            keys[i] = b
+                            keys[ixj] = a
+                i += blockDim.x
+            syncthreads()
+            j = j >> 1
+        k = k << 1
+    i = threadIdx.x
+    while i < n:
+        out[i] = keys[i]
+        i += blockDim.x
+
+
+@kernel
+def bitonic_pass_kernel(n: i32, k: i32, j: i32, data: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        ixj = i ^ j
+        if ixj > i:
+            a = data[i]
+            b = data[ixj]
+            if (i & k) == 0:
+                if a > b:
+                    data[i] = b
+                    data[ixj] = a
+            else:
+                if a < b:
+                    data[i] = b
+                    data[ixj] = a
+        i += blockDim.x * gridDim.x
+
+
+class BitonicSmall(Benchmark):
+    name = "BitonicSm"
+    description = "Bitonic sorter (small arrays, shared memory)"
+    origin = "NVIDIA OpenCL SDK samples"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 256  # power of two, fits in shared memory
+        data = [rng.randrange(0, 10000) for _ in range(n)]
+        buf = rt.alloc(i32, n)
+        out = rt.alloc(i32, n)
+        rt.upload(buf, data)
+        block = self.full_block(rt)
+        stats = rt.launch(bitonic_small_kernel, 1, block, [n, buf, out])
+        self.check(rt.download(out), sorted(data), "sorted keys")
+        return stats
+
+
+class BitonicLarge(Benchmark):
+    name = "BitonicLa"
+    description = "Bitonic sorter (large arrays, one launch per pass)"
+    origin = "NVIDIA OpenCL SDK samples"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 512 * scale
+        data = [rng.randrange(0, 1 << 30) for _ in range(n)]
+        buf = rt.alloc(i32, n)
+        rt.upload(buf, data)
+        block = self.default_block(rt)
+        grid = max(1, rt.config.num_threads // block)
+        stats = None
+        k = 2
+        while k <= n:
+            j = k >> 1
+            while j > 0:
+                stats = rt.launch(bitonic_pass_kernel, grid, block,
+                                  [n, k, j, buf])
+                j >>= 1
+            k <<= 1
+        self.check(rt.download(buf), sorted(data), "sorted keys")
+        return stats

@@ -1,0 +1,49 @@
+"""Histogram: 256-bin byte histogram in shared memory (paper Figure 3)."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr, u8
+
+
+@kernel
+def histogram_kernel(n: i32, data: ptr[u8], out: ptr[i32]):
+    bins = shared(i32, 256)
+    # Initialise bins.
+    i = threadIdx.x
+    while i < 256:
+        bins[i] = 0
+        i += blockDim.x
+    syncthreads()
+    # Update bins.
+    i = threadIdx.x
+    while i < n:
+        atomic_add(bins, data[i], 1)
+        i += blockDim.x
+    syncthreads()
+    # Write bins to global memory.
+    i = threadIdx.x
+    while i < 256:
+        out[i] = bins[i]
+        i += blockDim.x
+
+
+class Histogram(Benchmark):
+    name = "Histogram"
+    description = "256-bin histogram calculation"
+    origin = "CUDA SDK samples"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 4096 * scale
+        data = [rng.randrange(256) for _ in range(n)]
+        buf = rt.alloc(u8, n)
+        out = rt.alloc(i32, 256)
+        rt.upload(buf, data)
+        # Single thread block, as in the paper's Figure 3 kernel.
+        block = self.full_block(rt)
+        stats = rt.launch(histogram_kernel, 1, block, [n, buf, out])
+        expect = [0] * 256
+        for value in data:
+            expect[value] += 1
+        self.check(rt.download(out), expect, "bins")
+        return stats

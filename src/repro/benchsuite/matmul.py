@@ -1,0 +1,60 @@
+"""MatMul: tiled single-precision matrix multiplication in shared memory."""
+
+import math
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import f32, i32, kernel, ptr
+
+
+@kernel
+def matmul_kernel(n: i32, tile: i32, a: ptr[f32], b: ptr[f32], c: ptr[f32]):
+    ta = shared(f32, 1024)
+    tb = shared(f32, 1024)
+    tx = threadIdx.x % tile
+    ty = threadIdx.x // tile
+    tiles = n // tile
+    brow = (blockIdx.x // tiles) * tile
+    bcol = (blockIdx.x % tiles) * tile
+    acc = 0.0
+    m = 0
+    while m < tiles:
+        ta[ty * tile + tx] = a[(brow + ty) * n + (m * tile + tx)]
+        tb[ty * tile + tx] = b[(m * tile + ty) * n + (bcol + tx)]
+        syncthreads()
+        k = 0
+        while k < tile:
+            acc += ta[ty * tile + k] * tb[k * tile + tx]
+            k += 1
+        syncthreads()
+        m += 1
+    c[(brow + ty) * n + (bcol + tx)] = acc
+
+
+class MatMul(Benchmark):
+    name = "MatMul"
+    description = "Matrix x matrix multiplication"
+    origin = "CUDA SDK samples"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        block = self.full_block(rt)
+        tile = math.isqrt(block)
+        if tile * tile != block:
+            raise ValueError("MatMul needs a square thread count")
+        n = tile * 3
+        a_host = [float(rng.randrange(-4, 5)) for _ in range(n * n)]
+        b_host = [float(rng.randrange(-4, 5)) for _ in range(n * n)]
+        a = rt.alloc(f32, n * n)
+        b = rt.alloc(f32, n * n)
+        c = rt.alloc(f32, n * n)
+        rt.upload(a, a_host)
+        rt.upload(b, b_host)
+        grid = (n // tile) ** 2
+        stats = rt.launch(matmul_kernel, grid, block, [n, tile, a, b, c])
+        expect = [
+            sum(a_host[r * n + k] * b_host[k * n + col] for k in range(n))
+            for r in range(n) for col in range(n)
+        ]
+        self.check_close(rt.download(c), expect, "product")
+        return stats

@@ -1,0 +1,46 @@
+"""MatVecMul: dense matrix-vector multiplication, one row per thread."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def matvecmul_kernel(rows: i32, cols: i32, mat: ptr[i32], vec: ptr[i32],
+                     out: ptr[i32]):
+    r = threadIdx.x + blockIdx.x * blockDim.x
+    while r < rows:
+        acc = 0
+        c = 0
+        while c < cols:
+            acc += mat[r * cols + c] * vec[c]
+            c += 1
+        out[r] = acc
+        r += blockDim.x * gridDim.x
+
+
+class MatVecMul(Benchmark):
+    name = "MatVecMul"
+    description = "Matrix x vector multiplication"
+    origin = "NVIDIA OpenCL SDK samples"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        rows = 64 * scale
+        cols = 48
+        mat_host = [rng.randrange(-9, 9) for _ in range(rows * cols)]
+        vec_host = [rng.randrange(-9, 9) for _ in range(cols)]
+        mat = rt.alloc(i32, rows * cols)
+        vec = rt.alloc(i32, cols)
+        out = rt.alloc(i32, rows)
+        rt.upload(mat, mat_host)
+        rt.upload(vec, vec_host)
+        block = self.default_block(rt)
+        grid = max(2, rt.config.num_threads // block)
+        stats = rt.launch(matvecmul_kernel, grid, block,
+                          [rows, cols, mat, vec, out])
+        expect = [
+            sum(mat_host[r * cols + c] * vec_host[c] for c in range(cols))
+            for r in range(rows)
+        ]
+        self.check(rt.download(out), expect, "product")
+        return stats

@@ -1,0 +1,91 @@
+"""MotionEst: exhaustive block-matching motion estimation (SAD search)."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr, u8
+
+
+@kernel
+def motionest_kernel(width: i32, height: i32, bsize: i32, swin: i32,
+                     cur: ptr[u8], ref: ptr[u8], best: ptr[i32]):
+    nbx = width // bsize
+    nby = height // bsize
+    blk = threadIdx.x + blockIdx.x * blockDim.x
+    while blk < nbx * nby:
+        bx = (blk % nbx) * bsize
+        by = (blk // nbx) * bsize
+        best_sad = 1 << 30
+        best_mv = 0
+        for dy in range(0 - swin, swin + 1):
+            for dx in range(0 - swin, swin + 1):
+                x0 = bx + dx
+                y0 = by + dy
+                if x0 >= 0 and y0 >= 0 and x0 + bsize <= width and \
+                        y0 + bsize <= height:
+                    sad = 0
+                    for yy in range(bsize):
+                        for xx in range(bsize):
+                            d = cur[(by + yy) * width + bx + xx] - \
+                                ref[(y0 + yy) * width + x0 + xx]
+                            sad += max_(d, 0 - d)
+                    if sad < best_sad:
+                        best_sad = sad
+                        best_mv = (dy + swin) * (2 * swin + 1) + (dx + swin)
+        best[blk] = best_mv
+        blk += blockDim.x * gridDim.x
+
+
+class MotionEst(Benchmark):
+    name = "MotionEst"
+    description = "Motion estimation (exhaustive SAD block search)"
+    origin = "In house (SIMTight distribution)"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        width, height = 32 * scale, 16
+        bsize, swin = 4, 2
+        cur_host = [rng.randrange(256) for _ in range(width * height)]
+        # The reference frame is the current frame shifted by (1, -1) plus
+        # noise, so the search has a meaningful minimum.
+        ref_host = list(cur_host)
+        for y in range(height):
+            for x in range(width):
+                sx, sy = min(width - 1, x + 1), max(0, y - 1)
+                ref_host[y * width + x] = (cur_host[sy * width + sx]
+                                           + rng.randrange(3)) % 256
+        cur = rt.alloc(u8, width * height)
+        ref = rt.alloc(u8, width * height)
+        best = rt.alloc(i32, (width // bsize) * (height // bsize))
+        rt.upload(cur, cur_host)
+        rt.upload(ref, ref_host)
+        block = self.default_block(rt)
+        grid = max(2, rt.config.num_threads // block)
+        stats = rt.launch(motionest_kernel, grid, block,
+                          [width, height, bsize, swin, cur, ref, best])
+        expect = self._reference(width, height, bsize, swin,
+                                 cur_host, ref_host)
+        self.check(rt.download(best), expect, "motion vectors")
+        return stats
+
+    @staticmethod
+    def _reference(width, height, bsize, swin, cur, ref):
+        out = []
+        for by in range(0, height, bsize):
+            for bx in range(0, width, bsize):
+                best_sad, best_mv = 1 << 30, 0
+                for dy in range(-swin, swin + 1):
+                    for dx in range(-swin, swin + 1):
+                        x0, y0 = bx + dx, by + dy
+                        if not (0 <= x0 and 0 <= y0
+                                and x0 + bsize <= width
+                                and y0 + bsize <= height):
+                            continue
+                        sad = sum(
+                            abs(cur[(by + yy) * width + bx + xx]
+                                - ref[(y0 + yy) * width + x0 + xx])
+                            for yy in range(bsize) for xx in range(bsize)
+                        )
+                        if sad < best_sad:
+                            best_sad, best_mv = sad, \
+                                (dy + swin) * (2 * swin + 1) + (dx + swin)
+                out.append(best_mv)
+        return out

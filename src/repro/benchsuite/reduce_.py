@@ -1,0 +1,47 @@
+"""Reduce: parallel vector summation via shared-memory tree reduction."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def reduce_kernel(n: i32, data: ptr[i32], out: ptr[i32]):
+    partial = shared(i32, 1024)
+    # Grid-stride accumulation into one partial per thread.
+    acc = 0
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        acc += data[i]
+        i += blockDim.x * gridDim.x
+    partial[threadIdx.x] = acc
+    syncthreads()
+    # Tree reduction within the block.
+    stride = blockDim.x >> 1
+    while stride > 0:
+        if threadIdx.x < stride:
+            partial[threadIdx.x] = partial[threadIdx.x] + \
+                partial[threadIdx.x + stride]
+        syncthreads()
+        stride = stride >> 1
+    if threadIdx.x == 0:
+        atomic_add(out, 0, partial[0])
+
+
+class Reduce(Benchmark):
+    name = "Reduce"
+    description = "Vector summation"
+    origin = "CUDA SDK samples"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 4096 * scale
+        data = [rng.randrange(-50, 50) for _ in range(n)]
+        buf = rt.alloc(i32, n)
+        out = rt.alloc(i32, 1)
+        rt.upload(buf, data)
+        rt.upload(out, [0])
+        block = self.full_block(rt)
+        stats = rt.launch(reduce_kernel, 1, block, [n, buf, out])
+        self.check(rt.download(out), [sum(data)], "sum")
+        return stats

@@ -1,0 +1,78 @@
+"""Scan: parallel prefix sum (Hillis-Steele, GPU Gems 3 chapter 39)."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def scan_kernel(n: i32, data: ptr[i32], out: ptr[i32]):
+    # Double-buffered inclusive scan of n elements (n <= 1024), processed
+    # in chunks of blockDim with a running carry, like the multi-pass
+    # formulation in GPU Gems.
+    ping = shared(i32, 1024)
+    pong = shared(i32, 1024)
+    carry = shared(i32, 1)
+    if threadIdx.x == 0:
+        carry[0] = 0
+    syncthreads()
+    base = 0
+    while base < n:
+        i = threadIdx.x
+        if base + i < n:
+            ping[i] = data[base + i]
+        else:
+            ping[i] = 0
+        syncthreads()
+        # Hillis-Steele within the chunk.
+        offset = 1
+        src_is_ping = 1
+        while offset < blockDim.x:
+            if src_is_ping == 1:
+                if i >= offset:
+                    pong[i] = ping[i] + ping[i - offset]
+                else:
+                    pong[i] = ping[i]
+            else:
+                if i >= offset:
+                    ping[i] = pong[i] + pong[i - offset]
+                else:
+                    ping[i] = pong[i]
+            src_is_ping = 1 - src_is_ping
+            offset = offset << 1
+            syncthreads()
+        if base + i < n:
+            if src_is_ping == 1:
+                out[base + i] = ping[i] + carry[0]
+            else:
+                out[base + i] = pong[i] + carry[0]
+        syncthreads()
+        if threadIdx.x == 0:
+            last = base + blockDim.x - 1
+            if last >= n:
+                last = n - 1
+            carry[0] = out[last]
+        syncthreads()
+        base += blockDim.x
+
+
+class Scan(Benchmark):
+    name = "Scan"
+    description = "Parallel prefix sum"
+    origin = "GPU Gems 3"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 512 * scale
+        data = [rng.randrange(-20, 20) for _ in range(n)]
+        buf = rt.alloc(i32, n)
+        out = rt.alloc(i32, n)
+        rt.upload(buf, data)
+        block = self.full_block(rt)
+        stats = rt.launch(scan_kernel, 1, block, [n, buf, out])
+        expect, acc = [], 0
+        for value in data:
+            acc += value
+            expect.append(acc)
+        self.check(rt.download(out), expect, "prefix sums")
+        return stats

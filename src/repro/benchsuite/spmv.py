@@ -1,0 +1,60 @@
+"""SPMV: sparse matrix-vector multiplication in CSR form (Bell & Garland)."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def spmv_kernel(rows: i32, rowptr: ptr[i32], cols: ptr[i32], vals: ptr[i32],
+                x: ptr[i32], y: ptr[i32]):
+    r = threadIdx.x + blockIdx.x * blockDim.x
+    while r < rows:
+        acc = 0
+        p = rowptr[r]
+        end = rowptr[r + 1]
+        while p < end:
+            acc += vals[p] * x[cols[p]]
+            p += 1
+        y[r] = acc
+        r += blockDim.x * gridDim.x
+
+
+class SPMV(Benchmark):
+    name = "SPMV"
+    description = "Sparse matrix x vector multiplication (CSR, scalar rows)"
+    origin = "Bell & Garland, NVIDIA research report"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        rows = 96 * scale
+        cols_n = 96
+        rowptr_host = [0]
+        cols_host, vals_host = [], []
+        for _ in range(rows):
+            nnz = rng.randrange(1, 9)  # irregular rows -> divergence
+            picks = sorted(rng.sample(range(cols_n), nnz))
+            cols_host.extend(picks)
+            vals_host.extend(rng.randrange(-9, 9) for _ in range(nnz))
+            rowptr_host.append(len(cols_host))
+        x_host = [rng.randrange(-9, 9) for _ in range(cols_n)]
+
+        rowptr = rt.alloc(i32, rows + 1)
+        colbuf = rt.alloc(i32, len(cols_host))
+        valbuf = rt.alloc(i32, len(vals_host))
+        x = rt.alloc(i32, cols_n)
+        y = rt.alloc(i32, rows)
+        rt.upload(rowptr, rowptr_host)
+        rt.upload(colbuf, cols_host)
+        rt.upload(valbuf, vals_host)
+        rt.upload(x, x_host)
+        block = self.default_block(rt)
+        grid = max(2, rt.config.num_threads // block)
+        stats = rt.launch(spmv_kernel, grid, block,
+                          [rows, rowptr, colbuf, valbuf, x, y])
+        expect = []
+        for r in range(rows):
+            lo, hi = rowptr_host[r], rowptr_host[r + 1]
+            expect.append(sum(vals_host[p] * x_host[cols_host[p]]
+                              for p in range(lo, hi)))
+        self.check(rt.download(y), expect, "y")
+        return stats

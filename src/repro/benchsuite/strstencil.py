@@ -1,0 +1,55 @@
+"""StrStencil: stripe-based stencil, straight from global memory."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def strstencil_kernel(width: i32, height: i32, src: ptr[i32],
+                      dst: ptr[i32]):
+    col = threadIdx.x + blockIdx.x * blockDim.x
+    while col < width:
+        r = 0
+        while r < height:
+            acc = 2 * src[r * width + col]
+            if r > 0:
+                acc += src[(r - 1) * width + col]
+            if r < height - 1:
+                acc += src[(r + 1) * width + col]
+            dst[r * width + col] = acc
+            r += 1
+        col += blockDim.x * gridDim.x
+
+
+class StrStencil(Benchmark):
+    name = "StrStencil"
+    description = "Stripe-based stencil computation"
+    origin = "In house (SIMTight distribution)"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        width = 64 * scale
+        height = 24
+        n = width * height
+        src_host = [rng.randrange(-100, 100) for _ in range(n)]
+        src = rt.alloc(i32, n)
+        dst = rt.alloc(i32, n)
+        rt.upload(src, src_host)
+        block = self.default_block(rt)
+        grid = max(2, rt.config.num_threads // block)
+        stats = rt.launch(strstencil_kernel, grid, block,
+                          [width, height, src, dst])
+        expect = []
+        for r in range(height):
+            for c in range(width):
+                acc = 2 * src_host[r * width + c]
+                if r > 0:
+                    acc += src_host[(r - 1) * width + c]
+                if r < height - 1:
+                    acc += src_host[(r + 1) * width + c]
+                expect.append(acc)
+        got = rt.download(dst)
+        expect_rowmajor = [expect[r * width + c]
+                           for r in range(height) for c in range(width)]
+        self.check(got, expect_rowmajor, "stencil output")
+        return stats

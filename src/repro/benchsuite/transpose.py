@@ -1,0 +1,49 @@
+"""Transpose: tiled matrix transpose through padded shared memory."""
+
+import math
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def transpose_kernel(width: i32, tile: i32, src: ptr[i32], dst: ptr[i32]):
+    # Padded tile (stride tile+1) avoids scratchpad bank conflicts on the
+    # transposed read, the classic CUDA SDK trick.
+    buf = shared(i32, 1089)  # supports tiles up to 32x32
+    tx = threadIdx.x % tile
+    ty = threadIdx.x // tile
+    tiles_per_row = width // tile
+    bx = (blockIdx.x % tiles_per_row) * tile
+    by = (blockIdx.x // tiles_per_row) * tile
+    buf[ty * (tile + 1) + tx] = src[(by + ty) * width + (bx + tx)]
+    syncthreads()
+    dst[(bx + ty) * width + (by + tx)] = buf[tx * (tile + 1) + ty]
+    syncthreads()
+
+
+class Transpose(Benchmark):
+    name = "Transpose"
+    description = "Matrix transpose"
+    origin = "CUDA SDK samples"
+    uses_shared = True
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        block = self.full_block(rt)
+        tile = math.isqrt(block)
+        if tile * tile != block:
+            raise ValueError("Transpose needs a square thread count")
+        width = tile * 4 * scale
+        n = width * width
+        src_host = [rng.randrange(-999, 999) for _ in range(n)]
+        src = rt.alloc(i32, n)
+        dst = rt.alloc(i32, n)
+        rt.upload(src, src_host)
+        grid = (width // tile) ** 2
+        stats = rt.launch(transpose_kernel, grid, block,
+                          [width, tile, src, dst])
+        expect = [src_host[c * width + r]
+                  for r in range(width) for c in range(width)]
+        self.check(rt.download(dst), expect, "transposed matrix")
+        return stats

@@ -1,0 +1,35 @@
+"""VecAdd: element-wise vector addition (paper Table 1, from [56])."""
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def vecadd_kernel(n: i32, a: ptr[i32], b: ptr[i32], c: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        c[i] = a[i] + b[i]
+        i += blockDim.x * gridDim.x
+
+
+class VecAdd(Benchmark):
+    name = "VecAdd"
+    description = "Vector addition"
+    origin = "NVIDIA OpenCL SDK samples"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 2048 * scale
+        a_host = [rng.randrange(-1000, 1000) for _ in range(n)]
+        b_host = [rng.randrange(-1000, 1000) for _ in range(n)]
+        a = rt.alloc(i32, n)
+        b = rt.alloc(i32, n)
+        c = rt.alloc(i32, n)
+        rt.upload(a, a_host)
+        rt.upload(b, b_host)
+        block = self.default_block(rt)
+        grid = max(1, rt.config.num_threads // block) * 2
+        stats = rt.launch(vecadd_kernel, grid, block, [n, a, b, c])
+        self.check(rt.download(c), [x + y for x, y in zip(a_host, b_host)],
+                   "c")
+        return stats

@@ -1,0 +1,43 @@
+"""VecGCD: element-wise greatest common divisor (divergent inner loops)."""
+
+import math
+
+from repro.benchsuite.base import Benchmark
+from repro.nocl import i32, kernel, ptr
+
+
+@kernel
+def vecgcd_kernel(n: i32, a: ptr[i32], b: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        x = a[i]
+        y = b[i]
+        while y != 0:
+            t = y
+            y = x % y
+            x = t
+        out[i] = x
+        i += blockDim.x * gridDim.x
+
+
+class VecGCD(Benchmark):
+    name = "VecGCD"
+    description = "Vectorised greatest common divisor"
+    origin = "In house (SIMTight distribution)"
+
+    def run(self, rt, scale=1):
+        rng = self.rng()
+        n = 512 * scale
+        a_host = [rng.randrange(1, 5000) for _ in range(n)]
+        b_host = [rng.randrange(1, 5000) for _ in range(n)]
+        a = rt.alloc(i32, n)
+        b = rt.alloc(i32, n)
+        out = rt.alloc(i32, n)
+        rt.upload(a, a_host)
+        rt.upload(b, b_host)
+        block = self.default_block(rt)
+        grid = max(2, rt.config.num_threads // block)
+        stats = rt.launch(vecgcd_kernel, grid, block, [n, a, b, out])
+        self.check(rt.download(out),
+                   [math.gcd(x, y) for x, y in zip(a_host, b_host)], "gcd")
+        return stats

@@ -1,0 +1,50 @@
+"""Capability model: CHERI Concentrate bounds compression and capability algebra.
+
+This package is the software equivalent of CheriCapLib (paper Figure 7): the
+compressed 64+1-bit capability format used by the CHERI-SIMT pipeline, with
+the same key operations (``from_mem``/``to_mem``, ``set_addr`` with a
+representability check, ``is_access_in_bounds``, ``get_base``/``get_top``/
+``get_length``, ``set_bounds``, and the CRRL/CRAM rounding helpers).
+"""
+
+from repro.cheri.capability import (
+    CAP_NULL,
+    Capability,
+    Perms,
+    root_capability,
+)
+from repro.cheri.concentrate import (
+    ADDR_BITS,
+    CapBounds,
+    crml,
+    crrl,
+    decode_bounds,
+    encode_bounds,
+    is_representable,
+)
+from repro.cheri.exceptions import (
+    BoundsViolation,
+    CapabilityFault,
+    PermissionViolation,
+    SealViolation,
+    TagViolation,
+)
+
+__all__ = [
+    "ADDR_BITS",
+    "CAP_NULL",
+    "BoundsViolation",
+    "CapBounds",
+    "Capability",
+    "CapabilityFault",
+    "Perms",
+    "PermissionViolation",
+    "SealViolation",
+    "TagViolation",
+    "crml",
+    "crrl",
+    "decode_bounds",
+    "encode_bounds",
+    "is_representable",
+    "root_capability",
+]

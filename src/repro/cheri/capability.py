@@ -1,0 +1,237 @@
+"""The 64+1-bit capability value type used throughout the pipeline.
+
+A capability packs (paper section 2.4, bit-layout diagram):
+
+==========  =====  ==============================================
+field       bits   meaning
+==========  =====  ==============================================
+tag         1      validity (hidden; stored out of band in memory)
+perms       12     permission bits (:class:`Perms`)
+otype       4      object type; 0 means unsealed
+flags       1      software-defined flag
+bounds      15     Concentrate-encoded bounds (IE + B + T)
+address     32     the current pointer value
+==========  =====  ==============================================
+
+``Capability`` is an immutable "CapPipe" view: bounds are kept decoded
+(base/top cached) so pipeline checks are cheap, while :meth:`to_mem` /
+:func:`Capability.from_mem` convert to/from the packed 65-bit "CapMem"
+format stored in registers and memory.  Two capabilities with the same
+bounds, permissions and type have *identical* metadata words even when
+their addresses differ — the value-regularity property the metadata
+register file exploits (paper section 3.1).
+"""
+
+from dataclasses import dataclass, replace
+from enum import IntFlag
+
+from repro.cheri import concentrate
+from repro.cheri.concentrate import ADDR_BITS, CapBounds, NULL_BOUNDS
+
+_ADDR_MASK = (1 << ADDR_BITS) - 1
+
+#: otype value of an unsealed capability.
+OTYPE_UNSEALED = 0
+#: otype marking a sealed-entry ("sentry") capability (CSealEntry).
+OTYPE_SENTRY = 1
+
+
+class Perms(IntFlag):
+    """Capability permission bits (a pragmatic CHERI-RISC-V subset)."""
+
+    GLOBAL = 1 << 0
+    EXECUTE = 1 << 1
+    LOAD = 1 << 2
+    STORE = 1 << 3
+    LOAD_CAP = 1 << 4
+    STORE_CAP = 1 << 5
+    STORE_LOCAL_CAP = 1 << 6
+    SEAL = 1 << 7
+    UNSEAL = 1 << 8
+    ACCESS_SYS_REGS = 1 << 9
+    SET_CID = 1 << 10
+    INVOKE = 1 << 11
+
+    @classmethod
+    def all_perms(cls):
+        value = 0
+        for perm in cls:
+            value |= perm
+        return cls(value)
+
+
+@dataclass(frozen=True)
+class Capability:
+    """An immutable, decoded capability (the pipeline 'CapPipe' view)."""
+
+    tag: bool = False
+    addr: int = 0
+    bounds: CapBounds = NULL_BOUNDS
+    perms: Perms = Perms(0)
+    otype: int = OTYPE_UNSEALED
+    flags: int = 0
+
+    # -- derived views ----------------------------------------------------
+
+    @property
+    def base(self):
+        """Decoded lower bound (getBase)."""
+        return concentrate.decode_bounds(self.bounds, self.addr)[0]
+
+    @property
+    def top(self):
+        """Decoded upper bound, a 33-bit value (getTop)."""
+        return concentrate.decode_bounds(self.bounds, self.addr)[1]
+
+    @property
+    def length(self):
+        """getLength: top - base, clamped at zero for malformed patterns."""
+        base, top = concentrate.decode_bounds(self.bounds, self.addr)
+        return max(0, top - base)
+
+    @property
+    def is_sealed(self):
+        return self.otype != OTYPE_UNSEALED
+
+    @property
+    def is_sentry(self):
+        return self.otype == OTYPE_SENTRY
+
+    # -- in-memory format --------------------------------------------------
+
+    def meta_word(self):
+        """The 32-bit metadata half of the CapMem format (no tag, no addr).
+
+        This is exactly the value held in the capability-metadata register
+        file; uniform-vector detection compares these words.
+        """
+        word = int(self.perms) & 0xFFF
+        word = (word << 4) | (self.otype & 0xF)
+        word = (word << 1) | (self.flags & 0x1)
+        word = (word << 1) | (self.bounds.ie & 0x1)
+        word = (word << 8) | (self.bounds.b_field & 0xFF)
+        word = (word << 6) | (self.bounds.t_field & 0x3F)
+        return word
+
+    def to_mem(self):
+        """Pack into the 65-bit CapMem integer: tag | meta(32) | addr(32)."""
+        value = (1 if self.tag else 0) << 64
+        value |= self.meta_word() << 32
+        value |= self.addr & _ADDR_MASK
+        return value
+
+    @classmethod
+    def from_mem(cls, value):
+        """Unpack a 65-bit CapMem integer (inverse of :meth:`to_mem`)."""
+        addr = value & _ADDR_MASK
+        meta = (value >> 32) & 0xFFFFFFFF
+        tag = bool((value >> 64) & 1)
+        return cls.from_meta_word(meta, addr, tag)
+
+    @classmethod
+    def from_meta_word(cls, meta, addr, tag):
+        """Rebuild a capability from a 32-bit metadata word + address + tag."""
+        t_field = meta & 0x3F
+        b_field = (meta >> 6) & 0xFF
+        ie = (meta >> 14) & 0x1
+        flags = (meta >> 15) & 0x1
+        otype = (meta >> 16) & 0xF
+        perms = Perms((meta >> 20) & 0xFFF)
+        return cls(
+            tag=tag,
+            addr=addr & _ADDR_MASK,
+            bounds=CapBounds(ie=ie, b_field=b_field, t_field=t_field),
+            perms=perms,
+            otype=otype,
+            flags=flags,
+        )
+
+    # -- capability manipulation (the CHERI instruction semantics) ---------
+
+    def with_tag_cleared(self):
+        """CClearTag: same bit pattern, tag cleared."""
+        return replace(self, tag=False)
+
+    def set_addr(self, new_addr):
+        """CSetAddr/CIncOffset address update with representability check.
+
+        The tag is cleared if the new address moves the capability so far
+        out of bounds that the compressed bounds no longer decode to the
+        same region (paper Figure 7, ``setAddr``), or if the capability is
+        sealed (sealed capabilities are immutable).
+        """
+        new_addr &= _ADDR_MASK
+        tag = self.tag
+        if tag and self.is_sealed:
+            tag = False
+        if tag and not concentrate.is_representable(self.bounds, self.addr, new_addr):
+            tag = False
+        return replace(self, addr=new_addr, tag=tag)
+
+    def inc_addr(self, offset):
+        """CIncOffset: address += offset (mod 2**32), same checks as set_addr."""
+        return self.set_addr((self.addr + offset) & _ADDR_MASK)
+
+    def set_bounds(self, req_base, req_length, exact=False):
+        """CSetBounds[Exact]: narrow bounds to [req_base, req_base+req_length).
+
+        Returns (new_capability, was_exact).  The new bounds are rounded
+        outward if inexact.  The tag is cleared if the capability is
+        untagged/sealed or if the *requested* region is not contained in the
+        current bounds (monotonicity: derivation can never grow authority).
+        When ``exact`` is set, inexact rounding also clears the tag rather
+        than widening silently.
+        """
+        req_top = req_base + req_length
+        new_bounds, was_exact, actual_base, actual_top = concentrate.encode_bounds(
+            req_base & _ADDR_MASK, min(req_top, 1 << ADDR_BITS)
+        )
+        tag = self.tag and not self.is_sealed
+        cur_base, cur_top = concentrate.decode_bounds(self.bounds, self.addr)
+        if not (cur_base <= req_base and req_top <= cur_top):
+            tag = False
+        if exact and not was_exact:
+            tag = False
+        new_cap = replace(self, bounds=new_bounds, addr=req_base & _ADDR_MASK, tag=tag)
+        # Guard against rounding that escapes the parent region.
+        if tag and not (cur_base <= actual_base and actual_top <= cur_top):
+            # Outward rounding may exceed the parent bounds; CHERI permits
+            # this only for untagged results.
+            new_cap = new_cap.with_tag_cleared()
+        return new_cap, was_exact
+
+    def and_perms(self, mask):
+        """CAndPerm: intersect the permission set with ``mask``."""
+        tag = self.tag and not self.is_sealed
+        return replace(self, perms=Perms(int(self.perms) & int(mask) & 0xFFF), tag=tag)
+
+    def set_flags(self, flags):
+        """CSetFlags: replace the flags field."""
+        tag = self.tag and not self.is_sealed
+        return replace(self, flags=flags & 0x1, tag=tag)
+
+    def seal_entry(self):
+        """CSealEntry: seal as a sentry (jump-target-only) capability."""
+        return replace(self, otype=OTYPE_SENTRY)
+
+    def unseal_entry(self):
+        """Implicit sentry unsealing performed by CJALR."""
+        return replace(self, otype=OTYPE_UNSEALED)
+
+
+#: The canonical null capability: untagged, zero everywhere.
+CAP_NULL = Capability()
+
+
+def root_capability(perms=None):
+    """The almighty root: whole address space, all permissions, tagged.
+
+    The runtime derives every other capability (stacks, heap buffers,
+    kernel arguments, scratchpad windows) from this, mirroring how the
+    host CPU seeds the GPU in the paper's evaluation SoC.
+    """
+    bounds, exact, base, top = concentrate.encode_bounds(0, 1 << ADDR_BITS)
+    assert exact and base == 0 and top == 1 << ADDR_BITS
+    if perms is None:
+        perms = Perms.all_perms()
+    return Capability(tag=True, addr=0, bounds=bounds, perms=perms)

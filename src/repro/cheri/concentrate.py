@@ -1,0 +1,190 @@
+"""CHERI Concentrate compressed bounds for 32-bit addresses (64+1-bit caps).
+
+The paper (section 2.4) uses the CHERI Concentrate format [Woodruff et al.,
+IEEE ToC 2019]: a 32-bit lower bound and a 33-bit upper bound are stored in
+just 15 bits of metadata, encoded floating-point-style relative to the
+capability address.  This module implements that format bit-for-bit:
+
+- 1-bit internal-exponent flag ``IE``
+- 8-bit ``B`` field (bottom/base mantissa; low 3 bits reused for the
+  exponent when ``IE`` is set)
+- 6-bit ``T`` field (top mantissa, top two bits reconstructed from ``B``;
+  low 3 bits reused for the exponent when ``IE`` is set)
+
+for a total of 15 bounds bits, exactly as the paper states.  The mantissa
+width ``MW`` is 8.  With ``IE = 0`` the exponent is zero and lengths below
+``2**(MW-2) = 64`` bytes are represented exactly.  With ``IE = 1`` the
+6-bit exponent ``E`` scales the mantissas by ``2**E`` and bounds are rounded
+outward to multiples of ``2**(E+3)``.
+
+The functions here mirror CheriCapLib (paper Figure 7):
+
+- :func:`encode_bounds`   — ``setBounds`` bounds computation (with rounding)
+- :func:`decode_bounds`   — ``getBase`` / ``getTop`` / ``getLength``
+- :func:`is_representable`— the ``setAddr`` representability check
+- :func:`crrl` / :func:`crml` — the CRRL / CRAM instructions
+"""
+
+from collections import namedtuple
+
+#: Width of a capability address in bits (RV32).
+ADDR_BITS = 32
+#: Mantissa width of the Concentrate encoding.
+MANTISSA_BITS = 8
+#: Maximum internal exponent: the full 2**32-byte address space decodes with
+#: a mantissa length of 64 when E == 26.
+MAX_EXP = 26
+
+_ADDR_MASK = (1 << ADDR_BITS) - 1
+_TOP_MASK = (1 << (ADDR_BITS + 1)) - 1
+_MW = MANTISSA_BITS
+
+#: Encoded bounds: internal-exponent flag, 8-bit B field, 6-bit T field.
+CapBounds = namedtuple("CapBounds", ["ie", "b_field", "t_field"])
+
+#: The bounds encoding of the null capability (and of cleared metadata).
+NULL_BOUNDS = CapBounds(ie=0, b_field=0, t_field=0)
+
+
+def _reconstruct_mantissas(bounds):
+    """Expand stored fields to the effective exponent and 8-bit mantissas.
+
+    Returns (exp, b8, t8) where b8/t8 are the full 8-bit base/top mantissas.
+    The top two bits of t8 are reconstructed from b8 using the length
+    carry-out and the length MSB implied by the IE flag (see the CHERI
+    Concentrate paper, section IV).
+    """
+    if bounds.ie == 0:
+        exp = 0
+        b8 = bounds.b_field
+        t_low6 = bounds.t_field
+    else:
+        exp = min(((bounds.t_field & 0x7) << 3) | (bounds.b_field & 0x7), MAX_EXP)
+        b8 = bounds.b_field & 0xF8
+        t_low6 = (bounds.t_field >> 3) << 3
+    length_carry = 1 if t_low6 < (b8 & 0x3F) else 0
+    length_msb = bounds.ie
+    t_hi2 = ((b8 >> 6) + length_carry + length_msb) & 0x3
+    t8 = (t_hi2 << 6) | t_low6
+    return exp, b8, t8
+
+
+def decode_bounds(bounds, addr):
+    """Decode absolute (base, top) bounds relative to ``addr``.
+
+    ``base`` is a 32-bit value and ``top`` a 33-bit value (the top of the
+    full address space is ``2**32``).  Decoding is total: any bit pattern
+    yields some bounds, but only tagged capabilities (which are always
+    derived, hence canonical) are ever used for access checks.
+    """
+    exp, b8, t8 = _reconstruct_mantissas(bounds)
+    shift = exp + _MW
+    addr &= _ADDR_MASK
+    a_top = addr >> shift
+    a_mid = (addr >> exp) & 0xFF
+    # Representable-region boundary: one eighth of the representable space
+    # below the base mantissa.
+    r = (b8 - (1 << (_MW - 3))) & 0xFF
+    a_hi = 1 if a_mid < r else 0
+    c_base = (1 if b8 < r else 0) - a_hi
+    c_top = (1 if t8 < r else 0) - a_hi
+    base = (((a_top + c_base) << shift) | (b8 << exp)) & _ADDR_MASK
+    top = (((a_top + c_top) << shift) | (t8 << exp)) & _TOP_MASK
+    # One-bit top correction: if base and top land more than an address
+    # space apart, flip the MSB of top (CHERI ISA spec, getCapBounds).
+    if exp < (MAX_EXP - 1):
+        top2 = (top >> (ADDR_BITS - 1)) & 0x3
+        base1 = (base >> (ADDR_BITS - 1)) & 0x1
+        if ((top2 - base1) & 0x3) > 1:
+            top ^= 1 << ADDR_BITS
+    return base, top
+
+
+def encode_bounds(base, top):
+    """Encode requested [base, top) as Concentrate bounds (``setBounds``).
+
+    Returns ``(bounds, exact, actual_base, actual_top)``.  When the
+    requested region cannot be represented exactly, the bounds are rounded
+    *outward* (base down, top up) to the representable granule and ``exact``
+    is False.  Requires ``0 <= base <= top <= 2**32``.
+    """
+    if not 0 <= base <= top <= (1 << ADDR_BITS):
+        raise ValueError("bounds out of range: base=%#x top=%#x" % (base, top))
+    length = top - base
+    if length < (1 << (_MW - 2)):
+        # IE = 0: exact representation, exponent zero.
+        bounds = CapBounds(ie=0, b_field=base & 0xFF, t_field=top & 0x3F)
+        return bounds, True, base, top
+    exp = max(0, length.bit_length() - (_MW - 1))
+    while True:
+        granule = 1 << (exp + 3)
+        b_mant = base >> (exp + 3)
+        t_mant = (top + granule - 1) >> (exp + 3)
+        if ((t_mant - b_mant) << 3) >= (1 << (_MW - 1)):
+            # Rounding the top up overflowed the mantissa: coarsen by one.
+            exp += 1
+            continue
+        break
+    if exp > MAX_EXP:
+        raise ValueError("unrepresentable length %#x" % length)
+    b_field = ((b_mant & 0x1F) << 3) | (exp & 0x7)
+    t_field = ((t_mant & 0x7) << 3) | ((exp >> 3) & 0x7)
+    bounds = CapBounds(ie=1, b_field=b_field, t_field=t_field)
+    actual_base = b_mant << (exp + 3)
+    actual_top = t_mant << (exp + 3)
+    exact = actual_base == base and actual_top == top
+    return bounds, exact, actual_base, actual_top
+
+
+def is_representable(bounds, ref_addr, new_addr):
+    """``setAddr`` representability: do the decoded bounds survive the move?
+
+    A capability's bounds are decoded relative to its address; moving the
+    address too far out of bounds changes the decode.  CHERI allows limited
+    out-of-bounds wandering (needed for C/C++ pointer idioms, paper section
+    2.4) and clears the tag beyond that.  This is the definitional check:
+    bounds decoded at ``new_addr`` must equal bounds decoded at ``ref_addr``.
+    """
+    return decode_bounds(bounds, new_addr) == decode_bounds(bounds, ref_addr)
+
+
+def crrl(length):
+    """CRRL: round ``length`` up to the nearest exactly-representable length.
+
+    Mirrors the CRRL instruction: given a requested region size, return the
+    smallest size >= ``length`` for which setBounds can be exact (assuming a
+    suitably aligned base, see :func:`crml`).
+    """
+    if not 0 <= length <= (1 << ADDR_BITS):
+        raise ValueError("length out of range: %#x" % length)
+    if length < (1 << (_MW - 2)):
+        return length
+    exp = max(0, length.bit_length() - (_MW - 1))
+    while True:
+        mask = (1 << (exp + 3)) - 1
+        rounded = (length + mask) & ~mask
+        if (rounded >> exp) >= (1 << (_MW - 1)):
+            exp += 1
+            continue
+        return rounded
+
+
+def crml(length):
+    """CRAM: alignment mask required for an exact region of ``length`` bytes.
+
+    Mirrors the CRAM (Capability Representable Alignment Mask) instruction:
+    a base ANDed with this mask, combined with a :func:`crrl`-rounded length,
+    yields exact setBounds.  Returns an ``ADDR_BITS``-bit mask.
+    """
+    if not 0 <= length <= (1 << ADDR_BITS):
+        raise ValueError("length out of range: %#x" % length)
+    if length < (1 << (_MW - 2)):
+        return _ADDR_MASK
+    exp = max(0, length.bit_length() - (_MW - 1))
+    while True:
+        mask = (1 << (exp + 3)) - 1
+        rounded = (length + mask) & ~mask
+        if (rounded >> exp) >= (1 << (_MW - 1)):
+            exp += 1
+            continue
+        return _ADDR_MASK & ~mask

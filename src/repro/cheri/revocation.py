@@ -1,0 +1,94 @@
+"""Temporal safety: quarantine and Cornucopia-style revocation sweeps.
+
+The paper scopes itself to spatial safety but points at CHERI's temporal
+story (section 2.4, references [25, 26]): because capabilities are
+precisely distinguishable from data via tags, freed memory can be
+*revoked* — a sweep clears the tag of every capability, in registers or
+memory, that points into freed (quarantined) regions.  Use-after-free then
+faults deterministically like any other tag violation.
+
+This module implements the memory-side sweep for the simulated GPU:
+
+- a :class:`Quarantine` accumulates freed [base, top) regions,
+- :func:`sweep_memory` walks the tagged words of main memory, decodes each
+  candidate capability, and clears tags of those whose bounds overlap a
+  quarantined region (Cornucopia's load-barrier variant is not modelled;
+  this is the stop-the-world sweep).
+
+The NoCL runtime exposes this as ``free()`` + ``revoke()``.
+"""
+
+from repro.cheri.capability import Capability
+
+
+class Quarantine:
+    """Freed-but-not-yet-reusable address regions awaiting revocation."""
+
+    def __init__(self):
+        self._regions = []
+
+    def add(self, base, top):
+        if top <= base:
+            raise ValueError("empty quarantine region")
+        self._regions.append((base, top))
+
+    def __len__(self):
+        return len(self._regions)
+
+    def __bool__(self):
+        return bool(self._regions)
+
+    def overlaps(self, base, top):
+        """Does [base, top) intersect any quarantined region?"""
+        for q_base, q_top in self._regions:
+            if base < q_top and q_base < top:
+                return True
+        return False
+
+    def drain(self):
+        """Empty the quarantine (after a completed sweep)."""
+        regions, self._regions = self._regions, []
+        return regions
+
+
+def _capability_at(memory, word_index):
+    """Decode the (aligned) capability whose low half is at word_index.
+
+    Returns None unless both halves are tagged (the 32-bit-granule
+    invariant of paper section 3.4).
+    """
+    if word_index % 2:
+        return None
+    addr = word_index * 4
+    raw, tag = memory.read_cap_raw(addr)
+    if not tag:
+        return None
+    return addr, Capability.from_mem(raw | (1 << 64))
+
+
+def sweep_memory(memory, quarantine):
+    """Revoke every in-memory capability overlapping the quarantine.
+
+    Walks only words that currently carry tags (capabilities are sparse),
+    decodes each candidate, and clears its tag when its *bounds* overlap a
+    quarantined region — bounds, not just the current address, because a
+    revoked capability must not be resurrectable by moving its cursor.
+    Returns the number of capabilities revoked.
+    """
+    revoked = 0
+    # Snapshot: the sweep itself mutates tag state.
+    tagged = sorted(memory._tags)
+    seen = set()
+    for index in tagged:
+        base_index = index & ~1
+        if base_index in seen:
+            continue
+        seen.add(base_index)
+        entry = _capability_at(memory, base_index)
+        if entry is None:
+            continue
+        addr, cap = entry
+        if quarantine.overlaps(cap.base, cap.top):
+            memory.write_cap_raw(addr, cap.to_mem() & ((1 << 64) - 1), False)
+            revoked += 1
+    return revoked

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list``                      — the Table 1 benchmark suite
+- ``run BENCH``                 — run one benchmark (verified) and print stats
+- ``listing BENCH``             — print a benchmark kernel's compiled assembly
+- ``trace BENCH``               — run with instruction tracing
+- ``experiment NAME``           — regenerate one table/figure
+- ``table3`` / ``headline``     — shortcuts for the area model / abstract
+"""
+
+import argparse
+import sys
+
+from repro.benchsuite import ALL_BENCHMARKS, BENCHMARK_NAMES
+
+
+def _add_mode_args(parser):
+    parser.add_argument("--mode", default="baseline",
+                        choices=("baseline", "purecap", "boundscheck"))
+    parser.add_argument("--warps", type=int, default=8)
+    parser.add_argument("--lanes", type=int, default=8)
+    parser.add_argument("--scale", type=int, default=1)
+
+
+def _runtime(args):
+    from repro.nocl import NoCLRuntime
+    from repro.simt import SMConfig
+    geometry = dict(num_warps=args.warps, num_lanes=args.lanes)
+    if args.mode == "purecap":
+        config = SMConfig.cheri_optimised(**geometry)
+    else:
+        config = SMConfig.baseline(**geometry)
+    return NoCLRuntime(args.mode, config=config)
+
+
+def cmd_list(_args):
+    print("%-12s %-45s %s" % ("name", "description", "origin"))
+    for bench in ALL_BENCHMARKS.values():
+        print("%-12s %-45s %s" % (bench.name, bench.description,
+                                  bench.origin))
+    return 0
+
+
+def cmd_run(args):
+    bench = ALL_BENCHMARKS[args.benchmark]
+    rt = _runtime(args)
+    stats = bench.run(rt, scale=args.scale)
+    print("%s [%s] PASSED self test" % (bench.name, args.mode))
+    print("  cycles=%d instrs=%d IPC=%.2f" % (stats.cycles,
+                                              stats.instrs_issued,
+                                              stats.ipc))
+    print("  DRAM: %d bytes (%d spill)" % (stats.dram_total_bytes,
+                                           stats.dram_spill_bytes))
+    if args.mode == "purecap":
+        print("  capability registers/thread: %d of 32"
+              % stats.cap_regs_per_thread)
+    return 0
+
+
+def cmd_listing(args):
+    from repro.nocl.compiler import compile_kernel
+    bench = ALL_BENCHMARKS[args.benchmark]
+    # Find the benchmark module's kernel(s) by naming convention.
+    import inspect
+
+    from repro.nocl.dsl import KernelSource
+    mod = inspect.getmodule(type(bench))
+    kernels = [obj for _, obj in vars(mod).items()
+               if isinstance(obj, KernelSource)]
+    for source in kernels:
+        compiled = compile_kernel(source, args.mode)
+        print("== %s [%s], %d instructions ==" % (source.name, args.mode,
+                                                  len(compiled.instrs)))
+        print(compiled.listing())
+        print()
+    return 0
+
+
+def cmd_trace(args):
+    from repro.eval.tracing import TraceRecorder
+    bench = ALL_BENCHMARKS[args.benchmark]
+    rt = _runtime(args)
+    recorder = TraceRecorder(limit=args.limit, only_warp=args.warp)
+    rt.sm.trace = recorder
+    bench.run(rt, scale=args.scale)
+    print(recorder.render())
+    return 0
+
+
+def cmd_experiment(args):
+    from repro.eval import experiments, report
+    name = args.name
+    if name == "fig6":
+        print(report.render_fig6(
+            experiments.fig6_cheri_instruction_frequency()))
+    elif name == "table2":
+        print(report.render_table2(experiments.table2_rf_compression()))
+    elif name == "fig7":
+        print(report.render_fig7(experiments.fig7_caplib_costs()))
+    elif name == "fig10":
+        print(report.render_fig10(experiments.fig10_vrf_residency()))
+    elif name == "fig11":
+        print(report.render_fig11(
+            experiments.fig11_capability_registers()))
+    elif name == "fig12":
+        print(report.render_fig12(experiments.fig12_dram_traffic()))
+    elif name == "fig13":
+        rows, mean = experiments.fig13_execution_overhead()
+        print(report.render_overheads(
+            "Figure 13: CHERI (Optimised) execution-time overhead",
+            rows, mean))
+    elif name == "fig14":
+        rows, mean = experiments.fig14_boundscheck_overhead()
+        print(report.render_overheads(
+            "Figure 14: software bounds-checking overhead", rows, mean))
+    elif name == "table3":
+        print(report.render_table3(experiments.table3_synthesis()))
+    elif name == "ablations":
+        from repro.eval.ablations import (
+            hardware_ablation,
+            render_ablation,
+            runtime_ablation,
+        )
+        print(render_ablation(runtime_ablation(), hardware_ablation()))
+    elif name == "headline":
+        summary = experiments.headline_summary()
+        for key, value in summary.items():
+            print("  %-32s %.2f%%" % (key, 100 * value))
+    else:
+        print("unknown experiment %r" % name, file=sys.stderr)
+        return 2
+    return 0
+
+
+EXPERIMENTS = ("fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14",
+               "table2", "table3", "ablations", "headline")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CHERI-SIMT reproduction: benchmarks and experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+
+    run = sub.add_parser("run", help="run one benchmark")
+    run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    _add_mode_args(run)
+
+    listing = sub.add_parser("listing", help="print compiled assembly")
+    listing.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    listing.add_argument("--mode", default="purecap",
+                         choices=("baseline", "purecap", "boundscheck"))
+
+    trace = sub.add_parser("trace", help="run with instruction tracing")
+    trace.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    trace.add_argument("--limit", type=int, default=200)
+    trace.add_argument("--warp", type=int, default=0)
+    _add_mode_args(trace)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a table or figure")
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "listing": cmd_listing,
+        "trace": cmd_trace,
+        "experiment": cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager that quit early; not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

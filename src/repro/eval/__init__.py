@@ -1,0 +1,19 @@
+"""Experiment drivers: regenerate every table and figure of the paper."""
+
+from repro.eval.runner import (
+    EVAL_GEOMETRY,
+    RunResult,
+    clear_cache,
+    config_for,
+    run_benchmark,
+    run_suite,
+)
+
+__all__ = [
+    "EVAL_GEOMETRY",
+    "RunResult",
+    "clear_cache",
+    "config_for",
+    "run_benchmark",
+    "run_suite",
+]

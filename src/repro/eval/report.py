@@ -1,0 +1,95 @@
+"""Plain-text rendering of experiment results (the paper's rows/series)."""
+
+
+def pct(value):
+    return "%+.1f%%" % (100.0 * value)
+
+
+def render_fig6(series):
+    lines = ["Figure 6: CHERI instruction execution frequency"]
+    for name, fraction in series:
+        bar = "#" * max(1, int(400 * fraction))
+        lines.append("  %-16s %6.2f%%  %s" % (name, 100 * fraction, bar))
+    return "\n".join(lines)
+
+
+def render_table2(rows):
+    lines = [
+        "Table 2: register-file compression (baseline, paper geometry)",
+        "  %-18s %-12s %-10s %-10s %-10s" % (
+            "VRF (registers)", "Storage(Kb)", "Ratio", "Cycle ovh",
+            "Mem ovh"),
+    ]
+    for row in rows:
+        lines.append("  %-18s %-12d 1:%.2f     %-10s %-10s" % (
+            "%d (%s)" % (row["vrf_registers"], _frac(row["fraction"])),
+            row["storage_kb"], row["compress_ratio"],
+            pct(row["cycle_overhead"]), pct(row["mem_access_overhead"])))
+    return "\n".join(lines)
+
+
+def _frac(fraction):
+    from fractions import Fraction
+    f = Fraction(fraction).limit_denominator(16)
+    return "%d/%d" % (f.numerator, f.denominator)
+
+
+def render_fig10(rows):
+    lines = [
+        "Figure 10: registers resident as vectors in the VRF (lower=better)",
+        "  %-12s %8s %10s %12s" % ("benchmark", "gp", "meta+NVO",
+                                   "meta-no-NVO"),
+    ]
+    for row in rows:
+        lines.append("  %-12s %7.2f%% %9.2f%% %11.2f%%" % (
+            row["benchmark"], 100 * row["gp"], 100 * row["meta_nvo"],
+            100 * row["meta_no_nvo"]))
+    return "\n".join(lines)
+
+
+def render_fig11(series):
+    lines = ["Figure 11: registers per thread holding capabilities (of 32)"]
+    for name, count in series:
+        lines.append("  %-12s %2d %s" % (name, count, "#" * count))
+    return "\n".join(lines)
+
+
+def render_fig12(rows):
+    lines = [
+        "Figure 12: DRAM traffic with/without CHERI",
+        "  %-12s %14s %14s %8s" % ("benchmark", "baseline(B)",
+                                   "CHERI(B)", "ratio"),
+    ]
+    for row in rows:
+        lines.append("  %-12s %14d %14d %7.3fx" % (
+            row["benchmark"], row["baseline_bytes"], row["cheri_bytes"],
+            row["ratio"]))
+    return "\n".join(lines)
+
+
+def render_overheads(title, rows, mean):
+    lines = [title]
+    for name, overhead in rows:
+        lines.append("  %-12s %8s" % (name, pct(overhead)))
+    lines.append("  %-12s %8s" % ("geomean", pct(mean)))
+    return "\n".join(lines)
+
+
+def render_table3(rows):
+    lines = [
+        "Table 3: synthesis results (area model, paper geometry)",
+        "  %-20s %10s %6s %12s %6s" % ("Configuration", "ALMs", "DSPs",
+                                       "BRAM (Kb)", "Fmax"),
+    ]
+    for name, alms, dsps, bram, fmax in rows:
+        lines.append("  %-20s %10d %6d %12d %6d" % (name, alms, dsps,
+                                                    bram, fmax))
+    return "\n".join(lines)
+
+
+def render_fig7(costs):
+    lines = ["Figure 7: CheriCapLib function costs (ALMs)"]
+    for name, alms in costs.items():
+        lines.append("  %-18s %5d" % (name, alms))
+    lines.append("  (reference: 32-bit multiplier = 567 ALMs)")
+    return "\n".join(lines)

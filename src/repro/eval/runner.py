@@ -1,0 +1,107 @@
+"""Benchmark runner with memoised results.
+
+Each (benchmark, configuration) simulation runs once per process; every
+experiment that needs it reuses the cached result.  The evaluation
+geometry is a scaled-down SM (8 warps x 8 lanes rather than the paper's
+64 x 32) so the full suite simulates in seconds; storage and area figures
+are always *reported* at the paper's geometry via the area model.
+"""
+
+from dataclasses import dataclass
+
+from repro.benchsuite import ALL_BENCHMARKS, BENCHMARK_NAMES
+from repro.nocl import NoCLRuntime
+from repro.simt import SMConfig, SMStats
+
+#: Simulated SM geometry for the evaluation runs.  Plenty of warps are
+#: needed to mask DRAM latency, exactly as the paper uses 64 warps on
+#: FPGA (section 4.1); the thread count stays square so the tiled kernels
+#: get an integral tile size.
+EVAL_GEOMETRY = dict(num_warps=32, num_lanes=8)
+
+#: The named configurations of the evaluation (paper section 4.1 + 4.7).
+CONFIG_NAMES = ("baseline", "cheri", "cheri_opt", "boundscheck")
+
+
+def config_for(name, **overrides):
+    """Build (mode, SMConfig) for a named evaluation configuration."""
+    geometry = dict(EVAL_GEOMETRY)
+    geometry.update(overrides)
+    if name == "baseline":
+        return "baseline", SMConfig.baseline(**geometry)
+    if name == "cheri":
+        return "purecap", SMConfig.cheri(**geometry)
+    if name == "cheri_opt":
+        return "purecap", SMConfig.cheri_optimised(**geometry)
+    if name == "cheri_opt_no_nvo":
+        cfg = SMConfig.cheri_optimised(**geometry).with_(nvo=False)
+        return "purecap", cfg
+    # Ablations: the optimised configuration minus one technique each.
+    if name == "cheri_opt_split_vrf":
+        cfg = SMConfig.cheri_optimised(**geometry).with_(shared_vrf=False)
+        return "purecap", cfg
+    if name == "cheri_opt_dual_port_srf":
+        cfg = SMConfig.cheri_optimised(**geometry).with_(
+            metadata_srf_single_port=False)
+        return "purecap", cfg
+    if name == "cheri_opt_lane_bounds":
+        cfg = SMConfig.cheri_optimised(**geometry).with_(
+            sfu_cheri_slow_path=False)
+        return "purecap", cfg
+    if name == "cheri_opt_dynamic_pcc":
+        cfg = SMConfig.cheri_optimised(**geometry).with_(
+            static_pc_metadata=False)
+        return "purecap", cfg
+    if name == "boundscheck":
+        return "boundscheck", SMConfig.baseline(**geometry)
+    raise ValueError("unknown configuration %r" % name)
+
+
+@dataclass
+class RunResult:
+    """One verified benchmark run."""
+
+    benchmark: str
+    config_name: str
+    mode: str
+    stats: SMStats
+    config: SMConfig
+
+
+_CACHE = {}
+
+
+def clear_cache():
+    _CACHE.clear()
+
+
+def run_benchmark(name, config_name, scale=1, **overrides):
+    """Run one benchmark under a named configuration (memoised)."""
+    key = (name, config_name, scale, tuple(sorted(overrides.items())))
+    if key in _CACHE:
+        return _CACHE[key]
+    mode, config = config_for(config_name, **overrides)
+    bench = ALL_BENCHMARKS[name]
+    rt = NoCLRuntime(mode, config=config)
+    stats = bench.run(rt, scale=scale)
+    result = RunResult(name, config_name, mode, stats, config)
+    _CACHE[key] = result
+    return result
+
+
+def run_suite(config_name, scale=1, **overrides):
+    """Run the whole Table 1 suite under one configuration."""
+    return {
+        name: run_benchmark(name, config_name, scale, **overrides)
+        for name in BENCHMARK_NAMES
+    }
+
+
+def geomean(values):
+    """Geometric mean of (1 + x) ratios expressed as overheads."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= (1.0 + value)
+    return product ** (1.0 / len(values)) - 1.0

@@ -1,0 +1,74 @@
+"""Instruction tracing: see exactly what the SM issues, cycle by cycle.
+
+Attach a :class:`TraceRecorder` to an SM before launching and it captures
+every issue — cycle, warp, PC, disassembled instruction, active lanes.
+Useful for debugging kernels, for teaching (watching reconvergence
+happen), and for the trace-shape tests in the suite.
+"""
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.isa.disasm import format_instr
+
+
+@dataclass
+class TraceEntry:
+    cycle: int
+    warp: int
+    pc: int
+    text: str
+    op_name: str
+    active_lanes: List[int]
+
+    def __str__(self):
+        lanes = "".join("x" if lane in self.active_lanes else "."
+                        for lane in range(max(self.active_lanes) + 1))
+        return "%8d  w%-2d %06x  [%s]  %s" % (
+            self.cycle, self.warp, self.pc, lanes, self.text)
+
+
+class TraceRecorder:
+    """Collects per-issue trace entries (optionally bounded)."""
+
+    def __init__(self, limit=None, only_warp=None):
+        self.entries = []
+        self.limit = limit
+        self.only_warp = only_warp
+        self.dropped = 0
+
+    def record(self, cycle, warp, pc, instr, lanes):
+        if self.only_warp is not None and warp != self.only_warp:
+            return
+        if self.limit is not None and len(self.entries) >= self.limit:
+            self.dropped += 1
+            return
+        self.entries.append(TraceEntry(
+            cycle=cycle, warp=warp, pc=pc, text=format_instr(instr),
+            op_name=instr.op.name, active_lanes=list(lanes)))
+
+    def __len__(self):
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def render(self, count=None):
+        entries = self.entries if count is None else self.entries[:count]
+        lines = ["   cycle  warp pc      lanes  instruction"]
+        lines.extend(str(entry) for entry in entries)
+        if self.dropped:
+            lines.append("... %d further issues not recorded" % self.dropped)
+        return "\n".join(lines)
+
+
+def trace_kernel(runtime, kernel_src, grid_dim, block_dim, args,
+                 limit=2000, only_warp=None):
+    """Launch a kernel with tracing enabled; returns (stats, recorder)."""
+    recorder = TraceRecorder(limit=limit, only_warp=only_warp)
+    runtime.sm.trace = recorder
+    try:
+        stats = runtime.launch(kernel_src, grid_dim, block_dim, args)
+    finally:
+        runtime.sm.trace = None
+    return stats, recorder

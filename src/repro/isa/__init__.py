@@ -1,0 +1,36 @@
+"""The RV32IMA+Zfinx+CHERI instruction set used by the SIMT core.
+
+SIMTight implements RISC-V's ``rv32ima_zfinx`` profile (paper section 2.3)
+extended with a large subset of the 32-bit CHERI instruction set, version 9
+(paper Figure 4).  This package defines:
+
+- :mod:`repro.isa.registers` — the 32-entry merged register file namespace
+- :mod:`repro.isa.instructions` — opcodes, the :class:`Instr` value type,
+  and classification sets the pipeline dispatches on
+- :mod:`repro.isa.encoding` — 32-bit binary encode/decode
+- :mod:`repro.isa.disasm` — assembly-style rendering
+"""
+
+from repro.isa.instructions import (
+    CAP_RESULT_OPS,
+    CHERI_OPS,
+    LOAD_OPS,
+    Op,
+    SFU_OPS,
+    STORE_OPS,
+    Instr,
+)
+from repro.isa.registers import ABI_NAMES, NUM_REGS, reg_name
+
+__all__ = [
+    "ABI_NAMES",
+    "CAP_RESULT_OPS",
+    "CHERI_OPS",
+    "Instr",
+    "LOAD_OPS",
+    "NUM_REGS",
+    "Op",
+    "SFU_OPS",
+    "STORE_OPS",
+    "reg_name",
+]

@@ -1,0 +1,169 @@
+"""A small text assembler: the inverse of the disassembler.
+
+Accepts the same syntax :mod:`repro.isa.disasm` prints, plus labels, so
+pipeline tests and experiments can be written as readable assembly::
+
+    text = '''
+        addi t0, zero, 0
+    loop:
+        addi t0, t0, 1
+        blt  t0, a0, loop
+        sw   t0, 0(a1)
+        halt
+    '''
+    program = assemble_text(text)
+
+Branch/jump targets may be labels or literal byte offsets.  ``#`` starts a
+comment.  Register names are ABI names or ``x0``-``x31``.
+"""
+
+import re
+
+from repro.isa.disasm import _MNEMONICS
+from repro.isa.instructions import BRANCH_OPS, LOAD_OPS, STORE_OPS, Op
+from repro.isa.registers import ABI_NAMES
+from repro.nocl.ir import VInstr, VLabel, assemble
+
+_BY_MNEMONIC = {name: op for op, name in _MNEMONICS.items()}
+for _op in Op:
+    _BY_MNEMONIC.setdefault(_op.name.lower(), _op)
+
+_REG_BY_NAME = {name: index for index, name in enumerate(ABI_NAMES)}
+for _i in range(32):
+    _REG_BY_NAME["x%d" % _i] = _i
+
+_MEM_OPERAND = re.compile(r"^(-?\d+)\((\w+)\)$")
+
+#: Ops taking rd, rs1 only.
+_UNARY_OPS = frozenset({
+    Op.CGETTAG, Op.CGETPERM, Op.CGETBASE, Op.CGETLEN, Op.CGETADDR,
+    Op.CGETTYPE, Op.CGETSEALED, Op.CGETFLAGS, Op.CCLEARTAG, Op.CMOVE,
+    Op.CSEALENTRY, Op.CRRL, Op.CRAM, Op.FSQRT_S, Op.FCVT_W_S,
+    Op.FCVT_WU_S, Op.FCVT_S_W, Op.FCVT_S_WU,
+})
+#: Ops taking rd, rs1, imm.
+_IMM_OPS = frozenset({
+    Op.ADDI, Op.SLTI, Op.SLTIU, Op.XORI, Op.ORI, Op.ANDI, Op.SLLI,
+    Op.SRLI, Op.SRAI, Op.CINCOFFSETIMM, Op.CSETBOUNDSIMM, Op.JALR,
+    Op.CJALR,
+})
+#: Ops taking rd, imm.
+_UPPER_OPS = frozenset({Op.LUI, Op.AUIPC, Op.AUIPCC})
+#: Ops with no operands.
+_BARE_OPS = frozenset({Op.BARRIER, Op.HALT, Op.TRAP, Op.FENCE, Op.ECALL,
+                       Op.EBREAK})
+
+
+class AssemblerError(ValueError):
+    """Malformed assembly text."""
+
+
+def _reg(token, line_no):
+    index = _REG_BY_NAME.get(token)
+    if index is None:
+        raise AssemblerError("line %d: unknown register %r"
+                             % (line_no, token))
+    return index
+
+
+def _int(token, line_no):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError("line %d: expected integer, got %r"
+                             % (line_no, token)) from None
+
+
+def _target(token, line_no):
+    """A branch target: returns (imm, label)."""
+    try:
+        return int(token, 0), None
+    except ValueError:
+        return None, token
+
+
+def parse_line(line, line_no, depth):
+    """Parse one line to a VInstr / VLabel / None."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None
+    if line.endswith(":"):
+        name = line[:-1].strip()
+        if not name.isidentifier():
+            raise AssemblerError("line %d: bad label %r" % (line_no, name))
+        return VLabel(name)
+    parts = line.replace(",", " ").split()
+    mnemonic, operands = parts[0], parts[1:]
+    op = _BY_MNEMONIC.get(mnemonic)
+    if op is None:
+        raise AssemblerError("line %d: unknown mnemonic %r"
+                             % (line_no, mnemonic))
+
+    if op in _BARE_OPS:
+        return VInstr(op, depth=depth)
+    if op in LOAD_OPS:
+        match = _MEM_OPERAND.match(operands[1])
+        if len(operands) != 2 or not match:
+            raise AssemblerError("line %d: expected 'rd, imm(rs1)'"
+                                 % line_no)
+        return VInstr(op, rd=_reg(operands[0], line_no),
+                      rs1=_reg(match.group(2), line_no),
+                      imm=int(match.group(1)), depth=depth)
+    if op in STORE_OPS:
+        match = _MEM_OPERAND.match(operands[1])
+        if len(operands) != 2 or not match:
+            raise AssemblerError("line %d: expected 'rs2, imm(rs1)'"
+                                 % line_no)
+        return VInstr(op, rs2=_reg(operands[0], line_no),
+                      rs1=_reg(match.group(2), line_no),
+                      imm=int(match.group(1)), depth=depth)
+    if op in BRANCH_OPS:
+        if len(operands) != 3:
+            raise AssemblerError("line %d: expected 'rs1, rs2, target'"
+                                 % line_no)
+        imm, label = _target(operands[2], line_no)
+        return VInstr(op, rs1=_reg(operands[0], line_no),
+                      rs2=_reg(operands[1], line_no), imm=imm,
+                      target=label, depth=depth)
+    if op in (Op.JAL, Op.CJAL):
+        if len(operands) != 2:
+            raise AssemblerError("line %d: expected 'rd, target'" % line_no)
+        imm, label = _target(operands[1], line_no)
+        return VInstr(op, rd=_reg(operands[0], line_no), imm=imm,
+                      target=label, depth=depth)
+    if op in _UPPER_OPS:
+        return VInstr(op, rd=_reg(operands[0], line_no),
+                      imm=_int(operands[1], line_no), depth=depth)
+    if op in _IMM_OPS:
+        if len(operands) != 3:
+            raise AssemblerError("line %d: expected 'rd, rs1, imm'"
+                                 % line_no)
+        return VInstr(op, rd=_reg(operands[0], line_no),
+                      rs1=_reg(operands[1], line_no),
+                      imm=_int(operands[2], line_no), depth=depth)
+    if op in _UNARY_OPS:
+        if len(operands) != 2:
+            raise AssemblerError("line %d: expected 'rd, rs1'" % line_no)
+        return VInstr(op, rd=_reg(operands[0], line_no),
+                      rs1=_reg(operands[1], line_no), depth=depth)
+    # Everything else: three-register form (ALU, atomics, CHERI RR, FP).
+    if len(operands) != 3:
+        raise AssemblerError("line %d: expected 'rd, rs1, rs2'" % line_no)
+    return VInstr(op, rd=_reg(operands[0], line_no),
+                  rs1=_reg(operands[1], line_no),
+                  rs2=_reg(operands[2], line_no), depth=depth)
+
+
+def assemble_text(text, base_pc=0):
+    """Assemble a program; ``@depth N`` directives set convergence depth."""
+    items = []
+    depth = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.split("#", 1)[0].strip()
+        if stripped.startswith("@depth"):
+            depth = int(stripped.split()[1])
+            continue
+        item = parse_line(raw, line_no, depth)
+        if item is not None:
+            items.append(item)
+    return assemble(items, base_pc=base_pc)

@@ -1,0 +1,58 @@
+"""Assembly-style rendering of instructions (for debugging and listings)."""
+
+from repro.isa.instructions import BRANCH_OPS, LOAD_OPS, STORE_OPS, Op
+from repro.isa.registers import reg_name
+
+_MNEMONICS = {
+    Op.AMOADD_W: "amoadd.w", Op.AMOSWAP_W: "amoswap.w", Op.AMOAND_W: "amoand.w",
+    Op.AMOOR_W: "amoor.w", Op.AMOXOR_W: "amoxor.w", Op.AMOMIN_W: "amomin.w",
+    Op.AMOMAX_W: "amomax.w", Op.AMOMINU_W: "amominu.w", Op.AMOMAXU_W: "amomaxu.w",
+    Op.CAMOADD_W: "camoadd.w",
+    Op.FADD_S: "fadd.s", Op.FSUB_S: "fsub.s", Op.FMUL_S: "fmul.s",
+    Op.FDIV_S: "fdiv.s", Op.FSQRT_S: "fsqrt.s", Op.FMIN_S: "fmin.s",
+    Op.FMAX_S: "fmax.s", Op.FEQ_S: "feq.s", Op.FLT_S: "flt.s",
+    Op.FLE_S: "fle.s", Op.FCVT_W_S: "fcvt.w.s", Op.FCVT_WU_S: "fcvt.wu.s",
+    Op.FCVT_S_W: "fcvt.s.w", Op.FCVT_S_WU: "fcvt.s.wu",
+    Op.FSGNJ_S: "fsgnj.s", Op.FSGNJN_S: "fsgnjn.s", Op.FSGNJX_S: "fsgnjx.s",
+}
+
+
+def _mnemonic(op):
+    return _MNEMONICS.get(op, op.name.lower())
+
+
+def format_instr(instr):
+    """Render an :class:`Instr` in a RISC-V-assembler-like syntax."""
+    op = instr.op
+    name = _mnemonic(op)
+    if op in LOAD_OPS:
+        text = "%s %s, %d(%s)" % (name, reg_name(instr.rd), instr.imm or 0,
+                                  reg_name(instr.rs1))
+    elif op in STORE_OPS:
+        text = "%s %s, %d(%s)" % (name, reg_name(instr.rs2), instr.imm or 0,
+                                  reg_name(instr.rs1))
+    elif op in BRANCH_OPS:
+        text = "%s %s, %s, %d" % (name, reg_name(instr.rs1),
+                                  reg_name(instr.rs2), instr.imm or 0)
+    else:
+        fields = []
+        if instr.rd is not None:
+            fields.append(reg_name(instr.rd))
+        if instr.rs1 is not None:
+            fields.append(reg_name(instr.rs1))
+        if instr.rs2 is not None:
+            fields.append(reg_name(instr.rs2))
+        if instr.imm is not None:
+            fields.append(str(instr.imm))
+        text = name if not fields else "%s %s" % (name, ", ".join(fields))
+    if instr.comment:
+        text = "%-32s # %s" % (text, instr.comment)
+    return text
+
+
+def format_program(instrs, start_pc=0):
+    """Render a whole instruction sequence with PC labels."""
+    lines = []
+    for index, instr in enumerate(instrs):
+        lines.append("%6x:  %s" % (start_pc + 4 * index, format_instr(instr)))
+    return "\n".join(lines)

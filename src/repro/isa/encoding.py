@@ -1,0 +1,350 @@
+"""Binary encode/decode for the simulator's RV32IMA+Zfinx+CHERI ISA.
+
+Standard RISC-V R/I/S/B/U/J formats are used throughout.  CHERI operations
+live in major opcode 0x5B following the CHERI-RISC-V v9 layout (two-source
+R-type ops selected by funct7; one-source ops under funct7=0x7F selected by
+the rs2 field).  Capability loads/stores use the custom-0/custom-1 opcodes,
+and the three simulator-level SIMT operations (BARRIER/HALT/TRAP) use
+custom-3.  In pure-capability mode, AUIPC decodes as AUIPCC, JAL as CJAL,
+and word atomics as capability-addressed atomics — mirroring how purecap
+CHERI-RISC-V reinterprets the standard encodings.
+"""
+
+from repro.isa.instructions import Instr, Op
+
+_OPC_LOAD = 0x03
+_OPC_CLOAD = 0x0B
+_OPC_MISC_MEM = 0x0F
+_OPC_OP_IMM = 0x13
+_OPC_AUIPC = 0x17
+_OPC_STORE = 0x23
+_OPC_CSTORE = 0x2B
+_OPC_AMO = 0x2F
+_OPC_OP = 0x33
+_OPC_LUI = 0x37
+_OPC_OP_FP = 0x53
+_OPC_CHERI = 0x5B
+_OPC_BRANCH = 0x63
+_OPC_JALR = 0x67
+_OPC_JAL = 0x6F
+_OPC_SYSTEM = 0x73
+_OPC_SIM = 0x7B
+
+# op -> (funct3, funct7) for R-type arithmetic.
+_R_TYPE = {
+    Op.ADD: (0, 0x00), Op.SUB: (0, 0x20), Op.SLL: (1, 0x00),
+    Op.SLT: (2, 0x00), Op.SLTU: (3, 0x00), Op.XOR: (4, 0x00),
+    Op.SRL: (5, 0x00), Op.SRA: (5, 0x20), Op.OR: (6, 0x00),
+    Op.AND: (7, 0x00),
+    Op.MUL: (0, 0x01), Op.MULH: (1, 0x01), Op.MULHSU: (2, 0x01),
+    Op.MULHU: (3, 0x01), Op.DIV: (4, 0x01), Op.DIVU: (5, 0x01),
+    Op.REM: (6, 0x01), Op.REMU: (7, 0x01),
+}
+_R_DECODE = {v: k for k, v in _R_TYPE.items()}
+
+_I_ARITH = {
+    Op.ADDI: 0, Op.SLTI: 2, Op.SLTIU: 3, Op.XORI: 4, Op.ORI: 6, Op.ANDI: 7,
+}
+_I_ARITH_DECODE = {v: k for k, v in _I_ARITH.items()}
+
+_SHIFTS = {Op.SLLI: (1, 0x00), Op.SRLI: (5, 0x00), Op.SRAI: (5, 0x20)}
+_SHIFT_DECODE = {v: k for k, v in _SHIFTS.items()}
+
+_LOADS = {Op.LB: 0, Op.LH: 1, Op.LW: 2, Op.LBU: 4, Op.LHU: 5}
+_LOADS_DECODE = {v: k for k, v in _LOADS.items()}
+_STORES = {Op.SB: 0, Op.SH: 1, Op.SW: 2}
+_STORES_DECODE = {v: k for k, v in _STORES.items()}
+_CLOADS = {Op.CLB: 0, Op.CLH: 1, Op.CLW: 2, Op.CLC: 3, Op.CLBU: 4, Op.CLHU: 5}
+_CLOADS_DECODE = {v: k for k, v in _CLOADS.items()}
+_CSTORES = {Op.CSB: 0, Op.CSH: 1, Op.CSW: 2, Op.CSC: 3}
+_CSTORES_DECODE = {v: k for k, v in _CSTORES.items()}
+
+_BRANCHES = {Op.BEQ: 0, Op.BNE: 1, Op.BLT: 4, Op.BGE: 5, Op.BLTU: 6, Op.BGEU: 7}
+_BRANCHES_DECODE = {v: k for k, v in _BRANCHES.items()}
+
+_AMO_FUNCT5 = {
+    Op.AMOADD_W: 0x00, Op.AMOSWAP_W: 0x01, Op.AMOXOR_W: 0x04,
+    Op.AMOOR_W: 0x08, Op.AMOAND_W: 0x0C, Op.AMOMIN_W: 0x10,
+    Op.AMOMAX_W: 0x14, Op.AMOMINU_W: 0x18, Op.AMOMAXU_W: 0x1C,
+}
+_AMO_DECODE = {v: k for k, v in _AMO_FUNCT5.items()}
+
+# Zfinx: op -> (funct7, funct3-or-None, rs2-selector-or-None).
+_FP = {
+    Op.FADD_S: (0x00, None, None), Op.FSUB_S: (0x04, None, None),
+    Op.FMUL_S: (0x08, None, None), Op.FDIV_S: (0x0C, None, None),
+    Op.FSQRT_S: (0x2C, None, 0),
+    Op.FSGNJ_S: (0x10, 0, None), Op.FSGNJN_S: (0x10, 1, None),
+    Op.FSGNJX_S: (0x10, 2, None),
+    Op.FMIN_S: (0x14, 0, None), Op.FMAX_S: (0x14, 1, None),
+    Op.FLE_S: (0x50, 0, None), Op.FLT_S: (0x50, 1, None),
+    Op.FEQ_S: (0x50, 2, None),
+    Op.FCVT_W_S: (0x60, None, 0), Op.FCVT_WU_S: (0x60, None, 1),
+    Op.FCVT_S_W: (0x68, None, 0), Op.FCVT_S_WU: (0x68, None, 1),
+}
+
+# CHERI two-source ops: op -> funct7 (funct3 = 0).
+_CHERI_RR = {
+    Op.CSPECIALRW: 0x01, Op.CSETBOUNDS: 0x08, Op.CSETBOUNDSEXACT: 0x09,
+    Op.CANDPERM: 0x0D, Op.CSETFLAGS: 0x0E, Op.CSETADDR: 0x10,
+    Op.CINCOFFSET: 0x11,
+}
+_CHERI_RR_DECODE = {v: k for k, v in _CHERI_RR.items()}
+
+# CHERI one-source ops: op -> rs2-field selector (funct7 = 0x7F, funct3 = 0).
+_CHERI_UNARY = {
+    Op.CGETPERM: 0x00, Op.CGETTYPE: 0x01, Op.CGETBASE: 0x02,
+    Op.CGETLEN: 0x03, Op.CGETTAG: 0x04, Op.CGETSEALED: 0x05,
+    Op.CGETFLAGS: 0x07, Op.CRRL: 0x08, Op.CRAM: 0x09, Op.CMOVE: 0x0A,
+    Op.CCLEARTAG: 0x0B, Op.CGETADDR: 0x0F, Op.CSEALENTRY: 0x11,
+}
+_CHERI_UNARY_DECODE = {v: k for k, v in _CHERI_UNARY.items()}
+
+_SIM_OPS = {Op.BARRIER: 0, Op.HALT: 1, Op.TRAP: 2}
+_SIM_DECODE = {v: k for k, v in _SIM_OPS.items()}
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded (bad field ranges)."""
+
+
+def _check_reg(value, name):
+    if value is None or not 0 <= value < 32:
+        raise EncodingError("bad %s field: %r" % (name, value))
+    return value
+
+
+def _imm12(imm):
+    if imm is None or not -2048 <= imm <= 2047:
+        raise EncodingError("I/S immediate out of range: %r" % (imm,))
+    return imm & 0xFFF
+
+
+def _r(funct7, rs2, rs1, funct3, rd, opcode):
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _i(imm, rs1, funct3, rd, opcode):
+    return (_imm12(imm) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+
+
+def _s(imm, rs2, rs1, funct3, opcode):
+    value = _imm12(imm)
+    return (((value >> 5) & 0x7F) << 25) | (rs2 << 20) | (rs1 << 15) | \
+        (funct3 << 12) | ((value & 0x1F) << 7) | opcode
+
+
+def _b(imm, rs2, rs1, funct3, opcode):
+    if imm is None or imm % 2 or not -4096 <= imm <= 4094:
+        raise EncodingError("branch immediate out of range: %r" % (imm,))
+    value = imm & 0x1FFF
+    return (((value >> 12) & 1) << 31) | (((value >> 5) & 0x3F) << 25) | \
+        (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | \
+        (((value >> 1) & 0xF) << 8) | (((value >> 11) & 1) << 7) | opcode
+
+
+def _u(imm, rd, opcode):
+    if imm is None or not 0 <= imm <= 0xFFFFF:
+        raise EncodingError("U immediate out of range: %r" % (imm,))
+    return (imm << 12) | (rd << 7) | opcode
+
+
+def _j(imm, rd, opcode):
+    if imm is None or imm % 2 or not -(1 << 20) <= imm <= (1 << 20) - 2:
+        raise EncodingError("J immediate out of range: %r" % (imm,))
+    value = imm & 0x1FFFFF
+    return (((value >> 20) & 1) << 31) | (((value >> 1) & 0x3FF) << 21) | \
+        (((value >> 11) & 1) << 20) | (((value >> 12) & 0xFF) << 12) | \
+        (rd << 7) | opcode
+
+
+def encode(instr):
+    """Encode an :class:`Instr` to its 32-bit word."""
+    op = instr.op
+    rd = instr.rd or 0
+    rs1 = instr.rs1 or 0
+    rs2 = instr.rs2 or 0
+    if op in _R_TYPE:
+        f3, f7 = _R_TYPE[op]
+        return _r(f7, _check_reg(instr.rs2, "rs2"), _check_reg(instr.rs1, "rs1"),
+                  f3, _check_reg(instr.rd, "rd"), _OPC_OP)
+    if op in _I_ARITH:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), _I_ARITH[op],
+                  _check_reg(instr.rd, "rd"), _OPC_OP_IMM)
+    if op in _SHIFTS:
+        f3, f7 = _SHIFTS[op]
+        if instr.imm is None or not 0 <= instr.imm < 32:
+            raise EncodingError("shift amount out of range: %r" % (instr.imm,))
+        return _r(f7, instr.imm, _check_reg(instr.rs1, "rs1"), f3,
+                  _check_reg(instr.rd, "rd"), _OPC_OP_IMM)
+    if op in _LOADS:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), _LOADS[op],
+                  _check_reg(instr.rd, "rd"), _OPC_LOAD)
+    if op in _STORES:
+        return _s(instr.imm, _check_reg(instr.rs2, "rs2"),
+                  _check_reg(instr.rs1, "rs1"), _STORES[op], _OPC_STORE)
+    if op in _CLOADS:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), _CLOADS[op],
+                  _check_reg(instr.rd, "rd"), _OPC_CLOAD)
+    if op in _CSTORES:
+        return _s(instr.imm, _check_reg(instr.rs2, "rs2"),
+                  _check_reg(instr.rs1, "rs1"), _CSTORES[op], _OPC_CSTORE)
+    if op in _BRANCHES:
+        return _b(instr.imm, _check_reg(instr.rs2, "rs2"),
+                  _check_reg(instr.rs1, "rs1"), _BRANCHES[op], _OPC_BRANCH)
+    if op in (Op.LUI,):
+        return _u(instr.imm, _check_reg(instr.rd, "rd"), _OPC_LUI)
+    if op in (Op.AUIPC, Op.AUIPCC):
+        return _u(instr.imm, _check_reg(instr.rd, "rd"), _OPC_AUIPC)
+    if op in (Op.JAL, Op.CJAL):
+        return _j(instr.imm, _check_reg(instr.rd, "rd"), _OPC_JAL)
+    if op is Op.JALR:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), 0,
+                  _check_reg(instr.rd, "rd"), _OPC_JALR)
+    if op is Op.CJALR:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), 3,
+                  _check_reg(instr.rd, "rd"), _OPC_CHERI)
+    if op is Op.FENCE:
+        return _i(0, 0, 0, 0, _OPC_MISC_MEM)
+    if op is Op.ECALL:
+        return _i(0, 0, 0, 0, _OPC_SYSTEM)
+    if op is Op.EBREAK:
+        return _i(1, 0, 0, 0, _OPC_SYSTEM)
+    if op in _AMO_FUNCT5 or op is Op.CAMOADD_W:
+        funct5 = _AMO_FUNCT5.get(op, _AMO_FUNCT5[Op.AMOADD_W])
+        return _r(funct5 << 2, _check_reg(instr.rs2, "rs2"),
+                  _check_reg(instr.rs1, "rs1"), 2,
+                  _check_reg(instr.rd, "rd"), _OPC_AMO)
+    if op in _FP:
+        f7, f3, rs2sel = _FP[op]
+        rs2_field = rs2sel if rs2sel is not None else _check_reg(instr.rs2, "rs2")
+        return _r(f7, rs2_field, _check_reg(instr.rs1, "rs1"),
+                  f3 if f3 is not None else 0,
+                  _check_reg(instr.rd, "rd"), _OPC_OP_FP)
+    if op in _CHERI_RR:
+        return _r(_CHERI_RR[op], _check_reg(instr.rs2, "rs2"),
+                  _check_reg(instr.rs1, "rs1"), 0,
+                  _check_reg(instr.rd, "rd"), _OPC_CHERI)
+    if op in _CHERI_UNARY:
+        return _r(0x7F, _CHERI_UNARY[op], _check_reg(instr.rs1, "rs1"), 0,
+                  _check_reg(instr.rd, "rd"), _OPC_CHERI)
+    if op is Op.CINCOFFSETIMM:
+        return _i(instr.imm, _check_reg(instr.rs1, "rs1"), 1,
+                  _check_reg(instr.rd, "rd"), _OPC_CHERI)
+    if op is Op.CSETBOUNDSIMM:
+        if instr.imm is None or not 0 <= instr.imm <= 4095:
+            raise EncodingError("CSetBoundsImm takes an unsigned 12-bit imm")
+        return ((instr.imm & 0xFFF) << 20) | (_check_reg(instr.rs1, "rs1") << 15) | \
+            (2 << 12) | (_check_reg(instr.rd, "rd") << 7) | _OPC_CHERI
+    if op in _SIM_OPS:
+        return _i(instr.imm or 0, rs1, _SIM_OPS[op], rd, _OPC_SIM)
+    raise EncodingError("cannot encode op %s" % op)
+
+
+def _sext(value, bits):
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word, cheri_mode=False):
+    """Decode a 32-bit word to an :class:`Instr`.
+
+    ``cheri_mode`` selects the pure-capability aliases: AUIPC decodes as
+    AUIPCC, JAL as CJAL, and word atomics as capability atomics.
+    """
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm_i = _sext(word >> 20, 12)
+    imm_s = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+    imm_b = _sext((((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11) |
+                  (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1), 13)
+    imm_u = (word >> 12) & 0xFFFFF
+    imm_j = _sext((((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12) |
+                  (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1), 21)
+
+    if opcode == _OPC_OP:
+        op = _R_DECODE.get((funct3, funct7))
+        if op:
+            return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+    elif opcode == _OPC_OP_IMM:
+        if funct3 in (1, 5):
+            op = _SHIFT_DECODE.get((funct3, funct7))
+            if op:
+                return Instr(op, rd=rd, rs1=rs1, imm=rs2)
+        else:
+            op = _I_ARITH_DECODE.get(funct3)
+            if op:
+                return Instr(op, rd=rd, rs1=rs1, imm=imm_i)
+    elif opcode == _OPC_LOAD:
+        op = _LOADS_DECODE.get(funct3)
+        if op:
+            return Instr(op, rd=rd, rs1=rs1, imm=imm_i)
+    elif opcode == _OPC_STORE:
+        op = _STORES_DECODE.get(funct3)
+        if op:
+            return Instr(op, rs1=rs1, rs2=rs2, imm=imm_s)
+    elif opcode == _OPC_CLOAD:
+        op = _CLOADS_DECODE.get(funct3)
+        if op:
+            return Instr(op, rd=rd, rs1=rs1, imm=imm_i)
+    elif opcode == _OPC_CSTORE:
+        op = _CSTORES_DECODE.get(funct3)
+        if op:
+            return Instr(op, rs1=rs1, rs2=rs2, imm=imm_s)
+    elif opcode == _OPC_BRANCH:
+        op = _BRANCHES_DECODE.get(funct3)
+        if op:
+            return Instr(op, rs1=rs1, rs2=rs2, imm=imm_b)
+    elif opcode == _OPC_LUI:
+        return Instr(Op.LUI, rd=rd, imm=imm_u)
+    elif opcode == _OPC_AUIPC:
+        return Instr(Op.AUIPCC if cheri_mode else Op.AUIPC, rd=rd, imm=imm_u)
+    elif opcode == _OPC_JAL:
+        return Instr(Op.CJAL if cheri_mode else Op.JAL, rd=rd, imm=imm_j)
+    elif opcode == _OPC_JALR and funct3 == 0:
+        return Instr(Op.JALR, rd=rd, rs1=rs1, imm=imm_i)
+    elif opcode == _OPC_MISC_MEM:
+        return Instr(Op.FENCE)
+    elif opcode == _OPC_SYSTEM:
+        return Instr(Op.EBREAK if imm_i == 1 else Op.ECALL)
+    elif opcode == _OPC_AMO and funct3 == 2:
+        op = _AMO_DECODE.get(funct7 >> 2)
+        if op:
+            if cheri_mode and op is Op.AMOADD_W:
+                op = Op.CAMOADD_W
+            return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+    elif opcode == _OPC_OP_FP:
+        for op, (f7, f3, rs2sel) in _FP.items():
+            if f7 != funct7:
+                continue
+            if f3 is not None and f3 != funct3:
+                continue
+            if rs2sel is not None and rs2sel != rs2:
+                continue
+            if rs2sel is not None:
+                return Instr(op, rd=rd, rs1=rs1)
+            return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+    elif opcode == _OPC_CHERI:
+        if funct3 == 0 and funct7 == 0x7F:
+            op = _CHERI_UNARY_DECODE.get(rs2)
+            if op:
+                return Instr(op, rd=rd, rs1=rs1)
+        elif funct3 == 0:
+            op = _CHERI_RR_DECODE.get(funct7)
+            if op:
+                return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        elif funct3 == 1:
+            return Instr(Op.CINCOFFSETIMM, rd=rd, rs1=rs1, imm=imm_i)
+        elif funct3 == 2:
+            return Instr(Op.CSETBOUNDSIMM, rd=rd, rs1=rs1, imm=(word >> 20) & 0xFFF)
+        elif funct3 == 3:
+            return Instr(Op.CJALR, rd=rd, rs1=rs1, imm=imm_i)
+    elif opcode == _OPC_SIM:
+        op = _SIM_DECODE.get(funct3)
+        if op:
+            return Instr(op, rd=rd, rs1=rs1, imm=imm_i)
+    raise EncodingError("cannot decode word 0x%08x" % word)

@@ -1,0 +1,41 @@
+"""Register-file namespace for the merged RV32 register file.
+
+SIMTight uses a merged integer/floating-point register file (Zfinx), and
+CHERI extends every register with 33 bits of capability metadata (paper
+Figure 4): ``rd/rs1/rs2`` operands refer to the 32-bit general-purpose part,
+``cd/cs1/cs2`` to the full 65-bit contents.
+"""
+
+#: Number of architectural registers per hardware thread.
+NUM_REGS = 32
+
+#: Standard RISC-V ABI register names, index -> name.
+ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+)
+
+ZERO = 0
+RA = 1
+SP = 2
+GP = 3
+TP = 4
+T0, T1, T2 = 5, 6, 7
+S0, S1 = 8, 9
+A0, A1, A2, A3, A4, A5, A6, A7 = 10, 11, 12, 13, 14, 15, 16, 17
+
+#: Registers the kernel compiler may allocate freely (everything except
+#: zero, ra, sp, gp, tp -- gp holds the kernel-argument pointer and tp the
+#: scratchpad base in our ABI).
+ALLOCATABLE = tuple(i for i in range(NUM_REGS) if i not in (ZERO, RA, SP, GP, TP))
+
+
+def reg_name(index):
+    """Human-readable ABI name for a register index."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError("bad register index %r" % (index,))
+    return ABI_NAMES[index]

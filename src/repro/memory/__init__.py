@@ -1,0 +1,15 @@
+"""Tagged memory subsystem: main memory, tag controller, and DRAM model.
+
+CHERI requires a hidden validity tag for every capability-sized memory
+granule.  SIMTight's memory subsystem is natively 32-bit, so the paper
+(section 3.4) keeps one tag bit per naturally-aligned 32-bit word, with the
+invariant that a 64-bit capability is valid only when the tags of *both* of
+its halves are set.  Tags live in a reserved region behind a tag controller
+with a tag cache (paper section 2.4, [Joannou et al., ICCD 2017]).
+"""
+
+from repro.memory.dram import DRAMModel
+from repro.memory.main_memory import MemoryError_, TaggedMemory
+from repro.memory.tag_controller import TagController
+
+__all__ = ["DRAMModel", "MemoryError_", "TagController", "TaggedMemory"]

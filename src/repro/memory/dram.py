@@ -1,0 +1,69 @@
+"""DRAM timing and traffic model.
+
+A simple but sufficient model of the DDR4 DIMM behind the SoC (paper
+Figure 9): fixed access latency plus a bandwidth limit expressed as one
+transaction (up to ``line_bytes`` wide) accepted per ``cycles_per_txn``
+cycles.  The coalescing unit issues one transaction per coalesced group, so
+memory-access regularity directly reduces both latency exposure and the
+byte counters that reproduce Figure 12 (DRAM bandwidth usage).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMStats:
+    """Traffic counters, split by direction and by cause."""
+
+    read_txns: int = 0
+    write_txns: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    # Extra traffic caused by register-file spilling (Table 2's
+    # "Mem Access Overhead" column measures this share).
+    spill_bytes: int = 0
+    # Extra traffic caused by tag-cache misses.
+    tag_bytes: int = 0
+
+    @property
+    def total_bytes(self):
+        return self.read_bytes + self.write_bytes
+
+    @property
+    def total_txns(self):
+        return self.read_txns + self.write_txns
+
+
+class DRAMModel:
+    """Latency + bandwidth model in front of a :class:`TaggedMemory`."""
+
+    def __init__(self, latency=40, line_bytes=64, cycles_per_txn=1):
+        self.latency = latency
+        self.line_bytes = line_bytes
+        self.cycles_per_txn = cycles_per_txn
+        self.stats = DRAMStats()
+        self._next_free = 0
+
+    def reset_timing(self):
+        self._next_free = 0
+
+    def request(self, cycle, is_write, n_bytes, spill=False, tag_traffic=False):
+        """Account one transaction; returns its completion cycle.
+
+        ``n_bytes`` may exceed ``line_bytes``; wide requests occupy the
+        channel for multiple slots.
+        """
+        slots = max(1, -(-n_bytes // self.line_bytes))
+        start = max(cycle, self._next_free)
+        self._next_free = start + slots * self.cycles_per_txn
+        if is_write:
+            self.stats.write_txns += slots
+            self.stats.write_bytes += n_bytes
+        else:
+            self.stats.read_txns += slots
+            self.stats.read_bytes += n_bytes
+        if spill:
+            self.stats.spill_bytes += n_bytes
+        if tag_traffic:
+            self.stats.tag_bytes += n_bytes
+        return start + slots * self.cycles_per_txn + self.latency

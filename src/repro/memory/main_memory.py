@@ -1,0 +1,104 @@
+"""Word-granule tagged main memory.
+
+The backing store is sparse (a dict of 32-bit words keyed by word index) so
+the full 4 GiB address space is addressable without allocation.  Every
+naturally-aligned 32-bit word carries one hidden tag bit; a 64-bit
+capability is valid only if both of its halves' tags are set (the paper's
+section 3.4 invariant).  Ordinary data writes clear the tags of the words
+they touch, which is what makes capabilities unforgeable.
+"""
+
+MASK32 = 0xFFFFFFFF
+
+
+class MemoryError_(Exception):
+    """Alignment or range fault raised by the memory model."""
+
+
+class TaggedMemory:
+    """Sparse 4 GiB byte-addressable memory with per-32-bit-word tags."""
+
+    def __init__(self):
+        self._words = {}
+        self._tags = set()
+
+    # -- scalar data access -------------------------------------------------
+
+    def _check(self, addr, width):
+        if addr % width:
+            raise MemoryError_("misaligned %d-byte access at 0x%08x" % (width, addr))
+        if not 0 <= addr <= (1 << 32) - width:
+            raise MemoryError_("address out of range: 0x%x" % addr)
+
+    def read(self, addr, width, signed=False):
+        """Read a 1/2/4-byte value; sub-word reads are little-endian."""
+        self._check(addr, width)
+        word = self._words.get(addr >> 2, 0)
+        shift = (addr & 0x3) * 8
+        value = (word >> shift) & ((1 << (width * 8)) - 1)
+        if signed:
+            sign = 1 << (width * 8 - 1)
+            value = (value & (sign - 1)) - (value & sign)
+        return value
+
+    def write(self, addr, width, value):
+        """Write a 1/2/4-byte value; clears the containing word's tag."""
+        self._check(addr, width)
+        index = addr >> 2
+        shift = (addr & 0x3) * 8
+        mask = ((1 << (width * 8)) - 1) << shift
+        old = self._words.get(index, 0)
+        self._words[index] = (old & ~mask) | ((value << shift) & mask)
+        self._tags.discard(index)
+
+    # -- capability access --------------------------------------------------
+
+    def read_cap_raw(self, addr):
+        """Read a 64-bit value + tag at an 8-byte-aligned address.
+
+        Returns ``(value64, tag)`` where the tag is the AND of both halves'
+        tag bits (the 32-bit-granule invariant).
+        """
+        self._check(addr, 8)
+        index = addr >> 2
+        lo = self._words.get(index, 0)
+        hi = self._words.get(index + 1, 0)
+        tag = index in self._tags and (index + 1) in self._tags
+        return (hi << 32) | lo, tag
+
+    def write_cap_raw(self, addr, value64, tag):
+        """Write a 64-bit value + tag at an 8-byte-aligned address."""
+        self._check(addr, 8)
+        index = addr >> 2
+        self._words[index] = value64 & MASK32
+        self._words[index + 1] = (value64 >> 32) & MASK32
+        if tag:
+            self._tags.add(index)
+            self._tags.add(index + 1)
+        else:
+            self._tags.discard(index)
+            self._tags.discard(index + 1)
+
+    def word_tag(self, addr):
+        """The tag bit of the 32-bit word containing ``addr``."""
+        return (addr >> 2) in self._tags
+
+    # -- bulk host-side helpers (used by the NoCL runtime) ------------------
+
+    def write_block_words(self, addr, words):
+        """Host-side bulk store of 32-bit words (tags cleared)."""
+        self._check(addr, 4)
+        index = addr >> 2
+        for offset, word in enumerate(words):
+            self._words[index + offset] = word & MASK32
+            self._tags.discard(index + offset)
+
+    def read_block_words(self, addr, count):
+        """Host-side bulk load of 32-bit words."""
+        self._check(addr, 4)
+        index = addr >> 2
+        return [self._words.get(index + offset, 0) for offset in range(count)]
+
+    def tagged_word_count(self):
+        """Number of words currently holding capability-half tags."""
+        return len(self._tags)

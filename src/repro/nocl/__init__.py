@@ -1,0 +1,56 @@
+"""NoCL: a CUDA-like kernel DSL, compiler, and runtime for the simulated GPU.
+
+The paper's NoCL library lets CUDA-style compute kernels be written in
+plain C++ and *simply recompiled* to get full spatial memory safety under
+CHERI.  This package reproduces that workflow in Python: kernels are
+written in a restricted Python subset (``threadIdx.x``/``blockIdx.x``
+indexing, shared arrays, barriers, atomics) and compiled, unmodified, in
+any of three modes:
+
+- ``baseline``    — plain RV32IMA+Zfinx, raw pointers, no safety.
+- ``purecap``     — pure-capability CHERI: every pointer is a bounded,
+  unforgeable capability; all checks enforced in hardware.
+- ``boundscheck`` — the Rust-comparison mode (paper section 4.7): raw
+  pointers plus compiler-inserted per-access software bounds checks.
+"""
+
+from repro.nocl.dsl import (
+    KernelSource,
+    blockDim,
+    blockIdx,
+    f32,
+    gridDim,
+    i8,
+    i16,
+    i32,
+    kernel,
+    ptr,
+    threadIdx,
+    u8,
+    u16,
+    u32,
+)
+from repro.nocl.compiler import MODES, CompileError, compile_kernel
+from repro.nocl.runtime import Buffer, NoCLRuntime
+
+__all__ = [
+    "Buffer",
+    "CompileError",
+    "KernelSource",
+    "MODES",
+    "NoCLRuntime",
+    "blockDim",
+    "blockIdx",
+    "compile_kernel",
+    "f32",
+    "gridDim",
+    "i16",
+    "i32",
+    "i8",
+    "kernel",
+    "ptr",
+    "threadIdx",
+    "u16",
+    "u32",
+    "u8",
+]

@@ -1,0 +1,192 @@
+"""Compiler driver: kernel source -> executable program, per mode.
+
+Builds the generated prologue (launch-geometry loads, argument loads, the
+NoCL block loop that iterates a hardware thread over grid blocks), compiles
+the kernel body through the frontend, register-allocates, and assembles to
+the final instruction list.  The result also carries the argument-block
+layout contract the runtime must honour.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.instructions import Instr, Op
+from repro.nocl.codegen import (
+    ARGS_OFFSET,
+    CODEGENS,
+    HDR_BLOCK_DIM,
+    HDR_GRID_DIM,
+    REG_BLK0,
+    REG_NSLOT,
+    Value,
+)
+from repro.nocl.dsl import KernelSource, i32
+from repro.nocl.frontend import CompileError, Frontend  # noqa: F401
+from repro.nocl.ir import VInstr, assemble
+from repro.nocl.regalloc import allocate
+
+#: The three compilation modes of the evaluation (paper sections 4.1, 4.7).
+MODES = ("baseline", "purecap", "boundscheck")
+
+
+@dataclass
+class ArgSlot:
+    """Where one kernel argument lives in the argument block."""
+
+    name: str
+    offset: int
+    is_pointer: bool
+    elem_width: int = 4
+
+
+@dataclass
+class CompiledKernel:
+    """A ready-to-launch program plus its runtime contract."""
+
+    name: str
+    mode: str
+    instrs: List[Instr]
+    arg_slots: List[ArgSlot]
+    arg_block_bytes: int
+    shared_bytes: int
+    uses_barrier: bool
+    frame_bytes: int
+
+    @property
+    def uses_cheri(self):
+        return self.mode == "purecap"
+
+    def listing(self):
+        from repro.isa.disasm import format_program
+        return format_program(self.instrs)
+
+    def to_binary(self):
+        """Encode the program to its 32-bit instruction words (TCIM image)."""
+        from repro.isa.encoding import encode
+        return [encode(instr) for instr in self.instrs]
+
+    def from_binary_roundtrip(self):
+        """Decode the TCIM image back; convergence depths re-attached.
+
+        The depth metadata used by active-thread selection is compiler
+        side-band information (like SIMTight's convergence hints), not an
+        encoded field, so it is carried over by program position.
+        """
+        from repro.isa.encoding import decode
+        decoded = [
+            decode(word, cheri_mode=self.uses_cheri).with_depth(orig.depth)
+            for word, orig in zip(self.to_binary(), self.instrs)
+        ]
+        return decoded
+
+
+def _layout_args(source, cg_cls):
+    """Assign argument-block offsets according to the mode's slot sizes."""
+    slots = []
+    offset = ARGS_OFFSET
+    for param in source.params:
+        if param.is_pointer:
+            size = cg_cls.pointer_arg_slot_bytes
+            offset = (offset + size - 1) & ~(size - 1)
+            slots.append(ArgSlot(param.name, offset, True,
+                                 param.ty.elem.width))
+        else:
+            size = cg_cls.scalar_arg_slot_bytes
+            offset = (offset + size - 1) & ~(size - 1)
+            slots.append(ArgSlot(param.name, offset, False))
+        offset += size
+    return slots, offset
+
+
+def compile_kernel(source, mode):
+    """Compile a :class:`KernelSource` for one of the three MODES."""
+    if not isinstance(source, KernelSource):
+        raise TypeError("expected a @kernel function, got %r" % (source,))
+    if mode not in MODES:
+        raise ValueError("unknown mode %r (expected one of %s)"
+                         % (mode, ", ".join(MODES)))
+    cg_cls = CODEGENS[mode]
+    fe = Frontend(source, cg_cls)
+    arg_slots, arg_block_bytes = _layout_args(source, cg_cls)
+
+    # --- prologue: launch geometry + kernel arguments -----------------------
+    grid_dim = fe.cg.load_header_word(HDR_GRID_DIM, "gridDim.x")
+    block_dim = fe.cg.load_header_word(HDR_BLOCK_DIM, "blockDim.x")
+    builtins = {
+        "gridDim.x": grid_dim,
+        "blockDim.x": block_dim,
+    }
+    from repro.nocl.codegen import REG_TID
+    builtins["threadIdx.x"] = Value(REG_TID, i32, temp=False)
+
+    for param, slot in zip(source.params, arg_slots):
+        if param.is_pointer:
+            builtins[param.name] = fe.cg.load_ptr_arg(
+                slot.offset, param.ty.elem, param.name)
+        else:
+            builtins[param.name] = fe.cg.load_scalar_arg(
+                slot.offset, param.ty, param.name)
+
+    # --- the NoCL block loop: each hardware-thread slot walks the grid ------
+    blk = Value(fe.new_vreg(), i32, temp=False)
+    builtins["blockIdx.x"] = blk
+    fe.emit(VInstr(Op.ADDI, rd=blk.vreg, rs1=REG_BLK0, imm=0,
+                   comment="blockIdx = first block of slot"))
+    hoist_index = len(fe.items)
+    loop = fe.new_label("blocks")
+    block_continue = fe.new_label("block_next")
+    done = fe.new_label("grid_done")
+    span_start = len(fe.items)
+    fe.place_label(loop)
+    fe.emit(VInstr(Op.BGE, rs1=blk.vreg, rs2=grid_dim.vreg, target=done,
+                   comment="all blocks done?"))
+    fe.depth += 1
+    fe.compile_body(builtins, block_continue)
+    fe.place_label(block_continue)
+    fe.emit(VInstr(Op.ADD, rd=blk.vreg, rs1=blk.vreg, rs2=REG_NSLOT,
+                   comment="next block for this slot"))
+    fe.emit(VInstr(fe.cg.jump_op, rd=0, target=loop))
+    fe.depth -= 1
+    fe.place_label(done)
+    fe.emit(VInstr(Op.HALT))
+    fe.loop_spans.append((span_start, len(fe.items)))
+
+    # Splice hoisted shared-array setup into the prologue, shifting the
+    # recorded loop spans to match.
+    if fe.hoisted:
+        count = len(fe.hoisted)
+        fe.items[hoist_index:hoist_index] = fe.hoisted
+        fe.loop_spans = [
+            (start + count if start >= hoist_index else start,
+             end + count if end >= hoist_index else end)
+            for start, end in fe.loop_spans
+        ]
+
+    # --- allocate and assemble ------------------------------------------------
+    var_vregs = set(fe.var_vregs)
+    from repro.nocl.codegen import PtrValue
+    from repro.nocl.ir import FIRST_VREG
+    for value in fe.vars.values():
+        if isinstance(value, PtrValue):
+            if value.vreg >= FIRST_VREG:
+                var_vregs.add(value.vreg)
+            if value.len_vreg is not None and value.len_vreg >= FIRST_VREG:
+                var_vregs.add(value.len_vreg)
+        else:
+            if value.vreg >= FIRST_VREG:
+                var_vregs.add(value.vreg)
+
+    items, frame_bytes = allocate(
+        fe.items, fe.loop_spans, var_vregs,
+        cap_spills=(mode == "purecap"))
+    instrs = assemble(items)
+    return CompiledKernel(
+        name=source.name,
+        mode=mode,
+        instrs=instrs,
+        arg_slots=arg_slots,
+        arg_block_bytes=arg_block_bytes,
+        shared_bytes=fe.shared_bytes,
+        uses_barrier=fe.uses_barrier,
+        frame_bytes=frame_bytes,
+    )

@@ -1,0 +1,928 @@
+"""AST frontend: restricted-Python kernel bodies -> virtual-register code.
+
+Walks the kernel's AST and emits :class:`VInstr` streams through a
+mode-specific :class:`repro.nocl.codegen.CodeGen`.  Supports the CUDA-style
+subset the NoCL benchmarks need: integer/float arithmetic, comparisons,
+``if``/``elif``/``else``, ``while``, ``for .. in range(..)``,
+``break``/``continue``/``return``, array indexing through typed pointer
+parameters, shared arrays, barriers and atomics, plus pointer-variable
+aliasing (``p = a if cond else b`` style selection, the pattern behind the
+paper's BlkStencil metadata divergence).
+
+Control-flow nesting depth is attached to every instruction for the SM's
+deepest-first reconvergence (paper section 2.3).
+"""
+
+import ast
+import struct
+
+from repro.isa.instructions import Op
+from repro.nocl.codegen import PtrValue, Value
+from repro.nocl.dsl import BUILTIN_DIMS, SCALAR_TYPES, f32, i32, u32
+from repro.nocl.ir import FIRST_VREG, VInstr, VLabel, VLoadImm
+
+
+class CompileError(Exception):
+    """A kernel uses something outside the supported subset."""
+
+    def __init__(self, message, node=None):
+        if node is not None and hasattr(node, "lineno"):
+            message = "line %d: %s" % (node.lineno, message)
+        super().__init__(message)
+
+
+_BIN_INT = {
+    ast.Add: ("add", Op.ADD, Op.ADDI),
+    ast.Sub: ("sub", Op.SUB, None),
+    ast.Mult: ("mul", Op.MUL, None),
+    ast.BitAnd: ("and", Op.AND, Op.ANDI),
+    ast.BitOr: ("or", Op.OR, Op.ORI),
+    ast.BitXor: ("xor", Op.XOR, Op.XORI),
+    ast.LShift: ("sll", Op.SLL, Op.SLLI),
+}
+_BIN_FLOAT = {
+    ast.Add: Op.FADD_S,
+    ast.Sub: Op.FSUB_S,
+    ast.Mult: Op.FMUL_S,
+    ast.Div: Op.FDIV_S,
+}
+# (signed op, unsigned op) keyed by comparison for branch emission; the
+# bool says whether to swap operands.
+_CMP_BRANCH = {
+    ast.Eq: (Op.BEQ, Op.BEQ, False),
+    ast.NotEq: (Op.BNE, Op.BNE, False),
+    ast.Lt: (Op.BLT, Op.BLTU, False),
+    ast.GtE: (Op.BGE, Op.BGEU, False),
+    ast.Gt: (Op.BLT, Op.BLTU, True),
+    ast.LtE: (Op.BGE, Op.BGEU, True),
+}
+_FLOAT_CMP = {
+    ast.Eq: (Op.FEQ_S, False, False),
+    ast.NotEq: (Op.FEQ_S, False, True),   # invert
+    ast.Lt: (Op.FLT_S, False, False),
+    ast.Gt: (Op.FLT_S, True, False),      # swap
+    ast.LtE: (Op.FLE_S, False, False),
+    ast.GtE: (Op.FLE_S, True, False),
+}
+
+
+def f32_bits(value):
+    return struct.unpack("<I", struct.pack("<f", float(value)))[0]
+
+
+class Frontend:
+    """Compiles one kernel body; shared by all codegen modes."""
+
+    def __init__(self, source, codegen_cls):
+        self.source = source
+        self.items = []
+        self.depth = 0
+        self._next_vreg = FIRST_VREG
+        self._next_label = 0
+        self.vars = {}
+        self.loop_spans = []        # (start_index, end_index) for liveness
+        self._loop_stack = []       # (continue_label, break_label)
+        self.shared_cursor = 0
+        self.shared_bytes = 0
+        self.uses_barrier = False
+        #: vregs that must stay live across loop back edges (named
+        #: variables plus compiler temporaries like loop bounds).
+        self.var_vregs = set()
+        #: shared-array materialisation, hoisted before the block loop
+        #: (NoCL declares shared arrays in init(), outside the hot path).
+        self.hoisted = []
+        self._hoisting = False
+        self.cg = codegen_cls(self)
+        self._block_continue = None
+
+    # -- emitter interface used by CodeGen --------------------------------
+
+    def emit(self, item):
+        if self._hoisting:
+            if isinstance(item, (VInstr, VLoadImm)):
+                item.depth = 0
+            self.hoisted.append(item)
+            return item
+        if isinstance(item, (VInstr, VLoadImm)):
+            item.depth = self.depth
+        self.items.append(item)
+        return item
+
+    def emit_li(self, value, comment=""):
+        vreg = self.new_vreg()
+        self.emit(VLoadImm(vreg, value & 0xFFFFFFFF, comment=comment))
+        return vreg
+
+    def new_vreg(self):
+        self._next_vreg += 1
+        return self._next_vreg - 1
+
+    def new_label(self, prefix):
+        self._next_label += 1
+        return "%s_%d" % (prefix, self._next_label)
+
+    def place_label(self, name):
+        self.items.append(VLabel(name, depth=self.depth))
+
+    # -- public entry point --------------------------------------------------
+
+    def compile_body(self, builtins, block_continue_label):
+        """Compile the kernel body statements (prologue handled by driver).
+
+        ``builtins`` maps threadIdx/blockIdx/blockDim/gridDim to Values and
+        parameter names to their Values/PtrValues.
+        """
+        self.vars.update(builtins)
+        self._block_continue = block_continue_label
+        for stmt in self.source.tree.body:
+            self._stmt(stmt)
+
+    # ----------------------------------------------------------------------
+    # Statements
+    # ----------------------------------------------------------------------
+
+    def _stmt(self, node):
+        if isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._aug_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                raise CompileError("declarations need an initial value", node)
+            target = ast.Assign(targets=[node.target], value=node.value)
+            ast.copy_location(target, node)
+            self._assign(target)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Break):
+            if not self._loop_stack:
+                raise CompileError("break outside loop", node)
+            self.emit(VInstr(self.cg.jump_op, rd=0, target=self._loop_stack[-1][1]))
+        elif isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError("continue outside loop", node)
+            self.emit(VInstr(self.cg.jump_op, rd=0, target=self._loop_stack[-1][0]))
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                raise CompileError("kernels cannot return values", node)
+            self.emit(VInstr(self.cg.jump_op, rd=0, target=self._block_continue,
+                             comment="thread return"))
+        elif isinstance(node, ast.Expr):
+            self._expr_stmt(node.value)
+        elif isinstance(node, ast.Pass):
+            pass
+        else:
+            raise CompileError(
+                "unsupported statement %s" % type(node).__name__, node)
+
+    def _expr_stmt(self, node):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return  # docstring
+        if not isinstance(node, ast.Call):
+            raise CompileError("expression statements must be calls", node)
+        name = self._call_name(node)
+        if name == "syncthreads":
+            self.uses_barrier = True
+            self.emit(VInstr(Op.BARRIER))
+            return
+        if name == "atomic_add":
+            self._intrinsic_atomic_add(node)
+            return
+        if name == "noop":
+            return
+        raise CompileError("unsupported call %r as statement" % name, node)
+
+    # -- assignment ------------------------------------------------------------
+
+    def _assign(self, node):
+        if len(node.targets) != 1:
+            raise CompileError("chained assignment unsupported", node)
+        target = node.targets[0]
+        if isinstance(target, ast.Subscript):
+            pointer = self._pointer(target.value)
+            idx = self._rvalue(target.slice)
+            value = self._rvalue(node.value)
+            value = self._coerce_store(value, pointer, node)
+            self.cg.store(pointer, idx, value)
+            return
+        if not isinstance(target, ast.Name):
+            raise CompileError("unsupported assignment target", node)
+        name = target.id
+        # Shared-array declaration?
+        if isinstance(node.value, ast.Call) and \
+                self._call_name(node.value) == "shared":
+            self.vars[name] = self._intrinsic_shared(node.value)
+            return
+        # Pointer aliasing (p = a, or p = a if c else b)?
+        if self._is_pointer_expr(node.value):
+            self._assign_pointer(name, node.value)
+            return
+        value = self._rvalue(node.value)
+        existing = self.vars.get(name)
+        if existing is None:
+            if value.temp:
+                value.temp = False
+                self.vars[name] = value
+            else:
+                fresh = Value(self.new_vreg(), value.ty, temp=False)
+                self._move(fresh.vreg, value.vreg)
+                self.vars[name] = fresh
+            return
+        if isinstance(existing, PtrValue):
+            raise CompileError(
+                "cannot assign scalar to pointer variable %r" % name, node)
+        if existing.ty.is_float != value.ty.is_float:
+            raise CompileError(
+                "type of %r changed between assignments" % name, node)
+        self._move(existing.vreg, value.vreg)
+        existing.const = None
+
+    def _assign_pointer(self, name, value_node):
+        existing = self.vars.get(name)
+        if isinstance(value_node, ast.IfExp):
+            # p = a if cond else b  — the BlkStencil pointer-select pattern.
+            then_ptr_node, else_ptr_node = value_node.body, value_node.orelse
+            probe = self._pointer(then_ptr_node)
+            dst = self._ensure_ptr_var(name, probe.elem, value_node)
+            else_label = self.new_label("psel_else")
+            join = self.new_label("psel_join")
+            self._branch_false(value_node.test, else_label)
+            self.depth += 1
+            self.cg.ptr_copy(dst, self._pointer(then_ptr_node))
+            self.emit(VInstr(self.cg.jump_op, rd=0, target=join))
+            self.depth -= 1
+            self.place_label(else_label)
+            self.depth += 1
+            self.cg.ptr_copy(dst, self._pointer(else_ptr_node))
+            self.depth -= 1
+            self.place_label(join)
+            dst.len_const = None
+            return
+        src = self._pointer(value_node)
+        dst = self._ensure_ptr_var(name, src.elem, value_node)
+        self.cg.ptr_copy(dst, src)
+        dst.len_const = src.len_const
+
+    def _ensure_ptr_var(self, name, elem, node):
+        existing = self.vars.get(name)
+        if existing is None:
+            fresh = self.cg.new_ptr(elem)
+            self.vars[name] = fresh
+            return fresh
+        if not isinstance(existing, PtrValue):
+            raise CompileError(
+                "cannot assign pointer to scalar variable %r" % name, node)
+        if existing.elem is not elem:
+            raise CompileError(
+                "pointer variable %r changed element type" % name, node)
+        return existing
+
+    def _aug_assign(self, node):
+        binop = ast.BinOp(left=None, op=node.op, right=node.value)
+        if isinstance(node.target, ast.Subscript):
+            pointer = self._pointer(node.target.value)
+            idx = self._rvalue(node.target.slice)
+            old = self.cg.load(pointer, idx)
+            rhs = self._rvalue(node.value)
+            result = self._binop_values(node.op, old, rhs, node)
+            result = self._coerce_store(result, pointer, node)
+            # Re-evaluating a constant index is free; a dynamic one was
+            # already scaled once, but correctness first.
+            self.cg.store(pointer, idx, result)
+            return
+        if not isinstance(node.target, ast.Name):
+            raise CompileError("unsupported augmented target", node)
+        name = node.target.id
+        var = self.vars.get(name)
+        if var is None:
+            raise CompileError("augmented assignment to undefined %r" % name,
+                               node)
+        if isinstance(var, PtrValue):
+            raise CompileError("pointer arithmetic on %r is not supported; "
+                               "index the original array instead" % name, node)
+        rhs = self._rvalue(node.value)
+        # Read the variable without its recorded constness (see _rvalue).
+        current = Value(var.vreg, var.ty, const=None, temp=False)
+        result = self._binop_values(node.op, current, rhs, node)
+        self._move(var.vreg, result.vreg)
+        var.const = None
+
+    def _move(self, dst_vreg, src_vreg):
+        if dst_vreg != src_vreg:
+            self.emit(VInstr(Op.ADDI, rd=dst_vreg, rs1=src_vreg, imm=0))
+
+    def _coerce_store(self, value, pointer, node):
+        if pointer.elem.is_float != value.ty.is_float:
+            raise CompileError(
+                "storing %s into %s array" % (value.ty, pointer.elem), node)
+        return value
+
+    # -- control flow -------------------------------------------------------------
+
+    def _if(self, node):
+        else_label = self.new_label("else")
+        join = self.new_label("join")
+        self._branch_false(node.test, else_label)
+        self.depth += 1
+        for stmt in node.body:
+            self._stmt(stmt)
+        if node.orelse:
+            self.emit(VInstr(self.cg.jump_op, rd=0, target=join))
+        self.depth -= 1
+        self.place_label(else_label)
+        if node.orelse:
+            self.depth += 1
+            for stmt in node.orelse:
+                self._stmt(stmt)
+            self.depth -= 1
+            self.place_label(join)
+
+    def _while(self, node):
+        header = self.new_label("while")
+        exit_label = self.new_label("endwhile")
+        continue_label = header
+        start = len(self.items)
+        self.place_label(header)
+        self._branch_false(node.test, exit_label)
+        self._loop_stack.append((continue_label, exit_label))
+        self.depth += 1
+        for stmt in node.body:
+            self._stmt(stmt)
+        self.emit(VInstr(self.cg.jump_op, rd=0, target=header))
+        self.depth -= 1
+        self._loop_stack.pop()
+        self.place_label(exit_label)
+        self.loop_spans.append((start, len(self.items)))
+
+    def _for(self, node):
+        if node.orelse:
+            raise CompileError("for-else is not supported", node)
+        if not (isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            raise CompileError("for loops must iterate over range(...)", node)
+        if not isinstance(node.target, ast.Name):
+            raise CompileError("for target must be a simple name", node)
+        args = node.iter.args
+        if len(args) == 1:
+            start_node, stop_node, step_node = None, args[0], None
+        elif len(args) == 2:
+            start_node, stop_node, step_node = args[0], args[1], None
+        elif len(args) == 3:
+            start_node, stop_node, step_node = args
+        else:
+            raise CompileError("range() takes 1-3 arguments", node)
+
+        name = node.target.id
+        var = self.vars.get(name)
+        if isinstance(var, PtrValue):
+            raise CompileError("loop variable %r is a pointer" % name, node)
+        if var is None:
+            var = Value(self.new_vreg(), i32, temp=False)
+            self.vars[name] = var
+        if start_node is None:
+            self._move_imm(var.vreg, 0)
+        else:
+            start = self._rvalue(start_node)
+            self._move(var.vreg, start.vreg)
+        var.const = None
+        stop = self._rvalue(stop_node)
+        if not stop.temp:
+            # The bound may be mutated inside the body; snapshot it like
+            # Python's range does.
+            snap = Value(self.new_vreg(), stop.ty)
+            self._move(snap.vreg, stop.vreg)
+            stop = snap
+        # The bound (and a dynamic step) is re-read at the loop header on
+        # every iteration: keep it live across the back edge.
+        self.var_vregs.add(stop.vreg)
+        step_const = 1
+        step_value = None
+        if step_node is not None:
+            step_value = self._rvalue(step_node)
+            step_const = step_value.const
+            if step_const == 0:
+                raise CompileError("range() step of zero", node)
+            self.var_vregs.add(step_value.vreg)
+
+        header = self.new_label("for")
+        continue_label = self.new_label("forcont")
+        exit_label = self.new_label("endfor")
+        start_index = len(self.items)
+        self.place_label(header)
+        descending = step_const is not None and step_const < 0
+        if descending:
+            self.emit(VInstr(Op.BGE, rs1=stop.vreg, rs2=var.vreg,
+                             target=exit_label))
+        else:
+            self.emit(VInstr(Op.BGE, rs1=var.vreg, rs2=stop.vreg,
+                             target=exit_label))
+        self._loop_stack.append((continue_label, exit_label))
+        self.depth += 1
+        for stmt in node.body:
+            self._stmt(stmt)
+        self.place_label(continue_label)
+        if step_value is not None and step_value.const is None:
+            self.emit(VInstr(Op.ADD, rd=var.vreg, rs1=var.vreg,
+                             rs2=step_value.vreg))
+        else:
+            self.emit(VInstr(Op.ADDI, rd=var.vreg, rs1=var.vreg,
+                             imm=step_const))
+        self.emit(VInstr(self.cg.jump_op, rd=0, target=header))
+        self.depth -= 1
+        self._loop_stack.pop()
+        self.place_label(exit_label)
+        self.loop_spans.append((start_index, len(self.items)))
+
+    def _move_imm(self, vreg, value):
+        self.emit(VInstr(Op.ADDI, rd=vreg, rs1=0, imm=value))
+
+    # -- branch-context condition compilation --------------------------------------
+
+    def _branch_false(self, test, false_label):
+        """Fall through when ``test`` holds; jump to false_label otherwise."""
+        self._branch(test, None, false_label)
+
+    def _branch(self, test, true_label, false_label):
+        """Emit branches: exactly one of the labels may be None, meaning
+        fall-through."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self._branch(test.operand, false_label, true_label)
+            return
+        if isinstance(test, ast.BoolOp):
+            if isinstance(test.op, ast.And):
+                # Short-circuit: any failing conjunct jumps to false.
+                fl = false_label or self.new_label("and_false")
+                for sub in test.values[:-1]:
+                    self._branch(sub, None, fl)
+                self._branch(test.values[-1], true_label, false_label)
+                if false_label is None:
+                    self.place_label(fl)
+                return
+            # Or: jump to true target on first success.
+            tl = true_label or self.new_label("or_true")
+            for sub in test.values[:-1]:
+                self._branch(sub, tl, None)
+            self._branch(test.values[-1], true_label, false_label)
+            if true_label is None:
+                self.place_label(tl)
+            return
+        if isinstance(test, ast.Constant):
+            taken = bool(test.value)
+            if taken and true_label:
+                self.emit(VInstr(self.cg.jump_op, rd=0, target=true_label))
+            if not taken and false_label:
+                self.emit(VInstr(self.cg.jump_op, rd=0, target=false_label))
+            return
+        if isinstance(test, ast.Compare):
+            if len(test.ops) != 1:
+                raise CompileError("chained comparisons unsupported", test)
+            left = self._rvalue(test.left)
+            right = self._rvalue(test.comparators[0])
+            cmp_ast = type(test.ops[0])
+            if left.ty.is_float or right.ty.is_float:
+                value = self._float_compare(cmp_ast, left, right, test)
+                self._branch_nonzero(value, true_label, false_label)
+                return
+            if cmp_ast not in _CMP_BRANCH:
+                raise CompileError("unsupported comparison", test)
+            signed_op, unsigned_op, swap = _CMP_BRANCH[cmp_ast]
+            unsigned = left.ty is u32 or right.ty is u32
+            op = unsigned_op if unsigned else signed_op
+            a, b = (right, left) if swap else (left, right)
+            if true_label is not None:
+                self.emit(VInstr(op, rs1=a.vreg, rs2=b.vreg,
+                                 target=true_label))
+                if false_label is not None:
+                    self.emit(VInstr(self.cg.jump_op, rd=0, target=false_label))
+            else:
+                inverted = self._invert(op)
+                self.emit(VInstr(inverted, rs1=a.vreg, rs2=b.vreg,
+                                 target=false_label))
+            return
+        # Fallback: any integer expression, nonzero = true.
+        value = self._rvalue(test)
+        self._branch_nonzero(value, true_label, false_label)
+
+    @staticmethod
+    def _invert(op):
+        return {
+            Op.BEQ: Op.BNE, Op.BNE: Op.BEQ, Op.BLT: Op.BGE, Op.BGE: Op.BLT,
+            Op.BLTU: Op.BGEU, Op.BGEU: Op.BLTU,
+        }[op]
+
+    def _branch_nonzero(self, value, true_label, false_label):
+        if true_label is not None:
+            self.emit(VInstr(Op.BNE, rs1=value.vreg, rs2=0,
+                             target=true_label))
+            if false_label is not None:
+                self.emit(VInstr(self.cg.jump_op, rd=0, target=false_label))
+        else:
+            self.emit(VInstr(Op.BEQ, rs1=value.vreg, rs2=0,
+                             target=false_label))
+
+    def _float_compare(self, cmp_ast, left, right, node):
+        if cmp_ast not in _FLOAT_CMP:
+            raise CompileError("unsupported float comparison", node)
+        op, swap, invert = _FLOAT_CMP[cmp_ast]
+        a, b = (right, left) if swap else (left, right)
+        rd = self.new_vreg()
+        self.emit(VInstr(op, rd=rd, rs1=a.vreg, rs2=b.vreg))
+        if invert:
+            out = self.new_vreg()
+            self.emit(VInstr(Op.XORI, rd=out, rs1=rd, imm=1))
+            rd = out
+        return Value(rd, i32)
+
+    # ----------------------------------------------------------------------
+    # Expressions
+    # ----------------------------------------------------------------------
+
+    def _rvalue(self, node):
+        """Evaluate an expression to a scalar Value."""
+        if isinstance(node, ast.Constant):
+            return self._constant(node)
+        if isinstance(node, ast.Name):
+            var = self.vars.get(node.id)
+            if var is None:
+                raise CompileError("undefined variable %r" % node.id, node)
+            if isinstance(var, PtrValue):
+                raise CompileError(
+                    "pointer %r used as a scalar" % node.id, node)
+            # Deliberately do NOT propagate compile-time constness through
+            # variable reads: the value may be overwritten on a later loop
+            # iteration even though the current const is still recorded.
+            return Value(var.vreg, var.ty, const=None, temp=False)
+        if isinstance(node, ast.Attribute):
+            return self._builtin_dim(node)
+        if isinstance(node, ast.BinOp):
+            left = self._rvalue(node.left)
+            right = self._rvalue(node.right)
+            return self._binop_values(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            return self._unary(node)
+        if isinstance(node, ast.Compare):
+            return self._compare_value(node)
+        if isinstance(node, ast.Subscript):
+            pointer = self._pointer(node.value)
+            idx = self._rvalue(node.slice)
+            return self.cg.load(pointer, idx)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            return self._ifexp(node)
+        if isinstance(node, ast.BoolOp):
+            return self._boolop_value(node)
+        raise CompileError(
+            "unsupported expression %s" % type(node).__name__, node)
+
+    def _constant(self, node):
+        value = node.value
+        if isinstance(value, bool):
+            value = int(value)
+        if isinstance(value, int):
+            if not -(1 << 31) <= value < (1 << 32):
+                raise CompileError("integer constant out of range", node)
+            vreg = self.emit_li(value)
+            return Value(vreg, i32, const=value)
+        if isinstance(value, float):
+            vreg = self.emit_li(f32_bits(value), comment="%r" % value)
+            return Value(vreg, f32)
+        raise CompileError("unsupported constant %r" % (value,), node)
+
+    def _builtin_dim(self, node):
+        if not (isinstance(node.value, ast.Name)
+                and node.value.id in BUILTIN_DIMS and node.attr == "x"):
+            raise CompileError("unsupported attribute access", node)
+        var = self.vars.get("%s.x" % node.value.id)
+        if var is None:
+            raise CompileError(
+                "%s.x unavailable here" % node.value.id, node)
+        return Value(var.vreg, var.ty, const=None, temp=False)
+
+    def _binop_values(self, op_node, left, right, node):
+        op_ast = type(op_node)
+        if left.ty.is_float or right.ty.is_float:
+            if not (left.ty.is_float and right.ty.is_float):
+                raise CompileError(
+                    "mixed int/float arithmetic needs an explicit cast", node)
+            if op_ast not in _BIN_FLOAT:
+                raise CompileError("unsupported float operator", node)
+            rd = self.new_vreg()
+            self.emit(VInstr(_BIN_FLOAT[op_ast], rd=rd, rs1=left.vreg,
+                             rs2=right.vreg))
+            return Value(rd, f32)
+        unsigned = left.ty is u32 or right.ty is u32
+        result_ty = u32 if unsigned else i32
+        # Constant folding keeps addressing code tight.
+        if left.const is not None and right.const is not None:
+            folded = self._fold(op_ast, left.const, right.const, unsigned)
+            if folded is not None:
+                vreg = self.emit_li(folded)
+                return Value(vreg, result_ty, const=folded)
+        if op_ast in _BIN_INT:
+            name, reg_op, imm_op = _BIN_INT[op_ast]
+            if imm_op is not None and right.const is not None and \
+                    -2048 <= right.const <= 2047 and op_ast is not ast.LShift:
+                rd = self.new_vreg()
+                self.emit(VInstr(imm_op, rd=rd, rs1=left.vreg,
+                                 imm=right.const))
+                return Value(rd, result_ty)
+            if op_ast is ast.LShift and right.const is not None and \
+                    0 <= right.const < 32:
+                rd = self.new_vreg()
+                self.emit(VInstr(Op.SLLI, rd=rd, rs1=left.vreg,
+                                 imm=right.const))
+                return Value(rd, result_ty)
+            if op_ast is ast.Add and left.const is not None and \
+                    -2048 <= left.const <= 2047:
+                rd = self.new_vreg()
+                self.emit(VInstr(Op.ADDI, rd=rd, rs1=right.vreg,
+                                 imm=left.const))
+                return Value(rd, result_ty)
+            if op_ast is ast.Sub and right.const is not None and \
+                    -2047 <= right.const <= 2048:
+                rd = self.new_vreg()
+                self.emit(VInstr(Op.ADDI, rd=rd, rs1=left.vreg,
+                                 imm=-right.const))
+                return Value(rd, result_ty)
+            rd = self.new_vreg()
+            self.emit(VInstr(reg_op, rd=rd, rs1=left.vreg, rs2=right.vreg))
+            return Value(rd, result_ty)
+        if op_ast is ast.RShift:
+            rd = self.new_vreg()
+            op = Op.SRL if unsigned else Op.SRA
+            imm_op = Op.SRLI if unsigned else Op.SRAI
+            if right.const is not None and 0 <= right.const < 32:
+                self.emit(VInstr(imm_op, rd=rd, rs1=left.vreg,
+                                 imm=right.const))
+            else:
+                self.emit(VInstr(op, rd=rd, rs1=left.vreg, rs2=right.vreg))
+            return Value(rd, result_ty)
+        if op_ast is ast.FloorDiv or op_ast is ast.Div:
+            # Integer `/` is rejected to avoid Python-semantics surprises.
+            if op_ast is ast.Div:
+                raise CompileError(
+                    "use // for integer division (or f32 operands)", node)
+            rd = self.new_vreg()
+            self.emit(VInstr(Op.DIVU if unsigned else Op.DIV, rd=rd,
+                             rs1=left.vreg, rs2=right.vreg))
+            return Value(rd, result_ty)
+        if op_ast is ast.Mod:
+            rd = self.new_vreg()
+            self.emit(VInstr(Op.REMU if unsigned else Op.REM, rd=rd,
+                             rs1=left.vreg, rs2=right.vreg))
+            return Value(rd, result_ty)
+        raise CompileError("unsupported operator", node)
+
+    @staticmethod
+    def _fold(op_ast, a, b, unsigned):
+        mask = 0xFFFFFFFF
+        try:
+            if op_ast is ast.Add:
+                return (a + b) & mask
+            if op_ast is ast.Sub:
+                return (a - b) & mask
+            if op_ast is ast.Mult:
+                return (a * b) & mask
+            if op_ast is ast.BitAnd:
+                return (a & b) & mask
+            if op_ast is ast.BitOr:
+                return (a | b) & mask
+            if op_ast is ast.BitXor:
+                return (a ^ b) & mask
+            if op_ast is ast.LShift and 0 <= b < 32:
+                return (a << b) & mask
+            if op_ast is ast.RShift and 0 <= b < 32:
+                return (a & mask) >> b if unsigned else (a >> b) & mask
+        except TypeError:
+            return None
+        return None
+
+    def _unary(self, node):
+        if isinstance(node.op, ast.USub):
+            operand = self._rvalue(node.operand)
+            if operand.const is not None:
+                vreg = self.emit_li(-operand.const & 0xFFFFFFFF)
+                return Value(vreg, operand.ty, const=-operand.const)
+            rd = self.new_vreg()
+            if operand.ty.is_float:
+                self.emit(VInstr(Op.FSGNJN_S, rd=rd, rs1=operand.vreg,
+                                 rs2=operand.vreg))
+                return Value(rd, f32)
+            self.emit(VInstr(Op.SUB, rd=rd, rs1=0, rs2=operand.vreg))
+            return Value(rd, operand.ty)
+        if isinstance(node.op, ast.Invert):
+            operand = self._rvalue(node.operand)
+            rd = self.new_vreg()
+            self.emit(VInstr(Op.XORI, rd=rd, rs1=operand.vreg, imm=-1))
+            return Value(rd, operand.ty)
+        if isinstance(node.op, ast.Not):
+            operand = self._rvalue(node.operand)
+            rd = self.new_vreg()
+            self.emit(VInstr(Op.SLTIU, rd=rd, rs1=operand.vreg, imm=1))
+            return Value(rd, i32)
+        if isinstance(node.op, ast.UAdd):
+            return self._rvalue(node.operand)
+        raise CompileError("unsupported unary operator", node)
+
+    def _compare_value(self, node):
+        """A comparison in value position (materialised 0/1)."""
+        if len(node.ops) != 1:
+            raise CompileError("chained comparisons unsupported", node)
+        left = self._rvalue(node.left)
+        right = self._rvalue(node.comparators[0])
+        cmp_ast = type(node.ops[0])
+        if left.ty.is_float or right.ty.is_float:
+            return self._float_compare(cmp_ast, left, right, node)
+        unsigned = left.ty is u32 or right.ty is u32
+        slt = Op.SLTU if unsigned else Op.SLT
+        rd = self.new_vreg()
+        if cmp_ast is ast.Lt:
+            self.emit(VInstr(slt, rd=rd, rs1=left.vreg, rs2=right.vreg))
+        elif cmp_ast is ast.Gt:
+            self.emit(VInstr(slt, rd=rd, rs1=right.vreg, rs2=left.vreg))
+        elif cmp_ast is ast.GtE:
+            self.emit(VInstr(slt, rd=rd, rs1=left.vreg, rs2=right.vreg))
+            self.emit(VInstr(Op.XORI, rd=rd, rs1=rd, imm=1))
+        elif cmp_ast is ast.LtE:
+            self.emit(VInstr(slt, rd=rd, rs1=right.vreg, rs2=left.vreg))
+            self.emit(VInstr(Op.XORI, rd=rd, rs1=rd, imm=1))
+        elif cmp_ast in (ast.Eq, ast.NotEq):
+            self.emit(VInstr(Op.XOR, rd=rd, rs1=left.vreg, rs2=right.vreg))
+            if cmp_ast is ast.Eq:
+                self.emit(VInstr(Op.SLTIU, rd=rd, rs1=rd, imm=1))
+            else:
+                self.emit(VInstr(Op.SLTU, rd=rd, rs1=0, rs2=rd))
+        else:
+            raise CompileError("unsupported comparison", node)
+        return Value(rd, i32)
+
+    def _boolop_value(self, node):
+        # Evaluate as branches into a 0/1 result.
+        rd = self.new_vreg()
+        true_label = self.new_label("bool_t")
+        join = self.new_label("bool_j")
+        self._branch(node, true_label, None)
+        self._move_imm(rd, 0)
+        self.emit(VInstr(self.cg.jump_op, rd=0, target=join))
+        self.place_label(true_label)
+        self._move_imm(rd, 1)
+        self.place_label(join)
+        return Value(rd, i32)
+
+    def _ifexp(self, node):
+        rd = self.new_vreg()
+        else_label = self.new_label("sel_else")
+        join = self.new_label("sel_join")
+        self._branch_false(node.test, else_label)
+        self.depth += 1
+        then_val = self._rvalue(node.body)
+        self._move(rd, then_val.vreg)
+        self.emit(VInstr(self.cg.jump_op, rd=0, target=join))
+        self.depth -= 1
+        self.place_label(else_label)
+        self.depth += 1
+        else_val = self._rvalue(node.orelse)
+        if else_val.ty.is_float != then_val.ty.is_float:
+            raise CompileError("ternary branches have different types", node)
+        self._move(rd, else_val.vreg)
+        self.depth -= 1
+        self.place_label(join)
+        return Value(rd, then_val.ty)
+
+    # -- calls ---------------------------------------------------------------------
+
+    @staticmethod
+    def _call_name(node):
+        if isinstance(node.func, ast.Name):
+            return node.func.id
+        return None
+
+    def _call(self, node):
+        name = self._call_name(node)
+        if name == "atomic_add":
+            return self._intrinsic_atomic_add(node)
+        if name == "fsqrt":
+            (arg,) = self._call_args(node, 1)
+            value = self._rvalue(arg)
+            rd = self.new_vreg()
+            self.emit(VInstr(Op.FSQRT_S, rd=rd, rs1=value.vreg))
+            return Value(rd, f32)
+        if name in ("fmin_", "fmax_"):
+            a_node, b_node = self._call_args(node, 2)
+            a, b = self._rvalue(a_node), self._rvalue(b_node)
+            rd = self.new_vreg()
+            op = Op.FMIN_S if name == "fmin_" else Op.FMAX_S
+            self.emit(VInstr(op, rd=rd, rs1=a.vreg, rs2=b.vreg))
+            return Value(rd, f32)
+        if name in ("min_", "max_"):
+            return self._intrinsic_minmax(node, name == "min_")
+        if name == "f32":
+            (arg,) = self._call_args(node, 1)
+            value = self._rvalue(arg)
+            if value.ty.is_float:
+                return value
+            rd = self.new_vreg()
+            op = Op.FCVT_S_WU if value.ty is u32 else Op.FCVT_S_W
+            self.emit(VInstr(op, rd=rd, rs1=value.vreg))
+            return Value(rd, f32)
+        if name in ("i32", "u32"):
+            (arg,) = self._call_args(node, 1)
+            value = self._rvalue(arg)
+            ty = u32 if name == "u32" else i32
+            if not value.ty.is_float:
+                return Value(value.vreg, ty, const=value.const,
+                             temp=value.temp)
+            rd = self.new_vreg()
+            op = Op.FCVT_WU_S if name == "u32" else Op.FCVT_W_S
+            self.emit(VInstr(op, rd=rd, rs1=value.vreg))
+            return Value(rd, ty)
+        if name == "shared":
+            raise CompileError(
+                "shared(...) must be assigned to a variable", node)
+        raise CompileError("unknown function %r" % name, node)
+
+    def _call_args(self, node, count):
+        if len(node.args) != count or node.keywords:
+            raise CompileError(
+                "%s() takes exactly %d positional arguments"
+                % (self._call_name(node), count), node)
+        return node.args
+
+    def _intrinsic_minmax(self, node, is_min):
+        # Branch-free min/max: SIMT-friendly (no divergence).
+        a_node, b_node = self._call_args(node, 2)
+        a, b = self._rvalue(a_node), self._rvalue(b_node)
+        if a.ty.is_float or b.ty.is_float:
+            raise CompileError("use fmin_/fmax_ for floats", node)
+        lt = self.new_vreg()
+        self.emit(VInstr(Op.SLT, rd=lt, rs1=a.vreg, rs2=b.vreg))
+        neg = self.new_vreg()
+        self.emit(VInstr(Op.SUB, rd=neg, rs1=0, rs2=lt))
+        diff = self.new_vreg()
+        self.emit(VInstr(Op.XOR, rd=diff, rs1=a.vreg, rs2=b.vreg))
+        sel = self.new_vreg()
+        self.emit(VInstr(Op.AND, rd=sel, rs1=diff, rs2=neg))
+        rd = self.new_vreg()
+        # min: b ^ ((a^b) & -(a<b));  max: a ^ ((a^b) & -(a<b))
+        other = b if is_min else a
+        self.emit(VInstr(Op.XOR, rd=rd, rs1=other.vreg, rs2=sel))
+        return Value(rd, i32)
+
+    def _intrinsic_atomic_add(self, node):
+        arr_node, idx_node, val_node = self._call_args(node, 3)
+        pointer = self._pointer(arr_node)
+        idx = self._rvalue(idx_node)
+        value = self._rvalue(val_node)
+        return self.cg.atomic_add(pointer, idx, value)
+
+    def _intrinsic_shared(self, node):
+        from repro.nocl.codegen import shared_alloc_layout
+        ty_node, size_node = self._call_args(node, 2)
+        if not (isinstance(ty_node, ast.Name)
+                and ty_node.id in SCALAR_TYPES):
+            raise CompileError("shared() element type must be a scalar type",
+                               node)
+        elem = SCALAR_TYPES[ty_node.id]
+        if not (isinstance(size_node, ast.Constant)
+                and isinstance(size_node.value, int)
+                and size_node.value > 0):
+            raise CompileError("shared() size must be a positive constant",
+                               node)
+        count = size_node.value
+        offset, padded, self.shared_cursor = shared_alloc_layout(
+            self.shared_cursor, count, elem)
+        self.shared_bytes = max(self.shared_bytes, self.shared_cursor)
+        # Materialise the (bounded) shared-array pointer once, in the
+        # prologue, not on every block iteration.
+        self._hoisting = True
+        try:
+            pointer = self.cg.make_shared_ptr(offset, padded, count, elem)
+        finally:
+            self._hoisting = False
+        return pointer
+
+    # -- pointer expressions ------------------------------------------------------
+
+    def _is_pointer_expr(self, node):
+        if isinstance(node, ast.Name):
+            return isinstance(self.vars.get(node.id), PtrValue)
+        if isinstance(node, ast.IfExp):
+            return self._is_pointer_expr(node.body) and \
+                self._is_pointer_expr(node.orelse)
+        return False
+
+    def _pointer(self, node):
+        if isinstance(node, ast.Name):
+            var = self.vars.get(node.id)
+            if isinstance(var, PtrValue):
+                return var
+            raise CompileError("%r is not a pointer" % node.id, node)
+        raise CompileError(
+            "arrays must be referenced by name (pointer arithmetic is not "
+            "part of the DSL; index the array instead)", node)

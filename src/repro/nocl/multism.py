@@ -1,0 +1,99 @@
+"""Multi-SM execution: projecting beyond the paper's single-SM limit.
+
+SIMTight supports only a single streaming multiprocessor (paper section
+2.3), and the paper argues (section 4.4) that the CHERI overheads it
+reports would carry over to a multi-SM design because the memory
+subsystem's behaviour is essentially unchanged by CHERI.  This runtime
+lets that projection be tested in simulation: ``num_sms`` SMs share one
+tagged main memory, each with a private scratchpad window and stack
+region, and the grid's block slots are partitioned across them (a thread
+block never spans SMs, so barrier semantics are unchanged).
+
+Timing is a projection, not a cycle-true interconnect model: each SM runs
+against its own DRAM channel; the aggregate reports the slowest SM's
+cycle count and the summed traffic.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.nocl.runtime import LaunchError, NoCLRuntime
+from repro.simt import SMStats, StreamingMultiprocessor
+from repro.simt.config import SCRATCHPAD_BASE, STACK_BASE
+
+
+@dataclass
+class MultiSMStats:
+    """Aggregate of one multi-SM launch."""
+
+    per_sm: List[SMStats] = field(default_factory=list)
+
+    @property
+    def cycles(self):
+        return max((s.cycles for s in self.per_sm), default=0)
+
+    @property
+    def instrs_issued(self):
+        return sum(s.instrs_issued for s in self.per_sm)
+
+    @property
+    def dram_total_bytes(self):
+        return sum(s.dram_total_bytes for s in self.per_sm)
+
+
+class MultiSMRuntime(NoCLRuntime):
+    """A GPU with several SMs over one shared global memory."""
+
+    def __init__(self, mode="baseline", num_sms=2, config=None):
+        super().__init__(mode, config=config)
+        if num_sms < 1:
+            raise ValueError("need at least one SM")
+        self.num_sms = num_sms
+        self.sms = [self.sm]
+        for index in range(1, num_sms):
+            self.sms.append(StreamingMultiprocessor(
+                self.config,
+                memory=self.sm.memory,
+                scratchpad_base=self._scratch_base(index),
+            ))
+
+    def _scratch_base(self, index):
+        return SCRATCHPAD_BASE + index * self.config.scratchpad_bytes
+
+    def _stack_base(self, index):
+        return STACK_BASE + index * (self.config.num_threads
+                                     * self.config.stack_bytes_per_thread)
+
+    def launch(self, kernel_src, grid_dim, block_dim, args):
+        """Run the grid across all SMs; returns :class:`MultiSMStats`."""
+        program = self.compiled(kernel_src)
+        cfg = self.config
+        if block_dim % cfg.num_lanes or block_dim > cfg.num_threads or \
+                cfg.num_threads % block_dim:
+            raise LaunchError("blockDim must be a warp multiple dividing "
+                              "each SM's %d threads" % cfg.num_threads)
+        if len(args) != len(program.arg_slots):
+            raise LaunchError("kernel %s expects %d arguments, got %d"
+                              % (program.name, len(program.arg_slots),
+                                 len(args)))
+        slots_per_sm = cfg.num_threads // block_dim
+        total_slots = slots_per_sm * self.num_sms
+        self._write_arg_block(program, grid_dim, block_dim, args)
+        pcc = self._kernel_pcc(program)
+        aggregate = MultiSMStats()
+        for index, sm in enumerate(self.sms):
+            init_regs, init_caps = self._initial_registers(
+                program, block_dim, total_slots,
+                slot_offset=index * slots_per_sm,
+                scratch_base=self._scratch_base(index),
+                stack_base=self._stack_base(index),
+            )
+            sm.launch(
+                program.instrs,
+                init_regs=init_regs,
+                init_cap_regs=init_caps,
+                warps_per_block=block_dim // cfg.num_lanes,
+                kernel_pcc=pcc,
+            )
+            aggregate.per_sm.append(sm.stats)
+        return aggregate

@@ -1,0 +1,206 @@
+"""Register allocation: linear scan over virtual-register assembly.
+
+Liveness is computed on the linear instruction stream with a loop-span
+correction: virtual registers that back *named kernel variables* (which may
+be live across a loop's back edge) have their intervals widened to every
+loop span they are accessed in.  Expression temporaries are strictly
+def-then-use and need no widening.
+
+When demand exceeds the 22 freely-allocatable physical registers, the
+interval ending furthest away is spilled to the per-thread stack.  In
+pure-capability mode spill slots are capability-sized and use CSC/CLC (the
+stack pointer itself is a bounded capability), which is exactly the
+compiler-inserted register-spill traffic the paper discusses in section
+4.4.  A dead-code pass removes value-producing instructions whose results
+are never read (e.g. constants folded into immediates).
+"""
+
+from repro.isa.instructions import FLOAT_OPS, Op
+from repro.nocl.ir import FIRST_VREG, VInstr, VLabel, VLoadImm
+
+#: Physical registers free for allocation (see codegen for reservations):
+#: everything except zero/ra/sp/gp/tp, a0-a2, and the two spill scratches.
+ALLOCATABLE = tuple(
+    r for r in range(5, 30) if r not in (10, 11, 12)
+)
+SCRATCH_A = 30  # t5
+SCRATCH_B = 31  # t6
+
+_PURE_OPS = frozenset({
+    Op.ADD, Op.SUB, Op.SLL, Op.SRL, Op.SRA, Op.XOR, Op.OR, Op.AND,
+    Op.SLT, Op.SLTU, Op.MUL, Op.MULH, Op.MULHSU, Op.MULHU,
+    Op.ADDI, Op.SLTI, Op.SLTIU, Op.XORI, Op.ORI, Op.ANDI,
+    Op.SLLI, Op.SRLI, Op.SRAI, Op.LUI,
+}) | FLOAT_OPS
+
+
+class AllocationError(Exception):
+    """Raised when a kernel cannot be register-allocated (frame overflow)."""
+
+
+def eliminate_dead_code(items):
+    """Drop pure instructions whose virtual results are never read."""
+    items = list(items)
+    changed = True
+    while changed:
+        changed = False
+        used = set()
+        for item in items:
+            if isinstance(item, VLabel):
+                continue
+            for reg in item.regs_read():
+                used.add(reg)
+        kept = []
+        for item in items:
+            removable = False
+            if isinstance(item, VLoadImm):
+                removable = item.rd >= FIRST_VREG and item.rd not in used
+            elif isinstance(item, VInstr) and item.op in _PURE_OPS:
+                removable = (item.rd is not None and item.rd >= FIRST_VREG
+                             and item.rd not in used)
+            if removable:
+                changed = True
+            else:
+                kept.append(item)
+        items = kept
+    return items
+
+
+def _intervals(items, loop_spans, var_vregs):
+    starts, ends = {}, {}
+    for index, item in enumerate(items):
+        if isinstance(item, VLabel):
+            continue
+        for reg in item.regs_read() + item.regs_written():
+            if reg < FIRST_VREG:
+                continue
+            starts.setdefault(reg, index)
+            ends[reg] = index
+    # Widen named variables across the loops they participate in: their
+    # values may flow around back edges.  Iterate to a fixpoint because an
+    # extension can create a new overlap with an enclosing span.
+    changed = True
+    while changed:
+        changed = False
+        for span_start, span_end in loop_spans:
+            for reg in var_vregs:
+                if reg not in starts:
+                    continue
+                overlaps = not (ends[reg] < span_start
+                                or starts[reg] > span_end)
+                if overlaps and (starts[reg] > span_start
+                                 or ends[reg] < span_end):
+                    starts[reg] = min(starts[reg], span_start)
+                    ends[reg] = max(ends[reg], span_end)
+                    changed = True
+    return starts, ends
+
+
+def allocate(items, loop_spans, var_vregs, cap_spills, frame_bytes=512):
+    """Map virtual registers to physical ones; spill what does not fit.
+
+    ``cap_spills`` selects capability-sized spill slots via CSC/CLC
+    (purecap) versus word slots via SW/LW.  Returns (items, frame_used).
+    """
+    items = eliminate_dead_code(items)
+    starts, ends = _intervals(items, loop_spans, var_vregs)
+    order = sorted(starts, key=lambda r: (starts[r], ends[r]))
+
+    assignment = {}
+    spilled = {}
+    free = list(reversed(ALLOCATABLE))
+    active = []  # (end, vreg, phys)
+    slot_size = 8 if cap_spills else 4
+    next_slot = 0
+
+    def expire(now):
+        nonlocal active
+        keep = []
+        for end, vreg, phys in active:
+            if end < now:
+                free.append(phys)
+            else:
+                keep.append((end, vreg, phys))
+        active = keep
+
+    for vreg in order:
+        expire(starts[vreg])
+        if free:
+            phys = free.pop()
+            assignment[vreg] = phys
+            active.append((ends[vreg], vreg, phys))
+            continue
+        # Spill the interval that ends furthest in the future.
+        active.sort()
+        furthest_end, victim, victim_phys = active[-1]
+        if furthest_end > ends[vreg]:
+            active.pop()
+            spilled[victim] = next_slot
+            del assignment[victim]
+            assignment[vreg] = victim_phys
+            active.append((ends[vreg], vreg, victim_phys))
+        else:
+            spilled[vreg] = next_slot
+        next_slot += slot_size
+        if next_slot > frame_bytes:
+            raise AllocationError("spill frame exceeds %d bytes" % frame_bytes)
+
+    return _rewrite(items, assignment, spilled, cap_spills), next_slot
+
+
+def _rewrite(items, assignment, spilled, cap_spills):
+    load_op = Op.CLC if cap_spills else Op.LW
+    store_op = Op.CSC if cap_spills else Op.SW
+    sp = 2
+    out = []
+    for item in items:
+        if isinstance(item, VLabel):
+            out.append(item)
+            continue
+        if isinstance(item, VLoadImm):
+            rd, post = _map_write(item.rd, assignment, spilled)
+            out.append(VLoadImm(rd, item.value, depth=item.depth,
+                                comment=item.comment))
+            _emit_spill_store(out, post, store_op, sp, item.depth)
+            continue
+        rs1, rs2 = item.rs1, item.rs2
+        scratch_cycle = [SCRATCH_A, SCRATCH_B]
+        if rs1 is not None and rs1 >= FIRST_VREG:
+            if rs1 in spilled:
+                scratch = scratch_cycle.pop(0)
+                out.append(VInstr(load_op, rd=scratch, rs1=sp,
+                                  imm=spilled[rs1], depth=item.depth,
+                                  comment="reload"))
+                rs1 = scratch
+            else:
+                rs1 = assignment[rs1]
+        if rs2 is not None and rs2 >= FIRST_VREG:
+            if rs2 in spilled:
+                scratch = scratch_cycle.pop(0)
+                out.append(VInstr(load_op, rd=scratch, rs1=sp,
+                                  imm=spilled[rs2], depth=item.depth,
+                                  comment="reload"))
+                rs2 = scratch
+            else:
+                rs2 = assignment[rs2]
+        rd, post = _map_write(item.rd, assignment, spilled)
+        out.append(VInstr(item.op, rd=rd, rs1=rs1, rs2=rs2, imm=item.imm,
+                          target=item.target, depth=item.depth,
+                          comment=item.comment))
+        _emit_spill_store(out, post, store_op, sp, item.depth)
+    return out
+
+
+def _map_write(rd, assignment, spilled):
+    """Map a destination; returns (phys_rd, spill_slot_or_None)."""
+    if rd is None or rd < FIRST_VREG:
+        return rd, None
+    if rd in spilled:
+        return SCRATCH_A, spilled[rd]
+    return assignment[rd], None
+
+
+def _emit_spill_store(out, slot, store_op, sp, depth):
+    if slot is not None:
+        out.append(VInstr(store_op, rs1=sp, rs2=SCRATCH_A, imm=slot,
+                          depth=depth, comment="spill"))

@@ -1,0 +1,295 @@
+"""Host-side runtime: buffers, argument blocks, and kernel launches.
+
+Mirrors the role of the NoCL host library on the paper's evaluation SoC
+(Figure 9): it owns GPU memory, allocates buffers, marshals kernel
+arguments, and launches kernels on the SM.  Under CHERI the runtime is
+where the *only* software changes live (paper section 4.1): buffer and
+stack capabilities are derived from the root with exact CHERI-Concentrate
+bounds, and kernel arguments are passed as tagged capabilities in the
+argument block.  Kernels themselves are identical across modes.
+"""
+
+import struct
+
+from repro.cheri import Perms, concentrate, root_capability
+from repro.cheri.revocation import Quarantine, sweep_memory
+from repro.nocl.compiler import MODES, compile_kernel
+from repro.nocl.dsl import ScalarType
+from repro.simt import SMConfig, StreamingMultiprocessor
+from repro.simt.config import ARG_BASE, HEAP_BASE, SCRATCHPAD_BASE, STACK_BASE
+
+#: Stack frame reserve per thread (must cover regalloc's spill frame).
+FRAME_RESERVE = 512
+
+
+class Buffer:
+    """A device buffer of ``count`` elements of scalar type ``elem``."""
+
+    def __init__(self, addr, count, elem, padded_bytes):
+        self.addr = addr
+        self.count = count
+        self.elem = elem
+        self.padded_bytes = padded_bytes
+
+    @property
+    def nbytes(self):
+        return self.count * self.elem.width
+
+    def __repr__(self):
+        return "Buffer(0x%08x, %d x %s)" % (self.addr, self.count, self.elem)
+
+
+class LaunchError(Exception):
+    """Invalid launch geometry or argument mismatch."""
+
+
+class NoCLRuntime:
+    """One simulated GPU + host runtime, fixed to one compilation mode."""
+
+    def __init__(self, mode="baseline", config=None):
+        if mode not in MODES:
+            raise ValueError("unknown mode %r" % mode)
+        self.mode = mode
+        if config is None:
+            config = (SMConfig.cheri_optimised() if mode == "purecap"
+                      else SMConfig.baseline())
+        if mode == "purecap" and not config.enable_cheri:
+            raise ValueError("purecap mode needs a CHERI-enabled SMConfig")
+        self.config = config
+        self.sm = StreamingMultiprocessor(config)
+        self._heap = HEAP_BASE
+        self._compiled = {}
+        self._root = root_capability()
+        self._quarantine = Quarantine()
+
+    # -- memory management ----------------------------------------------------
+
+    def alloc(self, elem, count):
+        """Allocate a device buffer, CHERI-aligned so its capability is exact.
+
+        Like a CHERI-aware malloc, the base is aligned to CRAM(size) and
+        the allocation padded to CRRL(size), so CSetBounds never rounds
+        (paper section 2.4's representable-bounds requirement).
+        """
+        if not isinstance(elem, ScalarType):
+            raise TypeError("alloc() needs a scalar element type")
+        size = max(1, count * elem.width)
+        padded = concentrate.crrl(size)
+        mask = concentrate.crml(size)
+        align = ((~mask & 0xFFFFFFFF) + 1) & 0xFFFFFFFF
+        base = (self._heap + align - 1) & mask if align > 1 else self._heap
+        base = (base + 3) & ~3  # at least word alignment
+        self._heap = base + max(4, padded)
+        if self._heap >= STACK_BASE:
+            raise MemoryError("device heap exhausted")
+        return Buffer(base, count, elem, max(4, padded))
+
+    def free(self, buffer):
+        """Free a buffer into quarantine (temporal safety, section 2.4).
+
+        The address range is not reused until :meth:`revoke` has swept
+        away every capability still pointing at it.
+        """
+        self._quarantine.add(buffer.addr, buffer.addr + buffer.padded_bytes)
+
+    def revoke(self):
+        """Run a Cornucopia-style revocation sweep over device memory.
+
+        Clears the tag of every stored capability whose bounds overlap a
+        quarantined region; subsequent use traps as a tag violation.
+        Returns the number of capabilities revoked.
+        """
+        revoked = sweep_memory(self.sm.memory, self._quarantine)
+        self._quarantine.drain()
+        return revoked
+
+    def upload(self, buffer, values):
+        """Copy host values into a device buffer."""
+        if len(values) > buffer.count:
+            raise ValueError("too many values for buffer")
+        raw = bytearray(((len(values) * buffer.elem.width + 3) // 4) * 4)
+        fmt = self._pack_format(buffer.elem)
+        for i, value in enumerate(values):
+            struct.pack_into(fmt, raw, i * buffer.elem.width,
+                             self._to_wire(buffer.elem, value))
+        words = [int.from_bytes(raw[i:i + 4], "little")
+                 for i in range(0, len(raw), 4)]
+        self.sm.memory.write_block_words(buffer.addr, words)
+
+    def download(self, buffer, count=None):
+        """Copy a device buffer back to host values."""
+        count = buffer.count if count is None else count
+        nbytes = count * buffer.elem.width
+        words = self.sm.memory.read_block_words(buffer.addr,
+                                                (nbytes + 3) // 4)
+        raw = b"".join(word.to_bytes(4, "little") for word in words)
+        fmt = self._pack_format(buffer.elem)
+        out = []
+        for i in range(count):
+            (value,) = struct.unpack_from(fmt, raw, i * buffer.elem.width)
+            out.append(value)
+        return out
+
+    @staticmethod
+    def _pack_format(elem):
+        if elem.is_float:
+            return "<f"
+        return {
+            (1, True): "<b", (1, False): "<B",
+            (2, True): "<h", (2, False): "<H",
+            (4, True): "<i", (4, False): "<I",
+        }[(elem.width, elem.signed)]
+
+    @staticmethod
+    def _to_wire(elem, value):
+        if elem.is_float:
+            return float(value)
+        bits = 8 * elem.width
+        value = int(value) & ((1 << bits) - 1)
+        if elem.signed and value >= (1 << (bits - 1)):
+            value -= 1 << bits
+        return value
+
+    # -- kernel compilation -----------------------------------------------------
+
+    def compiled(self, kernel_src):
+        key = id(kernel_src)
+        if key not in self._compiled:
+            self._compiled[key] = compile_kernel(kernel_src, self.mode)
+        return self._compiled[key]
+
+    # -- launching -----------------------------------------------------------------
+
+    def launch(self, kernel_src, grid_dim, block_dim, args):
+        """Run ``kernel_src`` over a 1-D grid; returns the SM stats."""
+        program = self.compiled(kernel_src)
+        cfg = self.config
+        if block_dim <= 0 or grid_dim <= 0:
+            raise LaunchError("grid and block dimensions must be positive")
+        if block_dim % cfg.num_lanes:
+            raise LaunchError("blockDim must be a multiple of the warp size "
+                              "(%d)" % cfg.num_lanes)
+        if block_dim > cfg.num_threads or cfg.num_threads % block_dim:
+            raise LaunchError("blockDim must divide the %d hardware threads"
+                              % cfg.num_threads)
+        if program.shared_bytes > cfg.scratchpad_bytes:
+            raise LaunchError("kernel needs %d bytes of shared memory, SM "
+                              "has %d" % (program.shared_bytes,
+                                          cfg.scratchpad_bytes))
+        if len(args) != len(program.arg_slots):
+            raise LaunchError("kernel %s expects %d arguments, got %d"
+                              % (program.name, len(program.arg_slots),
+                                 len(args)))
+        num_slots = cfg.num_threads // block_dim
+        self._write_arg_block(program, grid_dim, block_dim, args)
+        init_regs, init_caps = self._initial_registers(
+            program, block_dim, num_slots)
+        pcc = self._kernel_pcc(program)
+        return self.sm.launch(
+            program.instrs,
+            init_regs=init_regs,
+            init_cap_regs=init_caps,
+            warps_per_block=block_dim // cfg.num_lanes,
+            kernel_pcc=pcc,
+        )
+
+    def _write_arg_block(self, program, grid_dim, block_dim, args):
+        from repro.nocl.codegen import HDR_BLOCK_DIM, HDR_GRID_DIM
+        mem = self.sm.memory
+        mem.write(ARG_BASE + HDR_GRID_DIM, 4, grid_dim)
+        mem.write(ARG_BASE + HDR_BLOCK_DIM, 4, block_dim)
+        for slot, arg in zip(program.arg_slots, args):
+            addr = ARG_BASE + slot.offset
+            if slot.is_pointer:
+                if not isinstance(arg, Buffer):
+                    raise LaunchError("argument %r must be a Buffer"
+                                      % slot.name)
+                if self.mode == "purecap":
+                    cap, exact = self._root.set_bounds(arg.addr,
+                                                       arg.padded_bytes)
+                    assert exact and cap.tag, "allocator guarantees exactness"
+                    cap = cap.and_perms(Perms.GLOBAL | Perms.LOAD
+                                        | Perms.STORE | Perms.LOAD_CAP
+                                        | Perms.STORE_CAP)
+                    mem.write_cap_raw(addr, cap.to_mem() & ((1 << 64) - 1),
+                                      True)
+                elif self.mode == "boundscheck":
+                    mem.write(addr, 4, arg.addr)
+                    mem.write(addr + 4, 4, arg.count)  # length in elements
+                else:
+                    mem.write(addr, 4, arg.addr)
+            else:
+                if isinstance(arg, Buffer):
+                    raise LaunchError("argument %r must be a scalar"
+                                      % slot.name)
+                if isinstance(arg, float):
+                    word = struct.unpack("<I", struct.pack("<f", arg))[0]
+                else:
+                    word = int(arg) & 0xFFFFFFFF
+                mem.write(addr, 4, word)
+
+    def _initial_registers(self, program, block_dim, num_slots,
+                           slot_offset=0, scratch_base=SCRATCHPAD_BASE,
+                           stack_base=STACK_BASE):
+        """Per-thread launch registers.
+
+        ``slot_offset``/``scratch_base``/``stack_base`` let a multi-SM
+        runtime give each SM its own block slots, scratchpad window, and
+        stack window.
+        """
+        from repro.nocl.codegen import (
+            REG_ARG,
+            REG_BLK0,
+            REG_NSLOT,
+            REG_SCRATCH,
+            REG_SP,
+            REG_TID,
+        )
+        cfg = self.config
+        tids = list(range(cfg.num_threads))
+        stack_size = cfg.stack_bytes_per_thread
+        sp_addrs = [
+            stack_base + (t + 1) * stack_size - FRAME_RESERVE for t in tids
+        ]
+        init_regs = {
+            REG_TID: [t % block_dim for t in tids],
+            REG_BLK0: [t // block_dim + slot_offset for t in tids],
+            REG_NSLOT: [num_slots] * len(tids),
+        }
+        init_caps = {}
+        if self.mode == "purecap":
+            data_perms = (Perms.GLOBAL | Perms.LOAD | Perms.STORE
+                          | Perms.LOAD_CAP | Perms.STORE_CAP)
+            arg_cap, _ = self._root.set_bounds(ARG_BASE,
+                                               program.arg_block_bytes)
+            init_caps[REG_ARG] = arg_cap.and_perms(
+                Perms.GLOBAL | Perms.LOAD | Perms.LOAD_CAP)
+            scratch_cap, _ = self._root.set_bounds(scratch_base,
+                                                   cfg.scratchpad_bytes)
+            init_caps[REG_SCRATCH] = scratch_cap.and_perms(data_perms)
+            # One capability bounds the whole stack region; threads differ
+            # only in their addresses.  This mirrors NoCL's stack-bounds
+            # setup (paper section 4.1) and keeps the stack capability's
+            # metadata *uniform* across a warp — per-thread bounds would
+            # put one divergent metadata vector per warp in the VRF
+            # forever.
+            region, _ = self._root.set_bounds(
+                stack_base, len(tids) * stack_size)
+            region = region.and_perms(data_perms)
+            init_caps[REG_SP] = [region.set_addr(sp_addrs[t]) for t in tids]
+        else:
+            init_regs[REG_ARG] = [ARG_BASE] * len(tids)
+            init_regs[REG_SCRATCH] = [scratch_base] * len(tids)
+            init_regs[REG_SP] = sp_addrs
+        return init_regs, init_caps
+
+    def _kernel_pcc(self, program):
+        if self.mode != "purecap":
+            return None
+        code_bytes = 4 * len(program.instrs)
+        pcc, _ = self._root.set_bounds(0, concentrate.crrl(code_bytes))
+        return pcc.and_perms(Perms.GLOBAL | Perms.EXECUTE | Perms.LOAD)
+
+    @property
+    def stats(self):
+        return self.sm.stats

@@ -1,0 +1,14 @@
+"""The SIMTight-like streaming multiprocessor (SM).
+
+A cycle-level model of the paper's SM (Figure 2): a barrel-scheduled
+pipeline with at most one instruction per warp in flight, per-thread program
+counters with deepest-first reconvergence, a coalescing unit, a banked
+scratchpad, a shared-function unit, and compressed general-purpose and
+capability-metadata register files.
+"""
+
+from repro.simt.config import SMConfig
+from repro.simt.pipeline import KernelAbort, StreamingMultiprocessor
+from repro.simt.stats import SMStats
+
+__all__ = ["KernelAbort", "SMConfig", "SMStats", "StreamingMultiprocessor"]

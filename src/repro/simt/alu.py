@@ -1,0 +1,171 @@
+"""Per-lane scalar semantics: RV32IM integer and Zfinx float arithmetic.
+
+All values are 32-bit unsigned bit patterns (Python ints in [0, 2**32)).
+Signedness is applied per operation, matching the RISC-V spec, including
+the division corner cases (divide-by-zero and signed overflow).
+Floating-point ops round through IEEE-754 binary32 via struct packing.
+"""
+
+import math
+import struct
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed(value):
+    value &= MASK32
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def to_u32(value):
+    return value & MASK32
+
+
+def bits_to_f32(bits):
+    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+
+
+def f32_to_bits(value):
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except (OverflowError, ValueError):
+        # Overflow to infinity with the right sign.
+        inf = float("inf") if value > 0 else float("-inf")
+        return struct.unpack("<I", struct.pack("<f", inf))[0]
+
+
+# -- integer ---------------------------------------------------------------
+
+def int_op(op_name, a, b):
+    """Two-source RV32IM integer operation on 32-bit patterns."""
+    if op_name == "add":
+        return to_u32(a + b)
+    if op_name == "sub":
+        return to_u32(a - b)
+    if op_name == "sll":
+        return to_u32(a << (b & 31))
+    if op_name == "srl":
+        return to_u32(a) >> (b & 31)
+    if op_name == "sra":
+        return to_u32(to_signed(a) >> (b & 31))
+    if op_name == "xor":
+        return to_u32(a ^ b)
+    if op_name == "or":
+        return to_u32(a | b)
+    if op_name == "and":
+        return to_u32(a & b)
+    if op_name == "slt":
+        return 1 if to_signed(a) < to_signed(b) else 0
+    if op_name == "sltu":
+        return 1 if to_u32(a) < to_u32(b) else 0
+    if op_name == "mul":
+        return to_u32(a * b)
+    if op_name == "mulh":
+        return to_u32((to_signed(a) * to_signed(b)) >> 32)
+    if op_name == "mulhsu":
+        return to_u32((to_signed(a) * to_u32(b)) >> 32)
+    if op_name == "mulhu":
+        return to_u32((to_u32(a) * to_u32(b)) >> 32)
+    if op_name == "div":
+        return _div_signed(a, b)
+    if op_name == "divu":
+        return MASK32 if to_u32(b) == 0 else to_u32(a) // to_u32(b)
+    if op_name == "rem":
+        return _rem_signed(a, b)
+    if op_name == "remu":
+        return to_u32(a) if to_u32(b) == 0 else to_u32(a) % to_u32(b)
+    raise ValueError("unknown int op %r" % op_name)
+
+
+def _div_signed(a, b):
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return MASK32  # RISC-V: division by zero yields -1
+    if sa == -(1 << 31) and sb == -1:
+        return 0x80000000  # signed overflow wraps
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_u32(quotient)
+
+
+def _rem_signed(a, b):
+    sa, sb = to_signed(a), to_signed(b)
+    if sb == 0:
+        return to_u32(sa)
+    if sa == -(1 << 31) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return to_u32(remainder)
+
+
+def branch_taken(op_name, a, b):
+    """Branch condition on 32-bit patterns."""
+    if op_name == "beq":
+        return a == b
+    if op_name == "bne":
+        return a != b
+    if op_name == "blt":
+        return to_signed(a) < to_signed(b)
+    if op_name == "bge":
+        return to_signed(a) >= to_signed(b)
+    if op_name == "bltu":
+        return to_u32(a) < to_u32(b)
+    if op_name == "bgeu":
+        return to_u32(a) >= to_u32(b)
+    raise ValueError("unknown branch %r" % op_name)
+
+
+# -- floating point (binary32 via bit patterns) ------------------------------
+
+def float_op(op_name, a_bits, b_bits=0):
+    """Zfinx single-precision operation on/to 32-bit patterns."""
+    a = bits_to_f32(a_bits)
+    b = bits_to_f32(b_bits)
+    if op_name == "fadd":
+        return f32_to_bits(a + b)
+    if op_name == "fsub":
+        return f32_to_bits(a - b)
+    if op_name == "fmul":
+        return f32_to_bits(a * b)
+    if op_name == "fdiv":
+        if b == 0.0:
+            return f32_to_bits(math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
+        return f32_to_bits(a / b)
+    if op_name == "fsqrt":
+        if a < 0.0:
+            return f32_to_bits(math.nan)
+        return f32_to_bits(math.sqrt(a))
+    if op_name == "fmin":
+        return f32_to_bits(min(a, b))
+    if op_name == "fmax":
+        return f32_to_bits(max(a, b))
+    if op_name == "feq":
+        return 1 if a == b else 0
+    if op_name == "flt":
+        return 1 if a < b else 0
+    if op_name == "fle":
+        return 1 if a <= b else 0
+    if op_name == "fsgnj":
+        return (a_bits & 0x7FFFFFFF) | (b_bits & 0x80000000)
+    if op_name == "fsgnjn":
+        return (a_bits & 0x7FFFFFFF) | (~b_bits & 0x80000000)
+    if op_name == "fsgnjx":
+        return a_bits ^ (b_bits & 0x80000000)
+    if op_name == "fcvt.w.s":
+        return to_u32(_clamp_int(a, -(1 << 31), (1 << 31) - 1))
+    if op_name == "fcvt.wu.s":
+        return to_u32(_clamp_int(a, 0, MASK32))
+    if op_name == "fcvt.s.w":
+        return f32_to_bits(float(to_signed(a_bits)))
+    if op_name == "fcvt.s.wu":
+        return f32_to_bits(float(to_u32(a_bits)))
+    raise ValueError("unknown float op %r" % op_name)
+
+
+def _clamp_int(value, lo, hi):
+    if math.isnan(value):
+        return hi
+    return max(lo, min(hi, int(value)))

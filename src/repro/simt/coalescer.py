@@ -1,0 +1,40 @@
+"""The coalescing unit.
+
+Packs per-lane memory requests into a small set of wide main-memory
+transactions, exploiting memory-access regularity (paper sections 2.1 and
+2.3).  The rules follow the same spirit as early NVIDIA Tesla devices: all
+active lanes' accesses that fall within one aligned ``line_bytes`` block are
+served by a single wide transaction.
+"""
+
+
+def coalesce(accesses, line_bytes):
+    """Group per-lane accesses into line-sized transactions.
+
+    ``accesses`` is an iterable of (addr, width) pairs for active lanes.
+    Returns a list of (line_addr, n_bytes) transactions, one per distinct
+    aligned block touched (an access straddling a block boundary counts
+    against both blocks).
+    """
+    lines = set()
+    for addr, width in accesses:
+        first = addr // line_bytes
+        last = (addr + width - 1) // line_bytes
+        lines.add(first)
+        if last != first:
+            lines.add(last)
+    return [(line * line_bytes, line_bytes) for line in sorted(lines)]
+
+
+def atomic_conflicts(addresses):
+    """Serialisation count for same-address atomics.
+
+    Lanes performing an atomic on the same word must be serialised; the
+    cost is the worst-case duplicate count minus one.
+    """
+    counts = {}
+    for addr in addresses:
+        counts[addr >> 2] = counts.get(addr >> 2, 0) + 1
+    if not counts:
+        return 0
+    return max(counts.values()) - 1

@@ -1,0 +1,986 @@
+"""The streaming multiprocessor: barrel-scheduled SIMT pipeline.
+
+Models the SIMTight SM of paper Figure 2 at cycle level:
+
+- a barrel scheduler issues at most one instruction per warp into the
+  pipeline at a time; a warp re-issues ``pipeline_depth`` cycles after
+  issue (sooner-suspended warps resume at their operation's completion);
+- the Active Thread Selection stage picks, per warp, the subset of threads
+  at the deepest control-flow nesting level with the lowest common PC (and,
+  under CHERI with dynamic PC metadata, an identical PCC);
+- memory instructions suspend the warp and resume at the coalesced DRAM
+  (or banked-scratchpad) completion time;
+- the shared-function unit serialises lane requests for div/sqrt and, in
+  the optimised configuration, the CHERI get/set-bounds instructions;
+- the compressed register files charge spill/reload DRAM traffic and the
+  CSC and shared-VRF operand-fetch stalls of paper section 3.2.
+
+All CHERI checks (tag, seal, permission, bounds) are enforced exactly; a
+failed check aborts the kernel with a :class:`KernelAbort` carrying the
+precise fault.
+"""
+
+from repro.cheri.capability import Capability, Perms
+from repro.cheri.exceptions import (
+    BoundsViolation,
+    CapabilityFault,
+    PermissionViolation,
+    SealViolation,
+    TagViolation,
+)
+from repro.cheri import concentrate
+from repro.isa.instructions import (
+    ACCESS_WIDTH,
+    AMO_OPS,
+    BRANCH_OPS,
+    CHERI_SLOW_OPS,
+    LOAD_OPS,
+    SFU_OPS,
+    STORE_OPS,
+    Op,
+)
+from repro.memory import DRAMModel, TagController, TaggedMemory
+from repro.simt import alu
+from repro.simt.coalescer import atomic_conflicts, coalesce
+from repro.simt.config import SMConfig
+from repro.simt.regfile import CompressedRegFile, PlainRegFile, SlotPool
+from repro.simt.scratchpad import Scratchpad
+from repro.simt.sfu import SharedFunctionUnit
+from repro.simt.stackcache import StackCache
+from repro.simt.stats import SMStats
+
+MASK32 = 0xFFFFFFFF
+_FAR_FUTURE = 1 << 62
+
+
+class KernelAbort(Exception):
+    """A kernel terminated abnormally (capability fault or software trap)."""
+
+    def __init__(self, cause, cycle):
+        super().__init__("kernel aborted at cycle %d: %s" % (cycle, cause))
+        self.cause = cause
+        self.cycle = cycle
+
+
+class SoftwareTrap(Exception):
+    """An explicit TRAP/EBREAK, e.g. a failed software bounds check."""
+
+    def __init__(self, message, thread=None, pc=None):
+        super().__init__(message)
+        self.thread = thread
+        self.pc = pc
+
+
+_INT_R = {
+    Op.ADD: "add", Op.SUB: "sub", Op.SLL: "sll", Op.SRL: "srl",
+    Op.SRA: "sra", Op.XOR: "xor", Op.OR: "or", Op.AND: "and",
+    Op.SLT: "slt", Op.SLTU: "sltu", Op.MUL: "mul", Op.MULH: "mulh",
+    Op.MULHSU: "mulhsu", Op.MULHU: "mulhu", Op.DIV: "div", Op.DIVU: "divu",
+    Op.REM: "rem", Op.REMU: "remu",
+}
+_INT_I = {
+    Op.ADDI: "add", Op.SLTI: "slt", Op.SLTIU: "sltu", Op.XORI: "xor",
+    Op.ORI: "or", Op.ANDI: "and", Op.SLLI: "sll", Op.SRLI: "srl",
+    Op.SRAI: "sra",
+}
+_FLOAT_RR = {
+    Op.FADD_S: "fadd", Op.FSUB_S: "fsub", Op.FMUL_S: "fmul",
+    Op.FDIV_S: "fdiv", Op.FMIN_S: "fmin", Op.FMAX_S: "fmax",
+    Op.FEQ_S: "feq", Op.FLT_S: "flt", Op.FLE_S: "fle",
+    Op.FSGNJ_S: "fsgnj", Op.FSGNJN_S: "fsgnjn", Op.FSGNJX_S: "fsgnjx",
+}
+_FLOAT_UNARY = {
+    Op.FSQRT_S: "fsqrt", Op.FCVT_W_S: "fcvt.w.s", Op.FCVT_WU_S: "fcvt.wu.s",
+    Op.FCVT_S_W: "fcvt.s.w", Op.FCVT_S_WU: "fcvt.s.wu",
+}
+_AMO_FN = {
+    Op.AMOADD_W: lambda old, v: alu.to_u32(old + v),
+    Op.CAMOADD_W: lambda old, v: alu.to_u32(old + v),
+    Op.AMOSWAP_W: lambda old, v: v,
+    Op.AMOAND_W: lambda old, v: old & v,
+    Op.AMOOR_W: lambda old, v: old | v,
+    Op.AMOXOR_W: lambda old, v: old ^ v,
+    Op.AMOMIN_W: lambda old, v: old if alu.to_signed(old) <= alu.to_signed(v) else v,
+    Op.AMOMAX_W: lambda old, v: old if alu.to_signed(old) >= alu.to_signed(v) else v,
+    Op.AMOMINU_W: lambda old, v: min(old, v),
+    Op.AMOMAXU_W: lambda old, v: max(old, v),
+}
+
+
+class _Warp:
+    """Mutable per-warp state."""
+
+    __slots__ = ("index", "pcs", "halted", "pcc_meta", "ready_at",
+                 "in_barrier", "block_slot", "done")
+
+    def __init__(self, index, lanes, entry_pc, block_slot):
+        self.index = index
+        self.pcs = [entry_pc] * lanes
+        self.halted = [False] * lanes
+        self.pcc_meta = [0] * lanes
+        self.ready_at = 0
+        self.in_barrier = False
+        self.block_slot = block_slot
+        self.done = False
+
+
+class StreamingMultiprocessor:
+    """One SIMTight-like SM plus its memory subsystem."""
+
+    def __init__(self, config=None, memory=None, scratchpad_base=None):
+        self.cfg = (config or SMConfig()).validate()
+        self.memory = memory if memory is not None else TaggedMemory()
+        self.dram = DRAMModel(latency=self.cfg.dram_latency,
+                              line_bytes=self.cfg.dram_line_bytes)
+        self.tag_controller = TagController(self.memory, self.dram)
+        if scratchpad_base is None:
+            from repro.simt.config import SCRATCHPAD_BASE
+            scratchpad_base = SCRATCHPAD_BASE
+        self.scratchpad = Scratchpad(self.memory, self.cfg.num_lanes,
+                                     self.cfg.scratchpad_bytes,
+                                     base=scratchpad_base)
+        self.sfu = SharedFunctionUnit(self.cfg.sfu_latency,
+                                      self.cfg.sfu_cheri_latency)
+        self.stack_cache = None
+        if self.cfg.enable_stack_cache:
+            from repro.simt.config import STACK_BASE
+            self.stack_cache = StackCache(
+                STACK_BASE,
+                self.cfg.num_threads * self.cfg.stack_bytes_per_thread)
+        self._build_regfiles()
+        self.stats = SMStats()
+        self.program = []
+        self._pcc_cache = {}
+        self._lane_range = range(self.cfg.num_lanes)
+        #: Optional instruction-trace sink: an object with a
+        #: ``record(cycle, warp, pc, instr, lanes)`` method.
+        self.trace = None
+
+    def _build_regfiles(self):
+        cfg = self.cfg
+        gp_pool = SlotPool(cfg.vrf_slots)
+        self.gp = CompressedRegFile(cfg.num_lanes, 32, gp_pool,
+                                    detect_affine=True, name="gp")
+        self.meta = None
+        if cfg.enable_cheri:
+            if not cfg.compress_metadata:
+                self.meta = PlainRegFile(cfg.num_lanes, 33, name="meta")
+            elif cfg.shared_vrf:
+                self.meta = CompressedRegFile(cfg.num_lanes, 33, gp_pool,
+                                              detect_affine=False,
+                                              nvo=cfg.nvo, name="meta")
+            else:
+                meta_pool = SlotPool(max(1, cfg.vrf_slots // 2))
+                self.meta = CompressedRegFile(cfg.num_lanes, 33, meta_pool,
+                                              detect_affine=False,
+                                              nvo=cfg.nvo, name="meta")
+
+    # ------------------------------------------------------------------
+    # Launch interface
+    # ------------------------------------------------------------------
+
+    def launch(self, program, init_regs=None, init_cap_regs=None,
+               entry_pc=0, warps_per_block=1, kernel_pcc=None,
+               max_cycles=200_000_000):
+        """Run ``program`` to completion on all warps; returns the stats.
+
+        ``init_regs`` maps register index -> per-hardware-thread values
+        (length num_threads).  ``init_cap_regs`` maps register index -> a
+        single :class:`Capability` or per-thread list of capabilities
+        (requires CHERI).  ``kernel_pcc`` is the program-counter capability
+        installed in every thread at launch (defaults to an all-code root
+        in CHERI mode).
+        """
+        cfg = self.cfg
+        self.program = list(program)
+        if cfg.num_warps % warps_per_block:
+            raise ValueError("warps_per_block must divide num_warps")
+        self.warps = [
+            _Warp(w, cfg.num_lanes, entry_pc, w // warps_per_block)
+            for w in range(cfg.num_warps)
+        ]
+        self._warps_per_block = warps_per_block
+        self._barrier_arrived = {}
+        if cfg.enable_cheri:
+            if kernel_pcc is None:
+                from repro.cheri.capability import root_capability
+                kernel_pcc = root_capability(
+                    Perms.GLOBAL | Perms.EXECUTE | Perms.LOAD)
+            pcc_meta = kernel_pcc.meta_word() | (1 << 32)
+            for warp in self.warps:
+                warp.pcc_meta = [pcc_meta] * cfg.num_lanes
+        self._install_registers(init_regs or {}, init_cap_regs or {})
+
+        cycle = 0
+        self.dram.reset_timing()
+        self.sfu.reset_timing()
+        rotation = 0
+        live = cfg.num_warps
+        try:
+            while live:
+                picked = None
+                for offset in self._warp_order(rotation):
+                    warp = self.warps[offset]
+                    if not warp.done and not warp.in_barrier and \
+                            warp.ready_at <= cycle:
+                        picked = warp
+                        break
+                if picked is None:
+                    next_ready = min(
+                        (w.ready_at for w in self.warps
+                         if not w.done and not w.in_barrier),
+                        default=None,
+                    )
+                    if next_ready is None:
+                        raise KernelAbort("deadlock: all warps blocked on a "
+                                          "barrier", cycle)
+                    cycle = max(cycle + 1, next_ready)
+                    continue
+                rotation = picked.index + 1
+                cycle = self._issue(picked, cycle)
+                if picked.done:
+                    live -= 1
+                if cycle > max_cycles:
+                    raise KernelAbort("cycle limit exceeded", cycle)
+        except (CapabilityFault, SoftwareTrap) as fault:
+            self.stats.cycles += cycle
+            self._finalise_stats()
+            raise KernelAbort(fault, cycle) from fault
+        # Cycles accumulate across launches so multi-kernel benchmarks
+        # report their total.
+        self.stats.cycles += cycle
+        self._finalise_stats()
+        return self.stats
+
+    def _warp_order(self, rotation):
+        count = self.cfg.num_warps
+        return ((rotation + i) % count for i in range(count))
+
+    def _install_registers(self, init_regs, init_cap_regs):
+        cfg = self.cfg
+        lanes = cfg.num_lanes
+        for reg, values in init_regs.items():
+            for w in range(cfg.num_warps):
+                chunk = values[w * lanes:(w + 1) * lanes]
+                self.gp.write(w, reg, [v & MASK32 for v in chunk])
+                if self.meta is not None:
+                    self.meta.write(w, reg, [0] * lanes)
+        for reg, caps in init_cap_regs.items():
+            if not cfg.enable_cheri:
+                raise ValueError("capability registers require CHERI")
+            if isinstance(caps, Capability):
+                caps = [caps] * cfg.num_threads
+            for w in range(cfg.num_warps):
+                chunk = caps[w * lanes:(w + 1) * lanes]
+                self.gp.write(w, reg, [c.addr for c in chunk])
+                metas = [c.meta_word() | (int(c.tag) << 32) for c in chunk]
+                self.meta.write(w, reg, metas)
+                if any(c.tag for c in chunk):
+                    self.stats.note_cap_register(w, reg)
+
+    def _finalise_stats(self):
+        st = self.stats
+        st.dram_read_bytes = self.dram.stats.read_bytes
+        st.dram_write_bytes = self.dram.stats.write_bytes
+        st.dram_spill_bytes = self.dram.stats.spill_bytes
+        st.dram_tag_bytes = self.dram.stats.tag_bytes
+        st.dram_txns = self.dram.stats.total_txns
+        st.gp_spills = self.gp.total_spills
+        st.gp_reloads = self.gp.total_reloads
+        st.gp_writes_total = self.gp.writes_total
+        st.gp_writes_uniform = self.gp.writes_uniform
+        st.gp_writes_affine = self.gp.writes_affine
+        if self.meta is not None:
+            st.meta_spills = self.meta.total_spills
+            st.meta_reloads = self.meta.total_reloads
+            if isinstance(self.meta, CompressedRegFile):
+                st.meta_writes_total = self.meta.writes_total
+                st.meta_writes_uniform = self.meta.writes_uniform
+                st.meta_writes_partial_null = self.meta.writes_partial_null
+        st.tag_cache_hits = self.tag_controller.hits
+        st.tag_cache_misses = self.tag_controller.misses
+        st.sfu_requests = self.sfu.requests
+        st.sfu_busy_cycles = self.sfu.busy_cycles
+
+    # ------------------------------------------------------------------
+    # Active thread selection (paper section 2.3 / 3.3)
+    # ------------------------------------------------------------------
+
+    def _select_threads(self, warp):
+        dynamic_pcc = (self.cfg.enable_cheri
+                       and not self.cfg.static_pc_metadata)
+        groups = {}
+        for lane in self._lane_range:
+            if warp.halted[lane]:
+                continue
+            pc = warp.pcs[lane]
+            meta = warp.pcc_meta[lane] if dynamic_pcc else 0
+            groups.setdefault((pc, meta), []).append(lane)
+        if not groups:
+            return None, None
+        # Deepest nesting level first, then lowest PC (convergence).
+        def priority(item):
+            (pc, _meta), _lanes = item
+            return (self._depth_at(pc), -pc)
+        (pc, _meta), lanes = max(groups.items(), key=priority)
+        return pc, lanes
+
+    def _depth_at(self, pc):
+        index = pc >> 2
+        if 0 <= index < len(self.program):
+            return self.program[index].depth
+        return 0
+
+    def _check_pcc(self, warp, pc, lanes):
+        """One program-counter-capability bounds check per SM per fetch."""
+        meta = warp.pcc_meta[lanes[0]]
+        cached = self._pcc_cache.get(meta)
+        if cached is None:
+            cap = Capability.from_meta_word(meta & MASK32, pc, bool(meta >> 32))
+            base, top = concentrate.decode_bounds(cap.bounds, pc)
+            ok_perms = cap.tag and (Perms.EXECUTE in cap.perms)
+            cached = (base, top, ok_perms)
+            self._pcc_cache[meta] = cached
+        base, top, ok_perms = cached
+        if not ok_perms:
+            raise PermissionViolation("PCC lacks execute permission",
+                                      address=pc, pc=pc)
+        if not (base <= pc and pc + 4 <= top):
+            raise BoundsViolation("instruction fetch outside PCC bounds",
+                                  address=pc, pc=pc)
+
+    # ------------------------------------------------------------------
+    # Issue: one instruction for one warp
+    # ------------------------------------------------------------------
+
+    def _issue(self, warp, cycle):
+        cfg = self.cfg
+        pc, lanes = self._select_threads(warp)
+        if pc is None:
+            warp.done = True
+            warp.ready_at = _FAR_FUTURE
+            return cycle
+        index = pc >> 2
+        if not 0 <= index < len(self.program):
+            raise SoftwareTrap("instruction fetch from unmapped pc 0x%x" % pc,
+                               thread=warp.index * cfg.num_lanes + lanes[0],
+                               pc=pc)
+        if cfg.enable_cheri:
+            self._check_pcc(warp, pc, lanes)
+        instr = self.program[index]
+
+        # Per-issue accumulators, consumed by the helpers below.
+        self._cycle = cycle
+        self._mem_ready = cycle
+        self._extra_issue = 0
+        self._gp_vec_touch = False
+        self._meta_vec_touch = False
+
+        mask = 0
+        for lane in lanes:
+            mask |= 1 << lane
+
+        self._execute(warp, instr, pc, lanes, mask)
+
+        # Shared-VRF serialisation: accessing an uncompressed data vector
+        # and an uncompressed metadata vector in one instruction costs an
+        # extra cycle (section 3.2).
+        if cfg.shared_vrf and self._gp_vec_touch and self._meta_vec_touch:
+            self._extra_issue += 1
+            self.stats.stall_shared_vrf += 1
+        # One-read-port metadata SRF: CSC needs both cs1 and cs2 metadata,
+        # costing an extra operand-fetch cycle (section 3.2).
+        if cfg.metadata_srf_single_port and instr.op is Op.CSC:
+            self._extra_issue += 1
+            self.stats.stall_csc_operand += 1
+
+        self.stats.instrs_issued += 1
+        self.stats.thread_instrs += len(lanes)
+        self.stats.opcode_counts[instr.op] += 1
+        if self.trace is not None:
+            self.trace.record(cycle, warp.index, pc, instr, lanes)
+
+        completion = max(cycle + cfg.pipeline_depth, self._mem_ready)
+        warp.ready_at = completion
+        if all(warp.halted):
+            warp.done = True
+            warp.ready_at = _FAR_FUTURE
+
+        # VRF occupancy integral (for Figure 10): resident vectors during
+        # the issue slot(s) just consumed.
+        width = 1 + self._extra_issue
+        self.stats.gp_vrf_occupancy_integral += self.gp.resident_vectors * width
+        if self.meta is not None:
+            self.stats.meta_vrf_occupancy_integral += \
+                self.meta.resident_vectors * width
+        return cycle + width
+
+    # -- register access helpers -----------------------------------------
+
+    def _read_gp(self, warp, reg):
+        if reg == 0:
+            return [0] * self.cfg.num_lanes
+        if self.gp.is_uncompressed(warp.index, reg):
+            self._gp_vec_touch = True
+        values, report = self.gp.read(warp.index, reg)
+        self._account_rf(report)
+        return values
+
+    def _read_meta(self, warp, reg):
+        if reg == 0:
+            return [0] * self.cfg.num_lanes
+        if self.meta.is_uncompressed(warp.index, reg):
+            self._meta_vec_touch = True
+        values, report = self.meta.read(warp.index, reg)
+        self._account_rf(report)
+        return values
+
+    def _read_caps(self, warp, reg):
+        """Materialise per-lane capabilities from the split register files."""
+        addrs = self._read_gp(warp, reg)
+        metas = self._read_meta(warp, reg)
+        return [
+            Capability.from_meta_word(metas[i] & MASK32, addrs[i],
+                                      bool(metas[i] >> 32))
+            for i in self._lane_range
+        ]
+
+    def _write_rd(self, warp, reg, values, mask, caps=None):
+        """Write rd: general-purpose values plus capability/null metadata."""
+        if reg is None or reg == 0:
+            return
+        report = self.gp.write(warp.index, reg, values, mask)
+        self._account_rf(report)
+        if self.gp.is_uncompressed(warp.index, reg):
+            self._gp_vec_touch = True
+        if self.meta is None:
+            return
+        if caps is None:
+            metas = [0] * self.cfg.num_lanes
+        else:
+            metas = [
+                (caps[i].meta_word() | (int(caps[i].tag) << 32))
+                if caps[i] is not None else 0
+                for i in self._lane_range
+            ]
+            if any(c is not None and c.tag for c in caps):
+                self.stats.note_cap_register(warp.index, reg)
+        report = self.meta.write(warp.index, reg, metas, mask)
+        self._account_rf(report)
+        if self.meta.is_uncompressed(warp.index, reg):
+            self._meta_vec_touch = True
+
+    def _account_rf(self, report):
+        """Convert register spill/reload events into DRAM traffic + waits."""
+        lane_bytes = self.cfg.num_lanes * 4
+        for _ in range(report.spills):
+            self.dram.request(self._cycle, True, lane_bytes, spill=True)
+        for _ in range(report.reloads):
+            done = self.dram.request(self._cycle, False, lane_bytes, spill=True)
+            self._mem_ready = max(self._mem_ready, done)
+
+    # -- memory helpers -----------------------------------------------------
+
+    def _memory_access(self, op, accesses, warp, is_write):
+        """Account timing for per-lane accesses [(lane, addr, width)]."""
+        cfg = self.cfg
+        scratch = [(a, w) for _, a, w in accesses
+                   if self.scratchpad.contains(a)]
+        global_ = [(a, w) for _, a, w in accesses
+                   if not self.scratchpad.contains(a)]
+        if scratch:
+            conflicts = self.scratchpad.conflict_cycles([a for a, _ in scratch])
+            self._extra_issue += conflicts
+            self.stats.stall_bank_conflict += conflicts
+            self.stats.scratchpad_accesses += len(scratch)
+            self._mem_ready = max(self._mem_ready,
+                                  self._cycle + cfg.scratchpad_latency)
+        if global_ and self.stack_cache is not None:
+            # The compressed stack cache absorbs stack traffic
+            # (section 4.4): only missing lines reach DRAM.
+            stack_accesses = [(a, w) for a, w in global_
+                              if self.stack_cache.contains(a)]
+            if stack_accesses:
+                global_ = [(a, w) for a, w in global_
+                           if not self.stack_cache.contains(a)]
+                missed = self.stack_cache.access(
+                    [a for a, _ in stack_accesses], is_write)
+                self._mem_ready = max(self._mem_ready,
+                                      self._cycle + cfg.scratchpad_latency)
+                for line_addr in missed:
+                    done = self.dram.request(
+                        self._cycle, is_write,
+                        self.stack_cache.line_bytes)
+                    self._mem_ready = max(self._mem_ready, done)
+        if global_:
+            txns = coalesce(global_, cfg.dram_line_bytes)
+            for line_addr, n_bytes in txns:
+                if cfg.enable_cheri:
+                    writes_tag = is_write and op in (Op.CSC,)
+                    done = self.tag_controller.access(
+                        self._cycle, line_addr, is_write, writes_tag=writes_tag)
+                    self._mem_ready = max(self._mem_ready, done)
+                done = self.dram.request(self._cycle, is_write, n_bytes)
+                self._mem_ready = max(self._mem_ready, done)
+        if ACCESS_WIDTH.get(op) == 8:
+            # Multi-flit transaction: a 64-bit capability access is two
+            # inseparable 32-bit flits (section 3.4).
+            self._extra_issue += 1
+
+    # -- capability checks ----------------------------------------------------
+
+    def _check_cap(self, cap, addr, width, perm, thread, pc, op_name):
+        if not cap.tag:
+            raise TagViolation("%s via untagged capability" % op_name,
+                               address=addr, thread=thread, pc=pc)
+        if cap.is_sealed:
+            raise SealViolation("%s via sealed capability" % op_name,
+                                address=addr, thread=thread, pc=pc)
+        if perm not in cap.perms:
+            raise PermissionViolation(
+                "%s lacks %s permission" % (op_name, perm.name),
+                address=addr, thread=thread, pc=pc)
+        base, top = concentrate.decode_bounds(cap.bounds, cap.addr)
+        if not (base <= addr and addr + width <= top):
+            raise BoundsViolation(
+                "%s out of bounds: 0x%08x not in [0x%08x, 0x%08x)"
+                % (op_name, addr, base, top),
+                address=addr, thread=thread, pc=pc)
+
+    # ------------------------------------------------------------------
+    # Execution (functional semantics + per-op timing hooks)
+    # ------------------------------------------------------------------
+
+    def _execute(self, warp, instr, pc, lanes, mask):
+        op = instr.op
+        cfg = self.cfg
+        next_pc = pc + 4
+
+        def advance(targets=None):
+            if targets is None:
+                for lane in lanes:
+                    warp.pcs[lane] = next_pc
+            else:
+                for lane in lanes:
+                    warp.pcs[lane] = targets[lane]
+
+        # --- integer ALU -------------------------------------------------
+        if op in _INT_R:
+            a = self._read_gp(warp, instr.rs1)
+            b = self._read_gp(warp, instr.rs2)
+            name = _INT_R[op]
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                out[lane] = alu.int_op(name, a[lane], b[lane])
+            self._write_rd(warp, instr.rd, out, mask)
+            if op in SFU_OPS:
+                self._mem_ready = max(
+                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            advance()
+            return
+
+        if op in _INT_I:
+            a = self._read_gp(warp, instr.rs1)
+            name = _INT_I[op]
+            imm = instr.imm or 0
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                out[lane] = alu.int_op(name, a[lane], imm & MASK32)
+            self._write_rd(warp, instr.rd, out, mask)
+            advance()
+            return
+
+        if op is Op.LUI:
+            value = (instr.imm << 12) & MASK32
+            self._write_rd(warp, instr.rd, [value] * cfg.num_lanes, mask)
+            advance()
+            return
+
+        if op is Op.AUIPC:
+            value = (pc + (instr.imm << 12)) & MASK32
+            self._write_rd(warp, instr.rd, [value] * cfg.num_lanes, mask)
+            advance()
+            return
+
+        if op is Op.AUIPCC:
+            # rd := PCC with address pc + imm<<12 (a capability result).
+            addr = (pc + (instr.imm << 12)) & MASK32
+            caps = []
+            for lane in self._lane_range:
+                meta = warp.pcc_meta[lane]
+                pcc = Capability.from_meta_word(meta & MASK32, pc,
+                                                bool(meta >> 32))
+                caps.append(pcc.set_addr(addr))
+            self._write_rd(warp, instr.rd, [addr] * cfg.num_lanes, mask,
+                           caps=caps)
+            advance()
+            return
+
+        # --- branches and jumps -------------------------------------------
+        if op in BRANCH_OPS:
+            a = self._read_gp(warp, instr.rs1)
+            b = self._read_gp(warp, instr.rs2)
+            name = op.name.lower()
+            taken_pc = (pc + instr.imm) & MASK32
+            targets = list(warp.pcs)
+            for lane in lanes:
+                targets[lane] = taken_pc if alu.branch_taken(
+                    name, a[lane], b[lane]) else next_pc
+            advance(targets)
+            return
+
+        if op in (Op.JAL, Op.CJAL):
+            if instr.rd:
+                if op is Op.CJAL:
+                    caps = []
+                    for lane in self._lane_range:
+                        meta = warp.pcc_meta[lane]
+                        link = Capability.from_meta_word(
+                            meta & MASK32, next_pc, bool(meta >> 32))
+                        caps.append(link.seal_entry())
+                    self._write_rd(warp, instr.rd,
+                                   [next_pc] * cfg.num_lanes, mask, caps=caps)
+                else:
+                    self._write_rd(warp, instr.rd,
+                                   [next_pc] * cfg.num_lanes, mask)
+            target = (pc + instr.imm) & MASK32
+            advance([target] * cfg.num_lanes)
+            return
+
+        if op is Op.JALR:
+            a = self._read_gp(warp, instr.rs1)
+            targets = list(warp.pcs)
+            for lane in lanes:
+                targets[lane] = (a[lane] + (instr.imm or 0)) & ~1 & MASK32
+            if instr.rd:
+                self._write_rd(warp, instr.rd, [next_pc] * cfg.num_lanes, mask)
+            advance(targets)
+            return
+
+        if op is Op.CJALR:
+            caps = self._read_caps(warp, instr.rs1)
+            targets = list(warp.pcs)
+            link_caps = []
+            for lane in self._lane_range:
+                meta = warp.pcc_meta[lane]
+                link = Capability.from_meta_word(meta & MASK32, next_pc,
+                                                 bool(meta >> 32))
+                link_caps.append(link.seal_entry())
+            for lane in lanes:
+                cap = caps[lane]
+                thread = warp.index * cfg.num_lanes + lane
+                if not cap.tag:
+                    raise TagViolation("CJALR via untagged capability",
+                                       thread=thread, pc=pc)
+                if cap.is_sealed and not cap.is_sentry:
+                    raise SealViolation("CJALR via sealed capability",
+                                        thread=thread, pc=pc)
+                if Perms.EXECUTE not in cap.perms:
+                    raise PermissionViolation("CJALR target lacks execute",
+                                              thread=thread, pc=pc)
+                target_cap = cap.unseal_entry() if cap.is_sentry else cap
+                target = (target_cap.addr + (instr.imm or 0)) & ~1 & MASK32
+                targets[lane] = target
+                warp.pcc_meta[lane] = (target_cap.meta_word()
+                                       | (int(target_cap.tag) << 32))
+            if instr.rd:
+                self._write_rd(warp, instr.rd, [next_pc] * cfg.num_lanes,
+                               mask, caps=link_caps)
+            advance(targets)
+            return
+
+        # --- floating point -------------------------------------------------
+        if op in _FLOAT_RR:
+            a = self._read_gp(warp, instr.rs1)
+            b = self._read_gp(warp, instr.rs2)
+            name = _FLOAT_RR[op]
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                out[lane] = alu.float_op(name, a[lane], b[lane])
+            self._write_rd(warp, instr.rd, out, mask)
+            if op in SFU_OPS:
+                self._mem_ready = max(
+                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            advance()
+            return
+
+        if op in _FLOAT_UNARY:
+            a = self._read_gp(warp, instr.rs1)
+            name = _FLOAT_UNARY[op]
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                out[lane] = alu.float_op(name, a[lane])
+            self._write_rd(warp, instr.rd, out, mask)
+            if op in SFU_OPS:
+                self._mem_ready = max(
+                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            advance()
+            return
+
+        # --- memory ----------------------------------------------------------
+        if op in LOAD_OPS or op in STORE_OPS or op in AMO_OPS:
+            self._execute_memory(warp, instr, pc, lanes, mask)
+            advance()
+            return
+
+        # --- CHERI non-memory --------------------------------------------------
+        if self._execute_cheri(warp, instr, pc, lanes, mask):
+            advance()
+            return
+
+        # --- SIMT / system -------------------------------------------------------
+        if op is Op.BARRIER:
+            advance()
+            self._enter_barrier(warp)
+            return
+        if op is Op.HALT:
+            for lane in lanes:
+                warp.halted[lane] = True
+            return
+        if op in (Op.TRAP, Op.EBREAK, Op.ECALL):
+            thread = warp.index * cfg.num_lanes + lanes[0]
+            raise SoftwareTrap(
+                "software trap (%s)%s" % (
+                    op.name.lower(),
+                    "" if not instr.comment else ": " + instr.comment),
+                thread=thread, pc=pc)
+        if op is Op.FENCE:
+            advance()
+            return
+        raise SoftwareTrap("unimplemented op %s" % op, pc=pc)
+
+    # -- memory instructions ----------------------------------------------------
+
+    def _execute_memory(self, warp, instr, pc, lanes, mask):
+        cfg = self.cfg
+        op = instr.op
+        width = ACCESS_WIDTH[op]
+        imm = instr.imm or 0
+        is_cap_addressed = op.name.startswith("C")
+        is_store = op in STORE_OPS
+        is_amo = op in AMO_OPS
+
+        if is_cap_addressed:
+            caps = self._read_caps(warp, instr.rs1)
+            addr_of = lambda lane: (caps[lane].addr + imm) & MASK32
+        else:
+            bases = self._read_gp(warp, instr.rs1)
+            addr_of = lambda lane: (bases[lane] + imm) & MASK32
+
+        accesses = [(lane, addr_of(lane), width) for lane in lanes]
+
+        # Capability checks (one per active lane).
+        if is_cap_addressed:
+            for lane, addr, _ in accesses:
+                thread = warp.index * cfg.num_lanes + lane
+                if is_amo:
+                    self._check_cap(caps[lane], addr, width, Perms.LOAD,
+                                    thread, pc, op.name)
+                    self._check_cap(caps[lane], addr, width, Perms.STORE,
+                                    thread, pc, op.name)
+                elif is_store:
+                    self._check_cap(caps[lane], addr, width, Perms.STORE,
+                                    thread, pc, op.name)
+                else:
+                    self._check_cap(caps[lane], addr, width, Perms.LOAD,
+                                    thread, pc, op.name)
+
+        if is_amo:
+            values = self._read_gp(warp, instr.rs2)
+            fn = _AMO_FN[op]
+            out = [0] * cfg.num_lanes
+            # Same-address atomics serialise deterministically in lane order.
+            for lane, addr, _ in accesses:
+                old = self.memory.read(addr, 4)
+                self.memory.write(addr, 4, fn(old, values[lane]))
+                out[lane] = old
+            conflicts = atomic_conflicts([a for _, a, _ in accesses])
+            self._extra_issue += conflicts
+            self.stats.stall_atomic_serial += conflicts
+            self._write_rd(warp, instr.rd, out, mask)
+            self._memory_access(op, accesses, warp, is_write=True)
+            return
+
+        if is_store:
+            if op is Op.CSC:
+                store_caps = self._read_caps(warp, instr.rs2)
+                for lane, addr, _ in accesses:
+                    thread = warp.index * cfg.num_lanes + lane
+                    cap2 = store_caps[lane]
+                    if cap2.tag and Perms.STORE_CAP not in caps[lane].perms:
+                        raise PermissionViolation(
+                            "CSC lacks STORE_CAP permission",
+                            address=addr, thread=thread, pc=pc)
+                    self.memory.write_cap_raw(addr, cap2.to_mem()
+                                              & ((1 << 64) - 1), cap2.tag)
+            else:
+                values = self._read_gp(warp, instr.rs2)
+                for lane, addr, _ in accesses:
+                    self.memory.write(addr, width, values[lane]
+                                      & ((1 << (8 * width)) - 1))
+            self._memory_access(op, accesses, warp, is_write=True)
+            return
+
+        # Loads.
+        if op is Op.CLC:
+            out = [0] * cfg.num_lanes
+            metas = [None] * cfg.num_lanes
+            for lane, addr, _ in accesses:
+                raw, tag = self.memory.read_cap_raw(addr)
+                if tag and Perms.LOAD_CAP not in caps[lane].perms:
+                    tag = False  # lacking LOAD_CAP strips the loaded tag
+                loaded = Capability.from_mem(raw | (int(tag) << 64))
+                out[lane] = loaded.addr
+                metas[lane] = loaded
+            self._write_rd(warp, instr.rd, out, mask, caps=metas)
+        else:
+            signed = op in (Op.LB, Op.LH, Op.CLB, Op.CLH)
+            out = [0] * cfg.num_lanes
+            for lane, addr, _ in accesses:
+                out[lane] = self.memory.read(addr, width, signed) & MASK32
+            self._write_rd(warp, instr.rd, out, mask)
+        self._memory_access(op, accesses, warp, is_write=False)
+
+    # -- CHERI non-memory instructions ----------------------------------------
+
+    def _execute_cheri(self, warp, instr, pc, lanes, mask):
+        """Returns True when the op was a (non-memory) CHERI instruction."""
+        cfg = self.cfg
+        op = instr.op
+        lanes_range = self._lane_range
+
+        def sfu_slow_path():
+            if cfg.sfu_cheri_slow_path and op in CHERI_SLOW_OPS:
+                self._mem_ready = max(
+                    self._mem_ready,
+                    self.sfu.issue(self._cycle, len(lanes), cheri_op=True))
+
+        if op in (Op.CGETTAG, Op.CGETPERM, Op.CGETBASE, Op.CGETLEN,
+                  Op.CGETADDR, Op.CGETTYPE, Op.CGETSEALED, Op.CGETFLAGS):
+            caps = self._read_caps(warp, instr.rs1)
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                cap = caps[lane]
+                if op is Op.CGETTAG:
+                    out[lane] = int(cap.tag)
+                elif op is Op.CGETPERM:
+                    out[lane] = int(cap.perms)
+                elif op is Op.CGETBASE:
+                    out[lane] = cap.base
+                elif op is Op.CGETLEN:
+                    out[lane] = min(cap.length, MASK32)
+                elif op is Op.CGETADDR:
+                    out[lane] = cap.addr
+                elif op is Op.CGETTYPE:
+                    out[lane] = cap.otype
+                elif op is Op.CGETSEALED:
+                    out[lane] = int(cap.is_sealed)
+                else:
+                    out[lane] = cap.flags
+            self._write_rd(warp, instr.rd, out, mask)
+            sfu_slow_path()
+            return True
+
+        if op in (Op.CRRL, Op.CRAM):
+            a = self._read_gp(warp, instr.rs1)
+            out = [0] * cfg.num_lanes
+            for lane in lanes:
+                if op is Op.CRRL:
+                    out[lane] = min(concentrate.crrl(a[lane]), MASK32)
+                else:
+                    out[lane] = concentrate.crml(a[lane])
+            self._write_rd(warp, instr.rd, out, mask)
+            sfu_slow_path()
+            return True
+
+        if op in (Op.CCLEARTAG, Op.CMOVE, Op.CSEALENTRY):
+            caps = self._read_caps(warp, instr.rs1)
+            out = [0] * cfg.num_lanes
+            result = [None] * cfg.num_lanes
+            for lane in lanes:
+                cap = caps[lane]
+                if op is Op.CCLEARTAG:
+                    cap = cap.with_tag_cleared()
+                elif op is Op.CSEALENTRY:
+                    cap = cap.seal_entry()
+                out[lane] = cap.addr
+                result[lane] = cap
+            self._write_rd(warp, instr.rd, out, mask, caps=result)
+            return True
+
+        if op in (Op.CANDPERM, Op.CSETFLAGS, Op.CSETADDR, Op.CINCOFFSET,
+                  Op.CSETBOUNDS, Op.CSETBOUNDSEXACT):
+            caps = self._read_caps(warp, instr.rs1)
+            b = self._read_gp(warp, instr.rs2)
+            out = [0] * cfg.num_lanes
+            result = [None] * cfg.num_lanes
+            for lane in lanes:
+                cap = caps[lane]
+                if op is Op.CANDPERM:
+                    cap = cap.and_perms(b[lane])
+                elif op is Op.CSETFLAGS:
+                    cap = cap.set_flags(b[lane])
+                elif op is Op.CSETADDR:
+                    cap = cap.set_addr(b[lane])
+                elif op is Op.CINCOFFSET:
+                    cap = cap.inc_addr(b[lane])
+                else:
+                    cap, _ = cap.set_bounds(cap.addr, b[lane],
+                                            exact=op is Op.CSETBOUNDSEXACT)
+                out[lane] = cap.addr
+                result[lane] = cap
+            self._write_rd(warp, instr.rd, out, mask, caps=result)
+            sfu_slow_path()
+            return True
+
+        if op in (Op.CINCOFFSETIMM, Op.CSETBOUNDSIMM):
+            caps = self._read_caps(warp, instr.rs1)
+            imm = instr.imm or 0
+            out = [0] * cfg.num_lanes
+            result = [None] * cfg.num_lanes
+            for lane in lanes:
+                cap = caps[lane]
+                if op is Op.CINCOFFSETIMM:
+                    cap = cap.inc_addr(imm)
+                else:
+                    cap, _ = cap.set_bounds(cap.addr, imm)
+                out[lane] = cap.addr
+                result[lane] = cap
+            self._write_rd(warp, instr.rd, out, mask, caps=result)
+            sfu_slow_path()
+            return True
+
+        if op is Op.CSPECIALRW:
+            # Only reading the PCC special register is supported.
+            out = [0] * cfg.num_lanes
+            result = [None] * cfg.num_lanes
+            for lane in lanes:
+                meta = warp.pcc_meta[lane]
+                pcc = Capability.from_meta_word(meta & MASK32, pc,
+                                                bool(meta >> 32))
+                out[lane] = pc
+                result[lane] = pcc
+            self._write_rd(warp, instr.rd, out, mask, caps=result)
+            return True
+
+        return False
+
+    # -- barriers --------------------------------------------------------------
+
+    def _enter_barrier(self, warp):
+        slot = warp.block_slot
+        arrived = self._barrier_arrived.setdefault(slot, set())
+        arrived.add(warp.index)
+        warp.in_barrier = True
+        warp.ready_at = _FAR_FUTURE
+        self.stats.barrier_waits += 1
+        expected = {
+            w.index for w in self.warps
+            if w.block_slot == slot and not w.done
+        }
+        if arrived >= expected:
+            for index in arrived:
+                other = self.warps[index]
+                other.in_barrier = False
+                other.ready_at = self._cycle + self.cfg.pipeline_depth
+            arrived.clear()

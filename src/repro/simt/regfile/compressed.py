@@ -1,0 +1,322 @@
+"""The compressed register file (SRF + VRF) and its building blocks.
+
+Terminology follows paper Figure 5:
+
+- **SRF** (scalar register file): one entry per architectural vector
+  register, holding either a compressed vector (base + stride, or a
+  partially-null uniform under the null-value optimisation) or a pointer to
+  a VRF slot.
+- **VRF** (vector register file): a size-constrained pool of physical slots
+  for vectors that cannot be compressed.  A *free stack* tracks unused
+  slots; when it runs dry the pipeline spills a resident vector register to
+  main memory.
+
+The VRF slot pool may be *shared* between the general-purpose and
+capability-metadata register files (paper section 3.2), avoiding
+fragmentation between the two.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class AccessReport:
+    """Side effects of one register-file access the pipeline must cost."""
+
+    spills: int = 0    # vector registers written back to main memory
+    reloads: int = 0   # spilled vector registers fetched from main memory
+
+    def merge(self, other):
+        self.spills += other.spills
+        self.reloads += other.reloads
+        return self
+
+
+class _Scalar:
+    """SRF-resident compressed vector: lane i holds base + i*stride."""
+
+    __slots__ = ("base", "stride")
+
+    def __init__(self, base, stride=0):
+        self.base = base
+        self.stride = stride
+
+    def expand(self, lanes, mask_bits):
+        if self.stride == 0:
+            return [self.base] * lanes
+        return [(self.base + i * self.stride) & mask_bits for i in range(lanes)]
+
+
+class _PartialNull:
+    """SRF-resident under NVO: some lanes hold ``value``, the rest null (0).
+
+    ``mask`` has bit i set when lane i holds ``value``.
+    """
+
+    __slots__ = ("value", "mask")
+
+    def __init__(self, value, mask):
+        self.value = value
+        self.mask = mask
+
+    def expand(self, lanes, mask_bits):
+        return [self.value if (self.mask >> i) & 1 else 0 for i in range(lanes)]
+
+
+class _Vector:
+    """VRF-resident uncompressed vector."""
+
+    __slots__ = ("slot", "values")
+
+    def __init__(self, slot, values):
+        self.slot = slot
+        self.values = values
+
+    def expand(self, lanes, mask_bits):
+        return list(self.values)
+
+
+class _Spilled:
+    """Vector register spilled to main memory (values modelled in place)."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, values):
+        self.values = values
+
+    def expand(self, lanes, mask_bits):
+        return list(self.values)
+
+
+class SlotPool:
+    """The VRF free stack, possibly shared between register files.
+
+    Tracks which (register file, warp, reg) owns each resident slot so a
+    dry free stack can pick a spill victim (FIFO order).
+    """
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self._free = list(range(capacity))
+        self._residents = OrderedDict()  # (rf, warp, reg) -> slot
+
+    @property
+    def used(self):
+        return self.capacity - len(self._free)
+
+    def acquire(self, owner_rf, warp, reg, report):
+        """Allocate a slot, spilling the oldest resident if necessary."""
+        if not self._free:
+            (victim_rf, victim_warp, victim_reg), slot = \
+                self._residents.popitem(last=False)
+            victim_rf._spill(victim_warp, victim_reg)
+            report.spills += 1
+            self._free.append(slot)
+        slot = self._free.pop()
+        self._residents[(owner_rf, warp, reg)] = slot
+        return slot
+
+    def release(self, owner_rf, warp, reg):
+        slot = self._residents.pop((owner_rf, warp, reg), None)
+        if slot is not None:
+            self._free.append(slot)
+
+    def resident_count(self, owner_rf):
+        return sum(1 for key in self._residents if key[0] is owner_rf)
+
+
+class CompressedRegFile:
+    """One compressed register file (general-purpose or metadata).
+
+    ``detect_affine`` enables base+stride compression (general-purpose
+    register file).  The metadata register file detects only uniform
+    vectors (a stride makes no sense for capability metadata, paper
+    section 3.2) and optionally partially-null vectors (``nvo``).
+    """
+
+    def __init__(self, lanes, width_bits, pool, detect_affine=True, nvo=False,
+                 name="rf"):
+        self.lanes = lanes
+        self.width_bits = width_bits
+        self.value_mask = (1 << width_bits) - 1
+        self.pool = pool
+        self.detect_affine = detect_affine
+        self.nvo = nvo
+        self.name = name
+        self._entries = {}
+        self.total_spills = 0
+        self.total_reloads = 0
+        # Value-regularity counters (paper section 2.2): how many written
+        # vectors were uniform / affine / partially-null / general.
+        self.writes_total = 0
+        self.writes_uniform = 0
+        self.writes_affine = 0
+        self.writes_partial_null = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _entry(self, warp, reg):
+        return self._entries.get((warp, reg)) or _Scalar(0, 0)
+
+    def _spill(self, warp, reg):
+        """Demote a VRF-resident vector to spilled (called by the pool)."""
+        entry = self._entries.get((warp, reg))
+        assert isinstance(entry, _Vector), "spill victim must be VRF-resident"
+        self._entries[(warp, reg)] = _Spilled(entry.values)
+        self.total_spills += 1
+
+    def _compress(self, values):
+        """The write-path comparator array: try to find a compact form."""
+        first = values[0]
+        if all(v == first for v in values):
+            return _Scalar(first, 0)
+        if self.detect_affine and self.lanes >= 2:
+            stride = (values[1] - values[0]) & self.value_mask
+            ok = all(
+                values[i] == (first + i * stride) & self.value_mask
+                for i in range(1, self.lanes)
+            )
+            if ok:
+                # Keep strides small enough for a narrow SRF stride field.
+                signed = stride - (1 << self.width_bits) if stride >> (self.width_bits - 1) else stride
+                if -128 <= signed <= 127:
+                    return _Scalar(first, signed)
+        if self.nvo:
+            nonzero = {v for v in values if v != 0}
+            if len(nonzero) == 1:
+                value = nonzero.pop()
+                mask = 0
+                for i, v in enumerate(values):
+                    if v == value:
+                        mask |= 1 << i
+                return _PartialNull(value, mask)
+        return None
+
+    # -- the pipeline-facing API ----------------------------------------------
+
+    def read(self, warp, reg):
+        """Read a full vector.  Returns (values, AccessReport)."""
+        report = AccessReport()
+        entry = self._entries.get((warp, reg))
+        if isinstance(entry, _Spilled):
+            # Dynamic reload: bring the vector back into the VRF.
+            slot = self.pool.acquire(self, warp, reg, report)
+            entry = _Vector(slot, entry.values)
+            self._entries[(warp, reg)] = entry
+            report.reloads += 1
+            self.total_reloads += 1
+        if entry is None:
+            return [0] * self.lanes, report
+        return entry.expand(self.lanes, self.value_mask), report
+
+    def write(self, warp, reg, values, active_mask=None):
+        """Write the active lanes of a vector.  Returns an AccessReport.
+
+        ``active_mask`` is a bit mask of lanes to write (None = all): under
+        control-flow divergence only the selected threads write back.
+        """
+        report = AccessReport()
+        key = (warp, reg)
+        entry = self._entries.get(key)
+        full = active_mask is None or active_mask == (1 << self.lanes) - 1
+        if full:
+            merged = [v & self.value_mask for v in values]
+            if isinstance(entry, _Spilled):
+                # Fully overwritten: the spilled copy is dead, no reload.
+                entry = None
+                self._entries.pop(key, None)
+        else:
+            if isinstance(entry, _Spilled):
+                # Partial write needs the old lanes: reload first.
+                slot = self.pool.acquire(self, warp, reg, report)
+                entry = _Vector(slot, entry.values)
+                self._entries[key] = entry
+                report.reloads += 1
+                self.total_reloads += 1
+            old = (entry.expand(self.lanes, self.value_mask)
+                   if entry is not None else [0] * self.lanes)
+            merged = [
+                (values[i] & self.value_mask) if (active_mask >> i) & 1 else old[i]
+                for i in range(self.lanes)
+            ]
+        compact = self._compress(merged)
+        self.writes_total += 1
+        if isinstance(compact, _Scalar):
+            if compact.stride == 0:
+                self.writes_uniform += 1
+            else:
+                self.writes_affine += 1
+        elif isinstance(compact, _PartialNull):
+            self.writes_partial_null += 1
+        if compact is not None:
+            if isinstance(entry, _Vector):
+                self.pool.release(self, warp, reg)
+            self._entries[key] = compact
+            return report
+        if isinstance(entry, _Vector):
+            entry.values = merged
+            return report
+        slot = self.pool.acquire(self, warp, reg, report)
+        self._entries[key] = _Vector(slot, merged)
+        return report
+
+    def is_vector_resident(self, warp, reg):
+        """True when the register currently occupies a VRF slot (used for
+        the shared-VRF serialisation stall check)."""
+        return isinstance(self._entries.get((warp, reg)), _Vector)
+
+    def is_uncompressed(self, warp, reg):
+        """True when the register is not held compactly in the SRF."""
+        return isinstance(self._entries.get((warp, reg)), (_Vector, _Spilled))
+
+    @property
+    def resident_vectors(self):
+        """Number of vectors currently occupying VRF slots."""
+        return self.pool.resident_count(self)
+
+
+class PlainRegFile:
+    """An uncompressed register file: full per-thread storage, no VRF.
+
+    Models the unoptimised CHERI configuration's metadata register file
+    ("value regularity in capability metadata is not detected or
+    exploited") and is also handy as a behavioural reference in tests.
+    """
+
+    def __init__(self, lanes, width_bits, name="plain"):
+        self.lanes = lanes
+        self.width_bits = width_bits
+        self.value_mask = (1 << width_bits) - 1
+        self.name = name
+        self._entries = {}
+        self.total_spills = 0
+        self.total_reloads = 0
+
+    def read(self, warp, reg):
+        values = self._entries.get((warp, reg))
+        if values is None:
+            values = [0] * self.lanes
+        return list(values), AccessReport()
+
+    def write(self, warp, reg, values, active_mask=None):
+        key = (warp, reg)
+        if active_mask is None or active_mask == (1 << self.lanes) - 1:
+            self._entries[key] = [v & self.value_mask for v in values]
+        else:
+            old = self._entries.get(key, [0] * self.lanes)
+            self._entries[key] = [
+                (values[i] & self.value_mask) if (active_mask >> i) & 1 else old[i]
+                for i in range(self.lanes)
+            ]
+        return AccessReport()
+
+    def is_vector_resident(self, warp, reg):
+        return False
+
+    def is_uncompressed(self, warp, reg):
+        return (warp, reg) in self._entries
+
+    @property
+    def resident_vectors(self):
+        return 0

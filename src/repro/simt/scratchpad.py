@@ -1,0 +1,43 @@
+"""Banked scratchpad (shared local memory).
+
+SIMTight implements CUDA ``__shared__`` memory as a set of SRAM banks
+behind a fast switching network (paper section 2.3).  Parallel random
+access is conflict-free when active lanes hit distinct banks; lanes that
+collide on a bank serialise.  Under CHERI each bank is widened from 32 to
+33 bits so capabilities (and their tags) can live in scratchpad (paper
+section 3.4).
+"""
+
+from repro.simt.config import SCRATCHPAD_BASE
+
+
+class Scratchpad:
+    """Bank-conflict timing model over a region of tagged memory."""
+
+    def __init__(self, memory, num_banks, size_bytes, base=SCRATCHPAD_BASE):
+        self.memory = memory
+        self.num_banks = num_banks
+        self.size_bytes = size_bytes
+        self.base = base
+
+    def contains(self, addr):
+        return self.base <= addr < self.base + self.size_bytes
+
+    def bank_of(self, addr):
+        return (addr >> 2) % self.num_banks
+
+    def conflict_cycles(self, addrs):
+        """Extra serialisation cycles for a set of same-cycle accesses.
+
+        ``addrs`` are the byte addresses issued by the active lanes.  The
+        access takes ``max accesses per bank`` bank-cycles; the first is
+        free, the rest are stall cycles.  Lanes reading the *same* word are
+        broadcast without conflict (like NVIDIA shared memory).
+        """
+        per_bank = {}
+        for addr in addrs:
+            word = addr >> 2
+            per_bank.setdefault(self.bank_of(addr), set()).add(word)
+        if not per_bank:
+            return 0
+        return max(len(words) for words in per_bank.values()) - 1

@@ -1,0 +1,41 @@
+"""Shared-function unit (SFU).
+
+One SFU per SM serves operations too expensive (or too rare) to replicate
+per vector lane.  SIMTight already routes floating-point division and
+square root here; the optimised CHERI configuration additionally moves the
+get/set-bounds CheriCapLib logic into the SFU (paper section 3.3), which is
+what cuts the per-lane area overhead by 44%.
+
+Requests from the vector lanes pass through a serialiser (one lane per
+cycle), flow through the pipelined unit, and return through a
+deserialiser, so a warp-wide SFU operation with ``n`` active lanes costs
+``n`` serialisation cycles plus the unit latency.
+"""
+
+
+class SharedFunctionUnit:
+    """Occupancy and latency model for the per-SM shared unit."""
+
+    def __init__(self, latency, cheri_latency):
+        self.latency = latency
+        self.cheri_latency = cheri_latency
+        self._next_free = 0
+        self.requests = 0
+        self.busy_cycles = 0
+
+    def reset_timing(self):
+        self._next_free = 0
+
+    def issue(self, cycle, n_active, cheri_op=False):
+        """Account a warp-wide SFU operation; returns its completion cycle.
+
+        The serialiser feeds one lane per cycle, so the unit is occupied
+        for ``n_active`` cycles; the last lane's result appears after the
+        unit latency.
+        """
+        latency = self.cheri_latency if cheri_op else self.latency
+        start = max(cycle, self._next_free)
+        self._next_free = start + n_active
+        self.requests += n_active
+        self.busy_cycles += n_active
+        return start + n_active + latency

@@ -1,0 +1,61 @@
+"""The compressed stack cache (paper section 4.4).
+
+SIMTight ships a proof-of-concept cache that absorbs register-spill and
+stack traffic at low hardware cost by holding uniform/affine vectors in a
+compressed form.  The paper notes it is *particularly effective on
+capability metadata* (spilled capabilities usually share bounds across the
+warp) but has no noticeable performance impact on the benchmark suite —
+spill traffic is simply rare when the VRF is adequately sized.
+
+The model here: a small, per-SM, direct-mapped cache over the stack
+address region.  A warp-wide stack access that hits is served at
+scratchpad-like latency with no DRAM transaction; a miss fills the line
+from DRAM.  Compressibility is modelled by the line granularity: a
+warp's spill slots are contiguous, so one line covers a warp's worth of a
+compressed vector.
+"""
+
+
+class StackCache:
+    """Direct-mapped cache over the per-thread-stack address range."""
+
+    def __init__(self, base, size_bytes, lines=64, line_bytes=64):
+        self.base = base
+        self.size_bytes = size_bytes
+        self.lines = lines
+        self.line_bytes = line_bytes
+        self._tags = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def contains(self, addr):
+        return self.base <= addr < self.base + self.size_bytes
+
+    def _line_of(self, addr):
+        return addr // self.line_bytes
+
+    def access(self, addrs, is_write):
+        """Account a warp's same-cycle stack accesses.
+
+        Returns the list of line addresses that missed (and must go to
+        DRAM); hits are free beyond the cache latency.
+        """
+        missed = []
+        for line in sorted({self._line_of(addr) for addr in addrs}):
+            index = line % self.lines
+            if self._tags.get(index) == line:
+                self.hits += 1
+                continue
+            self.misses += 1
+            if index in self._tags:
+                # Evicting a (conservatively dirty) resident line.
+                self.writebacks += 1
+            self._tags[index] = line
+            missed.append(line * self.line_bytes)
+        return missed
+
+    @property
+    def hit_rate(self):
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,126 @@
+"""Performance counters for one kernel run.
+
+These counters regenerate the paper's evaluation directly:
+
+- ``opcode_counts``       -> Figure 6 (CHERI instruction frequency)
+- ``vrf_occupancy_*``     -> Figure 10 (vectors resident in the VRF)
+- ``cap_regs_per_thread`` -> Figure 11 (registers holding capabilities)
+- DRAM counters           -> Figure 12 / Table 2 (bandwidth, spill traffic)
+- ``cycles``              -> Figure 13 / Table 2 (execution-time overheads)
+"""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import CHERI_OPS
+
+
+@dataclass
+class SMStats:
+    """Counters collected by the pipeline over one kernel launch."""
+
+    cycles: int = 0
+    instrs_issued: int = 0
+    thread_instrs: int = 0
+    opcode_counts: Counter = field(default_factory=Counter)
+
+    # Stall cycles by cause (each costs one extra issue slot).
+    stall_csc_operand: int = 0
+    stall_shared_vrf: int = 0
+    stall_bank_conflict: int = 0
+    stall_atomic_serial: int = 0
+    sfu_busy_cycles: int = 0
+
+    sfu_requests: int = 0
+    barrier_waits: int = 0
+
+    # Register-file compression behaviour.
+    gp_vrf_occupancy_integral: int = 0   # sum over cycles of resident vectors
+    meta_vrf_occupancy_integral: int = 0
+    gp_spills: int = 0
+    gp_reloads: int = 0
+    meta_spills: int = 0
+    meta_reloads: int = 0
+    # Value regularity of register writes (paper section 2.2).
+    gp_writes_total: int = 0
+    gp_writes_uniform: int = 0
+    gp_writes_affine: int = 0
+    meta_writes_total: int = 0
+    meta_writes_uniform: int = 0
+    meta_writes_partial_null: int = 0
+
+    # Memory behaviour.
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    dram_spill_bytes: int = 0
+    dram_tag_bytes: int = 0
+    dram_txns: int = 0
+    scratchpad_accesses: int = 0
+    scratchpad_conflict_cycles: int = 0
+    tag_cache_hits: int = 0
+    tag_cache_misses: int = 0
+
+    # Figure 11: per-warp set of registers that ever held a tagged
+    # capability in any lane (threads in a warp behave symmetrically).
+    cap_regs_per_warp: dict = field(default_factory=dict)
+
+    def note_cap_register(self, warp, reg):
+        self.cap_regs_per_warp.setdefault(warp, set()).add(reg)
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def cap_regs_per_thread(self):
+        """Max number of registers any thread used to hold capabilities."""
+        if not self.cap_regs_per_warp:
+            return 0
+        return max(len(regs) for regs in self.cap_regs_per_warp.values())
+
+    @property
+    def ipc(self):
+        return self.instrs_issued / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_total_bytes(self):
+        return self.dram_read_bytes + self.dram_write_bytes
+
+    def cheri_instr_fraction(self):
+        """Per-op execution frequency of CHERI instructions (Figure 6)."""
+        total = sum(self.opcode_counts.values())
+        if not total:
+            return {}
+        return {
+            op: count / total
+            for op, count in sorted(self.opcode_counts.items(),
+                                    key=lambda item: -item[1])
+            if op in CHERI_OPS
+        }
+
+    def write_regularity(self, metadata=False):
+        """Fractions of written vectors that were uniform / affine.
+
+        The paper's section 2.2 cites Collange et al.: on CUDA workloads
+        ~15% of written vectors are uniform and ~28% affine; capability
+        metadata is expected to be far *more* regular than data.
+        """
+        if metadata:
+            total = max(1, self.meta_writes_total)
+            return {
+                "uniform": self.meta_writes_uniform / total,
+                "partial_null": self.meta_writes_partial_null / total,
+            }
+        total = max(1, self.gp_writes_total)
+        return {
+            "uniform": self.gp_writes_uniform / total,
+            "affine": self.gp_writes_affine / total,
+        }
+
+    def vrf_residency(self, arch_vector_regs, metadata=False):
+        """Time-averaged fraction of architectural vector registers that
+        were resident uncompressed in the VRF (Figure 10, lower is better).
+        """
+        if not self.cycles:
+            return 0.0
+        integral = (self.meta_vrf_occupancy_integral if metadata
+                    else self.gp_vrf_occupancy_integral)
+        return integral / (self.cycles * arch_vector_regs)

@@ -1,0 +1,118 @@
+"""Tests for the analytical FPGA area/storage model."""
+
+from repro.area.model import (
+    CAPLIB_ALMS,
+    MULTIPLIER_ALMS,
+    fmax_mhz,
+    logic_alms,
+    paper_geometry,
+    storage_bits,
+    synthesis_report,
+    table3_rows,
+)
+from repro.simt.config import SMConfig
+
+
+class TestTable3Calibration:
+    def test_alm_totals_match_paper(self):
+        rows = table3_rows()
+        assert [r.alms for r in rows] == [126753, 166796, 149356]
+
+    def test_bram_close_to_paper(self):
+        rows = table3_rows()
+        paper = [2156, 4399, 2394]
+        for row, expect in zip(rows, paper):
+            assert abs(row.bram_kilobits - expect) / expect < 0.05
+
+    def test_fmax_matches_paper(self):
+        rows = table3_rows()
+        assert [r.fmax_mhz for r in rows] == [180, 181, 180]
+
+    def test_area_reduction_is_about_44_percent(self):
+        base, cheri, opt = table3_rows()
+        reduction = 1 - (opt.alms - base.alms) / (cheri.alms - base.alms)
+        assert abs(reduction - 0.44) < 0.02
+
+    def test_per_lane_overhead_comparable_to_multiplier(self):
+        base, _, opt = table3_rows()
+        per_lane = (opt.alms - base.alms) / 32
+        assert MULTIPLIER_ALMS < per_lane < 1.5 * MULTIPLIER_ALMS
+
+
+class TestScaling:
+    def test_alms_scale_with_lanes(self):
+        small = logic_alms(SMConfig.baseline(num_warps=64, num_lanes=8))
+        big = logic_alms(SMConfig.baseline(num_warps=64, num_lanes=32))
+        assert big > small
+        # Per-lane replication: the delta is linear in lanes.
+        delta = (big - small) / 24
+        assert delta == 3000
+
+    def test_cheri_overhead_grows_with_lanes_when_unoptimised(self):
+        def overhead(lanes, optimised):
+            factory = (SMConfig.cheri_optimised if optimised
+                       else SMConfig.cheri)
+            return (logic_alms(factory(num_warps=64, num_lanes=lanes))
+                    - logic_alms(SMConfig.baseline(num_warps=64,
+                                                   num_lanes=lanes)))
+        # The SFU amortisation benefit grows with lane count.
+        saving_8 = overhead(8, False) - overhead(8, True)
+        saving_32 = overhead(32, False) - overhead(32, True)
+        assert saving_32 > saving_8
+
+    def test_storage_scales_with_warps(self):
+        small = storage_bits(SMConfig.baseline(num_warps=16, num_lanes=32))
+        big = storage_bits(SMConfig.baseline(num_warps=64, num_lanes=32))
+        assert big["gp_vrf"] == 4 * small["gp_vrf"]
+        assert big["gp_srf"] == 4 * small["gp_srf"]
+
+
+class TestStorageBreakdown:
+    def test_unoptimised_metadata_is_full_width(self):
+        cfg = paper_geometry(SMConfig.cheri)
+        bits = storage_bits(cfg)
+        assert bits["meta_rf"] == 33 * cfg.num_threads * 32
+
+    def test_optimised_metadata_is_srf_only(self):
+        cfg = paper_geometry(SMConfig.cheri_optimised)
+        bits = storage_bits(cfg)
+        # One single-ported SRF entry per architectural vector register.
+        per_entry = bits["meta_rf"] / cfg.arch_vector_regs
+        assert per_entry < 80  # vs 33 * 32 lanes uncompressed
+
+    def test_rf_overhead_14_percent(self):
+        base = storage_bits(paper_geometry(SMConfig.baseline))
+        opt = storage_bits(paper_geometry(SMConfig.cheri_optimised))
+        base_rf = base["gp_vrf"] + base["gp_srf"]
+        overhead = opt["meta_rf"] / base_rf
+        assert 0.10 < overhead < 0.18  # paper: 14%
+
+    def test_static_pcc_is_per_warp(self):
+        dynamic = storage_bits(paper_geometry(SMConfig.cheri))
+        static = storage_bits(paper_geometry(SMConfig.cheri_optimised))
+        assert dynamic["pcc"] == 33 * 2048
+        assert static["pcc"] == 33 * 64
+
+    def test_tags_are_one_bit_per_scratchpad_word(self):
+        cfg = paper_geometry(SMConfig.cheri_optimised)
+        bits = storage_bits(cfg)
+        assert bits["scratchpad_tags"] == cfg.scratchpad_bytes // 4
+
+
+class TestCaplib:
+    def test_figure7_constants(self):
+        assert CAPLIB_ALMS["setAddr"] == 106
+        assert CAPLIB_ALMS["isAccessInBounds"] == 25
+        assert CAPLIB_ALMS["setBounds"] == 287
+        assert CAPLIB_ALMS["toMem"] == 0
+
+    def test_report_names(self):
+        assert synthesis_report(SMConfig.baseline()).name == "Baseline"
+        assert synthesis_report(SMConfig.cheri()).name == "CHERI"
+        assert synthesis_report(
+            SMConfig.cheri_optimised()).name == "CHERI (Optimised)"
+
+    def test_fmax_model(self):
+        assert fmax_mhz(SMConfig.baseline()) == 180
+        assert fmax_mhz(SMConfig.cheri()) == 181
+        assert fmax_mhz(SMConfig.cheri_optimised()) == 180

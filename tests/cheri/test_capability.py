@@ -1,0 +1,189 @@
+"""Tests for the Capability value type and CHERI derivation semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri import Capability, Perms, root_capability
+from repro.cheri.capability import CAP_NULL, OTYPE_SENTRY, OTYPE_UNSEALED
+
+FULL = 1 << 32
+
+
+def derived(base, length):
+    cap, _ = root_capability().set_bounds(base, length)
+    return cap
+
+
+class TestPacking:
+    def test_null_cap_packs_to_zero(self):
+        assert CAP_NULL.to_mem() == 0
+
+    def test_from_mem_roundtrip_null(self):
+        assert Capability.from_mem(0) == CAP_NULL
+
+    def test_root_roundtrip(self):
+        root = root_capability()
+        assert Capability.from_mem(root.to_mem()) == root
+
+    @given(st.integers(min_value=0, max_value=FULL - 1),
+           st.integers(min_value=0, max_value=1 << 20))
+    @settings(max_examples=200)
+    def test_derived_caps_roundtrip_through_memory(self, base, length):
+        if base + length > FULL:
+            return
+        cap = derived(base, length)
+        again = Capability.from_mem(cap.to_mem())
+        assert again == cap
+        assert again.base == cap.base
+        assert again.top == cap.top
+
+    def test_meta_word_is_address_independent(self):
+        a = derived(0x1000, 0x100).set_addr(0x1000)
+        b = derived(0x1000, 0x100).set_addr(0x10ff)
+        assert a.meta_word() == b.meta_word()
+        assert a.addr != b.addr
+
+    def test_untagged_pattern_preserved(self):
+        cap = derived(0x2000, 64).with_tag_cleared()
+        again = Capability.from_mem(cap.to_mem())
+        assert not again.tag
+        assert again.meta_word() == cap.meta_word()
+
+
+class TestRoot:
+    def test_root_covers_address_space(self):
+        root = root_capability()
+        assert root.tag
+        assert root.base == 0
+        assert root.top == FULL
+        assert root.length == FULL
+
+    def test_root_has_all_perms(self):
+        root = root_capability()
+        for perm in Perms:
+            assert perm in root.perms
+
+    def test_restricted_root(self):
+        ro = root_capability(Perms.LOAD | Perms.GLOBAL)
+        assert Perms.STORE not in ro.perms
+
+
+class TestSetBounds:
+    def test_narrowing_keeps_tag(self):
+        cap, exact = root_capability().set_bounds(0x4000, 0x1000)
+        assert cap.tag
+        assert exact
+        assert (cap.base, cap.top) == (0x4000, 0x5000)
+
+    def test_widening_clears_tag(self):
+        small = derived(0x4000, 0x100)
+        grown, _ = small.set_bounds(0x3000, 0x2000)
+        assert not grown.tag
+
+    def test_monotonic_nested_derivation(self):
+        outer = derived(0x10000, 0x1000)
+        inner, _ = outer.set_bounds(0x10100, 0x100)
+        assert inner.tag
+        assert inner.base >= outer.base
+        assert inner.top <= outer.top
+
+    def test_exact_variant_clears_tag_on_rounding(self):
+        parent = derived(0, 1 << 20)
+        inexact, was_exact = parent.set_bounds(1, 1001, exact=True)
+        assert not was_exact
+        assert not inexact.tag
+
+    def test_inexact_rounding_keeps_tag_when_inside_parent(self):
+        parent = derived(0, 1 << 20)
+        cap, was_exact = parent.set_bounds(4096, 1001)
+        assert not was_exact
+        assert cap.tag
+        assert cap.base <= 4096
+        assert cap.top >= 4096 + 1001
+
+    def test_set_bounds_on_untagged_stays_untagged(self):
+        cap, _ = derived(0, 256).with_tag_cleared().set_bounds(0, 16)
+        assert not cap.tag
+
+    @given(st.integers(min_value=0, max_value=FULL - 1),
+           st.integers(min_value=0, max_value=1 << 24),
+           st.integers(min_value=0, max_value=1 << 24))
+    @settings(max_examples=200)
+    def test_derivation_never_grows_authority(self, base, length, sub):
+        if base + length > FULL:
+            return
+        parent = derived(base, length)
+        child, _ = parent.set_bounds(base, min(sub, length))
+        if child.tag:
+            assert child.base >= parent.base
+            assert child.top <= parent.top
+
+
+class TestSetAddr:
+    def test_in_bounds_move_keeps_tag(self):
+        cap = derived(0x8000, 0x1000)
+        moved = cap.set_addr(0x8800)
+        assert moved.tag
+        assert moved.addr == 0x8800
+        assert (moved.base, moved.top) == (cap.base, cap.top)
+
+    def test_one_past_end_keeps_tag(self):
+        cap = derived(0x8000, 64)
+        assert cap.set_addr(0x8040).tag
+
+    def test_far_oob_clears_tag(self):
+        cap = derived(0x100000, 0x100000)
+        wandered = cap.set_addr(0xF0000000)
+        assert not wandered.tag
+
+    def test_inc_addr_matches_set_addr(self):
+        cap = derived(0x8000, 0x1000)
+        assert cap.inc_addr(0x10) == cap.set_addr(0x8010)
+
+    def test_inc_addr_wraps_modulo(self):
+        cap = derived(0, 64)
+        wrapped = cap.inc_addr(FULL + 8)
+        assert wrapped.addr == 8
+
+    def test_sealed_cap_addr_change_clears_tag(self):
+        cap = derived(0x8000, 64).seal_entry()
+        assert not cap.set_addr(0x8008).tag
+
+
+class TestPermsAndSeal:
+    def test_and_perms_only_removes(self):
+        cap = derived(0, 256)
+        ro = cap.and_perms(Perms.LOAD | Perms.LOAD_CAP | Perms.GLOBAL)
+        assert ro.tag
+        assert Perms.LOAD in ro.perms
+        assert Perms.STORE not in ro.perms
+
+    def test_and_perms_cannot_add(self):
+        ro = root_capability(Perms.LOAD)
+        still_ro = ro.and_perms(Perms.all_perms())
+        assert Perms.STORE not in still_ro.perms
+
+    def test_seal_entry_sets_otype(self):
+        cap = derived(0x1000, 64).seal_entry()
+        assert cap.is_sealed
+        assert cap.is_sentry
+        assert cap.otype == OTYPE_SENTRY
+
+    def test_unseal_entry_restores(self):
+        cap = derived(0x1000, 64).seal_entry().unseal_entry()
+        assert not cap.is_sealed
+        assert cap.otype == OTYPE_UNSEALED
+
+    def test_sealed_set_bounds_clears_tag(self):
+        cap = derived(0x1000, 256).seal_entry()
+        child, _ = cap.set_bounds(0x1000, 16)
+        assert not child.tag
+
+    def test_sealed_and_perms_clears_tag(self):
+        cap = derived(0x1000, 256).seal_entry()
+        assert not cap.and_perms(Perms.LOAD).tag
+
+    def test_set_flags(self):
+        cap = derived(0, 64).set_flags(1)
+        assert cap.flags == 1
+        assert cap.tag

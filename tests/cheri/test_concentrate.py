@@ -1,0 +1,226 @@
+"""Unit and property tests for the CHERI Concentrate bounds codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri.concentrate import (
+    ADDR_BITS,
+    MAX_EXP,
+    NULL_BOUNDS,
+    crml,
+    crrl,
+    decode_bounds,
+    encode_bounds,
+    is_representable,
+)
+
+FULL = 1 << ADDR_BITS
+
+addresses = st.integers(min_value=0, max_value=FULL - 1)
+lengths = st.integers(min_value=0, max_value=FULL)
+
+
+def regions():
+    return st.tuples(addresses, lengths).map(
+        lambda pair: (pair[0], min(pair[0] + pair[1], FULL))
+    )
+
+
+class TestEncodeDecodeBasics:
+    def test_null_bounds_decode_to_empty_at_zero(self):
+        assert decode_bounds(NULL_BOUNDS, 0) == (0, 0)
+
+    def test_full_address_space_is_exact(self):
+        bounds, exact, base, top = encode_bounds(0, FULL)
+        assert exact
+        assert (base, top) == (0, FULL)
+        assert decode_bounds(bounds, 0) == (0, FULL)
+        assert decode_bounds(bounds, FULL - 1) == (0, FULL)
+
+    def test_small_region_is_exact(self):
+        bounds, exact, base, top = encode_bounds(0x1234, 0x1234 + 63)
+        assert exact
+        assert bounds.ie == 0
+        assert decode_bounds(bounds, 0x1234) == (0x1234, 0x1234 + 63)
+
+    def test_boundary_length_63_is_ie0(self):
+        bounds, exact, _, _ = encode_bounds(100, 163)
+        assert bounds.ie == 0 and exact
+
+    def test_boundary_length_64_uses_internal_exponent(self):
+        bounds, exact, base, top = encode_bounds(0, 64)
+        assert bounds.ie == 1
+        assert exact
+        assert decode_bounds(bounds, 0) == (0, 64)
+
+    def test_unaligned_large_region_rounds_outward(self):
+        req_base, req_top = 1001, 1001 + 1000
+        bounds, exact, base, top = encode_bounds(req_base, req_top)
+        assert not exact
+        assert base <= req_base
+        assert top >= req_top
+        assert decode_bounds(bounds, req_base) == (base, top)
+
+    def test_zero_length_region(self):
+        bounds, exact, base, top = encode_bounds(0x8000, 0x8000)
+        assert exact
+        assert decode_bounds(bounds, 0x8000) == (0x8000, 0x8000)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            encode_bounds(10, 5)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_bounds(0, FULL + 1)
+
+    def test_exponent_field_round_trips_large_exponents(self):
+        # A half-address-space region needs a big exponent; make sure the
+        # split E storage (low bits of B and T) reassembles correctly.
+        bounds, _, base, top = encode_bounds(0, FULL // 2)
+        assert decode_bounds(bounds, 0) == (base, top)
+        bounds, _, base, top = encode_bounds(FULL // 2, FULL)
+        assert decode_bounds(bounds, FULL // 2) == (base, top)
+
+    def test_encoding_is_address_independent(self):
+        # Two capabilities to the same region have identical metadata no
+        # matter where their addresses point - the value-regularity property
+        # the metadata register file exploits.
+        b1, _, _, _ = encode_bounds(0x4000, 0x8000)
+        b2, _, _, _ = encode_bounds(0x4000, 0x8000)
+        assert b1 == b2
+
+
+class TestDecodeWithinRegion:
+    @given(regions(), st.data())
+    @settings(max_examples=300)
+    def test_any_in_bounds_address_decodes_same_bounds(self, region, data):
+        req_base, req_top = region
+        bounds, _, base, top = encode_bounds(req_base, req_top)
+        hi = max(base, min(top, FULL) - 1)
+        addr = data.draw(st.integers(min_value=base, max_value=hi))
+        assert decode_bounds(bounds, addr) == (base, top)
+
+    @given(regions())
+    @settings(max_examples=300)
+    def test_roundtrip_contains_requested_region(self, region):
+        req_base, req_top = region
+        bounds, exact, base, top = encode_bounds(req_base, req_top)
+        assert base <= req_base
+        assert top >= req_top
+        if exact:
+            assert (base, top) == (req_base, req_top)
+
+    @given(regions())
+    @settings(max_examples=300)
+    def test_rounding_slack_is_bounded(self, region):
+        # Concentrate loses at most one granule at each end.  The granule
+        # is 2**(E+3) with L > 112 * 2**(E-1) after a worst-case exponent
+        # bump, so total slack is below 2L/7 (and zero below 64 bytes).
+        req_base, req_top = region
+        _, _, base, top = encode_bounds(req_base, req_top)
+        length = req_top - req_base
+        slack = (req_base - base) + (top - req_top)
+        if length < 64:
+            assert slack == 0
+        else:
+            assert slack <= max(32, (2 * length) // 7)
+
+
+class TestRepresentability:
+    def test_in_bounds_moves_are_representable(self):
+        bounds, _, base, top = encode_bounds(0x10000, 0x20000)
+        assert is_representable(bounds, 0x10000, top - 1)
+        assert is_representable(bounds, 0x10000, base)
+
+    def test_one_past_the_end_is_representable(self):
+        # C/C++ pointers may point one past the object (paper section 2.4).
+        bounds, _, base, top = encode_bounds(0x10000, 0x10040)
+        assert is_representable(bounds, 0x10000, top)
+
+    def test_far_out_of_bounds_is_not_representable(self):
+        bounds, _, base, top = encode_bounds(0x100000, 0x200000)
+        assert not is_representable(bounds, 0x100000, 0x80000000)
+
+    @given(regions(), addresses)
+    @settings(max_examples=300)
+    def test_representable_iff_decode_unchanged(self, region, new_addr):
+        req_base, req_top = region
+        bounds, _, base, top = encode_bounds(req_base, req_top)
+        rep = is_representable(bounds, req_base, new_addr)
+        same = decode_bounds(bounds, new_addr) == (base, top)
+        assert rep == same
+
+
+class TestCrrlCrml:
+    @pytest.mark.parametrize("length", [0, 1, 63, 64, 65, 100, 1000, 4096,
+                                        1 << 20, (1 << 20) + 3, FULL])
+    def test_crrl_crml_consistency(self, length):
+        rounded = crrl(length)
+        mask = crml(length)
+        assert rounded >= length
+        # A CRAM-aligned base with a CRRL-rounded length is always exact.
+        base = 0x40000000 & mask
+        _, exact, actual_base, actual_top = encode_bounds(
+            base, min(base + rounded, FULL)
+        )
+        if base + rounded <= FULL:
+            assert exact, (length, rounded, hex(mask))
+
+    def test_small_lengths_are_unchanged(self):
+        for length in range(64):
+            assert crrl(length) == length
+            assert crml(length) == FULL - 1
+
+    @given(lengths)
+    @settings(max_examples=300)
+    def test_crrl_idempotent_and_monotone(self, length):
+        rounded = crrl(length)
+        assert crrl(rounded) == rounded
+        assert rounded >= length
+
+    @given(lengths, st.integers(min_value=0, max_value=FULL - 1))
+    @settings(max_examples=300)
+    def test_aligned_base_plus_crrl_is_exact(self, length, base):
+        mask = crml(length)
+        rounded = crrl(length)
+        aligned = base & mask
+        if aligned + rounded > FULL:
+            return
+        _, exact, _, _ = encode_bounds(aligned, aligned + rounded)
+        assert exact
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            crrl(FULL + 1)
+        with pytest.raises(ValueError):
+            crml(-1)
+
+
+class TestExponentBump:
+    def test_rounding_overflow_bumps_exponent(self):
+        # Length just under a power of two with misaligned ends forces the
+        # encoder's mantissa-overflow path (exponent bump).
+        length = (1 << 20) - 1
+        base = 5
+        bounds, exact, actual_base, actual_top = encode_bounds(base, base + length)
+        assert not exact
+        assert actual_top - actual_base >= length
+        assert decode_bounds(bounds, base) == (actual_base, actual_top)
+
+    @given(st.integers(min_value=0, max_value=MAX_EXP),
+           st.integers(min_value=8, max_value=15),
+           st.integers(min_value=0, max_value=FULL - 1))
+    @settings(max_examples=300)
+    def test_canonical_mantissa_regions_decode_exactly(self, exp, mant8, base):
+        # With an internal exponent the mantissa has 8-byte granularity
+        # (its low 3 bits store E), so exact lengths are 8*k << exp with
+        # the mantissa length in [64, 128).
+        length = (mant8 * 8) << exp
+        base &= ~((1 << (exp + 3)) - 1)
+        if base + length > FULL:
+            return
+        bounds, exact, actual_base, actual_top = encode_bounds(base, base + length)
+        assert exact
+        assert decode_bounds(bounds, base) == (base, base + length)

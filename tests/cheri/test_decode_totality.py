@@ -1,0 +1,52 @@
+"""Decode totality: arbitrary bit patterns never crash the capability model.
+
+Untagged memory can hold any 64-bit pattern, and CClearTag'd capabilities
+retain arbitrary encodings — every operation on them must be total
+(returning untagged results), never raise, because hardware has no way to
+refuse to decode a register.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri import Capability
+from repro.cheri.concentrate import CapBounds, decode_bounds
+
+any64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+any_addr = st.integers(min_value=0, max_value=(1 << 32) - 1)
+any_bounds = st.builds(
+    CapBounds,
+    ie=st.integers(min_value=0, max_value=1),
+    b_field=st.integers(min_value=0, max_value=0xFF),
+    t_field=st.integers(min_value=0, max_value=0x3F),
+)
+
+
+class TestDecodeTotality:
+    @given(any_bounds, any_addr)
+    @settings(max_examples=500)
+    def test_any_pattern_decodes(self, bounds, addr):
+        base, top = decode_bounds(bounds, addr)
+        assert 0 <= base < (1 << 32)
+        assert 0 <= top < (1 << 33)
+
+    @given(any64, any_addr)
+    @settings(max_examples=300)
+    def test_untagged_capability_operations_are_total(self, raw, addr):
+        cap = Capability.from_mem(raw)  # tag bit absent: untagged
+        assert not cap.tag
+        # Every derivation stays total and untagged.
+        assert not cap.set_addr(addr).tag
+        assert not cap.inc_addr(12345).tag
+        child, _ = cap.set_bounds(cap.addr, 16)
+        assert not child.tag
+        assert not cap.and_perms(0).tag
+        _ = cap.base, cap.top, cap.length, cap.is_sealed
+        # Round trip preserves the raw pattern.
+        assert cap.to_mem() == raw & ((1 << 64) - 1)
+
+    @given(any64)
+    @settings(max_examples=300)
+    def test_mem_roundtrip_any_pattern(self, raw):
+        cap = Capability.from_mem(raw)
+        assert Capability.from_mem(cap.to_mem()) == cap

@@ -1,0 +1,149 @@
+"""Tests for temporal safety: quarantine and revocation sweeps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri import root_capability
+from repro.cheri.revocation import Quarantine, sweep_memory
+from repro.memory import TaggedMemory
+
+
+def derived(base, length):
+    cap, _ = root_capability().set_bounds(base, length)
+    return cap
+
+
+def store_cap(memory, slot_addr, cap):
+    memory.write_cap_raw(slot_addr, cap.to_mem() & ((1 << 64) - 1), cap.tag)
+
+
+class TestQuarantine:
+    def test_overlap_detection(self):
+        q = Quarantine()
+        q.add(0x1000, 0x2000)
+        assert q.overlaps(0x1800, 0x1900)
+        assert q.overlaps(0x0F00, 0x1001)
+        assert q.overlaps(0x1FFF, 0x3000)
+        assert not q.overlaps(0x2000, 0x3000)  # half-open intervals
+        assert not q.overlaps(0x0F00, 0x1000)
+
+    def test_empty_region_rejected(self):
+        q = Quarantine()
+        with pytest.raises(ValueError):
+            q.add(0x1000, 0x1000)
+
+    def test_drain(self):
+        q = Quarantine()
+        q.add(0, 16)
+        assert q
+        assert q.drain() == [(0, 16)]
+        assert not q
+
+
+class TestSweep:
+    def test_revokes_overlapping_capability(self):
+        mem = TaggedMemory()
+        victim = derived(0x1000, 0x100)
+        store_cap(mem, 0x8000, victim)
+        q = Quarantine()
+        q.add(0x1000, 0x1100)
+        assert sweep_memory(mem, q) == 1
+        _, tag = mem.read_cap_raw(0x8000)
+        assert not tag
+
+    def test_spares_disjoint_capability(self):
+        mem = TaggedMemory()
+        survivor = derived(0x4000, 0x100)
+        store_cap(mem, 0x8000, survivor)
+        q = Quarantine()
+        q.add(0x1000, 0x1100)
+        assert sweep_memory(mem, q) == 0
+        _, tag = mem.read_cap_raw(0x8000)
+        assert tag
+
+    def test_out_of_bounds_cursor_does_not_hide_capability(self):
+        # Revocation keys on *bounds*, not the cursor: a cap pointing
+        # elsewhere but bounded over freed memory must still die.
+        mem = TaggedMemory()
+        sneaky = derived(0x1000, 0x100).set_addr(0x1000 + 0x80)
+        store_cap(mem, 0x8000, sneaky)
+        q = Quarantine()
+        q.add(0x1000, 0x1100)
+        assert sweep_memory(mem, q) == 1
+
+    def test_untagged_data_untouched(self):
+        mem = TaggedMemory()
+        mem.write(0x8000, 4, 0x1050)  # integer that looks like an address
+        q = Quarantine()
+        q.add(0x1000, 0x1100)
+        assert sweep_memory(mem, q) == 0
+        assert mem.read(0x8000, 4) == 0x1050
+
+    def test_sweep_preserves_capability_bits(self):
+        # Only the tag dies; the bit pattern stays (diagnosability).
+        mem = TaggedMemory()
+        victim = derived(0x1000, 0x100)
+        store_cap(mem, 0x8000, victim)
+        q = Quarantine()
+        q.add(0x1000, 0x1100)
+        sweep_memory(mem, q)
+        raw, tag = mem.read_cap_raw(0x8000)
+        assert not tag
+        assert raw == victim.to_mem() & ((1 << 64) - 1)
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=0xFFFF).map(lambda x: x * 0x100),
+        st.sampled_from([0x40, 0x80, 0x100])), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_sweep_is_complete_and_precise(self, caps):
+        mem = TaggedMemory()
+        q = Quarantine()
+        q.add(0x100000, 0x200000)
+        expect_revoked = 0
+        for slot, (base, length) in enumerate(caps):
+            cap = derived(base, length)
+            store_cap(mem, 0x800000 + 8 * slot, cap)
+            if base < 0x200000 and base + length > 0x100000:
+                expect_revoked += 1
+        assert sweep_memory(mem, q) == expect_revoked
+        for slot, (base, length) in enumerate(caps):
+            _, tag = mem.read_cap_raw(0x800000 + 8 * slot)
+            overlaps = base < 0x200000 and base + length > 0x100000
+            assert tag == (not overlaps)
+
+
+class TestRuntimeUseAfterFree:
+    def test_use_after_free_traps_after_revocation(self):
+        from repro.nocl import NoCLRuntime, i32, kernel, ptr
+        from repro.simt import KernelAbort, SMConfig
+
+        @kernel
+        def stash(buf: ptr[i32], slots: ptr[i32]):
+            # Store the buffer capability itself into memory... the DSL has
+            # no pointer-to-pointer stores, so emulate a dangling use by
+            # just reading the buffer after free+revoke instead.
+            if threadIdx.x == 0 and blockIdx.x == 0:
+                slots[0] = buf[0]
+
+        rt = NoCLRuntime("purecap",
+                         config=SMConfig.cheri_optimised(num_warps=1,
+                                                         num_lanes=4))
+        buf = rt.alloc(i32, 16)
+        out = rt.alloc(i32, 4)
+        rt.upload(buf, [7] * 16)
+        # First use is fine.
+        rt.launch(stash, 1, 4, [buf, out])
+        assert rt.download(out)[0] == 7
+        # Free + revoke: the *argument block* still holds the capability
+        # from the previous launch; the sweep must kill it.
+        rt.free(buf)
+        revoked = rt.revoke()
+        assert revoked >= 1
+        # Launching again with the stale buffer: the runtime would re-derive
+        # a fresh capability, so instead verify the stored one is dead.
+        from repro.simt.config import ARG_BASE
+        compiled = rt.compiled(stash)
+        slot = next(s for s in compiled.arg_slots if s.name == "buf")
+        _, tag = rt.sm.memory.read_cap_raw(ARG_BASE + slot.offset)
+        assert not tag

@@ -1,0 +1,132 @@
+"""Unit tests for the evaluation runner, configurations, and rendering."""
+
+import pytest
+
+from repro.eval.runner import (
+    clear_cache,
+    config_for,
+    geomean,
+    run_benchmark,
+)
+from repro.eval import report
+
+
+class TestConfigFor:
+    def test_baseline(self):
+        mode, cfg = config_for("baseline")
+        assert mode == "baseline" and not cfg.enable_cheri
+
+    def test_cheri_unoptimised(self):
+        mode, cfg = config_for("cheri")
+        assert mode == "purecap"
+        assert cfg.enable_cheri and not cfg.compress_metadata
+
+    def test_cheri_optimised(self):
+        mode, cfg = config_for("cheri_opt")
+        assert mode == "purecap" and cfg.nvo and cfg.shared_vrf
+
+    def test_ablation_configs(self):
+        _, no_nvo = config_for("cheri_opt_no_nvo")
+        assert not no_nvo.nvo and no_nvo.compress_metadata
+        _, split = config_for("cheri_opt_split_vrf")
+        assert not split.shared_vrf
+        _, dual = config_for("cheri_opt_dual_port_srf")
+        assert not dual.metadata_srf_single_port
+        _, lanes = config_for("cheri_opt_lane_bounds")
+        assert not lanes.sfu_cheri_slow_path
+        _, dyn = config_for("cheri_opt_dynamic_pcc")
+        assert not dyn.static_pc_metadata
+
+    def test_boundscheck(self):
+        mode, cfg = config_for("boundscheck")
+        assert mode == "boundscheck" and not cfg.enable_cheri
+
+    def test_overrides(self):
+        _, cfg = config_for("baseline", vrf_fraction=0.25)
+        assert cfg.vrf_fraction == 0.25
+
+    def test_unknown_config(self):
+        with pytest.raises(ValueError):
+            config_for("turbo")
+
+
+class TestRunnerCache:
+    def test_memoisation(self):
+        clear_cache()
+        first = run_benchmark("VecAdd", "baseline",
+                              num_warps=2, num_lanes=4)
+        second = run_benchmark("VecAdd", "baseline",
+                               num_warps=2, num_lanes=4)
+        assert first is second
+        third = run_benchmark("VecAdd", "baseline",
+                              num_warps=2, num_lanes=8)
+        assert third is not first
+        clear_cache()
+
+    def test_result_carries_stats_and_config(self):
+        clear_cache()
+        result = run_benchmark("VecAdd", "baseline",
+                               num_warps=2, num_lanes=4)
+        assert result.benchmark == "VecAdd"
+        assert result.stats.cycles > 0
+        assert result.config.num_lanes == 4
+        clear_cache()
+
+
+class TestGeomean:
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_identity(self):
+        assert geomean([0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_symmetric(self):
+        # +100% and -50% cancel geometrically.
+        assert geomean([1.0, -0.5]) == pytest.approx(0.0)
+
+    def test_single(self):
+        assert geomean([0.1]) == pytest.approx(0.1)
+
+
+class TestReportRendering:
+    def test_pct(self):
+        assert report.pct(0.016) == "+1.6%"
+        assert report.pct(-0.25) == "-25.0%"
+
+    def test_fig6(self):
+        text = report.render_fig6([("CLW", 0.1), ("CSC", 0.01)])
+        assert "CLW" in text and "10.00%" in text
+
+    def test_table2(self):
+        rows = [{"vrf_registers": 768, "fraction": 0.375,
+                 "storage_kb": 936, "compress_ratio": 0.46,
+                 "cycle_overhead": 0.009, "mem_access_overhead": 0.022}]
+        text = report.render_table2(rows)
+        assert "768 (3/8)" in text
+        assert "1:0.46" in text
+
+    def test_fig10(self):
+        text = report.render_fig10([{"benchmark": "VecAdd", "gp": 0.05,
+                                     "meta_nvo": 0.0, "meta_no_nvo": 0.01}])
+        assert "VecAdd" in text
+
+    def test_fig11(self):
+        text = report.render_fig11([("VecAdd", 9)])
+        assert "#########" in text
+
+    def test_fig12(self):
+        text = report.render_fig12([{"benchmark": "X", "baseline_bytes": 10,
+                                     "cheri_bytes": 10, "ratio": 1.0}])
+        assert "1.000x" in text
+
+    def test_overheads(self):
+        text = report.render_overheads("T", [("A", 0.01)], 0.01)
+        assert "geomean" in text
+
+    def test_table3(self):
+        text = report.render_table3([("Baseline", 1, 0, 2, 180)])
+        assert "Baseline" in text
+
+    def test_fig7(self):
+        text = report.render_fig7({"setAddr": 106})
+        assert "567" in text

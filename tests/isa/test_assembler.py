@@ -1,0 +1,148 @@
+"""Tests for the text assembler (asm -> Instr, inverse of disasm)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import AssemblerError, assemble_text
+from repro.isa.disasm import format_instr
+from repro.isa.instructions import Instr, Op
+from repro.simt import SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE
+
+
+class TestBasicSyntax:
+    def test_alu_and_immediates(self):
+        prog = assemble_text("""
+            addi t0, zero, 42
+            add  t1, t0, t0
+            mul  t2, t1, t0
+        """)
+        assert prog[0] == Instr(Op.ADDI, rd=5, rs1=0, imm=42)
+        assert prog[1] == Instr(Op.ADD, rd=6, rs1=5, rs2=5)
+        assert prog[2] == Instr(Op.MUL, rd=7, rs1=6, rs2=5)
+
+    def test_memory_syntax(self):
+        prog = assemble_text("""
+            lw  t0, 8(sp)
+            sw  t0, -4(a0)
+            clc t1, 16(gp)
+        """)
+        assert prog[0] == Instr(Op.LW, rd=5, rs1=2, imm=8)
+        assert prog[1] == Instr(Op.SW, rs1=10, rs2=5, imm=-4)
+        assert prog[2] == Instr(Op.CLC, rd=6, rs1=3, imm=16)
+
+    def test_labels_and_branches(self):
+        prog = assemble_text("""
+            addi t0, zero, 0
+        loop:
+            addi t0, t0, 1
+            blt  t0, a0, loop
+            halt
+        """)
+        assert prog[2].op is Op.BLT
+        assert prog[2].imm == -4
+
+    def test_numeric_registers(self):
+        prog = assemble_text("add x5, x6, x7")
+        assert prog[0] == Instr(Op.ADD, rd=5, rs1=6, rs2=7)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble_text("""
+            # a comment
+            halt   # trailing comment
+
+        """)
+        assert len(prog) == 1
+
+    def test_dotted_mnemonics(self):
+        prog = assemble_text("""
+            amoadd.w t0, t1, t2
+            fadd.s   t0, t1, t2
+            fsqrt.s  t0, t1
+        """)
+        assert [i.op for i in prog] == [Op.AMOADD_W, Op.FADD_S, Op.FSQRT_S]
+
+    def test_cheri_forms(self):
+        prog = assemble_text("""
+            cincoffset    t0, t1, t2
+            cincoffsetimm t0, t1, 8
+            csetboundsimm t0, t0, 64
+            cgettag       t1, t0
+        """)
+        assert [i.op for i in prog] == [Op.CINCOFFSET, Op.CINCOFFSETIMM,
+                                        Op.CSETBOUNDSIMM, Op.CGETTAG]
+
+    def test_depth_directive(self):
+        prog = assemble_text("""
+            addi t0, zero, 0
+            @depth 1
+            addi t0, t0, 1
+            @depth 0
+            halt
+        """)
+        assert prog[0].depth == 0
+        assert prog[1].depth == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("frobnicate t0, t1, t2")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("add t0, t1, t9")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            assemble_text("lw t0, t1")
+
+    def test_unknown_label(self):
+        from repro.nocl.ir import AsmError
+        with pytest.raises(AsmError):
+            assemble_text("jal zero, nowhere")
+
+
+class TestRoundTrip:
+    _R_OPS = [Op.ADD, Op.SUB, Op.XOR, Op.MUL, Op.SLT, Op.CINCOFFSET,
+              Op.CSETBOUNDS, Op.FADD_S, Op.AMOADD_W]
+
+    @given(st.sampled_from(_R_OPS),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    @settings(max_examples=150)
+    def test_disasm_text_reassembles(self, op, rd, rs1, rs2):
+        instr = Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        again = assemble_text(format_instr(instr))[0]
+        assert again == instr
+
+    def test_loads_stores_roundtrip(self):
+        for instr in (Instr(Op.CLW, rd=9, rs1=4, imm=-12),
+                      Instr(Op.CSC, rs1=2, rs2=30, imm=48),
+                      Instr(Op.LBU, rd=17, rs1=28, imm=2047)):
+            assert assemble_text(format_instr(instr))[0] == instr
+
+
+class TestExecution:
+    def test_assembled_program_runs(self):
+        # Sum 1..10 per thread, store to HEAP + 4*tid.
+        prog = assemble_text("""
+            addi t0, zero, 0      # acc
+            addi t1, zero, 1      # i
+            addi t2, zero, 10
+        loop:
+            bgt_placeholder:      # (label exercising odd names)
+            add  t0, t0, t1
+            addi t1, t1, 1
+            bge  t2, t1, loop
+            sw   t0, 0(a1)
+            halt
+        """)
+        sm = StreamingMultiprocessor(
+            SMConfig.baseline(num_warps=1, num_lanes=4))
+        addrs = [HEAP_BASE + 4 * t for t in range(4)]
+        sm.launch(prog, init_regs={11: addrs})
+        for t in range(4):
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 55

@@ -1,0 +1,253 @@
+"""Encode/decode round-trip tests for the full ISA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import (
+    ACCESS_WIDTH,
+    AMO_OPS,
+    BRANCH_OPS,
+    CHERI_OPS,
+    FLOAT_OPS,
+    LOAD_OPS,
+    STORE_OPS,
+    Instr,
+    Op,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+uimm12 = st.integers(min_value=0, max_value=4095)
+imm_b = st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2)
+imm_u = st.integers(min_value=0, max_value=0xFFFFF)
+imm_j = st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(lambda x: x * 2)
+shamt = st.integers(min_value=0, max_value=31)
+
+_R_OPS = [Op.ADD, Op.SUB, Op.SLL, Op.SLT, Op.SLTU, Op.XOR, Op.SRL, Op.SRA,
+          Op.OR, Op.AND, Op.MUL, Op.MULH, Op.MULHSU, Op.MULHU, Op.DIV,
+          Op.DIVU, Op.REM, Op.REMU]
+_I_OPS = [Op.ADDI, Op.SLTI, Op.SLTIU, Op.XORI, Op.ORI, Op.ANDI]
+_LOADS = [Op.LB, Op.LH, Op.LW, Op.LBU, Op.LHU]
+_STORES = [Op.SB, Op.SH, Op.SW]
+_CLOADS = [Op.CLB, Op.CLH, Op.CLW, Op.CLBU, Op.CLHU, Op.CLC]
+_CSTORES = [Op.CSB, Op.CSH, Op.CSW, Op.CSC]
+_FP_RR = [Op.FADD_S, Op.FSUB_S, Op.FMUL_S, Op.FDIV_S, Op.FMIN_S, Op.FMAX_S,
+          Op.FEQ_S, Op.FLT_S, Op.FLE_S, Op.FSGNJ_S, Op.FSGNJN_S, Op.FSGNJX_S]
+_FP_UNARY = [Op.FSQRT_S, Op.FCVT_W_S, Op.FCVT_WU_S, Op.FCVT_S_W, Op.FCVT_S_WU]
+_CHERI_RR = [Op.CSETBOUNDS, Op.CSETBOUNDSEXACT, Op.CANDPERM, Op.CSETFLAGS,
+             Op.CSETADDR, Op.CINCOFFSET, Op.CSPECIALRW]
+_CHERI_UNARY = [Op.CGETPERM, Op.CGETTYPE, Op.CGETBASE, Op.CGETLEN, Op.CGETTAG,
+                Op.CGETSEALED, Op.CGETFLAGS, Op.CRRL, Op.CRAM, Op.CMOVE,
+                Op.CCLEARTAG, Op.CGETADDR, Op.CSEALENTRY]
+
+
+def roundtrip(instr, cheri_mode=False):
+    word = encode(instr)
+    assert 0 <= word < (1 << 32)
+    return decode(word, cheri_mode=cheri_mode)
+
+
+class TestRoundTrips:
+    @given(st.sampled_from(_R_OPS), regs, regs, regs)
+    @settings(max_examples=200)
+    def test_r_type(self, op, rd, rs1, rs2):
+        instr = Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_I_OPS), regs, regs, imm12)
+    @settings(max_examples=200)
+    def test_i_type(self, op, rd, rs1, imm):
+        instr = Instr(op, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from([Op.SLLI, Op.SRLI, Op.SRAI]), regs, regs, shamt)
+    @settings(max_examples=100)
+    def test_shifts(self, op, rd, rs1, amount):
+        instr = Instr(op, rd=rd, rs1=rs1, imm=amount)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_LOADS), regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_loads(self, op, rd, rs1, imm):
+        instr = Instr(op, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_STORES), regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_stores(self, op, rs1, rs2, imm):
+        instr = Instr(op, rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_CLOADS), regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_cap_loads(self, op, rd, rs1, imm):
+        instr = Instr(op, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_CSTORES), regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_cap_stores(self, op, rs1, rs2, imm):
+        instr = Instr(op, rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(sorted(BRANCH_OPS, key=lambda o: o.name)),
+           regs, regs, imm_b)
+    @settings(max_examples=200)
+    def test_branches(self, op, rs1, rs2, imm):
+        instr = Instr(op, rs1=rs1, rs2=rs2, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(regs, imm_u)
+    @settings(max_examples=100)
+    def test_lui_auipc(self, rd, imm):
+        assert roundtrip(Instr(Op.LUI, rd=rd, imm=imm)) == Instr(Op.LUI, rd=rd, imm=imm)
+        assert roundtrip(Instr(Op.AUIPC, rd=rd, imm=imm)) == Instr(Op.AUIPC, rd=rd, imm=imm)
+
+    @given(regs, imm_j)
+    @settings(max_examples=200)
+    def test_jal(self, rd, imm):
+        instr = Instr(Op.JAL, rd=rd, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_jalr_and_cjalr(self, rd, rs1, imm):
+        instr = Instr(Op.JALR, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+        cinstr = Instr(Op.CJALR, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(cinstr) == cinstr
+
+    @given(st.sampled_from(sorted(AMO_OPS - {Op.CAMOADD_W}, key=lambda o: o.name)),
+           regs, regs, regs)
+    @settings(max_examples=100)
+    def test_atomics(self, op, rd, rs1, rs2):
+        instr = Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_FP_RR), regs, regs, regs)
+    @settings(max_examples=200)
+    def test_fp_two_source(self, op, rd, rs1, rs2):
+        instr = Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_FP_UNARY), regs, regs)
+    @settings(max_examples=100)
+    def test_fp_unary(self, op, rd, rs1):
+        instr = Instr(op, rd=rd, rs1=rs1)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_CHERI_RR), regs, regs, regs)
+    @settings(max_examples=200)
+    def test_cheri_two_source(self, op, rd, rs1, rs2):
+        instr = Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+        assert roundtrip(instr) == instr
+
+    @given(st.sampled_from(_CHERI_UNARY), regs, regs)
+    @settings(max_examples=200)
+    def test_cheri_unary(self, op, rd, rs1):
+        instr = Instr(op, rd=rd, rs1=rs1)
+        assert roundtrip(instr) == instr
+
+    @given(regs, regs, imm12)
+    @settings(max_examples=100)
+    def test_cincoffsetimm(self, rd, rs1, imm):
+        instr = Instr(Op.CINCOFFSETIMM, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    @given(regs, regs, uimm12)
+    @settings(max_examples=100)
+    def test_csetboundsimm(self, rd, rs1, imm):
+        instr = Instr(Op.CSETBOUNDSIMM, rd=rd, rs1=rs1, imm=imm)
+        assert roundtrip(instr) == instr
+
+    def test_system_ops(self):
+        for op in (Op.FENCE, Op.ECALL, Op.EBREAK):
+            assert roundtrip(Instr(op)).op is op
+
+    def test_sim_ops(self):
+        for op in (Op.BARRIER, Op.HALT, Op.TRAP):
+            assert roundtrip(Instr(op)).op is op
+
+
+class TestCheriModeAliases:
+    def test_auipc_decodes_as_auipcc(self):
+        word = encode(Instr(Op.AUIPC, rd=5, imm=0x1000))
+        assert decode(word, cheri_mode=True).op is Op.AUIPCC
+        assert decode(word, cheri_mode=False).op is Op.AUIPC
+
+    def test_auipcc_encodes_like_auipc(self):
+        assert encode(Instr(Op.AUIPCC, rd=5, imm=1)) == \
+            encode(Instr(Op.AUIPC, rd=5, imm=1))
+
+    def test_jal_decodes_as_cjal(self):
+        word = encode(Instr(Op.JAL, rd=1, imm=8))
+        assert decode(word, cheri_mode=True).op is Op.CJAL
+
+    def test_amoadd_decodes_as_camoadd(self):
+        word = encode(Instr(Op.AMOADD_W, rd=5, rs1=6, rs2=7))
+        assert decode(word, cheri_mode=True).op is Op.CAMOADD_W
+
+
+class TestErrors:
+    def test_bad_immediate_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instr(Op.ADDI, rd=1, rs1=1, imm=4096))
+
+    def test_odd_branch_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instr(Op.BEQ, rs1=1, rs2=2, imm=3))
+
+    def test_missing_register_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instr(Op.ADD, rd=1, rs1=None, rs2=2))
+
+    def test_garbage_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+
+    def test_negative_setboundsimm_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instr(Op.CSETBOUNDSIMM, rd=1, rs1=1, imm=-1))
+
+
+class TestClassifications:
+    def test_every_mem_op_has_a_width(self):
+        for op in LOAD_OPS | STORE_OPS | AMO_OPS:
+            assert op in ACCESS_WIDTH, op
+
+    def test_cap_accesses_are_8_bytes(self):
+        assert ACCESS_WIDTH[Op.CLC] == 8
+        assert ACCESS_WIDTH[Op.CSC] == 8
+
+    def test_cheri_ops_match_figure4(self):
+        # Figure 4 of the paper names these mnemonics; all must exist.
+        for name in ("CGETTAG", "CCLEARTAG", "CGETPERM", "CANDPERM",
+                     "CGETBASE", "CGETLEN", "CSETBOUNDS", "CSETBOUNDSIMM",
+                     "CSETBOUNDSEXACT", "CGETADDR", "CSETADDR", "CINCOFFSET",
+                     "CINCOFFSETIMM", "CGETTYPE", "CGETSEALED", "CGETFLAGS",
+                     "CSETFLAGS", "CSEALENTRY", "CMOVE", "AUIPCC", "CJALR",
+                     "CJAL", "CSPECIALRW", "CRRL", "CRAM", "CLB", "CLH",
+                     "CLW", "CLBU", "CLHU", "CSB", "CSH", "CSW", "CLC", "CSC"):
+            assert Op[name] in CHERI_OPS
+
+    def test_float_ops_not_cheri(self):
+        assert not (FLOAT_OPS & CHERI_OPS)
+
+
+class TestDisasm:
+    def test_formats_do_not_crash(self):
+        from repro.isa.disasm import format_program
+        prog = [
+            Instr(Op.ADDI, rd=5, rs1=0, imm=42),
+            Instr(Op.LW, rd=6, rs1=5, imm=0),
+            Instr(Op.SW, rs1=5, rs2=6, imm=4),
+            Instr(Op.BEQ, rs1=5, rs2=6, imm=-8),
+            Instr(Op.CINCOFFSETIMM, rd=7, rs1=7, imm=4, comment="p++"),
+            Instr(Op.HALT),
+        ]
+        text = format_program(prog)
+        assert "addi t0, zero, 42" in text
+        assert "# p++" in text
+        assert "halt" in text

@@ -1,0 +1,92 @@
+"""Tests for the DRAM model and the tag controller."""
+
+from repro.memory import DRAMModel, TaggedMemory, TagController
+
+
+class TestDRAM:
+    def test_single_request_latency(self):
+        dram = DRAMModel(latency=40, line_bytes=64, cycles_per_txn=1)
+        done = dram.request(cycle=100, is_write=False, n_bytes=64)
+        assert done == 100 + 1 + 40
+
+    def test_bandwidth_backpressure(self):
+        dram = DRAMModel(latency=10, line_bytes=64, cycles_per_txn=2)
+        first = dram.request(0, False, 64)
+        second = dram.request(0, False, 64)
+        assert second == first + 2
+
+    def test_wide_request_occupies_multiple_slots(self):
+        dram = DRAMModel(latency=0, line_bytes=64, cycles_per_txn=1)
+        done = dram.request(0, True, 256)
+        assert done == 4
+        assert dram.stats.write_txns == 4
+        assert dram.stats.write_bytes == 256
+
+    def test_counters_split_by_direction(self):
+        dram = DRAMModel()
+        dram.request(0, False, 32)
+        dram.request(0, True, 16)
+        assert dram.stats.read_bytes == 32
+        assert dram.stats.write_bytes == 16
+        assert dram.stats.total_bytes == 48
+
+    def test_spill_traffic_accounted(self):
+        dram = DRAMModel()
+        dram.request(0, True, 64, spill=True)
+        dram.request(0, True, 64)
+        assert dram.stats.spill_bytes == 64
+        assert dram.stats.write_bytes == 128
+
+    def test_reset_timing_keeps_counters(self):
+        dram = DRAMModel()
+        dram.request(0, False, 64)
+        dram.reset_timing()
+        assert dram.stats.read_bytes == 64
+        done = dram.request(0, False, 64)
+        assert done == 0 + 1 + dram.latency
+
+
+class TestTagController:
+    def make(self):
+        mem = TaggedMemory()
+        dram = DRAMModel(latency=20)
+        return TagController(mem, dram), dram
+
+    def test_capability_free_region_skips_tag_traffic(self):
+        tc, dram = self.make()
+        done = tc.access(cycle=5, addr=0x1000, is_write=False)
+        assert done == 5
+        assert tc.zero_region_skips == 1
+        assert dram.stats.tag_bytes == 0
+
+    def test_tag_write_marks_region(self):
+        tc, dram = self.make()
+        tc.access(0, 0x1000, is_write=True, writes_tag=True)
+        done = tc.access(0, 0x1004, is_write=False)
+        # Second access to a capability-holding region hits the tag cache
+        # (the write loaded the line).
+        assert tc.hits >= 1 or tc.misses >= 1
+        assert done >= 0
+
+    def test_miss_then_hit(self):
+        tc, dram = self.make()
+        tc.access(0, 0x2000, is_write=True, writes_tag=True)
+        misses_after_first = tc.misses
+        tc.access(10, 0x2004, is_write=False)
+        assert tc.misses == misses_after_first  # same line: a hit
+        assert tc.hits >= 1
+
+    def test_distinct_lines_conflict(self):
+        tc, dram = self.make()
+        stride = tc.line_words * 4 * tc.cache_lines  # maps to same set index
+        tc.access(0, 0x0, is_write=True, writes_tag=True)
+        tc.access(0, stride, is_write=True, writes_tag=True)
+        tc.access(0, 0x0, is_write=True, writes_tag=True)
+        assert tc.misses >= 3
+
+    def test_miss_rate_zero_when_no_caps(self):
+        tc, _ = self.make()
+        for addr in range(0, 0x4000, 4):
+            tc.access(0, addr, is_write=False)
+        assert tc.miss_rate == 0.0
+        assert tc.zero_region_skips == 0x1000

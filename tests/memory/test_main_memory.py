@@ -1,0 +1,147 @@
+"""Tests for the tagged main memory model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryError_, TaggedMemory
+
+word_addrs = st.integers(min_value=0, max_value=(1 << 30) - 1).map(lambda x: x * 4)
+cap_addrs = st.integers(min_value=0, max_value=(1 << 29) - 1).map(lambda x: x * 8)
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestScalarAccess:
+    def test_uninitialised_reads_zero(self):
+        mem = TaggedMemory()
+        assert mem.read(0x1000, 4) == 0
+
+    def test_word_roundtrip(self):
+        mem = TaggedMemory()
+        mem.write(0x1000, 4, 0xDEADBEEF)
+        assert mem.read(0x1000, 4) == 0xDEADBEEF
+
+    def test_byte_lanes(self):
+        mem = TaggedMemory()
+        mem.write(0x100, 4, 0x44332211)
+        assert [mem.read(0x100 + i, 1) for i in range(4)] == [0x11, 0x22, 0x33, 0x44]
+
+    def test_halfword_lanes(self):
+        mem = TaggedMemory()
+        mem.write(0x100, 4, 0x44332211)
+        assert mem.read(0x100, 2) == 0x2211
+        assert mem.read(0x102, 2) == 0x4433
+
+    def test_signed_byte(self):
+        mem = TaggedMemory()
+        mem.write(0x10, 1, 0xFF)
+        assert mem.read(0x10, 1, signed=True) == -1
+        assert mem.read(0x10, 1, signed=False) == 0xFF
+
+    def test_signed_half(self):
+        mem = TaggedMemory()
+        mem.write(0x10, 2, 0x8000)
+        assert mem.read(0x10, 2, signed=True) == -32768
+
+    def test_partial_write_preserves_neighbours(self):
+        mem = TaggedMemory()
+        mem.write(0x20, 4, 0xAABBCCDD)
+        mem.write(0x21, 1, 0x00)
+        assert mem.read(0x20, 4) == 0xAABB00DD
+
+    def test_misaligned_raises(self):
+        mem = TaggedMemory()
+        with pytest.raises(MemoryError_):
+            mem.read(0x1001, 4)
+        with pytest.raises(MemoryError_):
+            mem.write(0x1002, 4, 0)
+        with pytest.raises(MemoryError_):
+            mem.read(0x1001, 2)
+
+    @given(word_addrs, words)
+    @settings(max_examples=200)
+    def test_word_roundtrip_property(self, addr, value):
+        mem = TaggedMemory()
+        mem.write(addr, 4, value)
+        assert mem.read(addr, 4) == value
+
+
+class TestTags:
+    def test_cap_write_sets_both_tags(self):
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x100, 0x1122334455667788, True)
+        assert mem.word_tag(0x100)
+        assert mem.word_tag(0x104)
+        value, tag = mem.read_cap_raw(0x100)
+        assert value == 0x1122334455667788
+        assert tag
+
+    def test_data_write_clears_tag(self):
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x100, 0xABCDEF, True)
+        mem.write(0x104, 4, 0)
+        _, tag = mem.read_cap_raw(0x100)
+        assert not tag
+
+    def test_byte_write_clears_tag(self):
+        # Even a one-byte overwrite invalidates the capability: this is the
+        # unforgeability property (paper section 2.4).
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x200, 0xFFFFFFFFFFFFFFFF, True)
+        mem.write(0x203, 1, 0x00)
+        _, tag = mem.read_cap_raw(0x200)
+        assert not tag
+
+    def test_half_tag_is_not_a_valid_cap(self):
+        # The 32-bit-granule invariant: both halves must be tagged.
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x300, 0x1, True)
+        mem.write_cap_raw(0x308, 0x2, True)
+        mem.write(0x304, 4, 0x99)  # clobber upper half of first cap
+        _, tag1 = mem.read_cap_raw(0x300)
+        _, tag2 = mem.read_cap_raw(0x308)
+        assert not tag1
+        assert tag2
+
+    def test_untagged_cap_write(self):
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x400, 0x5555, True)
+        mem.write_cap_raw(0x400, 0x5555, False)
+        _, tag = mem.read_cap_raw(0x400)
+        assert not tag
+
+    def test_misaligned_cap_access_raises(self):
+        mem = TaggedMemory()
+        with pytest.raises(MemoryError_):
+            mem.read_cap_raw(0x104 + 2)
+        with pytest.raises(MemoryError_):
+            mem.write_cap_raw(0x104, 0, True)
+
+    @given(cap_addrs, st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.booleans())
+    @settings(max_examples=200)
+    def test_cap_roundtrip_property(self, addr, value, tag):
+        mem = TaggedMemory()
+        mem.write_cap_raw(addr, value, tag)
+        assert mem.read_cap_raw(addr) == (value, tag)
+
+    def test_tagged_word_count(self):
+        mem = TaggedMemory()
+        assert mem.tagged_word_count() == 0
+        mem.write_cap_raw(0x100, 1, True)
+        assert mem.tagged_word_count() == 2
+
+
+class TestBulkHelpers:
+    def test_block_roundtrip(self):
+        mem = TaggedMemory()
+        data = [1, 2, 3, 0xFFFFFFFF]
+        mem.write_block_words(0x2000, data)
+        assert mem.read_block_words(0x2000, 4) == data
+
+    def test_block_write_clears_tags(self):
+        mem = TaggedMemory()
+        mem.write_cap_raw(0x2000, 7, True)
+        mem.write_block_words(0x2000, [1, 2])
+        _, tag = mem.read_cap_raw(0x2000)
+        assert not tag

@@ -1,0 +1,91 @@
+"""Model-based fuzz of TaggedMemory against a plain byte/tag dictionary."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import TaggedMemory
+
+_REGION = 0x1000  # fuzz within a 4 KiB window
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("w8"),
+                  st.integers(min_value=0, max_value=_REGION - 1),
+                  st.integers(min_value=0, max_value=0xFF)),
+        st.tuples(st.just("w16"),
+                  st.integers(min_value=0, max_value=_REGION // 2 - 1)
+                  .map(lambda x: x * 2),
+                  st.integers(min_value=0, max_value=0xFFFF)),
+        st.tuples(st.just("w32"),
+                  st.integers(min_value=0, max_value=_REGION // 4 - 1)
+                  .map(lambda x: x * 4),
+                  st.integers(min_value=0, max_value=0xFFFFFFFF)),
+        st.tuples(st.just("wcap"),
+                  st.integers(min_value=0, max_value=_REGION // 8 - 1)
+                  .map(lambda x: x * 8),
+                  st.integers(min_value=0, max_value=(1 << 64) - 1)),
+    ),
+    min_size=1, max_size=60,
+)
+
+
+class ByteModel:
+    """The obviously-correct reference: one byte per address + tag sets."""
+
+    def __init__(self):
+        self.bytes_ = {}
+        self.tags = set()
+
+    def write(self, addr, width, value):
+        for i in range(width):
+            self.bytes_[addr + i] = (value >> (8 * i)) & 0xFF
+            self.tags.discard((addr + i) >> 2)
+
+    def write_cap(self, addr, value, tag):
+        for i in range(8):
+            self.bytes_[addr + i] = (value >> (8 * i)) & 0xFF
+        for word in (addr >> 2, (addr >> 2) + 1):
+            if tag:
+                self.tags.add(word)
+            else:
+                self.tags.discard(word)
+
+    def read(self, addr, width):
+        return sum(self.bytes_.get(addr + i, 0) << (8 * i)
+                   for i in range(width))
+
+    def read_cap(self, addr):
+        value = sum(self.bytes_.get(addr + i, 0) << (8 * i)
+                    for i in range(8))
+        tag = (addr >> 2) in self.tags and ((addr >> 2) + 1) in self.tags
+        return value, tag
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_memory_matches_byte_model(operations):
+    mem = TaggedMemory()
+    model = ByteModel()
+    for op, addr, value in operations:
+        if op == "w8":
+            mem.write(addr, 1, value)
+            model.write(addr, 1, value)
+        elif op == "w16":
+            mem.write(addr, 2, value)
+            model.write(addr, 2, value)
+        elif op == "w32":
+            mem.write(addr, 4, value)
+            model.write(addr, 4, value)
+        else:
+            tag = bool(value & 1)
+            mem.write_cap_raw(addr, value, tag)
+            model.write_cap(addr, value, tag)
+    # Full-region cross-check at every width.
+    for addr in range(0, _REGION, 4):
+        assert mem.read(addr, 4) == model.read(addr, 4), hex(addr)
+    for addr in range(0, _REGION, 8):
+        assert mem.read_cap_raw(addr) == model.read_cap(addr), hex(addr)
+    for addr in range(0, _REGION, 1):
+        if addr % 2 == 0:
+            assert mem.read(addr, 2) == model.read(addr, 2)
+        assert mem.read(addr, 1) == model.read(addr, 1)

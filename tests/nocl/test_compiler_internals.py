@@ -1,0 +1,301 @@
+"""Unit tests for compiler internals: IR assembly, DCE, regalloc, layout."""
+
+import pytest
+
+from repro.isa.instructions import Instr, Op
+from repro.nocl import CompileError, compile_kernel, i32, kernel, ptr
+from repro.nocl.ir import AsmError, FIRST_VREG, VInstr, VLabel, VLoadImm, assemble
+from repro.nocl.regalloc import (
+    ALLOCATABLE,
+    SCRATCH_A,
+    allocate,
+    eliminate_dead_code,
+)
+
+
+class TestAssemble:
+    def test_label_resolution_forward_and_back(self):
+        items = [
+            VLabel("top"),
+            VInstr(Op.ADDI, rd=5, rs1=0, imm=1),
+            VInstr(Op.BEQ, rs1=5, rs2=0, target="end"),
+            VInstr(Op.JAL, rd=0, target="top"),
+            VLabel("end"),
+            VInstr(Op.HALT),
+        ]
+        out = assemble(items)
+        assert out[1].imm == 8    # BEQ at pc=4 -> end at pc=12
+        assert out[2].imm == -8   # JAL at pc=8 -> top at pc=0
+        assert out[3].op is Op.HALT
+
+    def test_li_small_expands_to_addi(self):
+        out = assemble([VLoadImm(5, 42)])
+        assert len(out) == 1
+        assert out[0].op is Op.ADDI and out[0].imm == 42
+
+    def test_li_negative(self):
+        out = assemble([VLoadImm(5, 0xFFFFFFFF)])
+        assert len(out) == 1
+        assert out[0].imm == -1
+
+    def test_li_large_expands_to_lui_addi(self):
+        out = assemble([VLoadImm(5, 0x12345678)])
+        assert [i.op for i in out] == [Op.LUI, Op.ADDI]
+
+    def test_li_page_aligned_is_single_lui(self):
+        out = assemble([VLoadImm(5, 0x12345000)])
+        assert [i.op for i in out] == [Op.LUI]
+
+    def test_li_lengths_affect_label_offsets(self):
+        items = [
+            VInstr(Op.JAL, rd=0, target="end"),
+            VLoadImm(5, 0x12345678),   # two instructions
+            VLabel("end"),
+            VInstr(Op.HALT),
+        ]
+        out = assemble(items)
+        assert out[0].imm == 12
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(AsmError):
+            assemble([VInstr(Op.JAL, rd=0, target="nowhere")])
+
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AsmError):
+            assemble([VLabel("x"), VLabel("x")])
+
+
+class TestDeadCodeElimination:
+    def test_unused_li_removed(self):
+        items = [
+            VLoadImm(FIRST_VREG, 42),
+            VInstr(Op.HALT),
+        ]
+        assert len(eliminate_dead_code(items)) == 1
+
+    def test_used_li_kept(self):
+        items = [
+            VLoadImm(FIRST_VREG, 42),
+            VInstr(Op.ADDI, rd=FIRST_VREG + 1, rs1=FIRST_VREG, imm=0),
+            VInstr(Op.SW, rs1=2, rs2=FIRST_VREG + 1, imm=0),
+        ]
+        assert len(eliminate_dead_code(items)) == 3
+
+    def test_transitive_chain_removed(self):
+        items = [
+            VLoadImm(FIRST_VREG, 1),
+            VInstr(Op.ADDI, rd=FIRST_VREG + 1, rs1=FIRST_VREG, imm=2),
+            VInstr(Op.MUL, rd=FIRST_VREG + 2, rs1=FIRST_VREG + 1,
+                   rs2=FIRST_VREG + 1),
+            VInstr(Op.HALT),
+        ]
+        assert len(eliminate_dead_code(items)) == 1
+
+    def test_stores_and_physical_writes_never_removed(self):
+        items = [
+            VInstr(Op.SW, rs1=2, rs2=0, imm=0),
+            VInstr(Op.ADDI, rd=5, rs1=0, imm=1),  # physical rd
+        ]
+        assert len(eliminate_dead_code(items)) == 2
+
+    def test_loads_never_removed(self):
+        # Loads have observable timing/fault side effects.
+        items = [VInstr(Op.LW, rd=FIRST_VREG, rs1=2, imm=0)]
+        assert len(eliminate_dead_code(items)) == 1
+
+
+class TestRegalloc:
+    def test_simple_allocation_maps_to_physical(self):
+        items = [
+            VLoadImm(FIRST_VREG, 7),
+            VInstr(Op.ADDI, rd=FIRST_VREG + 1, rs1=FIRST_VREG, imm=1),
+            VInstr(Op.SW, rs1=2, rs2=FIRST_VREG + 1, imm=0),
+        ]
+        out, frame = allocate(items, [], set(), cap_spills=False)
+        assert frame == 0
+        for item in out:
+            for reg in item.regs_read() + item.regs_written():
+                assert reg < 32
+
+    def test_register_reuse_after_death(self):
+        items = []
+        for i in range(100):
+            vreg = FIRST_VREG + i
+            items.append(VLoadImm(vreg, i))
+            items.append(VInstr(Op.SW, rs1=2, rs2=vreg, imm=0))
+        out, frame = allocate(items, [], set(), cap_spills=False)
+        assert frame == 0  # sequential lifetimes: no spills needed
+
+    def test_spills_when_pressure_exceeds_pool(self):
+        live = len(ALLOCATABLE) + 4
+        items = [VLoadImm(FIRST_VREG + i, i) for i in range(live)]
+        # One instruction reading all of them keeps them simultaneously live.
+        for i in range(live):
+            items.append(VInstr(Op.SW, rs1=2, rs2=FIRST_VREG + i, imm=0))
+        out, frame = allocate(items, [], set(), cap_spills=False)
+        assert frame > 0
+        reload_ops = [i for i in out
+                      if isinstance(i, VInstr) and i.comment == "reload"]
+        assert reload_ops
+        assert all(i.op is Op.LW for i in reload_ops)
+
+    def test_purecap_spills_use_capability_ops(self):
+        live = len(ALLOCATABLE) + 2
+        items = [VLoadImm(FIRST_VREG + i, i) for i in range(live)]
+        for i in range(live):
+            items.append(VInstr(Op.SW, rs1=2, rs2=FIRST_VREG + i, imm=0))
+        out, frame = allocate(items, [], set(), cap_spills=True)
+        spill_ops = {i.op for i in out
+                     if isinstance(i, VInstr) and i.comment in ("spill",
+                                                                "reload")}
+        assert spill_ops <= {Op.CSC, Op.CLC}
+        assert frame % 8 == 0
+
+    def test_loop_span_extends_variable_liveness(self):
+        # vreg defined before the loop, used early inside: without the span
+        # extension another interval could steal its register mid-loop.
+        var = FIRST_VREG
+        clobber = FIRST_VREG + 1
+        items = [
+            VLoadImm(var, 1),
+            VLabel("loop"),
+            VInstr(Op.ADDI, rd=clobber, rs1=var, imm=0),
+            VInstr(Op.SW, rs1=2, rs2=clobber, imm=0),
+            VInstr(Op.JAL, rd=0, target="loop"),
+        ]
+        out, _ = allocate(items, [(1, 5)], {var}, cap_spills=False)
+        # var must not share a register with anything defined in the loop.
+        li = [i for i in out if isinstance(i, VLoadImm)][0]
+        addi = [i for i in out if isinstance(i, VInstr)
+                and i.op is Op.ADDI][0]
+        assert addi.rs1 == li.rd
+        assert addi.rd != li.rd
+
+
+class TestCompileDriver:
+    def test_arg_slot_layout_baseline(self):
+        @kernel
+        def k(n: i32, a: ptr[i32], m: i32):
+            a[0] = n + m
+
+        compiled = compile_kernel(k, "baseline")
+        offsets = [(s.name, s.offset) for s in compiled.arg_slots]
+        assert offsets == [("n", 8), ("a", 12), ("m", 16)]
+
+    def test_arg_slot_layout_purecap_is_8_aligned(self):
+        @kernel
+        def k(n: i32, a: ptr[i32], m: i32):
+            a[0] = n + m
+
+        compiled = compile_kernel(k, "purecap")
+        for slot in compiled.arg_slots:
+            assert slot.offset % 8 == 0
+
+    def test_arg_slot_layout_boundscheck_pointers_are_wide(self):
+        @kernel
+        def k(n: i32, a: ptr[i32], m: i32):
+            a[0] = n + m
+
+        compiled = compile_kernel(k, "boundscheck")
+        names = {s.name: s.offset for s in compiled.arg_slots}
+        assert names["m"] - names["a"] == 8
+
+    def test_program_ends_with_halt(self):
+        @kernel
+        def k(a: ptr[i32]):
+            a[0] = 1
+
+        for mode in ("baseline", "purecap", "boundscheck"):
+            compiled = compile_kernel(k, mode)
+            assert compiled.instrs[-1].op is Op.HALT
+
+    def test_unknown_mode_rejected(self):
+        @kernel
+        def k(a: ptr[i32]):
+            a[0] = 1
+
+        with pytest.raises(ValueError):
+            compile_kernel(k, "hybrid")
+
+    def test_listing_renders(self):
+        @kernel
+        def k(a: ptr[i32]):
+            a[0] = 1
+
+        listing = compile_kernel(k, "purecap").listing()
+        assert "csw" in listing
+        assert "halt" in listing
+
+    def test_shared_hoisted_out_of_block_loop(self):
+        @kernel
+        def k(a: ptr[i32]):
+            tile = shared(i32, 64)
+            tile[threadIdx.x] = 1
+            a[threadIdx.x] = tile[threadIdx.x]
+
+        compiled = compile_kernel(k, "purecap")
+        setbounds = [i for i, instr in enumerate(compiled.instrs)
+                     if instr.op in (Op.CSETBOUNDS, Op.CSETBOUNDSIMM)]
+        branches = [i for i, instr in enumerate(compiled.instrs)
+                    if instr.op is Op.BGE]
+        assert setbounds, "purecap shared arrays derive via CSetBounds"
+        assert setbounds[0] < branches[0], \
+            "shared-array derivation must precede the block loop"
+
+
+class TestCompileErrors:
+    def check_raises(self, source, mode="baseline"):
+        with pytest.raises(CompileError):
+            compile_kernel(source, mode)
+
+    def test_undefined_variable(self):
+        @kernel
+        def k(a: ptr[i32]):
+            a[0] = nowhere  # noqa: F821
+
+        self.check_raises(k)
+
+    def test_pointer_arithmetic_rejected(self):
+        @kernel
+        def k(a: ptr[i32]):
+            a += 1
+
+        self.check_raises(k)
+
+    def test_float_int_mix_rejected(self):
+        @kernel
+        def k(a: ptr[i32], n: i32):
+            a[0] = n + 1.5
+
+        self.check_raises(k)
+
+    def test_plain_division_rejected(self):
+        @kernel
+        def k(a: ptr[i32], n: i32):
+            a[0] = n / 2
+
+        self.check_raises(k)
+
+    def test_variable_type_change_rejected(self):
+        @kernel
+        def k(a: ptr[i32], n: i32):
+            x = n
+            x = 1.5
+            a[0] = 0
+
+        self.check_raises(k)
+
+    def test_return_value_rejected(self):
+        @kernel
+        def k(a: ptr[i32]):
+            return 5
+
+        self.check_raises(k)
+
+    def test_shared_with_dynamic_size_rejected(self):
+        @kernel
+        def k(a: ptr[i32], n: i32):
+            tile = shared(i32, n)
+            a[0] = 0
+
+        self.check_raises(k)

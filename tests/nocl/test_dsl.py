@@ -1,0 +1,105 @@
+"""Tests for the kernel DSL surface (types, decorator, signatures)."""
+
+import pytest
+
+from repro.nocl import f32, i32, kernel, ptr, u32, u8
+from repro.nocl.dsl import (
+    BUILTIN_DIMS,
+    KernelSource,
+    PtrType,
+    SCALAR_TYPES,
+    ScalarType,
+    blockDim,
+    i16,
+    i8,
+    threadIdx,
+    u16,
+)
+
+
+class TestScalarTypes:
+    def test_widths(self):
+        assert i8.width == 1 and u8.width == 1
+        assert i16.width == 2 and u16.width == 2
+        assert i32.width == 4 and u32.width == 4 and f32.width == 4
+
+    def test_signedness(self):
+        assert i8.signed and not u8.signed
+        assert i32.signed and not u32.signed
+
+    def test_float_flag(self):
+        assert f32.is_float
+        assert not i32.is_float
+
+    def test_registry(self):
+        assert SCALAR_TYPES["i32"] is i32
+        assert SCALAR_TYPES["f32"] is f32
+        assert len(SCALAR_TYPES) == 7
+
+    def test_cast_outside_kernel_raises(self):
+        with pytest.raises(TypeError):
+            i32(5)
+
+
+class TestPtrType:
+    def test_subscription(self):
+        p = ptr[i32]
+        assert isinstance(p, PtrType)
+        assert p.elem is i32
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            ptr[list]
+
+    def test_repr(self):
+        assert repr(ptr[u8]) == "ptr[u8]"
+
+
+class TestBuiltins:
+    def test_dim_names(self):
+        assert set(BUILTIN_DIMS) == {"threadIdx", "blockIdx", "blockDim",
+                                     "gridDim"}
+
+    def test_dims_unusable_outside_kernels(self):
+        with pytest.raises(RuntimeError):
+            _ = threadIdx.x
+        with pytest.raises(RuntimeError):
+            _ = blockDim.x
+
+
+class TestKernelDecorator:
+    def test_captures_signature(self):
+        @kernel
+        def k(n: i32, a: ptr[f32]):
+            a[0] = 0.0
+
+        assert isinstance(k, KernelSource)
+        assert k.name == "k"
+        assert [p.name for p in k.params] == ["n", "a"]
+        assert not k.params[0].is_pointer
+        assert k.params[1].is_pointer
+
+    def test_missing_annotation_rejected(self):
+        with pytest.raises(TypeError):
+            @kernel
+            def k(n):
+                pass
+
+    def test_narrow_scalar_param_rejected(self):
+        with pytest.raises(TypeError):
+            @kernel
+            def k(n: u8):
+                pass
+
+    def test_unsupported_annotation_rejected(self):
+        with pytest.raises(TypeError):
+            @kernel
+            def k(n: int):
+                pass
+
+    def test_repr(self):
+        @kernel
+        def k(n: i32):
+            pass
+
+        assert "kernel k" in repr(k)

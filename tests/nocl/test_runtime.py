@@ -1,0 +1,158 @@
+"""Unit tests for the host runtime: allocation, marshalling, validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri import concentrate, root_capability
+from repro.nocl import NoCLRuntime, f32, i32, i8, kernel, ptr, u16, u8
+from repro.nocl.runtime import LaunchError
+from repro.simt import SMConfig
+
+
+def runtime(mode="baseline"):
+    cfg = (SMConfig.cheri_optimised(num_warps=2, num_lanes=4)
+           if mode == "purecap"
+           else SMConfig.baseline(num_warps=2, num_lanes=4))
+    return NoCLRuntime(mode, config=cfg)
+
+
+@kernel
+def trivial(a: ptr[i32]):
+    if threadIdx.x == 0 and blockIdx.x == 0:
+        a[0] = 1
+
+
+class TestAllocator:
+    @given(st.integers(min_value=1, max_value=1 << 16))
+    @settings(max_examples=100)
+    def test_allocations_are_cheri_exact(self, count):
+        # Any allocation must be representable exactly as a capability:
+        # that is the point of CRRL/CRAM-based alignment.
+        rt = runtime()
+        buf = rt.alloc(i32, count)
+        cap, exact = root_capability().set_bounds(buf.addr,
+                                                  buf.padded_bytes)
+        assert exact
+        assert cap.base == buf.addr
+        assert cap.top == buf.addr + buf.padded_bytes
+
+    def test_allocations_do_not_overlap(self):
+        rt = runtime()
+        buffers = [rt.alloc(i8, n) for n in (3, 100, 64, 1000, 1)]
+        spans = sorted((b.addr, b.addr + b.padded_bytes) for b in buffers)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_padded_bytes_cover_requested(self):
+        rt = runtime()
+        buf = rt.alloc(u16, 1001)
+        assert buf.padded_bytes >= 2002
+        assert buf.padded_bytes == max(4, concentrate.crrl(2002))
+
+    def test_rejects_non_scalar_type(self):
+        rt = runtime()
+        with pytest.raises(TypeError):
+            rt.alloc(int, 4)
+
+
+class TestMarshalling:
+    def test_i32_signed_roundtrip(self):
+        rt = runtime()
+        buf = rt.alloc(i32, 4)
+        rt.upload(buf, [-1, -(1 << 31), (1 << 31) - 1, 0])
+        assert rt.download(buf) == [-1, -(1 << 31), (1 << 31) - 1, 0]
+
+    def test_u8_packing(self):
+        rt = runtime()
+        buf = rt.alloc(u8, 7)
+        rt.upload(buf, [1, 2, 3, 4, 5, 6, 7])
+        assert rt.download(buf) == [1, 2, 3, 4, 5, 6, 7]
+        # Bytes must actually be packed 4-per-word.
+        assert rt.sm.memory.read(buf.addr, 4) == 0x04030201
+
+    def test_i8_sign_roundtrip(self):
+        rt = runtime()
+        buf = rt.alloc(i8, 3)
+        rt.upload(buf, [-1, -128, 127])
+        assert rt.download(buf) == [-1, -128, 127]
+
+    def test_f32_roundtrip(self):
+        rt = runtime()
+        buf = rt.alloc(f32, 3)
+        rt.upload(buf, [1.5, -0.25, 1e10])
+        got = rt.download(buf)
+        assert got[0] == 1.5 and got[1] == -0.25
+        assert got[2] == pytest.approx(1e10, rel=1e-6)
+
+    def test_partial_download(self):
+        rt = runtime()
+        buf = rt.alloc(i32, 10)
+        rt.upload(buf, list(range(10)))
+        assert rt.download(buf, count=3) == [0, 1, 2]
+
+    def test_upload_overflow_rejected(self):
+        rt = runtime()
+        buf = rt.alloc(i32, 2)
+        with pytest.raises(ValueError):
+            rt.upload(buf, [1, 2, 3])
+
+
+class TestLaunchValidation:
+    def test_block_not_multiple_of_warp(self):
+        rt = runtime()
+        a = rt.alloc(i32, 4)
+        with pytest.raises(LaunchError):
+            rt.launch(trivial, 1, 3, [a])
+
+    def test_block_exceeding_threads(self):
+        rt = runtime()
+        a = rt.alloc(i32, 4)
+        with pytest.raises(LaunchError):
+            rt.launch(trivial, 1, 64, [a])
+
+    def test_wrong_arg_count(self):
+        rt = runtime()
+        a = rt.alloc(i32, 4)
+        with pytest.raises(LaunchError):
+            rt.launch(trivial, 1, 4, [a, 5])
+
+    def test_scalar_for_pointer_rejected(self):
+        rt = runtime()
+        with pytest.raises(LaunchError):
+            rt.launch(trivial, 1, 4, [123])
+
+    def test_buffer_for_scalar_rejected(self):
+        @kernel
+        def scalar_kernel(n: i32, a: ptr[i32]):
+            a[0] = n
+
+        rt = runtime()
+        a = rt.alloc(i32, 4)
+        with pytest.raises(LaunchError):
+            rt.launch(scalar_kernel, 1, 4, [a, a])
+
+    def test_purecap_mode_requires_cheri_config(self):
+        with pytest.raises(ValueError):
+            NoCLRuntime("purecap", config=SMConfig.baseline())
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            NoCLRuntime("managed")
+
+    def test_float_scalar_args(self):
+        @kernel
+        def scaled(k: f32, a: ptr[f32]):
+            if threadIdx.x == 0 and blockIdx.x == 0:
+                a[0] = k * 2.0
+
+        rt = runtime()
+        a = rt.alloc(f32, 1)
+        rt.launch(scaled, 1, 4, [1.25, a])
+        assert rt.download(a) == [2.5]
+
+    def test_compiled_is_cached(self):
+        rt = runtime()
+        first = rt.compiled(trivial)
+        second = rt.compiled(trivial)
+        assert first is second

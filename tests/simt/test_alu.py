@@ -1,0 +1,154 @@
+"""Unit tests for per-lane scalar semantics (RV32IM + Zfinx corner cases)."""
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt.alu import (
+    MASK32,
+    bits_to_f32,
+    branch_taken,
+    f32_to_bits,
+    float_op,
+    int_op,
+    to_signed,
+    to_u32,
+)
+
+u32s = st.integers(min_value=0, max_value=MASK32)
+
+
+def f(x):
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+class TestSignHelpers:
+    def test_to_signed(self):
+        assert to_signed(0xFFFFFFFF) == -1
+        assert to_signed(0x80000000) == -(1 << 31)
+        assert to_signed(0x7FFFFFFF) == (1 << 31) - 1
+
+    @given(u32s)
+    @settings(max_examples=100)
+    def test_roundtrip(self, value):
+        assert to_u32(to_signed(value)) == value
+
+
+class TestIntegerOps:
+    def test_add_wraps(self):
+        assert int_op("add", 0xFFFFFFFF, 1) == 0
+
+    def test_sub_wraps(self):
+        assert int_op("sub", 0, 1) == 0xFFFFFFFF
+
+    def test_shifts(self):
+        assert int_op("sll", 1, 31) == 0x80000000
+        assert int_op("srl", 0x80000000, 31) == 1
+        assert int_op("sra", 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_shift_amount_masked(self):
+        assert int_op("sll", 1, 32) == 1  # shamt & 31 == 0
+
+    def test_comparisons(self):
+        assert int_op("slt", 0xFFFFFFFF, 0) == 1   # -1 < 0
+        assert int_op("sltu", 0xFFFFFFFF, 0) == 0  # big unsigned
+
+    def test_mulh_variants(self):
+        a, b = 0x80000000, 0x80000000  # -2^31 * -2^31
+        assert int_op("mulh", a, b) == 0x40000000
+        assert int_op("mulhu", a, b) == 0x40000000
+        assert int_op("mulhsu", a, b) == to_u32(((-(1 << 31)) * (1 << 31)) >> 32)
+
+    def test_div_by_zero_yields_minus_one(self):
+        assert int_op("div", 42, 0) == 0xFFFFFFFF
+        assert int_op("divu", 42, 0) == 0xFFFFFFFF
+
+    def test_rem_by_zero_yields_dividend(self):
+        assert int_op("rem", 42, 0) == 42
+        assert int_op("remu", 42, 0) == 42
+
+    def test_signed_overflow_division(self):
+        assert int_op("div", 0x80000000, 0xFFFFFFFF) == 0x80000000
+        assert int_op("rem", 0x80000000, 0xFFFFFFFF) == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert to_signed(int_op("div", to_u32(-7), 2)) == -3
+        assert to_signed(int_op("rem", to_u32(-7), 2)) == -1
+
+    @given(u32s, u32s)
+    @settings(max_examples=200)
+    def test_divmod_identity(self, a, b):
+        if to_u32(b) == 0:
+            return
+        q = int_op("divu", a, b)
+        r = int_op("remu", a, b)
+        assert to_u32(q * b + r) == to_u32(a)
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            int_op("frobnicate", 1, 2)
+
+
+class TestBranches:
+    def test_signed_vs_unsigned(self):
+        minus_one = 0xFFFFFFFF
+        assert branch_taken("blt", minus_one, 0)
+        assert not branch_taken("bltu", minus_one, 0)
+        assert branch_taken("bgeu", minus_one, 0)
+
+    def test_equality(self):
+        assert branch_taken("beq", 5, 5)
+        assert branch_taken("bne", 5, 6)
+
+
+class TestFloatOps:
+    def test_basic_arithmetic(self):
+        assert bits_to_f32(float_op("fadd", f(1.5), f(2.25))) == 3.75
+        assert bits_to_f32(float_op("fmul", f(3.0), f(-2.0))) == -6.0
+
+    def test_rounds_to_binary32(self):
+        # 0.1 + 0.2 in binary32 is not the float64 result.
+        result = bits_to_f32(float_op("fadd", f(0.1), f(0.2)))
+        assert result == struct.unpack("<f", struct.pack("<f", 0.30000001192092896))[0]
+
+    def test_div_by_zero_is_inf(self):
+        assert math.isinf(bits_to_f32(float_op("fdiv", f(1.0), f(0.0))))
+        assert bits_to_f32(float_op("fdiv", f(-1.0), f(0.0))) == -math.inf
+
+    def test_sqrt(self):
+        assert bits_to_f32(float_op("fsqrt", f(9.0))) == 3.0
+        assert math.isnan(bits_to_f32(float_op("fsqrt", f(-1.0))))
+
+    def test_compare(self):
+        assert float_op("flt", f(1.0), f(2.0)) == 1
+        assert float_op("fle", f(2.0), f(2.0)) == 1
+        assert float_op("feq", f(2.0), f(2.5)) == 0
+
+    def test_sign_injection(self):
+        assert bits_to_f32(float_op("fsgnjn", f(3.0), f(1.0))) == -3.0
+        assert bits_to_f32(float_op("fsgnjx", f(-3.0), f(-1.0))) == 3.0
+
+    def test_conversions(self):
+        assert float_op("fcvt.w.s", f(-3.7)) == to_u32(-3)
+        assert float_op("fcvt.wu.s", f(3.7)) == 3
+        assert bits_to_f32(float_op("fcvt.s.w", to_u32(-5))) == -5.0
+        assert bits_to_f32(float_op("fcvt.s.wu", 0xFFFFFFFF)) == \
+            struct.unpack("<f", struct.pack("<f", float(0xFFFFFFFF)))[0]
+
+    def test_conversion_clamps(self):
+        assert float_op("fcvt.w.s", f(1e20)) == to_u32((1 << 31) - 1)
+        assert float_op("fcvt.wu.s", f(-5.0)) == 0
+
+    def test_overflow_to_infinity(self):
+        big = float_op("fmul", f(3e38), f(3e38))
+        assert math.isinf(bits_to_f32(big))
+
+    @given(st.floats(min_value=-1e30, max_value=1e30, allow_nan=False))
+    @settings(max_examples=100)
+    def test_bits_roundtrip(self, value):
+        bits = f32_to_bits(value)
+        assert 0 <= bits <= MASK32
+        assert f32_to_bits(bits_to_f32(bits)) == bits

@@ -1,0 +1,118 @@
+"""Active-thread-selection and reconvergence properties.
+
+SIMTight reconverges divergent threads by prioritising the deepest
+control-flow nesting level, tie-breaking on the lowest PC (paper section
+2.3).  These tests pin that behaviour down: execution order, utilisation,
+and the PCC-grouping rule of section 3.3.
+"""
+
+from repro.cheri import root_capability
+from repro.isa.instructions import Instr, Op
+from repro.simt import SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE
+
+
+def one_warp(lanes=4, **kwargs):
+    return SMConfig.baseline(num_warps=1, num_lanes=lanes, **kwargs)
+
+
+class TestSelectionOrder:
+    def test_deeper_threads_run_first(self):
+        # Lane 0 branches into a deep region; other lanes sit at the join
+        # (lower depth).  The deep region must fully execute before the
+        # join does, which we observe through a memory write ordering.
+        sm = StreamingMultiprocessor(one_warp())
+        prog = [
+            Instr(Op.BNE, rs1=5, rs2=0, imm=12),             # lane0 falls through
+            # depth-1 region (lane 0 only): set flag
+            Instr(Op.ADDI, rd=7, rs1=0, imm=1, depth=1),
+            Instr(Op.SW, rs1=8, rs2=7, imm=0, depth=1),      # flag = 1
+            # join: everyone loads flag and stores it to their slot
+            Instr(Op.LW, rd=9, rs1=8, imm=0),
+            Instr(Op.SW, rs1=10, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        lanes = sm.cfg.num_lanes
+        flag = [HEAP_BASE] * lanes
+        out = [HEAP_BASE + 0x100 + 4 * t for t in range(lanes)]
+        sm.launch(prog, init_regs={5: list(range(lanes)), 8: flag, 10: out})
+        # If the join had run before the deep region, some lanes would have
+        # read flag == 0.
+        for t in range(lanes):
+            assert sm.memory.read(HEAP_BASE + 0x100 + 4 * t, 4) == 1
+
+    def test_lower_pc_wins_at_equal_depth(self):
+        # Even/odd lanes diverge into two same-depth regions; the
+        # lower-PC region (then-branch) must execute before the other.
+        sm = StreamingMultiprocessor(one_warp())
+        prog = [
+            Instr(Op.ANDI, rd=7, rs1=5, imm=1),
+            Instr(Op.BNE, rs1=7, rs2=0, imm=16),
+            # then (even lanes): increment counter, record its value
+            Instr(Op.AMOADD_W, rd=9, rs1=8, rs2=6, depth=1),
+            Instr(Op.SW, rs1=10, rs2=9, imm=0, depth=1),
+            Instr(Op.JAL, rd=0, imm=12, depth=1),
+            # else (odd lanes)
+            Instr(Op.AMOADD_W, rd=9, rs1=8, rs2=6, depth=1),
+            Instr(Op.SW, rs1=10, rs2=9, imm=0, depth=1),
+            Instr(Op.HALT),
+        ]
+        lanes = sm.cfg.num_lanes
+        counter = [HEAP_BASE] * lanes
+        out = [HEAP_BASE + 0x100 + 4 * t for t in range(lanes)]
+        ones = [1] * lanes
+        sm.launch(prog, init_regs={5: list(range(lanes)), 6: ones,
+                                   8: counter, 10: out})
+        even = [sm.memory.read(HEAP_BASE + 0x100 + 4 * t, 4)
+                for t in range(0, lanes, 2)]
+        odd = [sm.memory.read(HEAP_BASE + 0x100 + 4 * t, 4)
+               for t in range(1, lanes, 2)]
+        assert max(even) < min(odd), (even, odd)
+
+    def test_full_warp_executes_together_when_convergent(self):
+        sm = StreamingMultiprocessor(one_warp())
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=5, imm=1),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_regs={5: [0, 1, 2, 3]})
+        # 2 issues for the whole warp: no divergence means full lanes.
+        assert stats.instrs_issued == 2
+        assert stats.thread_instrs == 2 * sm.cfg.num_lanes
+
+    def test_divergence_costs_extra_issues(self):
+        # A 4-way divergent JALR: each lane jumps somewhere different, so
+        # every subsequent instruction issues once per lane.
+        sm = StreamingMultiprocessor(one_warp())
+        prog = [
+            Instr(Op.JALR, rd=0, rs1=5, imm=0),
+            Instr(Op.ADDI, rd=7, rs1=0, imm=0),   # pc 4 (lane 0 target)
+            Instr(Op.HALT),                        # lane 0 halts at 8...
+            Instr(Op.HALT),
+            Instr(Op.HALT),
+            Instr(Op.HALT),
+        ]
+        targets = [4, 8, 12, 16]
+        stats = sm.launch(prog, init_regs={5: targets})
+        # Lane 0 runs ADDI then HALT; others HALT directly, all separately.
+        assert stats.instrs_issued >= 5
+
+
+class TestPCCGrouping:
+    def test_dynamic_pcc_splits_groups(self):
+        # Two lanes share a PC but have different PCC metadata: with
+        # dynamic PC metadata they may not issue together.
+        cfg = SMConfig.cheri(num_warps=1, num_lanes=2)
+        sm = StreamingMultiprocessor(cfg)
+        prog = [Instr(Op.ADDI, rd=7, rs1=0, imm=1), Instr(Op.HALT)]
+        pcc_a = root_capability()
+        sm.launch(prog, kernel_pcc=pcc_a)
+        # Uniform PCC at launch: both lanes issue together.
+        assert sm.stats.instrs_issued == 2
+
+    def test_static_pc_metadata_ignores_pcc(self):
+        cfg = SMConfig.cheri_optimised(num_warps=1, num_lanes=2)
+        sm = StreamingMultiprocessor(cfg)
+        prog = [Instr(Op.ADDI, rd=7, rs1=0, imm=1), Instr(Op.HALT)]
+        stats = sm.launch(prog)
+        assert stats.instrs_issued == 2

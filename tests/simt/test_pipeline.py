@@ -1,0 +1,285 @@
+"""Pipeline tests: hand-assembled programs on the simulated SM."""
+
+import pytest
+
+from repro.cheri import Perms, root_capability
+from repro.isa.instructions import Instr, Op
+from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE, SCRATCHPAD_BASE
+
+
+def small_config(**kwargs):
+    kwargs.setdefault("num_warps", 2)
+    kwargs.setdefault("num_lanes", 4)
+    return SMConfig.baseline(**kwargs)
+
+
+def cheri_config(**kwargs):
+    return SMConfig.cheri_optimised(num_warps=2, num_lanes=4, **kwargs)
+
+
+def thread_ids(cfg):
+    return list(range(cfg.num_threads))
+
+
+class TestBasicExecution:
+    def test_trivial_halt(self):
+        sm = StreamingMultiprocessor(small_config())
+        stats = sm.launch([Instr(Op.HALT)])
+        assert stats.instrs_issued == 2  # one HALT issue per warp
+        assert stats.cycles > 0
+
+    def test_addi_chain(self):
+        sm = StreamingMultiprocessor(small_config())
+        prog = [
+            Instr(Op.ADDI, rd=5, rs1=0, imm=10),
+            Instr(Op.ADDI, rd=5, rs1=5, imm=32),
+            Instr(Op.SW, rs1=6, rs2=5, imm=0),
+            Instr(Op.HALT),
+        ]
+        base = [HEAP_BASE + 64 * t for t in thread_ids(sm.cfg)]
+        sm.launch(prog, init_regs={6: base})
+        for t in thread_ids(sm.cfg):
+            assert sm.memory.read(HEAP_BASE + 64 * t, 4) == 42
+
+    def test_per_thread_values(self):
+        sm = StreamingMultiprocessor(small_config())
+        tids = thread_ids(sm.cfg)
+        prog = [
+            Instr(Op.SLLI, rd=7, rs1=5, imm=1),     # 2*tid
+            Instr(Op.SW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in tids]
+        sm.launch(prog, init_regs={5: tids, 6: addrs})
+        for t in tids:
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 2 * t
+
+    def test_loads_round_trip(self):
+        sm = StreamingMultiprocessor(small_config())
+        for t in thread_ids(sm.cfg):
+            sm.memory.write(HEAP_BASE + 4 * t, 4, 100 + t)
+        prog = [
+            Instr(Op.LW, rd=7, rs1=6, imm=0),
+            Instr(Op.ADDI, rd=7, rs1=7, imm=1),
+            Instr(Op.SW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in thread_ids(sm.cfg)]
+        sm.launch(prog, init_regs={6: addrs})
+        for t in thread_ids(sm.cfg):
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 101 + t
+
+    def test_mul_div_and_sfu(self):
+        sm = StreamingMultiprocessor(small_config())
+        prog = [
+            Instr(Op.ADDI, rd=5, rs1=0, imm=84),
+            Instr(Op.ADDI, rd=6, rs1=0, imm=2),
+            Instr(Op.DIV, rd=7, rs1=5, rs2=6),
+            Instr(Op.SW, rs1=8, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in thread_ids(sm.cfg)]
+        stats = sm.launch(prog, init_regs={8: addrs})
+        assert sm.memory.read(HEAP_BASE, 4) == 42
+        assert stats.sfu_requests > 0
+
+    def test_x0_is_hardwired_zero(self):
+        sm = StreamingMultiprocessor(small_config())
+        prog = [
+            Instr(Op.ADDI, rd=0, rs1=0, imm=99),
+            Instr(Op.SW, rs1=6, rs2=0, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in thread_ids(sm.cfg)]
+        sm.memory.write(HEAP_BASE, 4, 7)
+        sm.launch(prog, init_regs={6: addrs})
+        assert sm.memory.read(HEAP_BASE, 4) == 0
+
+
+class TestControlFlow:
+    def test_uniform_branch(self):
+        # for (i = 0; i < 5; i++) acc += 3
+        sm = StreamingMultiprocessor(small_config())
+        prog = [
+            Instr(Op.ADDI, rd=5, rs1=0, imm=0),     # i = 0
+            Instr(Op.ADDI, rd=7, rs1=0, imm=0),     # acc = 0
+            Instr(Op.ADDI, rd=6, rs1=0, imm=5),     # n = 5
+            Instr(Op.BGE, rs1=5, rs2=6, imm=16, depth=0),   # -> store
+            Instr(Op.ADDI, rd=7, rs1=7, imm=3, depth=1),
+            Instr(Op.ADDI, rd=5, rs1=5, imm=1, depth=1),
+            Instr(Op.JAL, rd=0, imm=-12, depth=1),  # back to BGE
+            Instr(Op.SW, rs1=8, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in thread_ids(sm.cfg)]
+        sm.launch(prog, init_regs={8: addrs})
+        for t in thread_ids(sm.cfg):
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 15
+
+    def test_divergent_if_else_reconverges(self):
+        # even tids take one path, odd the other; all must store.
+        sm = StreamingMultiprocessor(small_config())
+        tids = thread_ids(sm.cfg)
+        prog = [
+            Instr(Op.ANDI, rd=7, rs1=5, imm=1),
+            Instr(Op.BNE, rs1=7, rs2=0, imm=12),        # odd -> +12
+            Instr(Op.ADDI, rd=9, rs1=0, imm=100, depth=1),
+            Instr(Op.JAL, rd=0, imm=8, depth=1),
+            Instr(Op.ADDI, rd=9, rs1=0, imm=200, depth=1),
+            Instr(Op.SW, rs1=6, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in tids]
+        sm.launch(prog, init_regs={5: tids, 6: addrs})
+        for t in tids:
+            expect = 200 if t % 2 else 100
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == expect
+
+    def test_divergent_loop_trip_counts(self):
+        # Each thread loops tid+1 times incrementing acc.
+        sm = StreamingMultiprocessor(small_config())
+        tids = thread_ids(sm.cfg)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=0),          # acc
+            Instr(Op.ADDI, rd=8, rs1=5, imm=1),          # bound = tid + 1
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),          # i
+            Instr(Op.BGE, rs1=9, rs2=8, imm=16),
+            Instr(Op.ADDI, rd=7, rs1=7, imm=2, depth=1),
+            Instr(Op.ADDI, rd=9, rs1=9, imm=1, depth=1),
+            Instr(Op.JAL, rd=0, imm=-12, depth=1),
+            Instr(Op.SW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 4 * t for t in tids]
+        sm.launch(prog, init_regs={5: tids, 6: addrs})
+        for t in tids:
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 2 * (t + 1)
+
+
+class TestBarriersAndAtomics:
+    def test_barrier_orders_stores_before_loads(self):
+        # Warp 0 and 1 are one block: each thread stores its tid, then all
+        # barrier, then each loads its neighbour's slot.
+        sm = StreamingMultiprocessor(small_config())
+        cfg = sm.cfg
+        tids = thread_ids(cfg)
+        n = cfg.num_threads
+        prog = [
+            Instr(Op.SW, rs1=6, rs2=5, imm=0),    # out[tid] = tid
+            Instr(Op.BARRIER),
+            Instr(Op.LW, rd=7, rs1=8, imm=0),     # in = out[(tid+1)%n]
+            Instr(Op.SW, rs1=9, rs2=7, imm=0),    # res[tid] = in
+            Instr(Op.HALT),
+        ]
+        slots = [HEAP_BASE + 4 * t for t in tids]
+        neigh = [HEAP_BASE + 4 * ((t + 1) % n) for t in tids]
+        res = [HEAP_BASE + 0x1000 + 4 * t for t in tids]
+        sm.launch(prog, init_regs={5: tids, 6: slots, 8: neigh, 9: res},
+                  warps_per_block=cfg.num_warps)
+        for t in tids:
+            assert sm.memory.read(HEAP_BASE + 0x1000 + 4 * t, 4) == (t + 1) % n
+
+    def test_atomic_add_counts_all_threads(self):
+        sm = StreamingMultiprocessor(small_config())
+        tids = thread_ids(sm.cfg)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=1),
+            Instr(Op.AMOADD_W, rd=9, rs1=6, rs2=7),
+            Instr(Op.HALT),
+        ]
+        counter = [HEAP_BASE] * len(tids)
+        stats = sm.launch(prog, init_regs={6: counter})
+        assert sm.memory.read(HEAP_BASE, 4) == len(tids)
+        assert stats.stall_atomic_serial > 0
+
+    def test_amoswap_returns_old_value(self):
+        sm = StreamingMultiprocessor(small_config(num_warps=1))
+        sm.memory.write(HEAP_BASE, 4, 0xAA)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=5),
+            Instr(Op.AMOMAXU_W, rd=9, rs1=6, rs2=7),
+            Instr(Op.SW, rs1=8, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        addrs = [HEAP_BASE + 0x100 + 4 * t for t in range(4)]
+        sm.launch(prog, init_regs={6: [HEAP_BASE] * 4, 8: addrs})
+        assert sm.memory.read(HEAP_BASE, 4) == 0xAA  # max(0xAA, 5)
+
+
+class TestScratchpad:
+    def test_scratchpad_store_load(self):
+        sm = StreamingMultiprocessor(small_config())
+        tids = thread_ids(sm.cfg)
+        prog = [
+            Instr(Op.SW, rs1=6, rs2=5, imm=0),
+            Instr(Op.LW, rd=7, rs1=6, imm=0),
+            Instr(Op.SW, rs1=8, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        spad = [SCRATCHPAD_BASE + 4 * t for t in tids]
+        out = [HEAP_BASE + 4 * t for t in tids]
+        stats = sm.launch(prog, init_regs={5: tids, 6: spad, 8: out})
+        for t in tids:
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == t
+        assert stats.scratchpad_accesses > 0
+
+    def test_bank_conflicts_stall(self):
+        sm = StreamingMultiprocessor(small_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        # All lanes hit the same bank, different words.
+        stride = 4 * lanes
+        spad = [SCRATCHPAD_BASE + stride * t for t in range(lanes)]
+        prog = [
+            Instr(Op.SW, rs1=6, rs2=5, imm=0),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_regs={5: list(range(lanes)), 6: spad})
+        assert stats.stall_bank_conflict == lanes - 1
+
+
+class TestFloat:
+    def test_fadd_fmul(self):
+        import struct
+        sm = StreamingMultiprocessor(small_config(num_warps=1))
+        f = lambda x: struct.unpack("<I", struct.pack("<f", x))[0]
+        prog = [
+            Instr(Op.FADD_S, rd=7, rs1=5, rs2=6),
+            Instr(Op.FMUL_S, rd=8, rs1=7, rs2=6),
+            Instr(Op.SW, rs1=9, rs2=8, imm=0),
+            Instr(Op.HALT),
+        ]
+        lanes = sm.cfg.num_lanes
+        sm.launch(prog, init_regs={
+            5: [f(1.5)] * lanes, 6: [f(2.0)] * lanes,
+            9: [HEAP_BASE + 4 * t for t in range(lanes)],
+        })
+        bits = sm.memory.read(HEAP_BASE, 4)
+        assert struct.unpack("<f", struct.pack("<I", bits))[0] == 7.0
+
+    def test_fsqrt_uses_sfu(self):
+        import struct
+        sm = StreamingMultiprocessor(small_config(num_warps=1))
+        f = lambda x: struct.unpack("<I", struct.pack("<f", x))[0]
+        prog = [
+            Instr(Op.FSQRT_S, rd=7, rs1=5),
+            Instr(Op.SW, rs1=9, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        lanes = sm.cfg.num_lanes
+        stats = sm.launch(prog, init_regs={
+            5: [f(9.0)] * lanes,
+            9: [HEAP_BASE + 4 * t for t in range(lanes)],
+        })
+        bits = sm.memory.read(HEAP_BASE, 4)
+        assert struct.unpack("<f", struct.pack("<I", bits))[0] == 3.0
+        assert stats.sfu_requests == lanes
+
+
+class TestTrap:
+    def test_trap_aborts_kernel(self):
+        sm = StreamingMultiprocessor(small_config())
+        prog = [Instr(Op.TRAP, comment="bounds check failed"), Instr(Op.HALT)]
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog)
+        assert "bounds check failed" in str(info.value)

@@ -1,0 +1,317 @@
+"""CHERI-mode pipeline tests: capability accesses, checks, and faults."""
+
+import pytest
+
+from repro.cheri import BoundsViolation, Perms, TagViolation, root_capability
+from repro.cheri.exceptions import PermissionViolation
+from repro.isa.instructions import Instr, Op
+from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE
+
+
+def cheri_config(**kwargs):
+    kwargs.setdefault("num_warps", 2)
+    kwargs.setdefault("num_lanes", 4)
+    return SMConfig.cheri_optimised(**kwargs)
+
+
+def unopt_config(**kwargs):
+    kwargs.setdefault("num_warps", 2)
+    kwargs.setdefault("num_lanes", 4)
+    return SMConfig.cheri(**kwargs)
+
+
+def buffer_cap(base, length, perms=None):
+    cap, exact = root_capability().set_bounds(base, length)
+    assert exact, "test buffers must be exactly representable"
+    if perms is not None:
+        cap = cap.and_perms(perms)
+    return cap
+
+
+def make_sm(cfg=None):
+    return StreamingMultiprocessor(cfg or cheri_config())
+
+
+class TestCapabilityAccess:
+    def test_clw_csw_roundtrip(self):
+        sm = make_sm()
+        tids = list(range(sm.cfg.num_threads))
+        for t in tids:
+            sm.memory.write(HEAP_BASE + 4 * t, 4, 50 + t)
+        cap = buffer_cap(HEAP_BASE, 4 * len(tids))
+        caps = [cap.set_addr(HEAP_BASE + 4 * t) for t in tids]
+        prog = [
+            Instr(Op.CLW, rd=7, rs1=6, imm=0),
+            Instr(Op.ADDI, rd=7, rs1=7, imm=1),
+            Instr(Op.CSW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        sm.launch(prog, init_cap_regs={6: caps})
+        for t in tids:
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 51 + t
+
+    def test_byte_and_half_accesses(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        cap = buffer_cap(HEAP_BASE, 64)
+        sm.memory.write(HEAP_BASE, 4, 0x80FF)
+        prog = [
+            Instr(Op.CLB, rd=7, rs1=6, imm=0),   # sign-extended 0xFF
+            Instr(Op.CSW, rs1=8, rs2=7, imm=0),
+            Instr(Op.CLH, rd=7, rs1=6, imm=0),   # sign-extended 0x80FF
+            Instr(Op.CSW, rs1=8, rs2=7, imm=4),
+            Instr(Op.CLBU, rd=7, rs1=6, imm=0),
+            Instr(Op.CSW, rs1=8, rs2=7, imm=8),
+            Instr(Op.HALT),
+        ]
+        out_cap = buffer_cap(HEAP_BASE + 0x100, 64)
+        lanes = sm.cfg.num_lanes
+        sm.launch(prog, init_cap_regs={
+            6: [cap] * lanes,
+            8: [out_cap.set_addr(HEAP_BASE + 0x100 + 16 * t) for t in range(lanes)],
+        })
+        assert sm.memory.read(HEAP_BASE + 0x100, 4) == 0xFFFFFFFF
+        assert sm.memory.read(HEAP_BASE + 0x104, 4) == 0xFFFF80FF
+        assert sm.memory.read(HEAP_BASE + 0x108, 4) == 0xFF
+
+    def test_clc_csc_capability_roundtrip(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        data_cap = buffer_cap(HEAP_BASE, 256)
+        slot_cap = buffer_cap(HEAP_BASE + 0x1000, 8 * lanes)
+        prog = [
+            Instr(Op.CSC, rs1=6, rs2=7, imm=0),   # store cap to memory
+            Instr(Op.CLC, rd=8, rs1=6, imm=0),    # load it back
+            Instr(Op.CGETTAG, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=0),
+            Instr(Op.CGETLEN, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=4),
+            Instr(Op.HALT),
+        ]
+        out_cap = buffer_cap(HEAP_BASE + 0x2000, 64)
+        sm.launch(prog, init_cap_regs={
+            6: [slot_cap.set_addr(HEAP_BASE + 0x1000 + 8 * t) for t in range(lanes)],
+            7: [data_cap] * lanes,
+            10: [out_cap.set_addr(HEAP_BASE + 0x2000 + 8 * t) for t in range(lanes)],
+        })
+        assert sm.memory.read(HEAP_BASE + 0x2000, 4) == 1     # tag survived
+        assert sm.memory.read(HEAP_BASE + 0x2004, 4) == 256   # length survived
+
+    def test_data_overwrite_invalidates_stored_cap(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        data_cap = buffer_cap(HEAP_BASE, 256)
+        slot_cap = buffer_cap(HEAP_BASE + 0x1000, 8 * lanes)
+        prog = [
+            Instr(Op.CSC, rs1=6, rs2=7, imm=0),
+            Instr(Op.ADDI, rd=9, rs1=0, imm=123),
+            Instr(Op.CSW, rs1=6, rs2=9, imm=0),   # clobber low half
+            Instr(Op.CLC, rd=8, rs1=6, imm=0),
+            Instr(Op.CGETTAG, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        out_cap = buffer_cap(HEAP_BASE + 0x2000, 64)
+        sm.launch(prog, init_cap_regs={
+            6: [slot_cap.set_addr(HEAP_BASE + 0x1000 + 8 * t) for t in range(lanes)],
+            7: [data_cap] * lanes,
+            10: [out_cap.set_addr(HEAP_BASE + 0x2000 + 8 * t) for t in range(lanes)],
+        })
+        assert sm.memory.read(HEAP_BASE + 0x2000, 4) == 0  # tag cleared
+
+
+class TestFaults:
+    def run_faulting(self, sm, prog, caps):
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog, init_cap_regs=caps)
+        return info.value.cause
+
+    def test_out_of_bounds_load_traps(self):
+        sm = make_sm()
+        tids = list(range(sm.cfg.num_threads))
+        cap = buffer_cap(HEAP_BASE, 4 * len(tids))
+        # Last thread points one element past the end.
+        caps = [cap.set_addr(HEAP_BASE + 4 * (t + 1)) for t in tids]
+        prog = [Instr(Op.CLW, rd=7, rs1=6, imm=0), Instr(Op.HALT)]
+        cause = self.run_faulting(sm, prog, {6: caps})
+        assert isinstance(cause, BoundsViolation)
+
+    def test_overread_of_adjacent_secret_traps(self):
+        # The paper's Figure 1 scenario: ptr points to `data` but is read
+        # out of bounds to reach `secret`.
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        sm.memory.write(HEAP_BASE, 4, 0xDA1A)
+        sm.memory.write(HEAP_BASE + 4, 4, 0xC0DE)  # the secret
+        cap = buffer_cap(HEAP_BASE, 4)
+        prog = [Instr(Op.CLW, rd=7, rs1=6, imm=4), Instr(Op.HALT)]
+        cause = self.run_faulting(sm, prog, {6: [cap] * lanes})
+        assert isinstance(cause, BoundsViolation)
+
+    def test_untagged_capability_traps(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 64).with_tag_cleared()
+        prog = [Instr(Op.CLW, rd=7, rs1=6, imm=0), Instr(Op.HALT)]
+        cause = self.run_faulting(sm, prog, {6: [cap] * lanes})
+        assert isinstance(cause, TagViolation)
+
+    def test_store_without_permission_traps(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        ro = buffer_cap(HEAP_BASE, 64, Perms.LOAD | Perms.GLOBAL)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=1),
+            Instr(Op.CSW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        cause = self.run_faulting(sm, prog, {6: [ro] * lanes})
+        assert isinstance(cause, PermissionViolation)
+
+    def test_forged_capability_cannot_be_used(self):
+        # Build an address by integer arithmetic: metadata is null, so any
+        # dereference faults (referential integrity).
+        sm = make_sm(cheri_config(num_warps=1))
+        prog = [
+            Instr(Op.LUI, rd=6, imm=HEAP_BASE >> 12),
+            Instr(Op.CLW, rd=7, rs1=6, imm=0),
+            Instr(Op.HALT),
+        ]
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog)
+        assert isinstance(info.value.cause, TagViolation)
+
+
+class TestCheriOps:
+    def test_cincoffset_walks_buffer(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.CINCOFFSETIMM, rd=6, rs1=6, imm=8),
+            Instr(Op.ADDI, rd=7, rs1=0, imm=9),
+            Instr(Op.CSW, rs1=6, rs2=7, imm=0),
+            Instr(Op.HALT),
+        ]
+        caps = [cap.set_addr(HEAP_BASE + 16 * t) for t in range(lanes)]
+        sm.launch(prog, init_cap_regs={6: caps})
+        for t in range(lanes):
+            assert sm.memory.read(HEAP_BASE + 16 * t + 8, 4) == 9
+
+    def test_csetbounds_narrows(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 256)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=16),
+            Instr(Op.CSETBOUNDS, rd=8, rs1=6, rs2=7),
+            Instr(Op.CGETLEN, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=0),
+            # An access beyond the narrowed bounds must now fail.
+            Instr(Op.CLW, rd=11, rs1=8, imm=16),
+            Instr(Op.HALT),
+        ]
+        out = buffer_cap(HEAP_BASE + 0x1000, 64)
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog, init_cap_regs={
+                6: [cap] * lanes,
+                10: [out.set_addr(HEAP_BASE + 0x1000 + 4 * t) for t in range(lanes)],
+            })
+        assert isinstance(info.value.cause, BoundsViolation)
+        assert sm.memory.read(HEAP_BASE + 0x1000, 4) == 16
+
+    def test_sfu_slow_path_counts_requests(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 256)
+        prog = [
+            Instr(Op.CGETLEN, rd=9, rs1=6),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_cap_regs={6: [cap] * lanes})
+        assert stats.sfu_requests == lanes
+
+    def test_no_sfu_for_bounds_ops_in_unoptimised(self):
+        sm = make_sm(unopt_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 256)
+        prog = [Instr(Op.CGETLEN, rd=9, rs1=6), Instr(Op.HALT)]
+        stats = sm.launch(prog, init_cap_regs={6: [cap] * lanes})
+        assert stats.sfu_requests == 0
+
+    def test_cgetaddr_and_csetaddr(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.CGETADDR, rd=7, rs1=6),
+            Instr(Op.ADDI, rd=7, rs1=7, imm=4),
+            Instr(Op.CSETADDR, rd=8, rs1=6, rs2=7),
+            Instr(Op.ADDI, rd=9, rs1=0, imm=77),
+            Instr(Op.CSW, rs1=8, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        sm.launch(prog, init_cap_regs={6: [cap] * lanes})
+        assert sm.memory.read(HEAP_BASE + 4, 4) == 77
+
+
+class TestMetadataRegfile:
+    def test_uniform_metadata_is_compressed(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 4 * lanes)
+        # Same bounds, different addresses: metadata uniform, data affine.
+        caps = [cap.set_addr(HEAP_BASE + 4 * t) for t in range(lanes)]
+        prog = [
+            Instr(Op.CLW, rd=7, rs1=6, imm=0),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_cap_regs={6: caps})
+        assert stats.meta_spills == 0
+        assert sm.meta.resident_vectors == 0
+
+    def test_csc_pays_extra_operand_cycle(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        data_cap = buffer_cap(HEAP_BASE, 256)
+        slot_cap = buffer_cap(HEAP_BASE + 0x1000, 8 * lanes)
+        prog = [Instr(Op.CSC, rs1=6, rs2=7, imm=0), Instr(Op.HALT)]
+        stats = sm.launch(prog, init_cap_regs={
+            6: [slot_cap.set_addr(HEAP_BASE + 0x1000 + 8 * t) for t in range(lanes)],
+            7: [data_cap] * lanes,
+        })
+        assert stats.stall_csc_operand == 1
+
+    def test_cap_register_tracking_for_figure11(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        lanes = sm.cfg.num_lanes
+        cap = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.CMOVE, rd=8, rs1=6),
+            Instr(Op.CMOVE, rd=9, rs1=6),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_cap_regs={6: [cap] * lanes})
+        assert stats.cap_regs_per_thread == 3  # regs 6, 8, 9
+
+
+class TestPCC:
+    def test_kernel_pcc_bounds_enforced(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        # PCC covering only the first instruction: fetching the second traps.
+        pcc, exact = root_capability().set_bounds(0, 4)
+        assert exact
+        prog = [
+            Instr(Op.ADDI, rd=5, rs1=0, imm=1),
+            Instr(Op.HALT),
+        ]
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog, kernel_pcc=pcc)
+        assert isinstance(info.value.cause, BoundsViolation)
+
+    def test_non_executable_pcc_traps(self):
+        sm = make_sm(cheri_config(num_warps=1))
+        pcc = root_capability(Perms.LOAD | Perms.GLOBAL)
+        with pytest.raises(KernelAbort) as info:
+            sm.launch([Instr(Op.HALT)], kernel_pcc=pcc)
+        assert isinstance(info.value.cause, PermissionViolation)

@@ -1,0 +1,173 @@
+"""Further CHERI pipeline flows: stalls, sentry calls, PCC-relative ops."""
+
+import pytest
+
+from repro.cheri import Perms, root_capability
+from repro.cheri.exceptions import SealViolation, TagViolation
+from repro.isa.instructions import Instr, Op
+from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE
+
+
+def cheri_config(**kwargs):
+    kwargs.setdefault("num_warps", 1)
+    kwargs.setdefault("num_lanes", 4)
+    return SMConfig.cheri_optimised(**kwargs)
+
+
+def buffer_cap(base, length, perms=None):
+    cap, exact = root_capability().set_bounds(base, length)
+    assert exact
+    if perms is not None:
+        cap = cap.and_perms(perms)
+    return cap
+
+
+class TestSharedVrfSerialisation:
+    def test_divergent_data_and_metadata_stall(self):
+        # A register whose *data* is a general vector and whose *metadata*
+        # is divergent (two different buffer caps across lanes) forces the
+        # shared-VRF serialisation stall on access.
+        sm = StreamingMultiprocessor(cheri_config())
+        cap_a = buffer_cap(HEAP_BASE, 64)
+        cap_b = buffer_cap(HEAP_BASE + 0x1000, 128)
+        # Addresses are scattered (uncompressible) and bounds differ by
+        # lane (uncompressible metadata).
+        caps = [
+            cap_a.set_addr(HEAP_BASE + 36),
+            cap_b.set_addr(HEAP_BASE + 0x1000),
+            cap_a.set_addr(HEAP_BASE + 4),
+            cap_b.set_addr(HEAP_BASE + 0x1040),
+        ]
+        prog = [
+            Instr(Op.CLW, rd=7, rs1=6, imm=0),
+            Instr(Op.HALT),
+        ]
+        stats = sm.launch(prog, init_cap_regs={6: caps})
+        assert stats.stall_shared_vrf > 0
+
+    def test_uniform_metadata_does_not_stall(self):
+        sm = StreamingMultiprocessor(cheri_config())
+        cap = buffer_cap(HEAP_BASE, 256)
+        caps = [cap.set_addr(HEAP_BASE + o) for o in (36, 0, 72, 12)]
+        prog = [Instr(Op.CLW, rd=7, rs1=6, imm=0), Instr(Op.HALT)]
+        stats = sm.launch(prog, init_cap_regs={6: caps})
+        assert stats.stall_shared_vrf == 0
+
+
+class TestSentryCalls:
+    def prog_call_and_return(self):
+        # main: cjalr through a sentry to 'func'; func returns via cjalr ra.
+        return [
+            Instr(Op.CJALR, rd=1, rs1=6, imm=0),     # call func
+            Instr(Op.ADDI, rd=9, rs1=0, imm=7),      # after return
+            Instr(Op.CSW, rs1=10, rs2=9, imm=0),
+            Instr(Op.HALT),
+            # func at pc 16:
+            Instr(Op.ADDI, rd=8, rs1=0, imm=5),
+            Instr(Op.CJALR, rd=0, rs1=1, imm=0),     # return via link cap
+        ]
+
+    def test_call_through_sentry(self):
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        func_cap = root_capability(
+            Perms.GLOBAL | Perms.EXECUTE | Perms.LOAD).set_addr(16)
+        func_cap = func_cap.seal_entry()
+        out = buffer_cap(HEAP_BASE, 64)
+        sm.launch(self.prog_call_and_return(), init_cap_regs={
+            6: [func_cap] * lanes,
+            10: [out.set_addr(HEAP_BASE + 4 * t) for t in range(lanes)],
+        })
+        for t in range(lanes):
+            assert sm.memory.read(HEAP_BASE + 4 * t, 4) == 7
+
+    def test_sentry_link_register_is_sealed(self):
+        # The link capability written by CJALR must itself be a sentry;
+        # using it as a data pointer traps.
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        func_cap = root_capability(
+            Perms.GLOBAL | Perms.EXECUTE | Perms.LOAD).set_addr(8)
+        prog = [
+            Instr(Op.CJALR, rd=1, rs1=6, imm=0),
+            Instr(Op.HALT),
+            Instr(Op.CLW, rd=9, rs1=1, imm=0),  # deref the sealed link cap
+            Instr(Op.HALT),
+        ]
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog, init_cap_regs={6: [func_cap] * lanes})
+        assert isinstance(info.value.cause, SealViolation)
+
+    def test_cjalr_untagged_target_traps(self):
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        bad = root_capability().set_addr(16).with_tag_cleared()
+        prog = [Instr(Op.CJALR, rd=1, rs1=6, imm=0), Instr(Op.HALT)]
+        with pytest.raises(KernelAbort) as info:
+            sm.launch(prog, init_cap_regs={6: [bad] * lanes})
+        assert isinstance(info.value.cause, TagViolation)
+
+
+class TestPccRelative:
+    def test_auipcc_produces_executable_capability(self):
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        out = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.AUIPCC, rd=7, imm=0),       # PCC at pc 0
+            Instr(Op.CGETTAG, rd=8, rs1=7),
+            Instr(Op.CSW, rs1=10, rs2=8, imm=0),
+            Instr(Op.CGETPERM, rd=8, rs1=7),
+            Instr(Op.CSW, rs1=10, rs2=8, imm=4),
+            Instr(Op.HALT),
+        ]
+        sm.launch(prog, init_cap_regs={
+            10: [out.set_addr(HEAP_BASE + 8 * t) for t in range(lanes)],
+        })
+        assert sm.memory.read(HEAP_BASE, 4) == 1  # tagged
+        perms = Perms(sm.memory.read(HEAP_BASE + 4, 4))
+        assert Perms.EXECUTE in perms
+
+    def test_cspecialrw_reads_pcc(self):
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        out = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.CSPECIALRW, rd=7, rs1=0, imm=1),
+            Instr(Op.CGETLEN, rd=8, rs1=7),
+            Instr(Op.CSW, rs1=10, rs2=8, imm=0),
+            Instr(Op.HALT),
+        ]
+        sm.launch(prog, init_cap_regs={
+            10: [out.set_addr(HEAP_BASE + 4 * t) for t in range(lanes)],
+        })
+        # Default kernel PCC covers the whole address space (clamped len).
+        assert sm.memory.read(HEAP_BASE, 4) == 0xFFFFFFFF
+
+
+class TestCapabilitySpillFidelity:
+    def test_csc_clc_preserve_integer_null_metadata(self):
+        # Spilling an integer register via CSC and reloading via CLC must
+        # restore the value with *null* (untagged) metadata.
+        sm = StreamingMultiprocessor(cheri_config())
+        lanes = sm.cfg.num_lanes
+        slots = buffer_cap(HEAP_BASE + 0x1000, 8 * lanes)
+        out = buffer_cap(HEAP_BASE, 64)
+        prog = [
+            Instr(Op.ADDI, rd=7, rs1=0, imm=123),
+            Instr(Op.CSC, rs1=6, rs2=7, imm=0),    # spill integer
+            Instr(Op.CLC, rd=8, rs1=6, imm=0),     # reload
+            Instr(Op.CGETTAG, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=0),
+            Instr(Op.CGETADDR, rd=9, rs1=8),
+            Instr(Op.CSW, rs1=10, rs2=9, imm=4),
+            Instr(Op.HALT),
+        ]
+        sm.launch(prog, init_cap_regs={
+            6: [slots.set_addr(HEAP_BASE + 0x1000 + 8 * t)
+                for t in range(lanes)],
+            10: [out.set_addr(HEAP_BASE + 8 * t) for t in range(lanes)],
+        })
+        assert sm.memory.read(HEAP_BASE, 4) == 0     # untagged
+        assert sm.memory.read(HEAP_BASE + 4, 4) == 123

@@ -1,0 +1,273 @@
+"""Tests for the compressed register file (SRF/VRF, NVO, shared pool)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simt.regfile import CompressedRegFile, PlainRegFile, SlotPool
+
+LANES = 8
+FULL_MASK = (1 << LANES) - 1
+
+
+def make_rf(capacity=16, detect_affine=True, nvo=False, pool=None):
+    pool = pool or SlotPool(capacity)
+    return CompressedRegFile(LANES, 32, pool, detect_affine=detect_affine,
+                             nvo=nvo)
+
+
+class TestCompression:
+    def test_default_register_is_uniform_zero(self):
+        rf = make_rf()
+        values, report = rf.read(0, 5)
+        assert values == [0] * LANES
+        assert report.spills == 0 and report.reloads == 0
+
+    def test_uniform_vector_stays_in_srf(self):
+        rf = make_rf()
+        rf.write(0, 5, [42] * LANES)
+        assert not rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == [42] * LANES
+
+    def test_affine_vector_stays_in_srf(self):
+        rf = make_rf()
+        values = [100 + 4 * i for i in range(LANES)]
+        rf.write(0, 5, values)
+        assert not rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == values
+
+    def test_negative_stride_affine(self):
+        rf = make_rf()
+        values = [(1000 - 3 * i) & 0xFFFFFFFF for i in range(LANES)]
+        rf.write(0, 1, values)
+        assert not rf.is_vector_resident(0, 1)
+        assert rf.read(0, 1)[0] == values
+
+    def test_huge_stride_goes_to_vrf(self):
+        rf = make_rf()
+        values = [(i * 1000) & 0xFFFFFFFF for i in range(LANES)]
+        rf.write(0, 5, values)
+        assert rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == values
+
+    def test_general_vector_goes_to_vrf(self):
+        rf = make_rf()
+        values = [7, 1, 9, 3, 5, 2, 8, 0]
+        rf.write(0, 5, values)
+        assert rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == values
+
+    def test_uniform_detection_disabled_affine(self):
+        rf = make_rf(detect_affine=False)
+        values = [100 + i for i in range(LANES)]
+        rf.write(0, 5, values)
+        assert rf.is_vector_resident(0, 5)
+        rf.write(0, 6, [9] * LANES)
+        assert not rf.is_vector_resident(0, 6)
+
+    def test_vector_recompresses_on_uniform_overwrite(self):
+        rf = make_rf()
+        rf.write(0, 5, [7, 1, 9, 3, 5, 2, 8, 0])
+        assert rf.pool.used == 1
+        rf.write(0, 5, [3] * LANES)
+        assert rf.pool.used == 0
+        assert not rf.is_vector_resident(0, 5)
+
+    @given(st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                    min_size=LANES, max_size=LANES))
+    @settings(max_examples=200)
+    def test_write_read_roundtrip(self, values):
+        rf = make_rf()
+        rf.write(1, 7, values)
+        assert rf.read(1, 7)[0] == values
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=200)
+    def test_affine_roundtrip_compresses(self, base, stride):
+        rf = make_rf()
+        values = [(base + i * stride) & 0xFFFFFFFF for i in range(LANES)]
+        rf.write(0, 3, values)
+        assert rf.read(0, 3)[0] == values
+        assert not rf.is_vector_resident(0, 3)
+
+
+class TestMaskedWrites:
+    def test_partial_write_merges_lanes(self):
+        rf = make_rf()
+        rf.write(0, 5, [10] * LANES)
+        rf.write(0, 5, [99] * LANES, active_mask=0b00000001)
+        assert rf.read(0, 5)[0] == [99, 10, 10, 10, 10, 10, 10, 10]
+
+    def test_divergent_write_decompresses(self):
+        rf = make_rf()
+        rf.write(0, 5, [10] * LANES)
+        assert not rf.is_vector_resident(0, 5)
+        rf.write(0, 5, [99] * LANES, active_mask=0b00001111)
+        # Two different uniform halves: not totally scalarisable.
+        assert rf.is_vector_resident(0, 5)
+
+    def test_partial_write_restoring_uniformity_recompresses(self):
+        rf = make_rf()
+        rf.write(0, 5, [10, 10, 10, 10, 99, 99, 99, 99])
+        assert rf.is_vector_resident(0, 5)
+        rf.write(0, 5, [10] * LANES, active_mask=0b11110000)
+        assert not rf.is_vector_resident(0, 5)
+
+
+class TestSpilling:
+    def test_pool_exhaustion_spills_fifo(self):
+        rf = make_rf(capacity=2)
+        general = [[i * 13 + j * j for j in range(LANES)] for i in range(3)]
+        rf.write(0, 1, general[0])
+        rf.write(0, 2, general[1])
+        report = rf.write(0, 3, general[2])
+        assert report.spills == 1
+        assert rf.total_spills == 1
+        # Oldest (reg 1) was the victim; its value must survive.
+        values, report = rf.read(0, 1)
+        assert values == [v & 0xFFFFFFFF for v in general[0]]
+        assert report.reloads == 1
+
+    def test_reload_can_cascade_spill(self):
+        rf = make_rf(capacity=1)
+        a = [3, 1, 4, 1, 5, 9, 2, 6]
+        b = [2, 7, 1, 8, 2, 8, 1, 8]
+        rf.write(0, 1, a)
+        rf.write(0, 2, b)          # spills reg 1
+        values, report = rf.read(0, 1)  # reload spills reg 2
+        assert values == a
+        assert report.reloads == 1 and report.spills == 1
+        assert rf.read(0, 2)[0] == b
+
+    def test_full_overwrite_of_spilled_register_skips_reload(self):
+        rf = make_rf(capacity=1)
+        rf.write(0, 1, [3, 1, 4, 1, 5, 9, 2, 6])
+        rf.write(0, 2, [2, 7, 1, 8, 2, 8, 1, 8])  # spills reg 1
+        report = rf.write(0, 1, [5] * LANES)       # dead spilled copy
+        assert report.reloads == 0
+        assert rf.read(0, 1)[0] == [5] * LANES
+
+    def test_partial_overwrite_of_spilled_register_reloads(self):
+        rf = make_rf(capacity=1)
+        a = [3, 1, 4, 1, 5, 9, 2, 6]
+        rf.write(0, 1, a)
+        rf.write(0, 2, [2, 7, 1, 8, 2, 8, 1, 8])  # spills reg 1
+        report = rf.write(0, 1, [0] * LANES, active_mask=0b1)
+        assert report.reloads == 1
+        assert rf.read(0, 1)[0] == [0] + a[1:]
+
+    def test_resident_count_tracks_pool(self):
+        rf = make_rf(capacity=8)
+        for reg in range(4):
+            rf.write(0, reg + 1, [reg, 99, 5, 1, 2, 3, 4, reg])
+        assert rf.resident_vectors == 4
+
+
+class TestNullValueOptimisation:
+    def make_nvo(self, capacity=8):
+        return make_rf(capacity=capacity, detect_affine=False, nvo=True)
+
+    def test_partially_null_uniform_stays_in_srf(self):
+        rf = self.make_nvo()
+        meta = 0xABCD0001
+        rf.write(0, 5, [meta] * LANES)
+        rf.write(0, 5, [0] * LANES, active_mask=0b00001111)
+        assert not rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == [0, 0, 0, 0, meta, meta, meta, meta]
+
+    def test_null_overwritten_with_uniform_stays(self):
+        rf = self.make_nvo()
+        meta = 0x1234
+        rf.write(0, 5, [meta] * LANES, active_mask=0b11000000)
+        assert not rf.is_vector_resident(0, 5)
+        assert rf.read(0, 5)[0] == [0] * 6 + [meta] * 2
+
+    def test_two_distinct_values_need_vrf(self):
+        rf = self.make_nvo()
+        rf.write(0, 5, [0x1111] * LANES, active_mask=0b00001111)
+        rf.write(0, 5, [0x2222] * LANES, active_mask=0b11110000)
+        assert rf.is_vector_resident(0, 5)
+
+    def test_without_nvo_partial_null_needs_vrf(self):
+        rf = make_rf(detect_affine=False, nvo=False)
+        rf.write(0, 5, [0xABCD] * LANES)
+        rf.write(0, 5, [0] * LANES, active_mask=0b00001111)
+        assert rf.is_vector_resident(0, 5)
+
+    def test_nvo_recompression_from_vrf(self):
+        rf = self.make_nvo()
+        rf.write(0, 5, [1, 2, 3, 4, 5, 6, 7, 8])
+        assert rf.is_vector_resident(0, 5)
+        rf.write(0, 5, [0, 7, 0, 7, 0, 0, 0, 7])
+        assert not rf.is_vector_resident(0, 5)
+
+
+class TestSharedPool:
+    def test_two_register_files_share_capacity(self):
+        pool = SlotPool(2)
+        gp = CompressedRegFile(LANES, 32, pool, name="gp")
+        meta = CompressedRegFile(LANES, 33, pool, detect_affine=False, name="meta")
+        gp.write(0, 1, [7, 1, 9, 3, 5, 2, 8, 0])
+        gp.write(0, 2, [6, 2, 8, 4, 4, 3, 7, 1])
+        report = meta.write(0, 1, [1, 2, 3, 4, 5, 6, 7, 8])
+        assert report.spills == 1
+        assert gp.total_spills == 1  # victim came from the *other* file
+
+    def test_separate_pools_fragment(self):
+        # Without sharing, one full pool spills even though the other is empty.
+        gp = make_rf(capacity=1)
+        meta = make_rf(capacity=1, detect_affine=False)
+        gp.write(0, 1, [7, 1, 9, 3, 5, 2, 8, 0])
+        report = gp.write(0, 2, [6, 2, 8, 4, 4, 3, 7, 1])
+        assert report.spills == 1
+        assert meta.pool.used == 0
+
+
+class TestWriteRegularityCounters:
+    def test_uniform_and_affine_classified(self):
+        rf = make_rf()
+        rf.write(0, 1, [5] * LANES)                       # uniform
+        rf.write(0, 2, [10 + i for i in range(LANES)])    # affine
+        rf.write(0, 3, [7, 1, 9, 3, 5, 2, 8, 0])          # general
+        assert rf.writes_total == 3
+        assert rf.writes_uniform == 1
+        assert rf.writes_affine == 1
+
+    def test_partial_null_classified(self):
+        rf = make_rf(detect_affine=False, nvo=True)
+        rf.write(0, 1, [9] * LANES, active_mask=0b1111)
+        assert rf.writes_partial_null == 1
+
+    def test_counters_accumulate(self):
+        rf = make_rf()
+        for _ in range(10):
+            rf.write(0, 1, [3] * LANES)
+        assert rf.writes_total == 10
+        assert rf.writes_uniform == 10
+
+
+class TestPlainRegFile:
+    def test_roundtrip(self):
+        rf = PlainRegFile(LANES, 33)
+        rf.write(0, 5, [1 << 32] * LANES)
+        assert rf.read(0, 5)[0] == [1 << 32] * LANES
+
+    def test_masked_write(self):
+        rf = PlainRegFile(LANES, 32)
+        rf.write(0, 5, [5] * LANES)
+        rf.write(0, 5, [9] * LANES, active_mask=0b1)
+        assert rf.read(0, 5)[0] == [9] + [5] * 7
+
+    def test_never_spills(self):
+        rf = PlainRegFile(LANES, 33)
+        for reg in range(32):
+            rf.write(0, reg, [reg * 17 + i for i in range(LANES)])
+        assert rf.total_spills == 0
+        assert rf.resident_vectors == 0
+
+
+class TestWidthMasking:
+    def test_values_masked_to_width(self):
+        rf = CompressedRegFile(LANES, 33, SlotPool(4), detect_affine=False)
+        rf.write(0, 1, [(1 << 40) | 5] * LANES)
+        assert rf.read(0, 1)[0] == [((1 << 40) | 5) & ((1 << 33) - 1)] * LANES

@@ -1,0 +1,81 @@
+"""Tests for the compressed stack cache (paper section 4.4)."""
+
+from repro.isa.instructions import Instr, Op
+from repro.simt import SMConfig, StreamingMultiprocessor
+from repro.simt.config import STACK_BASE
+from repro.simt.stackcache import StackCache
+
+
+class TestStackCacheUnit:
+    def make(self):
+        return StackCache(base=0x1000, size_bytes=0x10000, lines=4,
+                          line_bytes=64)
+
+    def test_contains(self):
+        cache = self.make()
+        assert cache.contains(0x1000)
+        assert cache.contains(0x10FFF)
+        assert not cache.contains(0xFFF)
+        assert not cache.contains(0x11000)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access([0x1000, 0x1004], is_write=False) == [0x1000]
+        assert cache.access([0x1008], is_write=True) == []
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_warp_accesses_within_one_line_are_one_fill(self):
+        cache = self.make()
+        addrs = [0x1000 + 4 * i for i in range(8)]
+        assert len(cache.access(addrs, False)) == 1
+
+    def test_conflict_eviction_and_writeback(self):
+        cache = self.make()
+        cache.access([0x1000], True)
+        cache.access([0x1000 + 4 * 64], True)  # same index (4 lines * 64B)
+        cache.access([0x1000], True)
+        assert cache.misses == 3
+        assert cache.writebacks >= 1
+
+    def test_hit_rate(self):
+        cache = self.make()
+        cache.access([0x1000], False)
+        cache.access([0x1000], False)
+        cache.access([0x1000], False)
+        assert cache.hit_rate == 2 / 3
+
+
+class TestStackCacheIntegration:
+    def run_stack_traffic(self, enable):
+        cfg = SMConfig.baseline(num_warps=1, num_lanes=4,
+                                enable_stack_cache=enable)
+        sm = StreamingMultiprocessor(cfg)
+        # Each lane stores to and reloads from its own stack slot, twice.
+        prog = [
+            Instr(Op.SW, rs1=2, rs2=5, imm=0),
+            Instr(Op.LW, rd=6, rs1=2, imm=0),
+            Instr(Op.SW, rs1=2, rs2=6, imm=4),
+            Instr(Op.LW, rd=7, rs1=2, imm=4),
+            Instr(Op.HALT),
+        ]
+        sp = [STACK_BASE + 64 * t for t in range(4)]
+        tids = list(range(4))
+        sm.launch(prog, init_regs={2: sp, 5: tids})
+        return sm
+
+    def test_cache_absorbs_repeat_stack_traffic(self):
+        without = self.run_stack_traffic(enable=False)
+        with_cache = self.run_stack_traffic(enable=True)
+        assert with_cache.stack_cache.hits > 0
+        assert (with_cache.dram.stats.total_txns
+                < without.dram.stats.total_txns)
+
+    def test_correctness_is_unaffected(self):
+        sm = self.run_stack_traffic(enable=True)
+        for t in range(4):
+            assert sm.memory.read(STACK_BASE + 64 * t + 4, 4) == t
+
+    def test_disabled_by_default(self):
+        sm = StreamingMultiprocessor(SMConfig.baseline())
+        assert sm.stack_cache is None

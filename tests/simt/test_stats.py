@@ -1,0 +1,51 @@
+"""Unit tests for the stats collector's derived metrics."""
+
+from collections import Counter
+
+from repro.isa.instructions import Op
+from repro.simt.stats import SMStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = SMStats()
+        stats.cycles = 100
+        stats.instrs_issued = 80
+        assert stats.ipc == 0.8
+
+    def test_ipc_zero_cycles(self):
+        assert SMStats().ipc == 0.0
+
+    def test_dram_total(self):
+        stats = SMStats()
+        stats.dram_read_bytes = 100
+        stats.dram_write_bytes = 50
+        assert stats.dram_total_bytes == 150
+
+    def test_cap_regs_per_thread(self):
+        stats = SMStats()
+        assert stats.cap_regs_per_thread == 0
+        stats.note_cap_register(0, 5)
+        stats.note_cap_register(0, 6)
+        stats.note_cap_register(1, 5)
+        assert stats.cap_regs_per_thread == 2
+
+    def test_cheri_instr_fraction(self):
+        stats = SMStats()
+        stats.opcode_counts = Counter({Op.ADD: 90, Op.CLW: 10})
+        freq = stats.cheri_instr_fraction()
+        assert freq == {Op.CLW: 0.1}
+
+    def test_cheri_instr_fraction_empty(self):
+        assert SMStats().cheri_instr_fraction() == {}
+
+    def test_vrf_residency(self):
+        stats = SMStats()
+        stats.cycles = 100
+        stats.gp_vrf_occupancy_integral = 100 * 16  # 16 vectors resident
+        stats.meta_vrf_occupancy_integral = 100 * 4
+        assert stats.vrf_residency(64) == 0.25
+        assert stats.vrf_residency(64, metadata=True) == 0.0625
+
+    def test_vrf_residency_zero_cycles(self):
+        assert SMStats().vrf_residency(64) == 0.0

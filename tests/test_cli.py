@@ -1,0 +1,104 @@
+"""Tests for the command-line interface and tracing facility."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval.tracing import TraceRecorder, trace_kernel
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "VecAdd" in out and "MotionEst" in out
+
+    def test_run_benchmark(self, capsys):
+        assert main(["run", "VecAdd", "--warps", "2", "--lanes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "PASSED self test" in out
+        assert "cycles=" in out
+
+    def test_run_purecap(self, capsys):
+        assert main(["run", "Histogram", "--mode", "purecap",
+                     "--warps", "2", "--lanes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "capability registers/thread" in out
+
+    def test_listing(self, capsys):
+        assert main(["listing", "VecAdd", "--mode", "purecap"]) == 0
+        out = capsys.readouterr().out
+        assert "clw" in out and "halt" in out
+
+    def test_listing_baseline_has_no_cheri(self, capsys):
+        assert main(["listing", "VecAdd", "--mode", "baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "clw" not in out and "lw" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "VecAdd", "--warps", "2", "--lanes", "4",
+                     "--limit", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "instruction" in out
+        assert "w0" in out
+
+    def test_experiment_table3(self, capsys):
+        assert main(["experiment", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "126753" in out
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        assert "setBounds" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NotABenchmark"])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestTracing:
+    def make_runtime(self):
+        from repro.nocl import NoCLRuntime
+        from repro.simt import SMConfig
+        return NoCLRuntime("baseline",
+                           config=SMConfig.baseline(num_warps=2,
+                                                    num_lanes=4))
+
+    def test_trace_kernel_records_issues(self):
+        from repro.nocl import i32, kernel, ptr
+
+        @kernel
+        def tiny(a: ptr[i32]):
+            a[threadIdx.x] = threadIdx.x
+
+        rt = self.make_runtime()
+        buf = rt.alloc(i32, 8)
+        stats, recorder = trace_kernel(rt, tiny, 1, 4, [buf])
+        assert len(recorder) > 0
+        assert len(recorder) <= stats.instrs_issued
+        first = recorder.entries[0]
+        assert first.pc == 0
+        assert first.active_lanes == [0, 1, 2, 3]
+        # Tracing must be detached afterwards.
+        assert rt.sm.trace is None
+
+    def test_limit_and_dropped(self):
+        recorder = TraceRecorder(limit=2)
+        from repro.isa.instructions import Instr, Op
+        for i in range(5):
+            recorder.record(i, 0, 4 * i, Instr(Op.ADDI, rd=1, rs1=0, imm=0),
+                            [0])
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert "3 further issues" in recorder.render()
+
+    def test_warp_filter(self):
+        recorder = TraceRecorder(only_warp=1)
+        from repro.isa.instructions import Instr, Op
+        recorder.record(0, 0, 0, Instr(Op.HALT), [0])
+        recorder.record(0, 1, 0, Instr(Op.HALT), [0])
+        assert len(recorder) == 1
+        assert recorder.entries[0].warp == 1
