@@ -12,6 +12,18 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 
 
+@pytest.fixture(scope="session", autouse=True)
+def prewarm_runner_caches():
+    """Fill the runner's memo/disk caches before any experiment runs.
+
+    Cold simulations fan out across worker processes and land in the
+    persistent disk cache, so each individual experiment below is a pure
+    cache hit no matter which one pytest happens to schedule first.
+    """
+    from repro.eval.experiments import prewarm
+    prewarm()
+
+
 @pytest.fixture(scope="session")
 def results_dir():
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -1,0 +1,109 @@
+"""Measure runner wall-clock and write the BENCH_runner.json trajectory.
+
+Measures, in this order:
+
+1. ``cold_serial``   — ``run_suite("cheri_opt", scale=1, jobs=1)`` with the
+   memo empty and the disk cache bypassed: pure simulation speed.
+2. ``cold_parallel`` — the same suite from a fresh memo with the default
+   job count (``os.cpu_count()``), disk cache still bypassed.
+3. ``warm_disk``     — the same suite from a fresh memo with the disk
+   cache enabled and populated by a prior run.
+4. ``warm_memo``     — the same suite again in-process (memo hits only).
+
+Results append to ``BENCH_runner.json`` in the repository root so the
+performance trajectory of the simulator survives across commits.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_runner.py [--config cheri_opt]
+        [--scale 1] [--label "short description"]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_PATH = os.path.join(ROOT, "BENCH_runner.json")
+
+
+def _git_rev():
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except Exception:
+        return None
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--config", default="cheri_opt")
+    parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--label", default=None,
+                        help="free-form note stored with the record")
+    args = parser.parse_args(argv)
+
+    from repro.eval import runner
+
+    record = {
+        "config": args.config,
+        "scale": args.scale,
+        "git_rev": _git_rev(),
+        "cpu_count": os.cpu_count(),
+        "label": args.label,
+    }
+
+    # 1. cold serial: simulation speed only.
+    runner.set_disk_cache(False)
+    runner.clear_cache()
+    runner.RUNNER_STATS.reset()
+    start = time.perf_counter()
+    runner.run_suite(args.config, scale=args.scale, jobs=1)
+    record["cold_serial_seconds"] = round(time.perf_counter() - start, 3)
+
+    # 2. cold parallel (default job count; on a 1-CPU box this simply
+    # repeats the serial path).
+    runner.clear_cache()
+    runner.RUNNER_STATS.reset()
+    start = time.perf_counter()
+    runner.run_suite(args.config, scale=args.scale)
+    record["cold_parallel_seconds"] = round(time.perf_counter() - start, 3)
+
+    # 3. warm disk: populate, then read back from a fresh memo.
+    runner.set_disk_cache(True)
+    runner.clear_cache()
+    runner.run_suite(args.config, scale=args.scale, jobs=1)
+    runner.clear_cache()
+    runner.RUNNER_STATS.reset()
+    start = time.perf_counter()
+    runner.run_suite(args.config, scale=args.scale)
+    record["warm_disk_seconds"] = round(time.perf_counter() - start, 3)
+    record["warm_disk_counters"] = runner.RUNNER_STATS.snapshot()
+
+    # 4. warm memo.
+    start = time.perf_counter()
+    runner.run_suite(args.config, scale=args.scale)
+    record["warm_memo_seconds"] = round(time.perf_counter() - start, 3)
+
+    history = []
+    if os.path.exists(OUT_PATH):
+        try:
+            with open(OUT_PATH) as stream:
+                history = json.load(stream)
+        except (OSError, ValueError):
+            history = []
+    history.append(record)
+    with open(OUT_PATH, "w") as stream:
+        json.dump(history, stream, indent=2)
+        stream.write("\n")
+    print(json.dumps(record, indent=2))
+    print("appended to", OUT_PATH)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

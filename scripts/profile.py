@@ -1,0 +1,75 @@
+"""cProfile harness for the simulator hot path.
+
+Runs one benchmark/configuration under cProfile (bypassing every result
+cache, so the simulation really executes) and prints the top cumulative
+hot spots.  This is the tool that motivated the pipeline's decode-cached
+dispatch and the register files' incremental occupancy counters; keep
+using it before and after touching the issue loop.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile.py [BENCH] [CONFIG] [--top N]
+    PYTHONPATH=src python scripts/profile.py --suite [CONFIG]
+
+Defaults: MatMul under cheri_opt, top 20 by cumulative time.
+"""
+
+import argparse
+import os
+import sys
+
+# This file shadows the stdlib ``profile`` module (which cProfile imports)
+# when scripts/ leads sys.path; drop that entry before importing cProfile.
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path = [p for p in sys.path
+            if os.path.abspath(p or os.getcwd()) != _HERE]
+sys.modules.pop("profile", None)
+
+import cProfile  # noqa: E402
+import pstats  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmark", nargs="?", default="MatMul")
+    parser.add_argument("config", nargs="?", default="cheri_opt")
+    parser.add_argument("--top", type=int, default=20,
+                        help="rows of the profile to print (default 20)")
+    parser.add_argument("--suite", action="store_true",
+                        help="profile the whole suite instead of one "
+                             "benchmark")
+    parser.add_argument("--sort", default="cumulative",
+                        choices=("cumulative", "tottime", "ncalls"),
+                        help="pstats sort key")
+    parser.add_argument("--scale", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    from repro.eval import runner
+
+    # Profile real simulation work, not cache lookups.
+    runner.set_disk_cache(False)
+    runner.clear_cache()
+
+    if args.suite:
+        target = "runner.run_suite(%r, scale=%d, jobs=1)" % (args.config,
+                                                             args.scale)
+    else:
+        target = "runner.run_benchmark(%r, %r, scale=%d)" % (
+            args.benchmark, args.config, args.scale)
+    print("profiling:", target)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    if args.suite:
+        runner.run_suite(args.config, scale=args.scale, jobs=1)
+    else:
+        runner.run_benchmark(args.benchmark, args.config, scale=args.scale)
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 """Shared benchmark machinery."""
 
 import random
+import zlib
 
 
 class VerificationError(AssertionError):
@@ -25,8 +26,14 @@ class Benchmark:
         raise NotImplementedError
 
     def rng(self):
-        """Deterministic per-benchmark random stream (reproducible runs)."""
-        return random.Random(hash(self.name) & 0xFFFFFFFF)
+        """Deterministic per-benchmark random stream (reproducible runs).
+
+        Seeded by CRC32 of the benchmark name, not ``hash()``: string
+        hashing is randomised per process, and the on-disk result cache
+        needs identical inputs (hence identical simulated statistics) from
+        every process that runs the same benchmark.
+        """
+        return random.Random(zlib.crc32(self.name.encode("utf-8")))
 
     def full_block(self, rt):
         """blockDim occupying the entire SM (for shared-memory kernels)."""

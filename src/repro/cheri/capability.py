@@ -60,6 +60,14 @@ class Perms(IntFlag):
         return cls(value)
 
 
+#: Decoded (bounds, perms, otype, flags) per 32-bit metadata word.  The
+#: pipeline rebuilds capabilities from the split register files on every
+#: operand fetch, but distinct metadata words are few (value regularity,
+#: paper section 3.1), so the expensive field unpacking — in particular the
+#: ``Perms`` IntFlag construction — is done once per distinct word.
+_META_DECODE_CACHE = {}
+
+
 @dataclass(frozen=True)
 class Capability:
     """An immutable, decoded capability (the pipeline 'CapPipe' view)."""
@@ -70,6 +78,19 @@ class Capability:
     perms: Perms = Perms(0)
     otype: int = OTYPE_UNSEALED
     flags: int = 0
+
+    @classmethod
+    def _make(cls, tag, addr, bounds, perms, otype, flags):
+        """Construct without the frozen-dataclass ``__init__`` overhead.
+
+        Hot-path helper: writing the field dict directly skips six
+        ``object.__setattr__`` calls per capability.  Field semantics are
+        identical to the generated constructor.
+        """
+        cap = object.__new__(cls)
+        cap.__dict__.update(tag=tag, addr=addr, bounds=bounds, perms=perms,
+                            otype=otype, flags=flags)
+        return cap
 
     # -- derived views ----------------------------------------------------
 
@@ -103,14 +124,19 @@ class Capability:
         """The 32-bit metadata half of the CapMem format (no tag, no addr).
 
         This is exactly the value held in the capability-metadata register
-        file; uniform-vector detection compares these words.
+        file; uniform-vector detection compares these words.  The packed
+        word is memoised per instance (immutable fields, so it can never
+        change) because the pipeline re-packs on every register writeback.
         """
-        word = int(self.perms) & 0xFFF
-        word = (word << 4) | (self.otype & 0xF)
-        word = (word << 1) | (self.flags & 0x1)
-        word = (word << 1) | (self.bounds.ie & 0x1)
-        word = (word << 8) | (self.bounds.b_field & 0xFF)
-        word = (word << 6) | (self.bounds.t_field & 0x3F)
+        word = self.__dict__.get("_meta_word")
+        if word is None:
+            word = int(self.perms) & 0xFFF
+            word = (word << 4) | (self.otype & 0xF)
+            word = (word << 1) | (self.flags & 0x1)
+            word = (word << 1) | (self.bounds.ie & 0x1)
+            word = (word << 8) | (self.bounds.b_field & 0xFF)
+            word = (word << 6) | (self.bounds.t_field & 0x3F)
+            self.__dict__["_meta_word"] = word
         return word
 
     def to_mem(self):
@@ -131,26 +157,35 @@ class Capability:
     @classmethod
     def from_meta_word(cls, meta, addr, tag):
         """Rebuild a capability from a 32-bit metadata word + address + tag."""
-        t_field = meta & 0x3F
-        b_field = (meta >> 6) & 0xFF
-        ie = (meta >> 14) & 0x1
-        flags = (meta >> 15) & 0x1
-        otype = (meta >> 16) & 0xF
-        perms = Perms((meta >> 20) & 0xFFF)
-        return cls(
-            tag=tag,
-            addr=addr & _ADDR_MASK,
-            bounds=CapBounds(ie=ie, b_field=b_field, t_field=t_field),
-            perms=perms,
-            otype=otype,
-            flags=flags,
-        )
+        decoded = _META_DECODE_CACHE.get(meta)
+        if decoded is None:
+            decoded = (
+                CapBounds(ie=(meta >> 14) & 0x1, b_field=(meta >> 6) & 0xFF,
+                          t_field=meta & 0x3F),
+                Perms((meta >> 20) & 0xFFF),
+                (meta >> 16) & 0xF,   # otype
+                (meta >> 15) & 0x1,   # flags
+            )
+            _META_DECODE_CACHE[meta] = decoded
+        bounds, perms, otype, flags = decoded
+        cap = cls._make(tag, addr & _ADDR_MASK, bounds, perms, otype, flags)
+        cap.__dict__["_meta_word"] = meta & 0xFFFFFFFF
+        return cap
 
     # -- capability manipulation (the CHERI instruction semantics) ---------
 
+    def _with_addr_tag(self, addr, tag):
+        """Derive a copy with new address/tag (metadata word unchanged)."""
+        cap = Capability._make(tag, addr, self.bounds, self.perms,
+                               self.otype, self.flags)
+        word = self.__dict__.get("_meta_word")
+        if word is not None:
+            cap.__dict__["_meta_word"] = word
+        return cap
+
     def with_tag_cleared(self):
         """CClearTag: same bit pattern, tag cleared."""
-        return replace(self, tag=False)
+        return self._with_addr_tag(self.addr, False)
 
     def set_addr(self, new_addr):
         """CSetAddr/CIncOffset address update with representability check.
@@ -162,11 +197,11 @@ class Capability:
         """
         new_addr &= _ADDR_MASK
         tag = self.tag
-        if tag and self.is_sealed:
+        if tag and self.otype != OTYPE_UNSEALED:
             tag = False
         if tag and not concentrate.is_representable(self.bounds, self.addr, new_addr):
             tag = False
-        return replace(self, addr=new_addr, tag=tag)
+        return self._with_addr_tag(new_addr, tag)
 
     def inc_addr(self, offset):
         """CIncOffset: address += offset (mod 2**32), same checks as set_addr."""
@@ -203,20 +238,25 @@ class Capability:
     def and_perms(self, mask):
         """CAndPerm: intersect the permission set with ``mask``."""
         tag = self.tag and not self.is_sealed
-        return replace(self, perms=Perms(int(self.perms) & int(mask) & 0xFFF), tag=tag)
+        return Capability._make(tag, self.addr, self.bounds,
+                                Perms(int(self.perms) & int(mask) & 0xFFF),
+                                self.otype, self.flags)
 
     def set_flags(self, flags):
         """CSetFlags: replace the flags field."""
         tag = self.tag and not self.is_sealed
-        return replace(self, flags=flags & 0x1, tag=tag)
+        return Capability._make(tag, self.addr, self.bounds, self.perms,
+                                self.otype, flags & 0x1)
 
     def seal_entry(self):
         """CSealEntry: seal as a sentry (jump-target-only) capability."""
-        return replace(self, otype=OTYPE_SENTRY)
+        return Capability._make(self.tag, self.addr, self.bounds, self.perms,
+                                OTYPE_SENTRY, self.flags)
 
     def unseal_entry(self):
         """Implicit sentry unsealing performed by CJALR."""
-        return replace(self, otype=OTYPE_UNSEALED)
+        return Capability._make(self.tag, self.addr, self.bounds, self.perms,
+                                OTYPE_UNSEALED, self.flags)
 
 
 #: The canonical null capability: untagged, zero everywhere.

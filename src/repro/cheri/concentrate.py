@@ -26,6 +26,7 @@ The functions here mirror CheriCapLib (paper Figure 7):
 """
 
 from collections import namedtuple
+from functools import lru_cache
 
 #: Width of a capability address in bits (RV32).
 ADDR_BITS = 32
@@ -69,13 +70,16 @@ def _reconstruct_mantissas(bounds):
     return exp, b8, t8
 
 
+@lru_cache(maxsize=1 << 16)
 def decode_bounds(bounds, addr):
     """Decode absolute (base, top) bounds relative to ``addr``.
 
     ``base`` is a 32-bit value and ``top`` a 33-bit value (the top of the
     full address space is ``2**32``).  Decoding is total: any bit pattern
     yields some bounds, but only tagged capabilities (which are always
-    derived, hence canonical) are ever used for access checks.
+    derived, hence canonical) are ever used for access checks.  Decoding
+    is pure, and the pipeline re-checks the same few capabilities for
+    millions of accesses, so results are memoised.
     """
     exp, b8, t8 = _reconstruct_mantissas(bounds)
     shift = exp + _MW

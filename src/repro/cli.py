@@ -7,6 +7,7 @@ Commands:
 - ``listing BENCH``             — print a benchmark kernel's compiled assembly
 - ``trace BENCH``               — run with instruction tracing
 - ``experiment NAME``           — regenerate one table/figure
+- ``bench``                     — run the suite, report wall-clock + cycles
 - ``table3`` / ``headline``     — shortcuts for the area model / abstract
 """
 
@@ -134,8 +135,53 @@ def cmd_experiment(args):
     return 0
 
 
+def cmd_bench(args):
+    import time
+
+    from repro.eval import runner
+    if args.no_cache:
+        runner.set_disk_cache(False)
+    config_names = args.configs or ["cheri_opt"]
+    for config_name in config_names:
+        if config_name not in BENCH_CONFIGS:
+            print("unknown configuration %r (choose from %s)"
+                  % (config_name, ", ".join(BENCH_CONFIGS)), file=sys.stderr)
+            return 2
+    total_start = time.perf_counter()
+    for config_name in config_names:
+        start = time.perf_counter()
+        results = runner.run_suite(config_name, scale=args.scale,
+                                   jobs=args.jobs)
+        wall = time.perf_counter() - start
+        print("== %s (scale=%d): %.2fs wall ==" % (config_name, args.scale,
+                                                   wall))
+        print("%-12s %12s %10s %9s  %s" % ("benchmark", "cycles", "instrs",
+                                           "sim s", "source"))
+        for name, result in results.items():
+            meta = result.meta
+            print("%-12s %12d %10d %9.3f  %s"
+                  % (name, result.stats.cycles, result.stats.instrs_issued,
+                     meta.wall_seconds if meta else 0.0,
+                     meta.source if meta else "memo"))
+        print()
+    counters = runner.RUNNER_STATS.snapshot()
+    print("total %.2fs wall | cache: %d memo, %d disk, %d simulated "
+          "(%.2fs simulating)"
+          % (time.perf_counter() - total_start, counters["memo_hits"],
+             counters["disk_hits"], counters["misses"],
+             counters["sim_seconds"]))
+    print("disk cache: %s%s" % (runner.cache_dir(),
+                                " (disabled)" if args.no_cache else ""))
+    return 0
+
+
 EXPERIMENTS = ("fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14",
                "table2", "table3", "ablations", "headline")
+
+BENCH_CONFIGS = ("baseline", "cheri", "cheri_opt", "boundscheck",
+                 "cheri_opt_no_nvo", "cheri_opt_split_vrf",
+                 "cheri_opt_dual_port_srf", "cheri_opt_lane_bounds",
+                 "cheri_opt_dynamic_pcc")
 
 
 def build_parser():
@@ -164,6 +210,18 @@ def build_parser():
     experiment = sub.add_parser("experiment",
                                 help="regenerate a table or figure")
     experiment.add_argument("name", choices=EXPERIMENTS)
+
+    bench = sub.add_parser(
+        "bench", help="run the benchmark suite and report wall-clock")
+    bench.add_argument("configs", nargs="*", metavar="CONFIG",
+                       help="configurations to run, from: %s "
+                            "(default: cheri_opt)" % ", ".join(BENCH_CONFIGS))
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: cpu count)")
+    bench.add_argument("--scale", type=int, default=1,
+                       help="problem-size multiplier")
+    bench.add_argument("--no-cache", action="store_true",
+                       help="bypass the persistent disk cache")
     return parser
 
 
@@ -175,6 +233,7 @@ def main(argv=None):
         "listing": cmd_listing,
         "trace": cmd_trace,
         "experiment": cmd_experiment,
+        "bench": cmd_bench,
     }
     try:
         return handlers[args.command](args)

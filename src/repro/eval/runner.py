@@ -1,13 +1,36 @@
-"""Benchmark runner with memoised results.
+"""Benchmark runner: memoised, parallel, and disk-cached.
 
-Each (benchmark, configuration) simulation runs once per process; every
-experiment that needs it reuses the cached result.  The evaluation
-geometry is a scaled-down SM (8 warps x 8 lanes rather than the paper's
-64 x 32) so the full suite simulates in seconds; storage and area figures
-are always *reported* at the paper's geometry via the area model.
+Three layers keep experiment turnaround short:
+
+1. **In-process memo** — each (benchmark, mode, config, scale) simulation
+   runs once per process; every experiment that needs it reuses the
+   result.  The memo key includes the fully-resolved :class:`SMConfig`
+   (which embodies ``EVAL_GEOMETRY`` plus any overrides) and the runtime
+   mode, so editing the evaluation geometry or adding a config alias can
+   never alias two different simulations.
+2. **Parallel fan-out** — :func:`run_suite` distributes uncached runs
+   across worker processes (``jobs=`` controls the width, defaulting to
+   ``os.cpu_count()``); results are merged back into the memo.
+3. **Persistent disk cache** — finished runs are pickled under
+   ``results/.simcache/`` keyed by a content hash of the compiled kernel
+   binaries, the SMConfig fields, the scale, and a digest of the
+   simulator's own sources, so any change to the simulator, compiler, or
+   benchmark inputs invalidates stale entries automatically.  Disable
+   with :func:`set_disk_cache` (or ``--no-cache`` on the CLI) and wipe
+   with ``clear_cache(disk=True)``.
+
+The evaluation geometry is a scaled-down SM (32 warps x 8 lanes rather
+than the paper's 64 x 32) so the full suite simulates in seconds; storage
+and area figures are always *reported* at the paper's geometry via the
+area model.
 """
 
-from dataclasses import dataclass
+import hashlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
 
 from repro.benchsuite import ALL_BENCHMARKS, BENCHMARK_NAMES
 from repro.nocl import NoCLRuntime
@@ -21,6 +44,10 @@ EVAL_GEOMETRY = dict(num_warps=32, num_lanes=8)
 
 #: The named configurations of the evaluation (paper section 4.1 + 4.7).
 CONFIG_NAMES = ("baseline", "cheri", "cheri_opt", "boundscheck")
+
+#: Manual salt for the on-disk cache format.  Bump when the pickle layout
+#: of RunResult/SMStats changes in a way the source digest cannot see.
+_DISK_FORMAT = 1
 
 
 def config_for(name, **overrides):
@@ -58,6 +85,14 @@ def config_for(name, **overrides):
 
 
 @dataclass
+class RunMeta:
+    """Provenance of one RunResult: where it came from and what it cost."""
+
+    source: str = "sim"        # "sim" | "disk"
+    wall_seconds: float = 0.0  # simulation wall-clock (0.0 for disk hits)
+
+
+@dataclass
 class RunResult:
     """One verified benchmark run."""
 
@@ -66,35 +101,259 @@ class RunResult:
     mode: str
     stats: SMStats
     config: SMConfig
+    meta: RunMeta = None
 
+
+@dataclass
+class RunnerStats:
+    """Process-wide cache behaviour and simulation-time counters."""
+
+    memo_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    sim_seconds: float = 0.0
+
+    def snapshot(self):
+        return dict(memo_hits=self.memo_hits, disk_hits=self.disk_hits,
+                    misses=self.misses,
+                    sim_seconds=round(self.sim_seconds, 3))
+
+    def reset(self):
+        self.memo_hits = self.disk_hits = self.misses = 0
+        self.sim_seconds = 0.0
+
+
+#: Counters for this process (reset with ``RUNNER_STATS.reset()``).
+RUNNER_STATS = RunnerStats()
 
 _CACHE = {}
+_disk_enabled = True
+
+#: Source trees whose content participates in the disk-cache key: any
+#: edit to the simulator, ISA, compiler, or benchmark inputs must
+#: invalidate previously cached statistics.
+_DIGEST_PACKAGES = ("simt", "cheri", "memory", "isa", "nocl", "benchsuite")
 
 
-def clear_cache():
+def set_disk_cache(enabled):
+    """Globally enable/disable the persistent disk cache."""
+    global _disk_enabled
+    _disk_enabled = bool(enabled)
+
+
+def cache_dir():
+    """Location of the persistent result cache (``results/.simcache``)."""
+    override = os.environ.get("REPRO_SIMCACHE_DIR")
+    if override:
+        return override
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(root, "results", ".simcache")
+
+
+def clear_cache(disk=False):
+    """Drop the in-process memo (and optionally the on-disk cache)."""
     _CACHE.clear()
+    if disk:
+        directory = cache_dir()
+        if os.path.isdir(directory):
+            for entry in os.listdir(directory):
+                if entry.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(directory, entry))
+                    except OSError:
+                        pass
 
 
-def run_benchmark(name, config_name, scale=1, **overrides):
-    """Run one benchmark under a named configuration (memoised)."""
-    key = (name, config_name, scale, tuple(sorted(overrides.items())))
-    if key in _CACHE:
-        return _CACHE[key]
-    mode, config = config_for(config_name, **overrides)
+_sources_digest_memo = None
+
+
+def _sources_digest():
+    """SHA-256 over every simulator source file (cache-key ingredient)."""
+    global _sources_digest_memo
+    if _sources_digest_memo is None:
+        import repro
+        pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        h.update(b"format:%d" % _DISK_FORMAT)
+        for package in _DIGEST_PACKAGES:
+            base = os.path.join(pkg_root, package)
+            for dirpath, dirnames, filenames in os.walk(base):
+                dirnames.sort()
+                for filename in sorted(filenames):
+                    if not filename.endswith(".py"):
+                        continue
+                    path = os.path.join(dirpath, filename)
+                    h.update(os.path.relpath(path, pkg_root).encode())
+                    with open(path, "rb") as stream:
+                        h.update(stream.read())
+        _sources_digest_memo = h.digest()
+    return _sources_digest_memo
+
+
+def _kernel_digest(name, mode):
+    """Hash of the benchmark's compiled kernel binaries under ``mode``.
+
+    The kernels are discovered the same way the CLI's ``listing`` command
+    finds them: every :class:`KernelSource` bound in the benchmark's
+    module.  Compiling is milliseconds; simulating is seconds, so paying
+    a compile per cache probe is a bargain for content-exact keys.
+    """
+    import inspect
+
+    from repro.nocl.compiler import compile_kernel
+    from repro.nocl.dsl import KernelSource
     bench = ALL_BENCHMARKS[name]
-    rt = NoCLRuntime(mode, config=config)
-    stats = bench.run(rt, scale=scale)
-    result = RunResult(name, config_name, mode, stats, config)
-    _CACHE[key] = result
+    mod = inspect.getmodule(type(bench))
+    h = hashlib.sha256()
+    for attr, obj in sorted(vars(mod).items()):
+        if isinstance(obj, KernelSource):
+            words = compile_kernel(obj, mode).to_binary()
+            h.update(attr.encode())
+            h.update(repr(words).encode())
+    return h.digest()
+
+
+def _disk_key(name, mode, config, scale):
+    h = hashlib.sha256()
+    h.update(_sources_digest())
+    h.update(repr((name, mode, scale,
+                   sorted(asdict(config).items()))).encode())
+    h.update(_kernel_digest(name, mode))
+    return h.hexdigest()
+
+
+def _disk_load(name, config_name, mode, config, scale):
+    path = os.path.join(cache_dir(),
+                        _disk_key(name, mode, config, scale) + ".pkl")
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "rb") as stream:
+            result = pickle.load(stream)
+    except Exception:
+        # Corrupt/truncated entry: treat as a miss and drop it.
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    # Re-label: different config aliases can resolve to the same content
+    # key (e.g. an overridden cheri_opt equals an ablation config).
+    result.config_name = config_name
+    result.meta = RunMeta(source="disk", wall_seconds=0.0)
     return result
 
 
-def run_suite(config_name, scale=1, **overrides):
-    """Run the whole Table 1 suite under one configuration."""
-    return {
-        name: run_benchmark(name, config_name, scale, **overrides)
-        for name in BENCHMARK_NAMES
-    }
+def _disk_store(result, mode, scale):
+    directory = cache_dir()
+    path = os.path.join(
+        directory,
+        _disk_key(result.benchmark, mode, result.config, scale) + ".pkl")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        tmp = path + ".tmp.%d" % os.getpid()
+        with open(tmp, "wb") as stream:
+            pickle.dump(result, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        pass  # a read-only checkout never blocks experiments
+
+
+def _simulate(name, config_name, mode, config, scale):
+    bench = ALL_BENCHMARKS[name]
+    rt = NoCLRuntime(mode, config=config)
+    start = time.perf_counter()
+    stats = bench.run(rt, scale=scale)
+    elapsed = time.perf_counter() - start
+    return RunResult(name, config_name, mode, stats, config,
+                     meta=RunMeta(source="sim", wall_seconds=elapsed))
+
+
+def run_benchmark(name, config_name, scale=1, **overrides):
+    """Run one benchmark under a named configuration (memoised).
+
+    Results come from, in order: the in-process memo, the persistent disk
+    cache (unless disabled), or a fresh simulation.  ``overrides`` are
+    :class:`SMConfig` field overrides applied on top of the evaluation
+    geometry.
+    """
+    mode, config = config_for(config_name, **overrides)
+    key = (name, config_name, mode, config, scale)
+    result = _CACHE.get(key)
+    if result is not None:
+        RUNNER_STATS.memo_hits += 1
+        return result
+    if _disk_enabled:
+        result = _disk_load(name, config_name, mode, config, scale)
+        if result is not None:
+            RUNNER_STATS.disk_hits += 1
+            _CACHE[key] = result
+            return result
+    RUNNER_STATS.misses += 1
+    result = _simulate(name, config_name, mode, config, scale)
+    RUNNER_STATS.sim_seconds += result.meta.wall_seconds
+    _CACHE[key] = result
+    if _disk_enabled:
+        _disk_store(result, mode, scale)
+    return result
+
+
+def _worker_run(name, config_name, scale, overrides_items):
+    """Top-level worker entry point (must be picklable)."""
+    return run_benchmark(name, config_name, scale, **dict(overrides_items))
+
+
+def run_suite(config_name, scale=1, jobs=None, **overrides):
+    """Run the whole Table 1 suite under one configuration.
+
+    ``jobs`` bounds the number of worker processes used for runs that are
+    in neither the memo nor the disk cache; ``None`` means
+    ``os.cpu_count()`` and ``1`` forces a serial in-process run.  Worker
+    results are merged into the in-process memo (and the disk cache), so
+    repeated calls are hits regardless of how the first call ran.
+    """
+    results = {}
+    pending = []
+    for name in BENCHMARK_NAMES:
+        mode, config = config_for(config_name, **overrides)
+        key = (name, config_name, mode, config, scale)
+        cached = _CACHE.get(key)
+        if cached is None and _disk_enabled:
+            cached = _disk_load(name, config_name, mode, config, scale)
+            if cached is not None:
+                RUNNER_STATS.disk_hits += 1
+                _CACHE[key] = cached
+        elif cached is not None:
+            RUNNER_STATS.memo_hits += 1
+        if cached is not None:
+            results[name] = cached
+        else:
+            pending.append((name, key))
+    if pending:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs > 1 and len(pending) > 1:
+            overrides_items = tuple(sorted(overrides.items()))
+            with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending))) as pool:
+                futures = [
+                    (name, key,
+                     pool.submit(_worker_run, name, config_name, scale,
+                                 overrides_items))
+                    for name, key in pending
+                ]
+                for name, key, future in futures:
+                    result = future.result()
+                    RUNNER_STATS.misses += 1
+                    RUNNER_STATS.sim_seconds += result.meta.wall_seconds
+                    _CACHE[key] = result
+                    results[name] = result
+        else:
+            for name, _key in pending:
+                results[name] = run_benchmark(name, config_name, scale,
+                                              **overrides)
+    return {name: results[name] for name in BENCHMARK_NAMES}
 
 
 def geomean(values):

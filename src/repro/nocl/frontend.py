@@ -698,7 +698,14 @@ class Frontend:
             if op_ast is ast.LShift and 0 <= b < 32:
                 return (a << b) & mask
             if op_ast is ast.RShift and 0 <= b < 32:
-                return (a & mask) >> b if unsigned else (a >> b) & mask
+                a &= mask
+                if unsigned:
+                    return a >> b
+                # Folded constants are stored as 32-bit patterns:
+                # sign-extend before an arithmetic shift.
+                if a & 0x80000000:
+                    a -= 1 << 32
+                return (a >> b) & mask
         except TypeError:
             return None
         return None

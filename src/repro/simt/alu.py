@@ -35,46 +35,91 @@ def f32_to_bits(value):
 
 
 # -- integer ---------------------------------------------------------------
+# One function per operation: the pipeline caches the function for each
+# static instruction, so the per-lane hot path is a direct call with no
+# name dispatch.
+
+
+def _int_add(a, b):
+    return (a + b) & MASK32
+
+
+def _int_sub(a, b):
+    return (a - b) & MASK32
+
+
+def _int_sll(a, b):
+    return (a << (b & 31)) & MASK32
+
+
+def _int_srl(a, b):
+    return (a & MASK32) >> (b & 31)
+
+
+def _int_sra(a, b):
+    return (to_signed(a) >> (b & 31)) & MASK32
+
+
+def _int_xor(a, b):
+    return (a ^ b) & MASK32
+
+
+def _int_or(a, b):
+    return (a | b) & MASK32
+
+
+def _int_and(a, b):
+    return (a & b) & MASK32
+
+
+def _int_slt(a, b):
+    return 1 if to_signed(a) < to_signed(b) else 0
+
+
+def _int_sltu(a, b):
+    return 1 if (a & MASK32) < (b & MASK32) else 0
+
+
+def _int_mul(a, b):
+    return (a * b) & MASK32
+
+
+def _int_mulh(a, b):
+    return ((to_signed(a) * to_signed(b)) >> 32) & MASK32
+
+
+def _int_mulhsu(a, b):
+    return ((to_signed(a) * (b & MASK32)) >> 32) & MASK32
+
+
+def _int_mulhu(a, b):
+    return (((a & MASK32) * (b & MASK32)) >> 32) & MASK32
+
+
+def _int_divu(a, b):
+    return MASK32 if (b & MASK32) == 0 else (a & MASK32) // (b & MASK32)
+
+
+def _int_remu(a, b):
+    return (a & MASK32) if (b & MASK32) == 0 else (a & MASK32) % (b & MASK32)
+
+
+#: op name -> two-source integer function (the pipeline dispatch table).
+INT_FNS = {
+    "add": _int_add, "sub": _int_sub, "sll": _int_sll, "srl": _int_srl,
+    "sra": _int_sra, "xor": _int_xor, "or": _int_or, "and": _int_and,
+    "slt": _int_slt, "sltu": _int_sltu, "mul": _int_mul, "mulh": _int_mulh,
+    "mulhsu": _int_mulhsu, "mulhu": _int_mulhu, "divu": _int_divu,
+    "remu": _int_remu,
+}
+
 
 def int_op(op_name, a, b):
     """Two-source RV32IM integer operation on 32-bit patterns."""
-    if op_name == "add":
-        return to_u32(a + b)
-    if op_name == "sub":
-        return to_u32(a - b)
-    if op_name == "sll":
-        return to_u32(a << (b & 31))
-    if op_name == "srl":
-        return to_u32(a) >> (b & 31)
-    if op_name == "sra":
-        return to_u32(to_signed(a) >> (b & 31))
-    if op_name == "xor":
-        return to_u32(a ^ b)
-    if op_name == "or":
-        return to_u32(a | b)
-    if op_name == "and":
-        return to_u32(a & b)
-    if op_name == "slt":
-        return 1 if to_signed(a) < to_signed(b) else 0
-    if op_name == "sltu":
-        return 1 if to_u32(a) < to_u32(b) else 0
-    if op_name == "mul":
-        return to_u32(a * b)
-    if op_name == "mulh":
-        return to_u32((to_signed(a) * to_signed(b)) >> 32)
-    if op_name == "mulhsu":
-        return to_u32((to_signed(a) * to_u32(b)) >> 32)
-    if op_name == "mulhu":
-        return to_u32((to_u32(a) * to_u32(b)) >> 32)
-    if op_name == "div":
-        return _div_signed(a, b)
-    if op_name == "divu":
-        return MASK32 if to_u32(b) == 0 else to_u32(a) // to_u32(b)
-    if op_name == "rem":
-        return _rem_signed(a, b)
-    if op_name == "remu":
-        return to_u32(a) if to_u32(b) == 0 else to_u32(a) % to_u32(b)
-    raise ValueError("unknown int op %r" % op_name)
+    fn = INT_FNS.get(op_name)
+    if fn is None:
+        raise ValueError("unknown int op %r" % op_name)
+    return fn(a, b)
 
 
 def _div_signed(a, b):
@@ -101,68 +146,142 @@ def _rem_signed(a, b):
     return to_u32(remainder)
 
 
+INT_FNS["div"] = _div_signed
+INT_FNS["rem"] = _rem_signed
+
+
+def _br_beq(a, b):
+    return a == b
+
+
+def _br_bne(a, b):
+    return a != b
+
+
+def _br_blt(a, b):
+    return to_signed(a) < to_signed(b)
+
+
+def _br_bge(a, b):
+    return to_signed(a) >= to_signed(b)
+
+
+def _br_bltu(a, b):
+    return (a & MASK32) < (b & MASK32)
+
+
+def _br_bgeu(a, b):
+    return (a & MASK32) >= (b & MASK32)
+
+
+#: branch name -> condition function (the pipeline dispatch table).
+BRANCH_FNS = {
+    "beq": _br_beq, "bne": _br_bne, "blt": _br_blt, "bge": _br_bge,
+    "bltu": _br_bltu, "bgeu": _br_bgeu,
+}
+
+
 def branch_taken(op_name, a, b):
     """Branch condition on 32-bit patterns."""
-    if op_name == "beq":
-        return a == b
-    if op_name == "bne":
-        return a != b
-    if op_name == "blt":
-        return to_signed(a) < to_signed(b)
-    if op_name == "bge":
-        return to_signed(a) >= to_signed(b)
-    if op_name == "bltu":
-        return to_u32(a) < to_u32(b)
-    if op_name == "bgeu":
-        return to_u32(a) >= to_u32(b)
-    raise ValueError("unknown branch %r" % op_name)
+    fn = BRANCH_FNS.get(op_name)
+    if fn is None:
+        raise ValueError("unknown branch %r" % op_name)
+    return fn(a, b)
 
 
 # -- floating point (binary32 via bit patterns) ------------------------------
 
+def _f_fadd(a_bits, b_bits=0):
+    return f32_to_bits(bits_to_f32(a_bits) + bits_to_f32(b_bits))
+
+
+def _f_fsub(a_bits, b_bits=0):
+    return f32_to_bits(bits_to_f32(a_bits) - bits_to_f32(b_bits))
+
+
+def _f_fmul(a_bits, b_bits=0):
+    return f32_to_bits(bits_to_f32(a_bits) * bits_to_f32(b_bits))
+
+
+def _f_fdiv(a_bits, b_bits=0):
+    a, b = bits_to_f32(a_bits), bits_to_f32(b_bits)
+    if b == 0.0:
+        return f32_to_bits(math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
+    return f32_to_bits(a / b)
+
+
+def _f_fsqrt(a_bits, b_bits=0):
+    a = bits_to_f32(a_bits)
+    if a < 0.0:
+        return f32_to_bits(math.nan)
+    return f32_to_bits(math.sqrt(a))
+
+
+def _f_fmin(a_bits, b_bits=0):
+    return f32_to_bits(min(bits_to_f32(a_bits), bits_to_f32(b_bits)))
+
+
+def _f_fmax(a_bits, b_bits=0):
+    return f32_to_bits(max(bits_to_f32(a_bits), bits_to_f32(b_bits)))
+
+
+def _f_feq(a_bits, b_bits=0):
+    return 1 if bits_to_f32(a_bits) == bits_to_f32(b_bits) else 0
+
+
+def _f_flt(a_bits, b_bits=0):
+    return 1 if bits_to_f32(a_bits) < bits_to_f32(b_bits) else 0
+
+
+def _f_fle(a_bits, b_bits=0):
+    return 1 if bits_to_f32(a_bits) <= bits_to_f32(b_bits) else 0
+
+
+def _f_fsgnj(a_bits, b_bits=0):
+    return (a_bits & 0x7FFFFFFF) | (b_bits & 0x80000000)
+
+
+def _f_fsgnjn(a_bits, b_bits=0):
+    return (a_bits & 0x7FFFFFFF) | (~b_bits & 0x80000000)
+
+
+def _f_fsgnjx(a_bits, b_bits=0):
+    return a_bits ^ (b_bits & 0x80000000)
+
+
+def _f_fcvt_w_s(a_bits, b_bits=0):
+    return to_u32(_clamp_int(bits_to_f32(a_bits), -(1 << 31), (1 << 31) - 1))
+
+
+def _f_fcvt_wu_s(a_bits, b_bits=0):
+    return to_u32(_clamp_int(bits_to_f32(a_bits), 0, MASK32))
+
+
+def _f_fcvt_s_w(a_bits, b_bits=0):
+    return f32_to_bits(float(to_signed(a_bits)))
+
+
+def _f_fcvt_s_wu(a_bits, b_bits=0):
+    return f32_to_bits(float(to_u32(a_bits)))
+
+
+#: float op name -> function on 32-bit patterns (the pipeline dispatch
+#: table; unary ops ignore the second operand).
+FLOAT_FNS = {
+    "fadd": _f_fadd, "fsub": _f_fsub, "fmul": _f_fmul, "fdiv": _f_fdiv,
+    "fsqrt": _f_fsqrt, "fmin": _f_fmin, "fmax": _f_fmax, "feq": _f_feq,
+    "flt": _f_flt, "fle": _f_fle, "fsgnj": _f_fsgnj, "fsgnjn": _f_fsgnjn,
+    "fsgnjx": _f_fsgnjx, "fcvt.w.s": _f_fcvt_w_s, "fcvt.wu.s": _f_fcvt_wu_s,
+    "fcvt.s.w": _f_fcvt_s_w, "fcvt.s.wu": _f_fcvt_s_wu,
+}
+
+
 def float_op(op_name, a_bits, b_bits=0):
     """Zfinx single-precision operation on/to 32-bit patterns."""
-    a = bits_to_f32(a_bits)
-    b = bits_to_f32(b_bits)
-    if op_name == "fadd":
-        return f32_to_bits(a + b)
-    if op_name == "fsub":
-        return f32_to_bits(a - b)
-    if op_name == "fmul":
-        return f32_to_bits(a * b)
-    if op_name == "fdiv":
-        if b == 0.0:
-            return f32_to_bits(math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
-        return f32_to_bits(a / b)
-    if op_name == "fsqrt":
-        if a < 0.0:
-            return f32_to_bits(math.nan)
-        return f32_to_bits(math.sqrt(a))
-    if op_name == "fmin":
-        return f32_to_bits(min(a, b))
-    if op_name == "fmax":
-        return f32_to_bits(max(a, b))
-    if op_name == "feq":
-        return 1 if a == b else 0
-    if op_name == "flt":
-        return 1 if a < b else 0
-    if op_name == "fle":
-        return 1 if a <= b else 0
-    if op_name == "fsgnj":
-        return (a_bits & 0x7FFFFFFF) | (b_bits & 0x80000000)
-    if op_name == "fsgnjn":
-        return (a_bits & 0x7FFFFFFF) | (~b_bits & 0x80000000)
-    if op_name == "fsgnjx":
-        return a_bits ^ (b_bits & 0x80000000)
-    if op_name == "fcvt.w.s":
-        return to_u32(_clamp_int(a, -(1 << 31), (1 << 31) - 1))
-    if op_name == "fcvt.wu.s":
-        return to_u32(_clamp_int(a, 0, MASK32))
-    if op_name == "fcvt.s.w":
-        return f32_to_bits(float(to_signed(a_bits)))
-    if op_name == "fcvt.s.wu":
-        return f32_to_bits(float(to_u32(a_bits)))
-    raise ValueError("unknown float op %r" % op_name)
+    fn = FLOAT_FNS.get(op_name)
+    if fn is None:
+        raise ValueError("unknown float op %r" % op_name)
+    return fn(a_bits, b_bits)
 
 
 def _clamp_int(value, lo, hi):

@@ -18,6 +18,13 @@ Models the SIMTight SM of paper Figure 2 at cycle level:
 All CHERI checks (tag, seal, permission, bounds) are enforced exactly; a
 failed check aborts the kernel with a :class:`KernelAbort` carrying the
 precise fault.
+
+Dispatch is decode-cached: at launch every static instruction is decoded
+once into a ``(handler, aux)`` pair — the handler is a bound method for
+the instruction's execution group and ``aux`` carries the pre-resolved
+per-lane function and immediates — so the issue loop never re-classifies
+an opcode.  This changes no simulated statistic; it only removes Python
+interpreter overhead from the hot path.
 """
 
 from repro.cheri.capability import Capability, Perms
@@ -106,6 +113,48 @@ _AMO_FN = {
     Op.AMOMAXU_W: lambda old, v: max(old, v),
 }
 
+# Decode-time dispatch tables: op -> per-lane function.  Resolved once at
+# module import so the handlers call straight through with no name lookup.
+_INT_R_FN = {op: alu.INT_FNS[name] for op, name in _INT_R.items()}
+_INT_I_FN = {op: alu.INT_FNS[name] for op, name in _INT_I.items()}
+_FLOAT_RR_FN = {op: alu.FLOAT_FNS[name] for op, name in _FLOAT_RR.items()}
+_FLOAT_UNARY_FN = {op: alu.FLOAT_FNS[name] for op, name in _FLOAT_UNARY.items()}
+_BRANCH_FN = {op: alu.BRANCH_FNS[op.name.lower()] for op in BRANCH_OPS}
+
+_SIGNED_LOADS = (Op.LB, Op.LH, Op.CLB, Op.CLH)
+
+_CGET_FN = {
+    Op.CGETTAG: lambda cap: int(cap.tag),
+    Op.CGETPERM: lambda cap: int(cap.perms),
+    Op.CGETBASE: lambda cap: cap.base,
+    Op.CGETLEN: lambda cap: min(cap.length, MASK32),
+    Op.CGETADDR: lambda cap: cap.addr,
+    Op.CGETTYPE: lambda cap: cap.otype,
+    Op.CGETSEALED: lambda cap: int(cap.is_sealed),
+    Op.CGETFLAGS: lambda cap: cap.flags,
+}
+_CRR_FN = {
+    Op.CRRL: lambda v: min(concentrate.crrl(v), MASK32),
+    Op.CRAM: concentrate.crml,
+}
+_CMOD1_FN = {
+    Op.CCLEARTAG: lambda cap: cap.with_tag_cleared(),
+    Op.CMOVE: lambda cap: cap,
+    Op.CSEALENTRY: lambda cap: cap.seal_entry(),
+}
+_CMOD2_FN = {
+    Op.CANDPERM: lambda cap, v: cap.and_perms(v),
+    Op.CSETFLAGS: lambda cap, v: cap.set_flags(v),
+    Op.CSETADDR: lambda cap, v: cap.set_addr(v),
+    Op.CINCOFFSET: lambda cap, v: cap.inc_addr(v),
+    Op.CSETBOUNDS: lambda cap, v: cap.set_bounds(cap.addr, v)[0],
+    Op.CSETBOUNDSEXACT: lambda cap, v: cap.set_bounds(cap.addr, v, exact=True)[0],
+}
+_CIMM_FN = {
+    Op.CINCOFFSETIMM: lambda cap, imm: cap.inc_addr(imm),
+    Op.CSETBOUNDSIMM: lambda cap, imm: cap.set_bounds(cap.addr, imm)[0],
+}
+
 
 class _Warp:
     """Mutable per-warp state."""
@@ -150,8 +199,18 @@ class StreamingMultiprocessor:
         self._build_regfiles()
         self.stats = SMStats()
         self.program = []
+        self._decoded = []
         self._pcc_cache = {}
-        self._lane_range = range(self.cfg.num_lanes)
+        self._num_lanes = self.cfg.num_lanes
+        self._lane_range = range(self._num_lanes)
+        #: Canonical all-active lane list (shared, never mutated).
+        self._all_lanes = list(self._lane_range)
+        self._full_mask = (1 << self._num_lanes) - 1
+        #: Canonical zero vector returned for reads of register 0
+        #: (shared, never mutated by any caller).
+        self._zero_lanes = [0] * self._num_lanes
+        self._dynamic_pcc = (self.cfg.enable_cheri
+                             and not self.cfg.static_pc_metadata)
         #: Optional instruction-trace sink: an object with a
         #: ``record(cycle, warp, pc, instr, lanes)`` method.
         self.trace = None
@@ -193,6 +252,9 @@ class StreamingMultiprocessor:
         """
         cfg = self.cfg
         self.program = list(program)
+        # Decode every static instruction once (multi-kernel safe: redone
+        # per launch because the program changes).
+        self._decoded = [self._decode_instr(instr) for instr in self.program]
         if cfg.num_warps % warps_per_block:
             raise ValueError("warps_per_block must divide num_warps")
         self.warps = [
@@ -216,18 +278,21 @@ class StreamingMultiprocessor:
         self.sfu.reset_timing()
         rotation = 0
         live = cfg.num_warps
+        warps = self.warps
+        count = cfg.num_warps
+        issue = self._issue
         try:
             while live:
                 picked = None
-                for offset in self._warp_order(rotation):
-                    warp = self.warps[offset]
+                for i in range(count):
+                    warp = warps[(rotation + i) % count]
                     if not warp.done and not warp.in_barrier and \
                             warp.ready_at <= cycle:
                         picked = warp
                         break
                 if picked is None:
                     next_ready = min(
-                        (w.ready_at for w in self.warps
+                        (w.ready_at for w in warps
                          if not w.done and not w.in_barrier),
                         default=None,
                     )
@@ -237,7 +302,7 @@ class StreamingMultiprocessor:
                     cycle = max(cycle + 1, next_ready)
                     continue
                 rotation = picked.index + 1
-                cycle = self._issue(picked, cycle)
+                cycle = issue(picked, cycle)
                 if picked.done:
                     live -= 1
                 if cycle > max_cycles:
@@ -251,10 +316,6 @@ class StreamingMultiprocessor:
         self.stats.cycles += cycle
         self._finalise_stats()
         return self.stats
-
-    def _warp_order(self, rotation):
-        count = self.cfg.num_warps
-        return ((rotation + i) % count for i in range(count))
 
     def _install_registers(self, init_regs, init_cap_regs):
         cfg = self.cfg
@@ -307,23 +368,40 @@ class StreamingMultiprocessor:
     # ------------------------------------------------------------------
 
     def _select_threads(self, warp):
-        dynamic_pcc = (self.cfg.enable_cheri
-                       and not self.cfg.static_pc_metadata)
+        pcs = warp.pcs
+        halted = warp.halted
+        num_lanes = self._num_lanes
+        # Fast path: no lane halted and all lanes converged.  This is the
+        # overwhelmingly common case for the regular kernels the paper
+        # evaluates, and avoids building the per-group dict.
+        if True not in halted:
+            pc = pcs[0]
+            if pcs.count(pc) == num_lanes:
+                if not self._dynamic_pcc:
+                    return pc, self._all_lanes
+                metas = warp.pcc_meta
+                if metas.count(metas[0]) == num_lanes:
+                    return pc, self._all_lanes
+        dynamic_pcc = self._dynamic_pcc
         groups = {}
         for lane in self._lane_range:
-            if warp.halted[lane]:
+            if halted[lane]:
                 continue
-            pc = warp.pcs[lane]
+            pc = pcs[lane]
             meta = warp.pcc_meta[lane] if dynamic_pcc else 0
             groups.setdefault((pc, meta), []).append(lane)
         if not groups:
             return None, None
-        # Deepest nesting level first, then lowest PC (convergence).
-        def priority(item):
-            (pc, _meta), _lanes = item
-            return (self._depth_at(pc), -pc)
-        (pc, _meta), lanes = max(groups.items(), key=priority)
-        return pc, lanes
+        # Deepest nesting level first, then lowest PC (convergence); the
+        # strict > keeps max()'s first-maximal tie behaviour.
+        best = None
+        best_priority = None
+        for (pc, _meta), group_lanes in groups.items():
+            priority = (self._depth_at(pc), -pc)
+            if best_priority is None or priority > best_priority:
+                best_priority = priority
+                best = (pc, group_lanes)
+        return best
 
     def _depth_at(self, pc):
         index = pc >> 2
@@ -355,6 +433,7 @@ class StreamingMultiprocessor:
 
     def _issue(self, warp, cycle):
         cfg = self.cfg
+        stats = self.stats
         pc, lanes = self._select_threads(warp)
         if pc is None:
             warp.done = True
@@ -376,27 +455,31 @@ class StreamingMultiprocessor:
         self._gp_vec_touch = False
         self._meta_vec_touch = False
 
-        mask = 0
-        for lane in lanes:
-            mask |= 1 << lane
+        if lanes is self._all_lanes:
+            mask = self._full_mask
+        else:
+            mask = 0
+            for lane in lanes:
+                mask |= 1 << lane
 
-        self._execute(warp, instr, pc, lanes, mask)
+        handler, aux = self._decoded[index]
+        handler(warp, instr, pc, lanes, mask, aux)
 
         # Shared-VRF serialisation: accessing an uncompressed data vector
         # and an uncompressed metadata vector in one instruction costs an
         # extra cycle (section 3.2).
         if cfg.shared_vrf and self._gp_vec_touch and self._meta_vec_touch:
             self._extra_issue += 1
-            self.stats.stall_shared_vrf += 1
+            stats.stall_shared_vrf += 1
         # One-read-port metadata SRF: CSC needs both cs1 and cs2 metadata,
         # costing an extra operand-fetch cycle (section 3.2).
         if cfg.metadata_srf_single_port and instr.op is Op.CSC:
             self._extra_issue += 1
-            self.stats.stall_csc_operand += 1
+            stats.stall_csc_operand += 1
 
-        self.stats.instrs_issued += 1
-        self.stats.thread_instrs += len(lanes)
-        self.stats.opcode_counts[instr.op] += 1
+        stats.instrs_issued += 1
+        stats.thread_instrs += len(lanes)
+        stats.opcode_counts[instr.op] += 1
         if self.trace is not None:
             self.trace.record(cycle, warp.index, pc, instr, lanes)
 
@@ -409,9 +492,9 @@ class StreamingMultiprocessor:
         # VRF occupancy integral (for Figure 10): resident vectors during
         # the issue slot(s) just consumed.
         width = 1 + self._extra_issue
-        self.stats.gp_vrf_occupancy_integral += self.gp.resident_vectors * width
+        stats.gp_vrf_occupancy_integral += self.gp.resident_vectors * width
         if self.meta is not None:
-            self.stats.meta_vrf_occupancy_integral += \
+            stats.meta_vrf_occupancy_integral += \
                 self.meta.resident_vectors * width
         return cycle + width
 
@@ -419,29 +502,31 @@ class StreamingMultiprocessor:
 
     def _read_gp(self, warp, reg):
         if reg == 0:
-            return [0] * self.cfg.num_lanes
+            return self._zero_lanes
         if self.gp.is_uncompressed(warp.index, reg):
             self._gp_vec_touch = True
         values, report = self.gp.read(warp.index, reg)
-        self._account_rf(report)
+        if report.spills or report.reloads:
+            self._account_rf(report)
         return values
 
     def _read_meta(self, warp, reg):
         if reg == 0:
-            return [0] * self.cfg.num_lanes
+            return self._zero_lanes
         if self.meta.is_uncompressed(warp.index, reg):
             self._meta_vec_touch = True
         values, report = self.meta.read(warp.index, reg)
-        self._account_rf(report)
+        if report.spills or report.reloads:
+            self._account_rf(report)
         return values
 
     def _read_caps(self, warp, reg):
         """Materialise per-lane capabilities from the split register files."""
         addrs = self._read_gp(warp, reg)
         metas = self._read_meta(warp, reg)
+        from_meta_word = Capability.from_meta_word
         return [
-            Capability.from_meta_word(metas[i] & MASK32, addrs[i],
-                                      bool(metas[i] >> 32))
+            from_meta_word(metas[i] & MASK32, addrs[i], metas[i] > MASK32)
             for i in self._lane_range
         ]
 
@@ -449,25 +534,34 @@ class StreamingMultiprocessor:
         """Write rd: general-purpose values plus capability/null metadata."""
         if reg is None or reg == 0:
             return
-        report = self.gp.write(warp.index, reg, values, mask)
-        self._account_rf(report)
-        if self.gp.is_uncompressed(warp.index, reg):
+        windex = warp.index
+        gp = self.gp
+        report = gp.write(windex, reg, values, mask)
+        if report.spills or report.reloads:
+            self._account_rf(report)
+        if gp.is_uncompressed(windex, reg):
             self._gp_vec_touch = True
-        if self.meta is None:
+        meta = self.meta
+        if meta is None:
             return
         if caps is None:
-            metas = [0] * self.cfg.num_lanes
+            metas = self._zero_lanes
         else:
-            metas = [
-                (caps[i].meta_word() | (int(caps[i].tag) << 32))
-                if caps[i] is not None else 0
-                for i in self._lane_range
-            ]
-            if any(c is not None and c.tag for c in caps):
-                self.stats.note_cap_register(warp.index, reg)
-        report = self.meta.write(warp.index, reg, metas, mask)
-        self._account_rf(report)
-        if self.meta.is_uncompressed(warp.index, reg):
+            metas = [0] * self._num_lanes
+            tagged = False
+            for i in self._lane_range:
+                cap = caps[i]
+                if cap is not None:
+                    # bool tag shifts like the 0/1 int it is.
+                    metas[i] = cap.meta_word() | (cap.tag << 32)
+                    if cap.tag:
+                        tagged = True
+            if tagged:
+                self.stats.note_cap_register(windex, reg)
+        report = meta.write(windex, reg, metas, mask)
+        if report.spills or report.reloads:
+            self._account_rf(report)
+        if meta.is_uncompressed(windex, reg):
             self._meta_vec_touch = True
 
     def _account_rf(self, report):
@@ -536,7 +630,7 @@ class StreamingMultiprocessor:
         if cap.is_sealed:
             raise SealViolation("%s via sealed capability" % op_name,
                                 address=addr, thread=thread, pc=pc)
-        if perm not in cap.perms:
+        if not (int(cap.perms) & int(perm)):
             raise PermissionViolation(
                 "%s lacks %s permission" % (op_name, perm.name),
                 address=addr, thread=thread, pc=pc)
@@ -548,257 +642,299 @@ class StreamingMultiprocessor:
                 address=addr, thread=thread, pc=pc)
 
     # ------------------------------------------------------------------
+    # Decode: one (handler, aux) pair per static instruction
+    # ------------------------------------------------------------------
+
+    def _decode_instr(self, instr):
+        """Classify ``instr`` once; returns (bound handler, aux data).
+
+        ``aux`` packs everything the handler needs that is knowable at
+        decode time: the per-lane ALU/branch/AMO function, masked
+        immediates, SFU routing flags.  The CHERI slow-path flag is baked
+        in here because the configuration is fixed per SM instance.
+        """
+        op = instr.op
+        fn = _INT_R_FN.get(op)
+        if fn is not None:
+            return self._h_int_r, (fn, op in SFU_OPS)
+        fn = _INT_I_FN.get(op)
+        if fn is not None:
+            return self._h_int_i, (fn, (instr.imm or 0) & MASK32)
+        fn = _BRANCH_FN.get(op)
+        if fn is not None:
+            return self._h_branch, (fn, instr.imm)
+        if op in LOAD_OPS or op in STORE_OPS or op in AMO_OPS:
+            return self._h_memory, (
+                ACCESS_WIDTH[op],
+                op.name.startswith("C"),
+                op in STORE_OPS,
+                op in AMO_OPS,
+                _AMO_FN.get(op),
+                op in _SIGNED_LOADS,
+                instr.imm or 0,
+            )
+        fn = _FLOAT_RR_FN.get(op)
+        if fn is not None:
+            return self._h_float_rr, (fn, op in SFU_OPS)
+        fn = _FLOAT_UNARY_FN.get(op)
+        if fn is not None:
+            return self._h_float_unary, (fn, op in SFU_OPS)
+        slow = self.cfg.sfu_cheri_slow_path and op in CHERI_SLOW_OPS
+        fn = _CGET_FN.get(op)
+        if fn is not None:
+            return self._h_cget, (fn, slow)
+        fn = _CRR_FN.get(op)
+        if fn is not None:
+            return self._h_crr, (fn, slow)
+        fn = _CMOD1_FN.get(op)
+        if fn is not None:
+            return self._h_cmod1, fn
+        fn = _CMOD2_FN.get(op)
+        if fn is not None:
+            return self._h_cmod2, (fn, slow)
+        fn = _CIMM_FN.get(op)
+        if fn is not None:
+            return self._h_cimm, (fn, instr.imm or 0, slow)
+        if op is Op.LUI:
+            return self._h_lui, (instr.imm << 12) & MASK32
+        if op is Op.AUIPC:
+            return self._h_auipc, instr.imm << 12
+        if op is Op.AUIPCC:
+            return self._h_auipcc, instr.imm << 12
+        if op in (Op.JAL, Op.CJAL):
+            return self._h_jal, (instr.imm, op is Op.CJAL)
+        if op is Op.JALR:
+            return self._h_jalr, instr.imm or 0
+        if op is Op.CJALR:
+            return self._h_cjalr, instr.imm or 0
+        if op is Op.CSPECIALRW:
+            return self._h_cspecialrw, None
+        if op is Op.BARRIER:
+            return self._h_barrier, None
+        if op is Op.HALT:
+            return self._h_halt, None
+        if op in (Op.TRAP, Op.EBREAK, Op.ECALL):
+            return self._h_trap, None
+        if op is Op.FENCE:
+            return self._h_fence, None
+        return self._h_unimplemented, None
+
+    # ------------------------------------------------------------------
     # Execution (functional semantics + per-op timing hooks)
     # ------------------------------------------------------------------
 
     def _execute(self, warp, instr, pc, lanes, mask):
-        op = instr.op
-        cfg = self.cfg
+        """Decode-and-execute one instruction (non-cached dispatch)."""
+        handler, aux = self._decode_instr(instr)
+        handler(warp, instr, pc, lanes, mask, aux)
+
+    def _advance(self, warp, lanes, next_pc):
+        pcs = warp.pcs
+        for lane in lanes:
+            pcs[lane] = next_pc
+
+    # --- integer ALU -------------------------------------------------
+
+    def _h_int_r(self, warp, instr, pc, lanes, mask, aux):
+        fn, is_sfu = aux
+        a = self._read_gp(warp, instr.rs1)
+        b = self._read_gp(warp, instr.rs2)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(a[lane], b[lane])
+        self._write_rd(warp, instr.rd, out, mask)
+        if is_sfu:
+            self._mem_ready = max(
+                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+        self._advance(warp, lanes, pc + 4)
+
+    def _h_int_i(self, warp, instr, pc, lanes, mask, aux):
+        fn, imm = aux
+        a = self._read_gp(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(a[lane], imm)
+        self._write_rd(warp, instr.rd, out, mask)
+        self._advance(warp, lanes, pc + 4)
+
+    def _h_lui(self, warp, instr, pc, lanes, mask, aux):
+        self._write_rd(warp, instr.rd, [aux] * self._num_lanes, mask)
+        self._advance(warp, lanes, pc + 4)
+
+    def _h_auipc(self, warp, instr, pc, lanes, mask, aux):
+        value = (pc + aux) & MASK32
+        self._write_rd(warp, instr.rd, [value] * self._num_lanes, mask)
+        self._advance(warp, lanes, pc + 4)
+
+    def _h_auipcc(self, warp, instr, pc, lanes, mask, aux):
+        # rd := PCC with address pc + imm<<12 (a capability result).
+        addr = (pc + aux) & MASK32
+        caps = []
+        for lane in self._lane_range:
+            meta = warp.pcc_meta[lane]
+            pcc = Capability.from_meta_word(meta & MASK32, pc,
+                                            bool(meta >> 32))
+            caps.append(pcc.set_addr(addr))
+        self._write_rd(warp, instr.rd, [addr] * self._num_lanes, mask,
+                       caps=caps)
+        self._advance(warp, lanes, pc + 4)
+
+    # --- branches and jumps -------------------------------------------
+
+    def _h_branch(self, warp, instr, pc, lanes, mask, aux):
+        fn, imm = aux
+        a = self._read_gp(warp, instr.rs1)
+        b = self._read_gp(warp, instr.rs2)
+        taken_pc = (pc + imm) & MASK32
         next_pc = pc + 4
+        pcs = warp.pcs
+        for lane in lanes:
+            pcs[lane] = taken_pc if fn(a[lane], b[lane]) else next_pc
 
-        def advance(targets=None):
-            if targets is None:
-                for lane in lanes:
-                    warp.pcs[lane] = next_pc
+    def _h_jal(self, warp, instr, pc, lanes, mask, aux):
+        imm, is_cjal = aux
+        next_pc = pc + 4
+        if instr.rd:
+            if is_cjal:
+                caps = []
+                for lane in self._lane_range:
+                    meta = warp.pcc_meta[lane]
+                    link = Capability.from_meta_word(
+                        meta & MASK32, next_pc, bool(meta >> 32))
+                    caps.append(link.seal_entry())
+                self._write_rd(warp, instr.rd,
+                               [next_pc] * self._num_lanes, mask, caps=caps)
             else:
-                for lane in lanes:
-                    warp.pcs[lane] = targets[lane]
+                self._write_rd(warp, instr.rd,
+                               [next_pc] * self._num_lanes, mask)
+        target = (pc + imm) & MASK32
+        self._advance(warp, lanes, target)
 
-        # --- integer ALU -------------------------------------------------
-        if op in _INT_R:
-            a = self._read_gp(warp, instr.rs1)
-            b = self._read_gp(warp, instr.rs2)
-            name = _INT_R[op]
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                out[lane] = alu.int_op(name, a[lane], b[lane])
-            self._write_rd(warp, instr.rd, out, mask)
-            if op in SFU_OPS:
-                self._mem_ready = max(
-                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
-            advance()
-            return
+    def _h_jalr(self, warp, instr, pc, lanes, mask, aux):
+        imm = aux
+        a = self._read_gp(warp, instr.rs1)
+        next_pc = pc + 4
+        targets = [0] * self._num_lanes
+        for lane in lanes:
+            targets[lane] = (a[lane] + imm) & ~1 & MASK32
+        if instr.rd:
+            self._write_rd(warp, instr.rd, [next_pc] * self._num_lanes, mask)
+        pcs = warp.pcs
+        for lane in lanes:
+            pcs[lane] = targets[lane]
 
-        if op in _INT_I:
-            a = self._read_gp(warp, instr.rs1)
-            name = _INT_I[op]
-            imm = instr.imm or 0
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                out[lane] = alu.int_op(name, a[lane], imm & MASK32)
-            self._write_rd(warp, instr.rd, out, mask)
-            advance()
-            return
+    def _h_cjalr(self, warp, instr, pc, lanes, mask, aux):
+        imm = aux
+        cfg = self.cfg
+        caps = self._read_caps(warp, instr.rs1)
+        next_pc = pc + 4
+        targets = [0] * self._num_lanes
+        link_caps = []
+        for lane in self._lane_range:
+            meta = warp.pcc_meta[lane]
+            link = Capability.from_meta_word(meta & MASK32, next_pc,
+                                             bool(meta >> 32))
+            link_caps.append(link.seal_entry())
+        for lane in lanes:
+            cap = caps[lane]
+            thread = warp.index * cfg.num_lanes + lane
+            if not cap.tag:
+                raise TagViolation("CJALR via untagged capability",
+                                   thread=thread, pc=pc)
+            if cap.is_sealed and not cap.is_sentry:
+                raise SealViolation("CJALR via sealed capability",
+                                    thread=thread, pc=pc)
+            if Perms.EXECUTE not in cap.perms:
+                raise PermissionViolation("CJALR target lacks execute",
+                                          thread=thread, pc=pc)
+            target_cap = cap.unseal_entry() if cap.is_sentry else cap
+            target = (target_cap.addr + imm) & ~1 & MASK32
+            targets[lane] = target
+            warp.pcc_meta[lane] = (target_cap.meta_word()
+                                   | (int(target_cap.tag) << 32))
+        if instr.rd:
+            self._write_rd(warp, instr.rd, [next_pc] * self._num_lanes,
+                           mask, caps=link_caps)
+        pcs = warp.pcs
+        for lane in lanes:
+            pcs[lane] = targets[lane]
 
-        if op is Op.LUI:
-            value = (instr.imm << 12) & MASK32
-            self._write_rd(warp, instr.rd, [value] * cfg.num_lanes, mask)
-            advance()
-            return
+    # --- floating point -------------------------------------------------
 
-        if op is Op.AUIPC:
-            value = (pc + (instr.imm << 12)) & MASK32
-            self._write_rd(warp, instr.rd, [value] * cfg.num_lanes, mask)
-            advance()
-            return
+    def _h_float_rr(self, warp, instr, pc, lanes, mask, aux):
+        fn, is_sfu = aux
+        a = self._read_gp(warp, instr.rs1)
+        b = self._read_gp(warp, instr.rs2)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(a[lane], b[lane])
+        self._write_rd(warp, instr.rd, out, mask)
+        if is_sfu:
+            self._mem_ready = max(
+                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+        self._advance(warp, lanes, pc + 4)
 
-        if op is Op.AUIPCC:
-            # rd := PCC with address pc + imm<<12 (a capability result).
-            addr = (pc + (instr.imm << 12)) & MASK32
-            caps = []
-            for lane in self._lane_range:
-                meta = warp.pcc_meta[lane]
-                pcc = Capability.from_meta_word(meta & MASK32, pc,
-                                                bool(meta >> 32))
-                caps.append(pcc.set_addr(addr))
-            self._write_rd(warp, instr.rd, [addr] * cfg.num_lanes, mask,
-                           caps=caps)
-            advance()
-            return
+    def _h_float_unary(self, warp, instr, pc, lanes, mask, aux):
+        fn, is_sfu = aux
+        a = self._read_gp(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(a[lane])
+        self._write_rd(warp, instr.rd, out, mask)
+        if is_sfu:
+            self._mem_ready = max(
+                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+        self._advance(warp, lanes, pc + 4)
 
-        # --- branches and jumps -------------------------------------------
-        if op in BRANCH_OPS:
-            a = self._read_gp(warp, instr.rs1)
-            b = self._read_gp(warp, instr.rs2)
-            name = op.name.lower()
-            taken_pc = (pc + instr.imm) & MASK32
-            targets = list(warp.pcs)
-            for lane in lanes:
-                targets[lane] = taken_pc if alu.branch_taken(
-                    name, a[lane], b[lane]) else next_pc
-            advance(targets)
-            return
+    # --- memory ----------------------------------------------------------
 
-        if op in (Op.JAL, Op.CJAL):
-            if instr.rd:
-                if op is Op.CJAL:
-                    caps = []
-                    for lane in self._lane_range:
-                        meta = warp.pcc_meta[lane]
-                        link = Capability.from_meta_word(
-                            meta & MASK32, next_pc, bool(meta >> 32))
-                        caps.append(link.seal_entry())
-                    self._write_rd(warp, instr.rd,
-                                   [next_pc] * cfg.num_lanes, mask, caps=caps)
-                else:
-                    self._write_rd(warp, instr.rd,
-                                   [next_pc] * cfg.num_lanes, mask)
-            target = (pc + instr.imm) & MASK32
-            advance([target] * cfg.num_lanes)
-            return
-
-        if op is Op.JALR:
-            a = self._read_gp(warp, instr.rs1)
-            targets = list(warp.pcs)
-            for lane in lanes:
-                targets[lane] = (a[lane] + (instr.imm or 0)) & ~1 & MASK32
-            if instr.rd:
-                self._write_rd(warp, instr.rd, [next_pc] * cfg.num_lanes, mask)
-            advance(targets)
-            return
-
-        if op is Op.CJALR:
-            caps = self._read_caps(warp, instr.rs1)
-            targets = list(warp.pcs)
-            link_caps = []
-            for lane in self._lane_range:
-                meta = warp.pcc_meta[lane]
-                link = Capability.from_meta_word(meta & MASK32, next_pc,
-                                                 bool(meta >> 32))
-                link_caps.append(link.seal_entry())
-            for lane in lanes:
-                cap = caps[lane]
-                thread = warp.index * cfg.num_lanes + lane
-                if not cap.tag:
-                    raise TagViolation("CJALR via untagged capability",
-                                       thread=thread, pc=pc)
-                if cap.is_sealed and not cap.is_sentry:
-                    raise SealViolation("CJALR via sealed capability",
-                                        thread=thread, pc=pc)
-                if Perms.EXECUTE not in cap.perms:
-                    raise PermissionViolation("CJALR target lacks execute",
-                                              thread=thread, pc=pc)
-                target_cap = cap.unseal_entry() if cap.is_sentry else cap
-                target = (target_cap.addr + (instr.imm or 0)) & ~1 & MASK32
-                targets[lane] = target
-                warp.pcc_meta[lane] = (target_cap.meta_word()
-                                       | (int(target_cap.tag) << 32))
-            if instr.rd:
-                self._write_rd(warp, instr.rd, [next_pc] * cfg.num_lanes,
-                               mask, caps=link_caps)
-            advance(targets)
-            return
-
-        # --- floating point -------------------------------------------------
-        if op in _FLOAT_RR:
-            a = self._read_gp(warp, instr.rs1)
-            b = self._read_gp(warp, instr.rs2)
-            name = _FLOAT_RR[op]
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                out[lane] = alu.float_op(name, a[lane], b[lane])
-            self._write_rd(warp, instr.rd, out, mask)
-            if op in SFU_OPS:
-                self._mem_ready = max(
-                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
-            advance()
-            return
-
-        if op in _FLOAT_UNARY:
-            a = self._read_gp(warp, instr.rs1)
-            name = _FLOAT_UNARY[op]
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                out[lane] = alu.float_op(name, a[lane])
-            self._write_rd(warp, instr.rd, out, mask)
-            if op in SFU_OPS:
-                self._mem_ready = max(
-                    self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
-            advance()
-            return
-
-        # --- memory ----------------------------------------------------------
-        if op in LOAD_OPS or op in STORE_OPS or op in AMO_OPS:
-            self._execute_memory(warp, instr, pc, lanes, mask)
-            advance()
-            return
-
-        # --- CHERI non-memory --------------------------------------------------
-        if self._execute_cheri(warp, instr, pc, lanes, mask):
-            advance()
-            return
-
-        # --- SIMT / system -------------------------------------------------------
-        if op is Op.BARRIER:
-            advance()
-            self._enter_barrier(warp)
-            return
-        if op is Op.HALT:
-            for lane in lanes:
-                warp.halted[lane] = True
-            return
-        if op in (Op.TRAP, Op.EBREAK, Op.ECALL):
-            thread = warp.index * cfg.num_lanes + lanes[0]
-            raise SoftwareTrap(
-                "software trap (%s)%s" % (
-                    op.name.lower(),
-                    "" if not instr.comment else ": " + instr.comment),
-                thread=thread, pc=pc)
-        if op is Op.FENCE:
-            advance()
-            return
-        raise SoftwareTrap("unimplemented op %s" % op, pc=pc)
-
-    # -- memory instructions ----------------------------------------------------
-
-    def _execute_memory(self, warp, instr, pc, lanes, mask):
+    def _h_memory(self, warp, instr, pc, lanes, mask, aux):
         cfg = self.cfg
         op = instr.op
-        width = ACCESS_WIDTH[op]
-        imm = instr.imm or 0
-        is_cap_addressed = op.name.startswith("C")
-        is_store = op in STORE_OPS
-        is_amo = op in AMO_OPS
+        width, is_cap_addressed, is_store, is_amo, amo_fn, signed, imm = aux
 
         if is_cap_addressed:
             caps = self._read_caps(warp, instr.rs1)
-            addr_of = lambda lane: (caps[lane].addr + imm) & MASK32
+            accesses = [(lane, (caps[lane].addr + imm) & MASK32, width)
+                        for lane in lanes]
         else:
             bases = self._read_gp(warp, instr.rs1)
-            addr_of = lambda lane: (bases[lane] + imm) & MASK32
-
-        accesses = [(lane, addr_of(lane), width) for lane in lanes]
+            accesses = [(lane, (bases[lane] + imm) & MASK32, width)
+                        for lane in lanes]
 
         # Capability checks (one per active lane).
         if is_cap_addressed:
+            check = self._check_cap
+            num_lanes = cfg.num_lanes
             for lane, addr, _ in accesses:
-                thread = warp.index * cfg.num_lanes + lane
+                thread = warp.index * num_lanes + lane
                 if is_amo:
-                    self._check_cap(caps[lane], addr, width, Perms.LOAD,
-                                    thread, pc, op.name)
-                    self._check_cap(caps[lane], addr, width, Perms.STORE,
-                                    thread, pc, op.name)
+                    check(caps[lane], addr, width, Perms.LOAD,
+                          thread, pc, op.name)
+                    check(caps[lane], addr, width, Perms.STORE,
+                          thread, pc, op.name)
                 elif is_store:
-                    self._check_cap(caps[lane], addr, width, Perms.STORE,
-                                    thread, pc, op.name)
+                    check(caps[lane], addr, width, Perms.STORE,
+                          thread, pc, op.name)
                 else:
-                    self._check_cap(caps[lane], addr, width, Perms.LOAD,
-                                    thread, pc, op.name)
+                    check(caps[lane], addr, width, Perms.LOAD,
+                          thread, pc, op.name)
 
         if is_amo:
             values = self._read_gp(warp, instr.rs2)
-            fn = _AMO_FN[op]
-            out = [0] * cfg.num_lanes
+            out = [0] * self._num_lanes
+            memory = self.memory
             # Same-address atomics serialise deterministically in lane order.
             for lane, addr, _ in accesses:
-                old = self.memory.read(addr, 4)
-                self.memory.write(addr, 4, fn(old, values[lane]))
+                old = memory.read(addr, 4)
+                memory.write(addr, 4, amo_fn(old, values[lane]))
                 out[lane] = old
             conflicts = atomic_conflicts([a for _, a, _ in accesses])
             self._extra_issue += conflicts
             self.stats.stall_atomic_serial += conflicts
             self._write_rd(warp, instr.rd, out, mask)
             self._memory_access(op, accesses, warp, is_write=True)
+            self._advance(warp, lanes, pc + 4)
             return
 
         if is_store:
@@ -815,16 +951,18 @@ class StreamingMultiprocessor:
                                               & ((1 << 64) - 1), cap2.tag)
             else:
                 values = self._read_gp(warp, instr.rs2)
+                memory = self.memory
+                value_mask = (1 << (8 * width)) - 1
                 for lane, addr, _ in accesses:
-                    self.memory.write(addr, width, values[lane]
-                                      & ((1 << (8 * width)) - 1))
+                    memory.write(addr, width, values[lane] & value_mask)
             self._memory_access(op, accesses, warp, is_write=True)
+            self._advance(warp, lanes, pc + 4)
             return
 
         # Loads.
         if op is Op.CLC:
-            out = [0] * cfg.num_lanes
-            metas = [None] * cfg.num_lanes
+            out = [0] * self._num_lanes
+            metas = [None] * self._num_lanes
             for lane, addr, _ in accesses:
                 raw, tag = self.memory.read_cap_raw(addr)
                 if tag and Perms.LOAD_CAP not in caps[lane].perms:
@@ -834,136 +972,121 @@ class StreamingMultiprocessor:
                 metas[lane] = loaded
             self._write_rd(warp, instr.rd, out, mask, caps=metas)
         else:
-            signed = op in (Op.LB, Op.LH, Op.CLB, Op.CLH)
-            out = [0] * cfg.num_lanes
+            out = [0] * self._num_lanes
+            memory = self.memory
             for lane, addr, _ in accesses:
-                out[lane] = self.memory.read(addr, width, signed) & MASK32
+                out[lane] = memory.read(addr, width, signed) & MASK32
             self._write_rd(warp, instr.rd, out, mask)
         self._memory_access(op, accesses, warp, is_write=False)
+        self._advance(warp, lanes, pc + 4)
 
-    # -- CHERI non-memory instructions ----------------------------------------
+    # --- CHERI non-memory --------------------------------------------------
 
-    def _execute_cheri(self, warp, instr, pc, lanes, mask):
-        """Returns True when the op was a (non-memory) CHERI instruction."""
-        cfg = self.cfg
-        op = instr.op
-        lanes_range = self._lane_range
+    def _sfu_cheri_issue(self, lanes):
+        self._mem_ready = max(
+            self._mem_ready,
+            self.sfu.issue(self._cycle, len(lanes), cheri_op=True))
 
-        def sfu_slow_path():
-            if cfg.sfu_cheri_slow_path and op in CHERI_SLOW_OPS:
-                self._mem_ready = max(
-                    self._mem_ready,
-                    self.sfu.issue(self._cycle, len(lanes), cheri_op=True))
+    def _h_cget(self, warp, instr, pc, lanes, mask, aux):
+        fn, slow = aux
+        caps = self._read_caps(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(caps[lane])
+        self._write_rd(warp, instr.rd, out, mask)
+        if slow:
+            self._sfu_cheri_issue(lanes)
+        self._advance(warp, lanes, pc + 4)
 
-        if op in (Op.CGETTAG, Op.CGETPERM, Op.CGETBASE, Op.CGETLEN,
-                  Op.CGETADDR, Op.CGETTYPE, Op.CGETSEALED, Op.CGETFLAGS):
-            caps = self._read_caps(warp, instr.rs1)
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                cap = caps[lane]
-                if op is Op.CGETTAG:
-                    out[lane] = int(cap.tag)
-                elif op is Op.CGETPERM:
-                    out[lane] = int(cap.perms)
-                elif op is Op.CGETBASE:
-                    out[lane] = cap.base
-                elif op is Op.CGETLEN:
-                    out[lane] = min(cap.length, MASK32)
-                elif op is Op.CGETADDR:
-                    out[lane] = cap.addr
-                elif op is Op.CGETTYPE:
-                    out[lane] = cap.otype
-                elif op is Op.CGETSEALED:
-                    out[lane] = int(cap.is_sealed)
-                else:
-                    out[lane] = cap.flags
-            self._write_rd(warp, instr.rd, out, mask)
-            sfu_slow_path()
-            return True
+    def _h_crr(self, warp, instr, pc, lanes, mask, aux):
+        fn, slow = aux
+        a = self._read_gp(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        for lane in lanes:
+            out[lane] = fn(a[lane])
+        self._write_rd(warp, instr.rd, out, mask)
+        if slow:
+            self._sfu_cheri_issue(lanes)
+        self._advance(warp, lanes, pc + 4)
 
-        if op in (Op.CRRL, Op.CRAM):
-            a = self._read_gp(warp, instr.rs1)
-            out = [0] * cfg.num_lanes
-            for lane in lanes:
-                if op is Op.CRRL:
-                    out[lane] = min(concentrate.crrl(a[lane]), MASK32)
-                else:
-                    out[lane] = concentrate.crml(a[lane])
-            self._write_rd(warp, instr.rd, out, mask)
-            sfu_slow_path()
-            return True
+    def _h_cmod1(self, warp, instr, pc, lanes, mask, aux):
+        fn = aux
+        caps = self._read_caps(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        result = [None] * self._num_lanes
+        for lane in lanes:
+            cap = fn(caps[lane])
+            out[lane] = cap.addr
+            result[lane] = cap
+        self._write_rd(warp, instr.rd, out, mask, caps=result)
+        self._advance(warp, lanes, pc + 4)
 
-        if op in (Op.CCLEARTAG, Op.CMOVE, Op.CSEALENTRY):
-            caps = self._read_caps(warp, instr.rs1)
-            out = [0] * cfg.num_lanes
-            result = [None] * cfg.num_lanes
-            for lane in lanes:
-                cap = caps[lane]
-                if op is Op.CCLEARTAG:
-                    cap = cap.with_tag_cleared()
-                elif op is Op.CSEALENTRY:
-                    cap = cap.seal_entry()
-                out[lane] = cap.addr
-                result[lane] = cap
-            self._write_rd(warp, instr.rd, out, mask, caps=result)
-            return True
+    def _h_cmod2(self, warp, instr, pc, lanes, mask, aux):
+        fn, slow = aux
+        caps = self._read_caps(warp, instr.rs1)
+        b = self._read_gp(warp, instr.rs2)
+        out = [0] * self._num_lanes
+        result = [None] * self._num_lanes
+        for lane in lanes:
+            cap = fn(caps[lane], b[lane])
+            out[lane] = cap.addr
+            result[lane] = cap
+        self._write_rd(warp, instr.rd, out, mask, caps=result)
+        if slow:
+            self._sfu_cheri_issue(lanes)
+        self._advance(warp, lanes, pc + 4)
 
-        if op in (Op.CANDPERM, Op.CSETFLAGS, Op.CSETADDR, Op.CINCOFFSET,
-                  Op.CSETBOUNDS, Op.CSETBOUNDSEXACT):
-            caps = self._read_caps(warp, instr.rs1)
-            b = self._read_gp(warp, instr.rs2)
-            out = [0] * cfg.num_lanes
-            result = [None] * cfg.num_lanes
-            for lane in lanes:
-                cap = caps[lane]
-                if op is Op.CANDPERM:
-                    cap = cap.and_perms(b[lane])
-                elif op is Op.CSETFLAGS:
-                    cap = cap.set_flags(b[lane])
-                elif op is Op.CSETADDR:
-                    cap = cap.set_addr(b[lane])
-                elif op is Op.CINCOFFSET:
-                    cap = cap.inc_addr(b[lane])
-                else:
-                    cap, _ = cap.set_bounds(cap.addr, b[lane],
-                                            exact=op is Op.CSETBOUNDSEXACT)
-                out[lane] = cap.addr
-                result[lane] = cap
-            self._write_rd(warp, instr.rd, out, mask, caps=result)
-            sfu_slow_path()
-            return True
+    def _h_cimm(self, warp, instr, pc, lanes, mask, aux):
+        fn, imm, slow = aux
+        caps = self._read_caps(warp, instr.rs1)
+        out = [0] * self._num_lanes
+        result = [None] * self._num_lanes
+        for lane in lanes:
+            cap = fn(caps[lane], imm)
+            out[lane] = cap.addr
+            result[lane] = cap
+        self._write_rd(warp, instr.rd, out, mask, caps=result)
+        if slow:
+            self._sfu_cheri_issue(lanes)
+        self._advance(warp, lanes, pc + 4)
 
-        if op in (Op.CINCOFFSETIMM, Op.CSETBOUNDSIMM):
-            caps = self._read_caps(warp, instr.rs1)
-            imm = instr.imm or 0
-            out = [0] * cfg.num_lanes
-            result = [None] * cfg.num_lanes
-            for lane in lanes:
-                cap = caps[lane]
-                if op is Op.CINCOFFSETIMM:
-                    cap = cap.inc_addr(imm)
-                else:
-                    cap, _ = cap.set_bounds(cap.addr, imm)
-                out[lane] = cap.addr
-                result[lane] = cap
-            self._write_rd(warp, instr.rd, out, mask, caps=result)
-            sfu_slow_path()
-            return True
+    def _h_cspecialrw(self, warp, instr, pc, lanes, mask, aux):
+        # Only reading the PCC special register is supported.
+        out = [0] * self._num_lanes
+        result = [None] * self._num_lanes
+        for lane in lanes:
+            meta = warp.pcc_meta[lane]
+            pcc = Capability.from_meta_word(meta & MASK32, pc,
+                                            bool(meta >> 32))
+            out[lane] = pc
+            result[lane] = pcc
+        self._write_rd(warp, instr.rd, out, mask, caps=result)
+        self._advance(warp, lanes, pc + 4)
 
-        if op is Op.CSPECIALRW:
-            # Only reading the PCC special register is supported.
-            out = [0] * cfg.num_lanes
-            result = [None] * cfg.num_lanes
-            for lane in lanes:
-                meta = warp.pcc_meta[lane]
-                pcc = Capability.from_meta_word(meta & MASK32, pc,
-                                                bool(meta >> 32))
-                out[lane] = pc
-                result[lane] = pcc
-            self._write_rd(warp, instr.rd, out, mask, caps=result)
-            return True
+    # --- SIMT / system -------------------------------------------------------
 
-        return False
+    def _h_barrier(self, warp, instr, pc, lanes, mask, aux):
+        self._advance(warp, lanes, pc + 4)
+        self._enter_barrier(warp)
+
+    def _h_halt(self, warp, instr, pc, lanes, mask, aux):
+        halted = warp.halted
+        for lane in lanes:
+            halted[lane] = True
+
+    def _h_trap(self, warp, instr, pc, lanes, mask, aux):
+        thread = warp.index * self.cfg.num_lanes + lanes[0]
+        raise SoftwareTrap(
+            "software trap (%s)%s" % (
+                instr.op.name.lower(),
+                "" if not instr.comment else ": " + instr.comment),
+            thread=thread, pc=pc)
+
+    def _h_fence(self, warp, instr, pc, lanes, mask, aux):
+        self._advance(warp, lanes, pc + 4)
+
+    def _h_unimplemented(self, warp, instr, pc, lanes, mask, aux):
+        raise SoftwareTrap("unimplemented op %s" % instr.op, pc=pc)
 
     # -- barriers --------------------------------------------------------------
 

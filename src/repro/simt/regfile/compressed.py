@@ -17,20 +17,30 @@ fragmentation between the two.
 """
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
 
-@dataclass
 class AccessReport:
     """Side effects of one register-file access the pipeline must cost."""
 
-    spills: int = 0    # vector registers written back to main memory
-    reloads: int = 0   # spilled vector registers fetched from main memory
+    __slots__ = ("spills", "reloads")
+
+    def __init__(self, spills=0, reloads=0):
+        self.spills = spills    # vector registers written back to main memory
+        self.reloads = reloads  # spilled vector registers fetched from memory
 
     def merge(self, other):
         self.spills += other.spills
         self.reloads += other.reloads
         return self
+
+    def __eq__(self, other):
+        return (isinstance(other, AccessReport)
+                and self.spills == other.spills
+                and self.reloads == other.reloads)
+
+    def __repr__(self):
+        return "AccessReport(spills=%d, reloads=%d)" % (self.spills,
+                                                        self.reloads)
 
 
 class _Scalar:
@@ -100,6 +110,10 @@ class SlotPool:
         self.capacity = capacity
         self._free = list(range(capacity))
         self._residents = OrderedDict()  # (rf, warp, reg) -> slot
+        # Per-owner occupancy, maintained incrementally on acquire/release
+        # so the pipeline's per-issue occupancy integral is O(1) instead of
+        # an O(residents) recount (keyed by register-file identity).
+        self._counts = {}
 
     @property
     def used(self):
@@ -111,19 +125,22 @@ class SlotPool:
             (victim_rf, victim_warp, victim_reg), slot = \
                 self._residents.popitem(last=False)
             victim_rf._spill(victim_warp, victim_reg)
+            self._counts[victim_rf] -= 1
             report.spills += 1
             self._free.append(slot)
         slot = self._free.pop()
         self._residents[(owner_rf, warp, reg)] = slot
+        self._counts[owner_rf] = self._counts.get(owner_rf, 0) + 1
         return slot
 
     def release(self, owner_rf, warp, reg):
         slot = self._residents.pop((owner_rf, warp, reg), None)
         if slot is not None:
             self._free.append(slot)
+            self._counts[owner_rf] -= 1
 
     def resident_count(self, owner_rf):
-        return sum(1 for key in self._residents if key[0] is owner_rf)
+        return self._counts.get(owner_rf, 0)
 
 
 class CompressedRegFile:
@@ -169,15 +186,19 @@ class CompressedRegFile:
     def _compress(self, values):
         """The write-path comparator array: try to find a compact form."""
         first = values[0]
-        if all(v == first for v in values):
+        lanes = self.lanes
+        if values.count(first) == lanes:
             return _Scalar(first, 0)
-        if self.detect_affine and self.lanes >= 2:
-            stride = (values[1] - values[0]) & self.value_mask
-            ok = all(
-                values[i] == (first + i * stride) & self.value_mask
-                for i in range(1, self.lanes)
-            )
-            if ok:
+        if self.detect_affine and lanes >= 2:
+            mask_bits = self.value_mask
+            stride = (values[1] - first) & mask_bits
+            # Lane 1 matches by construction; walk the rest incrementally.
+            expect = values[1]
+            for i in range(2, lanes):
+                expect = (expect + stride) & mask_bits
+                if values[i] != expect:
+                    break
+            else:
                 # Keep strides small enough for a narrow SRF stride field.
                 signed = stride - (1 << self.width_bits) if stride >> (self.width_bits - 1) else stride
                 if -128 <= signed <= 127:
@@ -197,18 +218,19 @@ class CompressedRegFile:
 
     def read(self, warp, reg):
         """Read a full vector.  Returns (values, AccessReport)."""
-        report = AccessReport()
         entry = self._entries.get((warp, reg))
-        if isinstance(entry, _Spilled):
+        if entry is None:
+            return [0] * self.lanes, AccessReport()
+        if type(entry) is _Spilled:
             # Dynamic reload: bring the vector back into the VRF.
+            report = AccessReport()
             slot = self.pool.acquire(self, warp, reg, report)
             entry = _Vector(slot, entry.values)
             self._entries[(warp, reg)] = entry
             report.reloads += 1
             self.total_reloads += 1
-        if entry is None:
-            return [0] * self.lanes, report
-        return entry.expand(self.lanes, self.value_mask), report
+            return entry.expand(self.lanes, self.value_mask), report
+        return entry.expand(self.lanes, self.value_mask), AccessReport()
 
     def write(self, warp, reg, values, active_mask=None):
         """Write the active lanes of a vector.  Returns an AccessReport.

@@ -1,0 +1,141 @@
+"""Equivalence proof for the runner's fast paths.
+
+The hot-path optimizations (decode-cached dispatch, incremental register
+file occupancy) and the runner's cache/parallel machinery must never
+change a simulated statistic.  These tests pin that property:
+
+- a fresh serial simulation is deterministic, in-process and across
+  interpreter processes;
+- the parallel ``run_suite`` path produces bit-identical statistics to
+  the serial path;
+- a disk-cache round trip restores bit-identical statistics.
+
+Statistics are compared as the full :class:`SMStats` field dict (cycles,
+per-opcode counts, DRAM byte counters, ...), not just headline numbers.
+"""
+
+import hashlib
+import os
+import subprocess
+import sys
+from dataclasses import asdict
+
+import pytest
+
+import repro
+from repro.eval import runner
+
+#: Small geometry so the six fresh simulations stay quick.
+GEOMETRY = dict(num_warps=4, num_lanes=4)
+BENCHES = ("VecAdd", "Histogram", "Reduce")
+CONFIGS = ("baseline", "cheri_opt")
+
+
+def _signature(result):
+    """Every statistic of a run, as a plain comparable dict."""
+    return asdict(result.stats)
+
+
+def _fresh(name, config_name):
+    """Simulate outside every cache layer: the ground-truth result."""
+    mode, config = runner.config_for(config_name, **GEOMETRY)
+    return runner._simulate(name, config_name, mode, config, scale=1)
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a throwaway dir and reset the memo."""
+    monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / "simcache"))
+    was_enabled = runner._disk_enabled
+    runner.clear_cache()
+    yield
+    runner.set_disk_cache(was_enabled)
+    runner.clear_cache()
+
+
+@pytest.mark.parametrize("config_name", CONFIGS)
+@pytest.mark.parametrize("name", BENCHES)
+class TestPerBenchmark:
+    def test_fresh_runs_are_deterministic(self, name, config_name):
+        assert _signature(_fresh(name, config_name)) == \
+            _signature(_fresh(name, config_name))
+
+    def test_disk_round_trip_is_bit_identical(self, name, config_name):
+        reference = _signature(_fresh(name, config_name))
+        runner.set_disk_cache(True)
+        first = runner.run_benchmark(name, config_name, **GEOMETRY)
+        assert first.meta.source == "sim"
+        assert _signature(first) == reference
+        # Drop the memo so the second call must come from disk.
+        runner.clear_cache()
+        second = runner.run_benchmark(name, config_name, **GEOMETRY)
+        assert second.meta.source == "disk"
+        assert _signature(second) == reference
+
+
+@pytest.fixture
+def small_suite(monkeypatch):
+    """Limit run_suite to the three test benchmarks to keep this quick.
+
+    The pool and cache-merge machinery is exercised exactly as with the
+    full suite; only the fan-out width shrinks.
+    """
+    monkeypatch.setattr(runner, "BENCHMARK_NAMES", BENCHES)
+
+
+class TestSuitePaths:
+    def test_parallel_suite_matches_serial(self, small_suite):
+        runner.set_disk_cache(False)
+        serial = runner.run_suite("cheri_opt", jobs=1, **GEOMETRY)
+        runner.clear_cache()
+        parallel = runner.run_suite("cheri_opt", jobs=2, **GEOMETRY)
+        assert list(serial) == list(parallel)
+        for name in serial:
+            assert _signature(serial[name]) == _signature(parallel[name]), \
+                name
+
+    def test_warm_disk_suite_matches_serial(self, small_suite):
+        runner.set_disk_cache(False)
+        serial = runner.run_suite("baseline", jobs=1, **GEOMETRY)
+        runner.set_disk_cache(True)
+        runner.clear_cache()
+        populate = runner.run_suite("baseline", jobs=1, **GEOMETRY)
+        runner.clear_cache()
+        warm = runner.run_suite("baseline", jobs=1, **GEOMETRY)
+        assert all(r.meta.source == "disk" for r in warm.values())
+        for name in serial:
+            assert _signature(serial[name]) == _signature(warm[name])
+            assert _signature(populate[name]) == _signature(warm[name])
+
+
+class TestCrossProcess:
+    def test_fresh_interpreter_reproduces_stats(self):
+        """A brand-new Python process computes the exact same statistics.
+
+        Guards the RNG seeding and iteration-order discipline that the
+        disk cache relies on: without it, cached results would disagree
+        with whatever a fresh process would have simulated.
+        """
+        reference = _fresh("VecAdd", "cheri_opt")
+        digest = hashlib.sha256(
+            repr(sorted(asdict(reference.stats).items())).encode()
+        ).hexdigest()
+
+        code = (
+            "import hashlib\n"
+            "from dataclasses import asdict\n"
+            "from repro.eval import runner\n"
+            "mode, config = runner.config_for('cheri_opt', num_warps=4,"
+            " num_lanes=4)\n"
+            "r = runner._simulate('VecAdd', 'cheri_opt', mode, config, 1)\n"
+            "print(hashlib.sha256(repr(sorted(asdict(r.stats).items()))"
+            ".encode()).hexdigest())\n"
+        )
+        src_dir = os.path.dirname(os.path.dirname(
+            os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", code],
+                              capture_output=True, text=True, env=env,
+                              check=True)
+        assert proc.stdout.strip() == digest
