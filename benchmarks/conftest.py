@@ -32,11 +32,19 @@ def results_dir():
 
 @pytest.fixture()
 def record_result(results_dir):
-    """Print an experiment's table and persist it to results/<name>.txt."""
+    """Print an experiment's table and persist it to results/<name>.txt.
 
-    def _record(name, text):
+    Pass ``data=`` to additionally write the raw rows as
+    ``results/<name>.json`` (via :func:`repro.eval.report.write_structured`)
+    so plots and diffs never have to re-parse the text tables.
+    """
+
+    def _record(name, text, data=None):
         print()
         print(text)
         (results_dir / ("%s.txt" % name)).write_text(text + "\n")
+        if data is not None:
+            from repro.eval.report import write_structured
+            write_structured(results_dir, name, data)
 
     return _record

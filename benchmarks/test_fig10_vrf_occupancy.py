@@ -6,7 +6,7 @@ from repro.eval.report import render_fig10
 
 def test_fig10_vrf_residency(benchmark, record_result):
     rows = benchmark.pedantic(fig10_vrf_residency, rounds=1, iterations=1)
-    record_result("fig10_vrf_occupancy", render_fig10(rows))
+    record_result("fig10_vrf_occupancy", render_fig10(rows), data=rows)
     by_name = {row["benchmark"]: row for row in rows}
     # Capability metadata is far more compressible than data: with the
     # NVO, essentially no benchmark except BlkStencil keeps metadata in

@@ -7,7 +7,8 @@ from repro.eval.report import render_fig11
 def test_fig11_capability_registers(benchmark, record_result):
     series = benchmark.pedantic(fig11_capability_registers,
                                 rounds=1, iterations=1)
-    record_result("fig11_cap_registers", render_fig11(series))
+    record_result("fig11_cap_registers", render_fig11(series),
+                  data=series)
     counts = dict(series)
     # The paper's key observation: no benchmark uses more than half of the
     # 32 registers to hold capabilities, so a half-size metadata SRF is

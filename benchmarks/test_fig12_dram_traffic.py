@@ -6,7 +6,7 @@ from repro.eval.report import render_fig12
 
 def test_fig12_dram_traffic(benchmark, record_result):
     rows = benchmark.pedantic(fig12_dram_traffic, rounds=1, iterations=1)
-    record_result("fig12_dram_traffic", render_fig12(rows))
+    record_result("fig12_dram_traffic", render_fig12(rows), data=rows)
     # The paper's finding: CHERI does not significantly affect DRAM
     # bandwidth usage (inlined kernels, tag cache hierarchical zeroes,
     # compressed metadata avoiding spills).

@@ -10,7 +10,8 @@ def test_fig13_execution_overhead(benchmark, record_result):
     record_result(
         "fig13_exec_overhead",
         render_overheads("Figure 13: CHERI (Optimised) execution-time "
-                         "overhead vs Baseline", rows, mean))
+                         "overhead vs Baseline", rows, mean),
+        data={"rows": rows, "geomean": mean})
     overheads = dict(rows)
     # Headline result: small single-digit geomean overhead (paper: 1.6%).
     assert -0.02 <= mean <= 0.08, mean

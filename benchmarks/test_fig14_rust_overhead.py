@@ -14,7 +14,8 @@ def test_fig14_boundscheck_overhead(benchmark, record_result):
         "fig14_rust_overhead",
         render_overheads("Figure 14: software bounds-checking overhead "
                          "vs Baseline (Rust-style per-access checks)",
-                         rows, mean))
+                         rows, mean),
+        data={"rows": rows, "geomean": mean})
     # The paper's comparison: software bounds checking is expensive in
     # low-level GPU code (34% geomean for checks alone) - an order of
     # magnitude above CHERI's hardware-enforced 1.6%.

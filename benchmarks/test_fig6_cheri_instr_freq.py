@@ -7,7 +7,8 @@ from repro.eval.report import render_fig6
 def test_fig6_cheri_instruction_frequency(benchmark, record_result):
     series = benchmark.pedantic(fig6_cheri_instruction_frequency,
                                 rounds=1, iterations=1)
-    record_result("fig6_cheri_instr_freq", render_fig6(series))
+    record_result("fig6_cheri_instr_freq", render_fig6(series),
+                  data=series)
     freq = dict(series)
     # Shape checks against the paper's histogram: capability loads/stores
     # and pointer arithmetic dominate; get/set-bounds are rare (that is

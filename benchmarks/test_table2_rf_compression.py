@@ -6,7 +6,7 @@ from repro.eval.report import render_table2
 
 def test_table2_rf_compression(benchmark, record_result):
     rows = benchmark.pedantic(table2_rf_compression, rounds=1, iterations=1)
-    record_result("table2_rf_compression", render_table2(rows))
+    record_result("table2_rf_compression", render_table2(rows), data=rows)
     half, three_eighths, quarter, eighth, sixteenth = rows
     # Storage shrinks with the VRF fraction; the paper's 3/8 point saves
     # roughly half of the register-file storage (ratio ~0.45).

@@ -6,7 +6,7 @@ from repro.eval.report import render_table3
 
 def test_table3_synthesis(benchmark, record_result):
     rows = benchmark(table3_synthesis)
-    record_result("table3_synthesis", render_table3(rows))
+    record_result("table3_synthesis", render_table3(rows), data=rows)
     (b_name, b_alms, _, b_bram, b_fmax), \
         (c_name, c_alms, _, c_bram, c_fmax), \
         (o_name, o_alms, _, o_bram, o_fmax) = rows

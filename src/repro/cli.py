@@ -8,7 +8,13 @@ Commands:
 - ``trace BENCH``               — run with instruction tracing
 - ``experiment NAME``           — regenerate one table/figure
 - ``bench``                     — run the suite, report wall-clock + cycles
+- ``profile BENCH``             — cycle-attributed hotspot profile
+- ``diff A.json B.json``        — compare two run manifests
 - ``table3`` / ``headline``     — shortcuts for the area model / abstract
+
+``run``/``bench`` accept ``--json`` for machine-readable output; every
+``bench``/``run_suite`` invocation also writes a structured run manifest
+(see ``repro.obs.manifest``).
 """
 
 import argparse
@@ -44,10 +50,30 @@ def cmd_list(_args):
     return 0
 
 
+def _resolve_benchmark(name):
+    """Benchmark lookup by name, case-insensitively (CLI convenience)."""
+    if name in ALL_BENCHMARKS:
+        return ALL_BENCHMARKS[name]
+    folded = {key.lower(): key for key in ALL_BENCHMARKS}
+    if name.lower() in folded:
+        return ALL_BENCHMARKS[folded[name.lower()]]
+    raise SystemExit("unknown benchmark %r (choose from %s)"
+                     % (name, ", ".join(BENCHMARK_NAMES)))
+
+
 def cmd_run(args):
     bench = ALL_BENCHMARKS[args.benchmark]
     rt = _runtime(args)
     stats = bench.run(rt, scale=args.scale)
+    if args.json:
+        import json
+        print(json.dumps({
+            "benchmark": bench.name, "mode": args.mode,
+            "scale": args.scale,
+            "geometry": {"num_warps": args.warps, "num_lanes": args.lanes},
+            "stats": stats.as_dict(),
+        }, indent=1, sort_keys=True))
+        return 0
     print("%s [%s] PASSED self test" % (bench.name, args.mode))
     print("  cycles=%d instrs=%d IPC=%.2f" % (stats.cycles,
                                               stats.instrs_issued,
@@ -83,7 +109,8 @@ def cmd_trace(args):
     from repro.eval.tracing import TraceRecorder
     bench = ALL_BENCHMARKS[args.benchmark]
     rt = _runtime(args)
-    recorder = TraceRecorder(limit=args.limit, only_warp=args.warp)
+    recorder = TraceRecorder(limit=args.limit, only_warp=args.warp,
+                             num_lanes=rt.sm.cfg.num_lanes)
     rt.sm.trace = recorder
     bench.run(rt, scale=args.scale)
     print(recorder.render())
@@ -135,6 +162,77 @@ def cmd_experiment(args):
     return 0
 
 
+def cmd_profile(args):
+    """Cycle-attributed profile of one benchmark (nvprof-style)."""
+    from repro.eval import runner
+    from repro.nocl import NoCLRuntime
+    from repro.obs import ProfileCollector, TimelineCollector, attach, detach
+    bench = _resolve_benchmark(args.benchmark)
+    overrides = {}
+    if args.warps is not None:
+        overrides["num_warps"] = args.warps
+    if args.lanes is not None:
+        overrides["num_lanes"] = args.lanes
+    mode, config = runner.config_for(args.config, **overrides)
+    rt = NoCLRuntime(mode, config=config)
+    profiler = ProfileCollector()
+    sinks = [profiler]
+    timeline = None
+    if args.perfetto is not None:
+        timeline = TimelineCollector()
+        sinks.append(timeline)
+    attach(rt.sm, *sinks)
+    try:
+        stats = bench.run(rt, scale=args.scale)
+    finally:
+        detach(rt.sm)
+    if args.json:
+        import json
+        print(json.dumps({
+            "benchmark": bench.name, "config": args.config, "mode": mode,
+            "scale": args.scale, "cycles": stats.cycles,
+            "profile": profiler.as_dict(),
+        }, indent=1, sort_keys=True))
+    elif args.pc:
+        print(profiler.render_pc(stats, limit=args.limit or 40))
+    elif args.per_warp:
+        print(profiler.render_warps())
+    elif args.timeline:
+        print(profiler.render_timeline())
+    else:
+        print("%s [%s] cycle profile by source line"
+              % (bench.name, args.config))
+        print(profiler.render_source(stats, limit=args.limit))
+    if timeline is not None:
+        path = args.perfetto
+        if path == "":
+            import os
+            os.makedirs("results", exist_ok=True)
+            path = "results/%s_%s.perfetto.json" % (bench.name.lower(),
+                                                    args.config)
+        timeline.export(path)
+        print("perfetto trace written to %s (load at https://ui.perfetto.dev)"
+              % path)
+    return 0
+
+
+def cmd_diff(args):
+    from repro.obs import manifest as mf
+    try:
+        old = mf.load_manifest(args.old)
+        new = mf.load_manifest(args.new)
+    except (OSError, ValueError) as exc:
+        print("diff: %s" % exc, file=sys.stderr)
+        return 2
+    rows = mf.diff_manifests(old, new, threshold=args.threshold)
+    print("manifest diff: %s (%s) -> %s (%s), threshold %.1f%%"
+          % (args.old, old.get("config", "?"),
+             args.new, new.get("config", "?"), 100 * args.threshold))
+    print(mf.render_diff(rows, old_label="old", new_label="new",
+                         verbose=args.verbose))
+    return 1 if any(row["regressed"] for row in rows) else 0
+
+
 def cmd_bench(args):
     import time
 
@@ -147,11 +245,44 @@ def cmd_bench(args):
             print("unknown configuration %r (choose from %s)"
                   % (config_name, ", ".join(BENCH_CONFIGS)), file=sys.stderr)
             return 2
+    overrides = {}
+    if args.warps is not None:
+        overrides["num_warps"] = args.warps
+    if args.lanes is not None:
+        overrides["num_lanes"] = args.lanes
     total_start = time.perf_counter()
+    if args.json:
+        import json
+        payload = {"configs": {}, "scale": args.scale}
+        for config_name in config_names:
+            start = time.perf_counter()
+            results = runner.run_suite(config_name, scale=args.scale,
+                                       jobs=args.jobs, **overrides)
+            payload["configs"][config_name] = {
+                "wall_seconds": round(time.perf_counter() - start, 6),
+                "benchmarks": {
+                    name: {
+                        "cycles": result.stats.cycles,
+                        "instrs_issued": result.stats.instrs_issued,
+                        "ipc": round(result.stats.ipc, 6),
+                        "dram_total_bytes": result.stats.dram_total_bytes,
+                        "cache_source": (result.meta.source if result.meta
+                                         else "memo"),
+                        "sim_seconds": round(
+                            result.meta.wall_seconds, 6) if result.meta
+                        else 0.0,
+                    }
+                    for name, result in results.items()
+                },
+            }
+        payload["wall_seconds"] = round(time.perf_counter() - total_start, 6)
+        payload["runner_counters"] = runner.RUNNER_STATS.snapshot()
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     for config_name in config_names:
         start = time.perf_counter()
         results = runner.run_suite(config_name, scale=args.scale,
-                                   jobs=args.jobs)
+                                   jobs=args.jobs, **overrides)
         wall = time.perf_counter() - start
         print("== %s (scale=%d): %.2fs wall ==" % (config_name, args.scale,
                                                    wall))
@@ -194,6 +325,8 @@ def build_parser():
 
     run = sub.add_parser("run", help="run one benchmark")
     run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run.add_argument("--json", action="store_true",
+                     help="print full stats as JSON")
     _add_mode_args(run)
 
     listing = sub.add_parser("listing", help="print compiled assembly")
@@ -222,6 +355,55 @@ def build_parser():
                        help="problem-size multiplier")
     bench.add_argument("--no-cache", action="store_true",
                        help="bypass the persistent disk cache")
+    bench.add_argument("--json", action="store_true",
+                       help="machine-readable per-benchmark results")
+    bench.add_argument("--warps", type=int, default=None,
+                       help="override the evaluation warp count")
+    bench.add_argument("--lanes", type=int, default=None,
+                       help="override the evaluation lane count")
+
+    profile = sub.add_parser(
+        "profile",
+        help="cycle-attributed hotspot profile (per source line or PC)")
+    profile.add_argument("benchmark", metavar="BENCH",
+                         help="benchmark name (case-insensitive), one of: %s"
+                              % ", ".join(BENCHMARK_NAMES))
+    profile.add_argument("--config", default="cheri_opt",
+                         choices=BENCH_CONFIGS,
+                         help="evaluation configuration (default: cheri_opt)")
+    view = profile.add_mutually_exclusive_group()
+    view.add_argument("--source", action="store_true",
+                      help="attribute cycles to DSL source lines (default)")
+    view.add_argument("--pc", action="store_true",
+                      help="attribute cycles to instruction PCs")
+    view.add_argument("--per-warp", action="store_true",
+                      help="per-warp occupancy and stall-cause breakdown")
+    view.add_argument("--timeline", action="store_true",
+                      help="coarse issue/stall activity strip over time")
+    view.add_argument("--json", action="store_true",
+                      help="dump the whole profile as JSON")
+    profile.add_argument("--perfetto", nargs="?", const="", default=None,
+                         metavar="OUT.json",
+                         help="also export a Perfetto/Chrome trace (default "
+                              "path: results/<bench>_<config>.perfetto.json)")
+    profile.add_argument("--limit", type=int, default=None,
+                         help="show at most N rows")
+    profile.add_argument("--scale", type=int, default=1)
+    profile.add_argument("--warps", type=int, default=None,
+                         help="override the evaluation warp count")
+    profile.add_argument("--lanes", type=int, default=None,
+                         help="override the evaluation lane count")
+
+    diff = sub.add_parser(
+        "diff", help="compare two run manifests, flag metric regressions")
+    diff.add_argument("old", help="baseline manifest JSON")
+    diff.add_argument("new", help="candidate manifest JSON")
+    diff.add_argument("--threshold", type=float, default=0.02,
+                      help="relative growth tolerated before a "
+                           "higher-is-worse metric counts as regressed "
+                           "(default: 0.02)")
+    diff.add_argument("--verbose", action="store_true",
+                      help="also show unchanged metrics")
     return parser
 
 
@@ -234,6 +416,8 @@ def main(argv=None):
         "trace": cmd_trace,
         "experiment": cmd_experiment,
         "bench": cmd_bench,
+        "profile": cmd_profile,
+        "diff": cmd_diff,
     }
     try:
         return handlers[args.command](args)

@@ -1,8 +1,51 @@
-"""Plain-text rendering of experiment results (the paper's rows/series)."""
+"""Plain-text rendering of experiment results (the paper's rows/series).
+
+Besides the ``render_*`` table formatters, :func:`to_jsonable` and
+:func:`write_structured` turn the same experiment outputs into JSON, so
+every regenerated table also lands machine-readable under ``results/``
+(consumed by plotting scripts and the manifest ``diff`` workflow).
+"""
+
+import json
+import os
 
 
 def pct(value):
     return "%+.1f%%" % (100.0 * value)
+
+
+def to_jsonable(value):
+    """Recursively convert experiment output into JSON-serialisable data.
+
+    Experiments return plain rows (lists of dicts/tuples) but keys and
+    leaves can be opcodes, Counters, sets, or dataclasses; normalise all
+    of them so ``json.dump`` never trips.
+    """
+    from dataclasses import asdict, is_dataclass
+    if isinstance(value, dict):
+        return {str(getattr(k, "name", k)): to_jsonable(v)
+                for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(to_jsonable(v) for v in value)
+    if is_dataclass(value) and not isinstance(value, type):
+        return to_jsonable(asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "name"):  # enum-ish (opcodes)
+        return value.name
+    return str(value)
+
+
+def write_structured(directory, name, data):
+    """Write ``data`` as ``<directory>/<name>.json``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(str(directory), "%s.json" % name)
+    with open(path, "w") as stream:
+        json.dump(to_jsonable(data), stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    return path
 
 
 def render_fig6(series):

@@ -128,6 +128,7 @@ RUNNER_STATS = RunnerStats()
 
 _CACHE = {}
 _disk_enabled = True
+_manifests_enabled = True
 
 #: Source trees whose content participates in the disk-cache key: any
 #: edit to the simulator, ISA, compiler, or benchmark inputs must
@@ -139,6 +140,12 @@ def set_disk_cache(enabled):
     """Globally enable/disable the persistent disk cache."""
     global _disk_enabled
     _disk_enabled = bool(enabled)
+
+
+def set_manifests(enabled):
+    """Globally enable/disable run-manifest emission from run_suite."""
+    global _manifests_enabled
+    _manifests_enabled = bool(enabled)
 
 
 def cache_dir():
@@ -313,6 +320,7 @@ def run_suite(config_name, scale=1, jobs=None, **overrides):
     results are merged into the in-process memo (and the disk cache), so
     repeated calls are hits regardless of how the first call ran.
     """
+    suite_start = time.perf_counter()
     results = {}
     pending = []
     for name in BENCHMARK_NAMES:
@@ -353,7 +361,28 @@ def run_suite(config_name, scale=1, jobs=None, **overrides):
             for name, _key in pending:
                 results[name] = run_benchmark(name, config_name, scale,
                                               **overrides)
-    return {name: results[name] for name in BENCHMARK_NAMES}
+    ordered = {name: results[name] for name in BENCHMARK_NAMES}
+    if _manifests_enabled:
+        _emit_manifest(ordered, config_name, scale,
+                       time.perf_counter() - suite_start)
+    return ordered
+
+
+def _emit_manifest(results, config_name, scale, wall_seconds):
+    """Write the structured run manifest for one suite invocation.
+
+    Best-effort by design: a broken or read-only manifest directory must
+    never fail an experiment run.
+    """
+    from repro.obs import manifest as mf
+    try:
+        manifest = mf.build_manifest(
+            results, config_name, scale, wall_seconds,
+            sources_digest=_sources_digest().hex(),
+            runner_counters=RUNNER_STATS.snapshot())
+        return mf.write_manifest(manifest)
+    except Exception:
+        return None
 
 
 def geomean(values):

@@ -20,21 +20,35 @@ class TraceEntry:
     text: str
     op_name: str
     active_lanes: List[int]
+    #: SM lane count; the mask renders at this width so entries line up
+    #: and partially-active warps read at a glance.
+    num_lanes: int = 0
 
     def __str__(self):
-        lanes = "".join("x" if lane in self.active_lanes else "."
-                        for lane in range(max(self.active_lanes) + 1))
+        width = self.num_lanes
+        if not width:
+            # Entries from before the lane count was known: size the mask
+            # to the highest active lane (or nothing when none are).
+            width = max(self.active_lanes) + 1 if self.active_lanes else 0
+        active = set(self.active_lanes)
+        lanes = "".join("x" if lane in active else "."
+                        for lane in range(width))
         return "%8d  w%-2d %06x  [%s]  %s" % (
             self.cycle, self.warp, self.pc, lanes, self.text)
 
 
 class TraceRecorder:
-    """Collects per-issue trace entries (optionally bounded)."""
+    """Collects per-issue trace entries (optionally bounded).
 
-    def __init__(self, limit=None, only_warp=None):
+    ``num_lanes`` (when given) fixes the rendered width of the lane
+    mask to the SM's actual warp size.
+    """
+
+    def __init__(self, limit=None, only_warp=None, num_lanes=0):
         self.entries = []
         self.limit = limit
         self.only_warp = only_warp
+        self.num_lanes = num_lanes
         self.dropped = 0
 
     def record(self, cycle, warp, pc, instr, lanes):
@@ -45,7 +59,8 @@ class TraceRecorder:
             return
         self.entries.append(TraceEntry(
             cycle=cycle, warp=warp, pc=pc, text=format_instr(instr),
-            op_name=instr.op.name, active_lanes=list(lanes)))
+            op_name=instr.op.name, active_lanes=list(lanes),
+            num_lanes=self.num_lanes))
 
     def __len__(self):
         return len(self.entries)
@@ -65,7 +80,8 @@ class TraceRecorder:
 def trace_kernel(runtime, kernel_src, grid_dim, block_dim, args,
                  limit=2000, only_warp=None):
     """Launch a kernel with tracing enabled; returns (stats, recorder)."""
-    recorder = TraceRecorder(limit=limit, only_warp=only_warp)
+    recorder = TraceRecorder(limit=limit, only_warp=only_warp,
+                             num_lanes=runtime.sm.cfg.num_lanes)
     runtime.sm.trace = recorder
     try:
         stats = runtime.launch(kernel_src, grid_dim, block_dim, args)

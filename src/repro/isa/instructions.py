@@ -152,7 +152,10 @@ class Instr:
     ``imm`` the sign-extended immediate.  ``depth`` is the static
     control-flow nesting level used by the active-thread-selection stage to
     reconverge divergent threads (deepest-first, paper section 2.3); it is
-    metadata supplied by the compiler, not an encoded field.
+    metadata supplied by the compiler, not an encoded field.  ``line`` is
+    compiler side-band too: the DSL source line the instruction was
+    generated from (``None`` for runtime-generated prologue/epilogue),
+    used by the profiler to attribute cycles back to kernel source.
     """
 
     op: Op
@@ -162,10 +165,11 @@ class Instr:
     imm: Optional[int] = None
     depth: int = 0
     comment: str = field(default="", compare=False)
+    line: Optional[int] = field(default=None, compare=False)
 
     def with_depth(self, depth):
         return Instr(self.op, self.rd, self.rs1, self.rs2, self.imm,
-                     depth=depth, comment=self.comment)
+                     depth=depth, comment=self.comment, line=self.line)
 
     def __str__(self):
         from repro.isa.disasm import format_instr

@@ -51,10 +51,22 @@ class CompiledKernel:
     shared_bytes: int
     uses_barrier: bool
     frame_bytes: int
+    #: Dedented DSL source; ``Instr.line`` values are 1-based indices
+    #: into its lines (profiler side-band, not part of the binary).
+    source_text: str = ""
 
     @property
     def uses_cheri(self):
         return self.mode == "purecap"
+
+    def line_text(self, line):
+        """The source text of 1-based ``line`` (empty when unknown)."""
+        if not line or not self.source_text:
+            return ""
+        lines = self.source_text.splitlines()
+        if 1 <= line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
 
     def listing(self):
         from repro.isa.disasm import format_program
@@ -189,4 +201,5 @@ def compile_kernel(source, mode):
         shared_bytes=fe.shared_bytes,
         uses_barrier=fe.uses_barrier,
         frame_bytes=frame_bytes,
+        source_text=getattr(source, "source_text", ""),
     )

@@ -123,6 +123,9 @@ class KernelSource:
         self.func = func
         self.name = func.__name__
         source = textwrap.dedent(inspect.getsource(func))
+        #: Dedented source text; ``lineno`` fields in :attr:`tree` are
+        #: 1-based indices into these lines (the profiler renders them).
+        self.source_text = source
         module = ast.parse(source)
         funcs = [node for node in module.body
                  if isinstance(node, ast.FunctionDef)]
@@ -140,7 +143,8 @@ class KernelSource:
         """
         self = cls.__new__(cls)
         self.func = None
-        module = ast.parse(textwrap.dedent(source))
+        self.source_text = textwrap.dedent(source)
+        module = ast.parse(self.source_text)
         funcs = [node for node in module.body
                  if isinstance(node, ast.FunctionDef)]
         if len(funcs) != 1:

@@ -94,6 +94,9 @@ class Frontend:
         self._hoisting = False
         self.cg = codegen_cls(self)
         self._block_continue = None
+        #: DSL source line of the statement currently being compiled;
+        #: stamped onto every emitted instruction for cycle attribution.
+        self.cur_line = None
 
     # -- emitter interface used by CodeGen --------------------------------
 
@@ -101,10 +104,14 @@ class Frontend:
         if self._hoisting:
             if isinstance(item, (VInstr, VLoadImm)):
                 item.depth = 0
+                if item.line is None:
+                    item.line = self.cur_line
             self.hoisted.append(item)
             return item
         if isinstance(item, (VInstr, VLoadImm)):
             item.depth = self.depth
+            if item.line is None:
+                item.line = self.cur_line
         self.items.append(item)
         return item
 
@@ -142,6 +149,8 @@ class Frontend:
     # ----------------------------------------------------------------------
 
     def _stmt(self, node):
+        if hasattr(node, "lineno"):
+            self.cur_line = node.lineno
         if isinstance(node, ast.Assign):
             self._assign(node)
         elif isinstance(node, ast.AugAssign):

@@ -32,6 +32,7 @@ class VInstr:
     target: Optional[str] = None   # symbolic branch/jump target
     depth: int = 0                 # convergence nesting level
     comment: str = ""
+    line: Optional[int] = None     # DSL source line (profiler attribution)
 
     def regs_read(self):
         regs = []
@@ -65,6 +66,7 @@ class VLoadImm:
     value: int
     depth: int = 0
     comment: str = ""
+    line: Optional[int] = None
 
     def regs_read(self):
         return []
@@ -90,18 +92,20 @@ def _sext32(value):
     return value - (1 << 32) if value & 0x80000000 else value
 
 
-def _expand_li(rd, value, depth, comment):
+def _expand_li(rd, value, depth, comment, line=None):
     """Expand LI into LUI/ADDI."""
     value &= 0xFFFFFFFF
     signed = _sext32(value)
     if -2048 <= signed <= 2047:
         return [Instr(Op.ADDI, rd=rd, rs1=0, imm=signed, depth=depth,
-                      comment=comment)]
+                      comment=comment, line=line)]
     upper = (value + 0x800) >> 12 & 0xFFFFF
     low = _sext32((value - ((upper << 12) & 0xFFFFFFFF)) & 0xFFFFFFFF)
-    out = [Instr(Op.LUI, rd=rd, imm=upper, depth=depth, comment=comment)]
+    out = [Instr(Op.LUI, rd=rd, imm=upper, depth=depth, comment=comment,
+                 line=line)]
     if low:
-        out.append(Instr(Op.ADDI, rd=rd, rs1=rd, imm=low, depth=depth))
+        out.append(Instr(Op.ADDI, rd=rd, rs1=rd, imm=low, depth=depth,
+                         line=line))
     return out
 
 
@@ -136,7 +140,8 @@ def assemble(items, base_pc=0):
         if isinstance(item, VLabel):
             continue
         if isinstance(item, VLoadImm):
-            out.extend(_expand_li(item.rd, item.value, item.depth, item.comment))
+            out.extend(_expand_li(item.rd, item.value, item.depth,
+                                  item.comment, line=item.line))
             pc += 4 * length
             continue
         instr = item
@@ -147,6 +152,6 @@ def assemble(items, base_pc=0):
             imm = label_pc[instr.target] - pc
         out.append(Instr(instr.op, rd=instr.rd, rs1=instr.rs1,
                          rs2=instr.rs2, imm=imm, depth=instr.depth,
-                         comment=instr.comment))
+                         comment=instr.comment, line=instr.line))
         pc += 4 * length
     return out

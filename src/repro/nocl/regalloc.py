@@ -160,8 +160,9 @@ def _rewrite(items, assignment, spilled, cap_spills):
         if isinstance(item, VLoadImm):
             rd, post = _map_write(item.rd, assignment, spilled)
             out.append(VLoadImm(rd, item.value, depth=item.depth,
-                                comment=item.comment))
-            _emit_spill_store(out, post, store_op, sp, item.depth)
+                                comment=item.comment, line=item.line))
+            _emit_spill_store(out, post, store_op, sp, item.depth,
+                              item.line)
             continue
         rs1, rs2 = item.rs1, item.rs2
         scratch_cycle = [SCRATCH_A, SCRATCH_B]
@@ -170,7 +171,7 @@ def _rewrite(items, assignment, spilled, cap_spills):
                 scratch = scratch_cycle.pop(0)
                 out.append(VInstr(load_op, rd=scratch, rs1=sp,
                                   imm=spilled[rs1], depth=item.depth,
-                                  comment="reload"))
+                                  comment="reload", line=item.line))
                 rs1 = scratch
             else:
                 rs1 = assignment[rs1]
@@ -179,15 +180,15 @@ def _rewrite(items, assignment, spilled, cap_spills):
                 scratch = scratch_cycle.pop(0)
                 out.append(VInstr(load_op, rd=scratch, rs1=sp,
                                   imm=spilled[rs2], depth=item.depth,
-                                  comment="reload"))
+                                  comment="reload", line=item.line))
                 rs2 = scratch
             else:
                 rs2 = assignment[rs2]
         rd, post = _map_write(item.rd, assignment, spilled)
         out.append(VInstr(item.op, rd=rd, rs1=rs1, rs2=rs2, imm=item.imm,
                           target=item.target, depth=item.depth,
-                          comment=item.comment))
-        _emit_spill_store(out, post, store_op, sp, item.depth)
+                          comment=item.comment, line=item.line))
+        _emit_spill_store(out, post, store_op, sp, item.depth, item.line)
     return out
 
 
@@ -200,7 +201,7 @@ def _map_write(rd, assignment, spilled):
     return assignment[rd], None
 
 
-def _emit_spill_store(out, slot, store_op, sp, depth):
+def _emit_spill_store(out, slot, store_op, sp, depth, line=None):
     if slot is not None:
         out.append(VInstr(store_op, rs1=sp, rs2=SCRATCH_A, imm=slot,
-                          depth=depth, comment="spill"))
+                          depth=depth, comment="spill", line=line))

@@ -185,6 +185,9 @@ class NoCLRuntime:
         init_regs, init_caps = self._initial_registers(
             program, block_dim, num_slots)
         pcc = self._kernel_pcc(program)
+        # Side-band for the profiler: which compiled kernel is running
+        # (source text + line table); never read by the simulation itself.
+        self.sm.kernel_info = program
         return self.sm.launch(
             program.instrs,
             init_regs=init_regs,

@@ -1,0 +1,226 @@
+"""Structured run manifests: what ran, under what, and what it measured.
+
+Every :func:`repro.eval.runner.run_suite` call emits one JSON manifest
+(``results/manifests/<config>_s<scale>.json`` unless redirected with the
+``REPRO_MANIFEST_DIR`` environment variable).  A manifest captures the
+full per-benchmark statistics plus enough provenance to interpret them
+later: configuration name and mode, SM geometry, scale, per-run cache
+source (memo / disk / fresh simulation), the simulator-source digest the
+disk cache was keyed on, the git revision, and wall-clock cost.
+
+``python -m repro diff A.json B.json`` compares two manifests metric by
+metric and exits non-zero when any *higher-is-worse* metric regressed
+beyond the threshold — the intended guard for performance-sensitive
+changes (pair it with the pinned ``BENCH_runner.json`` numbers).
+"""
+
+import json
+import os
+import time
+
+#: Manifest schema version; bump on incompatible layout changes.
+SCHEMA = 2
+
+#: Metrics where a larger value is a regression.  Everything else in the
+#: stats block is informational (e.g. ``instrs_issued`` legitimately
+#: differs across configs; ``ipc`` is higher-is-better).
+REGRESSION_METRICS = (
+    "cycles",
+    "dram_read_bytes",
+    "dram_write_bytes",
+    "dram_spill_bytes",
+    "dram_tag_bytes",
+    "dram_txns",
+    "gp_spills",
+    "meta_spills",
+    "stall_shared_vrf",
+    "stall_csc_operand",
+    "stall_bank_conflict",
+    "stall_atomic_serial",
+)
+
+#: Default relative-regression tolerance for :func:`diff_manifests`.
+DEFAULT_THRESHOLD = 0.02
+
+
+def _git_revision(root):
+    """Best-effort current git revision without shelling out."""
+    try:
+        head_path = os.path.join(root, ".git", "HEAD")
+        with open(head_path) as stream:
+            head = stream.read().strip()
+        if head.startswith("ref: "):
+            ref = head[5:]
+            ref_path = os.path.join(root, ".git", *ref.split("/"))
+            if os.path.exists(ref_path):
+                with open(ref_path) as stream:
+                    return stream.read().strip()
+            packed = os.path.join(root, ".git", "packed-refs")
+            with open(packed) as stream:
+                for line in stream:
+                    if line.endswith(ref + "\n"):
+                        return line.split()[0]
+            return ""
+        return head
+    except OSError:
+        return ""
+
+
+def manifest_dir():
+    """Where manifests land (``results/manifests`` unless overridden)."""
+    override = os.environ.get("REPRO_MANIFEST_DIR")
+    if override:
+        return override
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(root, "results", "manifests")
+
+
+def default_path(config_name, scale):
+    """Stable per-(config, scale) filename, so reruns overwrite in place."""
+    return os.path.join(manifest_dir(),
+                        "%s_s%d.json" % (config_name, scale))
+
+
+def build_manifest(results, config_name, scale, wall_seconds,
+                   sources_digest="", runner_counters=None):
+    """Assemble the manifest dict for one ``run_suite`` invocation.
+
+    ``results`` maps benchmark name -> :class:`RunResult`.  The SM
+    geometry is lifted from the first result's config (identical across
+    the suite by construction).
+    """
+    from dataclasses import asdict
+    benchmarks = {}
+    mode = None
+    geometry = {}
+    for name, result in results.items():
+        if mode is None:
+            mode = result.mode
+            geometry = {"num_warps": result.config.num_warps,
+                        "num_lanes": result.config.num_lanes}
+        meta = result.meta
+        benchmarks[name] = {
+            "stats": result.stats.as_dict(),
+            "cache_source": meta.source if meta else "memo",
+            "sim_seconds": round(meta.wall_seconds, 6) if meta else 0.0,
+        }
+    first = next(iter(results.values()), None)
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return {
+        "schema": SCHEMA,
+        "generator": "repro.eval.runner",
+        "created_unix": round(time.time(), 3),
+        "config": config_name,
+        "mode": mode or "",
+        "scale": scale,
+        "geometry": geometry,
+        "sm_config": dict(sorted(asdict(first.config).items())) if first
+        else {},
+        "wall_seconds": round(wall_seconds, 6),
+        "sources_digest": sources_digest,
+        "git_revision": _git_revision(repo_root),
+        "runner_counters": dict(runner_counters or {}),
+        "benchmarks": benchmarks,
+    }
+
+
+def write_manifest(manifest, path=None):
+    """Write ``manifest`` as JSON (atomic rename); returns the path.
+
+    Never raises on filesystem trouble — a read-only checkout must not
+    break experiments — but returns ``None`` in that case.
+    """
+    if path is None:
+        path = default_path(manifest["config"], manifest["scale"])
+    try:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        tmp = "%s.tmp.%d" % (path, os.getpid())
+        with open(tmp, "w") as stream:
+            json.dump(manifest, stream, indent=1, sort_keys=True)
+            stream.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        return None
+    return path
+
+
+def load_manifest(path):
+    with open(path) as stream:
+        manifest = json.load(stream)
+    if "benchmarks" not in manifest:
+        raise ValueError("%s is not a run manifest (no benchmarks key)"
+                         % path)
+    return manifest
+
+
+def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
+                   metrics=REGRESSION_METRICS):
+    """Per-benchmark, per-metric comparison of two manifests.
+
+    Returns a list of row dicts with keys ``benchmark``, ``metric``,
+    ``old``, ``new``, ``delta``, ``ratio`` and ``regressed`` (True when
+    the metric is higher-is-worse and grew by more than ``threshold``
+    relative — or appeared from zero).  Benchmarks present in only one
+    manifest are reported with metric ``<missing>``.
+    """
+    rows = []
+    old_benches = old.get("benchmarks", {})
+    new_benches = new.get("benchmarks", {})
+    for name in sorted(set(old_benches) | set(new_benches)):
+        if name not in new_benches or name not in old_benches:
+            rows.append({"benchmark": name, "metric": "<missing>",
+                         "old": name in old_benches,
+                         "new": name in new_benches,
+                         "delta": None, "ratio": None, "regressed": True})
+            continue
+        old_stats = old_benches[name].get("stats", {})
+        new_stats = new_benches[name].get("stats", {})
+        for metric in metrics:
+            if metric not in old_stats and metric not in new_stats:
+                continue
+            old_value = old_stats.get(metric, 0)
+            new_value = new_stats.get(metric, 0)
+            delta = new_value - old_value
+            ratio = (new_value / old_value) if old_value else (
+                float("inf") if new_value else 1.0)
+            regressed = (delta > 0 and
+                         (old_value == 0 or ratio > 1.0 + threshold))
+            rows.append({"benchmark": name, "metric": metric,
+                         "old": old_value, "new": new_value,
+                         "delta": delta, "ratio": ratio,
+                         "regressed": regressed})
+    return rows
+
+
+def render_diff(rows, old_label="A", new_label="B", verbose=False):
+    """Human-readable diff table; regressions always shown, unchanged
+    metrics only with ``verbose``."""
+    lines = []
+    shown = [row for row in rows
+             if verbose or row["regressed"] or row["delta"]]
+    regressions = [row for row in rows if row["regressed"]]
+    lines.append("%-12s %-22s %14s %14s %10s" % (
+        "benchmark", "metric", old_label, new_label, "change"))
+    if not shown:
+        lines.append("  (no differences in tracked metrics)")
+    for row in shown:
+        if row["metric"] == "<missing>":
+            lines.append("%-12s %-22s %14s %14s %10s" % (
+                row["benchmark"], row["metric"],
+                "present" if row["old"] else "-",
+                "present" if row["new"] else "-", "!!"))
+            continue
+        if row["ratio"] in (None, float("inf")):
+            change = "+new"
+        else:
+            change = "%+.2f%%" % (100.0 * (row["ratio"] - 1.0))
+        lines.append("%-12s %-22s %14d %14d %10s%s" % (
+            row["benchmark"], row["metric"], row["old"], row["new"],
+            change, "  << REGRESSED" if row["regressed"] else ""))
+    lines.append("")
+    lines.append("%d metric(s) regressed beyond threshold"
+                 % len(regressions) if regressions
+                 else "no regressions beyond threshold")
+    return "\n".join(lines)

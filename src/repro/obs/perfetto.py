@@ -1,0 +1,210 @@
+"""Chrome trace-event / Perfetto export of simulated timelines.
+
+:class:`TimelineCollector` is a probe sink that records one slice per
+issued instruction (one track per warp, coloured by category: compute /
+memory / SFU / stalled) plus counter tracks for VRF and metadata-RF
+occupancy and cumulative DRAM traffic.  :meth:`TimelineCollector.export`
+writes the standard ``{"traceEvents": [...]}`` JSON that loads directly
+in https://ui.perfetto.dev or ``chrome://tracing``.
+
+Timestamps are simulated cycles expressed as microseconds (1 cycle =
+1 us), which Perfetto renders with sensible zooming.  Multi-kernel
+benchmarks share one timebase: each launch's local clock is offset by the
+cycles already accumulated in ``stats.cycles``.
+"""
+
+import json
+
+from repro.obs.profile import STALL_CAUSES, classify_op
+
+#: chrome://tracing reserved colour names per slice category.
+_CNAME = {
+    "compute": "thread_state_running",     # green
+    "mem": "thread_state_iowait",          # orange
+    "sfu": "thread_state_runnable",        # blue
+    "cheri_slow": "thread_state_unknown",  # brown-ish
+    "stall": "terrible",                   # red
+    "idle": "grey",
+}
+
+_PID = 1
+
+#: Track id for scheduler idle gaps (kept clear of real warp indices).
+_IDLE_TID = 10_000
+
+
+class TimelineCollector:
+    """Records issue slices and counter samples for Perfetto export.
+
+    ``limit`` bounds the number of slices kept (long runs stay
+    exportable); dropped slices are counted and reported in the trace
+    metadata.  ``counter_every`` decimates counter-track sampling to one
+    sample per N issues.
+    """
+
+    def __init__(self, limit=200_000, counter_every=8):
+        self.slices = []
+        self.counters = []
+        self.idle_slices = []
+        self.limit = limit
+        self.counter_every = max(1, counter_every)
+        self.dropped = 0
+        self.kernel_names = {}
+        self._sm = None
+        self._base = 0
+        self._issue_count = 0
+
+    # -- probe handlers ---------------------------------------------------
+
+    def on_launch(self, sm, program):
+        self._sm = sm
+        self._base = sm.stats.cycles
+        info = sm.kernel_info
+        if info is not None:
+            self.kernel_names[self._base] = info.name
+
+    def on_issue(self, cycle, warp, pc, instr, n_lanes, width, completion,
+                 stalls):
+        ts = self._base + cycle
+        if self.limit is not None and len(self.slices) >= self.limit:
+            self.dropped += 1
+        else:
+            category = classify_op(instr.op)
+            if stalls != (0, 0, 0, 0):
+                category = "stall"
+            dur = completion - cycle
+            if dur < width:
+                dur = width
+            self.slices.append((ts, warp, pc, instr.op.name, dur, n_lanes,
+                                category, stalls, instr.line))
+        self._issue_count += 1
+        if self._issue_count % self.counter_every == 0:
+            self._sample_counters(ts)
+
+    def on_idle(self, cycle, until):
+        if self.limit is None or len(self.idle_slices) < self.limit:
+            self.idle_slices.append((self._base + cycle, until - cycle))
+
+    def _sample_counters(self, ts):
+        sm = self._sm
+        if sm is None:
+            return
+        meta = sm.meta.resident_vectors if sm.meta is not None else 0
+        dram = sm.dram.stats
+        self.counters.append((ts, sm.gp.resident_vectors, meta,
+                              dram.read_bytes, dram.write_bytes))
+
+    # -- export -----------------------------------------------------------
+
+    def to_trace(self):
+        """The trace as a JSON-serialisable dict (Chrome trace format)."""
+        events = []
+        warps = sorted({s[1] for s in self.slices})
+        events.append({
+            "name": "process_name", "ph": "M", "pid": _PID, "tid": 0,
+            "args": {"name": "SM0 (%s)" % ", ".join(
+                self.kernel_names[k] for k in sorted(self.kernel_names))},
+        })
+        for warp in warps:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": warp,
+                "args": {"name": "warp %d" % warp},
+            })
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": _PID,
+                "tid": warp, "args": {"sort_index": warp},
+            })
+        for (ts, warp, pc, op, dur, n_lanes, category, stalls,
+             line) in self.slices:
+            args = {"pc": "0x%06x" % pc, "lanes": n_lanes,
+                    "category": category}
+            if line:
+                args["source_line"] = line
+            if stalls != (0, 0, 0, 0):
+                for cause, extra in zip(STALL_CAUSES, stalls):
+                    if extra:
+                        args["stall_" + cause] = extra
+            events.append({
+                "name": op, "cat": category, "ph": "X", "ts": ts,
+                "dur": dur, "pid": _PID, "tid": warp,
+                "cname": _CNAME.get(category, "grey"), "args": args,
+            })
+        for ts, dur in self.idle_slices:
+            events.append({
+                "name": "scheduler idle", "cat": "idle", "ph": "X",
+                "ts": ts, "dur": dur, "pid": _PID, "tid": _IDLE_TID,
+                "cname": _CNAME["idle"], "args": {},
+            })
+        if self.idle_slices:
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": _PID, "tid": _IDLE_TID,
+                "args": {"name": "scheduler (idle gaps)"},
+            })
+        for ts, gp, meta, read_bytes, write_bytes in self.counters:
+            events.append({
+                "name": "VRF resident vectors", "ph": "C", "ts": ts,
+                "pid": _PID, "args": {"gp": gp, "meta": meta},
+            })
+            events.append({
+                "name": "DRAM bytes (cumulative)", "ph": "C", "ts": ts,
+                "pid": _PID,
+                "args": {"read": read_bytes, "write": write_bytes},
+            })
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs.perfetto",
+                "time_unit": "1 ts = 1 simulated cycle",
+                "dropped_slices": self.dropped,
+            },
+        }
+
+    def export(self, path):
+        """Write the trace JSON to ``path``; returns the path."""
+        with open(path, "w") as stream:
+            json.dump(self.to_trace(), stream, separators=(",", ":"))
+        return path
+
+
+def validate_trace(trace):
+    """Sanity-check a trace dict against the Chrome trace-event schema.
+
+    Returns a list of problems (empty when the trace is loadable).  Used
+    by the schema test and handy when extending the exporter.
+    """
+    problems = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["missing traceEvents key"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    last_end = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append("event %d not an object" % i)
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M", "C", "B", "E", "I"):
+            problems.append("event %d: unsupported ph %r" % (i, ph))
+            continue
+        if "name" not in event:
+            problems.append("event %d: missing name" % i)
+        if ph in ("X", "C") and not isinstance(event.get("ts"), int):
+            problems.append("event %d: missing integer ts" % i)
+        if ph == "X":
+            if not isinstance(event.get("dur"), int) or event["dur"] < 0:
+                problems.append("event %d: bad dur" % i)
+                continue
+            tid = event.get("tid")
+            key = (event.get("pid"), tid)
+            start = event["ts"]
+            if start < last_end.get(key, 0) - 0:
+                if start < last_end[key]:
+                    problems.append(
+                        "event %d: slice overlaps previous on tid %r"
+                        % (i, tid))
+            end = start + event["dur"]
+            if end > last_end.get(key, 0):
+                last_end[key] = end
+    return problems

@@ -1,0 +1,135 @@
+"""The probe bus: zero-overhead-when-off instrumentation events.
+
+The :class:`StreamingMultiprocessor` owns an optional ``probes`` slot.
+When it is ``None`` (the default) the pipeline's hot path is untouched —
+every hook site is a single ``self.probes is not None`` check — and the
+simulated statistics are bit-identical either way (pinned by
+``tests/eval/test_equivalence.py``).
+
+When a :class:`ProbeBus` is attached, the pipeline publishes a small set
+of cycle-stamped events and the bus fans each one out to the sinks that
+declared a handler for it:
+
+==========  =============================================================
+event       handler signature on the sink
+==========  =============================================================
+launch      ``on_launch(sm, program)`` — a kernel starts on the SM
+issue       ``on_issue(cycle, warp, pc, instr, n_lanes, width,``
+            ``completion, stalls)`` — one instruction issued; ``width``
+            is the issue slots consumed, ``completion`` the cycle the
+            warp resumes, ``stalls`` a 4-tuple of extra issue slots
+            charged this issue: (shared_vrf, csc_operand, bank_conflict,
+            atomic_serial)
+idle        ``on_idle(cycle, until)`` — no warp was ready; the scheduler
+            skipped from ``cycle`` to ``until``
+mem_txn     ``on_mem_txn(cycle, line_addr, n_bytes, is_write, done)``
+rf_spill    ``on_rf_spill(cycle, spills, reloads)`` — register-file
+            compression traffic to DRAM
+barrier     ``on_barrier(cycle, warp)``
+sfu         ``on_sfu(cycle, n_lanes, cheri_op, done)``
+finish      ``on_finish(sm)`` — emitted by :func:`detach`
+==========  =============================================================
+
+Cycle accounting invariant: within one kernel launch, the sum of
+``width`` over all issue events plus the sum of ``until - cycle`` over
+all idle events equals the cycles that launch added to ``stats.cycles``.
+The profiler builds its "attributed cycles sum to total cycles" guarantee
+on exactly this identity.
+"""
+
+#: Event names the bus can dispatch (a sink subscribes by defining
+#: ``on_<event>``).
+EVENTS = ("launch", "issue", "idle", "mem_txn", "rf_spill", "barrier",
+          "sfu", "finish")
+
+
+class ProbeBus:
+    """Fans pipeline events out to attached sinks.
+
+    Handler lists are materialised per event at :meth:`attach` time, so
+    dispatch is a plain list walk with no ``hasattr`` checks on the
+    per-issue path.
+    """
+
+    def __init__(self):
+        self._sinks = []
+        self._rebuild()
+
+    def _rebuild(self):
+        for event in EVENTS:
+            handlers = [getattr(sink, "on_" + event) for sink in self._sinks
+                        if callable(getattr(sink, "on_" + event, None))]
+            setattr(self, "_" + event, handlers)
+
+    def attach(self, sink):
+        """Subscribe ``sink``'s ``on_*`` handlers; returns the sink."""
+        self._sinks.append(sink)
+        self._rebuild()
+        return sink
+
+    def detach_sink(self, sink):
+        self._sinks.remove(sink)
+        self._rebuild()
+
+    @property
+    def sinks(self):
+        return tuple(self._sinks)
+
+    # -- dispatch (called from the pipeline) ------------------------------
+
+    def launch(self, sm, program):
+        for fn in self._launch:
+            fn(sm, program)
+
+    def issue(self, cycle, warp, pc, instr, n_lanes, width, completion,
+              stalls):
+        for fn in self._issue:
+            fn(cycle, warp, pc, instr, n_lanes, width, completion, stalls)
+
+    def idle(self, cycle, until):
+        for fn in self._idle:
+            fn(cycle, until)
+
+    def mem_txn(self, cycle, line_addr, n_bytes, is_write, done):
+        for fn in self._mem_txn:
+            fn(cycle, line_addr, n_bytes, is_write, done)
+
+    def rf_spill(self, cycle, spills, reloads):
+        for fn in self._rf_spill:
+            fn(cycle, spills, reloads)
+
+    def barrier(self, cycle, warp):
+        for fn in self._barrier:
+            fn(cycle, warp)
+
+    def sfu(self, cycle, n_lanes, cheri_op, done):
+        for fn in self._sfu:
+            fn(cycle, n_lanes, cheri_op, done)
+
+    def finish(self, sm):
+        for fn in self._finish:
+            fn(sm)
+
+
+def attach(sm, *sinks):
+    """Attach ``sinks`` to ``sm``, creating its :class:`ProbeBus` if needed.
+
+    Returns the bus.  Use :func:`detach` to restore the probe-free hot
+    path when done.
+    """
+    bus = sm.probes
+    if bus is None:
+        bus = ProbeBus()
+        sm.probes = bus
+    for sink in sinks:
+        bus.attach(sink)
+    return bus
+
+
+def detach(sm):
+    """Detach the probe bus (emitting ``finish``) and return it."""
+    bus = sm.probes
+    if bus is not None:
+        bus.finish(sm)
+        sm.probes = None
+    return bus

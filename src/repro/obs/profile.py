@@ -1,0 +1,344 @@
+"""Cycle-attributed profiles built on the probe bus.
+
+:class:`ProfileCollector` subscribes to issue/idle events and attributes
+every simulated cycle to the static instruction (PC) that consumed the
+issue slot, then maps PCs back through the compiler's line side-band to
+DSL source lines — an ``nvprof``-style hotspot report for the simulated
+SM.  The accounting is exact by construction: the barrel scheduler
+advances time only by issue widths and idle skips, so
+
+    sum(per-PC issue slots) + idle cycles == stats.cycles
+
+(pinned by ``tests/obs/test_profile.py``).  Memory/SFU wait cycles are
+reported separately: they overlap with other warps' issues (that is the
+point of barrel scheduling) and are therefore *not* additive into the
+total.
+"""
+
+from repro.isa.instructions import (
+    AMO_OPS,
+    CHERI_SLOW_OPS,
+    LOAD_OPS,
+    SFU_OPS,
+    STORE_OPS,
+)
+
+#: Stall causes, in the order the pipeline reports them per issue.
+STALL_CAUSES = ("shared_vrf", "csc_operand", "bank_conflict",
+                "atomic_serial")
+
+_MEM_OPS = frozenset(LOAD_OPS) | frozenset(STORE_OPS) | frozenset(AMO_OPS)
+
+
+def classify_op(op):
+    """Coarse category for an opcode: mem / sfu / cheri-slow / compute."""
+    if op in _MEM_OPS:
+        return "mem"
+    if op in SFU_OPS:
+        return "sfu"
+    if op in CHERI_SLOW_OPS:
+        return "cheri_slow"
+    return "compute"
+
+
+class _PCStat:
+    __slots__ = ("issues", "slots", "lanes", "mem_wait", "stalls")
+
+    def __init__(self):
+        self.issues = 0
+        self.slots = 0
+        self.lanes = 0
+        self.mem_wait = 0
+        self.stalls = [0, 0, 0, 0]
+
+
+class _WarpStat:
+    __slots__ = ("issues", "slots", "mem_wait", "stalls", "barriers")
+
+    def __init__(self):
+        self.issues = 0
+        self.slots = 0
+        self.mem_wait = 0
+        self.stalls = [0, 0, 0, 0]
+        self.barriers = 0
+
+
+class _KernelProfile:
+    __slots__ = ("name", "program", "kernel_info", "pcs", "launches")
+
+    def __init__(self, name, program, kernel_info):
+        self.name = name
+        self.program = program
+        self.kernel_info = kernel_info
+        self.pcs = {}
+        self.launches = 0
+
+
+class ProfileCollector:
+    """Probe sink accumulating per-PC, per-warp, and per-cause profiles.
+
+    ``bucket_cycles`` controls the granularity of the stall/issue
+    timeline (a coarse activity histogram over global cycles).
+    """
+
+    def __init__(self, bucket_cycles=1024):
+        self.kernels = {}
+        self.idle_cycles = 0
+        self.warps = {}
+        self.bucket_cycles = max(1, bucket_cycles)
+        #: bucket index -> [issue_slots, stall_slots, mem_wait]
+        self.timeline = {}
+        self._cur = None
+        self._depth = 0
+        self._base = 0
+
+    # -- probe handlers ---------------------------------------------------
+
+    def on_launch(self, sm, program):
+        info = sm.kernel_info
+        name = info.name if info is not None else "<program>"
+        kp = self.kernels.get(name)
+        if kp is None:
+            kp = _KernelProfile(name, program, info)
+            self.kernels[name] = kp
+        kp.launches += 1
+        self._cur = kp
+        self._depth = sm.cfg.pipeline_depth
+        # Cycles accumulate across launches; later launches restart their
+        # local clock at zero, so offset timeline samples by the cycles
+        # already banked in the stats.
+        self._base = sm.stats.cycles
+
+    def on_issue(self, cycle, warp, pc, instr, n_lanes, width, completion,
+                 stalls):
+        rec = self._cur.pcs.get(pc)
+        if rec is None:
+            rec = self._cur.pcs[pc] = _PCStat()
+        rec.issues += 1
+        rec.slots += width
+        rec.lanes += n_lanes
+        wait = completion - cycle - self._depth
+        if wait < 0:
+            wait = 0
+        rec.mem_wait += wait
+        ws = self.warps.get(warp)
+        if ws is None:
+            ws = self.warps[warp] = _WarpStat()
+        ws.issues += 1
+        ws.slots += width
+        ws.mem_wait += wait
+        stall_total = 0
+        if stalls != (0, 0, 0, 0):
+            rs, wss = rec.stalls, ws.stalls
+            for i in range(4):
+                rs[i] += stalls[i]
+                wss[i] += stalls[i]
+                stall_total += stalls[i]
+        bucket = (self._base + cycle) // self.bucket_cycles
+        sample = self.timeline.get(bucket)
+        if sample is None:
+            sample = self.timeline[bucket] = [0, 0, 0]
+        sample[0] += width
+        sample[1] += stall_total
+        sample[2] += wait
+
+    def on_idle(self, cycle, until):
+        self.idle_cycles += until - cycle
+
+    def on_barrier(self, cycle, warp):
+        ws = self.warps.get(warp)
+        if ws is None:
+            ws = self.warps[warp] = _WarpStat()
+        ws.barriers += 1
+
+    # -- aggregation ------------------------------------------------------
+
+    def total_attributed(self):
+        """Issue slots + idle cycles: must equal ``stats.cycles``."""
+        issued = sum(rec.slots for kp in self.kernels.values()
+                     for rec in kp.pcs.values())
+        return issued + self.idle_cycles
+
+    def by_pc(self):
+        """Rows of per-PC attribution, hottest first."""
+        rows = []
+        for kp in self.kernels.values():
+            for pc, rec in kp.pcs.items():
+                index = pc >> 2
+                instr = (kp.program[index]
+                         if 0 <= index < len(kp.program) else None)
+                rows.append({
+                    "kernel": kp.name,
+                    "pc": pc,
+                    "op": instr.op.name if instr is not None else "?",
+                    "text": str(instr) if instr is not None else "?",
+                    "line": instr.line if instr is not None else None,
+                    "category": (classify_op(instr.op)
+                                 if instr is not None else "?"),
+                    "issues": rec.issues,
+                    "cycles": rec.slots,
+                    "lanes": rec.lanes,
+                    "mem_wait": rec.mem_wait,
+                    "stalls": dict(zip(STALL_CAUSES, rec.stalls)),
+                })
+        rows.sort(key=lambda r: (-r["cycles"], r["kernel"], r["pc"]))
+        return rows
+
+    def by_source(self):
+        """Per-PC rows folded onto (kernel, source line), hottest first."""
+        agg = {}
+        for row in self.by_pc():
+            key = (row["kernel"], row["line"])
+            entry = agg.get(key)
+            if entry is None:
+                kp = self.kernels[row["kernel"]]
+                text = ""
+                if row["line"] and kp.kernel_info is not None:
+                    text = kp.kernel_info.line_text(row["line"])
+                entry = agg[key] = {
+                    "kernel": row["kernel"],
+                    "line": row["line"],
+                    "source": text if text else "<compiler prologue>",
+                    "issues": 0, "cycles": 0, "mem_wait": 0,
+                    "stalls": dict.fromkeys(STALL_CAUSES, 0),
+                }
+            entry["issues"] += row["issues"]
+            entry["cycles"] += row["cycles"]
+            entry["mem_wait"] += row["mem_wait"]
+            for cause in STALL_CAUSES:
+                entry["stalls"][cause] += row["stalls"][cause]
+        rows = sorted(agg.values(),
+                      key=lambda r: (-r["cycles"], r["kernel"],
+                                     r["line"] or 0))
+        return rows
+
+    def warp_rows(self):
+        rows = []
+        for warp in sorted(self.warps):
+            ws = self.warps[warp]
+            rows.append({
+                "warp": warp,
+                "issues": ws.issues,
+                "cycles": ws.slots,
+                "mem_wait": ws.mem_wait,
+                "barriers": ws.barriers,
+                "stalls": dict(zip(STALL_CAUSES, ws.stalls)),
+            })
+        return rows
+
+    def as_dict(self):
+        """The whole profile as JSON-serialisable data."""
+        return {
+            "idle_cycles": self.idle_cycles,
+            "attributed_cycles": self.total_attributed(),
+            "by_source": self.by_source(),
+            "by_pc": self.by_pc(),
+            "warps": self.warp_rows(),
+            "timeline_bucket_cycles": self.bucket_cycles,
+            "timeline": {str(b): v
+                         for b, v in sorted(self.timeline.items())},
+        }
+
+    # -- rendering --------------------------------------------------------
+
+    def render_source(self, stats=None, limit=None):
+        """The per-source-line hotspot table (``repro profile --source``)."""
+        rows = self.by_source()
+        if limit is not None:
+            rows = rows[:limit]
+        total = self.total_attributed()
+        lines = [
+            "%-10s %5s %10s %6s %10s %10s  %s" % (
+                "kernel", "line", "cycles", "%", "mem_wait", "stalls",
+                "source"),
+        ]
+        for row in rows:
+            share = 100.0 * row["cycles"] / total if total else 0.0
+            lines.append("%-10s %5s %10d %5.1f%% %10d %10d  %s" % (
+                row["kernel"][:10],
+                row["line"] if row["line"] else "-",
+                row["cycles"], share, row["mem_wait"],
+                sum(row["stalls"].values()), row["source"]))
+        lines.append("%-10s %5s %10d %5.1f%%" % (
+            "(idle)", "-", self.idle_cycles,
+            100.0 * self.idle_cycles / total if total else 0.0))
+        lines.append("%-10s %5s %10d %5.1f%%  (attributed total)" % (
+            "total", "-", total, 100.0 if total else 0.0))
+        if stats is not None:
+            lines.append("stats.cycles = %d (%s)" % (
+                stats.cycles,
+                "exact match" if stats.cycles == total
+                else "MISMATCH vs %d" % total))
+        return "\n".join(lines)
+
+    def render_pc(self, stats=None, limit=40):
+        """The per-PC hotspot table (``repro profile --pc``)."""
+        rows = self.by_pc()
+        shown = rows if limit is None else rows[:limit]
+        total = self.total_attributed()
+        lines = [
+            "%-10s %6s %10s %6s %10s %6s  %s" % (
+                "kernel", "pc", "cycles", "%", "mem_wait", "line",
+                "instruction"),
+        ]
+        for row in shown:
+            share = 100.0 * row["cycles"] / total if total else 0.0
+            lines.append("%-10s %06x %10d %5.1f%% %10d %6s  %s" % (
+                row["kernel"][:10], row["pc"], row["cycles"], share,
+                row["mem_wait"],
+                row["line"] if row["line"] else "-", row["text"]))
+        if limit is not None and len(rows) > limit:
+            lines.append("... %d further PCs" % (len(rows) - limit))
+        lines.append("%-10s %6s %10d %5.1f%%" % (
+            "(idle)", "-", self.idle_cycles,
+            100.0 * self.idle_cycles / total if total else 0.0))
+        lines.append("%-10s %6s %10d  (attributed total)"
+                     % ("total", "-", total))
+        if stats is not None:
+            lines.append("stats.cycles = %d (%s)" % (
+                stats.cycles,
+                "exact match" if stats.cycles == total
+                else "MISMATCH vs %d" % total))
+        return "\n".join(lines)
+
+    def render_warps(self):
+        """Per-warp occupancy and stall-cause breakdown."""
+        lines = [
+            "%4s %10s %10s %10s %9s  %s" % (
+                "warp", "issues", "cycles", "mem_wait", "barriers",
+                "stalls (vrf/csc/bank/atomic)"),
+        ]
+        for row in self.warp_rows():
+            st = row["stalls"]
+            lines.append("%4d %10d %10d %10d %9d  %d/%d/%d/%d" % (
+                row["warp"], row["issues"], row["cycles"], row["mem_wait"],
+                row["barriers"], st["shared_vrf"], st["csc_operand"],
+                st["bank_conflict"], st["atomic_serial"]))
+        return "\n".join(lines)
+
+    def render_timeline(self, width=64):
+        """A coarse issue/stall activity strip over global cycles."""
+        if not self.timeline:
+            return "(no samples)"
+        buckets = sorted(self.timeline)
+        lo, hi = buckets[0], buckets[-1]
+        span = hi - lo + 1
+        per_cell = max(1, (span + width - 1) // width)
+        cells = [[0, 0, 0] for _ in range((span + per_cell - 1) // per_cell)]
+        for bucket in buckets:
+            cell = cells[(bucket - lo) // per_cell]
+            sample = self.timeline[bucket]
+            for i in range(3):
+                cell[i] += sample[i]
+        peak = max(cell[0] for cell in cells) or 1
+        ramp = " .:-=+*#%@"
+        rows = []
+        for label, idx in (("issue", 0), ("stall", 1), ("memwait", 2)):
+            strip = "".join(
+                ramp[min(len(ramp) - 1,
+                         (cell[idx] * (len(ramp) - 1)) // peak)]
+                for cell in cells)
+            rows.append("%8s |%s|" % (label, strip))
+        rows.append("%8s  %d cycles per cell" %
+                    ("", per_cell * self.bucket_cycles))
+        return "\n".join(rows)

@@ -214,6 +214,14 @@ class StreamingMultiprocessor:
         #: Optional instruction-trace sink: an object with a
         #: ``record(cycle, warp, pc, instr, lanes)`` method.
         self.trace = None
+        #: Optional :class:`repro.obs.ProbeBus`.  ``None`` (the default)
+        #: keeps the hot path untouched: every hook below is guarded by a
+        #: single ``self.probes is not None`` check, so simulated
+        #: statistics are bit-identical with probes attached or not.
+        self.probes = None
+        #: Optional :class:`repro.nocl.compiler.CompiledKernel` for the
+        #: running program (set by the runtime; profiler side-band only).
+        self.kernel_info = None
 
     def _build_regfiles(self):
         cfg = self.cfg
@@ -281,6 +289,8 @@ class StreamingMultiprocessor:
         warps = self.warps
         count = cfg.num_warps
         issue = self._issue
+        if self.probes is not None:
+            self.probes.launch(self, self.program)
         try:
             while live:
                 picked = None
@@ -299,7 +309,10 @@ class StreamingMultiprocessor:
                     if next_ready is None:
                         raise KernelAbort("deadlock: all warps blocked on a "
                                           "barrier", cycle)
-                    cycle = max(cycle + 1, next_ready)
+                    advanced = max(cycle + 1, next_ready)
+                    if self.probes is not None:
+                        self.probes.idle(cycle, advanced)
+                    cycle = advanced
                     continue
                 rotation = picked.index + 1
                 cycle = issue(picked, cycle)
@@ -455,6 +468,12 @@ class StreamingMultiprocessor:
         self._gp_vec_touch = False
         self._meta_vec_touch = False
 
+        probes = self.probes
+        if probes is not None:
+            pre_stalls = (stats.stall_shared_vrf, stats.stall_csc_operand,
+                          stats.stall_bank_conflict,
+                          stats.stall_atomic_serial)
+
         if lanes is self._all_lanes:
             mask = self._full_mask
         else:
@@ -496,6 +515,13 @@ class StreamingMultiprocessor:
         if self.meta is not None:
             stats.meta_vrf_occupancy_integral += \
                 self.meta.resident_vectors * width
+        if probes is not None:
+            probes.issue(
+                cycle, warp.index, pc, instr, len(lanes), width, completion,
+                (stats.stall_shared_vrf - pre_stalls[0],
+                 stats.stall_csc_operand - pre_stalls[1],
+                 stats.stall_bank_conflict - pre_stalls[2],
+                 stats.stall_atomic_serial - pre_stalls[3]))
         return cycle + width
 
     # -- register access helpers -----------------------------------------
@@ -572,6 +598,8 @@ class StreamingMultiprocessor:
         for _ in range(report.reloads):
             done = self.dram.request(self._cycle, False, lane_bytes, spill=True)
             self._mem_ready = max(self._mem_ready, done)
+        if self.probes is not None:
+            self.probes.rf_spill(self._cycle, report.spills, report.reloads)
 
     # -- memory helpers -----------------------------------------------------
 
@@ -616,6 +644,9 @@ class StreamingMultiprocessor:
                     self._mem_ready = max(self._mem_ready, done)
                 done = self.dram.request(self._cycle, is_write, n_bytes)
                 self._mem_ready = max(self._mem_ready, done)
+                if self.probes is not None:
+                    self.probes.mem_txn(self._cycle, line_addr, n_bytes,
+                                        is_write, done)
         if ACCESS_WIDTH.get(op) == 8:
             # Multi-flit transaction: a 64-bit capability access is two
             # inseparable 32-bit flits (section 3.4).
@@ -744,8 +775,7 @@ class StreamingMultiprocessor:
             out[lane] = fn(a[lane], b[lane])
         self._write_rd(warp, instr.rd, out, mask)
         if is_sfu:
-            self._mem_ready = max(
-                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            self._sfu_issue(lanes)
         self._advance(warp, lanes, pc + 4)
 
     def _h_int_i(self, warp, instr, pc, lanes, mask, aux):
@@ -870,8 +900,7 @@ class StreamingMultiprocessor:
             out[lane] = fn(a[lane], b[lane])
         self._write_rd(warp, instr.rd, out, mask)
         if is_sfu:
-            self._mem_ready = max(
-                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            self._sfu_issue(lanes)
         self._advance(warp, lanes, pc + 4)
 
     def _h_float_unary(self, warp, instr, pc, lanes, mask, aux):
@@ -882,8 +911,7 @@ class StreamingMultiprocessor:
             out[lane] = fn(a[lane])
         self._write_rd(warp, instr.rd, out, mask)
         if is_sfu:
-            self._mem_ready = max(
-                self._mem_ready, self.sfu.issue(self._cycle, len(lanes)))
+            self._sfu_issue(lanes)
         self._advance(warp, lanes, pc + 4)
 
     # --- memory ----------------------------------------------------------
@@ -980,12 +1008,19 @@ class StreamingMultiprocessor:
         self._memory_access(op, accesses, warp, is_write=False)
         self._advance(warp, lanes, pc + 4)
 
+    # --- shared function unit --------------------------------------------
+
+    def _sfu_issue(self, lanes, cheri_op=False):
+        done = self.sfu.issue(self._cycle, len(lanes), cheri_op=cheri_op)
+        if done > self._mem_ready:
+            self._mem_ready = done
+        if self.probes is not None:
+            self.probes.sfu(self._cycle, len(lanes), cheri_op, done)
+
     # --- CHERI non-memory --------------------------------------------------
 
     def _sfu_cheri_issue(self, lanes):
-        self._mem_ready = max(
-            self._mem_ready,
-            self.sfu.issue(self._cycle, len(lanes), cheri_op=True))
+        self._sfu_issue(lanes, cheri_op=True)
 
     def _h_cget(self, warp, instr, pc, lanes, mask, aux):
         fn, slow = aux
@@ -1097,6 +1132,8 @@ class StreamingMultiprocessor:
         warp.in_barrier = True
         warp.ready_at = _FAR_FUTURE
         self.stats.barrier_waits += 1
+        if self.probes is not None:
+            self.probes.barrier(self._cycle, warp.index)
         expected = {
             w.index for w in self.warps
             if w.block_slot == slot and not w.done

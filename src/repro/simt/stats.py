@@ -67,6 +67,33 @@ class SMStats:
     def note_cap_register(self, warp, reg):
         self.cap_regs_per_warp.setdefault(warp, set()).add(reg)
 
+    def as_dict(self):
+        """Every counter as a JSON-serialisable dict (manifests, --json).
+
+        Scalar counters pass through; ``opcode_counts`` becomes an op-name
+        histogram and ``cap_regs_per_warp`` sorted register lists keyed by
+        warp index (as strings, since JSON objects key on strings).
+        Derived metrics (``ipc``, ``dram_total_bytes``) are included so
+        downstream consumers need no simulator knowledge.
+        """
+        from dataclasses import fields
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "opcode_counts":
+                out[f.name] = {op.name: count
+                               for op, count in sorted(value.items(),
+                                                       key=lambda kv: kv[0].name)}
+            elif f.name == "cap_regs_per_warp":
+                out[f.name] = {str(warp): sorted(regs)
+                               for warp, regs in sorted(value.items())}
+            else:
+                out[f.name] = value
+        out["ipc"] = round(self.ipc, 6)
+        out["dram_total_bytes"] = self.dram_total_bytes
+        out["cap_regs_per_thread"] = self.cap_regs_per_thread
+        return out
+
     # -- derived metrics -----------------------------------------------------
 
     @property

@@ -1,0 +1,21 @@
+"""Suite-wide fixtures.
+
+Run manifests are a production feature of ``run_suite``; during tests
+they are redirected to a throwaway directory so ``results/`` only ever
+holds manifests from real experiment invocations.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _manifests_to_tmp(tmp_path_factory):
+    import os
+    path = str(tmp_path_factory.mktemp("manifests"))
+    old = os.environ.get("REPRO_MANIFEST_DIR")
+    os.environ["REPRO_MANIFEST_DIR"] = path
+    yield
+    if old is None:
+        os.environ.pop("REPRO_MANIFEST_DIR", None)
+    else:
+        os.environ["REPRO_MANIFEST_DIR"] = old

@@ -108,6 +108,38 @@ class TestSuitePaths:
             assert _signature(populate[name]) == _signature(warm[name])
 
 
+class TestProbeEquivalence:
+    """Attaching the observability probes must not perturb a single
+    statistic: the hooks only *read* pipeline state (guarded by one
+    ``probes is not None`` check), so stats with a full collector stack
+    attached are bit-identical to the probe-free hot path."""
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("name", BENCHES)
+    def test_stats_bit_identical_with_probes_attached(self, name,
+                                                      config_name):
+        from repro.benchsuite import ALL_BENCHMARKS
+        from repro.nocl import NoCLRuntime
+        from repro.obs import (
+            ProfileCollector,
+            TimelineCollector,
+            attach,
+            detach,
+        )
+        reference = _signature(_fresh(name, config_name))
+
+        mode, config = runner.config_for(config_name, **GEOMETRY)
+        rt = NoCLRuntime(mode, config=config)
+        profiler = ProfileCollector()
+        attach(rt.sm, profiler, TimelineCollector())
+        stats = ALL_BENCHMARKS[name].run(rt, scale=1)
+        detach(rt.sm)
+
+        assert asdict(stats) == reference
+        # ...and the profile actually observed the run it did not perturb.
+        assert profiler.total_attributed() == stats.cycles
+
+
 class TestCrossProcess:
     def test_fresh_interpreter_reproduces_stats(self):
         """A brand-new Python process computes the exact same statistics.

@@ -1,0 +1,129 @@
+"""Run manifests: emission from run_suite, loading, and regression diff."""
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.eval import runner
+from repro.obs import manifest as mf
+
+GEOMETRY = dict(num_warps=4, num_lanes=4)
+BENCHES = ("VecAdd", "Reduce")
+
+
+@pytest.fixture(autouse=True)
+def isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / "simcache"))
+    monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "manifests"))
+    monkeypatch.setattr(runner, "BENCHMARK_NAMES", BENCHES)
+    runner.clear_cache()
+    yield tmp_path
+    runner.clear_cache()
+
+
+def _suite_manifest(tmp_path, config="cheri_opt"):
+    runner.run_suite(config, jobs=1, **GEOMETRY)
+    path = os.path.join(str(tmp_path / "manifests"),
+                        "%s_s1.json" % config)
+    assert os.path.exists(path), "run_suite must emit a manifest"
+    return mf.load_manifest(path), path
+
+
+class TestEmission:
+    def test_run_suite_writes_manifest_with_full_stats(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        assert manifest["schema"] == mf.SCHEMA
+        assert manifest["config"] == "cheri_opt"
+        assert manifest["mode"] == "purecap"
+        assert manifest["geometry"] == GEOMETRY
+        assert set(manifest["benchmarks"]) == set(BENCHES)
+        for record in manifest["benchmarks"].values():
+            assert record["cache_source"] in ("sim", "disk", "memo")
+            assert record["stats"]["cycles"] > 0
+            assert "ipc" in record["stats"]
+        assert manifest["sources_digest"]
+        assert manifest["wall_seconds"] >= 0
+
+    def test_manifest_stats_match_runner_results(self, isolated):
+        results = runner.run_suite("baseline", jobs=1, **GEOMETRY)
+        manifest, _ = _suite_manifest(isolated, config="baseline")
+        for name, result in results.items():
+            assert (manifest["benchmarks"][name]["stats"]["cycles"]
+                    == result.stats.cycles)
+
+    def test_set_manifests_false_disables_emission(self, isolated,
+                                                   monkeypatch):
+        runner.set_manifests(False)
+        try:
+            runner.run_suite("baseline", jobs=1, **GEOMETRY)
+            assert not os.path.exists(
+                os.path.join(str(isolated / "manifests"),
+                             "baseline_s1.json"))
+        finally:
+            runner.set_manifests(True)
+
+    def test_write_failure_is_silent(self, isolated, monkeypatch):
+        # Point the manifest dir somewhere unwritable: runs still succeed.
+        monkeypatch.setenv("REPRO_MANIFEST_DIR",
+                           "/proc/definitely/not/writable")
+        results = runner.run_suite("baseline", jobs=1, **GEOMETRY)
+        assert set(results) == set(BENCHES)
+
+
+class TestDiff:
+    def test_identical_manifests_have_no_regressions(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        rows = mf.diff_manifests(manifest, manifest)
+        assert rows and not any(r["regressed"] for r in rows)
+
+    def test_growth_beyond_threshold_flags_regression(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        worse = copy.deepcopy(manifest)
+        stats = worse["benchmarks"]["VecAdd"]["stats"]
+        stats["cycles"] = int(stats["cycles"] * 1.5)
+        rows = mf.diff_manifests(manifest, worse, threshold=0.02)
+        flagged = [r for r in rows if r["regressed"]]
+        assert [(r["benchmark"], r["metric"]) for r in flagged] \
+            == [("VecAdd", "cycles")]
+        # The reverse direction (an improvement) is not a regression.
+        rows = mf.diff_manifests(worse, manifest, threshold=0.02)
+        assert not any(r["regressed"] for r in rows)
+
+    def test_growth_within_threshold_passes(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        near = copy.deepcopy(manifest)
+        stats = near["benchmarks"]["VecAdd"]["stats"]
+        stats["cycles"] = int(stats["cycles"] * 1.01)
+        rows = mf.diff_manifests(manifest, near, threshold=0.02)
+        assert not any(r["regressed"] for r in rows)
+
+    def test_missing_benchmark_is_flagged(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        short = copy.deepcopy(manifest)
+        del short["benchmarks"]["Reduce"]
+        rows = mf.diff_manifests(manifest, short)
+        assert any(r["metric"] == "<missing>" and r["regressed"]
+                   for r in rows)
+
+    def test_render_diff_mentions_regressions(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        worse = copy.deepcopy(manifest)
+        worse["benchmarks"]["VecAdd"]["stats"]["cycles"] *= 2
+        text = mf.render_diff(mf.diff_manifests(manifest, worse))
+        assert "REGRESSED" in text and "cycles" in text
+
+
+class TestRoundTrip:
+    def test_write_and_load(self, isolated, tmp_path):
+        manifest, _ = _suite_manifest(isolated)
+        path = mf.write_manifest(manifest, str(tmp_path / "copy.json"))
+        loaded = mf.load_manifest(path)
+        assert loaded == json.loads(json.dumps(manifest))
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            mf.load_manifest(str(path))

@@ -1,0 +1,98 @@
+"""TimelineCollector: Perfetto/Chrome trace-event schema validity."""
+
+import json
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.nocl import NoCLRuntime
+from repro.obs import TimelineCollector, attach, detach, validate_trace
+from repro.simt import SMConfig
+
+
+def _traced_run(name="VecAdd", limit=200_000):
+    bench = ALL_BENCHMARKS[name]
+    rt = NoCLRuntime("purecap",
+                     config=SMConfig.cheri_optimised(num_warps=4,
+                                                     num_lanes=4))
+    collector = TimelineCollector(limit=limit)
+    attach(rt.sm, collector)
+    stats = bench.run(rt, scale=1)
+    detach(rt.sm)
+    return stats, collector
+
+
+class TestTraceSchema:
+    def test_trace_passes_validation_and_serialises(self):
+        _, collector = _traced_run("Transpose")
+        trace = collector.to_trace()
+        assert validate_trace(trace) == []
+        parsed = json.loads(json.dumps(trace))
+        assert parsed["traceEvents"]
+
+    def test_one_track_per_warp_with_names(self):
+        _, collector = _traced_run()
+        trace = collector.to_trace()
+        names = [e for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"]
+        warp_names = {e["args"]["name"] for e in names}
+        assert any(n.startswith("warp ") for n in warp_names)
+
+    def test_slices_cover_all_issues(self):
+        stats, collector = _traced_run()
+        trace = collector.to_trace()
+        slices = [e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] != "idle"]
+        assert len(slices) == stats.instrs_issued
+        assert collector.dropped == 0
+
+    def test_counter_tracks_present(self):
+        _, collector = _traced_run()
+        trace = collector.to_trace()
+        counters = {e["name"] for e in trace["traceEvents"]
+                    if e["ph"] == "C"}
+        assert "VRF resident vectors" in counters
+        assert "DRAM bytes (cumulative)" in counters
+
+    def test_limit_drops_and_reports(self):
+        stats, collector = _traced_run(limit=10)
+        assert len(collector.slices) == 10
+        assert collector.dropped == stats.instrs_issued - 10
+        trace = collector.to_trace()
+        assert trace["otherData"]["dropped_slices"] == collector.dropped
+        assert validate_trace(trace) == []
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        _, collector = _traced_run()
+        path = collector.export(str(tmp_path / "trace.json"))
+        with open(path) as stream:
+            trace = json.load(stream)
+        assert validate_trace(trace) == []
+
+    def test_slice_args_carry_pc_and_category(self):
+        _, collector = _traced_run()
+        trace = collector.to_trace()
+        slices = [e for e in trace["traceEvents"]
+                  if e["ph"] == "X" and e["cat"] != "idle"]
+        for event in slices[:50]:
+            assert event["args"]["pc"].startswith("0x")
+            assert event["args"]["category"] in (
+                "compute", "mem", "sfu", "cheri_slow", "stall")
+
+
+class TestValidator:
+    def test_rejects_missing_trace_events(self):
+        assert validate_trace({}) == ["missing traceEvents key"]
+
+    def test_rejects_overlapping_slices(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+        ]}
+        assert any("overlap" in p for p in validate_trace(trace))
+
+    def test_rejects_bad_ph_and_dur(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "Z", "ts": 0},
+            {"name": "b", "ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_trace(trace)
+        assert len(problems) == 2

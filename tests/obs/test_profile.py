@@ -1,0 +1,105 @@
+"""ProfileCollector: exact cycle attribution and source mapping."""
+
+import pytest
+
+from repro.benchsuite import ALL_BENCHMARKS
+from repro.nocl import NoCLRuntime, i32, kernel, ptr
+from repro.obs import ProfileCollector, attach, detach
+from repro.simt import SMConfig
+
+
+def _profiled_run(name="VecAdd", config=None, mode="purecap", scale=1):
+    bench = ALL_BENCHMARKS[name]
+    cfg = config or SMConfig.cheri_optimised(num_warps=4, num_lanes=4)
+    rt = NoCLRuntime(mode, config=cfg)
+    profiler = ProfileCollector()
+    attach(rt.sm, profiler)
+    stats = bench.run(rt, scale=scale)
+    detach(rt.sm)
+    return stats, profiler
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("name", ("VecAdd", "Transpose", "Reduce"))
+    def test_attributed_cycles_sum_to_total(self, name):
+        stats, profiler = _profiled_run(name)
+        assert profiler.total_attributed() == stats.cycles
+
+    def test_attribution_exact_across_multiple_launches(self):
+        """Histogram launches two kernels; cycles still sum exactly."""
+        stats, profiler = _profiled_run("Histogram")
+        assert profiler.total_attributed() == stats.cycles
+        assert len(profiler.kernels) >= 1
+
+    def test_by_source_folds_all_pc_cycles(self):
+        stats, profiler = _profiled_run("Transpose")
+        pc_total = sum(r["cycles"] for r in profiler.by_pc())
+        src_total = sum(r["cycles"] for r in profiler.by_source())
+        assert pc_total == src_total
+        assert pc_total + profiler.idle_cycles == stats.cycles
+
+    def test_baseline_mode_also_exact(self):
+        stats, profiler = _profiled_run(
+            "Reduce", config=SMConfig.baseline(num_warps=4, num_lanes=4),
+            mode="baseline")
+        assert profiler.total_attributed() == stats.cycles
+
+
+class TestSourceMapping:
+    def test_hot_lines_carry_kernel_source_text(self):
+        _, profiler = _profiled_run("VecAdd")
+        rows = profiler.by_source()
+        texts = [r["source"] for r in rows if r["line"]]
+        assert any("a[i]" in t or "c[i]" in t for t in texts), texts
+
+    def test_prologue_cycles_have_no_line(self):
+        _, profiler = _profiled_run("VecAdd")
+        rows = profiler.by_source()
+        prologue = [r for r in rows if r["line"] is None]
+        assert prologue and all(r["source"] == "<compiler prologue>"
+                                for r in prologue)
+
+    def test_line_info_survives_spilling_kernels(self):
+        """MatMul's register pressure exercises the regalloc rewrite."""
+        _, profiler = _profiled_run("MatMul")
+        rows = profiler.by_source()
+        lined = sum(r["cycles"] for r in rows if r["line"])
+        total = sum(r["cycles"] for r in rows)
+        # The vast majority of cycles must map to real source lines.
+        assert lined > 0.5 * total
+
+
+class TestRendering:
+    def test_render_source_reports_exact_match(self):
+        stats, profiler = _profiled_run("Transpose")
+        text = profiler.render_source(stats)
+        assert "exact match" in text
+        assert "stats.cycles = %d" % stats.cycles in text
+        assert "(idle)" in text
+
+    def test_render_pc_lists_hot_instructions(self):
+        stats, profiler = _profiled_run("VecAdd")
+        text = profiler.render_pc(stats, limit=10)
+        assert "exact match" in text
+
+    def test_render_warps_and_timeline(self):
+        _, profiler = _profiled_run("VecAdd")
+        warps = profiler.render_warps()
+        assert "warp" in warps and "barriers" in warps
+        assert "|" in profiler.render_timeline()
+
+    def test_as_dict_round_trips_json(self):
+        import json
+        stats, profiler = _profiled_run("VecAdd")
+        data = json.loads(json.dumps(profiler.as_dict()))
+        assert data["attributed_cycles"] == stats.cycles
+        assert data["by_source"]
+
+
+class TestWarpBreakdown:
+    def test_all_active_warps_appear(self):
+        stats, profiler = _profiled_run("VecAdd")
+        rows = profiler.warp_rows()
+        assert rows
+        assert sum(r["cycles"] for r in rows) + profiler.idle_cycles \
+            == stats.cycles
