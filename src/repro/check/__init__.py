@@ -1,0 +1,40 @@
+"""Differential correctness harness for the simulator.
+
+Three layers, each usable on its own:
+
+- :mod:`repro.check.golden` — a golden-model functional interpreter for
+  the full simulated ISA (RV32IMA + Zfinx + the CHERI extension).  It
+  executes architectural state only — registers, capability metadata,
+  tagged memory, per-thread PCs — with no pipeline or timing model, and
+  its semantics are written against the instruction-set definition
+  (:mod:`repro.isa`) and the capability value types (:mod:`repro.cheri`),
+  independently of ``simt/pipeline.py``.
+- :mod:`repro.check.lockstep` — a probe-bus sink that runs any kernel on
+  the pipeline and the golden model simultaneously, diffing per-retired-
+  instruction architectural state and reporting the first divergence with
+  PC, source line, and both states.
+- :mod:`repro.check.fuzz` — a seeded random-kernel and random-instruction
+  fuzzer (``python -m repro fuzz``) that stresses ALU corners, CHERI
+  Concentrate representability edges, spill-heavy register pressure, and
+  memory/atomic interleavings, shrinking any divergence to a minimal
+  reproducer.
+"""
+
+from repro.check.golden import GoldenFault, GoldenModel
+from repro.check.lockstep import (
+    Divergence,
+    DivergenceError,
+    LockstepChecker,
+    check_benchmark,
+    check_program,
+)
+
+__all__ = [
+    "Divergence",
+    "DivergenceError",
+    "GoldenFault",
+    "GoldenModel",
+    "LockstepChecker",
+    "check_benchmark",
+    "check_program",
+]

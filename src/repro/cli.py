@@ -10,6 +10,8 @@ Commands:
 - ``bench``                     — run the suite, report wall-clock + cycles
 - ``profile BENCH``             — cycle-attributed hotspot profile
 - ``diff A.json B.json``        — compare two run manifests
+- ``fuzz``                      — differential fuzzing vs the golden model
+- ``lockstep [BENCH...]``       — benchmarks under golden-model lockstep
 - ``table3`` / ``headline``     — shortcuts for the area model / abstract
 
 ``run``/``bench`` accept ``--json`` for machine-readable output; every
@@ -216,6 +218,36 @@ def cmd_profile(args):
     return 0
 
 
+def cmd_fuzz(args):
+    from repro.check.fuzz import run_fuzz
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      time_budget=args.time_budget, out_dir=args.out,
+                      verbose=args.verbose, log=print)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_lockstep(args):
+    from repro.check import check_benchmark
+    names = args.benchmarks or list(BENCHMARK_NAMES)
+    failures = 0
+    for name in names:
+        bench = _resolve_benchmark(name)
+        for config_name in args.configs:
+            try:
+                _, checker = check_benchmark(bench.name, config_name,
+                                             scale=args.scale)
+            except AssertionError as exc:
+                failures += 1
+                print("%s [%s] DIVERGED:\n%s" % (bench.name, config_name,
+                                                 exc))
+                continue
+            print("%s [%s] lockstep ok (%d retire events, %d instructions)"
+                  % (bench.name, config_name, checker.retired,
+                     checker.instructions))
+    return 1 if failures else 0
+
+
 def cmd_diff(args):
     from repro.obs import manifest as mf
     try:
@@ -404,6 +436,34 @@ def build_parser():
                            "(default: 0.02)")
     diff.add_argument("--verbose", action="store_true",
                       help="also show unchanged metrics")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing against the golden-model "
+                     "interpreter (see repro.check)")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="fuzz-run seed; every case is reconstructible "
+                           "from (seed, index)")
+    fuzz.add_argument("--budget", type=int, default=200,
+                      help="number of cases to run (default: 200)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop after this many seconds instead")
+    fuzz.add_argument("--out", default="results/fuzz",
+                      help="directory for shrunk reproducer files "
+                           "(default: results/fuzz)")
+    fuzz.add_argument("--verbose", action="store_true",
+                      help="log every case, not just failures")
+
+    lockstep = sub.add_parser(
+        "lockstep", help="run benchmarks with the golden-model lockstep "
+                         "checker attached")
+    lockstep.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                          help="benchmarks to check (default: all)")
+    lockstep.add_argument("--configs", nargs="*",
+                          default=["baseline", "cheri_opt", "boundscheck"],
+                          choices=BENCH_CONFIGS,
+                          help="configurations to check under")
+    lockstep.add_argument("--scale", type=int, default=1)
     return parser
 
 
@@ -418,6 +478,8 @@ def main(argv=None):
         "bench": cmd_bench,
         "profile": cmd_profile,
         "diff": cmd_diff,
+        "fuzz": cmd_fuzz,
+        "lockstep": cmd_lockstep,
     }
     try:
         return handlers[args.command](args)

@@ -50,8 +50,11 @@ _IMM_OPS = frozenset({
 #: Ops taking rd, imm.
 _UPPER_OPS = frozenset({Op.LUI, Op.AUIPC, Op.AUIPCC})
 #: Ops with no operands.
-_BARE_OPS = frozenset({Op.BARRIER, Op.HALT, Op.TRAP, Op.FENCE, Op.ECALL,
-                       Op.EBREAK})
+_BARE_OPS = frozenset({Op.FENCE, Op.ECALL, Op.EBREAK})
+#: Simulator-control ops: usually bare, but their encoding carries rd,
+#: rs1 and a 12-bit immediate, so the full ``rd, rs1, imm`` form must
+#: round-trip through the disassembler.
+_SIM_OPS = frozenset({Op.BARRIER, Op.HALT, Op.TRAP})
 
 
 class AssemblerError(ValueError):
@@ -100,7 +103,20 @@ def parse_line(line, line_no, depth):
                              % (line_no, mnemonic))
 
     if op in _BARE_OPS:
+        if operands:
+            raise AssemblerError("line %d: %s takes no operands"
+                                 % (line_no, mnemonic))
         return VInstr(op, depth=depth)
+    if op in _SIM_OPS:
+        if not operands:
+            return VInstr(op, depth=depth)
+        if len(operands) != 3:
+            raise AssemblerError(
+                "line %d: %s takes no operands or 'rd, rs1, imm'"
+                % (line_no, mnemonic))
+        return VInstr(op, rd=_reg(operands[0], line_no),
+                      rs1=_reg(operands[1], line_no),
+                      imm=_int(operands[2], line_no), depth=depth)
     if op in LOAD_OPS:
         match = _MEM_OPERAND.match(operands[1])
         if len(operands) != 2 or not match:

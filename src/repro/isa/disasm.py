@@ -1,6 +1,11 @@
 """Assembly-style rendering of instructions (for debugging and listings)."""
 
 from repro.isa.instructions import BRANCH_OPS, LOAD_OPS, STORE_OPS, Op
+
+#: Simulator-control ops render bare when every encoded field is zero
+#: (the common case) and as ``rd, rs1, imm`` otherwise, mirroring the
+#: two forms the assembler accepts so disassembly always reassembles.
+_SIM_OPS = frozenset({Op.BARRIER, Op.HALT, Op.TRAP})
 from repro.isa.registers import reg_name
 
 _MNEMONICS = {
@@ -34,6 +39,8 @@ def format_instr(instr):
     elif op in BRANCH_OPS:
         text = "%s %s, %s, %d" % (name, reg_name(instr.rs1),
                                   reg_name(instr.rs2), instr.imm or 0)
+    elif op in _SIM_OPS and not (instr.rd or instr.rs1 or instr.imm):
+        text = name
     else:
         fields = []
         if instr.rd is not None:

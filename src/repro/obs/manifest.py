@@ -163,7 +163,12 @@ def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
     ``old``, ``new``, ``delta``, ``ratio`` and ``regressed`` (True when
     the metric is higher-is-worse and grew by more than ``threshold``
     relative — or appeared from zero).  Benchmarks present in only one
-    manifest are reported with metric ``<missing>``.
+    manifest are reported with metric ``<missing>``.  A metric key
+    present in only one manifest (schema drift: a counter added or
+    removed between versions) yields an informational row with a
+    ``note`` and is never a regression.  A genuinely zero baseline has
+    no meaningful ratio (``ratio`` is None, never infinite): growth from
+    zero still regresses, rendered as ``+new``.
     """
     rows = []
     old_benches = old.get("benchmarks", {})
@@ -178,13 +183,23 @@ def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
         old_stats = old_benches[name].get("stats", {})
         new_stats = new_benches[name].get("stats", {})
         for metric in metrics:
-            if metric not in old_stats and metric not in new_stats:
+            in_old = metric in old_stats
+            in_new = metric in new_stats
+            if not in_old and not in_new:
                 continue
-            old_value = old_stats.get(metric, 0)
-            new_value = new_stats.get(metric, 0)
+            if in_old != in_new:
+                rows.append({"benchmark": name, "metric": metric,
+                             "old": old_stats.get(metric),
+                             "new": new_stats.get(metric),
+                             "delta": None, "ratio": None,
+                             "regressed": False,
+                             "note": "only in %s"
+                                     % ("old" if in_old else "new")})
+                continue
+            old_value = old_stats[metric]
+            new_value = new_stats[metric]
             delta = new_value - old_value
-            ratio = (new_value / old_value) if old_value else (
-                float("inf") if new_value else 1.0)
+            ratio = (new_value / old_value) if old_value else None
             regressed = (delta > 0 and
                          (old_value == 0 or ratio > 1.0 + threshold))
             rows.append({"benchmark": name, "metric": metric,
@@ -199,7 +214,8 @@ def render_diff(rows, old_label="A", new_label="B", verbose=False):
     metrics only with ``verbose``."""
     lines = []
     shown = [row for row in rows
-             if verbose or row["regressed"] or row["delta"]]
+             if verbose or row["regressed"] or row["delta"]
+             or row.get("note")]
     regressions = [row for row in rows if row["regressed"]]
     lines.append("%-12s %-22s %14s %14s %10s" % (
         "benchmark", "metric", old_label, new_label, "change"))
@@ -212,8 +228,15 @@ def render_diff(rows, old_label="A", new_label="B", verbose=False):
                 "present" if row["old"] else "-",
                 "present" if row["new"] else "-", "!!"))
             continue
-        if row["ratio"] in (None, float("inf")):
-            change = "+new"
+        if row.get("note"):
+            lines.append("%-12s %-22s %14s %14s %10s" % (
+                row["benchmark"], row["metric"],
+                "-" if row["old"] is None else row["old"],
+                "-" if row["new"] is None else row["new"],
+                "(%s)" % row["note"]))
+            continue
+        if row["ratio"] is None:
+            change = "+new" if row["delta"] else "="
         else:
             change = "%+.2f%%" % (100.0 * (row["ratio"] - 1.0))
         lines.append("%-12s %-22s %14d %14d %10s%s" % (

@@ -20,6 +20,12 @@ issue       ``on_issue(cycle, warp, pc, instr, n_lanes, width,``
             warp resumes, ``stalls`` a 4-tuple of extra issue slots
             charged this issue: (shared_vrf, csc_operand, bank_conflict,
             atomic_serial)
+retire      ``on_retire(cycle, warp, pc, instr, lanes)`` — the same
+            instruction, after all architectural effects (registers,
+            memory, PCs) have been applied; ``warp`` is the pipeline's
+            warp object and ``lanes`` the executed lane list (shared —
+            copy before storing).  This is the event the lockstep
+            cross-checker (:mod:`repro.check`) keys on
 idle        ``on_idle(cycle, until)`` — no warp was ready; the scheduler
             skipped from ``cycle`` to ``until``
 mem_txn     ``on_mem_txn(cycle, line_addr, n_bytes, is_write, done)``
@@ -39,8 +45,8 @@ on exactly this identity.
 
 #: Event names the bus can dispatch (a sink subscribes by defining
 #: ``on_<event>``).
-EVENTS = ("launch", "issue", "idle", "mem_txn", "rf_spill", "barrier",
-          "sfu", "finish")
+EVENTS = ("launch", "issue", "retire", "idle", "mem_txn", "rf_spill",
+          "barrier", "sfu", "finish")
 
 
 class ProbeBus:
@@ -85,6 +91,10 @@ class ProbeBus:
               stalls):
         for fn in self._issue:
             fn(cycle, warp, pc, instr, n_lanes, width, completion, stalls)
+
+    def retire(self, cycle, warp, pc, instr, lanes):
+        for fn in self._retire:
+            fn(cycle, warp, pc, instr, lanes)
 
     def idle(self, cycle, until):
         for fn in self._idle:

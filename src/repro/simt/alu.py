@@ -206,7 +206,13 @@ def _f_fmul(a_bits, b_bits=0):
 def _f_fdiv(a_bits, b_bits=0):
     a, b = bits_to_f32(a_bits), bits_to_f32(b_bits)
     if b == 0.0:
-        return f32_to_bits(math.inf if a > 0 else (-math.inf if a < 0 else math.nan))
+        if math.isnan(a):
+            return f32_to_bits(a)
+        if a == 0.0:
+            return _CANONICAL_NAN  # 0/0 is invalid: canonical quiet NaN
+        # x/±0: infinity whose sign is the XOR of the operand signs.
+        sign = (a_bits ^ b_bits) & 0x80000000
+        return 0xFF800000 if sign else 0x7F800000
     return f32_to_bits(a / b)
 
 
@@ -217,12 +223,39 @@ def _f_fsqrt(a_bits, b_bits=0):
     return f32_to_bits(math.sqrt(a))
 
 
+_CANONICAL_NAN = 0x7FC00000
+
+
+def _is_nan_bits(bits):
+    return (bits & 0x7F800000) == 0x7F800000 and (bits & 0x007FFFFF) != 0
+
+
 def _f_fmin(a_bits, b_bits=0):
-    return f32_to_bits(min(bits_to_f32(a_bits), bits_to_f32(b_bits)))
+    # RISC-V F/Zfinx: a NaN operand is ignored (result is the other
+    # operand); both-NaN yields the canonical NaN; and -0.0 < +0.0.
+    a_bits &= MASK32
+    b_bits &= MASK32
+    a_nan, b_nan = _is_nan_bits(a_bits), _is_nan_bits(b_bits)
+    if a_nan or b_nan:
+        if a_nan and b_nan:
+            return _CANONICAL_NAN
+        return a_bits if b_nan else b_bits
+    if ((a_bits | b_bits) & 0x7FFFFFFF) == 0:
+        return a_bits | b_bits  # fmin(-0.0, +0.0) = -0.0 either way round
+    return a_bits if bits_to_f32(a_bits) < bits_to_f32(b_bits) else b_bits
 
 
 def _f_fmax(a_bits, b_bits=0):
-    return f32_to_bits(max(bits_to_f32(a_bits), bits_to_f32(b_bits)))
+    a_bits &= MASK32
+    b_bits &= MASK32
+    a_nan, b_nan = _is_nan_bits(a_bits), _is_nan_bits(b_bits)
+    if a_nan or b_nan:
+        if a_nan and b_nan:
+            return _CANONICAL_NAN
+        return a_bits if b_nan else b_bits
+    if ((a_bits | b_bits) & 0x7FFFFFFF) == 0:
+        return a_bits & b_bits  # fmax(-0.0, +0.0) = +0.0 either way round
+    return a_bits if bits_to_f32(a_bits) > bits_to_f32(b_bits) else b_bits
 
 
 def _f_feq(a_bits, b_bits=0):
@@ -287,4 +320,6 @@ def float_op(op_name, a_bits, b_bits=0):
 def _clamp_int(value, lo, hi):
     if math.isnan(value):
         return hi
+    if math.isinf(value):
+        return hi if value > 0 else lo
     return max(lo, min(hi, int(value)))

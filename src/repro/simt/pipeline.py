@@ -134,7 +134,10 @@ _CGET_FN = {
     Op.CGETFLAGS: lambda cap: cap.flags,
 }
 _CRR_FN = {
-    Op.CRRL: lambda v: min(concentrate.crrl(v), MASK32),
+    # CRRL is an XLEN-wide result: crrl(0xFFFFFFFF) = 2^32 truncates to 0
+    # (the CHERI-RISC-V CRoundRepresentableLength semantics), it does not
+    # saturate.  CGetLen above is the one that saturates.
+    Op.CRRL: lambda v: concentrate.crrl(v) & MASK32,
     Op.CRAM: concentrate.crml,
 }
 _CMOD1_FN = {
@@ -522,6 +525,9 @@ class StreamingMultiprocessor:
                  stats.stall_csc_operand - pre_stalls[1],
                  stats.stall_bank_conflict - pre_stalls[2],
                  stats.stall_atomic_serial - pre_stalls[3]))
+            # Retirement: architectural effects are fully applied at this
+            # point, so lockstep checkers can diff state per instruction.
+            probes.retire(cycle, warp, pc, instr, lanes)
         return cycle + width
 
     # -- register access helpers -----------------------------------------

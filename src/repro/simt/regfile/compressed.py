@@ -283,6 +283,19 @@ class CompressedRegFile:
         self._entries[key] = _Vector(slot, merged)
         return report
 
+    def peek(self, warp, reg):
+        """Side-effect-free read of a full vector (checker/debug use).
+
+        Unlike :meth:`read`, a spilled vector is expanded in place — it is
+        not reloaded into the VRF — so no spill traffic, slot-pool state or
+        statistic can change.  The lockstep cross-checker depends on this
+        to observe register state without perturbing the run.
+        """
+        entry = self._entries.get((warp, reg))
+        if entry is None:
+            return [0] * self.lanes
+        return entry.expand(self.lanes, self.value_mask)
+
     def is_vector_resident(self, warp, reg):
         """True when the register currently occupies a VRF slot (used for
         the shared-VRF serialisation stall check)."""
@@ -332,6 +345,11 @@ class PlainRegFile:
                 for i in range(self.lanes)
             ]
         return AccessReport()
+
+    def peek(self, warp, reg):
+        """Side-effect-free read of a full vector (checker/debug use)."""
+        values = self._entries.get((warp, reg))
+        return [0] * self.lanes if values is None else list(values)
 
     def is_vector_resident(self, warp, reg):
         return False

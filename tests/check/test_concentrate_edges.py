@@ -1,0 +1,142 @@
+"""CHERI Concentrate boundary cases, pinned.
+
+Covers the encoding's delicate edges: zero-length bounds, top == 2**32,
+CRRL/CRAM at the maximum exponent (including the XLEN truncation of
+CRRL's 2**32 result), and the representable-range edge that CSetAddr
+must detect.  The hypothesis block checks the encode/decode invariants
+over arbitrary requested regions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cheri import concentrate
+from repro.cheri.capability import root_capability
+from repro.isa.instructions import Op
+from repro.simt.pipeline import _CRR_FN
+
+MASK32 = 0xFFFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# set_bounds: length 0 and top == 2**32
+# ---------------------------------------------------------------------------
+
+def test_set_bounds_length_zero_is_exact_and_tagged():
+    cap, exact = root_capability().set_bounds(0x1234, 0)
+    assert exact and cap.tag
+    assert (cap.base, cap.top, cap.length) == (0x1234, 0x1234, 0)
+
+
+def test_set_bounds_top_at_address_space_limit():
+    root = root_capability()
+    cap, exact = root.set_bounds(0xFFFFFFFF, 1)
+    assert exact and cap.tag
+    assert (cap.base, cap.top) == (0xFFFFFFFF, 1 << 32)
+    cap, exact = root.set_bounds(0xFFFF0000, 0x10000)
+    assert exact and cap.tag
+    assert (cap.base, cap.top) == (0xFFFF0000, 1 << 32)
+    cap, exact = root.set_bounds(0, 1 << 32)
+    assert exact and cap.tag
+    assert (cap.base, cap.top) == (0, 1 << 32)
+
+
+# ---------------------------------------------------------------------------
+# CRRL / CRAM at the exponent extremes
+# ---------------------------------------------------------------------------
+
+def test_crrl_cram_max_exponent():
+    assert concentrate.crrl(0xFFFFFFFF) == 1 << 32
+    assert concentrate.crml(0xFFFFFFFF) == 0xE0000000
+    assert concentrate.crrl(0xFFFFF000) == 1 << 32
+    assert concentrate.crrl(0x80000000) == 0x80000000
+    assert concentrate.crml(0x80000000) == 0xF0000000
+
+
+def test_crrl_pipeline_truncates_to_xlen():
+    # The CRRL *instruction* returns an XLEN-wide register value:
+    # crrl(0xFFFFFFFF) = 2**32 must truncate to 0, not saturate to
+    # 0xFFFFFFFF (which a caller could mistake for a representable
+    # length).  This was an actual pipeline bug.
+    assert _CRR_FN[Op.CRRL](0xFFFFFFFF) == 0
+    assert _CRR_FN[Op.CRRL](0xFFFFF000) == 0
+    assert _CRR_FN[Op.CRRL](0x80000000) == 0x80000000
+
+
+def test_crrl_cram_small_lengths():
+    assert concentrate.crrl(0) == 0
+    assert concentrate.crml(0) == MASK32
+    assert concentrate.crrl(1) == 1
+    assert concentrate.crml(1) == MASK32
+
+
+# ---------------------------------------------------------------------------
+# set_addr at the representable-range edge
+# ---------------------------------------------------------------------------
+
+def test_set_addr_representable_edge_pinned():
+    # 0x101 rounds to 0x120 (internal exponent), giving bounds
+    # [0x1000, 0x1120) with a representable window wider than the
+    # bounds; the edges were measured from the encoding itself.
+    cap, exact = root_capability().set_bounds(0x1000, 0x101)
+    assert not exact
+    assert (cap.base, cap.top) == (0x1000, 0x1120)
+    assert cap.set_addr(0x137F).tag       # last representable above
+    assert not cap.set_addr(0x1380).tag   # first unrepresentable
+    assert cap.set_addr(0xF80).tag        # last representable below
+    assert not cap.set_addr(0xF7F).tag
+
+
+def test_set_addr_edge_discoverable_by_walk():
+    # Walking upward from top in granule steps must hit the edge in a
+    # bounded number of steps, and tag loss must coincide exactly with
+    # the decoded bounds changing (representability = decode equality).
+    cap, _ = root_capability().set_bounds(0x1000, 0x101)
+    reference = concentrate.decode_bounds(cap.bounds, cap.addr)
+    edge = None
+    for step in range(1, 256):
+        addr = cap.top + 32 * step
+        if not cap.set_addr(addr).tag:
+            edge = addr
+            break
+    assert edge is not None
+    assert concentrate.decode_bounds(cap.bounds, edge) != reference
+    assert concentrate.decode_bounds(cap.bounds, edge - 32) == reference
+
+
+# ---------------------------------------------------------------------------
+# Encoding invariants over arbitrary regions
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=500, deadline=None)
+@given(base=st.integers(0, MASK32),
+       length=st.integers(0, 1 << 32))
+def test_encode_bounds_invariants(base, length):
+    top = min(base + length, 1 << 32)
+    bounds, exact, actual_base, actual_top = concentrate.encode_bounds(
+        base, top)
+    # Rounding is only ever outward.
+    assert actual_base <= base
+    assert top <= actual_top
+    # Exactness means no rounding happened.
+    assert exact == (actual_base == base and actual_top == top)
+    # Decoding at the requested base must reproduce the actual bounds.
+    assert concentrate.decode_bounds(bounds, base) == (actual_base,
+                                                       actual_top)
+
+
+@settings(max_examples=500, deadline=None)
+@given(base=st.integers(0, MASK32), length=st.integers(0, MASK32))
+def test_crrl_cram_alignment_contract(base, length):
+    # CRRL/CRAM's documented use: aligning base down to CRAM(len) and
+    # padding the length to CRRL(len) always gives exact bounds.
+    mask = concentrate.crml(length)
+    aligned_base = base & mask
+    padded = concentrate.crrl(length)
+    if aligned_base + padded > 1 << 32:
+        aligned_base = ((1 << 32) - padded) & mask
+    _, exact, actual_base, actual_top = concentrate.encode_bounds(
+        aligned_base, aligned_base + padded)
+    assert exact
+    assert (actual_base, actual_top) == (aligned_base, aligned_base + padded)
+    assert padded >= length

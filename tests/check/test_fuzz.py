@@ -1,0 +1,85 @@
+"""The differential fuzzer: clean on the current simulator, and able to
+find + shrink an injected bug.  The long seeded run is CI-only (set
+``REPRO_FUZZ_CI=1``).
+"""
+
+import os
+
+import pytest
+
+from repro.check.fuzz import (
+    SCHEDULE,
+    FuzzReport,
+    generate_case,
+    run_case,
+    run_fuzz,
+    shrink_case,
+)
+from repro.isa.instructions import Op
+
+
+def test_fuzz_smoke_all_kinds_clean(tmp_path):
+    # Two full rotations of the generator schedule must pass cleanly.
+    report = run_fuzz(seed=1, budget=2 * len(SCHEDULE),
+                      out_dir=str(tmp_path))
+    assert isinstance(report, FuzzReport)
+    assert report.cases == 2 * len(SCHEDULE)
+    assert report.ok, report.summary()
+    assert not list(tmp_path.iterdir())  # no reproducers for clean runs
+
+
+def test_cases_are_deterministic():
+    for index in (0, 3, 5, 11):
+        a = generate_case(7, index)
+        b = generate_case(7, index)
+        assert (a.kind, a.body, a.init_regs, a.source) == (
+            b.kind, b.body, b.init_regs, b.source)
+
+
+def test_time_budget_stops_early():
+    report = run_fuzz(seed=2, budget=None, time_budget=0.0)
+    assert report.cases == 0 and report.ok
+
+
+def test_fuzzer_finds_and_shrinks_injected_bug(monkeypatch, tmp_path):
+    from repro.simt import pipeline
+    monkeypatch.setitem(pipeline._INT_R_FN, Op.XOR,
+                        lambda a, b: (a | b) & 0xFFFFFFFF)
+    found = None
+    for index in range(64):
+        case = generate_case(0, index)
+        if case.kind == "kernel":
+            continue  # kernels also xor, but seq cases shrink better
+        outcome = run_case(case)
+        if outcome is not None:
+            found = (case, outcome)
+            break
+    assert found is not None, "injected xor bug survived 64 fuzz cases"
+    case, (signature, message) = found
+    assert signature == "divergence"
+    reduced = shrink_case(case, signature)
+    assert len(reduced) < len(case.body)
+    assert len(reduced) <= 3
+    assert any("xor" in line for line in reduced)
+
+
+def test_reproducer_file_written_for_failures(monkeypatch, tmp_path):
+    from repro.simt import pipeline
+    monkeypatch.setitem(pipeline._INT_R_FN, Op.AND,
+                        lambda a, b: (a | b) & 0xFFFFFFFF)
+    report = run_fuzz(seed=0, budget=32, out_dir=str(tmp_path))
+    assert not report.ok
+    failure = report.failures[0]
+    assert failure.path and os.path.exists(failure.path)
+    text = open(failure.path).read()
+    assert "generate_case(seed=0, index=%d)" % failure.index in text
+    assert "divergence" in text
+
+
+@pytest.mark.skipif(not os.environ.get("REPRO_FUZZ_CI"),
+                    reason="long seeded fuzz run; set REPRO_FUZZ_CI=1")
+def test_fuzz_seeded_minute_budget(tmp_path):
+    report = run_fuzz(seed=0, budget=None, time_budget=60,
+                      out_dir=str(tmp_path))
+    assert report.cases > 100
+    assert report.ok, report.summary()

@@ -1,0 +1,130 @@
+"""Golden-model scalar semantics vs the pipeline's ALU, property-style.
+
+The golden model's operation tables were written independently against
+the ISA definition; these tests pin them to the pipeline's
+:mod:`repro.simt.alu` implementations over adversarial operand pools so
+any later edit to either side must keep them in agreement.  The pinned
+cases at the bottom are regression tests for real bugs: the RISC-V
+fmin/fmax NaN and signed-zero rules, fdiv's signed-zero divisor, and
+FCVT saturation on infinities.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check import golden
+from repro.simt import alu, pipeline
+
+MASK32 = 0xFFFFFFFF
+
+#: Operand pool: uniform random bits plus the corner values where
+#: signed/unsigned and FP semantics go wrong first.
+_CORNERS = (
+    0, 1, 2, 0x7FFFFFFF, 0x80000000, 0x80000001, 0xFFFFFFFF, 0xFFFFFFFE,
+    31, 32, 0xAAAAAAAA, 0x55555555,
+    # FP bit patterns: signed zeros, infs, NaNs, denormals, FLT_MAX.
+    0x3F800000, 0xBF800000, 0x7F800000, 0xFF800000, 0x7FC00000,
+    0x7F800001, 0x00000001, 0x007FFFFF, 0x7F7FFFFF, 0x4F000000,
+    0xCF000000,
+)
+
+WORD = st.one_of(st.integers(0, MASK32), st.sampled_from(_CORNERS))
+
+
+@settings(max_examples=300, deadline=None)
+@given(op=st.sampled_from(sorted(golden._INT2, key=lambda o: o.name)),
+       a=WORD, b=WORD)
+def test_int2_matches_pipeline(op, a, b):
+    assert golden._INT2[op](a, b) == pipeline._INT_R_FN[op](a, b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(sorted(golden._INT_IMM, key=lambda o: o.name)),
+       a=WORD, imm=st.integers(-2048, 2047))
+def test_int_imm_matches_pipeline(op, a, imm):
+    # The pipeline applies immediates pre-masked to 32 bits.
+    assert (golden._INT_IMM[op](a, imm & MASK32)
+            == pipeline._INT_I_FN[op](a, imm & MASK32))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(sorted(golden._BRANCH, key=lambda o: o.name)),
+       a=WORD, b=WORD)
+def test_branch_matches_pipeline(op, a, b):
+    assert bool(golden._BRANCH[op](a, b)) == bool(
+        pipeline._BRANCH_FN[op](a, b))
+
+
+@settings(max_examples=200, deadline=None)
+@given(op=st.sampled_from(sorted(golden._AMO, key=lambda o: o.name)),
+       old=WORD, value=WORD)
+def test_amo_matches_pipeline(op, old, value):
+    assert (golden._AMO[op](old, value) & MASK32
+            == pipeline._AMO_FN[op](old, value) & MASK32)
+
+
+@settings(max_examples=400, deadline=None)
+@given(op=st.sampled_from(sorted(golden._FLOAT2, key=lambda o: o.name)),
+       a=WORD, b=WORD)
+def test_float2_matches_pipeline(op, a, b):
+    assert golden._FLOAT2[op](a, b) == pipeline._FLOAT_RR_FN[op](a, b)
+
+
+@settings(max_examples=400, deadline=None)
+@given(op=st.sampled_from(sorted(golden._FLOAT1, key=lambda o: o.name)),
+       a=WORD)
+def test_float1_matches_pipeline(op, a):
+    assert golden._FLOAT1[op](a) == pipeline._FLOAT_UNARY_FN[op](a)
+
+
+# ---------------------------------------------------------------------------
+# Pinned regressions (each was an actual divergence before the fix)
+# ---------------------------------------------------------------------------
+
+_POS_ZERO, _NEG_ZERO = 0x00000000, 0x80000000
+_QNAN = 0x7FC00000
+_SNAN = 0x7F800001
+_ONE = 0x3F800000
+_POS_INF, _NEG_INF = 0x7F800000, 0xFF800000
+
+
+def test_fmin_fmax_nan_returns_other_operand():
+    fmin, fmax = alu.FLOAT_FNS["fmin"], alu.FLOAT_FNS["fmax"]
+    assert fmin(_QNAN, _ONE) == _ONE
+    assert fmin(_ONE, _QNAN) == _ONE
+    assert fmax(_SNAN, _ONE) == _ONE
+    assert fmax(_ONE, _SNAN) == _ONE
+
+
+def test_fmin_fmax_both_nan_canonicalises():
+    assert alu.FLOAT_FNS["fmin"](_QNAN, _SNAN) == _QNAN
+    assert alu.FLOAT_FNS["fmax"](0xFFC00001, _SNAN) == _QNAN
+
+
+def test_fmin_fmax_signed_zero_ordering():
+    # RISC-V: -0.0 < +0.0 for fmin/fmax purposes.
+    fmin, fmax = alu.FLOAT_FNS["fmin"], alu.FLOAT_FNS["fmax"]
+    assert fmin(_POS_ZERO, _NEG_ZERO) == _NEG_ZERO
+    assert fmin(_NEG_ZERO, _POS_ZERO) == _NEG_ZERO
+    assert fmax(_POS_ZERO, _NEG_ZERO) == _POS_ZERO
+    assert fmax(_NEG_ZERO, _POS_ZERO) == _POS_ZERO
+
+
+def test_fdiv_signed_zero_divisor():
+    fdiv = alu.FLOAT_FNS["fdiv"]
+    assert fdiv(_ONE, _POS_ZERO) == _POS_INF
+    assert fdiv(_ONE, _NEG_ZERO) == _NEG_INF          # sign must XOR
+    assert fdiv(0xBF800000, _NEG_ZERO) == _POS_INF    # -1 / -0 = +inf
+    assert fdiv(_POS_ZERO, _POS_ZERO) == _QNAN        # 0/0 invalid
+    assert fdiv(_QNAN, _POS_ZERO) == _QNAN            # NaN propagates
+
+
+def test_fcvt_saturates_infinities_and_nan():
+    fcvt_w = alu.FLOAT_FNS["fcvt.w.s"]
+    fcvt_wu = alu.FLOAT_FNS["fcvt.wu.s"]
+    assert fcvt_w(_POS_INF) == 0x7FFFFFFF
+    assert fcvt_w(_NEG_INF) == 0x80000000
+    assert fcvt_w(_QNAN) == 0x7FFFFFFF                # NaN converts high
+    assert fcvt_w(0x4F000000) == 0x7FFFFFFF           # 2**31 clamps
+    assert fcvt_wu(_NEG_INF) == 0
+    assert fcvt_wu(0xBF800000) == 0                   # -1.0 clamps to 0

@@ -1,0 +1,137 @@
+"""Disassembler/assembler round-trip: every encodable instruction must
+survive encode -> decode -> format -> parse -> encode with identical bits.
+
+This pins the full textual surface of the ISA: any op whose disassembly
+the assembler cannot parse back (or parses to different fields) fails
+here immediately rather than silently breaking listings and reproducer
+files.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding as enc
+from repro.isa.assembler import AssemblerError, assemble_text
+from repro.isa.disasm import format_instr
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Instr, Op
+
+REG = st.integers(0, 31)
+IMM12 = st.integers(-2048, 2047)
+SHAMT = st.integers(0, 31)
+UIMM20 = st.integers(0, 0xFFFFF)
+UIMM12 = st.integers(0, 4095)
+BIMM = st.integers(-2048, 2047).map(lambda v: v * 2)
+JIMM = st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2)
+
+#: Ops whose encodings are shared with a baseline op and only decode
+#: under ``cheri_mode=True``.
+_CHERI_ALIASES = frozenset({Op.AUIPCC, Op.CJAL, Op.CAMOADD_W})
+
+_NO_FIELDS = frozenset({Op.FENCE, Op.ECALL, Op.EBREAK})
+
+
+def _strategy(op):
+    """A strategy of valid Instr values for ``op`` (None if unknown)."""
+    three_reg = (op in enc._R_TYPE or op in enc._AMO_FUNCT5
+                 or op is Op.CAMOADD_W or op in enc._CHERI_RR)
+    if three_reg:
+        return st.builds(lambda rd, rs1, rs2:
+                         Instr(op, rd=rd, rs1=rs1, rs2=rs2), REG, REG, REG)
+    if op in enc._FP:
+        _, _, rs2sel = enc._FP[op]
+        if rs2sel is not None:
+            return st.builds(lambda rd, rs1: Instr(op, rd=rd, rs1=rs1),
+                             REG, REG)
+        return st.builds(lambda rd, rs1, rs2:
+                         Instr(op, rd=rd, rs1=rs1, rs2=rs2), REG, REG, REG)
+    if op in enc._CHERI_UNARY:
+        return st.builds(lambda rd, rs1: Instr(op, rd=rd, rs1=rs1), REG, REG)
+    if op in enc._I_ARITH or op in (Op.JALR, Op.CJALR, Op.CINCOFFSETIMM):
+        return st.builds(lambda rd, rs1, imm:
+                         Instr(op, rd=rd, rs1=rs1, imm=imm), REG, REG, IMM12)
+    if op in enc._SHIFTS:
+        return st.builds(lambda rd, rs1, imm:
+                         Instr(op, rd=rd, rs1=rs1, imm=imm), REG, REG, SHAMT)
+    if op is Op.CSETBOUNDSIMM:
+        return st.builds(lambda rd, rs1, imm:
+                         Instr(op, rd=rd, rs1=rs1, imm=imm), REG, REG, UIMM12)
+    if op in enc._LOADS or op in enc._CLOADS:
+        return st.builds(lambda rd, rs1, imm:
+                         Instr(op, rd=rd, rs1=rs1, imm=imm), REG, REG, IMM12)
+    if op in enc._STORES or op in enc._CSTORES:
+        return st.builds(lambda rs1, rs2, imm:
+                         Instr(op, rs1=rs1, rs2=rs2, imm=imm), REG, REG, IMM12)
+    if op in enc._BRANCHES:
+        return st.builds(lambda rs1, rs2, imm:
+                         Instr(op, rs1=rs1, rs2=rs2, imm=imm), REG, REG, BIMM)
+    if op in (Op.LUI, Op.AUIPC, Op.AUIPCC):
+        return st.builds(lambda rd, imm: Instr(op, rd=rd, imm=imm),
+                         REG, UIMM20)
+    if op in (Op.JAL, Op.CJAL):
+        return st.builds(lambda rd, imm: Instr(op, rd=rd, imm=imm),
+                         REG, JIMM)
+    if op in _NO_FIELDS:
+        return st.just(Instr(op))
+    if op in enc._SIM_OPS:
+        return st.builds(lambda rd, rs1, imm:
+                         Instr(op, rd=rd, rs1=rs1, imm=imm), REG, REG, IMM12)
+    return None
+
+
+_ALL_OPS = sorted(Op, key=lambda o: o.name)
+
+
+def test_every_op_has_a_strategy():
+    missing = [op.name for op in _ALL_OPS if _strategy(op) is None]
+    assert not missing, "round-trip test covers no strategy for %s" % missing
+
+
+@settings(max_examples=1500, deadline=None)
+@given(data=st.data())
+def test_encode_disasm_assemble_roundtrip(data):
+    op = data.draw(st.sampled_from(_ALL_OPS))
+    instr = data.draw(_strategy(op))
+    word = encode(instr)
+    cheri_mode = op in _CHERI_ALIASES
+    decoded = decode(word, cheri_mode=cheri_mode)
+    assert decoded.op is op
+    text = format_instr(decoded)
+    program = assemble_text(text)
+    assert len(program) == 1
+    assert encode(program[0]) == word
+
+
+@pytest.mark.parametrize("baseline_op,cheri_op", [
+    (Op.AUIPC, Op.AUIPCC),
+    (Op.JAL, Op.CJAL),
+    (Op.AMOADD_W, Op.CAMOADD_W),
+])
+def test_purecap_aliases_share_encodings(baseline_op, cheri_op):
+    fields = (dict(rd=3, imm=0x42) if baseline_op is not Op.AMOADD_W
+              else dict(rd=3, rs1=4, rs2=5))
+    word = encode(Instr(baseline_op, **fields))
+    assert encode(Instr(cheri_op, **fields)) == word
+    assert decode(word, cheri_mode=False).op is baseline_op
+    assert decode(word, cheri_mode=True).op is cheri_op
+
+
+def test_sim_ops_roundtrip_both_forms():
+    # Bare form (all fields zero) and the full rd/rs1/imm form.
+    for op in (Op.BARRIER, Op.HALT, Op.TRAP):
+        bare = Instr(op)
+        assert format_instr(bare) == op.name.lower()
+        assert encode(assemble_text(op.name.lower())[0]) == encode(bare)
+        full = Instr(op, rd=1, rs1=2, imm=3)
+        text = format_instr(full)
+        assert text != op.name.lower()
+        assert encode(assemble_text(text)[0]) == encode(full)
+
+
+def test_bare_ops_reject_operands():
+    for text in ("ecall x1", "fence a0, a1", "ebreak 3"):
+        with pytest.raises(AssemblerError):
+            assemble_text(text)
+    with pytest.raises(AssemblerError):
+        assemble_text("halt ra")  # 1 operand: neither bare nor full form

@@ -140,6 +140,29 @@ class TestProbeEquivalence:
         assert profiler.total_attributed() == stats.cycles
 
 
+class TestLockstepEquivalence:
+    """The lockstep cross-checker reads pipeline state through
+    side-effect-free accessors only, so benchmark statistics with a
+    golden-model checker attached are bit-identical to the probe-free
+    hot path — the differential harness observes the real simulator,
+    not a perturbed one."""
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("name", BENCHES)
+    def test_stats_bit_identical_with_checker_attached(self, name,
+                                                       config_name):
+        from repro.check import check_benchmark
+        reference = _signature(_fresh(name, config_name))
+
+        stats, checker = check_benchmark(name, config_name, scale=1,
+                                         **GEOMETRY)
+
+        assert asdict(stats) == reference
+        # ...and the checker actually cross-checked the run.
+        assert checker.retired > 0
+        assert checker.launches > 0
+
+
 class TestCrossProcess:
     def test_fresh_interpreter_reproduces_stats(self):
         """A brand-new Python process computes the exact same statistics.

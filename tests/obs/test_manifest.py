@@ -115,6 +115,70 @@ class TestDiff:
         assert "REGRESSED" in text and "cycles" in text
 
 
+class TestDiffEdgeCases:
+    """Zero baselines and schema drift: the diff must stay finite and
+    the CLI must exit cleanly when a metric exists in only one manifest."""
+
+    def test_zero_baseline_has_no_infinite_ratio(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        old = copy.deepcopy(manifest)
+        new = copy.deepcopy(manifest)
+        old["benchmarks"]["VecAdd"]["stats"]["dram_spill_bytes"] = 0
+        new["benchmarks"]["VecAdd"]["stats"]["dram_spill_bytes"] = 128
+        rows = mf.diff_manifests(old, new)
+        [row] = [r for r in rows if r["metric"] == "dram_spill_bytes"
+                 and r["benchmark"] == "VecAdd"]
+        # Growth from zero is a regression, but with no finite ratio.
+        assert row["regressed"] and row["ratio"] is None
+        text = mf.render_diff(rows)
+        assert "inf" not in text and "+new" in text
+
+    def test_zero_on_both_sides_is_unchanged(self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        both = copy.deepcopy(manifest)
+        both["benchmarks"]["VecAdd"]["stats"]["dram_spill_bytes"] = 0
+        rows = mf.diff_manifests(both, both)
+        [row] = [r for r in rows if r["metric"] == "dram_spill_bytes"
+                 and r["benchmark"] == "VecAdd"]
+        assert not row["regressed"] and row["delta"] == 0
+        mf.render_diff(rows)  # must not raise on the None ratio
+
+    def test_metric_in_only_one_manifest_is_a_note_not_a_regression(
+            self, isolated):
+        manifest, _ = _suite_manifest(isolated)
+        short = copy.deepcopy(manifest)
+        del short["benchmarks"]["VecAdd"]["stats"]["dram_spill_bytes"]
+        for old, new, side in ((manifest, short, "new"),
+                               (short, manifest, "old")):
+            rows = mf.diff_manifests(old, new)
+            [row] = [r for r in rows if r["metric"] == "dram_spill_bytes"
+                     and r["benchmark"] == "VecAdd"]
+            assert not row["regressed"]
+            assert row["note"] == "only in %s" % ("old" if side == "new"
+                                                  else "new")
+            assert "only in" in mf.render_diff(rows)
+
+    def test_cli_diff_exits_zero_on_schema_drift(self, isolated, tmp_path,
+                                                 capsys):
+        from repro.cli import main
+        manifest, path = _suite_manifest(isolated)
+        short = copy.deepcopy(manifest)
+        del short["benchmarks"]["VecAdd"]["stats"]["dram_spill_bytes"]
+        short_path = mf.write_manifest(short, str(tmp_path / "short.json"))
+        assert main(["diff", path, short_path]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_cli_diff_exits_one_on_regression(self, isolated, tmp_path,
+                                              capsys):
+        from repro.cli import main
+        manifest, path = _suite_manifest(isolated)
+        worse = copy.deepcopy(manifest)
+        worse["benchmarks"]["VecAdd"]["stats"]["cycles"] *= 2
+        worse_path = mf.write_manifest(worse, str(tmp_path / "worse.json"))
+        assert main(["diff", path, worse_path]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+
 class TestRoundTrip:
     def test_write_and_load(self, isolated, tmp_path):
         manifest, _ = _suite_manifest(isolated)
