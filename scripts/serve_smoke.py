@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""CI smoke test for the simulation service.
+
+Starts ``repro serve``, submits a small benchmark grid and asserts the
+streamed lifecycle reaches completion; then restarts the server on the
+same disk cache, resubmits the identical grid and asserts every cell is
+served as a cache hit without touching a worker; both server sessions
+are drained cleanly (the drain must write a service manifest).
+
+Exits non-zero on the first violated expectation.
+
+Usage::
+
+    PYTHONPATH=src python scripts/serve_smoke.py [--keep TMPDIR]
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.serve.client import ServeClient  # noqa: E402
+
+GRID = dict(benchmarks=["VecAdd", "Reduce"], configs=["baseline"],
+            overrides={"num_warps": 4, "num_lanes": 4})
+
+
+def start_server(workdir):
+    env = dict(os.environ)
+    env["REPRO_SIMCACHE_DIR"] = os.path.join(workdir, "simcache")
+    env["REPRO_MANIFEST_DIR"] = os.path.join(workdir, "manifests")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [path for path in (sys.path[0], env.get("PYTHONPATH")) if path])
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
+        text=True)
+    line = process.stdout.readline()
+    match = re.search(r"listening on [\w.]+:(\d+)", line)
+    if not match:
+        process.kill()
+        raise SystemExit("serve did not announce a port: %r" % line)
+    return process, int(match.group(1))
+
+
+def run_session(workdir, expect_cached):
+    process, port = start_server(workdir)
+    phase = "cached" if expect_cached else "fresh"
+    try:
+        with ServeClient(port=port, timeout=300.0) as client:
+            events = []
+            for message in client.submit_and_stream(stream=True, **GRID):
+                if "event" in message:
+                    events.append(message)
+                    print("[%s] %s %s" % (phase, message["event"],
+                                          message.get("label", "")))
+        names = [message["event"] for message in events]
+        terminal = [message for message in events
+                    if message["event"] in ("done", "cached")]
+        assert names[-1] == "grid_done", "stream must end with grid_done"
+        assert len(terminal) == 2, "both grid cells must complete"
+        assert all("payload" in message for message in terminal)
+        assert all(message["payload"]["stats"]["cycles"] > 0
+                   for message in terminal)
+        if expect_cached:
+            assert names.count("cached") == 2, \
+                "restart must serve the grid from the disk cache, " \
+                "got events %r" % names
+        else:
+            assert names.count("done") == 2, \
+                "fresh submission must simulate, got events %r" % names
+        with ServeClient(port=port, timeout=60.0) as client:
+            reply = client.drain()
+        assert reply["drained"] is True
+        assert reply["manifest"] and os.path.exists(reply["manifest"]), \
+            "drain must write the service manifest"
+        stats = reply["stats"]
+        if expect_cached:
+            assert stats["executed"] == 0 and stats["cache_hits"] == 2, \
+                "cached session ran %d job(s)" % stats["executed"]
+        else:
+            assert stats["executed"] == 2
+        code = process.wait(timeout=30)
+        assert code == 0, "server exited with %d" % code
+        print("[%s] drained cleanly: executed=%d cache_hits=%d"
+              % (phase, stats["executed"], stats["cache_hits"]))
+    finally:
+        if process.poll() is None:
+            process.kill()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep", metavar="TMPDIR", default=None,
+                        help="use (and keep) this work directory")
+    args = parser.parse_args()
+    workdir = args.keep or tempfile.mkdtemp(prefix="repro-serve-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    try:
+        run_session(workdir, expect_cached=False)
+        run_session(workdir, expect_cached=True)
+        print("serve smoke: OK")
+        return 0
+    finally:
+        if not args.keep:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ delta-debugging over the instruction lines and written out as standalone
 reproducer files.
 """
 
+import os
 import random
 import time
 from dataclasses import dataclass, field
@@ -700,7 +701,6 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
     have elapsed, whichever comes first when both are set).  Returns a
     :class:`FuzzReport`; reproducers for failures are written under
     ``out_dir`` when given."""
-    import os
     emit = log or (lambda text: None)
     start = time.monotonic()
     failures = []
@@ -737,4 +737,86 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
             failures.append(failure)
         index += 1
     return FuzzReport(seed=seed, cases=index, failures=failures,
+                      elapsed=time.monotonic() - start)
+
+
+# ---------------------------------------------------------------------------
+# Sharded fuzzing
+# ---------------------------------------------------------------------------
+
+def shard_seed(seed, shard):
+    """Deterministic per-shard sub-seed.
+
+    Shard 0 keeps the base seed, so ``--jobs 1`` covers exactly the same
+    cases as a serial run; higher shards derive disjoint seeds (every
+    case stays reconstructible from ``(sub_seed, index)``).
+    """
+    if shard == 0:
+        return seed
+    return (seed * 65537 + shard) & 0x7FFFFFFF
+
+
+def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose):
+    """Worker entry point: one shard's fuzz run, summarised picklably."""
+    sub = shard_seed(seed, shard)
+    shard_out = os.path.join(out_dir, "shard%02d" % shard) if out_dir \
+        else None
+    report = run_fuzz(seed=sub, budget=budget, time_budget=time_budget,
+                      out_dir=shard_out, verbose=verbose)
+    return {
+        "shard": shard,
+        "seed": sub,
+        "cases": report.cases,
+        "elapsed": report.elapsed,
+        "failures": [
+            {"index": failure.index, "kind": failure.kind,
+             "signature": failure.signature, "message": failure.message,
+             "path": failure.path}
+            for failure in report.failures
+        ],
+    }
+
+
+def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
+                      out_dir=None, verbose=False, log=None):
+    """Shard the fuzz budget across ``jobs`` worker processes.
+
+    Each shard fuzzes under its own :func:`shard_seed`-derived seed (the
+    schedule rotation means identical indices would otherwise generate
+    identical cases in every shard); a ``time_budget`` applies to each
+    shard in wall-clock parallel.  Shard reproducers land under
+    ``out_dir/shardNN/`` and the merged :class:`FuzzReport` carries every
+    failure with its reproducer path.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    emit = log or (lambda text: None)
+    jobs = max(1, jobs)
+    start = time.monotonic()
+    share, extra = divmod(budget, jobs) if budget is not None else (None, 0)
+    shard_budgets = [None if budget is None
+                     else share + (1 if shard < extra else 0)
+                     for shard in range(jobs)]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [
+            pool.submit(_fuzz_shard, seed, shard, shard_budgets[shard],
+                        time_budget, out_dir, verbose)
+            for shard in range(jobs)
+            if shard_budgets[shard] is None or shard_budgets[shard] > 0
+        ]
+        summaries = [future.result() for future in futures]
+    failures = []
+    cases = 0
+    for summary in summaries:
+        cases += summary["cases"]
+        emit("shard %d (seed %d): %d case(s), %d failure(s), %.1fs"
+             % (summary["shard"], summary["seed"], summary["cases"],
+                len(summary["failures"]), summary["elapsed"]))
+        for failed in summary["failures"]:
+            failures.append(FuzzFailure(
+                index=failed["index"], kind=failed["kind"],
+                signature="shard%d:%s" % (summary["shard"],
+                                          failed["signature"]),
+                message=failed["message"], case=None, path=failed["path"]))
+    return FuzzReport(seed=seed, cases=cases, failures=failures,
                       elapsed=time.monotonic() - start)

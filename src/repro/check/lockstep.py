@@ -317,12 +317,13 @@ def _dict_diff(pipe_words, golden_words, limit=8):
 # ---------------------------------------------------------------------------
 
 def check_benchmark(name, config_name="cheri_opt", scale=1, num_warps=4,
-                    num_lanes=4):
+                    num_lanes=4, **overrides):
     """Run one benchmark with a lockstep checker attached.
 
     Returns ``(stats, checker)``; raises :class:`DivergenceError` at the
     first architectural mismatch.  The benchmark's own output self-checks
-    run as usual.
+    run as usual.  Extra ``overrides`` are :class:`SMConfig` field
+    overrides on top of the (small, lockstep-friendly) geometry.
     """
     from repro.benchsuite import ALL_BENCHMARKS
     from repro.eval import runner
@@ -330,7 +331,7 @@ def check_benchmark(name, config_name="cheri_opt", scale=1, num_warps=4,
     from repro.obs import attach, detach
 
     mode, config = runner.config_for(config_name, num_warps=num_warps,
-                                     num_lanes=num_lanes)
+                                     num_lanes=num_lanes, **overrides)
     rt = NoCLRuntime(mode, config=config)
     checker = LockstepChecker()
     attach(rt.sm, checker)
@@ -344,6 +345,86 @@ def check_benchmark(name, config_name="cheri_opt", scale=1, num_warps=4,
     finally:
         detach(rt.sm)  # emits finish -> final sweep (unless aborted)
     return stats, checker
+
+
+def verified_run(name, config_name="cheri_opt", scale=1, num_warps=4,
+                 num_lanes=4, **overrides):
+    """Service hook: one benchmark run under full golden-model lockstep.
+
+    Used by ``repro.serve`` when a job is submitted with ``verify``:
+    the simulation only counts as done if every retired instruction's
+    architectural effects matched the golden model.  Returns
+    ``(stats, lockstep)`` where ``lockstep`` is a JSON-able summary of
+    the cross-check (launches, retire events, per-lane instructions,
+    wall seconds); raises :class:`DivergenceError` on any mismatch.
+    """
+    import time
+    start = time.perf_counter()
+    stats, checker = check_benchmark(name, config_name, scale=scale,
+                                     num_warps=num_warps,
+                                     num_lanes=num_lanes, **overrides)
+    return stats, {
+        "launches": checker.launches,
+        "retired": checker.retired,
+        "instructions": checker.instructions,
+        "wall_seconds": round(time.perf_counter() - start, 6),
+    }
+
+
+def lockstep_case(name, config_name, scale=1):
+    """One sweep cell, picklable for process pools.
+
+    Returns ``(name, config_name, ok, message, wall_seconds)``; a
+    divergence is reported in ``message`` rather than raised so a
+    parallel sweep can keep going and report every failing cell.
+    """
+    import time
+    start = time.perf_counter()
+    try:
+        _, checker = check_benchmark(name, config_name, scale=scale)
+    except AssertionError as exc:
+        return (name, config_name, False, str(exc),
+                time.perf_counter() - start)
+    message = ("lockstep ok (%d retire events, %d instructions)"
+               % (checker.retired, checker.instructions))
+    return (name, config_name, True, message, time.perf_counter() - start)
+
+
+def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None):
+    """The benchmark × config lockstep sweep, optionally across processes.
+
+    ``jobs=None``/``1`` runs serially in-process; ``jobs=N`` fans the
+    cells out over ``N`` worker processes (the sweep is embarrassingly
+    parallel — each cell is an independent simulation).  Per-case wall
+    time is always reported.  Returns the number of diverged cells.
+    """
+    import time
+    from concurrent.futures import ProcessPoolExecutor
+
+    emit = log or (lambda text: None)
+    cells = [(name, config_name) for name in names
+             for config_name in configs]
+    start = time.perf_counter()
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        outcomes = [lockstep_case(name, config_name, scale)
+                    for name, config_name in cells]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
+            futures = [pool.submit(lockstep_case, name, config_name, scale)
+                       for name, config_name in cells]
+            outcomes = [future.result() for future in futures]
+    failures = 0
+    for name, config_name, ok, message, wall in outcomes:
+        if ok:
+            emit("%s [%s] %s  (%.2fs)" % (name, config_name, message, wall))
+        else:
+            failures += 1
+            emit("%s [%s] DIVERGED (%.2fs):\n%s"
+                 % (name, config_name, wall, message))
+    emit("%d cell(s) in %.2fs wall%s"
+         % (len(cells), time.perf_counter() - start,
+            ", %d worker processes" % jobs if jobs and jobs > 1 else ""))
+    return failures
 
 
 def check_program(program, config, init_regs=None, init_cap_regs=None,

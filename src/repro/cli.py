@@ -12,6 +12,10 @@ Commands:
 - ``diff A.json B.json``        — compare two run manifests
 - ``fuzz``                      — differential fuzzing vs the golden model
 - ``lockstep [BENCH...]``       — benchmarks under golden-model lockstep
+- ``serve``                     — async simulation service (TCP + NDJSON)
+- ``submit [BENCH...]``         — submit a grid to a running server
+- ``jobs``                      — server job table / stats / drain
+- ``result ID``                 — fetch one job's result from the server
 - ``table3`` / ``headline``     — shortcuts for the area model / abstract
 
 ``run``/``bench`` accept ``--json`` for machine-readable output; every
@@ -219,32 +223,28 @@ def cmd_profile(args):
 
 
 def cmd_fuzz(args):
-    from repro.check.fuzz import run_fuzz
-    report = run_fuzz(seed=args.seed, budget=args.budget,
-                      time_budget=args.time_budget, out_dir=args.out,
-                      verbose=args.verbose, log=print)
+    if args.jobs and args.jobs > 1:
+        from repro.check.fuzz import run_fuzz_parallel
+        report = run_fuzz_parallel(seed=args.seed, budget=args.budget,
+                                   jobs=args.jobs,
+                                   time_budget=args.time_budget,
+                                   out_dir=args.out, verbose=args.verbose,
+                                   log=print)
+    else:
+        from repro.check.fuzz import run_fuzz
+        report = run_fuzz(seed=args.seed, budget=args.budget,
+                          time_budget=args.time_budget, out_dir=args.out,
+                          verbose=args.verbose, log=print)
     print(report.summary())
     return 0 if report.ok else 1
 
 
 def cmd_lockstep(args):
-    from repro.check import check_benchmark
-    names = args.benchmarks or list(BENCHMARK_NAMES)
-    failures = 0
-    for name in names:
-        bench = _resolve_benchmark(name)
-        for config_name in args.configs:
-            try:
-                _, checker = check_benchmark(bench.name, config_name,
-                                             scale=args.scale)
-            except AssertionError as exc:
-                failures += 1
-                print("%s [%s] DIVERGED:\n%s" % (bench.name, config_name,
-                                                 exc))
-                continue
-            print("%s [%s] lockstep ok (%d retire events, %d instructions)"
-                  % (bench.name, config_name, checker.retired,
-                     checker.instructions))
+    from repro.check.lockstep import run_lockstep_sweep
+    names = [_resolve_benchmark(name).name
+             for name in (args.benchmarks or list(BENCHMARK_NAMES))]
+    failures = run_lockstep_sweep(names, args.configs, scale=args.scale,
+                                  jobs=args.jobs, log=print)
     return 1 if failures else 0
 
 
@@ -336,6 +336,185 @@ def cmd_bench(args):
     print("disk cache: %s%s" % (runner.cache_dir(),
                                 " (disabled)" if args.no_cache else ""))
     return 0
+
+
+def cmd_serve(args):
+    from repro.serve.server import serve_main
+    return serve_main(host=args.host, port=args.port, workers=args.workers,
+                      max_pending=args.max_pending,
+                      job_timeout=args.job_timeout,
+                      max_retries=args.retries, verbose=args.verbose)
+
+
+def _client(args):
+    from repro.serve.client import ServeClient
+    return ServeClient(host=args.host, port=args.port)
+
+
+def _print_event(message):
+    name = message.get("event", "?")
+    label = message.get("label", "")
+    if name == "progress":
+        print("  progress: %d/%d done" % (message.get("done", 0),
+                                          message.get("total", 0)))
+    elif name == "grid_done":
+        print("grid %s complete: %d job(s), %d failed"
+              % (message.get("grid"), message.get("jobs", 0),
+                 message.get("failed", 0)))
+    elif name in ("done", "cached"):
+        payload = message.get("payload") or {}
+        stats = payload.get("stats") or {}
+        detail = ""
+        if "cycles" in stats:
+            detail = "  cycles=%d source=%s" % (
+                stats["cycles"], payload.get("cache_source", "?"))
+        print("  %-8s %-10s %s%s" % (name, message.get("id", ""),
+                                     label, detail))
+    else:
+        extra = ""
+        if message.get("error"):
+            extra = "  (%s)" % message["error"]
+        if name == "retry":
+            extra = "  (attempt %s of %s)" % (message.get("attempt"),
+                                              message.get("of"))
+        print("  %-8s %-10s %s%s" % (name, message.get("id", ""),
+                                     label, extra))
+
+
+def cmd_submit(args):
+    import json
+
+    from repro.serve.client import ServeError
+    benchmarks = ([_resolve_benchmark(name).name for name in args.benchmarks]
+                  if args.benchmarks else None)
+    overrides = {}
+    if args.warps is not None:
+        overrides["num_warps"] = args.warps
+    if args.lanes is not None:
+        overrides["num_lanes"] = args.lanes
+    body = dict(benchmarks=benchmarks, configs=args.configs or None,
+                scale=args.scale, overrides=overrides, verify=args.verify)
+    if args.scales:
+        body["scales"] = args.scales
+    try:
+        with _client(args) as client:
+            if args.no_follow:
+                reply = client.submit(**body)
+                if args.json:
+                    print(json.dumps(reply, indent=1, sort_keys=True))
+                else:
+                    print("grid %s: %d job(s) submitted"
+                          % (reply["grid"], len(reply["jobs"])))
+                    for job in reply["jobs"]:
+                        print("  %-10s %-9s %s" % (job["id"], job["state"],
+                                                   job["label"]))
+                return 0
+            failed = 0
+            for message in client.submit_and_stream(**body):
+                if "event" not in message:      # the submission reply
+                    if not args.json:
+                        print("grid %s: %d job(s)"
+                              % (message["grid"], len(message["jobs"])))
+                    continue
+                if args.json:
+                    print(json.dumps(message, sort_keys=True))
+                else:
+                    _print_event(message)
+                if message.get("event") == "grid_done":
+                    failed = message.get("failed", 0)
+            return 1 if failed else 0
+    except (ServeError, OSError) as exc:
+        print("submit: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def cmd_jobs(args):
+    import json
+
+    from repro.serve.client import ServeError
+    try:
+        with _client(args) as client:
+            if args.drain:
+                reply = client.drain()
+                stats = reply.get("stats", {})
+                print("server drained: %d executed, %d cache hit(s), "
+                      "%d dedup hit(s)%s"
+                      % (stats.get("executed", 0),
+                         stats.get("cache_hits", 0),
+                         stats.get("dedup_hits", 0)
+                         + stats.get("memo_hits", 0),
+                         ", manifest %s" % reply["manifest"]
+                         if reply.get("manifest") else ""))
+                return 0
+            if args.stats:
+                reply = client.stats()
+                if args.json:
+                    print(json.dumps(reply, indent=1, sort_keys=True))
+                    return 0
+                stats = reply["stats"]
+                for key in sorted(stats):
+                    print("  %-24s %s" % (key, stats[key]))
+                print("  workers:")
+                for worker in reply.get("workers", []):
+                    print("    #%d pid=%s alive=%s job=%s done=%d"
+                          % (worker["worker_id"], worker["pid"],
+                             worker["alive"], worker["job"] or "-",
+                             worker["jobs_done"]))
+                return 0
+            reply = client.jobs()
+            if args.json:
+                print(json.dumps(reply, indent=1, sort_keys=True))
+                return 0
+            jobs = reply["jobs"]
+            if not jobs:
+                print("(no jobs)")
+                return 0
+            print("%-10s %-9s %-4s %8s  %s"
+                  % ("id", "state", "try", "wall s", "label"))
+            for job in jobs:
+                print("%-10s %-9s %-4d %8s  %s"
+                      % (job["id"], job["state"], job["attempts"] + 1,
+                         "%.3f" % job["wall_seconds"]
+                         if "wall_seconds" in job else "-",
+                         job["label"]))
+            return 0
+    except (ServeError, OSError) as exc:
+        print("jobs: %s" % exc, file=sys.stderr)
+        return 2
+
+
+def cmd_result(args):
+    import json
+
+    from repro.serve.client import ServeError
+    try:
+        with _client(args) as client:
+            reply = client.result(args.id, wait=not args.no_wait,
+                                  timeout=args.timeout)
+            job = reply["job"]
+            if args.json:
+                print(json.dumps(job, indent=1, sort_keys=True))
+                return 0 if job["state"] in ("done", "cached") else 1
+            print("%s  %s  [%s]" % (job["id"], job["label"], job["state"]))
+            if job.get("error"):
+                print("  error: %s" % job["error"])
+            payload = job.get("payload") or {}
+            stats = payload.get("stats") or {}
+            if stats:
+                print("  cycles=%d instrs=%d dram=%d bytes (source=%s)"
+                      % (stats.get("cycles", 0),
+                         stats.get("instrs_issued", 0),
+                         stats.get("dram_total_bytes", 0),
+                         payload.get("cache_source", "?")))
+            if payload.get("lockstep"):
+                lockstep = payload["lockstep"]
+                print("  lockstep: %d retire events, %d instructions"
+                      % (lockstep.get("retired", 0),
+                         lockstep.get("instructions", 0)))
+            return 0 if job["state"] in ("done", "cached") else 1
+    except (ServeError, OSError) as exc:
+        print("result: %s" % exc, file=sys.stderr)
+        return 2
 
 
 EXPERIMENTS = ("fig6", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -453,6 +632,9 @@ def build_parser():
                            "(default: results/fuzz)")
     fuzz.add_argument("--verbose", action="store_true",
                       help="log every case, not just failures")
+    fuzz.add_argument("--jobs", type=int, default=None,
+                      help="shard the budget across N worker processes "
+                           "with deterministic per-shard sub-seeds")
 
     lockstep = sub.add_parser(
         "lockstep", help="run benchmarks with the golden-model lockstep "
@@ -464,6 +646,78 @@ def build_parser():
                           choices=BENCH_CONFIGS,
                           help="configurations to check under")
     lockstep.add_argument("--scale", type=int, default=1)
+    lockstep.add_argument("--jobs", type=int, default=None,
+                          help="run the benchmark x config sweep across N "
+                               "worker processes (default: serial)")
+
+    from repro.serve.protocol import DEFAULT_PORT
+
+    def _add_client_args(sub_parser):
+        sub_parser.add_argument("--host", default="127.0.0.1")
+        sub_parser.add_argument("--port", type=int, default=None,
+                                help="server port (default: "
+                                     "$REPRO_SERVE_PORT or %d)"
+                                     % DEFAULT_PORT)
+
+    serve = sub.add_parser(
+        "serve", help="run the asynchronous simulation service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT,
+                       help="TCP port (0 picks a free one; default: %d)"
+                            % DEFAULT_PORT)
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: cpu count - 1)")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="bounded admission queue: max non-terminal "
+                            "jobs (default: 256)")
+    serve.add_argument("--job-timeout", type=float, default=300.0,
+                       help="per-job wall-clock timeout in seconds "
+                            "(default: 300)")
+    serve.add_argument("--retries", type=int, default=1,
+                       help="crash retries per job (default: 1)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log scheduling decisions")
+
+    submit = sub.add_parser(
+        "submit", help="submit a benchmark x config grid to the server")
+    submit.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                        help="benchmarks (case-insensitive; default: all)")
+    submit.add_argument("--configs", nargs="*", default=None,
+                        choices=BENCH_CONFIGS,
+                        help="configurations (default: cheri_opt)")
+    submit.add_argument("--scale", type=int, default=1)
+    submit.add_argument("--scales", nargs="*", type=int, default=None,
+                        help="several scales (overrides --scale)")
+    submit.add_argument("--warps", type=int, default=None,
+                        help="override the evaluation warp count")
+    submit.add_argument("--lanes", type=int, default=None,
+                        help="override the evaluation lane count")
+    submit.add_argument("--verify", action="store_true",
+                        help="run each job under golden-model lockstep")
+    submit.add_argument("--no-follow", action="store_true",
+                        help="submit and return without streaming events")
+    submit.add_argument("--json", action="store_true",
+                        help="print raw NDJSON replies/events")
+    _add_client_args(submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="job table / server stats / drain")
+    jobs.add_argument("--stats", action="store_true",
+                      help="server metrics + worker table instead")
+    jobs.add_argument("--drain", action="store_true",
+                      help="drain in-flight jobs and stop the server")
+    jobs.add_argument("--json", action="store_true")
+    _add_client_args(jobs)
+
+    result = sub.add_parser(
+        "result", help="fetch one job's result from the server")
+    result.add_argument("id", help="job id (jNNNNNN) or content key")
+    result.add_argument("--no-wait", action="store_true",
+                        help="return immediately even if not finished")
+    result.add_argument("--timeout", type=float, default=None,
+                        help="max seconds to wait")
+    result.add_argument("--json", action="store_true")
+    _add_client_args(result)
     return parser
 
 
@@ -480,6 +734,10 @@ def main(argv=None):
         "diff": cmd_diff,
         "fuzz": cmd_fuzz,
         "lockstep": cmd_lockstep,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "jobs": cmd_jobs,
+        "result": cmd_result,
     }
     try:
         return handlers[args.command](args)

@@ -28,9 +28,10 @@ area model.
 import hashlib
 import os
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.benchsuite import ALL_BENCHMARKS, BENCHMARK_NAMES
 from repro.nocl import NoCLRuntime
@@ -106,25 +107,46 @@ class RunResult:
 
 @dataclass
 class RunnerStats:
-    """Process-wide cache behaviour and simulation-time counters."""
+    """Process-wide cache behaviour and simulation-time counters.
+
+    Safe under concurrent use: the simulation service (``repro.serve``)
+    issues overlapping :func:`run_benchmark` calls from executor threads,
+    so every mutation goes through :meth:`bump` under one lock and
+    :meth:`snapshot` returns a consistent point-in-time copy.
+    """
 
     memo_hits: int = 0
     disk_hits: int = 0
     misses: int = 0
     sim_seconds: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def bump(self, memo_hits=0, disk_hits=0, misses=0, sim_seconds=0.0):
+        with self._lock:
+            self.memo_hits += memo_hits
+            self.disk_hits += disk_hits
+            self.misses += misses
+            self.sim_seconds += sim_seconds
 
     def snapshot(self):
-        return dict(memo_hits=self.memo_hits, disk_hits=self.disk_hits,
-                    misses=self.misses,
-                    sim_seconds=round(self.sim_seconds, 3))
+        with self._lock:
+            return dict(memo_hits=self.memo_hits, disk_hits=self.disk_hits,
+                        misses=self.misses,
+                        sim_seconds=round(self.sim_seconds, 3))
 
     def reset(self):
-        self.memo_hits = self.disk_hits = self.misses = 0
-        self.sim_seconds = 0.0
+        with self._lock:
+            self.memo_hits = self.disk_hits = self.misses = 0
+            self.sim_seconds = 0.0
 
 
 #: Counters for this process (reset with ``RUNNER_STATS.reset()``).
 RUNNER_STATS = RunnerStats()
+
+#: Guards the in-process memo (``_CACHE``) and the lazy source digest;
+#: the per-counter lock lives inside :class:`RunnerStats`.
+_LOCK = threading.RLock()
 
 _CACHE = {}
 _disk_enabled = True
@@ -160,7 +182,8 @@ def cache_dir():
 
 def clear_cache(disk=False):
     """Drop the in-process memo (and optionally the on-disk cache)."""
-    _CACHE.clear()
+    with _LOCK:
+        _CACHE.clear()
     if disk:
         directory = cache_dir()
         if os.path.isdir(directory):
@@ -178,7 +201,9 @@ _sources_digest_memo = None
 def _sources_digest():
     """SHA-256 over every simulator source file (cache-key ingredient)."""
     global _sources_digest_memo
-    if _sources_digest_memo is None:
+    with _LOCK:
+        if _sources_digest_memo is not None:
+            return _sources_digest_memo
         import repro
         pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
         h = hashlib.sha256()
@@ -277,30 +302,70 @@ def _simulate(name, config_name, mode, config, scale):
                      meta=RunMeta(source="sim", wall_seconds=elapsed))
 
 
+def job_key(name, config_name, scale=1, **overrides):
+    """Content-addressed identity of one benchmark run (hex digest).
+
+    This is exactly the persistent disk-cache key: it covers the compiled
+    kernel binaries, the fully-resolved :class:`SMConfig`, the scale, and
+    the simulator source digest.  Two submissions with the same key are
+    guaranteed to produce bit-identical statistics, which is what lets
+    the simulation service (``repro.serve``) coalesce duplicate jobs.
+    """
+    mode, config = config_for(config_name, **overrides)
+    return _disk_key(name, mode, config, scale)
+
+
+def probe_disk(name, config_name, scale=1, **overrides):
+    """Non-executing cache probe: the :class:`RunResult` or ``None``.
+
+    A hit is merged into the in-process memo (and counted), so a later
+    :func:`run_benchmark` for the same key is a memo hit.
+    """
+    if not _disk_enabled:
+        return None
+    mode, config = config_for(config_name, **overrides)
+    key = (name, config_name, mode, config, scale)
+    with _LOCK:
+        result = _CACHE.get(key)
+    if result is not None:
+        return result
+    result = _disk_load(name, config_name, mode, config, scale)
+    if result is not None:
+        RUNNER_STATS.bump(disk_hits=1)
+        with _LOCK:
+            _CACHE[key] = result
+    return result
+
+
 def run_benchmark(name, config_name, scale=1, **overrides):
     """Run one benchmark under a named configuration (memoised).
 
     Results come from, in order: the in-process memo, the persistent disk
     cache (unless disabled), or a fresh simulation.  ``overrides`` are
     :class:`SMConfig` field overrides applied on top of the evaluation
-    geometry.
+    geometry.  Reentrant: overlapping calls from several threads (the
+    simulation service does this) see a consistent memo; the scheduler
+    above is responsible for not simulating the same key twice in
+    parallel.
     """
     mode, config = config_for(config_name, **overrides)
     key = (name, config_name, mode, config, scale)
-    result = _CACHE.get(key)
+    with _LOCK:
+        result = _CACHE.get(key)
     if result is not None:
-        RUNNER_STATS.memo_hits += 1
+        RUNNER_STATS.bump(memo_hits=1)
         return result
     if _disk_enabled:
         result = _disk_load(name, config_name, mode, config, scale)
         if result is not None:
-            RUNNER_STATS.disk_hits += 1
-            _CACHE[key] = result
+            RUNNER_STATS.bump(disk_hits=1)
+            with _LOCK:
+                _CACHE[key] = result
             return result
-    RUNNER_STATS.misses += 1
     result = _simulate(name, config_name, mode, config, scale)
-    RUNNER_STATS.sim_seconds += result.meta.wall_seconds
-    _CACHE[key] = result
+    RUNNER_STATS.bump(misses=1, sim_seconds=result.meta.wall_seconds)
+    with _LOCK:
+        _CACHE[key] = result
     if _disk_enabled:
         _disk_store(result, mode, scale)
     return result
@@ -326,14 +391,16 @@ def run_suite(config_name, scale=1, jobs=None, **overrides):
     for name in BENCHMARK_NAMES:
         mode, config = config_for(config_name, **overrides)
         key = (name, config_name, mode, config, scale)
-        cached = _CACHE.get(key)
+        with _LOCK:
+            cached = _CACHE.get(key)
         if cached is None and _disk_enabled:
             cached = _disk_load(name, config_name, mode, config, scale)
             if cached is not None:
-                RUNNER_STATS.disk_hits += 1
-                _CACHE[key] = cached
+                RUNNER_STATS.bump(disk_hits=1)
+                with _LOCK:
+                    _CACHE[key] = cached
         elif cached is not None:
-            RUNNER_STATS.memo_hits += 1
+            RUNNER_STATS.bump(memo_hits=1)
         if cached is not None:
             results[name] = cached
         else:
@@ -353,9 +420,10 @@ def run_suite(config_name, scale=1, jobs=None, **overrides):
                 ]
                 for name, key, future in futures:
                     result = future.result()
-                    RUNNER_STATS.misses += 1
-                    RUNNER_STATS.sim_seconds += result.meta.wall_seconds
-                    _CACHE[key] = result
+                    RUNNER_STATS.bump(
+                        misses=1, sim_seconds=result.meta.wall_seconds)
+                    with _LOCK:
+                        _CACHE[key] = result
                     results[name] = result
         else:
             for name, _key in pending:

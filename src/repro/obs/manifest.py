@@ -146,6 +146,34 @@ def write_manifest(manifest, path=None):
     return path
 
 
+def build_service_manifest(snapshot, jobs=None):
+    """Assemble a manifest for one ``repro serve`` session.
+
+    ``snapshot`` is the server's metrics snapshot (queue depth, dedup and
+    cache hits, worker utilization, latency percentiles); ``jobs`` an
+    optional list of per-job summary dicts.  Written on drain so a
+    service session leaves the same provenance trail a ``run_suite``
+    invocation does.
+    """
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return {
+        "schema": SCHEMA,
+        "generator": "repro.serve",
+        "created_unix": round(time.time(), 3),
+        "git_revision": _git_revision(repo_root),
+        "service": dict(snapshot),
+        "jobs": list(jobs or []),
+    }
+
+
+def write_service_manifest(snapshot, jobs=None, path=None):
+    """Write the service manifest (best-effort); returns path or None."""
+    if path is None:
+        path = os.path.join(manifest_dir(), "serve.json")
+    return write_manifest(build_service_manifest(snapshot, jobs), path=path)
+
+
 def load_manifest(path):
     with open(path) as stream:
         manifest = json.load(stream)

@@ -1,0 +1,40 @@
+"""``repro.serve`` — asynchronous simulation service.
+
+A long-lived, stdlib-only job server that turns the one-shot experiment
+runner into a design-space-exploration service:
+
+- ``python -m repro serve``       — TCP + NDJSON job server
+- ``python -m repro submit``      — submit a benchmark × config grid
+- ``python -m repro jobs``        — job table / server stats / drain
+- ``python -m repro result ID``   — fetch one job's result
+
+Architecture (one module per concern):
+
+``protocol``
+    NDJSON wire format: one JSON object per line, requests carry ``op``,
+    server pushes carry ``event``.
+``jobs``
+    Job specs, content-addressed job keys (reusing the runner's
+    source-digest + disk-cache machinery), grid expansion, and the
+    worker-side job execution.
+``pool``
+    Sharded multi-process worker pool with crash detection.
+``scheduler``
+    Bounded admission queue, single-flight dedup, retry/timeout policy,
+    and lifecycle event fan-out to subscribers.
+``metrics``
+    Queue depth, dedup/cache hits, worker utilization, p50/p95 latency.
+``server``
+    The asyncio TCP server tying it all together, with graceful drain.
+``client``
+    Small synchronous client library (used by the CLI and tests).
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import JobSpec, expand_grid
+from repro.serve.protocol import DEFAULT_PORT, PROTOCOL_VERSION
+
+__all__ = [
+    "ServeClient", "ServeError", "JobSpec", "expand_grid",
+    "DEFAULT_PORT", "PROTOCOL_VERSION",
+]

@@ -1,0 +1,168 @@
+"""Synchronous client library for the simulation service.
+
+Small on purpose: plain sockets + NDJSON, one connection per client
+object, blocking semantics that match how experiment scripts and the
+CLI want to talk to the server::
+
+    from repro.serve import ServeClient
+
+    with ServeClient(port=8741) as client:
+        submission = client.submit(benchmarks=["VecAdd", "MatMul"],
+                                   configs=["baseline", "cheri_opt"])
+        for event in client.stream(submission["grid"]):
+            print(event["event"], event.get("label"))
+        print(client.stats()["stats"]["cache_hits"])
+
+``submit_and_stream`` fuses submission and event streaming on one
+connection (the submission is admitted before the reply is sent, so no
+event can be missed).  Every reply with ``ok: false`` raises
+:class:`ServeError` carrying the server's stable error ``code``.
+"""
+
+import os
+import socket
+
+from repro.serve import protocol
+
+
+class ServeError(RuntimeError):
+    """An error reply from the server (or a dead connection)."""
+
+    def __init__(self, message, code=None):
+        super().__init__(message)
+        self.code = code
+
+
+def default_port():
+    try:
+        return int(os.environ.get("REPRO_SERVE_PORT", ""))
+    except ValueError:
+        return protocol.DEFAULT_PORT
+
+
+class ServeClient:
+    """One NDJSON connection to a ``repro serve`` server."""
+
+    def __init__(self, host="127.0.0.1", port=None, timeout=None,
+                 connect_timeout=5.0):
+        self.host = host
+        self.port = port if port is not None else default_port()
+        self.timeout = timeout
+        self._connect_timeout = connect_timeout
+        self._sock = None
+        self._stream_file = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def connect(self):
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self._connect_timeout)
+            self._sock.settimeout(self.timeout)
+            self._stream_file = self._sock.makefile("rb")
+        return self
+
+    def close(self):
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+                self._stream_file = None
+
+    def __enter__(self):
+        return self.connect()
+
+    def __exit__(self, *_exc):
+        self.close()
+
+    def _write(self, message):
+        self.connect()
+        try:
+            self._sock.sendall(protocol.encode(message))
+        except OSError as exc:
+            raise ServeError("server connection lost: %s" % exc)
+
+    def _read(self):
+        line = self._stream_file.readline(protocol.MAX_LINE_BYTES)
+        if not line:
+            raise ServeError("server closed the connection")
+        return protocol.decode(line)
+
+    def _request(self, op, **fields):
+        message = {"op": op}
+        message.update(fields)
+        self._write(message)
+        reply = self._read()
+        if reply.get("ok") is False:
+            raise ServeError(reply.get("error", "request failed"),
+                             code=reply.get("code"))
+        return reply
+
+    # -- requests ----------------------------------------------------------
+
+    def ping(self):
+        return self._request("ping")
+
+    def stats(self):
+        return self._request("stats")
+
+    def jobs(self, payloads=False):
+        return self._request("jobs", payloads=payloads)
+
+    def result(self, job_id, wait=True, timeout=None):
+        return self._request("result", id=job_id, wait=wait,
+                             timeout=timeout)
+
+    def drain(self):
+        """Ask the server to finish everything and exit; blocks until
+        drained."""
+        return self._request("drain")
+
+    def submit(self, benchmarks=None, configs=None, scale=1, scales=None,
+               overrides=None, verify=False, **extra):
+        """Submit a grid; returns the submission reply (``grid``,
+        ``jobs``)."""
+        body = dict(benchmarks=benchmarks, configs=configs, scale=scale,
+                    overrides=overrides or {}, verify=verify)
+        if scales:
+            body["scales"] = list(scales)
+        body.update(extra)
+        return self._request("submit", **body)
+
+    def submit_and_stream(self, **kwargs):
+        """Submit with streaming: yields the submission reply first, then
+        every lifecycle event through ``grid_done``."""
+        body = dict(kwargs)
+        body["stream"] = True
+        reply = self._request("submit", **body)
+        yield reply
+        while True:
+            message = self._read()
+            yield message
+            if message.get("event") == "grid_done":
+                return
+
+    def stream(self, grid_id):
+        """Subscribe to a grid: yields replayed states, then live events
+        through ``grid_done``."""
+        self._request("subscribe", grid=grid_id)
+        while True:
+            message = self._read()
+            yield message
+            if message.get("event") == "grid_done":
+                return
+
+    def run_grid(self, **kwargs):
+        """Convenience: submit, stream to completion, return final job
+        payloads keyed by job id (the blocking 'just run this' call)."""
+        payloads = {}
+        for message in self.submit_and_stream(**kwargs):
+            if message.get("event") in ("done", "cached") and \
+                    "payload" in message:
+                payloads[message["id"]] = message["payload"]
+            if message.get("event") == "failed":
+                raise ServeError("job %s failed: %s"
+                                 % (message.get("id"),
+                                    message.get("error")))
+        return payloads

@@ -1,0 +1,98 @@
+"""Server-side metrics: counters, gauges, and job-latency percentiles.
+
+Everything is updated from the single asyncio event loop, so no locking
+is needed; the pool's worker busy-time is fed in by the scheduler as
+jobs start and finish.  ``snapshot()`` is what the ``stats`` request
+returns and what the drain-time service manifest records.
+"""
+
+import time
+
+
+def percentile(samples, fraction):
+    """Nearest-rank percentile of ``samples`` (0 for an empty list)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1,
+               max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+class ServeMetrics:
+    """One server session's counters."""
+
+    #: Latency samples kept for percentiles (drop-oldest beyond this).
+    MAX_SAMPLES = 4096
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.submissions = 0        # submit requests accepted
+        self.submissions_rejected = 0   # backpressure / draining / bad
+        self.jobs_accepted = 0      # unique jobs entering the table
+        self.dedup_hits = 0         # submissions coalesced onto in-flight
+        self.memo_hits = 0          # served from the server's job table
+        self.cache_hits = 0         # served from the runner disk cache
+        self.executed = 0           # jobs that ran on a worker
+        self.failed = 0
+        self.retries = 0            # crash-requeues
+        self.timeouts = 0
+        self.peak_pending = 0
+        self.events_streamed = 0
+        self._busy_seconds = 0.0    # summed worker-occupied time
+        self._latencies = []        # submit -> terminal, seconds
+        self._exec_seconds = []     # started -> terminal, seconds
+
+    # -- feeders ----------------------------------------------------------
+
+    def note_pending(self, depth):
+        self.peak_pending = max(self.peak_pending, depth)
+
+    def note_busy(self, seconds):
+        self._busy_seconds += seconds
+
+    def note_latency(self, queue_to_done, exec_seconds):
+        for store, value in ((self._latencies, queue_to_done),
+                             (self._exec_seconds, exec_seconds)):
+            store.append(value)
+            if len(store) > self.MAX_SAMPLES:
+                del store[: len(store) - self.MAX_SAMPLES]
+
+    # -- reporting --------------------------------------------------------
+
+    def utilization(self, num_workers):
+        """Worker-occupied fraction of the session so far (0..1)."""
+        wall = max(self._clock() - self.started_at, 1e-9)
+        return min(1.0, self._busy_seconds / (wall * max(num_workers, 1)))
+
+    def snapshot(self, num_workers=0, pending=0, running=0):
+        return {
+            "uptime_seconds": round(self._clock() - self.started_at, 3),
+            "submissions": self.submissions,
+            "submissions_rejected": self.submissions_rejected,
+            "jobs_accepted": self.jobs_accepted,
+            "dedup_hits": self.dedup_hits,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "queue_depth": pending,
+            "running": running,
+            "peak_pending": self.peak_pending,
+            "events_streamed": self.events_streamed,
+            "num_workers": num_workers,
+            "worker_utilization": round(self.utilization(num_workers), 4),
+            "busy_seconds": round(self._busy_seconds, 3),
+            "latency_p50_seconds": round(
+                percentile(self._latencies, 0.50), 6),
+            "latency_p95_seconds": round(
+                percentile(self._latencies, 0.95), 6),
+            "exec_p50_seconds": round(
+                percentile(self._exec_seconds, 0.50), 6),
+            "exec_p95_seconds": round(
+                percentile(self._exec_seconds, 0.95), 6),
+            "completed_samples": len(self._latencies),
+        }

@@ -1,0 +1,108 @@
+"""NDJSON wire protocol for the simulation service.
+
+Framing is one JSON object per ``\\n``-terminated line, UTF-8, in both
+directions.  Client → server messages are *requests* and carry an
+``op`` field; server → client messages are either *replies* (carry
+``ok``) or *events* (carry ``event``).  Every reply to a request echoes
+the request's ``seq`` when one was given, so clients may pipeline.
+
+Requests
+========
+
+========== ==============================================================
+op         payload
+========== ==============================================================
+ping       ``{}`` → ``{ok, pong, version}``
+submit     ``{benchmarks, configs, scale|scales, overrides, verify,
+           stream}`` → ``{ok, grid, jobs: [...]}`` then, with
+           ``stream``, job events until ``grid_done``
+subscribe  ``{grid}`` → replay of current job states, then live events
+           until ``grid_done``
+jobs       ``{}`` → ``{ok, jobs: [...]}`` (the full job table)
+result     ``{id, wait}`` → ``{ok, job}`` (``wait`` blocks until the
+           job is terminal)
+stats      ``{}`` → ``{ok, stats}`` (metrics snapshot + worker table)
+drain      ``{}`` → finishes in-flight jobs, then ``{ok, drained}``
+           and server exit
+========== ==============================================================
+
+Events: ``queued``, ``started``, ``progress``, ``cached``, ``retry``,
+``done``, ``failed``, ``grid_done`` — each carries the job ``id`` (grid
+events the ``grid``) and, for terminal events, the result payload.
+
+Errors are replies with ``ok: false`` plus ``error`` (human-readable)
+and ``code`` (stable machine tag: ``bad-request``, ``backpressure``,
+``draining``, ``unknown-job``, ``unknown-grid``).
+"""
+
+import json
+
+#: Bump on incompatible wire changes; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port (override with ``REPRO_SERVE_PORT`` or ``--port``).
+DEFAULT_PORT = 8741
+
+#: Upper bound on one NDJSON line (a full suite submission with stats
+#: payloads stays far below this).
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Stable error codes.
+E_BAD_REQUEST = "bad-request"
+E_BACKPRESSURE = "backpressure"
+E_DRAINING = "draining"
+E_UNKNOWN_JOB = "unknown-job"
+E_UNKNOWN_GRID = "unknown-grid"
+
+
+class ProtocolError(ValueError):
+    """A malformed frame (bad JSON, not an object, oversized line)."""
+
+
+def encode(message):
+    """One message → one NDJSON line (bytes, newline-terminated)."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode(line):
+    """One NDJSON line (bytes or str) → message dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("frame exceeds %d bytes" % MAX_LINE_BYTES)
+        line = line.decode("utf-8", "replace")
+    text = line.strip()
+    if not text:
+        raise ProtocolError("empty frame")
+    try:
+        message = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad JSON frame: %s" % exc) from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame must be a JSON object, got %s"
+                            % type(message).__name__)
+    return message
+
+
+def reply(request, **fields):
+    """A successful reply, echoing the request's ``seq`` if present."""
+    message = {"ok": True}
+    if isinstance(request, dict) and "seq" in request:
+        message["seq"] = request["seq"]
+    message.update(fields)
+    return message
+
+
+def error(request, code, text):
+    """An error reply with a stable ``code``."""
+    message = {"ok": False, "code": code, "error": text}
+    if isinstance(request, dict) and "seq" in request:
+        message["seq"] = request["seq"]
+    return message
+
+
+def event(name, **fields):
+    """A server-push event frame."""
+    message = {"event": name}
+    message.update(fields)
+    return message

@@ -1,0 +1,354 @@
+"""Job scheduler: admission, single-flight dedup, dispatch, fan-out.
+
+All scheduler state lives on the asyncio event loop thread; the server
+bridges pool messages onto the loop before calling in here, so there is
+no locking.  Policy implemented here:
+
+**Admission** is bounded: a submission whose cells would push the number
+of non-terminal jobs past ``max_pending`` is rejected whole with a
+``backpressure`` error — explicit pushback instead of unbounded queueing.
+
+**Single-flight dedup** is by content-addressed job key.  A submitted
+cell whose key matches an in-flight job attaches to that job (both
+submitters stream its events and receive the one result); a key matching
+an already-completed job in the table is served from the server memo;
+a key whose result sits in the runner's disk cache completes instantly
+as ``cached``.  Only genuinely novel work reaches the worker pool.
+
+**Failure policy**: a worker that *crashes* (killed, segfault, OOM) gets
+its job requeued up to ``max_retries`` times; a job that exceeds
+``job_timeout`` has its worker killed and is failed without retry (the
+simulator is deterministic — it would time out again); a job whose
+execution *raises* is failed immediately with the worker kept alive.
+"""
+
+import time
+from collections import deque
+
+from repro.serve import protocol
+from repro.serve.jobs import (
+    CACHED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL,
+)
+
+
+class Backpressure(Exception):
+    """Admission would exceed the bounded queue."""
+
+    def __init__(self, in_flight, requested, max_pending):
+        super().__init__(
+            "queue full: %d job(s) in flight + %d requested > %d max "
+            "(resubmit after some complete)"
+            % (in_flight, requested, max_pending))
+        self.in_flight = in_flight
+
+
+class Job:
+    """One scheduled simulation cell."""
+
+    def __init__(self, job_id, key, spec):
+        import asyncio
+        self.id = job_id
+        self.key = key
+        self.spec = spec
+        self.state = QUEUED
+        self.attempts = 0
+        self.submitted_at = time.monotonic()
+        self.assigned_at = None
+        self.finished_at = None
+        self.payload = None
+        self.error = None
+        self.grids = set()
+        self.done_event = asyncio.Event()
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL
+
+    def summary(self, payload=False):
+        out = {
+            "id": self.id,
+            "key": self.key,
+            "label": self.spec.label(),
+            "spec": self.spec.as_dict(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+        if self.finished_at is not None:
+            out["wall_seconds"] = round(
+                self.finished_at - self.submitted_at, 6)
+        if payload and self.payload is not None:
+            out["payload"] = self.payload
+        return out
+
+
+class Scheduler:
+    def __init__(self, pool, metrics, max_pending=256, job_timeout=300.0,
+                 max_retries=1, log=None):
+        self.pool = pool
+        self.metrics = metrics
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.log = log or (lambda text: None)
+        self.jobs = {}       # job id -> Job (terminal jobs stay: memo)
+        self.by_key = {}     # job key -> Job
+        self.pending = deque()
+        self.grids = {}      # grid id -> {"jobs": [...], "watchers": set()}
+        self.draining = False
+        self._job_ids = 0
+        self._grid_ids = 0
+
+    # -- admission ---------------------------------------------------------
+
+    def in_flight(self):
+        return sum(1 for job in self.jobs.values() if not job.terminal)
+
+    def running(self):
+        return sum(1 for job in self.jobs.values()
+                   if job.state == RUNNING)
+
+    def admit(self, cells):
+        """Admit one submission.
+
+        ``cells`` is a list of ``(spec, key, cached_payload)`` triples —
+        keys and cache probes are computed by the server off-loop (they
+        compile kernels).  Returns ``(grid_id, jobs)``.  Raises
+        :class:`Backpressure` when the novel cells don't fit.
+        """
+        novel = [key for _, key, _ in cells
+                 if key not in self.by_key]
+        in_flight = self.in_flight()
+        if in_flight + len(novel) > self.max_pending:
+            self.metrics.submissions_rejected += 1
+            raise Backpressure(in_flight, len(novel), self.max_pending)
+        self.metrics.submissions += 1
+        self._grid_ids += 1
+        grid_id = "g%04d" % self._grid_ids
+        grid = {"jobs": [], "watchers": set()}
+        self.grids[grid_id] = grid
+        jobs = []
+        for spec, key, cached_payload in cells:
+            job = self.by_key.get(key)
+            if job is not None:
+                if job.terminal:
+                    self.metrics.memo_hits += 1
+                else:
+                    self.metrics.dedup_hits += 1
+            else:
+                self._job_ids += 1
+                job = Job("j%06d" % self._job_ids, key, spec)
+                self.jobs[job.id] = job
+                self.by_key[key] = job
+                self.metrics.jobs_accepted += 1
+                if cached_payload is not None:
+                    job.state = CACHED
+                    job.payload = cached_payload
+                    job.finished_at = time.monotonic()
+                    job.done_event.set()
+                    self.metrics.cache_hits += 1
+                else:
+                    self.pending.append(job)
+            job.grids.add(grid_id)
+            if job.id not in grid["jobs"]:
+                grid["jobs"].append(job.id)
+            jobs.append(job)
+        self.metrics.note_pending(len(self.pending))
+        for job in jobs:
+            # Announce current state into the new grid (queued for fresh
+            # jobs; cached/done/… replay for deduped ones).
+            self._emit(job, job.state, grids=(grid_id,))
+        self._check_grid_done(grid_id)
+        self.dispatch()
+        return grid_id, jobs
+
+    # -- dispatch ----------------------------------------------------------
+
+    def dispatch(self):
+        """Hand pending jobs to idle workers (call after any state change)."""
+        while self.pending:
+            idle = self.pool.idle_workers()
+            if not idle:
+                return
+            job = self.pending.popleft()
+            if job.terminal:
+                continue
+            worker = idle[0]
+            job.assigned_at = time.monotonic()
+            self.pool.assign(worker, job.id, job.spec.as_dict())
+
+    # -- pool message handlers --------------------------------------------
+
+    def on_started(self, worker_id, job_id):
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            return
+        job.state = RUNNING
+        self._emit(job, "started", worker=worker_id,
+                   attempt=job.attempts + 1)
+
+    def on_done(self, worker_id, job_id, payload):
+        job = self.jobs.get(job_id)
+        worker = self.pool.by_id(worker_id)
+        if worker is not None and worker.job_id == job_id:
+            self.pool.release(worker)
+        if job is None or job.terminal:
+            self.dispatch()
+            return  # late duplicate after a racy retry: drop
+        now = time.monotonic()
+        job.state = DONE
+        job.payload = payload
+        job.finished_at = now
+        job.done_event.set()
+        self.metrics.executed += 1
+        if job.assigned_at is not None:
+            exec_seconds = now - job.assigned_at
+            self.metrics.note_busy(exec_seconds)
+            self.metrics.note_latency(now - job.submitted_at, exec_seconds)
+        self._emit(job, "done", payload=payload)
+        self._finish(job)
+
+    def on_error(self, worker_id, job_id, message):
+        job = self.jobs.get(job_id)
+        worker = self.pool.by_id(worker_id)
+        if worker is not None and worker.job_id == job_id:
+            self.pool.release(worker)
+        if job is None or job.terminal:
+            self.dispatch()
+            return
+        self._fail(job, "execution failed: %s" % message)
+
+    def on_casualty(self, job_id, kill_reason):
+        """A worker died while owning ``job_id`` (reaped by the server)."""
+        job = self.jobs.get(job_id)
+        if job is None or job.terminal:
+            self.dispatch()
+            return
+        if kill_reason == "timeout":
+            self.metrics.timeouts += 1
+            self._fail(job, "timed out after %.1fs (worker killed)"
+                       % self.job_timeout)
+            return
+        job.attempts += 1
+        if job.attempts > self.max_retries:
+            self._fail(job, "worker crashed %d time(s); giving up"
+                       % job.attempts)
+            return
+        self.metrics.retries += 1
+        job.state = QUEUED
+        job.assigned_at = None
+        self.pending.appendleft(job)
+        self._emit(job, "retry", attempt=job.attempts + 1,
+                   of=self.max_retries + 1)
+        self.dispatch()
+
+    def check_timeouts(self):
+        """Kill workers whose job exceeded ``job_timeout`` (server tick)."""
+        if self.job_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in self.pool.workers:
+            if worker.job_id is None or worker.kill_reason is not None:
+                continue
+            job = self.jobs.get(worker.job_id)
+            if job is None or job.assigned_at is None:
+                continue
+            if now - job.assigned_at > self.job_timeout:
+                self.log("job %s exceeded %.1fs timeout; killing worker %d"
+                         % (job.id, self.job_timeout, worker.worker_id))
+                self.pool.kill(worker, "timeout")
+
+    def _fail(self, job, message):
+        job.state = FAILED
+        job.error = message
+        job.finished_at = time.monotonic()
+        job.done_event.set()
+        self.metrics.failed += 1
+        self._emit(job, "failed", error=message)
+        self._finish(job)
+
+    def _finish(self, job):
+        for grid_id in job.grids:
+            self._emit_grid_progress(grid_id)
+            self._check_grid_done(grid_id)
+        self.dispatch()
+
+    # -- event fan-out -----------------------------------------------------
+
+    def watch(self, grid_id, queue):
+        """Subscribe ``queue`` to a grid; replays current job states."""
+        grid = self.grids.get(grid_id)
+        if grid is None:
+            return None
+        grid["watchers"].add(queue)
+        replay = [protocol.event(self.jobs[job_id].state,
+                                 **self._job_fields(self.jobs[job_id]))
+                  for job_id in grid["jobs"]]
+        return replay
+
+    def unwatch(self, grid_id, queue):
+        grid = self.grids.get(grid_id)
+        if grid is not None:
+            grid["watchers"].discard(queue)
+
+    def grid_done(self, grid_id):
+        grid = self.grids.get(grid_id)
+        if grid is None:
+            return False
+        return all(self.jobs[job_id].terminal for job_id in grid["jobs"])
+
+    def _job_fields(self, job, **extra):
+        fields = {"id": job.id, "key": job.key, "label": job.spec.label(),
+                  "state": job.state}
+        if job.state in (DONE, CACHED) and job.payload is not None:
+            fields["payload"] = job.payload
+        if job.error:
+            fields["error"] = job.error
+        fields.update(extra)
+        return fields
+
+    def _emit(self, job, name, grids=None, **extra):
+        message = protocol.event(name, **self._job_fields(job, **extra))
+        for grid_id in (grids if grids is not None else job.grids):
+            self._push(grid_id, message)
+
+    def _emit_grid_progress(self, grid_id):
+        grid = self.grids.get(grid_id)
+        if grid is None:
+            return
+        done = sum(1 for job_id in grid["jobs"]
+                   if self.jobs[job_id].terminal)
+        self._push(grid_id, protocol.event(
+            "progress", grid=grid_id, done=done, total=len(grid["jobs"])))
+
+    def _check_grid_done(self, grid_id):
+        if self.grid_done(grid_id):
+            grid = self.grids[grid_id]
+            failed = sum(1 for job_id in grid["jobs"]
+                         if self.jobs[job_id].state == FAILED)
+            self._push(grid_id, protocol.event(
+                "grid_done", grid=grid_id, jobs=len(grid["jobs"]),
+                failed=failed))
+
+    def _push(self, grid_id, message):
+        grid = self.grids.get(grid_id)
+        if grid is None:
+            return
+        for queue in list(grid["watchers"]):
+            self.metrics.events_streamed += 1
+            queue.put_nowait(message)
+
+    # -- drain -------------------------------------------------------------
+
+    def all_idle(self):
+        return not self.pending and self.running() == 0 and \
+            self.in_flight() == 0
+
+    def job_table(self, payloads=False):
+        return [self.jobs[job_id].summary(payload=payloads)
+                for job_id in sorted(self.jobs)]

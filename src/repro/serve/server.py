@@ -1,0 +1,378 @@
+"""The asyncio TCP server: protocol ↔ scheduler ↔ worker pool.
+
+Threading model: all scheduler/job state is touched only from the
+asyncio event loop.  Two things run off-loop and bridge back in:
+
+- a reader thread drains the pool's (blocking) result queue and posts
+  each message onto the loop with ``call_soon_threadsafe``;
+- job-key computation and disk-cache probes (they compile kernels —
+  milliseconds, but real work) run in the default thread executor,
+  which is also why ``repro.eval.runner``'s memo and counters are
+  lock-protected.
+
+A periodic monitor tick reaps crashed workers, enforces per-job
+timeouts, and redispatches.  ``drain`` flips the server into
+reject-new-work mode, waits for every in-flight job to reach a terminal
+state, writes the service manifest through ``repro.obs``, answers the
+draining client, and stops the loop — no result is ever dropped by a
+shutdown.
+"""
+
+import asyncio
+import os
+import threading
+
+from repro.serve import protocol
+from repro.serve.jobs import (
+    FAILED,
+    GridError,
+    compute_key,
+    expand_grid,
+    probe_cache,
+)
+from repro.serve.metrics import ServeMetrics
+from repro.serve.pool import WorkerPool
+from repro.serve.scheduler import Backpressure, Scheduler
+
+#: Monitor cadence: crash reap + timeout enforcement + dispatch.
+TICK_SECONDS = 0.1
+
+
+def default_workers():
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class ServeServer:
+    def __init__(self, host="127.0.0.1", port=protocol.DEFAULT_PORT,
+                 workers=None, max_pending=256, job_timeout=300.0,
+                 max_retries=1, verbose=False):
+        self.host = host
+        self.port = port
+        self.num_workers = workers or default_workers()
+        self.max_pending = max_pending
+        self.job_timeout = job_timeout
+        self.max_retries = max_retries
+        self.verbose = verbose
+        self.metrics = ServeMetrics()
+        self.pool = None
+        self.scheduler = None
+        self._server = None
+        self._loop = None
+        self._stop = None           # asyncio.Event: drain finished
+        self._drained = None        # manifest path written at drain
+        self._pump_thread = None
+        self._monitor_task = None
+        self._closing = False
+
+    def log(self, text):
+        if self.verbose:
+            print("[serve] %s" % text, flush=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self):
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.pool = WorkerPool(self.num_workers)
+        self.scheduler = Scheduler(self.pool, self.metrics,
+                                   max_pending=self.max_pending,
+                                   job_timeout=self.job_timeout,
+                                   max_retries=self.max_retries,
+                                   log=self.log)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._pump_thread = threading.Thread(
+            target=self._pump_results, name="repro-serve-pump", daemon=True)
+        self._pump_thread.start()
+        self._monitor_task = asyncio.ensure_future(self._monitor())
+        print("repro serve listening on %s:%d (%d worker%s, "
+              "max_pending=%d, job_timeout=%.0fs)"
+              % (self.host, self.port, self.num_workers,
+                 "" if self.num_workers == 1 else "s",
+                 self.max_pending, self.job_timeout), flush=True)
+
+    async def run_until_drained(self):
+        await self._stop.wait()
+        # Give drain replies (written by handlers woken by the same
+        # event) a beat to flush before tearing the server down.
+        await asyncio.sleep(0.3)
+        await self.aclose()
+
+    async def aclose(self):
+        self._closing = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.pool is not None:
+            await self._loop.run_in_executor(None, self.pool.shutdown)
+        if self._pump_thread is not None:
+            self._pump_thread.join(timeout=2.0)
+
+    def request_drain(self):
+        """Start refusing submissions; monitor completes the drain."""
+        self.scheduler.draining = True
+        self.log("drain requested (%d in flight)"
+                 % self.scheduler.in_flight())
+
+    # -- pool plumbing -----------------------------------------------------
+
+    def _pump_results(self):
+        """Reader thread: blocking queue → event loop."""
+        while True:
+            try:
+                message = self.pool.result_queue.get()
+            except (EOFError, OSError):
+                return
+            if message[0] == "pool-shutdown" or self._closing:
+                return
+            try:
+                self._loop.call_soon_threadsafe(self._on_pool_message,
+                                                message)
+            except RuntimeError:
+                return  # loop already closed mid-shutdown
+
+    def _on_pool_message(self, message):
+        kind = message[0]
+        if kind == "started":
+            self.scheduler.on_started(message[1], message[2])
+        elif kind == "done":
+            self.scheduler.on_done(message[1], message[2], message[3])
+        elif kind == "error":
+            self.scheduler.on_error(message[1], message[2], message[3])
+
+    async def _monitor(self):
+        while True:
+            await asyncio.sleep(TICK_SECONDS)
+            self.scheduler.check_timeouts()
+            respawn = not (self.scheduler.draining
+                           and self.scheduler.all_idle())
+            for job_id, kill_reason in self.pool.reap(respawn=respawn):
+                self.scheduler.on_casualty(job_id, kill_reason)
+            self.scheduler.dispatch()
+            self.metrics.note_pending(len(self.scheduler.pending))
+            if self.scheduler.draining and self.scheduler.all_idle() \
+                    and not self._stop.is_set():
+                self._drained = self._write_manifest()
+                self.log("drained; manifest at %s" % self._drained)
+                self._stop.set()
+
+    def _write_manifest(self):
+        """Service provenance on drain, via the obs manifest path."""
+        try:
+            from repro.obs.manifest import write_service_manifest
+            return write_service_manifest(
+                self._stats_snapshot(),
+                jobs=self.scheduler.job_table(payloads=False))
+        except Exception:
+            return None
+
+    def _stats_snapshot(self):
+        snapshot = self.metrics.snapshot(
+            num_workers=len(self.pool.workers),
+            pending=len(self.scheduler.pending),
+            running=self.scheduler.running())
+        snapshot["draining"] = self.scheduler.draining
+        snapshot["host"] = self.host
+        snapshot["port"] = self.port
+        return snapshot
+
+    # -- request handling --------------------------------------------------
+
+    async def _handle_client(self, reader, writer):
+        peer = writer.get_extra_info("peername")
+        self.log("client connected: %s" % (peer,))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, protocol.error(
+                        None, protocol.E_BAD_REQUEST, "frame too long"))
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    await self._send(writer, protocol.error(
+                        None, protocol.E_BAD_REQUEST, str(exc)))
+                    continue
+                done = await self._dispatch_op(request, writer)
+                if done:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self.log("client gone: %s" % (peer,))
+
+    async def _send(self, writer, message):
+        writer.write(protocol.encode(message))
+        await writer.drain()
+
+    async def _dispatch_op(self, request, writer):
+        """Handle one request; returns True when the connection is done."""
+        op = request.get("op")
+        if op == "ping":
+            await self._send(writer, protocol.reply(
+                request, pong=True, version=protocol.PROTOCOL_VERSION))
+        elif op == "submit":
+            await self._op_submit(request, writer)
+        elif op == "subscribe":
+            grid_id = request.get("grid")
+            if grid_id not in self.scheduler.grids:
+                await self._send(writer, protocol.error(
+                    request, protocol.E_UNKNOWN_GRID,
+                    "unknown grid %r" % grid_id))
+            else:
+                await self._send(writer, protocol.reply(request,
+                                                        grid=grid_id))
+                await self._stream_grid(grid_id, writer)
+        elif op == "jobs":
+            await self._send(writer, protocol.reply(
+                request, jobs=self.scheduler.job_table(
+                    payloads=bool(request.get("payloads")))))
+        elif op == "result":
+            await self._op_result(request, writer)
+        elif op == "stats":
+            await self._send(writer, protocol.reply(
+                request, stats=self._stats_snapshot(),
+                workers=[worker.as_dict()
+                         for worker in self.pool.workers]))
+        elif op == "drain":
+            self.request_drain()
+            await self._stop.wait()
+            await self._send(writer, protocol.reply(
+                request, drained=True, manifest=self._drained,
+                stats=self._stats_snapshot()))
+            return True
+        else:
+            await self._send(writer, protocol.error(
+                request, protocol.E_BAD_REQUEST,
+                "unknown op %r" % op))
+        return False
+
+    async def _op_submit(self, request, writer):
+        if self.scheduler.draining:
+            await self._send(writer, protocol.error(
+                request, protocol.E_DRAINING,
+                "server is draining; not accepting work"))
+            return
+        try:
+            specs = expand_grid(request)
+        except GridError as exc:
+            self.metrics.submissions_rejected += 1
+            await self._send(writer, protocol.error(
+                request, protocol.E_BAD_REQUEST, str(exc)))
+            return
+        cells = await asyncio.get_running_loop().run_in_executor(
+            None, self._prepare_cells, specs)
+        try:
+            grid_id, jobs = self.scheduler.admit(cells)
+        except Backpressure as exc:
+            await self._send(writer, protocol.error(
+                request, protocol.E_BACKPRESSURE, str(exc)))
+            return
+        await self._send(writer, protocol.reply(
+            request, grid=grid_id,
+            jobs=[job.summary() for job in jobs]))
+        if request.get("stream"):
+            await self._stream_grid(grid_id, writer)
+
+    def _prepare_cells(self, specs):
+        """Thread-side: content keys + disk-cache probes for a grid.
+
+        Skips the (compile-costly) disk probe when the key already has an
+        in-flight or completed job — the scheduler will reuse it anyway.
+        """
+        cells = []
+        for spec in specs:
+            key = compute_key(spec)
+            cached = None
+            if key not in self.scheduler.by_key:
+                cached = probe_cache(spec)
+            cells.append((spec, key, cached))
+        return cells
+
+    async def _stream_grid(self, grid_id, writer):
+        queue = asyncio.Queue()
+        replay = self.scheduler.watch(grid_id, queue)
+        try:
+            for message in replay:
+                await self._send(writer, message)
+            if self.scheduler.grid_done(grid_id):
+                grid = self.scheduler.grids[grid_id]
+                failed = sum(
+                    1 for job_id in grid["jobs"]
+                    if self.scheduler.jobs[job_id].state == FAILED)
+                await self._send(writer, protocol.event(
+                    "grid_done", grid=grid_id, jobs=len(grid["jobs"]),
+                    failed=failed))
+                return
+            while True:
+                message = await queue.get()
+                await self._send(writer, message)
+                if message.get("event") == "grid_done":
+                    return
+        finally:
+            self.scheduler.unwatch(grid_id, queue)
+
+    async def _op_result(self, request, writer):
+        job_id = request.get("id")
+        job = self.scheduler.jobs.get(job_id)
+        if job is None:
+            # Allow lookup by content key, the other natural handle.
+            job = self.scheduler.by_key.get(job_id)
+        if job is None:
+            await self._send(writer, protocol.error(
+                request, protocol.E_UNKNOWN_JOB,
+                "unknown job %r" % job_id))
+            return
+        if not job.terminal and request.get("wait", True):
+            timeout = request.get("timeout")
+            try:
+                await asyncio.wait_for(job.done_event.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        await self._send(writer, protocol.reply(
+            request, job=job.summary(payload=True)))
+
+
+async def _amain(server):
+    await server.start()
+
+    loop = asyncio.get_running_loop()
+    for signame in ("SIGINT", "SIGTERM"):
+        import signal
+        try:
+            loop.add_signal_handler(getattr(signal, signame),
+                                    server.request_drain)
+        except (NotImplementedError, OSError):
+            pass
+    await server.run_until_drained()
+
+
+def serve_main(host, port, workers=None, max_pending=256, job_timeout=300.0,
+               max_retries=1, verbose=False):
+    """Blocking entry point for ``python -m repro serve``."""
+    server = ServeServer(host=host, port=port, workers=workers,
+                         max_pending=max_pending, job_timeout=job_timeout,
+                         max_retries=max_retries, verbose=verbose)
+    try:
+        asyncio.run(_amain(server))
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: drained and stopped "
+          "(%d executed, %d cache hit(s), %d dedup hit(s))"
+          % (server.metrics.executed, server.metrics.cache_hits,
+             server.metrics.dedup_hits + server.metrics.memo_hits),
+          flush=True)
+    return 0

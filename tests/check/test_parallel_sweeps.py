@@ -1,0 +1,73 @@
+"""Tests for the sharded fuzz / parallel lockstep sweep helpers."""
+
+import pytest
+
+from repro.check import lockstep as lockstep_mod
+from repro.check.fuzz import run_fuzz, run_fuzz_parallel, shard_seed
+from repro.check.lockstep import run_lockstep_sweep
+
+
+class TestShardSeeds:
+    def test_shard_zero_keeps_base_seed(self):
+        assert shard_seed(1234, 0) == 1234
+
+    def test_shards_are_deterministic_and_disjoint(self):
+        seeds = [shard_seed(7, shard) for shard in range(8)]
+        assert seeds == [shard_seed(7, shard) for shard in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_shard_seed_stays_in_signed_range(self):
+        assert 0 <= shard_seed(0x7FFFFFFF, 63) <= 0x7FFFFFFF
+
+
+class TestParallelFuzz:
+    def test_budget_is_split_exactly(self, tmp_path):
+        report = run_fuzz_parallel(seed=3, budget=5, jobs=2,
+                                   out_dir=str(tmp_path))
+        assert report.cases == 5
+        assert report.ok, report.summary()
+
+    def test_shard_zero_matches_serial_run(self, tmp_path):
+        # jobs=1 must cover exactly the serial case schedule.
+        serial = run_fuzz(seed=11, budget=6)
+        sharded = run_fuzz_parallel(seed=11, budget=6, jobs=1,
+                                    out_dir=str(tmp_path))
+        assert sharded.cases == serial.cases
+        assert sharded.ok == serial.ok
+
+    def test_log_reports_each_shard(self, tmp_path):
+        lines = []
+        run_fuzz_parallel(seed=0, budget=4, jobs=2,
+                          out_dir=str(tmp_path), log=lines.append)
+        assert sum("shard 0" in line for line in lines) == 1
+        assert sum("shard 1" in line for line in lines) == 1
+
+
+class TestLockstepSweep:
+    def test_serial_sweep_reports_wall_time(self):
+        lines = []
+        failures = run_lockstep_sweep(["VecAdd"], ["baseline"],
+                                      log=lines.append)
+        assert failures == 0
+        assert any("VecAdd [baseline]" in line and "s)" in line
+                   for line in lines)
+
+    def test_parallel_sweep_covers_all_cells(self):
+        lines = []
+        failures = run_lockstep_sweep(["VecAdd"],
+                                      ["baseline", "cheri_opt"],
+                                      jobs=2, log=lines.append)
+        assert failures == 0
+        assert any("cheri_opt" in line for line in lines)
+        assert any("2 worker processes" in line for line in lines)
+
+    def test_divergence_is_counted_not_raised(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("synthetic divergence")
+
+        monkeypatch.setattr(lockstep_mod, "check_benchmark", boom)
+        lines = []
+        failures = run_lockstep_sweep(["VecAdd"], ["baseline"],
+                                      log=lines.append)
+        assert failures == 1
+        assert any("DIVERGED" in line for line in lines)

@@ -4,8 +4,9 @@ import pytest
 
 from repro.benchsuite import ALL_BENCHMARKS
 from repro.nocl import NoCLRuntime, i32, kernel, ptr
-from repro.nocl.multism import MultiSMRuntime
-from repro.simt import SMConfig
+from repro.nocl.multism import MultiSMRuntime, MultiSMStats
+from repro.simt import SMConfig, SMStats
+from repro.simt.config import SCRATCHPAD_BASE, STACK_BASE
 
 
 @kernel
@@ -105,6 +106,99 @@ class TestScaling:
             traffic[mode] = stats.dram_total_bytes
         ratio = traffic["purecap"] / traffic["baseline"]
         assert 0.95 <= ratio <= 1.10
+
+
+class TestStatsAggregation:
+    """MultiSMStats reduction semantics: cycles are the critical path
+    (max over SMs), work and traffic are totals (sum over SMs)."""
+
+    def test_empty_aggregate_is_zero(self):
+        stats = MultiSMStats()
+        assert stats.per_sm == []
+        assert stats.cycles == 0
+        assert stats.instrs_issued == 0
+        assert stats.dram_total_bytes == 0
+
+    def test_cycles_is_max_others_are_sums(self):
+        stats = MultiSMStats(per_sm=[
+            SMStats(cycles=100, instrs_issued=40,
+                    dram_read_bytes=64, dram_write_bytes=32),
+            SMStats(cycles=250, instrs_issued=10,
+                    dram_read_bytes=128, dram_write_bytes=0),
+            SMStats(cycles=175, instrs_issued=25,
+                    dram_read_bytes=0, dram_write_bytes=256),
+        ])
+        assert stats.cycles == 250
+        assert stats.instrs_issued == 40 + 10 + 25
+        assert stats.dram_total_bytes == (64 + 32) + 128 + 256
+
+    def test_single_sm_aggregate_is_identity(self):
+        one = SMStats(cycles=7, instrs_issued=3, dram_read_bytes=16)
+        stats = MultiSMStats(per_sm=[one])
+        assert stats.cycles == one.cycles
+        assert stats.instrs_issued == one.instrs_issued
+        assert stats.dram_total_bytes == one.dram_total_bytes
+
+    def test_launch_aggregate_matches_manual_reduction(self):
+        rt = MultiSMRuntime("baseline", num_sms=3,
+                            config=geometry("baseline"))
+        n = 192
+        a, b, c = (rt.alloc(i32, n) for _ in range(3))
+        rt.upload(a, [2] * n)
+        rt.upload(b, [9] * n)
+        stats = rt.launch(msm_vecadd, grid_dim=6, block_dim=8,
+                          args=[n, a, b, c])
+        assert stats.cycles == max(s.cycles for s in stats.per_sm)
+        assert stats.instrs_issued == sum(s.instrs_issued
+                                          for s in stats.per_sm)
+        assert stats.dram_total_bytes == sum(s.dram_total_bytes
+                                             for s in stats.per_sm)
+
+
+class TestPartitioning:
+    """Each SM gets a private scratchpad window and stack region carved
+    out of the shared address space by a fixed stride."""
+
+    @pytest.mark.parametrize("mode", ["baseline", "purecap"])
+    def test_scratch_base_stride(self, mode):
+        rt = MultiSMRuntime(mode, num_sms=4, config=geometry(mode))
+        stride = rt.config.scratchpad_bytes
+        for index in range(4):
+            assert rt._scratch_base(index) == SCRATCHPAD_BASE + \
+                index * stride
+
+    @pytest.mark.parametrize("mode", ["baseline", "purecap"])
+    def test_stack_base_stride(self, mode):
+        rt = MultiSMRuntime(mode, num_sms=4, config=geometry(mode))
+        stride = rt.config.num_threads * rt.config.stack_bytes_per_thread
+        for index in range(4):
+            assert rt._stack_base(index) == STACK_BASE + index * stride
+
+    def test_scratchpad_windows_do_not_overlap(self):
+        rt = MultiSMRuntime("baseline", num_sms=4,
+                            config=geometry("baseline"))
+        windows = [(sm.scratchpad.base,
+                    sm.scratchpad.base + sm.scratchpad.size_bytes)
+                   for sm in rt.sms]
+        assert windows == sorted(windows)
+        for (_, end), (start, _) in zip(windows, windows[1:]):
+            assert end <= start
+
+    def test_sm_scratchpads_use_partitioned_bases(self):
+        rt = MultiSMRuntime("baseline", num_sms=3,
+                            config=geometry("baseline"))
+        for index, sm in enumerate(rt.sms):
+            assert sm.scratchpad.base == rt._scratch_base(index)
+
+    def test_stack_regions_do_not_overlap_scratchpads(self):
+        # The per-SM stack stride keeps every stack region below the
+        # first scratchpad window for any realistic SM count.
+        rt = MultiSMRuntime("baseline", num_sms=4,
+                            config=geometry("baseline"))
+        stack_span = rt.config.num_threads * \
+            rt.config.stack_bytes_per_thread
+        top = rt._stack_base(rt.num_sms - 1) + stack_span
+        assert top <= SCRATCHPAD_BASE
 
 
 class TestValidation:
