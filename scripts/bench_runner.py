@@ -13,10 +13,16 @@ Measures, in this order:
 Results append to ``BENCH_runner.json`` in the repository root so the
 performance trajectory of the simulator survives across commits.
 
+Each record carries the execution backend, the NumPy version (the
+vector backend's wide-SM path uses it) and a per-benchmark breakdown of
+the cold serial phase, so regressions can be attributed.  Records are
+always appended; a corrupt history file is preserved as ``.bak`` rather
+than silently discarded.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_runner.py [--config cheri_opt]
-        [--scale 1] [--label "short description"]
+        [--scale 1] [--backend vector] [--label "short description"]
 """
 
 import argparse
@@ -43,15 +49,29 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", default="cheri_opt")
     parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--backend", default=None,
+                        choices=("scalar", "vector"),
+                        help="execution backend (default: the SMConfig "
+                             "default)")
     parser.add_argument("--label", default=None,
                         help="free-form note stored with the record")
     args = parser.parse_args(argv)
 
     from repro.eval import runner
 
+    overrides = {} if args.backend is None else {"backend": args.backend}
+    _, config = runner.config_for(args.config, **overrides)
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+
     record = {
         "config": args.config,
         "scale": args.scale,
+        "backend": config.backend,
+        "numpy_version": numpy_version,
         "git_rev": _git_rev(),
         "cpu_count": os.cpu_count(),
         "label": args.label,
@@ -62,31 +82,36 @@ def main(argv=None):
     runner.clear_cache()
     runner.RUNNER_STATS.reset()
     start = time.perf_counter()
-    runner.run_suite(args.config, scale=args.scale, jobs=1)
+    results = runner.run_suite(args.config, scale=args.scale, jobs=1,
+                               **overrides)
     record["cold_serial_seconds"] = round(time.perf_counter() - start, 3)
+    record["cold_serial_breakdown"] = {
+        name: round(result.meta.wall_seconds, 3) if result.meta else 0.0
+        for name, result in results.items()
+    }
 
     # 2. cold parallel (default job count; on a 1-CPU box this simply
     # repeats the serial path).
     runner.clear_cache()
     runner.RUNNER_STATS.reset()
     start = time.perf_counter()
-    runner.run_suite(args.config, scale=args.scale)
+    runner.run_suite(args.config, scale=args.scale, **overrides)
     record["cold_parallel_seconds"] = round(time.perf_counter() - start, 3)
 
     # 3. warm disk: populate, then read back from a fresh memo.
     runner.set_disk_cache(True)
     runner.clear_cache()
-    runner.run_suite(args.config, scale=args.scale, jobs=1)
+    runner.run_suite(args.config, scale=args.scale, jobs=1, **overrides)
     runner.clear_cache()
     runner.RUNNER_STATS.reset()
     start = time.perf_counter()
-    runner.run_suite(args.config, scale=args.scale)
+    runner.run_suite(args.config, scale=args.scale, **overrides)
     record["warm_disk_seconds"] = round(time.perf_counter() - start, 3)
     record["warm_disk_counters"] = runner.RUNNER_STATS.snapshot()
 
     # 4. warm memo.
     start = time.perf_counter()
-    runner.run_suite(args.config, scale=args.scale)
+    runner.run_suite(args.config, scale=args.scale, **overrides)
     record["warm_memo_seconds"] = round(time.perf_counter() - start, 3)
 
     history = []
@@ -94,7 +119,18 @@ def main(argv=None):
         try:
             with open(OUT_PATH) as stream:
                 history = json.load(stream)
-        except (OSError, ValueError):
+            if not isinstance(history, list):
+                raise ValueError("history is not a list")
+        except (OSError, ValueError) as exc:
+            # Never clobber an unreadable trajectory: keep the evidence
+            # and start a fresh history alongside it.
+            backup = OUT_PATH + ".bak"
+            try:
+                os.replace(OUT_PATH, backup)
+                print("warning: %s was unreadable (%s); moved to %s"
+                      % (OUT_PATH, exc, backup), file=sys.stderr)
+            except OSError:
+                pass
             history = []
     history.append(record)
     with open(OUT_PATH, "w") as stream:

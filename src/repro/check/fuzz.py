@@ -526,13 +526,16 @@ _CONFIG_FACTORIES = {
 }
 
 
-def _build_config(case):
-    return _CONFIG_FACTORIES[case.config_name](
+def _build_config(case, backend=None):
+    config = _CONFIG_FACTORIES[case.config_name](
         num_warps=NUM_WARPS, num_lanes=NUM_LANES,
     ).with_(vrf_fraction=case.vrf_fraction)
+    if backend is not None:
+        config = config.with_(backend=backend)
+    return config
 
 
-def _run_seq(case, body):
+def _run_seq(case, body, backend=None):
     """Run an instruction-sequence case; returns (signature, message) on
     failure, None on success.  A capability fault that the golden model
     reproduces exactly is a success (explained termination); a botched
@@ -543,7 +546,7 @@ def _run_seq(case, body):
         program = assemble_text("\n".join(list(body) + ["halt"]))
     except (AssemblerError, Exception) as exc:
         return ("unassemblable", "%s: %s" % (type(exc).__name__, exc))
-    config = _build_config(case)
+    config = _build_config(case, backend)
     try:
         check_program(program, config, init_regs=case.init_regs,
                       init_cap_regs=case.init_cap_regs, max_cycles=400_000)
@@ -555,7 +558,7 @@ def _run_seq(case, body):
     return None
 
 
-def _run_kernel(case):
+def _run_kernel(case, backend=None):
     """Compile and run a DSL kernel in all three modes, each under
     lockstep, then require bit-identical outputs across modes."""
     from repro.eval import runner
@@ -572,8 +575,9 @@ def _run_kernel(case):
     n = len(a_vals)
     outputs = {}
     for config_name in ("baseline", "cheri_opt", "boundscheck"):
+        overrides = {} if backend is None else {"backend": backend}
         mode, config = runner.config_for(config_name, num_warps=NUM_WARPS,
-                                         num_lanes=NUM_LANES)
+                                         num_lanes=NUM_LANES, **overrides)
         rt = NoCLRuntime(mode, config=config)
         checker = LockstepChecker()
         attach(rt.sm, checker)
@@ -605,11 +609,11 @@ def _run_kernel(case):
     return None
 
 
-def run_case(case):
+def run_case(case, backend=None):
     """Run one case; returns (signature, message) on failure, else None."""
     if case.kind == "kernel":
-        return _run_kernel(case)
-    return _run_seq(case, case.body)
+        return _run_kernel(case, backend)
+    return _run_seq(case, case.body, backend)
 
 
 # ---------------------------------------------------------------------------
@@ -620,7 +624,7 @@ def run_case(case):
 MAX_SHRINK_RUNS = 150
 
 
-def shrink_case(case, signature):
+def shrink_case(case, signature, backend=None):
     """Greedy delta-debugging over the body lines: repeatedly drop the
     largest chunk that still reproduces the same failure signature."""
     lines = list(case.body)
@@ -631,7 +635,7 @@ def shrink_case(case, signature):
         while i < len(lines) and runs < MAX_SHRINK_RUNS:
             candidate = lines[:i] + lines[i + chunk:]
             runs += 1
-            outcome = _run_seq(case, candidate)
+            outcome = _run_seq(case, candidate, backend)
             if outcome is not None and outcome[0] == signature:
                 lines = candidate
             else:
@@ -696,7 +700,7 @@ def render_reproducer(failure, seed):
 # ---------------------------------------------------------------------------
 
 def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
-             verbose=False, log=None):
+             verbose=False, log=None, backend=None):
     """Fuzz until ``budget`` cases have run (or ``time_budget`` seconds
     have elapsed, whichever comes first when both are set).  Returns a
     :class:`FuzzReport`; reproducers for failures are written under
@@ -712,7 +716,7 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
         if budget is not None and index >= budget:
             break
         case = generate_case(seed, index)
-        outcome = run_case(case)
+        outcome = run_case(case, backend)
         if verbose:
             emit("case %4d %-9s %-9s %s"
                  % (index, case.kind, case.config_name,
@@ -725,7 +729,8 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
             if case.kind != "kernel":
                 emit("case %d (%s): %s — shrinking..."
                      % (index, case.kind, signature))
-                failure.reduced_body = shrink_case(case, signature)
+                failure.reduced_body = shrink_case(case, signature,
+                                                   backend)
             if out_dir:
                 os.makedirs(out_dir, exist_ok=True)
                 path = os.path.join(out_dir, "case_%04d_%s.txt"
@@ -756,13 +761,14 @@ def shard_seed(seed, shard):
     return (seed * 65537 + shard) & 0x7FFFFFFF
 
 
-def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose):
+def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose,
+                backend=None):
     """Worker entry point: one shard's fuzz run, summarised picklably."""
     sub = shard_seed(seed, shard)
     shard_out = os.path.join(out_dir, "shard%02d" % shard) if out_dir \
         else None
     report = run_fuzz(seed=sub, budget=budget, time_budget=time_budget,
-                      out_dir=shard_out, verbose=verbose)
+                      out_dir=shard_out, verbose=verbose, backend=backend)
     return {
         "shard": shard,
         "seed": sub,
@@ -778,7 +784,7 @@ def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose):
 
 
 def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
-                      out_dir=None, verbose=False, log=None):
+                      out_dir=None, verbose=False, log=None, backend=None):
     """Shard the fuzz budget across ``jobs`` worker processes.
 
     Each shard fuzzes under its own :func:`shard_seed`-derived seed (the
@@ -800,7 +806,7 @@ def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_fuzz_shard, seed, shard, shard_budgets[shard],
-                        time_budget, out_dir, verbose)
+                        time_budget, out_dir, verbose, backend)
             for shard in range(jobs)
             if shard_budgets[shard] is None or shard_budgets[shard] > 0
         ]

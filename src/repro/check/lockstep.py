@@ -371,7 +371,7 @@ def verified_run(name, config_name="cheri_opt", scale=1, num_warps=4,
     }
 
 
-def lockstep_case(name, config_name, scale=1):
+def lockstep_case(name, config_name, scale=1, backend=None):
     """One sweep cell, picklable for process pools.
 
     Returns ``(name, config_name, ok, message, wall_seconds)``; a
@@ -380,8 +380,10 @@ def lockstep_case(name, config_name, scale=1):
     """
     import time
     start = time.perf_counter()
+    overrides = {} if backend is None else {"backend": backend}
     try:
-        _, checker = check_benchmark(name, config_name, scale=scale)
+        _, checker = check_benchmark(name, config_name, scale=scale,
+                                     **overrides)
     except AssertionError as exc:
         return (name, config_name, False, str(exc),
                 time.perf_counter() - start)
@@ -390,7 +392,8 @@ def lockstep_case(name, config_name, scale=1):
     return (name, config_name, True, message, time.perf_counter() - start)
 
 
-def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None):
+def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None,
+                       backend=None):
     """The benchmark × config lockstep sweep, optionally across processes.
 
     ``jobs=None``/``1`` runs serially in-process; ``jobs=N`` fans the
@@ -406,11 +409,12 @@ def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None):
              for config_name in configs]
     start = time.perf_counter()
     if jobs is None or jobs <= 1 or len(cells) <= 1:
-        outcomes = [lockstep_case(name, config_name, scale)
+        outcomes = [lockstep_case(name, config_name, scale, backend)
                     for name, config_name in cells]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
-            futures = [pool.submit(lockstep_case, name, config_name, scale)
+            futures = [pool.submit(lockstep_case, name, config_name, scale,
+                                   backend)
                        for name, config_name in cells]
             outcomes = [future.result() for future in futures]
     failures = 0

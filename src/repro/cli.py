@@ -35,12 +35,23 @@ def _add_mode_args(parser):
     parser.add_argument("--warps", type=int, default=8)
     parser.add_argument("--lanes", type=int, default=8)
     parser.add_argument("--scale", type=int, default=1)
+    _add_backend_arg(parser)
+
+
+def _add_backend_arg(parser):
+    parser.add_argument("--backend", default=None,
+                        choices=("scalar", "vector"),
+                        help="execution backend (default: the SMConfig "
+                             "default, currently vector; both are "
+                             "bit-identical)")
 
 
 def _runtime(args):
     from repro.nocl import NoCLRuntime
     from repro.simt import SMConfig
     geometry = dict(num_warps=args.warps, num_lanes=args.lanes)
+    if getattr(args, "backend", None):
+        geometry["backend"] = args.backend
     if args.mode == "purecap":
         config = SMConfig.cheri_optimised(**geometry)
     else:
@@ -179,6 +190,8 @@ def cmd_profile(args):
         overrides["num_warps"] = args.warps
     if args.lanes is not None:
         overrides["num_lanes"] = args.lanes
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     mode, config = runner.config_for(args.config, **overrides)
     rt = NoCLRuntime(mode, config=config)
     profiler = ProfileCollector()
@@ -229,12 +242,13 @@ def cmd_fuzz(args):
                                    jobs=args.jobs,
                                    time_budget=args.time_budget,
                                    out_dir=args.out, verbose=args.verbose,
-                                   log=print)
+                                   log=print, backend=args.backend)
     else:
         from repro.check.fuzz import run_fuzz
         report = run_fuzz(seed=args.seed, budget=args.budget,
                           time_budget=args.time_budget, out_dir=args.out,
-                          verbose=args.verbose, log=print)
+                          verbose=args.verbose, log=print,
+                          backend=args.backend)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -244,7 +258,8 @@ def cmd_lockstep(args):
     names = [_resolve_benchmark(name).name
              for name in (args.benchmarks or list(BENCHMARK_NAMES))]
     failures = run_lockstep_sweep(names, args.configs, scale=args.scale,
-                                  jobs=args.jobs, log=print)
+                                  jobs=args.jobs, log=print,
+                                  backend=args.backend)
     return 1 if failures else 0
 
 
@@ -282,6 +297,8 @@ def cmd_bench(args):
         overrides["num_warps"] = args.warps
     if args.lanes is not None:
         overrides["num_lanes"] = args.lanes
+    if args.backend is not None:
+        overrides["backend"] = args.backend
     total_start = time.perf_counter()
     if args.json:
         import json
@@ -572,6 +589,7 @@ def build_parser():
                        help="override the evaluation warp count")
     bench.add_argument("--lanes", type=int, default=None,
                        help="override the evaluation lane count")
+    _add_backend_arg(bench)
 
     profile = sub.add_parser(
         "profile",
@@ -604,6 +622,7 @@ def build_parser():
                          help="override the evaluation warp count")
     profile.add_argument("--lanes", type=int, default=None,
                          help="override the evaluation lane count")
+    _add_backend_arg(profile)
 
     diff = sub.add_parser(
         "diff", help="compare two run manifests, flag metric regressions")
@@ -635,6 +654,7 @@ def build_parser():
     fuzz.add_argument("--jobs", type=int, default=None,
                       help="shard the budget across N worker processes "
                            "with deterministic per-shard sub-seeds")
+    _add_backend_arg(fuzz)
 
     lockstep = sub.add_parser(
         "lockstep", help="run benchmarks with the golden-model lockstep "
@@ -649,6 +669,7 @@ def build_parser():
     lockstep.add_argument("--jobs", type=int, default=None,
                           help="run the benchmark x config sweep across N "
                                "worker processes (default: serial)")
+    _add_backend_arg(lockstep)
 
     from repro.serve.protocol import DEFAULT_PORT
 

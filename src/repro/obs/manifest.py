@@ -115,6 +115,7 @@ def build_manifest(results, config_name, scale, wall_seconds,
         "config": config_name,
         "mode": mode or "",
         "scale": scale,
+        "backend": first.config.backend if first else "",
         "geometry": geometry,
         "sm_config": dict(sorted(asdict(first.config).items())) if first
         else {},
@@ -183,6 +184,16 @@ def load_manifest(path):
     return manifest
 
 
+def manifest_backend(manifest):
+    """The execution backend a manifest was produced with.
+
+    Top-level ``backend`` key on current manifests; fished out of the
+    ``sm_config`` dump for older ones.  Empty string when unknown.
+    """
+    return (manifest.get("backend")
+            or manifest.get("sm_config", {}).get("backend", ""))
+
+
 def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
                    metrics=REGRESSION_METRICS):
     """Per-benchmark, per-metric comparison of two manifests.
@@ -196,9 +207,21 @@ def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
     removed between versions) yields an informational row with a
     ``note`` and is never a regression.  A genuinely zero baseline has
     no meaningful ratio (``ratio`` is None, never infinite): growth from
-    zero still regresses, rendered as ``+new``.
+    zero still regresses, rendered as ``+new``.  When the two manifests
+    were produced by different execution backends, an informational
+    ``<suite>``/``backend`` row flags the cross-backend comparison.
     """
     rows = []
+    old_backend = manifest_backend(old)
+    new_backend = manifest_backend(new)
+    if old_backend != new_backend:
+        # Backends are bit-identical by construction, so metric changes
+        # across them point at a backend bug, not a workload change —
+        # worth a loud informational row up front.
+        rows.append({"benchmark": "<suite>", "metric": "backend",
+                     "old": old_backend or "?", "new": new_backend or "?",
+                     "delta": None, "ratio": None, "regressed": False,
+                     "note": "cross-backend comparison"})
     old_benches = old.get("benchmarks", {})
     new_benches = new.get("benchmarks", {})
     for name in sorted(set(old_benches) | set(new_benches)):

@@ -21,8 +21,21 @@ def to_u32(value):
     return value & MASK32
 
 
+# Memoising bits->float is safe because the key is the exact bit pattern.
+# The reverse direction must NOT be cached: +0.0 and -0.0 compare equal, so
+# a float-keyed dict would conflate their distinct bit patterns.
+_BITS_TO_F32_CACHE = {}
+_BITS_TO_F32_CACHE_MAX = 1 << 16
+
+
 def bits_to_f32(bits):
-    return struct.unpack("<f", struct.pack("<I", bits & MASK32))[0]
+    bits &= MASK32
+    value = _BITS_TO_F32_CACHE.get(bits)
+    if value is None:
+        value = struct.unpack("<f", struct.pack("<I", bits))[0]
+        if len(_BITS_TO_F32_CACHE) < _BITS_TO_F32_CACHE_MAX:
+            _BITS_TO_F32_CACHE[bits] = value
+    return value
 
 
 def f32_to_bits(value):

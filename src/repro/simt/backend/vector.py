@@ -1,0 +1,2002 @@
+"""The lane-vectorized execution backend.
+
+Executes each issued instruction across all active lanes at once instead
+of looping per lane, exploiting the same value regularity the compressed
+register file detects (paper section 2.2):
+
+- **symbolic forms** — operands are read as their stored compact forms
+  (uniform / affine base+stride); uniform x uniform ALU ops evaluate the
+  per-lane function once, affine forms propagate algebraically through
+  add/sub/shift/mul, and results are written back as forms without ever
+  expanding to per-lane lists;
+- **object-free capability fast paths** — bounds, seal, permission and
+  representability checks for a warp's uniform-metadata capability are
+  evaluated once per issue from the packed metadata word using the
+  CHERI Concentrate *k*-window: the decoded bounds are a pure function of
+  the encoded bounds and ``k = ((addr >> E) - r) >> 8``, so equal *k*
+  across lanes means one decode covers the warp;
+- **vectorized memory lanes** — affine word-aligned address streams
+  gather/scatter straight against the sparse word store, with O(1)
+  coalescing and bank-conflict equivalents of the per-lane timing model;
+- **NumPy lane arrays** — on wide SMs (>= 16 lanes) uncompressed integer
+  operands run through uint32 array arithmetic;
+- **run-ahead scheduling** — when one warp is solo-runnable (every other
+  warp is blocked strictly further in the future), the scheduler issues
+  it back-to-back without rescanning, which is exact because the barrel
+  scheduler is deterministic and ties lose to the other warps;
+- **hot-trace specialisation** — straight-line decoded regions that
+  retire more than a threshold are compiled into a fused step list that
+  chains the vectorized handlers without per-instruction scheduling,
+  invalidated on every launch (programs are re-decoded per launch).
+
+Any case the fast paths do not cover (divergence, faulting lane subsets,
+sub-word or misaligned accesses, non-uniform metadata, CJALR, AMOs, ...)
+falls back to the scalar reference path mid-instruction — operands
+already read as forms are expanded and handed to the shared ``*_core``
+helpers so no register is read twice — keeping the two backends
+bit-identical in every simulated statistic, probe event and fault.  This
+is enforced by the equivalence tests and ``repro lockstep``.
+"""
+
+from repro.cheri.capability import Capability, Perms
+from repro.cheri import concentrate
+from repro.cheri.exceptions import CapabilityFault
+from repro.isa.instructions import Op
+from repro.simt import alu
+from repro.simt.backend.scalar import (
+    ScalarBackend,
+    _CGET_FN,
+    _CIMM_FN,
+    _CMOD1_FN,
+    _CMOD2_FN,
+)
+from repro.simt.regfile.compressed import (
+    _NULL_SCALAR,
+    _Scalar,
+    _Spilled,
+    _Vector,
+)
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is expected in the image
+    _np = None
+
+MASK32 = 0xFFFFFFFF
+MASK33 = (1 << 33) - 1
+_FAR_FUTURE = 1 << 62
+
+#: Minimum lane count before NumPy array arithmetic beats plain lists
+#: (list<->array conversion dominates below this).
+_NUMPY_MIN_LANES = 16
+
+#: Consecutive converged solo visits to one static instruction before the
+#: straight-line region starting there is compiled into a fused step list.
+_HOT_THRESHOLD = 32
+
+#: Upper bound on fused-region length (keeps step lists cache-friendly).
+_MAX_REGION = 64
+
+_P_LOAD = int(Perms.LOAD)
+_P_STORE = int(Perms.STORE)
+_P_LOAD_CAP = int(Perms.LOAD_CAP)
+_P_STORE_CAP = int(Perms.STORE_CAP)
+
+_ADD = alu.INT_FNS["add"]
+_SUB = alu.INT_FNS["sub"]
+_SLL = alu.INT_FNS["sll"]
+_MUL = alu.INT_FNS["mul"]
+
+#: NumPy-safe two-source integer ops (uint32 wraparound matches the
+#: per-lane functions exactly; mulh/div/rem corner cases excluded).
+_NP_RR = {}
+if _np is not None:
+    _NP_RR = {alu.INT_FNS[k]: k for k in (
+        "add", "sub", "xor", "or", "and", "sll", "srl", "sra",
+        "slt", "sltu", "mul")}
+
+# Original (unpatched) capability-op lambdas, captured at import for the
+# identity checks guarding semantics-specific fast paths.  A test that
+# monkeypatches a dispatch-table entry automatically fails these checks
+# and takes the generic path, which calls the patched function.
+_FN_CGETADDR = _CGET_FN[Op.CGETADDR]
+_META_ONLY_CGET = frozenset((
+    _CGET_FN[Op.CGETTAG], _CGET_FN[Op.CGETPERM], _CGET_FN[Op.CGETTYPE],
+    _CGET_FN[Op.CGETSEALED], _CGET_FN[Op.CGETFLAGS],
+))
+_FN_CMOVE = _CMOD1_FN[Op.CMOVE]
+_FN_CCLEARTAG = _CMOD1_FN[Op.CCLEARTAG]
+_FN_CINCOFFSET = _CMOD2_FN[Op.CINCOFFSET]
+_FN_CSETADDR = _CMOD2_FN[Op.CSETADDR]
+_FN_CINCOFFSETIMM = _CIMM_FN[Op.CINCOFFSETIMM]
+
+
+def _affine(base, stride, lanes):
+    """Canonical affine form, or None when the stride does not fit the
+    SRF stride field (the expansion would not compress either)."""
+    if lanes == 1 or stride == 0:
+        return _Scalar(base & MASK32, 0)
+    if -128 <= stride <= 127:
+        return _Scalar(base & MASK32, stride)
+    return None
+
+
+def _signed_stride(stride32):
+    stride32 &= MASK32
+    return stride32 - (1 << 32) if stride32 >> 31 else stride32
+
+
+def _sym_add(b1, s1, b2, s2, lanes):
+    return _affine(b1 + b2, s1 + s2, lanes)
+
+
+def _sym_sub(b1, s1, b2, s2, lanes):
+    return _affine(b1 - b2, s1 - s2, lanes)
+
+
+def _sym_mul(b1, s1, b2, s2, lanes):
+    # (b1 + i*s1) * b2 = b1*b2 + i*(s1*b2) when one side is uniform.
+    if s2 == 0:
+        return _affine(b1 * b2, _signed_stride(s1 * b2), lanes)
+    if s1 == 0:
+        return _affine(b1 * b2, _signed_stride(b1 * s2), lanes)
+    return None
+
+
+def _sym_sll(b1, s1, b2, s2, lanes):
+    if s2:
+        return None
+    k = b2 & 31
+    return _affine(b1 << k, _signed_stride((s1 << k) & MASK32), lanes)
+
+
+#: Affine-capable symbolic rules, keyed by the (unpatched) per-lane
+#: function so a monkeypatched table entry bypasses them.
+_SYM_RR = {_ADD: _sym_add, _SUB: _sym_sub, _MUL: _sym_mul, _SLL: _sym_sll}
+
+
+def _expand(form, lanes):
+    """Per-lane values of a form (a plain register file hands back its
+    raw lane list and a VRF-resident vector its stored one, so callers
+    must not mutate the result)."""
+    t = type(form)
+    if t is list:
+        return form
+    if t is _Vector:
+        return form.values
+    return form.expand(lanes, MASK32)
+
+
+def _expand_meta(form, lanes):
+    t = type(form)
+    if t is list:
+        return form
+    if t is _Vector:
+        return form.values
+    return form.expand(lanes, MASK33)
+
+
+class VectorBackend(ScalarBackend):
+    """Lane-vectorized backend (see module docstring)."""
+
+    name = "vector"
+
+    def __init__(self, sm):
+        super().__init__(sm)
+        #: meta register value -> (tag, otype, perms, bounds, exp, r).
+        self._meta_info = {}
+        #: (meta value, k-window) -> decoded (base, top).
+        self._bounds_memo = {}
+        self._hot = {}
+        self._regions = {}
+
+    def on_launch(self):
+        super().on_launch()
+        # Hot-trace state is per program: launch re-decodes, so fused
+        # regions from the previous program are invalid.
+        self._hot = {}
+        self._regions = {}
+        # The metadata memos are program-independent (pure functions of
+        # the packed word); just bound their growth.
+        if len(self._bounds_memo) > (1 << 15):
+            self._bounds_memo = {}
+            self._meta_info = {}
+
+    # ------------------------------------------------------------------
+    # Decode: route to the vectorized handlers
+    # ------------------------------------------------------------------
+
+    def decode(self, instr):
+        handler, aux = super().decode(instr)
+        v = _VECTOR_FOR.get(handler.__func__)
+        if v is not None:
+            return getattr(self, v), aux
+        return handler, aux
+
+    # ------------------------------------------------------------------
+    # Operand-form helpers
+    # ------------------------------------------------------------------
+
+    def _gp_form(self, warp, reg):
+        if reg == 0:
+            return _NULL_SCALAR
+        sm = self.sm
+        # Inline read_form's no-side-effect cases; only a spilled vector
+        # needs the full reload-and-cost path.
+        entry = sm.gp._entries.get((warp.index << 8) | reg)
+        if entry is None:
+            return _NULL_SCALAR
+        t = type(entry)
+        if t is _Vector:
+            sm._gp_vec_touch = True
+            return entry
+        if t is not _Spilled:
+            return entry
+        form, report = sm.gp.read_form(warp.index, reg)
+        if report is not None:
+            sm._account_rf(report)
+        if type(form) is _Vector:
+            sm._gp_vec_touch = True
+        return form
+
+    def _meta_form(self, warp, reg):
+        if reg == 0:
+            return _NULL_SCALAR
+        sm = self.sm
+        entry = sm.meta._entries.get((warp.index << 8) | reg)
+        if entry is None:
+            return _NULL_SCALAR
+        t = type(entry)
+        if t is _Vector or t is list:
+            sm._meta_vec_touch = True
+            return entry
+        if t is not _Spilled:
+            return entry
+        form, report = sm.meta.read_form(warp.index, reg)
+        if report is not None:
+            sm._account_rf(report)
+        if type(form) is _Vector or type(form) is list:
+            sm._meta_vec_touch = True
+        return form
+
+    def _forms_to_caps(self, f1, meta_f):
+        """Materialise per-lane capabilities from already-read forms
+        (mirrors ``sm._read_caps`` without touching the register files
+        again — the forms carry the same values)."""
+        n = self.sm._num_lanes
+        addrs = _expand(f1, n)
+        metas = _expand_meta(meta_f, n)
+        from_meta_word = Capability.from_meta_word
+        return [
+            from_meta_word(metas[i] & MASK32, addrs[i], metas[i] > MASK32)
+            for i in range(n)
+        ]
+
+    def _write_rd_form(self, warp, reg, form):
+        """Full-mask write of a non-capability compact result."""
+        if reg is None or reg == 0:
+            return
+        sm = self.sm
+        sm.gp.write_form(warp.index, reg, form)
+        meta = sm.meta
+        if meta is not None:
+            meta.write_form(warp.index, reg, _NULL_SCALAR)
+            if sm._meta_plain:
+                sm._meta_vec_touch = True
+
+    def _write_rd_cap_form(self, warp, reg, gp_form, meta_val):
+        """Full-mask write of a capability result with uniform metadata."""
+        if reg is None or reg == 0:
+            return
+        sm = self.sm
+        sm.gp.write_form(warp.index, reg, gp_form)
+        meta = sm.meta
+        if meta_val > MASK32:
+            sm.stats.note_cap_register(warp.index, reg)
+        meta.write_form(warp.index, reg, _Scalar(meta_val, 0))
+        if sm._meta_plain:
+            sm._meta_vec_touch = True
+
+    def _write_rd_raw(self, warp, reg, values, mask, metas, tagged):
+        """Mirror of ``sm._write_rd`` with precomputed metadata values
+        (object-free CLC: no per-lane Capability construction)."""
+        if reg is None or reg == 0:
+            return
+        sm = self.sm
+        windex = warp.index
+        gp = sm.gp
+        report = gp.write(windex, reg, values, mask)
+        if report.spills or report.reloads:
+            sm._account_rf(report)
+        if gp.is_uncompressed(windex, reg):
+            sm._gp_vec_touch = True
+        meta = sm.meta
+        if tagged:
+            sm.stats.note_cap_register(windex, reg)
+        report = meta.write(windex, reg, metas, mask)
+        if report.spills or report.reloads:
+            sm._account_rf(report)
+        if meta.is_uncompressed(windex, reg):
+            sm._meta_vec_touch = True
+
+    # ------------------------------------------------------------------
+    # Object-free capability metadata
+    # ------------------------------------------------------------------
+
+    def _cap_info(self, meta_val):
+        """(tag, otype, perms, bounds, exp, r) for a packed meta value."""
+        info = self._meta_info.get(meta_val)
+        if info is None:
+            cap = Capability.from_meta_word(meta_val & MASK32, 0,
+                                           meta_val > MASK32)
+            bounds = cap.bounds
+            exp, b8, _t8 = concentrate._reconstruct_mantissas(bounds)
+            r = (b8 - 32) & 0xFF
+            info = (cap.tag, cap.otype, int(cap.perms), bounds, exp, r)
+            self._meta_info[meta_val] = info
+        return info
+
+    def _decoded_bounds(self, meta_val, bounds, exp, r, addr):
+        """(base, top) decoded at ``addr``, memoised by the *k*-window
+        (the decode is constant while ``((addr >> exp) - r) >> 8`` is)."""
+        k = ((addr >> exp) - r) >> 8
+        key = (meta_val, k)
+        bt = self._bounds_memo.get(key)
+        if bt is None:
+            bt = concentrate.decode_bounds(bounds, addr)
+            self._bounds_memo[key] = bt
+        return bt
+
+    # ------------------------------------------------------------------
+    # Integer ALU
+    # ------------------------------------------------------------------
+
+    def _v_int_r(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, is_sfu = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        f2 = self._gp_form(warp, instr.rs2)
+        num_lanes = sm._num_lanes
+        full = mask == sm._full_mask
+        out = None
+        if type(f1) is _Scalar and type(f2) is _Scalar:
+            s1 = f1.stride
+            s2 = f2.stride
+            if s1 == 0 and s2 == 0:
+                if full:
+                    out = _Scalar(fn(f1.base, f2.base) & MASK32, 0)
+                else:
+                    # Masked uniform: one evaluation; the masked write
+                    # ignores the inactive positions of the value list.
+                    sm._write_rd(warp, instr.rd,
+                                 [fn(f1.base, f2.base)] * num_lanes, mask)
+                    if is_sfu:
+                        sm._sfu_issue(lanes)
+                    sm._advance(warp, lanes, pc + 4)
+                    return
+            elif full:
+                sym = _SYM_RR.get(fn)
+                if sym is not None:
+                    out = sym(f1.base, s1, f2.base, s2, num_lanes)
+        if out is not None:
+            self._write_rd_form(warp, instr.rd, out)
+        else:
+            a = _expand(f1, num_lanes)
+            b = _expand(f2, num_lanes)
+            if full:
+                values = self._int_lanes(fn, a, b, num_lanes)
+            else:
+                values = [0] * num_lanes
+                for lane in lanes:
+                    values[lane] = fn(a[lane], b[lane])
+            sm._write_rd(warp, instr.rd, values, mask)
+        if is_sfu:
+            sm._sfu_issue(lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _v_int_i(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, imm = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        num_lanes = sm._num_lanes
+        full = mask == sm._full_mask
+        out = None
+        if type(f1) is _Scalar:
+            s1 = f1.stride
+            if s1 == 0:
+                if full:
+                    out = _Scalar(fn(f1.base, imm) & MASK32, 0)
+                else:
+                    sm._write_rd(warp, instr.rd,
+                                 [fn(f1.base, imm)] * num_lanes, mask)
+                    sm._advance(warp, lanes, pc + 4)
+                    return
+            elif not full:
+                pass
+            elif fn is _ADD:
+                out = _Scalar((f1.base + imm) & MASK32, s1)
+            else:
+                sym = _SYM_RR.get(fn)
+                if sym is not None:
+                    out = sym(f1.base, s1, imm, 0, num_lanes)
+        if out is not None:
+            self._write_rd_form(warp, instr.rd, out)
+        else:
+            a = _expand(f1, num_lanes)
+            if full:
+                values = self._int_lanes(fn, a, imm, num_lanes)
+            else:
+                values = [0] * num_lanes
+                for lane in lanes:
+                    values[lane] = fn(a[lane], imm)
+            sm._write_rd(warp, instr.rd, values, mask)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _int_lanes(self, fn, a, b, num_lanes):
+        """Full-mask per-lane integer compute; NumPy arrays on wide SMs."""
+        if num_lanes >= _NUMPY_MIN_LANES:
+            key = _NP_RR.get(fn)
+            if key is not None:
+                return _np_int(key, a, b)
+        if type(b) is int:
+            return [fn(a[i], b) for i in range(num_lanes)]
+        return [fn(a[i], b[i]) for i in range(num_lanes)]
+
+    def _v_lui(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        if mask != sm._full_mask:
+            return self._h_lui(warp, instr, pc, lanes, mask, aux)
+        self._write_rd_form(warp, instr.rd, _Scalar(aux, 0))
+        sm._advance(warp, lanes, pc + 4)
+
+    def _v_auipc(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        if mask != sm._full_mask:
+            return self._h_auipc(warp, instr, pc, lanes, mask, aux)
+        self._write_rd_form(warp, instr.rd, _Scalar((pc + aux) & MASK32, 0))
+        sm._advance(warp, lanes, pc + 4)
+
+    # ------------------------------------------------------------------
+    # Branches and jumps
+    # ------------------------------------------------------------------
+
+    def _v_branch(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, imm = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        f2 = self._gp_form(warp, instr.rs2)
+        pcs = warp.pcs
+        if type(f1) is _Scalar and f1.stride == 0 and \
+                type(f2) is _Scalar and f2.stride == 0:
+            target = (pc + imm) & MASK32 if fn(f1.base, f2.base) else pc + 4
+            for lane in lanes:
+                pcs[lane] = target
+            return
+        num_lanes = sm._num_lanes
+        a = _expand(f1, num_lanes)
+        b = _expand(f2, num_lanes)
+        taken_pc = (pc + imm) & MASK32
+        next_pc = pc + 4
+        for lane in lanes:
+            pcs[lane] = taken_pc if fn(a[lane], b[lane]) else next_pc
+
+    def _v_jal(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        imm, is_cjal = aux
+        next_pc = pc + 4
+        full = mask == sm._full_mask
+        if instr.rd:
+            if is_cjal:
+                metas = warp.pcc_meta
+                m = metas[0]
+                if metas.count(m) != sm._num_lanes:
+                    return self._h_jal(warp, instr, pc, lanes, mask, aux)
+                link = Capability.from_meta_word(m & MASK32, next_pc,
+                                                bool(m >> 32)).seal_entry()
+                mv = link.meta_word() | (link.tag << 32)
+                if full:
+                    self._write_rd_cap_form(
+                        warp, instr.rd, _Scalar(next_pc & MASK32, 0), mv)
+                else:
+                    num_lanes = sm._num_lanes
+                    self._write_rd_raw(warp, instr.rd,
+                                       [next_pc] * num_lanes, mask,
+                                       [mv] * num_lanes, bool(link.tag))
+            elif full:
+                self._write_rd_form(warp, instr.rd,
+                                    _Scalar(next_pc & MASK32, 0))
+            else:
+                sm._write_rd(warp, instr.rd,
+                             [next_pc] * sm._num_lanes, mask)
+        sm._advance(warp, lanes, (pc + imm) & MASK32)
+
+    def _v_jalr(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        full = mask == sm._full_mask
+        f1 = self._gp_form(warp, instr.rs1)
+        if type(f1) is not _Scalar or f1.stride != 0:
+            num_lanes = sm._num_lanes
+            a = _expand(f1, num_lanes)
+            targets = [0] * num_lanes
+            for lane in lanes:
+                targets[lane] = (a[lane] + aux) & ~1 & MASK32
+            if instr.rd:
+                if full:
+                    self._write_rd_form(warp, instr.rd,
+                                        _Scalar((pc + 4) & MASK32, 0))
+                else:
+                    sm._write_rd(warp, instr.rd,
+                                 [pc + 4] * num_lanes, mask)
+            pcs = warp.pcs
+            for lane in lanes:
+                pcs[lane] = targets[lane]
+            return
+        target = (f1.base + aux) & ~1 & MASK32
+        if instr.rd:
+            if full:
+                self._write_rd_form(warp, instr.rd,
+                                    _Scalar((pc + 4) & MASK32, 0))
+            else:
+                sm._write_rd(warp, instr.rd,
+                             [pc + 4] * sm._num_lanes, mask)
+        pcs = warp.pcs
+        for lane in lanes:
+            pcs[lane] = target
+
+    # ------------------------------------------------------------------
+    # Floating point.  No NumPy here: the uniform path calls the scalar
+    # function once, keeping NaN payloads and rounding bit-exact.
+    # ------------------------------------------------------------------
+
+    def _v_float_rr(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, is_sfu = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        f2 = self._gp_form(warp, instr.rs2)
+        num_lanes = sm._num_lanes
+        full = mask == sm._full_mask
+        if type(f1) is _Scalar and f1.stride == 0 and \
+                type(f2) is _Scalar and f2.stride == 0:
+            if full:
+                self._write_rd_form(warp, instr.rd,
+                                    _Scalar(fn(f1.base, f2.base) & MASK32, 0))
+            else:
+                sm._write_rd(warp, instr.rd,
+                             [fn(f1.base, f2.base)] * num_lanes, mask)
+        else:
+            a = _expand(f1, num_lanes)
+            b = _expand(f2, num_lanes)
+            if full:
+                values = [fn(a[i], b[i]) for i in range(num_lanes)]
+            else:
+                values = [0] * num_lanes
+                for lane in lanes:
+                    values[lane] = fn(a[lane], b[lane])
+            sm._write_rd(warp, instr.rd, values, mask)
+        if is_sfu:
+            sm._sfu_issue(lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _v_float_unary(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, is_sfu = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        num_lanes = sm._num_lanes
+        full = mask == sm._full_mask
+        if type(f1) is _Scalar and f1.stride == 0:
+            if full:
+                self._write_rd_form(warp, instr.rd,
+                                    _Scalar(fn(f1.base) & MASK32, 0))
+            else:
+                sm._write_rd(warp, instr.rd,
+                             [fn(f1.base)] * num_lanes, mask)
+        else:
+            a = _expand(f1, num_lanes)
+            if full:
+                values = [fn(a[i]) for i in range(num_lanes)]
+            else:
+                values = [0] * num_lanes
+                for lane in lanes:
+                    values[lane] = fn(a[lane])
+            sm._write_rd(warp, instr.rd, values, mask)
+        if is_sfu:
+            sm._sfu_issue(lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+
+    def _v_memory(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        width, is_cap, is_store, is_amo, amo_fn, signed, imm = aux
+        if is_amo:
+            return self._h_memory(warp, instr, pc, lanes, mask, aux)
+
+        # Operand fetch in the scalar order: rs1 address word(s), then
+        # rs1 metadata for capability addressing.
+        f1 = self._gp_form(warp, instr.rs1)
+        meta_f = self._meta_form(warp, instr.rs1) if is_cap else None
+        if (mask != sm._full_mask or type(f1) is not _Scalar or
+                (is_cap and (type(meta_f) is not _Scalar or
+                             meta_f.stride != 0))):
+            # Any-mask / any-pattern path; it handles per-lane metadata
+            # through the decode memos too.
+            return self._v_memory_general(warp, instr, pc, lanes, mask, aux,
+                                          f1, meta_f)
+
+        op = instr.op
+        num_lanes = sm._num_lanes
+        base = f1.base
+        stride = f1.stride
+        span = (num_lanes - 1) * stride
+        # Wrap-free capability address range (pre-immediate) and access
+        # range, so plain int arithmetic stands in for mod-2^32 (this
+        # also implies the memory model's own range check passes).
+        c_lo = base + (span if stride < 0 else 0)
+        c_hi = base + (span if stride > 0 else 0)
+        a_lo = c_lo + imm
+        a_hi = c_hi + imm
+        if c_lo < 0 or c_hi + width > (1 << 32) or \
+                a_lo < 0 or a_hi + width > (1 << 32):
+            return self._memory_fallback(warp, instr, pc, lanes, mask, aux,
+                                         f1, meta_f)
+        if a_lo % width or stride % width:
+            # Misaligned lanes (which fault lane-first in the memory
+            # model) stay on the reference path.
+            return self._memory_fallback(warp, instr, pc, lanes, mask, aux,
+                                         f1, meta_f)
+
+        if is_cap:
+            meta_val = meta_f.base
+            tag, otype, perms, bounds, exp, r = self._cap_info(meta_val)
+            need = _P_STORE if is_store else _P_LOAD
+            if not tag or otype != 0 or not (perms & need):
+                # Exact per-lane fault ordering and message.
+                return self._memory_fallback(warp, instr, pc, lanes, mask,
+                                             aux, f1, meta_f)
+            if (((c_lo >> exp) - r) >> 8) != (((c_hi >> exp) - r) >> 8):
+                return self._memory_fallback(warp, instr, pc, lanes, mask,
+                                             aux, f1, meta_f)
+            dec_base, dec_top = self._decoded_bounds(meta_val, bounds,
+                                                    exp, r, c_lo)
+            if not (dec_base <= a_lo and a_hi + width <= dec_top):
+                return self._memory_fallback(warp, instr, pc, lanes, mask,
+                                             aux, f1, meta_f)
+
+        memory = sm.memory
+        words = memory._words
+        if op is Op.CSC:
+            f2 = self._gp_form(warp, instr.rs2)
+            meta2 = self._meta_form(warp, instr.rs2)
+            addrs2 = _expand(f2, num_lanes)
+            metas2 = _expand_meta(meta2, num_lanes)
+            if not (perms & _P_STORE_CAP) and \
+                    any(m > MASK32 for m in metas2):
+                # Per-lane STORE_CAP fault: replay on the reference path
+                # (the fault ordering depends on the faulting lane).
+                return self._memory_core(
+                    warp, instr, pc, lanes, mask, aux,
+                    self._forms_to_caps(f1, meta_f), None)
+            # Inline write_cap_raw: alignment and range were verified
+            # above (width 8, aligned base and stride, in-range span), so
+            # the model's _check can never fire here.
+            tags = memory._tags
+            tags_add = tags.add
+            tags_discard = tags.discard
+            addr = base + imm
+            for i in range(num_lanes):
+                m2 = metas2[i]
+                index = addr >> 2
+                words[index] = addrs2[i] & MASK32
+                words[index + 1] = m2 & MASK32
+                if m2 > MASK32:
+                    tags_add(index)
+                    tags_add(index + 1)
+                else:
+                    tags_discard(index)
+                    tags_discard(index + 1)
+                addr += stride
+            self._fast_mem_timing(op, base + imm, stride, width, num_lanes,
+                                  True, warp)
+            sm._advance(warp, lanes, pc + 4)
+            return
+        if op is Op.CLC:
+            # Inline read_cap_raw (same pre-verified-_check argument as the
+            # CSC path above); lo/hi words are < 2**32 so the raw 64-bit
+            # reassembly splits back into exactly (hi, lo).
+            get = words.get
+            tags = memory._tags
+            strip = not (perms & _P_LOAD_CAP)
+            out = [0] * num_lanes
+            metas = [0] * num_lanes
+            tagged = False
+            addr = base + imm
+            for i in range(num_lanes):
+                index = addr >> 2
+                addr += stride
+                hi = get(index + 1, 0)
+                if not strip and index in tags and index + 1 in tags:
+                    tagged = True
+                    metas[i] = hi | (1 << 32)
+                else:
+                    metas[i] = hi
+                out[i] = get(index, 0)
+            self._write_rd_raw(warp, instr.rd, out, mask, metas, tagged)
+            self._fast_mem_timing(op, base + imm, stride, width, num_lanes,
+                                  False, warp)
+            sm._advance(warp, lanes, pc + 4)
+            return
+
+        if is_store:
+            f2 = self._gp_form(warp, instr.rs2)
+            discard = memory._tags.discard
+            if width < 4:
+                # Sub-word read-modify-write in lane order (later lanes
+                # legitimately overwrite earlier lanes' bytes of the same
+                # word; lane order is the model's order).
+                get = words.get
+                wbits = width * 8
+                vmask = (1 << wbits) - 1
+                values = _expand(f2, num_lanes)
+                addr = base + imm
+                for i in range(num_lanes):
+                    index = addr >> 2
+                    shift = (addr & 3) * 8
+                    m = vmask << shift
+                    words[index] = (get(index, 0) & ~m) | \
+                        ((values[i] & vmask) << shift)
+                    discard(index)
+                    addr += stride
+            elif stride == 0:
+                # Lane-serial writes to one address: the last lane wins.
+                if type(f2) is _Scalar:
+                    value = (f2.base + (num_lanes - 1) * f2.stride) & MASK32
+                else:
+                    value = _expand(f2, num_lanes)[num_lanes - 1] & MASK32
+                index = (base + imm) >> 2
+                words[index] = value
+                discard(index)
+            else:
+                values = _expand(f2, num_lanes)
+                addr = base + imm
+                for i in range(num_lanes):
+                    index = addr >> 2
+                    words[index] = values[i] & MASK32
+                    discard(index)
+                    addr += stride
+            self._fast_mem_timing(op, base + imm, stride, width, num_lanes,
+                                  True, warp)
+            sm._advance(warp, lanes, pc + 4)
+            return
+
+        # Loads (word, halfword, byte).
+        get = words.get
+        addr = base + imm
+        if width < 4:
+            wbits = width * 8
+            vmask = (1 << wbits) - 1
+            sbit = 1 << (wbits - 1)
+            out = [0] * num_lanes
+            for i in range(num_lanes):
+                value = (get(addr >> 2, 0) >> ((addr & 3) * 8)) & vmask
+                if signed and value & sbit:
+                    value -= 1 << wbits
+                out[i] = value & MASK32
+                addr += stride
+        elif stride == 0:
+            out = [get(addr >> 2, 0)] * num_lanes
+        else:
+            out = [0] * num_lanes
+            for i in range(num_lanes):
+                out[i] = get(addr >> 2, 0)
+                addr += stride
+        sm._write_rd(warp, instr.rd, out, mask)
+        self._fast_mem_timing(op, base + imm, stride, width, num_lanes,
+                              False, warp)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _v_memory_general(self, warp, instr, pc, lanes, mask, aux, f1,
+                          meta_f):
+        """Any-mask, any-address-pattern word accesses (uniform metadata).
+
+        Per-lane bounds decodes hit the *k*-window memo, gathers/scatters
+        go straight against the word store, and timing is charged per
+        coalesced line.  Every check for every active lane completes
+        before any mutation, so a fallback mid-check is an exact replay
+        of the reference path.
+        """
+        sm = self.sm
+        width, is_cap, is_store, _is_amo, _amo_fn, signed, imm = aux
+        num_lanes = sm._num_lanes
+        vals = _expand(f1, num_lanes)
+        addrs = []
+        append = addrs.append
+        limit = (1 << 32) - width
+        for lane in lanes:
+            a = (vals[lane] + imm) & MASK32
+            if a % width or a > limit:
+                # Misaligned lanes fault lane-first in the memory model;
+                # end-of-space accesses wrap there too.
+                return self._memory_fallback(warp, instr, pc, lanes, mask,
+                                             aux, f1, meta_f)
+            append(a)
+        op = instr.op
+        lane_perms = None
+        if is_cap:
+            need = _P_STORE if is_store else _P_LOAD
+            decoded = self._decoded_bounds
+            if type(meta_f) is _Scalar and meta_f.stride == 0:
+                meta_val = meta_f.base
+                tag, otype, perms, bounds, exp, r = self._cap_info(meta_val)
+                if not tag or otype != 0 or not (perms & need):
+                    # Exact per-lane fault ordering and message.
+                    return self._memory_fallback(warp, instr, pc, lanes,
+                                                 mask, aux, f1, meta_f)
+                # Inline the k-window memo; gather lanes usually share
+                # one window, so the previous lane's decode is cached in
+                # locals before the dict is consulted.
+                memo_get = self._bounds_memo.get
+                memo = self._bounds_memo
+                last_k = dec_base = dec_top = None
+                for j, lane in enumerate(lanes):
+                    va = vals[lane]
+                    k = ((va >> exp) - r) >> 8
+                    if k != last_k:
+                        key = (meta_val, k)
+                        bt = memo_get(key)
+                        if bt is None:
+                            bt = concentrate.decode_bounds(bounds, va)
+                            memo[key] = bt
+                        dec_base, dec_top = bt
+                        last_k = k
+                    a = addrs[j]
+                    if not (dec_base <= a and a + width <= dec_top):
+                        return self._memory_fallback(warp, instr, pc, lanes,
+                                                     mask, aux, f1, meta_f)
+            else:
+                # Per-lane metadata: same lane-ordered check sequence as
+                # the reference path (tag, seal, permission, bounds per
+                # lane, next lane), so the first failing lane is the one
+                # the replay faults on.
+                metas = _expand_meta(meta_f, num_lanes)
+                cap_info = self._cap_info
+                lane_perms = [0] * num_lanes
+                for j, lane in enumerate(lanes):
+                    meta_val = metas[lane]
+                    tag, otype, perms, bounds, exp, r = cap_info(meta_val)
+                    if not tag or otype != 0 or not (perms & need):
+                        return self._memory_fallback(warp, instr, pc, lanes,
+                                                     mask, aux, f1, meta_f)
+                    dec_base, dec_top = decoded(meta_val, bounds, exp, r,
+                                                vals[lane])
+                    a = addrs[j]
+                    if not (dec_base <= a and a + width <= dec_top):
+                        return self._memory_fallback(warp, instr, pc, lanes,
+                                                     mask, aux, f1, meta_f)
+                    lane_perms[lane] = perms
+        memory = sm.memory
+        words = memory._words
+        if op is Op.CSC:
+            f2 = self._gp_form(warp, instr.rs2)
+            meta2 = self._meta_form(warp, instr.rs2)
+            addrs2 = _expand(f2, num_lanes)
+            metas2 = _expand_meta(meta2, num_lanes)
+            if lane_perms is None:
+                if not (perms & _P_STORE_CAP):
+                    for lane in lanes:
+                        if metas2[lane] > MASK32:
+                            # Per-lane STORE_CAP fault: replay on the
+                            # reference path (nothing written yet).
+                            return self._memory_core(
+                                warp, instr, pc, lanes, mask, aux,
+                                self._forms_to_caps(f1, meta_f), None)
+            else:
+                for lane in lanes:
+                    if metas2[lane] > MASK32 and \
+                            not (lane_perms[lane] & _P_STORE_CAP):
+                        return self._memory_core(
+                            warp, instr, pc, lanes, mask, aux,
+                            self._forms_to_caps(f1, meta_f), None)
+            # Inline write_cap_raw: per-lane alignment and range were
+            # verified in the address loop above, so _check cannot fire.
+            tags = memory._tags
+            tags_add = tags.add
+            tags_discard = tags.discard
+            for j, lane in enumerate(lanes):
+                m2 = metas2[lane]
+                index = addrs[j] >> 2
+                words[index] = addrs2[lane] & MASK32
+                words[index + 1] = m2 & MASK32
+                if m2 > MASK32:
+                    tags_add(index)
+                    tags_add(index + 1)
+                else:
+                    tags_discard(index)
+                    tags_discard(index + 1)
+            self._mem_timing_addrs(op, addrs, width, True, warp, lanes)
+            sm._advance(warp, lanes, pc + 4)
+            return
+        if op is Op.CLC:
+            # Inline read_cap_raw (pre-verified _check, split hi/lo reads
+            # as in the affine path).
+            get = words.get
+            tags = memory._tags
+            out = [0] * num_lanes
+            out_metas = [0] * num_lanes
+            tagged = False
+            if lane_perms is None:
+                strip = not (perms & _P_LOAD_CAP)
+                for j, lane in enumerate(lanes):
+                    index = addrs[j] >> 2
+                    hi = get(index + 1, 0)
+                    if not strip and index in tags and index + 1 in tags:
+                        tagged = True
+                        out_metas[lane] = hi | (1 << 32)
+                    else:
+                        out_metas[lane] = hi
+                    out[lane] = get(index, 0)
+            else:
+                for j, lane in enumerate(lanes):
+                    index = addrs[j] >> 2
+                    hi = get(index + 1, 0)
+                    if (lane_perms[lane] & _P_LOAD_CAP) and \
+                            index in tags and index + 1 in tags:
+                        tagged = True
+                        out_metas[lane] = hi | (1 << 32)
+                    else:
+                        out_metas[lane] = hi
+                    out[lane] = get(index, 0)
+            self._write_rd_raw(warp, instr.rd, out, mask, out_metas, tagged)
+            self._mem_timing_addrs(op, addrs, width, False, warp, lanes)
+            sm._advance(warp, lanes, pc + 4)
+            return
+        if is_store:
+            f2 = self._gp_form(warp, instr.rs2)
+            values = _expand(f2, num_lanes)
+            discard = memory._tags.discard
+            if width < 4:
+                # Sub-word read-modify-write in lane order.
+                get = words.get
+                wbits = width * 8
+                vmask = (1 << wbits) - 1
+                for j, lane in enumerate(lanes):
+                    a = addrs[j]
+                    index = a >> 2
+                    shift = (a & 3) * 8
+                    m = vmask << shift
+                    words[index] = (get(index, 0) & ~m) | \
+                        ((values[lane] & vmask) << shift)
+                    discard(index)
+            else:
+                for j, lane in enumerate(lanes):
+                    index = addrs[j] >> 2
+                    words[index] = values[lane] & MASK32
+                    discard(index)
+            self._mem_timing_addrs(op, addrs, width, True, warp, lanes)
+            sm._advance(warp, lanes, pc + 4)
+            return
+        get = words.get
+        out = [0] * num_lanes
+        if width < 4:
+            wbits = width * 8
+            vmask = (1 << wbits) - 1
+            sbit = 1 << (wbits - 1)
+            for j, lane in enumerate(lanes):
+                a = addrs[j]
+                value = (get(a >> 2, 0) >> ((a & 3) * 8)) & vmask
+                if signed and value & sbit:
+                    value -= 1 << wbits
+                out[lane] = value & MASK32
+        else:
+            for j, lane in enumerate(lanes):
+                out[lane] = get(addrs[j] >> 2, 0)
+        sm._write_rd(warp, instr.rd, out, mask)
+        self._mem_timing_addrs(op, addrs, width, False, warp, lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _mem_timing_addrs(self, op, addrs, width, is_write, warp, lanes):
+        """Timing for an explicit active-lane address list: the general
+        path's equivalent of ``sm._memory_access`` (same stats, same DRAM
+        request order)."""
+        sm = self.sm
+        if sm.probes is not None:
+            sm._memory_access(
+                op, [(lanes[j], addrs[j], width)
+                     for j in range(len(addrs))], warp, is_write)
+            return
+        cfg = sm.cfg
+        lo = min(addrs)
+        hi = max(addrs)
+        scratchpad = sm.scratchpad
+        sp_base = scratchpad.base
+        sp_end = sp_base + scratchpad.size_bytes
+        if sp_base <= lo and hi < sp_end:
+            conflicts = scratchpad.conflict_cycles(addrs)
+            sm._extra_issue += conflicts
+            stats = sm.stats
+            stats.stall_bank_conflict += conflicts
+            stats.scratchpad_accesses += len(addrs)
+            ready = sm._cycle + cfg.scratchpad_latency
+            if ready > sm._mem_ready:
+                sm._mem_ready = ready
+            if width == 8:
+                sm._extra_issue += 1
+            return
+        line_bytes = cfg.dram_line_bytes
+        stack = sm.stack_cache
+        if (hi + width > sp_base and lo < sp_end) or \
+                (stack is not None and hi + width > stack.base and
+                 lo < stack.base + stack.size_bytes) or \
+                line_bytes % width:
+            # Mixed scratchpad/global, stateful stack cache, or lines the
+            # alignment guard cannot rule out straddling: reference path.
+            sm._memory_access(
+                op, [(lanes[j], addrs[j], width)
+                     for j in range(len(addrs))], warp, is_write)
+            return
+        writes_tag = is_write and op is Op.CSC
+        sm._mem_ready = self._charge_lines(
+            sm._cycle, sorted({a // line_bytes for a in addrs}), line_bytes,
+            is_write, writes_tag, sm._mem_ready)
+        if width == 8:
+            sm._extra_issue += 1
+
+    def _memory_fallback(self, warp, instr, pc, lanes, mask, aux, f1,
+                         meta_f):
+        """Reference-path memory semantics from already-read operands."""
+        if meta_f is None:
+            bases = _expand(f1, self.sm._num_lanes)
+            return self._memory_core(warp, instr, pc, lanes, mask, aux,
+                                     None, bases)
+        return self._memory_core(warp, instr, pc, lanes, mask, aux,
+                                 self._forms_to_caps(f1, meta_f), None)
+
+    def _fast_mem_timing(self, op, addr0, stride, width, n, is_write, warp):
+        """O(1)-per-line equivalent of ``sm._memory_access`` for a
+        wrap-free affine access stream (same stats, same DRAM order)."""
+        sm = self.sm
+        if sm.probes is not None:
+            # The probe bus sees one mem_txn event per coalesced line;
+            # keep the reference path authoritative for observed runs.
+            return self._materialised_timing(op, addr0, stride, width, n,
+                                             is_write, warp)
+        cfg = sm.cfg
+        span = (n - 1) * stride
+        lo = addr0 + (span if stride < 0 else 0)
+        hi = addr0 + (span if stride > 0 else 0)
+        scratchpad = sm.scratchpad
+        sp_base = scratchpad.base
+        sp_end = sp_base + scratchpad.size_bytes
+        if sp_base <= lo and hi < sp_end:
+            # Entirely in scratchpad (the lane range is an interval).
+            if stride == 0 or \
+                    (stride in (4, -4) and n <= scratchpad.num_banks):
+                conflicts = 0
+            else:
+                conflicts = scratchpad.conflict_cycles(
+                    [addr0 + i * stride for i in range(n)])
+            sm._extra_issue += conflicts
+            sm.stats.stall_bank_conflict += conflicts
+            sm.stats.scratchpad_accesses += n
+            ready = sm._cycle + cfg.scratchpad_latency
+            if ready > sm._mem_ready:
+                sm._mem_ready = ready
+            if width == 8:
+                sm._extra_issue += 1
+            return
+        if hi + width > sp_base and lo < sp_end:
+            # Some lane may touch the scratchpad: reference path.
+            return self._materialised_timing(op, addr0, stride, width, n,
+                                             is_write, warp)
+        stack = sm.stack_cache
+        if stack is not None and hi + width > stack.base and \
+                lo < stack.base + stack.size_bytes:
+            # The stack cache is stateful (tags, writebacks): any
+            # overlap goes through the reference path.
+            return self._materialised_timing(op, addr0, stride, width, n,
+                                             is_write, warp)
+        line_bytes = cfg.dram_line_bytes
+        if stride > line_bytes or -stride > line_bytes:
+            # Lanes can skip whole lines: coalescing is no longer a
+            # contiguous range.
+            return self._materialised_timing(op, addr0, stride, width, n,
+                                             is_write, warp)
+        first = lo // line_bytes
+        last = (hi + width - 1) // line_bytes
+        writes_tag = is_write and op is Op.CSC
+        sm._mem_ready = self._charge_lines(
+            sm._cycle, range(first, last + 1), line_bytes,
+            is_write, writes_tag, sm._mem_ready)
+        if width == 8:
+            sm._extra_issue += 1
+
+    def _materialised_timing(self, op, addr0, stride, width, n, is_write,
+                             warp):
+        accesses = [(i, (addr0 + i * stride) & MASK32, width)
+                    for i in range(n)]
+        self.sm._memory_access(op, accesses, warp, is_write)
+
+    def _charge_lines(self, cycle, lines, line_bytes, is_write, writes_tag,
+                      mem_ready):
+        """Per-line tag + DRAM accounting with the model calls unrolled.
+
+        Bit-identical to calling ``tag_controller.access`` followed by
+        ``dram.request(cycle, is_write, line_bytes)`` for each line in
+        order (the per-call bodies are replicated here with their state
+        hoisted into locals, because gather-heavy kernels touch one line
+        per lane and the call overhead dominates).  Returns the updated
+        memory-ready bound.
+        """
+        sm = self.sm
+        dram = sm.dram
+        latency = dram.latency
+        cpt = dram.cycles_per_txn
+        dstats = dram.stats
+        next_free = dram._next_free
+        slots = max(1, -(-line_bytes // dram.line_bytes))
+        step = slots * cpt
+        txns = 0
+        enable_cheri = sm.cfg.enable_cheri
+        if enable_cheri:
+            tag = sm.tag_controller
+            dirty = tag._dirty_regions
+            tcache = tag._cache
+            cache_lines = tag.cache_lines
+            tag_line_words = tag.line_words
+            region_words = tag.region_words
+            tag_bytes = tag_line_words // 8
+            tag_slots = max(1, -(-tag_bytes // dram.line_bytes))
+            tag_step = tag_slots * cpt
+            tag_txns = 0
+            hits = 0
+            misses = 0
+            skips = 0
+        for line in lines:
+            if enable_cheri:
+                word = (line * line_bytes) >> 2
+                if writes_tag:
+                    dirty.add(word // region_words)
+                    check = True
+                elif word // region_words in dirty:
+                    check = True
+                else:
+                    skips += 1
+                    check = False
+                if check:
+                    tline = word // tag_line_words
+                    index = tline % cache_lines
+                    if tcache.get(index) == tline:
+                        hits += 1
+                    else:
+                        misses += 1
+                        tcache[index] = tline
+                        # dram.request(cycle, False, tag_bytes,
+                        #              tag_traffic=True)
+                        start = cycle if cycle > next_free else next_free
+                        next_free = start + tag_step
+                        tag_txns += tag_slots
+                        done = next_free + latency
+                        if done > mem_ready:
+                            mem_ready = done
+            # dram.request(cycle, is_write, line_bytes)
+            start = cycle if cycle > next_free else next_free
+            next_free = start + step
+            txns += slots
+            done = next_free + latency
+            if done > mem_ready:
+                mem_ready = done
+        dram._next_free = next_free
+        n = len(lines)
+        if is_write:
+            dstats.write_txns += txns
+            dstats.write_bytes += n * line_bytes
+        else:
+            dstats.read_txns += txns
+            dstats.read_bytes += n * line_bytes
+        if enable_cheri:
+            tag.hits += hits
+            tag.misses += misses
+            tag.zero_region_skips += skips
+            if tag_txns:
+                dstats.read_txns += tag_txns
+                read_bytes = misses * tag_bytes
+                dstats.read_bytes += read_bytes
+                dstats.tag_bytes += read_bytes
+        return mem_ready
+
+    # ------------------------------------------------------------------
+    # CHERI non-memory
+    # ------------------------------------------------------------------
+
+    def _v_cget(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, slow = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        meta_f = self._meta_form(warp, instr.rs1)
+        uniform_meta = type(meta_f) is _Scalar and meta_f.stride == 0
+        full = mask == sm._full_mask
+        value = None
+        out = None
+        if type(f1) is _Scalar:
+            if f1.stride == 0 and uniform_meta:
+                m = meta_f.base
+                cap = Capability.from_meta_word(m & MASK32, f1.base,
+                                               m > MASK32)
+                value = fn(cap) & MASK32
+            elif fn is _FN_CGETADDR and full:
+                out = _Scalar(f1.base, f1.stride)
+        if value is None and out is None and uniform_meta and \
+                fn in _META_ONLY_CGET:
+            m = meta_f.base
+            cap = Capability.from_meta_word(m & MASK32, 0, m > MASK32)
+            value = fn(cap) & MASK32
+        if value is not None:
+            if full:
+                self._write_rd_form(warp, instr.rd, _Scalar(value, 0))
+            else:
+                sm._write_rd(warp, instr.rd, [value] * sm._num_lanes, mask)
+        elif out is not None:
+            self._write_rd_form(warp, instr.rd, out)
+        else:
+            return self._cget_core(warp, instr, pc, lanes, mask, fn, slow,
+                                   self._forms_to_caps(f1, meta_f))
+        if slow:
+            sm._sfu_cheri_issue(lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _v_crr(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, slow = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        num_lanes = sm._num_lanes
+        full = mask == sm._full_mask
+        if type(f1) is _Scalar and f1.stride == 0:
+            if full:
+                self._write_rd_form(warp, instr.rd,
+                                    _Scalar(fn(f1.base) & MASK32, 0))
+            else:
+                sm._write_rd(warp, instr.rd,
+                             [fn(f1.base)] * num_lanes, mask)
+        else:
+            a = _expand(f1, num_lanes)
+            if full:
+                values = [fn(a[i]) & MASK32 for i in range(num_lanes)]
+            else:
+                values = [0] * num_lanes
+                for lane in lanes:
+                    values[lane] = fn(a[lane])
+            sm._write_rd(warp, instr.rd, values, mask)
+        if slow:
+            sm._sfu_cheri_issue(lanes)
+        sm._advance(warp, lanes, pc + 4)
+
+    def _write_rd_cap_any(self, warp, reg, gp_form, mask, full, meta_val,
+                          tagged):
+        """Write a capability result with uniform metadata under any mask
+        (full masks write forms, partial masks merge lane lists)."""
+        if full:
+            self._write_rd_cap_form(warp, reg, gp_form, meta_val)
+            return
+        num_lanes = self.sm._num_lanes
+        self._write_rd_raw(warp, reg, _expand(gp_form, num_lanes), mask,
+                           [meta_val] * num_lanes, tagged)
+
+    def _v_cmod1(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        meta_f = self._meta_form(warp, instr.rs1)
+        full = mask == sm._full_mask
+        if type(meta_f) is _Scalar and meta_f.stride == 0 and \
+                type(f1) is _Scalar:
+            m = meta_f.base
+            if fn is _FN_CMOVE:
+                self._write_rd_cap_any(warp, instr.rd,
+                                       _Scalar(f1.base, f1.stride),
+                                       mask, full, m, m > MASK32)
+                sm._advance(warp, lanes, pc + 4)
+                return
+            if fn is _FN_CCLEARTAG:
+                self._write_rd_cap_any(warp, instr.rd,
+                                       _Scalar(f1.base, f1.stride),
+                                       mask, full, m & MASK32, False)
+                sm._advance(warp, lanes, pc + 4)
+                return
+            if f1.stride == 0:
+                cap = fn(Capability.from_meta_word(m & MASK32, f1.base,
+                                                   m > MASK32))
+                self._write_rd_cap_any(
+                    warp, instr.rd, _Scalar(cap.addr & MASK32, 0),
+                    mask, full, cap.meta_word() | (cap.tag << 32), cap.tag)
+                sm._advance(warp, lanes, pc + 4)
+                return
+        return self._cmod1_core(warp, instr, pc, lanes, mask, fn,
+                                self._forms_to_caps(f1, meta_f))
+
+    def _v_cmod2(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, slow = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        meta_f = self._meta_form(warp, instr.rs1)
+        f2 = self._gp_form(warp, instr.rs2)
+        full = mask == sm._full_mask
+        if type(f1) is _Scalar and type(f2) is _Scalar and \
+                type(meta_f) is _Scalar and meta_f.stride == 0:
+            m = meta_f.base
+            if f1.stride == 0 and f2.stride == 0:
+                # Uniform address math: try the k-window check first — a
+                # same-window move keeps the metadata word bit-identical,
+                # so no Capability needs decoding at all.
+                if fn is _FN_CINCOFFSET or fn is _FN_CSETADDR:
+                    nb = ((f1.base + f2.base if fn is _FN_CINCOFFSET
+                           else f2.base) & MASK32)
+                    res = self._uniform_addr_meta(m, f1.base, nb)
+                    if res is not None:
+                        self._write_rd_cap_any(warp, instr.rd,
+                                               _Scalar(nb, 0), mask, full,
+                                               res[0], res[1])
+                        if slow:
+                            sm._sfu_cheri_issue(lanes)
+                        sm._advance(warp, lanes, pc + 4)
+                        return
+                cap = fn(Capability.from_meta_word(m & MASK32, f1.base,
+                                                   m > MASK32), f2.base)
+                self._write_rd_cap_any(
+                    warp, instr.rd, _Scalar(cap.addr & MASK32, 0),
+                    mask, full, cap.meta_word() | (cap.tag << 32), cap.tag)
+                if slow:
+                    sm._sfu_cheri_issue(lanes)
+                sm._advance(warp, lanes, pc + 4)
+                return
+            if not full:
+                ok = False
+            elif fn is _FN_CINCOFFSET:
+                ok = self._set_addr_window(
+                    warp, instr.rd, m, f1,
+                    f1.base + f2.base, f1.stride + f2.stride)
+            elif fn is _FN_CSETADDR:
+                ok = self._set_addr_window(warp, instr.rd, m, f1,
+                                           f2.base, f2.stride)
+            else:
+                ok = False
+            if ok:
+                if slow:
+                    sm._sfu_cheri_issue(lanes)
+                sm._advance(warp, lanes, pc + 4)
+                return
+        return self._cmod2_core(warp, instr, pc, lanes, mask, fn, slow,
+                                self._forms_to_caps(f1, meta_f),
+                                _expand(f2, sm._num_lanes))
+
+    def _v_cimm(self, warp, instr, pc, lanes, mask, aux):
+        sm = self.sm
+        fn, imm, slow = aux
+        f1 = self._gp_form(warp, instr.rs1)
+        meta_f = self._meta_form(warp, instr.rs1)
+        full = mask == sm._full_mask
+        if type(f1) is _Scalar and type(meta_f) is _Scalar and \
+                meta_f.stride == 0:
+            m = meta_f.base
+            if f1.stride == 0:
+                if fn is _FN_CINCOFFSETIMM:
+                    nb = (f1.base + imm) & MASK32
+                    res = self._uniform_addr_meta(m, f1.base, nb)
+                    if res is not None:
+                        self._write_rd_cap_any(warp, instr.rd,
+                                               _Scalar(nb, 0), mask, full,
+                                               res[0], res[1])
+                        if slow:
+                            sm._sfu_cheri_issue(lanes)
+                        sm._advance(warp, lanes, pc + 4)
+                        return
+                cap = fn(Capability.from_meta_word(m & MASK32, f1.base,
+                                                   m > MASK32), imm)
+                self._write_rd_cap_any(
+                    warp, instr.rd, _Scalar(cap.addr & MASK32, 0),
+                    mask, full, cap.meta_word() | (cap.tag << 32), cap.tag)
+                if slow:
+                    sm._sfu_cheri_issue(lanes)
+                sm._advance(warp, lanes, pc + 4)
+                return
+            if full and fn is _FN_CINCOFFSETIMM and self._set_addr_window(
+                    warp, instr.rd, m, f1, f1.base + imm, f1.stride):
+                if slow:
+                    sm._sfu_cheri_issue(lanes)
+                sm._advance(warp, lanes, pc + 4)
+                return
+        return self._cimm_core(warp, instr, pc, lanes, mask, fn, imm, slow,
+                               self._forms_to_caps(f1, meta_f))
+
+    def _uniform_addr_meta(self, meta_val, old_addr, new_addr):
+        """Result (meta word incl. tag bit, tag) of a uniform
+        setAddr/incOffset, or None when the move leaves the *k*-window
+        (the exact Capability path must decide representability).
+
+        Mirrors :meth:`_set_addr_window`'s three cases for a single
+        address: untagged keeps meta and (cleared) tag; sealed keeps the
+        meta word but clears the tag; tagged-unsealed keeps everything
+        when old and new address share one *k*-window.
+        """
+        tag, otype, _perms, _bounds, exp, r = self._cap_info(meta_val)
+        if not tag:
+            return meta_val, False
+        if otype != 0:
+            return meta_val & MASK32, False
+        if ((old_addr >> exp) - r) >> 8 != ((new_addr >> exp) - r) >> 8:
+            return None
+        return meta_val, True
+
+    def _set_addr_window(self, warp, rd, meta_val, ref_form, new_base,
+                         new_stride):
+        """setAddr/incOffset across all lanes via the *k*-window.
+
+        ``ref_form`` holds the per-lane reference addresses; the new
+        addresses are ``new_base + i*new_stride`` (pre-mod).  When every
+        lane's reference and new address share one *k*-window, each
+        lane's bounds decode is unchanged, so every lane stays
+        representable with an unchanged metadata word — no per-lane
+        Capability is needed.  Returns True when the fast path applied
+        (result written), False to fall back to the exact per-lane path.
+        """
+        sm = self.sm
+        num_lanes = sm._num_lanes
+        out = _affine(new_base, new_stride, num_lanes)
+        if out is None:
+            return False
+        tag, otype, _perms, _bounds, exp, r = self._cap_info(meta_val)
+        if not tag:
+            # Untagged: set_addr keeps the (cleared) tag and meta word.
+            self._write_rd_cap_form(warp, rd, out, meta_val)
+            return True
+        if otype != 0:
+            # Sealed capabilities are address-immutable: tag cleared,
+            # meta word kept.
+            self._write_rd_cap_form(warp, rd, out, meta_val & MASK32)
+            return True
+        span_ref = (num_lanes - 1) * ref_form.stride
+        ref_lo = ref_form.base + (span_ref if ref_form.stride < 0 else 0)
+        ref_hi = ref_form.base + (span_ref if ref_form.stride > 0 else 0)
+        span_new = (num_lanes - 1) * out.stride
+        new_lo = out.base + (span_new if out.stride < 0 else 0)
+        new_hi = out.base + (span_new if out.stride > 0 else 0)
+        if ref_lo < 0 or ref_hi > MASK32 or new_lo < 0 or new_hi > MASK32:
+            return False
+        k = ((ref_lo >> exp) - r) >> 8
+        if (((ref_hi >> exp) - r) >> 8) != k or \
+                (((new_lo >> exp) - r) >> 8) != k or \
+                (((new_hi >> exp) - r) >> 8) != k:
+            return False
+        self._write_rd_cap_form(warp, rd, out, meta_val)
+        return True
+
+    # ------------------------------------------------------------------
+    # Scheduler: solo-warp run-ahead + hot-trace regions
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles):
+        sm = self.sm
+        if sm.probes is not None or sm.trace is not None:
+            # Observed runs take the reference loop so idle probes, issue
+            # events and trace records appear exactly as in the scalar
+            # backend (the handlers themselves stay vectorized).
+            return ScalarBackend.run(self, max_cycles)
+        from repro.simt.pipeline import KernelAbort, SoftwareTrap
+
+        # Hoisted per-issue state for the quiet issue path below.
+        cfg = sm.cfg
+        stats = sm.stats
+        program = sm.program
+        program_len = len(program)
+        decoded = sm._decoded
+        num_lanes = sm._num_lanes
+        all_lanes = sm._all_lanes
+        full_mask = sm._full_mask
+        enable_cheri = cfg.enable_cheri
+        dynamic_pcc = sm._dynamic_pcc
+        shared_vrf = cfg.shared_vrf
+        single_port = cfg.metadata_srf_single_port
+        depth = cfg.pipeline_depth
+        gp = sm.gp
+        meta = sm.meta
+        gp_pool = getattr(gp, "pool", None)
+        gp_counts = gp_pool._counts if gp_pool is not None else None
+        meta_pool = getattr(meta, "pool", None) if meta is not None else None
+        meta_counts = meta_pool._counts if meta_pool is not None else None
+        pcc_cache = sm._pcc_cache
+        select = sm._select_threads
+        check_pcc = sm._check_pcc
+        regions = self._regions
+        regions_get = regions.get
+        hot = self._hot
+        hot_get = hot.get
+
+        # Issue counters are accumulated in plain ints / a per-instruction
+        # list and flushed to the stats object in the finally block below,
+        # so the hot loop never hashes an Op enum.  The flush runs on
+        # faults and aborts too, keeping stats bit-identical to the
+        # per-issue accounting at the point the exception escapes.
+        icounts = [0] * program_len
+        thread_acc = 0
+        gp_occ_acc = 0
+        meta_occ_acc = 0
+        gp_count_get = gp_counts.get if gp_counts is not None else None
+        meta_count_get = meta_counts.get if meta_counts is not None else None
+
+        def issue_quiet(warp, cycle):
+            # issue() minus the probe/trace plumbing (both are None on
+            # this path) and with the per-issue constants hoisted into
+            # cells; bit-identical stats, faults and scheduling.
+            nonlocal thread_acc, gp_occ_acc, meta_occ_acc
+            halted = warp.halted
+            if True in halted:
+                pc, lanes = select(warp)
+                if pc is None:
+                    warp.done = True
+                    warp.ready_at = _FAR_FUTURE
+                    return cycle
+            else:
+                pcs = warp.pcs
+                pc = pcs[0]
+                if pcs.count(pc) == num_lanes and (
+                        not dynamic_pcc or
+                        warp.pcc_meta.count(warp.pcc_meta[0]) == num_lanes):
+                    lanes = all_lanes
+                else:
+                    pc, lanes = select(warp)
+            index = pc >> 2
+            if not 0 <= index < program_len:
+                raise SoftwareTrap(
+                    "instruction fetch from unmapped pc 0x%x" % pc,
+                    thread=warp.index * num_lanes + lanes[0], pc=pc)
+            if enable_cheri:
+                cached = pcc_cache.get(warp.pcc_meta[lanes[0]])
+                if cached is None or not cached[2] or \
+                        not (cached[0] <= pc and pc + 4 <= cached[1]):
+                    # Populate the decode cache, or raise the precise
+                    # PCC fetch fault.
+                    check_pcc(warp, pc, lanes)
+            if lanes is all_lanes:
+                # Hot-trace barrel entry: a converged warp at the start
+                # of a compiled straight-line region queues the rest of
+                # the region's pre-decoded steps.  The scheduler then
+                # feeds it one step per issue slot via step_quiet below,
+                # preserving the exact round-robin interleave while
+                # skipping the selection, fetch and per-instruction PCC
+                # checks (hoisted here: the cached PCC decode must cover
+                # the whole region, and regions contain no control flow,
+                # halts or barriers, so convergence is preserved).
+                steps = regions_get(index)
+                if steps:
+                    if enable_cheri:
+                        c = pcc_cache.get(warp.pcc_meta[0])
+                        if c is not None and c[2] and c[0] <= pc and \
+                                steps[-1][0] + 4 <= c[1]:
+                            warp.rq = [steps, 1]
+                    else:
+                        warp.rq = [steps, 1]
+                elif steps is None:
+                    count = hot_get(index, 0) + 1
+                    hot[index] = count
+                    if count == _HOT_THRESHOLD:
+                        regions[index] = self._build_region(index)
+            instr = program[index]
+            sm._cycle = cycle
+            sm._mem_ready = cycle
+            sm._extra_issue = 0
+            sm._gp_vec_touch = False
+            sm._meta_vec_touch = False
+            if lanes is all_lanes:
+                mask = full_mask
+            else:
+                mask = 0
+                for lane in lanes:
+                    mask |= 1 << lane
+            handler, aux = decoded[index]
+            handler(warp, instr, pc, lanes, mask, aux)
+            extra = sm._extra_issue
+            if shared_vrf and sm._gp_vec_touch and sm._meta_vec_touch:
+                extra += 1
+                stats.stall_shared_vrf += 1
+            if single_port and instr.op is Op.CSC:
+                extra += 1
+                stats.stall_csc_operand += 1
+            icounts[index] += 1
+            thread_acc += len(lanes)
+            completion = cycle + depth
+            if sm._mem_ready > completion:
+                completion = sm._mem_ready
+            warp.ready_at = completion
+            if halted[0] and all(halted):
+                warp.done = True
+                warp.ready_at = _FAR_FUTURE
+            width = 1 + extra
+            if gp_count_get is not None:
+                gp_occ_acc += gp_count_get(gp, 0) * width
+            if meta_count_get is not None:
+                meta_occ_acc += meta_count_get(meta, 0) * width
+            return cycle + width
+
+        def step_quiet(warp, cycle, rq):
+            # One pre-decoded region step: selection, convergence,
+            # fetch-range and PCC checks were hoisted to region entry in
+            # issue_quiet and stay valid because regions are
+            # straight-line (no control flow, halts or barriers).
+            # Accounting is bit-identical to issue_quiet's.
+            nonlocal thread_acc, gp_occ_acc, meta_occ_acc
+            steps = rq[0]
+            i = rq[1]
+            pc, instr, handler, aux, is_csc, op = steps[i]
+            sm._cycle = cycle
+            sm._mem_ready = cycle
+            sm._extra_issue = 0
+            sm._gp_vec_touch = False
+            sm._meta_vec_touch = False
+            handler(warp, instr, pc, all_lanes, full_mask, aux)
+            extra = sm._extra_issue
+            if shared_vrf and sm._gp_vec_touch and sm._meta_vec_touch:
+                extra += 1
+                stats.stall_shared_vrf += 1
+            if single_port and is_csc:
+                extra += 1
+                stats.stall_csc_operand += 1
+            icounts[pc >> 2] += 1
+            thread_acc += num_lanes
+            completion = cycle + depth
+            if sm._mem_ready > completion:
+                completion = sm._mem_ready
+            warp.ready_at = completion
+            i += 1
+            if i >= len(steps):
+                warp.rq = None
+            else:
+                rq[1] = i
+            width = 1 + extra
+            if gp_count_get is not None:
+                gp_occ_acc += gp_count_get(gp, 0) * width
+            if meta_count_get is not None:
+                meta_occ_acc += meta_count_get(meta, 0) * width
+            return cycle + width
+
+        cycle = 0
+        rotation = 0
+        warps = sm.warps
+        for w in warps:
+            w.rq = None  # stale queues from an aborted or prior program
+        count = len(warps)
+        live = count
+        issue = issue_quiet
+        try:
+            while live:
+                # done warps park at ready_at == _FAR_FUTURE, so the
+                # ready check alone filters them; in_barrier warps keep
+                # their issue-completion ready_at and need the flag.
+                if rotation >= count:
+                    rotation = 0
+                picked = None
+                for i in range(rotation, count):
+                    warp = warps[i]
+                    if warp.ready_at <= cycle and not warp.in_barrier:
+                        picked = warp
+                        break
+                if picked is None:
+                    for i in range(rotation):
+                        warp = warps[i]
+                        if warp.ready_at <= cycle and not warp.in_barrier:
+                            picked = warp
+                            break
+                if picked is None:
+                    next_ready = _FAR_FUTURE
+                    for w in warps:
+                        if not w.done and not w.in_barrier and \
+                                w.ready_at < next_ready:
+                            next_ready = w.ready_at
+                    if next_ready == _FAR_FUTURE:
+                        raise KernelAbort(
+                            "deadlock: all warps blocked on a barrier",
+                            cycle)
+                    cycle = max(cycle + 1, next_ready)
+                    continue
+                rotation = picked.index + 1
+                rq = picked.rq
+                if rq is not None:
+                    cycle = step_quiet(picked, cycle, rq)
+                else:
+                    cycle = issue(picked, cycle)
+                if cycle > max_cycles:
+                    raise KernelAbort("cycle limit exceeded", cycle)
+                if picked.done:
+                    live -= 1
+                    continue
+                if picked.in_barrier:
+                    continue
+                # Run-ahead: while every other runnable warp is blocked
+                # strictly beyond this warp's next issue slot, the barrel
+                # scheduler can only pick this warp again (its rotation
+                # slot scans it last, so ties go to the other warps).
+                # The scan stops at the first other warp ready at or
+                # before this warp's next slot: only whether the minimum
+                # clears that slot matters, not its exact value, and in
+                # the busy multi-warp case that first warp appears within
+                # a couple of probes.
+                epoch = sm._sched_epoch
+                ready = picked.ready_at
+                nxt = cycle if cycle >= ready else ready
+                others = _FAR_FUTURE
+                for w in warps:
+                    if w is not picked and not w.done and \
+                            not w.in_barrier:
+                        ra = w.ready_at
+                        if ra <= nxt:
+                            others = ra
+                            break
+                        if ra < others:
+                            others = ra
+                while True:
+                    ready = picked.ready_at
+                    nxt = cycle if cycle >= ready else ready
+                    if nxt >= others:
+                        break
+                    cycle = nxt
+                    rq = picked.rq
+                    if rq is not None:
+                        # Solo: drain the queued region back-to-back
+                        # instead of one step per slot.
+                        picked.rq = None
+                        steps = rq[0][rq[1]:]
+                    else:
+                        steps = self._region_at(picked)
+                    if steps is not None:
+                        cycle = self._run_region(picked, steps, cycle,
+                                                 others, max_cycles,
+                                                 KernelAbort, icounts)
+                        continue
+                    cycle = issue(picked, cycle)
+                    if cycle > max_cycles:
+                        raise KernelAbort("cycle limit exceeded", cycle)
+                    if picked.done:
+                        live -= 1
+                        break
+                    if picked.in_barrier:
+                        break
+                    if sm._sched_epoch != epoch:
+                        # A barrier release changed other warps' state.
+                        epoch = sm._sched_epoch
+                        others = _FAR_FUTURE
+                        for w in warps:
+                            if w is not picked and not w.done and \
+                                    not w.in_barrier and \
+                                    w.ready_at < others:
+                                others = w.ready_at
+        except (CapabilityFault, SoftwareTrap):
+            if self.fault_cycle is None:
+                self.fault_cycle = cycle
+            raise
+        finally:
+            opcode_counts = stats.opcode_counts
+            issued = 0
+            for idx in range(program_len):
+                c = icounts[idx]
+                if c:
+                    opcode_counts[program[idx].op] += c
+                    issued += c
+            stats.instrs_issued += issued
+            stats.thread_instrs += thread_acc
+            stats.gp_vrf_occupancy_integral += gp_occ_acc
+            stats.meta_vrf_occupancy_integral += meta_occ_acc
+        return cycle
+
+    def _region_at(self, warp):
+        """The fused step list starting at this warp's PC, or None.
+
+        Only fully-safe entries return steps: no halted lane, full-mask
+        convergence (PC and, under dynamic PCC, metadata), a known hot
+        straight-line region, and a PCC whose cached decode covers the
+        whole region so the per-instruction fetch checks can be hoisted
+        without changing fault behaviour.
+        """
+        if True in warp.halted:
+            return None
+        sm = self.sm
+        pcs = warp.pcs
+        pc0 = pcs[0]
+        num_lanes = sm._num_lanes
+        if pcs.count(pc0) != num_lanes:
+            return None
+        if sm._dynamic_pcc:
+            metas = warp.pcc_meta
+            if metas.count(metas[0]) != num_lanes:
+                return None
+        index = pc0 >> 2
+        regions = self._regions
+        steps = regions.get(index)
+        if not steps:
+            if steps is not None:
+                return None  # known non-region start (empty sentinel)
+            if not 0 <= index < len(sm.program):
+                return None  # issue() raises the unmapped-fetch trap
+            hot = self._hot
+            count = hot.get(index, 0) + 1
+            hot[index] = count
+            if count != _HOT_THRESHOLD:
+                return None
+            steps = self._build_region(index)
+            regions[index] = steps
+            if not steps:
+                return None
+        if sm.cfg.enable_cheri:
+            cached = sm._pcc_cache.get(warp.pcc_meta[0])
+            if cached is None:
+                return None  # first fetch populates the cache via issue()
+            base, top, ok_perms = cached
+            if not ok_perms or not (base <= pc0
+                                    and steps[-1][0] + 4 <= top):
+                return None  # the per-instruction check faults precisely
+        return steps
+
+    def _build_region(self, index):
+        """Compile the straight-line run starting at ``index`` into steps
+        of (pc, instr, handler, aux, is_csc, op), or the empty tuple if
+        too short (stored as a falsy known-non-region sentinel)."""
+        sm = self.sm
+        decoded = sm._decoded
+        program = sm.program
+        steps = []
+        i = index
+        end = min(len(program), index + _MAX_REGION)
+        while i < end:
+            handler, aux = decoded[i]
+            if handler.__func__ in _REGION_STOP:
+                break
+            instr = program[i]
+            steps.append((i << 2, instr, handler, aux,
+                          instr.op is Op.CSC, instr.op))
+            i += 1
+        return steps if len(steps) >= 2 else ()
+
+    def _run_region(self, warp, steps, cycle, others, max_cycles,
+                    kernel_abort, icounts):
+        """Execute fused region steps back-to-back for a solo warp.
+
+        Replays the exact per-issue accounting of :meth:`issue` minus the
+        hoisted selection and fetch checks.  Stops at the region end or
+        as soon as the next issue slot would no longer be solo.  Returns
+        the cycle after the last consumed issue slot.  Per-instruction
+        issue counts go into the caller's ``icounts`` list (flushed to
+        the stats object by :meth:`run`); thread counts are flushed here
+        so a fault mid-region leaves the same stats as per-issue
+        accounting would.
+        """
+        sm = self.sm
+        stats = sm.stats
+        cfg = sm.cfg
+        depth = cfg.pipeline_depth
+        shared_vrf = cfg.shared_vrf
+        single_port = cfg.metadata_srf_single_port
+        lanes = sm._all_lanes
+        mask = sm._full_mask
+        num_lanes = sm._num_lanes
+        gp = sm.gp
+        meta = sm.meta
+        gp_pool = getattr(gp, "pool", None)
+        gp_counts = gp_pool._counts if gp_pool is not None else None
+        meta_pool = getattr(meta, "pool", None) if meta is not None else None
+        meta_counts = meta_pool._counts if meta_pool is not None else None
+        i = 0
+        n = len(steps)
+        done_steps = 0
+        try:
+            while True:
+                pc, instr, handler, aux, is_csc, op = steps[i]
+                sm._cycle = cycle
+                sm._mem_ready = cycle
+                sm._extra_issue = 0
+                sm._gp_vec_touch = False
+                sm._meta_vec_touch = False
+                try:
+                    handler(warp, instr, pc, lanes, mask, aux)
+                except CapabilityFault:
+                    if self.fault_cycle is None:
+                        self.fault_cycle = cycle
+                    raise
+                extra = sm._extra_issue
+                if shared_vrf and sm._gp_vec_touch and sm._meta_vec_touch:
+                    extra += 1
+                    stats.stall_shared_vrf += 1
+                if single_port and is_csc:
+                    extra += 1
+                    stats.stall_csc_operand += 1
+                icounts[pc >> 2] += 1
+                done_steps += 1
+                completion = cycle + depth
+                if sm._mem_ready > completion:
+                    completion = sm._mem_ready
+                warp.ready_at = completion
+                width = 1 + extra
+                if gp_counts is not None:
+                    stats.gp_vrf_occupancy_integral += \
+                        gp_counts.get(gp, 0) * width
+                if meta_counts is not None:
+                    stats.meta_vrf_occupancy_integral += \
+                        meta_counts.get(meta, 0) * width
+                cycle += width
+                if cycle > max_cycles:
+                    raise kernel_abort("cycle limit exceeded", cycle)
+                i += 1
+                if i >= n:
+                    return cycle
+                nxt = cycle if cycle >= completion else completion
+                if nxt >= others:
+                    return cycle
+                cycle = nxt
+        finally:
+            stats.thread_instrs += num_lanes * done_steps
+
+
+def _np_int(key, a, b):
+    """uint32 array evaluation of a two-source integer op (wide SMs)."""
+    np = _np
+    x = np.array(a, dtype=np.uint32)
+    y = np.uint32(b) if type(b) is int else np.array(b, dtype=np.uint32)
+    if key == "add":
+        z = x + y
+    elif key == "sub":
+        z = x - y
+    elif key == "xor":
+        z = x ^ y
+    elif key == "or":
+        z = x | y
+    elif key == "and":
+        z = x & y
+    elif key == "sll":
+        z = x << (y & np.uint32(31))
+    elif key == "srl":
+        z = x >> (y & np.uint32(31))
+    elif key == "sra":
+        z = (x.astype(np.int32)
+             >> np.asarray(y & np.uint32(31)).astype(np.int32)
+             ).astype(np.uint32)
+    elif key == "slt":
+        z = (x.astype(np.int32)
+             < np.asarray(y).astype(np.int32)).astype(np.uint32)
+    elif key == "sltu":
+        z = (x < y).astype(np.uint32)
+    else:  # mul
+        z = x * y
+    return [int(v) for v in z]
+
+
+#: scalar handler function -> vectorized handler method name.
+_VECTOR_FOR = {
+    ScalarBackend._h_int_r: "_v_int_r",
+    ScalarBackend._h_int_i: "_v_int_i",
+    ScalarBackend._h_lui: "_v_lui",
+    ScalarBackend._h_auipc: "_v_auipc",
+    ScalarBackend._h_branch: "_v_branch",
+    ScalarBackend._h_jal: "_v_jal",
+    ScalarBackend._h_jalr: "_v_jalr",
+    ScalarBackend._h_float_rr: "_v_float_rr",
+    ScalarBackend._h_float_unary: "_v_float_unary",
+    ScalarBackend._h_memory: "_v_memory",
+    ScalarBackend._h_cget: "_v_cget",
+    ScalarBackend._h_crr: "_v_crr",
+    ScalarBackend._h_cmod1: "_v_cmod1",
+    ScalarBackend._h_cmod2: "_v_cmod2",
+    ScalarBackend._h_cimm: "_v_cimm",
+}
+
+#: Handlers that end a straight-line region: anything that can change PC
+#: non-sequentially, halt lanes, trap, or reschedule other warps.
+_REGION_STOP = frozenset((
+    ScalarBackend._h_branch,
+    ScalarBackend._h_jal,
+    ScalarBackend._h_jalr,
+    ScalarBackend._h_cjalr,
+    ScalarBackend._h_barrier,
+    ScalarBackend._h_halt,
+    ScalarBackend._h_trap,
+    ScalarBackend._h_unimplemented,
+    VectorBackend._v_branch,
+    VectorBackend._v_jal,
+    VectorBackend._v_jalr,
+))

@@ -61,6 +61,16 @@ class SMConfig:
     #: default, like the paper's evaluation.
     enable_stack_cache: bool = False
 
+    # -- execution backend ---------------------------------------------------
+    #: Which execution backend interprets instructions.  ``"scalar"`` is
+    #: the reference per-lane interpreter; ``"vector"`` executes each
+    #: issued instruction across all lanes at once (symbolic uniform /
+    #: affine forms, NumPy arrays on wide SMs, hot-trace specialisation)
+    #: and is bit-identical to the scalar backend by construction —
+    #: enforced by the equivalence tests and ``repro lockstep``.  The
+    #: default is the fastest backend that preserves bit-identity.
+    backend: str = "vector"
+
     # -- timing constants ----------------------------------------------------
     pipeline_depth: int = 6
     sfu_latency: int = 12
@@ -90,6 +100,9 @@ class SMConfig:
             raise ValueError("SM needs at least one warp and one lane")
         if not 0.0 < self.vrf_fraction <= 1.0:
             raise ValueError("vrf_fraction must be in (0, 1]")
+        if self.backend not in ("scalar", "vector"):
+            raise ValueError("unknown backend %r (choose scalar or vector)"
+                             % (self.backend,))
         features = (self.compress_metadata, self.shared_vrf, self.nvo,
                     self.metadata_srf_single_port, self.sfu_cheri_slow_path,
                     self.static_pc_metadata)

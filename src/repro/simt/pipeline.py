@@ -19,12 +19,13 @@ All CHERI checks (tag, seal, permission, bounds) are enforced exactly; a
 failed check aborts the kernel with a :class:`KernelAbort` carrying the
 precise fault.
 
-Dispatch is decode-cached: at launch every static instruction is decoded
-once into a ``(handler, aux)`` pair — the handler is a bound method for
-the instruction's execution group and ``aux`` carries the pre-resolved
-per-lane function and immediates — so the issue loop never re-classifies
-an opcode.  This changes no simulated statistic; it only removes Python
-interpreter overhead from the hot path.
+Instruction decode and the issue/scheduler loop live in a pluggable
+execution backend (:mod:`repro.simt.backend`), selected by
+``SMConfig.backend``: the ``scalar`` backend interprets per lane (the
+reference semantics), the ``vector`` backend executes each issued
+instruction across all lanes at once.  Both are bit-identical in every
+simulated statistic; the SM keeps the shared plumbing (register files,
+memory system, capability checks) both backends drive.
 """
 
 from repro.cheri.capability import Capability, Perms
@@ -36,21 +37,13 @@ from repro.cheri.exceptions import (
     TagViolation,
 )
 from repro.cheri import concentrate
-from repro.isa.instructions import (
-    ACCESS_WIDTH,
-    AMO_OPS,
-    BRANCH_OPS,
-    CHERI_SLOW_OPS,
-    LOAD_OPS,
-    SFU_OPS,
-    STORE_OPS,
-    Op,
-)
+from repro.isa.instructions import ACCESS_WIDTH, Op
 from repro.memory import DRAMModel, TagController, TaggedMemory
-from repro.simt import alu
-from repro.simt.coalescer import atomic_conflicts, coalesce
+from repro.simt.backend import create_backend
+from repro.simt.coalescer import coalesce
 from repro.simt.config import SMConfig
 from repro.simt.regfile import CompressedRegFile, PlainRegFile, SlotPool
+from repro.simt.regfile.compressed import _NULL_SCALAR, _Scalar
 from repro.simt.scratchpad import Scratchpad
 from repro.simt.sfu import SharedFunctionUnit
 from repro.simt.stackcache import StackCache
@@ -78,92 +71,18 @@ class SoftwareTrap(Exception):
         self.pc = pc
 
 
-_INT_R = {
-    Op.ADD: "add", Op.SUB: "sub", Op.SLL: "sll", Op.SRL: "srl",
-    Op.SRA: "sra", Op.XOR: "xor", Op.OR: "or", Op.AND: "and",
-    Op.SLT: "slt", Op.SLTU: "sltu", Op.MUL: "mul", Op.MULH: "mulh",
-    Op.MULHSU: "mulhsu", Op.MULHU: "mulhu", Op.DIV: "div", Op.DIVU: "divu",
-    Op.REM: "rem", Op.REMU: "remu",
-}
-_INT_I = {
-    Op.ADDI: "add", Op.SLTI: "slt", Op.SLTIU: "sltu", Op.XORI: "xor",
-    Op.ORI: "or", Op.ANDI: "and", Op.SLLI: "sll", Op.SRLI: "srl",
-    Op.SRAI: "sra",
-}
-_FLOAT_RR = {
-    Op.FADD_S: "fadd", Op.FSUB_S: "fsub", Op.FMUL_S: "fmul",
-    Op.FDIV_S: "fdiv", Op.FMIN_S: "fmin", Op.FMAX_S: "fmax",
-    Op.FEQ_S: "feq", Op.FLT_S: "flt", Op.FLE_S: "fle",
-    Op.FSGNJ_S: "fsgnj", Op.FSGNJN_S: "fsgnjn", Op.FSGNJX_S: "fsgnjx",
-}
-_FLOAT_UNARY = {
-    Op.FSQRT_S: "fsqrt", Op.FCVT_W_S: "fcvt.w.s", Op.FCVT_WU_S: "fcvt.wu.s",
-    Op.FCVT_S_W: "fcvt.s.w", Op.FCVT_S_WU: "fcvt.s.wu",
-}
-_AMO_FN = {
-    Op.AMOADD_W: lambda old, v: alu.to_u32(old + v),
-    Op.CAMOADD_W: lambda old, v: alu.to_u32(old + v),
-    Op.AMOSWAP_W: lambda old, v: v,
-    Op.AMOAND_W: lambda old, v: old & v,
-    Op.AMOOR_W: lambda old, v: old | v,
-    Op.AMOXOR_W: lambda old, v: old ^ v,
-    Op.AMOMIN_W: lambda old, v: old if alu.to_signed(old) <= alu.to_signed(v) else v,
-    Op.AMOMAX_W: lambda old, v: old if alu.to_signed(old) >= alu.to_signed(v) else v,
-    Op.AMOMINU_W: lambda old, v: min(old, v),
-    Op.AMOMAXU_W: lambda old, v: max(old, v),
-}
-
-# Decode-time dispatch tables: op -> per-lane function.  Resolved once at
-# module import so the handlers call straight through with no name lookup.
-_INT_R_FN = {op: alu.INT_FNS[name] for op, name in _INT_R.items()}
-_INT_I_FN = {op: alu.INT_FNS[name] for op, name in _INT_I.items()}
-_FLOAT_RR_FN = {op: alu.FLOAT_FNS[name] for op, name in _FLOAT_RR.items()}
-_FLOAT_UNARY_FN = {op: alu.FLOAT_FNS[name] for op, name in _FLOAT_UNARY.items()}
-_BRANCH_FN = {op: alu.BRANCH_FNS[op.name.lower()] for op in BRANCH_OPS}
-
-_SIGNED_LOADS = (Op.LB, Op.LH, Op.CLB, Op.CLH)
-
-_CGET_FN = {
-    Op.CGETTAG: lambda cap: int(cap.tag),
-    Op.CGETPERM: lambda cap: int(cap.perms),
-    Op.CGETBASE: lambda cap: cap.base,
-    Op.CGETLEN: lambda cap: min(cap.length, MASK32),
-    Op.CGETADDR: lambda cap: cap.addr,
-    Op.CGETTYPE: lambda cap: cap.otype,
-    Op.CGETSEALED: lambda cap: int(cap.is_sealed),
-    Op.CGETFLAGS: lambda cap: cap.flags,
-}
-_CRR_FN = {
-    # CRRL is an XLEN-wide result: crrl(0xFFFFFFFF) = 2^32 truncates to 0
-    # (the CHERI-RISC-V CRoundRepresentableLength semantics), it does not
-    # saturate.  CGetLen above is the one that saturates.
-    Op.CRRL: lambda v: concentrate.crrl(v) & MASK32,
-    Op.CRAM: concentrate.crml,
-}
-_CMOD1_FN = {
-    Op.CCLEARTAG: lambda cap: cap.with_tag_cleared(),
-    Op.CMOVE: lambda cap: cap,
-    Op.CSEALENTRY: lambda cap: cap.seal_entry(),
-}
-_CMOD2_FN = {
-    Op.CANDPERM: lambda cap, v: cap.and_perms(v),
-    Op.CSETFLAGS: lambda cap, v: cap.set_flags(v),
-    Op.CSETADDR: lambda cap, v: cap.set_addr(v),
-    Op.CINCOFFSET: lambda cap, v: cap.inc_addr(v),
-    Op.CSETBOUNDS: lambda cap, v: cap.set_bounds(cap.addr, v)[0],
-    Op.CSETBOUNDSEXACT: lambda cap, v: cap.set_bounds(cap.addr, v, exact=True)[0],
-}
-_CIMM_FN = {
-    Op.CINCOFFSETIMM: lambda cap, imm: cap.inc_addr(imm),
-    Op.CSETBOUNDSIMM: lambda cap, imm: cap.set_bounds(cap.addr, imm)[0],
-}
+# Decode dispatch tables now live with the scalar (reference) backend; they
+# are re-exported here because tests and tooling patch them in place (the
+# dict objects are shared, so a monkeypatched entry is seen by every
+# backend).  Imported lazily at the bottom of the module to avoid a cycle
+# with repro.simt.backend.scalar, which needs KernelAbort/SoftwareTrap.
 
 
 class _Warp:
     """Mutable per-warp state."""
 
     __slots__ = ("index", "pcs", "halted", "pcc_meta", "ready_at",
-                 "in_barrier", "block_slot", "done")
+                 "in_barrier", "block_slot", "done", "rq")
 
     def __init__(self, index, lanes, entry_pc, block_slot):
         self.index = index
@@ -174,6 +93,9 @@ class _Warp:
         self.in_barrier = False
         self.block_slot = block_slot
         self.done = False
+        # Pending fused-region steps for the vector backend's barrel
+        # scheduler: [steps, next_index] or None (see VectorBackend.run).
+        self.rq = None
 
 
 class StreamingMultiprocessor:
@@ -214,6 +136,10 @@ class StreamingMultiprocessor:
         self._zero_lanes = [0] * self._num_lanes
         self._dynamic_pcc = (self.cfg.enable_cheri
                              and not self.cfg.static_pc_metadata)
+        #: Bumped whenever a barrier release changes other warps'
+        #: readiness; lets the vector backend's run-ahead scheduler know
+        #: its cached view of the other warps went stale.
+        self._sched_epoch = 0
         #: Optional instruction-trace sink: an object with a
         #: ``record(cycle, warp, pc, instr, lanes)`` method.
         self.trace = None
@@ -225,6 +151,8 @@ class StreamingMultiprocessor:
         #: Optional :class:`repro.nocl.compiler.CompiledKernel` for the
         #: running program (set by the runtime; profiler side-band only).
         self.kernel_info = None
+        #: The execution backend (``SMConfig.backend``).
+        self.backend = create_backend(self.cfg.backend, self)
 
     def _build_regfiles(self):
         cfg = self.cfg
@@ -244,6 +172,10 @@ class StreamingMultiprocessor:
                 self.meta = CompressedRegFile(cfg.num_lanes, 33, meta_pool,
                                               detect_affine=False,
                                               nvo=cfg.nvo, name="meta")
+        # A plain metadata file reports every held register as
+        # uncompressed; a compressed one never does right after a compact
+        # write.  Cached so write fast paths can skip the query.
+        self._meta_plain = isinstance(self.meta, PlainRegFile)
 
     # ------------------------------------------------------------------
     # Launch interface
@@ -262,10 +194,13 @@ class StreamingMultiprocessor:
         in CHERI mode).
         """
         cfg = self.cfg
+        backend = self.backend
         self.program = list(program)
         # Decode every static instruction once (multi-kernel safe: redone
-        # per launch because the program changes).
-        self._decoded = [self._decode_instr(instr) for instr in self.program]
+        # per launch because the program changes); this also invalidates
+        # any hot-trace specialisations from a previous program.
+        backend.on_launch()
+        self._decoded = [backend.decode(instr) for instr in self.program]
         if cfg.num_warps % warps_per_block:
             raise ValueError("warps_per_block must divide num_warps")
         self.warps = [
@@ -284,46 +219,14 @@ class StreamingMultiprocessor:
                 warp.pcc_meta = [pcc_meta] * cfg.num_lanes
         self._install_registers(init_regs or {}, init_cap_regs or {})
 
-        cycle = 0
         self.dram.reset_timing()
         self.sfu.reset_timing()
-        rotation = 0
-        live = cfg.num_warps
-        warps = self.warps
-        count = cfg.num_warps
-        issue = self._issue
         if self.probes is not None:
             self.probes.launch(self, self.program)
         try:
-            while live:
-                picked = None
-                for i in range(count):
-                    warp = warps[(rotation + i) % count]
-                    if not warp.done and not warp.in_barrier and \
-                            warp.ready_at <= cycle:
-                        picked = warp
-                        break
-                if picked is None:
-                    next_ready = min(
-                        (w.ready_at for w in warps
-                         if not w.done and not w.in_barrier),
-                        default=None,
-                    )
-                    if next_ready is None:
-                        raise KernelAbort("deadlock: all warps blocked on a "
-                                          "barrier", cycle)
-                    advanced = max(cycle + 1, next_ready)
-                    if self.probes is not None:
-                        self.probes.idle(cycle, advanced)
-                    cycle = advanced
-                    continue
-                rotation = picked.index + 1
-                cycle = issue(picked, cycle)
-                if picked.done:
-                    live -= 1
-                if cycle > max_cycles:
-                    raise KernelAbort("cycle limit exceeded", cycle)
+            cycle = backend.run(max_cycles)
         except (CapabilityFault, SoftwareTrap) as fault:
+            cycle = backend.fault_cycle or 0
             self.stats.cycles += cycle
             self._finalise_stats()
             raise KernelAbort(fault, cycle) from fault
@@ -400,20 +303,42 @@ class StreamingMultiprocessor:
                     return pc, self._all_lanes
         dynamic_pcc = self._dynamic_pcc
         groups = {}
-        for lane in self._lane_range:
-            if halted[lane]:
-                continue
-            pc = pcs[lane]
-            meta = warp.pcc_meta[lane] if dynamic_pcc else 0
-            groups.setdefault((pc, meta), []).append(lane)
+        if dynamic_pcc:
+            metas = warp.pcc_meta
+            for lane in self._lane_range:
+                if halted[lane]:
+                    continue
+                key = (pcs[lane], metas[lane])
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [lane]
+                else:
+                    group.append(lane)
+        else:
+            for lane in self._lane_range:
+                if halted[lane]:
+                    continue
+                key = pcs[lane]
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [lane]
+                else:
+                    group.append(lane)
         if not groups:
             return None, None
         # Deepest nesting level first, then lowest PC (convergence); the
-        # strict > keeps max()'s first-maximal tie behaviour.
+        # strict > keeps max()'s first-maximal tie behaviour.  Group
+        # insertion order is lane order of each group's first member,
+        # matching the scalar reference selection exactly.
+        program = self.program
+        program_len = len(program)
         best = None
         best_priority = None
-        for (pc, _meta), group_lanes in groups.items():
-            priority = (self._depth_at(pc), -pc)
+        for key, group_lanes in groups.items():
+            pc = key[0] if dynamic_pcc else key
+            index = pc >> 2
+            depth = program[index].depth if 0 <= index < program_len else 0
+            priority = (depth, -pc)
             if best_priority is None or priority > best_priority:
                 best_priority = priority
                 best = (pc, group_lanes)
@@ -444,91 +369,29 @@ class StreamingMultiprocessor:
                                   address=pc, pc=pc)
 
     # ------------------------------------------------------------------
-    # Issue: one instruction for one warp
+    # Backend delegation shims (kept for tests/tooling)
     # ------------------------------------------------------------------
 
     def _issue(self, warp, cycle):
-        cfg = self.cfg
-        stats = self.stats
-        pc, lanes = self._select_threads(warp)
-        if pc is None:
-            warp.done = True
-            warp.ready_at = _FAR_FUTURE
-            return cycle
-        index = pc >> 2
-        if not 0 <= index < len(self.program):
-            raise SoftwareTrap("instruction fetch from unmapped pc 0x%x" % pc,
-                               thread=warp.index * cfg.num_lanes + lanes[0],
-                               pc=pc)
-        if cfg.enable_cheri:
-            self._check_pcc(warp, pc, lanes)
-        instr = self.program[index]
+        """Issue one instruction for one warp (delegates to the backend)."""
+        return self.backend.issue(warp, cycle)
 
-        # Per-issue accumulators, consumed by the helpers below.
-        self._cycle = cycle
-        self._mem_ready = cycle
-        self._extra_issue = 0
-        self._gp_vec_touch = False
-        self._meta_vec_touch = False
+    def _decode_instr(self, instr):
+        return self.backend.decode(instr)
 
-        probes = self.probes
-        if probes is not None:
-            pre_stalls = (stats.stall_shared_vrf, stats.stall_csc_operand,
-                          stats.stall_bank_conflict,
-                          stats.stall_atomic_serial)
-
-        if lanes is self._all_lanes:
-            mask = self._full_mask
-        else:
-            mask = 0
-            for lane in lanes:
-                mask |= 1 << lane
-
-        handler, aux = self._decoded[index]
+    def _execute(self, warp, instr, pc, lanes, mask):
+        """Decode-and-execute one instruction (non-cached dispatch)."""
+        handler, aux = self.backend.decode(instr)
         handler(warp, instr, pc, lanes, mask, aux)
 
-        # Shared-VRF serialisation: accessing an uncompressed data vector
-        # and an uncompressed metadata vector in one instruction costs an
-        # extra cycle (section 3.2).
-        if cfg.shared_vrf and self._gp_vec_touch and self._meta_vec_touch:
-            self._extra_issue += 1
-            stats.stall_shared_vrf += 1
-        # One-read-port metadata SRF: CSC needs both cs1 and cs2 metadata,
-        # costing an extra operand-fetch cycle (section 3.2).
-        if cfg.metadata_srf_single_port and instr.op is Op.CSC:
-            self._extra_issue += 1
-            stats.stall_csc_operand += 1
-
-        stats.instrs_issued += 1
-        stats.thread_instrs += len(lanes)
-        stats.opcode_counts[instr.op] += 1
-        if self.trace is not None:
-            self.trace.record(cycle, warp.index, pc, instr, lanes)
-
-        completion = max(cycle + cfg.pipeline_depth, self._mem_ready)
-        warp.ready_at = completion
-        if all(warp.halted):
-            warp.done = True
-            warp.ready_at = _FAR_FUTURE
-
-        # VRF occupancy integral (for Figure 10): resident vectors during
-        # the issue slot(s) just consumed.
-        width = 1 + self._extra_issue
-        stats.gp_vrf_occupancy_integral += self.gp.resident_vectors * width
-        if self.meta is not None:
-            stats.meta_vrf_occupancy_integral += \
-                self.meta.resident_vectors * width
-        if probes is not None:
-            probes.issue(
-                cycle, warp.index, pc, instr, len(lanes), width, completion,
-                (stats.stall_shared_vrf - pre_stalls[0],
-                 stats.stall_csc_operand - pre_stalls[1],
-                 stats.stall_bank_conflict - pre_stalls[2],
-                 stats.stall_atomic_serial - pre_stalls[3]))
-            # Retirement: architectural effects are fully applied at this
-            # point, so lockstep checkers can diff state per instruction.
-            probes.retire(cycle, warp, pc, instr, lanes)
-        return cycle + width
+    def _advance(self, warp, lanes, next_pc):
+        pcs = warp.pcs
+        if len(lanes) == len(pcs):
+            # Full set (lane indices are unique): one C-level fill.
+            pcs[:] = [next_pc] * len(pcs)
+            return
+        for lane in lanes:
+            pcs[lane] = next_pc
 
     # -- register access helpers -----------------------------------------
 
@@ -577,6 +440,24 @@ class StreamingMultiprocessor:
         if meta is None:
             return
         if caps is None:
+            if mask == self._full_mask:
+                # A full-mask null-metadata write always compresses to the
+                # null scalar; skip the merge/comparator work.  This is
+                # ``meta.write(..)`` with all-zero values, bit for bit.
+                meta.write_form(windex, reg, _NULL_SCALAR)
+                if self._meta_plain:
+                    self._meta_vec_touch = True
+                return
+            entry = meta._entries.get((windex << 8) | reg)
+            if entry is None or (type(entry) is _Scalar and
+                                 entry.base == 0 and entry.stride == 0):
+                # Masked null write over an already-null register: the
+                # merged vector is all-zero, which classifies uniform —
+                # same counters and stored form as the merge would give.
+                meta.write_form(windex, reg, _NULL_SCALAR)
+                if self._meta_plain:
+                    self._meta_vec_touch = True
+                return
             metas = self._zero_lanes
         else:
             metas = [0] * self._num_lanes
@@ -678,342 +559,6 @@ class StreamingMultiprocessor:
                 % (op_name, addr, base, top),
                 address=addr, thread=thread, pc=pc)
 
-    # ------------------------------------------------------------------
-    # Decode: one (handler, aux) pair per static instruction
-    # ------------------------------------------------------------------
-
-    def _decode_instr(self, instr):
-        """Classify ``instr`` once; returns (bound handler, aux data).
-
-        ``aux`` packs everything the handler needs that is knowable at
-        decode time: the per-lane ALU/branch/AMO function, masked
-        immediates, SFU routing flags.  The CHERI slow-path flag is baked
-        in here because the configuration is fixed per SM instance.
-        """
-        op = instr.op
-        fn = _INT_R_FN.get(op)
-        if fn is not None:
-            return self._h_int_r, (fn, op in SFU_OPS)
-        fn = _INT_I_FN.get(op)
-        if fn is not None:
-            return self._h_int_i, (fn, (instr.imm or 0) & MASK32)
-        fn = _BRANCH_FN.get(op)
-        if fn is not None:
-            return self._h_branch, (fn, instr.imm)
-        if op in LOAD_OPS or op in STORE_OPS or op in AMO_OPS:
-            return self._h_memory, (
-                ACCESS_WIDTH[op],
-                op.name.startswith("C"),
-                op in STORE_OPS,
-                op in AMO_OPS,
-                _AMO_FN.get(op),
-                op in _SIGNED_LOADS,
-                instr.imm or 0,
-            )
-        fn = _FLOAT_RR_FN.get(op)
-        if fn is not None:
-            return self._h_float_rr, (fn, op in SFU_OPS)
-        fn = _FLOAT_UNARY_FN.get(op)
-        if fn is not None:
-            return self._h_float_unary, (fn, op in SFU_OPS)
-        slow = self.cfg.sfu_cheri_slow_path and op in CHERI_SLOW_OPS
-        fn = _CGET_FN.get(op)
-        if fn is not None:
-            return self._h_cget, (fn, slow)
-        fn = _CRR_FN.get(op)
-        if fn is not None:
-            return self._h_crr, (fn, slow)
-        fn = _CMOD1_FN.get(op)
-        if fn is not None:
-            return self._h_cmod1, fn
-        fn = _CMOD2_FN.get(op)
-        if fn is not None:
-            return self._h_cmod2, (fn, slow)
-        fn = _CIMM_FN.get(op)
-        if fn is not None:
-            return self._h_cimm, (fn, instr.imm or 0, slow)
-        if op is Op.LUI:
-            return self._h_lui, (instr.imm << 12) & MASK32
-        if op is Op.AUIPC:
-            return self._h_auipc, instr.imm << 12
-        if op is Op.AUIPCC:
-            return self._h_auipcc, instr.imm << 12
-        if op in (Op.JAL, Op.CJAL):
-            return self._h_jal, (instr.imm, op is Op.CJAL)
-        if op is Op.JALR:
-            return self._h_jalr, instr.imm or 0
-        if op is Op.CJALR:
-            return self._h_cjalr, instr.imm or 0
-        if op is Op.CSPECIALRW:
-            return self._h_cspecialrw, None
-        if op is Op.BARRIER:
-            return self._h_barrier, None
-        if op is Op.HALT:
-            return self._h_halt, None
-        if op in (Op.TRAP, Op.EBREAK, Op.ECALL):
-            return self._h_trap, None
-        if op is Op.FENCE:
-            return self._h_fence, None
-        return self._h_unimplemented, None
-
-    # ------------------------------------------------------------------
-    # Execution (functional semantics + per-op timing hooks)
-    # ------------------------------------------------------------------
-
-    def _execute(self, warp, instr, pc, lanes, mask):
-        """Decode-and-execute one instruction (non-cached dispatch)."""
-        handler, aux = self._decode_instr(instr)
-        handler(warp, instr, pc, lanes, mask, aux)
-
-    def _advance(self, warp, lanes, next_pc):
-        pcs = warp.pcs
-        for lane in lanes:
-            pcs[lane] = next_pc
-
-    # --- integer ALU -------------------------------------------------
-
-    def _h_int_r(self, warp, instr, pc, lanes, mask, aux):
-        fn, is_sfu = aux
-        a = self._read_gp(warp, instr.rs1)
-        b = self._read_gp(warp, instr.rs2)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(a[lane], b[lane])
-        self._write_rd(warp, instr.rd, out, mask)
-        if is_sfu:
-            self._sfu_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_int_i(self, warp, instr, pc, lanes, mask, aux):
-        fn, imm = aux
-        a = self._read_gp(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(a[lane], imm)
-        self._write_rd(warp, instr.rd, out, mask)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_lui(self, warp, instr, pc, lanes, mask, aux):
-        self._write_rd(warp, instr.rd, [aux] * self._num_lanes, mask)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_auipc(self, warp, instr, pc, lanes, mask, aux):
-        value = (pc + aux) & MASK32
-        self._write_rd(warp, instr.rd, [value] * self._num_lanes, mask)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_auipcc(self, warp, instr, pc, lanes, mask, aux):
-        # rd := PCC with address pc + imm<<12 (a capability result).
-        addr = (pc + aux) & MASK32
-        caps = []
-        for lane in self._lane_range:
-            meta = warp.pcc_meta[lane]
-            pcc = Capability.from_meta_word(meta & MASK32, pc,
-                                            bool(meta >> 32))
-            caps.append(pcc.set_addr(addr))
-        self._write_rd(warp, instr.rd, [addr] * self._num_lanes, mask,
-                       caps=caps)
-        self._advance(warp, lanes, pc + 4)
-
-    # --- branches and jumps -------------------------------------------
-
-    def _h_branch(self, warp, instr, pc, lanes, mask, aux):
-        fn, imm = aux
-        a = self._read_gp(warp, instr.rs1)
-        b = self._read_gp(warp, instr.rs2)
-        taken_pc = (pc + imm) & MASK32
-        next_pc = pc + 4
-        pcs = warp.pcs
-        for lane in lanes:
-            pcs[lane] = taken_pc if fn(a[lane], b[lane]) else next_pc
-
-    def _h_jal(self, warp, instr, pc, lanes, mask, aux):
-        imm, is_cjal = aux
-        next_pc = pc + 4
-        if instr.rd:
-            if is_cjal:
-                caps = []
-                for lane in self._lane_range:
-                    meta = warp.pcc_meta[lane]
-                    link = Capability.from_meta_word(
-                        meta & MASK32, next_pc, bool(meta >> 32))
-                    caps.append(link.seal_entry())
-                self._write_rd(warp, instr.rd,
-                               [next_pc] * self._num_lanes, mask, caps=caps)
-            else:
-                self._write_rd(warp, instr.rd,
-                               [next_pc] * self._num_lanes, mask)
-        target = (pc + imm) & MASK32
-        self._advance(warp, lanes, target)
-
-    def _h_jalr(self, warp, instr, pc, lanes, mask, aux):
-        imm = aux
-        a = self._read_gp(warp, instr.rs1)
-        next_pc = pc + 4
-        targets = [0] * self._num_lanes
-        for lane in lanes:
-            targets[lane] = (a[lane] + imm) & ~1 & MASK32
-        if instr.rd:
-            self._write_rd(warp, instr.rd, [next_pc] * self._num_lanes, mask)
-        pcs = warp.pcs
-        for lane in lanes:
-            pcs[lane] = targets[lane]
-
-    def _h_cjalr(self, warp, instr, pc, lanes, mask, aux):
-        imm = aux
-        cfg = self.cfg
-        caps = self._read_caps(warp, instr.rs1)
-        next_pc = pc + 4
-        targets = [0] * self._num_lanes
-        link_caps = []
-        for lane in self._lane_range:
-            meta = warp.pcc_meta[lane]
-            link = Capability.from_meta_word(meta & MASK32, next_pc,
-                                             bool(meta >> 32))
-            link_caps.append(link.seal_entry())
-        for lane in lanes:
-            cap = caps[lane]
-            thread = warp.index * cfg.num_lanes + lane
-            if not cap.tag:
-                raise TagViolation("CJALR via untagged capability",
-                                   thread=thread, pc=pc)
-            if cap.is_sealed and not cap.is_sentry:
-                raise SealViolation("CJALR via sealed capability",
-                                    thread=thread, pc=pc)
-            if Perms.EXECUTE not in cap.perms:
-                raise PermissionViolation("CJALR target lacks execute",
-                                          thread=thread, pc=pc)
-            target_cap = cap.unseal_entry() if cap.is_sentry else cap
-            target = (target_cap.addr + imm) & ~1 & MASK32
-            targets[lane] = target
-            warp.pcc_meta[lane] = (target_cap.meta_word()
-                                   | (int(target_cap.tag) << 32))
-        if instr.rd:
-            self._write_rd(warp, instr.rd, [next_pc] * self._num_lanes,
-                           mask, caps=link_caps)
-        pcs = warp.pcs
-        for lane in lanes:
-            pcs[lane] = targets[lane]
-
-    # --- floating point -------------------------------------------------
-
-    def _h_float_rr(self, warp, instr, pc, lanes, mask, aux):
-        fn, is_sfu = aux
-        a = self._read_gp(warp, instr.rs1)
-        b = self._read_gp(warp, instr.rs2)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(a[lane], b[lane])
-        self._write_rd(warp, instr.rd, out, mask)
-        if is_sfu:
-            self._sfu_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_float_unary(self, warp, instr, pc, lanes, mask, aux):
-        fn, is_sfu = aux
-        a = self._read_gp(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(a[lane])
-        self._write_rd(warp, instr.rd, out, mask)
-        if is_sfu:
-            self._sfu_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    # --- memory ----------------------------------------------------------
-
-    def _h_memory(self, warp, instr, pc, lanes, mask, aux):
-        cfg = self.cfg
-        op = instr.op
-        width, is_cap_addressed, is_store, is_amo, amo_fn, signed, imm = aux
-
-        if is_cap_addressed:
-            caps = self._read_caps(warp, instr.rs1)
-            accesses = [(lane, (caps[lane].addr + imm) & MASK32, width)
-                        for lane in lanes]
-        else:
-            bases = self._read_gp(warp, instr.rs1)
-            accesses = [(lane, (bases[lane] + imm) & MASK32, width)
-                        for lane in lanes]
-
-        # Capability checks (one per active lane).
-        if is_cap_addressed:
-            check = self._check_cap
-            num_lanes = cfg.num_lanes
-            for lane, addr, _ in accesses:
-                thread = warp.index * num_lanes + lane
-                if is_amo:
-                    check(caps[lane], addr, width, Perms.LOAD,
-                          thread, pc, op.name)
-                    check(caps[lane], addr, width, Perms.STORE,
-                          thread, pc, op.name)
-                elif is_store:
-                    check(caps[lane], addr, width, Perms.STORE,
-                          thread, pc, op.name)
-                else:
-                    check(caps[lane], addr, width, Perms.LOAD,
-                          thread, pc, op.name)
-
-        if is_amo:
-            values = self._read_gp(warp, instr.rs2)
-            out = [0] * self._num_lanes
-            memory = self.memory
-            # Same-address atomics serialise deterministically in lane order.
-            for lane, addr, _ in accesses:
-                old = memory.read(addr, 4)
-                memory.write(addr, 4, amo_fn(old, values[lane]))
-                out[lane] = old
-            conflicts = atomic_conflicts([a for _, a, _ in accesses])
-            self._extra_issue += conflicts
-            self.stats.stall_atomic_serial += conflicts
-            self._write_rd(warp, instr.rd, out, mask)
-            self._memory_access(op, accesses, warp, is_write=True)
-            self._advance(warp, lanes, pc + 4)
-            return
-
-        if is_store:
-            if op is Op.CSC:
-                store_caps = self._read_caps(warp, instr.rs2)
-                for lane, addr, _ in accesses:
-                    thread = warp.index * cfg.num_lanes + lane
-                    cap2 = store_caps[lane]
-                    if cap2.tag and Perms.STORE_CAP not in caps[lane].perms:
-                        raise PermissionViolation(
-                            "CSC lacks STORE_CAP permission",
-                            address=addr, thread=thread, pc=pc)
-                    self.memory.write_cap_raw(addr, cap2.to_mem()
-                                              & ((1 << 64) - 1), cap2.tag)
-            else:
-                values = self._read_gp(warp, instr.rs2)
-                memory = self.memory
-                value_mask = (1 << (8 * width)) - 1
-                for lane, addr, _ in accesses:
-                    memory.write(addr, width, values[lane] & value_mask)
-            self._memory_access(op, accesses, warp, is_write=True)
-            self._advance(warp, lanes, pc + 4)
-            return
-
-        # Loads.
-        if op is Op.CLC:
-            out = [0] * self._num_lanes
-            metas = [None] * self._num_lanes
-            for lane, addr, _ in accesses:
-                raw, tag = self.memory.read_cap_raw(addr)
-                if tag and Perms.LOAD_CAP not in caps[lane].perms:
-                    tag = False  # lacking LOAD_CAP strips the loaded tag
-                loaded = Capability.from_mem(raw | (int(tag) << 64))
-                out[lane] = loaded.addr
-                metas[lane] = loaded
-            self._write_rd(warp, instr.rd, out, mask, caps=metas)
-        else:
-            out = [0] * self._num_lanes
-            memory = self.memory
-            for lane, addr, _ in accesses:
-                out[lane] = memory.read(addr, width, signed) & MASK32
-            self._write_rd(warp, instr.rd, out, mask)
-        self._memory_access(op, accesses, warp, is_write=False)
-        self._advance(warp, lanes, pc + 4)
-
     # --- shared function unit --------------------------------------------
 
     def _sfu_issue(self, lanes, cheri_op=False):
@@ -1023,111 +568,8 @@ class StreamingMultiprocessor:
         if self.probes is not None:
             self.probes.sfu(self._cycle, len(lanes), cheri_op, done)
 
-    # --- CHERI non-memory --------------------------------------------------
-
     def _sfu_cheri_issue(self, lanes):
         self._sfu_issue(lanes, cheri_op=True)
-
-    def _h_cget(self, warp, instr, pc, lanes, mask, aux):
-        fn, slow = aux
-        caps = self._read_caps(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(caps[lane])
-        self._write_rd(warp, instr.rd, out, mask)
-        if slow:
-            self._sfu_cheri_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_crr(self, warp, instr, pc, lanes, mask, aux):
-        fn, slow = aux
-        a = self._read_gp(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        for lane in lanes:
-            out[lane] = fn(a[lane])
-        self._write_rd(warp, instr.rd, out, mask)
-        if slow:
-            self._sfu_cheri_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_cmod1(self, warp, instr, pc, lanes, mask, aux):
-        fn = aux
-        caps = self._read_caps(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        result = [None] * self._num_lanes
-        for lane in lanes:
-            cap = fn(caps[lane])
-            out[lane] = cap.addr
-            result[lane] = cap
-        self._write_rd(warp, instr.rd, out, mask, caps=result)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_cmod2(self, warp, instr, pc, lanes, mask, aux):
-        fn, slow = aux
-        caps = self._read_caps(warp, instr.rs1)
-        b = self._read_gp(warp, instr.rs2)
-        out = [0] * self._num_lanes
-        result = [None] * self._num_lanes
-        for lane in lanes:
-            cap = fn(caps[lane], b[lane])
-            out[lane] = cap.addr
-            result[lane] = cap
-        self._write_rd(warp, instr.rd, out, mask, caps=result)
-        if slow:
-            self._sfu_cheri_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_cimm(self, warp, instr, pc, lanes, mask, aux):
-        fn, imm, slow = aux
-        caps = self._read_caps(warp, instr.rs1)
-        out = [0] * self._num_lanes
-        result = [None] * self._num_lanes
-        for lane in lanes:
-            cap = fn(caps[lane], imm)
-            out[lane] = cap.addr
-            result[lane] = cap
-        self._write_rd(warp, instr.rd, out, mask, caps=result)
-        if slow:
-            self._sfu_cheri_issue(lanes)
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_cspecialrw(self, warp, instr, pc, lanes, mask, aux):
-        # Only reading the PCC special register is supported.
-        out = [0] * self._num_lanes
-        result = [None] * self._num_lanes
-        for lane in lanes:
-            meta = warp.pcc_meta[lane]
-            pcc = Capability.from_meta_word(meta & MASK32, pc,
-                                            bool(meta >> 32))
-            out[lane] = pc
-            result[lane] = pcc
-        self._write_rd(warp, instr.rd, out, mask, caps=result)
-        self._advance(warp, lanes, pc + 4)
-
-    # --- SIMT / system -------------------------------------------------------
-
-    def _h_barrier(self, warp, instr, pc, lanes, mask, aux):
-        self._advance(warp, lanes, pc + 4)
-        self._enter_barrier(warp)
-
-    def _h_halt(self, warp, instr, pc, lanes, mask, aux):
-        halted = warp.halted
-        for lane in lanes:
-            halted[lane] = True
-
-    def _h_trap(self, warp, instr, pc, lanes, mask, aux):
-        thread = warp.index * self.cfg.num_lanes + lanes[0]
-        raise SoftwareTrap(
-            "software trap (%s)%s" % (
-                instr.op.name.lower(),
-                "" if not instr.comment else ": " + instr.comment),
-            thread=thread, pc=pc)
-
-    def _h_fence(self, warp, instr, pc, lanes, mask, aux):
-        self._advance(warp, lanes, pc + 4)
-
-    def _h_unimplemented(self, warp, instr, pc, lanes, mask, aux):
-        raise SoftwareTrap("unimplemented op %s" % instr.op, pc=pc)
 
     # -- barriers --------------------------------------------------------------
 
@@ -1150,3 +592,22 @@ class StreamingMultiprocessor:
                 other.in_barrier = False
                 other.ready_at = self._cycle + self.cfg.pipeline_depth
             arrived.clear()
+            self._sched_epoch += 1
+
+
+# Re-export the decode dispatch tables from the scalar backend (shared
+# dict objects: tests patch entries in place and every backend sees the
+# patched per-lane function).  Imported last to break the import cycle.
+from repro.simt.backend.scalar import (  # noqa: E402
+    _AMO_FN,
+    _BRANCH_FN,
+    _CGET_FN,
+    _CIMM_FN,
+    _CMOD1_FN,
+    _CMOD2_FN,
+    _CRR_FN,
+    _FLOAT_RR_FN,
+    _FLOAT_UNARY_FN,
+    _INT_I_FN,
+    _INT_R_FN,
+)

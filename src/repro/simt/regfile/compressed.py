@@ -58,6 +58,16 @@ class _Scalar:
         return [(self.base + i * self.stride) & mask_bits for i in range(lanes)]
 
 
+#: Shared form for a never-written register (all lanes zero).  Read-only
+#: by the form-access contract, so one instance serves every reader.
+_NULL_SCALAR = _Scalar(0, 0)
+
+#: Shared report for accesses with no spill/reload side effects.  Callers
+#: only ever read the counters of a returned report, so one clean
+#: instance serves every such access without an allocation.
+_NO_REPORT = AccessReport()
+
+
 class _PartialNull:
     """SRF-resident under NVO: some lanes hold ``value``, the rest null (0).
 
@@ -161,7 +171,11 @@ class CompressedRegFile:
         self.detect_affine = detect_affine
         self.nvo = nvo
         self.name = name
+        # Keyed by (warp << 8) | reg: register indices are < 256 (RV32 has
+        # 32 architectural registers), and a packed int hashes cheaper than
+        # a tuple on the per-issue hot path.
         self._entries = {}
+        self._wmask = (1 << lanes) - 1
         self.total_spills = 0
         self.total_reloads = 0
         # Value-regularity counters (paper section 2.2): how many written
@@ -174,13 +188,14 @@ class CompressedRegFile:
     # -- internals -----------------------------------------------------------
 
     def _entry(self, warp, reg):
-        return self._entries.get((warp, reg)) or _Scalar(0, 0)
+        return self._entries.get((warp << 8) | reg) or _Scalar(0, 0)
 
     def _spill(self, warp, reg):
         """Demote a VRF-resident vector to spilled (called by the pool)."""
-        entry = self._entries.get((warp, reg))
+        key = (warp << 8) | reg
+        entry = self._entries.get(key)
         assert isinstance(entry, _Vector), "spill victim must be VRF-resident"
-        self._entries[(warp, reg)] = _Spilled(entry.values)
+        self._entries[key] = _Spilled(entry.values)
         self.total_spills += 1
 
     def _compress(self, values):
@@ -218,19 +233,20 @@ class CompressedRegFile:
 
     def read(self, warp, reg):
         """Read a full vector.  Returns (values, AccessReport)."""
-        entry = self._entries.get((warp, reg))
+        key = (warp << 8) | reg
+        entry = self._entries.get(key)
         if entry is None:
-            return [0] * self.lanes, AccessReport()
+            return [0] * self.lanes, _NO_REPORT
         if type(entry) is _Spilled:
             # Dynamic reload: bring the vector back into the VRF.
             report = AccessReport()
             slot = self.pool.acquire(self, warp, reg, report)
             entry = _Vector(slot, entry.values)
-            self._entries[(warp, reg)] = entry
+            self._entries[key] = entry
             report.reloads += 1
             self.total_reloads += 1
             return entry.expand(self.lanes, self.value_mask), report
-        return entry.expand(self.lanes, self.value_mask), AccessReport()
+        return entry.expand(self.lanes, self.value_mask), _NO_REPORT
 
     def write(self, warp, reg, values, active_mask=None):
         """Write the active lanes of a vector.  Returns an AccessReport.
@@ -238,50 +254,117 @@ class CompressedRegFile:
         ``active_mask`` is a bit mask of lanes to write (None = all): under
         control-flow divergence only the selected threads write back.
         """
-        report = AccessReport()
-        key = (warp, reg)
+        report = None
+        value_mask = self.value_mask
+        key = (warp << 8) | reg
         entry = self._entries.get(key)
-        full = active_mask is None or active_mask == (1 << self.lanes) - 1
-        if full:
-            merged = [v & self.value_mask for v in values]
-            if isinstance(entry, _Spilled):
+        if active_mask is None or active_mask == self._wmask:
+            merged = [v & value_mask for v in values]
+            if type(entry) is _Spilled:
                 # Fully overwritten: the spilled copy is dead, no reload.
                 entry = None
                 self._entries.pop(key, None)
         else:
-            if isinstance(entry, _Spilled):
+            if type(entry) is _Spilled:
                 # Partial write needs the old lanes: reload first.
+                report = AccessReport()
                 slot = self.pool.acquire(self, warp, reg, report)
                 entry = _Vector(slot, entry.values)
                 self._entries[key] = entry
                 report.reloads += 1
                 self.total_reloads += 1
-            old = (entry.expand(self.lanes, self.value_mask)
-                   if entry is not None else [0] * self.lanes)
-            merged = [
-                (values[i] & self.value_mask) if (active_mask >> i) & 1 else old[i]
-                for i in range(self.lanes)
-            ]
+            if type(entry) is _Vector:
+                # Merge into the resident lane list in place.  Safe under
+                # the form-access contract: expansions handed out by
+                # read_form are only read within the issuing instruction,
+                # and all of an instruction's reads precede its writes.
+                merged = entry.values
+                for i in range(self.lanes):
+                    if (active_mask >> i) & 1:
+                        merged[i] = values[i] & value_mask
+            else:
+                old = (entry.expand(self.lanes, value_mask)
+                       if entry is not None else [0] * self.lanes)
+                merged = [
+                    (values[i] & value_mask)
+                    if (active_mask >> i) & 1 else old[i]
+                    for i in range(self.lanes)
+                ]
         compact = self._compress(merged)
         self.writes_total += 1
-        if isinstance(compact, _Scalar):
+        tc = type(compact)
+        if tc is _Scalar:
             if compact.stride == 0:
                 self.writes_uniform += 1
             else:
                 self.writes_affine += 1
-        elif isinstance(compact, _PartialNull):
+        elif tc is _PartialNull:
             self.writes_partial_null += 1
         if compact is not None:
-            if isinstance(entry, _Vector):
+            if type(entry) is _Vector:
                 self.pool.release(self, warp, reg)
             self._entries[key] = compact
-            return report
-        if isinstance(entry, _Vector):
+            return report if report is not None else _NO_REPORT
+        if type(entry) is _Vector:
             entry.values = merged
-            return report
+            return report if report is not None else _NO_REPORT
+        if report is None:
+            report = AccessReport()
         slot = self.pool.acquire(self, warp, reg, report)
         self._entries[key] = _Vector(slot, merged)
         return report
+
+    # -- form-level access (vector backend fast paths) -----------------------
+
+    def read_form(self, warp, reg):
+        """Read a register as its stored compact form.
+
+        Returns ``(form, report_or_None)`` where ``form`` is the internal
+        entry object (:class:`_Scalar`, :class:`_PartialNull` or
+        :class:`_Vector`; a spilled vector is reloaded first, exactly like
+        :meth:`read`).  The caller must treat the form as immutable.  The
+        report is ``None`` when the access had no spill/reload side
+        effects to cost.
+        """
+        key = (warp << 8) | reg
+        entry = self._entries.get(key)
+        if entry is None:
+            return _NULL_SCALAR, None
+        if type(entry) is _Spilled:
+            report = AccessReport()
+            slot = self.pool.acquire(self, warp, reg, report)
+            entry = _Vector(slot, entry.values)
+            self._entries[key] = entry
+            report.reloads += 1
+            self.total_reloads += 1
+            return entry, report
+        return entry, None
+
+    def write_form(self, warp, reg, form):
+        """Full-mask write of an already-classified compact form.
+
+        The caller guarantees ``form`` is exactly what :meth:`_compress`
+        would produce for its expansion: a :class:`_Scalar` with canonical
+        signed stride (0 when ``lanes == 1``; in [-128, 127]; 0 unless
+        ``detect_affine``) or a :class:`_PartialNull` (only when ``nvo``:
+        nonzero value, mask neither empty nor full, and the expansion not
+        affine-classifiable).  Mirrors the compact branch of :meth:`write`
+        bit-for-bit — including the regularity counters — and can never
+        spill, so there is nothing to cost.
+        """
+        key = (warp << 8) | reg
+        entry = self._entries.get(key)
+        self.writes_total += 1
+        if type(form) is _Scalar:
+            if form.stride == 0:
+                self.writes_uniform += 1
+            else:
+                self.writes_affine += 1
+        else:
+            self.writes_partial_null += 1
+        if type(entry) is _Vector:
+            self.pool.release(self, warp, reg)
+        self._entries[key] = form
 
     def peek(self, warp, reg):
         """Side-effect-free read of a full vector (checker/debug use).
@@ -291,7 +374,7 @@ class CompressedRegFile:
         statistic can change.  The lockstep cross-checker depends on this
         to observe register state without perturbing the run.
         """
-        entry = self._entries.get((warp, reg))
+        entry = self._entries.get((warp << 8) | reg)
         if entry is None:
             return [0] * self.lanes
         return entry.expand(self.lanes, self.value_mask)
@@ -299,11 +382,12 @@ class CompressedRegFile:
     def is_vector_resident(self, warp, reg):
         """True when the register currently occupies a VRF slot (used for
         the shared-VRF serialisation stall check)."""
-        return isinstance(self._entries.get((warp, reg)), _Vector)
+        return isinstance(self._entries.get((warp << 8) | reg), _Vector)
 
     def is_uncompressed(self, warp, reg):
         """True when the register is not held compactly in the SRF."""
-        return isinstance(self._entries.get((warp, reg)), (_Vector, _Spilled))
+        t = type(self._entries.get((warp << 8) | reg))
+        return t is _Vector or t is _Spilled
 
     @property
     def resident_vectors(self):
@@ -329,13 +413,13 @@ class PlainRegFile:
         self.total_reloads = 0
 
     def read(self, warp, reg):
-        values = self._entries.get((warp, reg))
+        values = self._entries.get((warp << 8) | reg)
         if values is None:
             values = [0] * self.lanes
-        return list(values), AccessReport()
+        return list(values), _NO_REPORT
 
     def write(self, warp, reg, values, active_mask=None):
-        key = (warp, reg)
+        key = (warp << 8) | reg
         if active_mask is None or active_mask == (1 << self.lanes) - 1:
             self._entries[key] = [v & self.value_mask for v in values]
         else:
@@ -344,18 +428,36 @@ class PlainRegFile:
                 (values[i] & self.value_mask) if (active_mask >> i) & 1 else old[i]
                 for i in range(self.lanes)
             ]
-        return AccessReport()
+        return _NO_REPORT
+
+    def read_form(self, warp, reg):
+        """Form-level read: a plain file has no compact forms, so this
+        returns the raw lane list (callers treat a ``list`` form as an
+        uncompressed vector).  Never has side effects to cost."""
+        values = self._entries.get((warp << 8) | reg)
+        if values is None:
+            return _NULL_SCALAR, None
+        return values, None
+
+    def write_form(self, warp, reg, form):
+        """Full-mask write of a compact form: expanded to plain storage
+        (a plain file keeps no compression state or counters)."""
+        if type(form) is list:
+            self._entries[(warp << 8) | reg] = [v & self.value_mask for v in form]
+        else:
+            self._entries[(warp << 8) | reg] = form.expand(self.lanes,
+                                                           self.value_mask)
 
     def peek(self, warp, reg):
         """Side-effect-free read of a full vector (checker/debug use)."""
-        values = self._entries.get((warp, reg))
+        values = self._entries.get((warp << 8) | reg)
         return [0] * self.lanes if values is None else list(values)
 
     def is_vector_resident(self, warp, reg):
         return False
 
     def is_uncompressed(self, warp, reg):
-        return (warp, reg) in self._entries
+        return ((warp << 8) | reg) in self._entries
 
     @property
     def resident_vectors(self):

@@ -194,3 +194,56 @@ class TestCrossProcess:
                               capture_output=True, text=True, env=env,
                               check=True)
         assert proc.stdout.strip() == digest
+
+
+class TestBackendEquivalence:
+    """The lane-vectorized backend vs the scalar reference, full suite.
+
+    ``SMConfig.backend`` selects the execution backend; both must
+    produce bit-identical :class:`SMStats` for every benchmark in the
+    suite (not a sample — the vector backend's fast paths key off value
+    patterns, so coverage must include every kernel).  The SM-level
+    corner cases live in ``tests/simt/test_backend.py``; this is the
+    end-to-end sweep.
+    """
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("name", sorted(
+        __import__("repro.benchsuite", fromlist=["ALL_BENCHMARKS"])
+        .ALL_BENCHMARKS))
+    def test_full_suite_scalar_vector_bit_identical(self, name,
+                                                    config_name):
+        runner.set_disk_cache(False)
+        scalar = runner.run_benchmark(name, config_name, backend="scalar",
+                                      **GEOMETRY)
+        vector = runner.run_benchmark(name, config_name, backend="vector",
+                                      **GEOMETRY)
+        assert _signature(scalar) == _signature(vector)
+
+    def test_multism_scalar_vector_bit_identical(self):
+        from repro.nocl import i32
+        from repro.nocl.multism import MultiSMRuntime
+        from repro.nocl.dsl import KernelSource
+
+        source = KernelSource.from_source(
+            "def beq_vecadd(n: i32, a: ptr[i32], b: ptr[i32], "
+            "c: ptr[i32]):\n"
+            "    i = threadIdx.x + blockIdx.x * blockDim.x\n"
+            "    while i < n:\n"
+            "        c[i] = a[i] + b[i]\n"
+            "        i += blockDim.x * gridDim.x\n"
+        )
+        n = 128
+        per_backend = {}
+        for backend in ("scalar", "vector"):
+            config = runner.config_for(
+                "cheri_opt", backend=backend, **GEOMETRY)[1]
+            rt = MultiSMRuntime("purecap", num_sms=2, config=config)
+            a, b, c = (rt.alloc(i32, n) for _ in range(3))
+            rt.upload(a, list(range(n)))
+            rt.upload(b, [7] * n)
+            stats = rt.launch(source, grid_dim=4, block_dim=8,
+                              args=[n, a, b, c])
+            assert rt.download(c) == [i + 7 for i in range(n)]
+            per_backend[backend] = [asdict(s) for s in stats.per_sm]
+        assert per_backend["scalar"] == per_backend["vector"]

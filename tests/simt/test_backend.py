@@ -1,0 +1,285 @@
+"""Scalar/vector backend equivalence at the SM level.
+
+The vector backend (``SMConfig.backend == "vector"``) must be
+bit-identical to the scalar reference backend — same statistics, same
+memory effects, same faults — including the awkward corners these tests
+pin down:
+
+- instruction slots whose active-lane set shrinks to a single lane or
+  whose static instructions never issue at all (a fully-taken branch);
+- divergence and reconvergence across a warp, including the hot-trace
+  region machinery that only engages for converged warps;
+- capability faults raised by a strict subset of a warp's lanes;
+- the NumPy wide-SM path (``num_lanes >= 16``), which evaluates ALU ops
+  on uint32 arrays instead of per-lane Python ints.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cheri import root_capability
+from repro.isa.instructions import Instr, Op
+from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
+from repro.simt.config import HEAP_BASE
+
+
+def _config(mode, backend, num_warps, num_lanes, **kwargs):
+    factory = (SMConfig.cheri_optimised if mode == "purecap"
+               else SMConfig.baseline)
+    return factory(num_warps=num_warps, num_lanes=num_lanes,
+                   **kwargs).with_(backend=backend)
+
+
+def _run_one(backend, prog, mode="baseline", num_warps=2, num_lanes=4,
+             init_regs=None, init_cap_regs=None, setup=None, **kwargs):
+    """One backend's view of a launch: stats, memory, tags, fault."""
+    sm = StreamingMultiprocessor(
+        _config(mode, backend, num_warps, num_lanes, **kwargs))
+    if setup is not None:
+        setup(sm)
+    fault = None
+    try:
+        sm.launch(prog, init_regs=init_regs, init_cap_regs=init_cap_regs)
+    except KernelAbort as abort:
+        cause = abort.cause
+        fault = (type(cause).__name__, str(cause))
+    return {
+        "stats": asdict(sm.stats),
+        "words": dict(sm.memory._words),
+        "tags": set(sm.memory._tags),
+        "fault": fault,
+    }
+
+
+def run_both(prog, **kwargs):
+    """Run on both backends and assert every observable matches.
+
+    Returns the scalar observation so tests can make additional
+    assertions about what actually happened.
+    """
+    scalar = _run_one("scalar", prog, **kwargs)
+    vector = _run_one("vector", prog, **kwargs)
+    assert scalar["fault"] == vector["fault"]
+    assert scalar["words"] == vector["words"]
+    assert scalar["tags"] == vector["tags"]
+    assert scalar["stats"] == vector["stats"]
+    return scalar
+
+
+def heap_slots(num_threads, base=HEAP_BASE):
+    return [base + 4 * t for t in range(num_threads)]
+
+
+class TestMaskedIssueSlots:
+    def test_branch_taken_by_all_lanes_skips_a_block(self):
+        # rs1 == rs2 for every lane: the fall-through block has zero
+        # active lanes and must never issue on either backend.
+        prog = [
+            Instr(Op.BEQ, rs1=0, rs2=0, imm=12),
+            Instr(Op.ADDI, rd=7, rs1=0, imm=99, depth=1),   # never issues
+            Instr(Op.SW, rs1=8, rs2=7, imm=0, depth=1),     # never issues
+            Instr(Op.SW, rs1=8, rs2=6, imm=0),
+            Instr(Op.HALT),
+        ]
+        obs = run_both(
+            prog,
+            init_regs={6: [41] * 8, 8: heap_slots(8)},
+        )
+        assert obs["words"][HEAP_BASE >> 2] == 41
+        # The skipped block contributed nothing.
+        assert obs["stats"]["opcode_counts"].get(Op.ADDI, 0) == 0
+
+    def test_single_active_lane_then_empty_warp(self):
+        # Lanes 0..2 halt immediately; lane 3 runs on alone, so every
+        # subsequent slot issues with one active lane, then the warp
+        # drains to zero runnable lanes.
+        prog = [
+            Instr(Op.BEQ, rs1=5, rs2=6, imm=8),
+            Instr(Op.HALT),                                  # lanes != 3
+            Instr(Op.ADDI, rd=7, rs1=7, imm=5, depth=1),
+            Instr(Op.SW, rs1=8, rs2=7, imm=0, depth=1),
+            Instr(Op.HALT),
+        ]
+        lanes = 4
+        obs = run_both(
+            prog,
+            num_warps=2, num_lanes=lanes,
+            init_regs={5: [t % lanes for t in range(2 * lanes)],
+                       6: [3] * (2 * lanes),
+                       8: heap_slots(2 * lanes)},
+        )
+        for warp in range(2):
+            slot = (HEAP_BASE + 4 * (warp * lanes + 3)) >> 2
+            assert obs["words"][slot] == 5
+
+
+class TestDivergenceReconvergence:
+    def test_even_odd_split_and_rejoin(self):
+        # Even lanes double, odd lanes negate; everyone rejoins for the
+        # store.  Exercises select/reconverge on both backends and, via
+        # the rejoined tail, the vector backend's converged fast path.
+        prog = [
+            Instr(Op.ANDI, rd=7, rs1=5, imm=1),
+            Instr(Op.BNE, rs1=7, rs2=0, imm=12),
+            Instr(Op.ADD, rd=9, rs1=5, rs2=5, depth=1),      # even
+            Instr(Op.JAL, rd=0, imm=8, depth=1),
+            Instr(Op.SUB, rd=9, rs1=0, rs2=5, depth=1),      # odd
+            Instr(Op.SW, rs1=8, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        lanes = 4
+        threads = 2 * lanes
+        obs = run_both(
+            prog,
+            num_warps=2, num_lanes=lanes,
+            init_regs={5: list(range(threads)), 8: heap_slots(threads)},
+        )
+        for t in range(threads):
+            expected = 2 * t if t % 2 == 0 else (-t) & 0xFFFFFFFF
+            assert obs["words"][(HEAP_BASE + 4 * t) >> 2] == expected
+
+    def test_divergent_loop_trip_counts(self):
+        # Per-lane loop trip counts (tid iterations): lanes fall out of
+        # the loop one by one, reconverging at the tail store.
+        prog = [
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+            Instr(Op.BGE, rs1=9, rs2=5, imm=12),             # loop head
+            Instr(Op.ADDI, rd=9, rs1=9, imm=1, depth=1),
+            Instr(Op.JAL, rd=0, imm=-8, depth=1),
+            Instr(Op.SW, rs1=8, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        lanes = 4
+        threads = 2 * lanes
+        obs = run_both(
+            prog,
+            num_warps=2, num_lanes=lanes,
+            init_regs={5: list(range(threads)), 8: heap_slots(threads)},
+        )
+        for t in range(threads):
+            assert obs["words"][(HEAP_BASE + 4 * t) >> 2] == t
+
+
+class TestFaultingLaneSubsets:
+    def _oob_case(self, bad_lanes, num_lanes=4):
+        cap, exact = root_capability().set_bounds(HEAP_BASE, 4 * num_lanes)
+        assert exact
+        caps = []
+        for t in range(num_lanes):
+            addr = HEAP_BASE + 4 * t
+            if t in bad_lanes:
+                addr = HEAP_BASE + 4 * num_lanes  # one past the end
+            caps.append(cap.set_addr(addr))
+        prog = [Instr(Op.CLW, rd=7, rs1=6, imm=0), Instr(Op.HALT)]
+        return prog, {6: caps}
+
+    @pytest.mark.parametrize("bad_lanes", [(3,), (0,), (1, 2)])
+    def test_out_of_bounds_lane_subset_faults_identically(self, bad_lanes):
+        prog, caps = self._oob_case(set(bad_lanes))
+        obs = run_both(prog, mode="purecap", num_warps=1,
+                       init_cap_regs=caps)
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+
+    def test_all_lanes_in_bounds_is_clean(self):
+        prog, caps = self._oob_case(set())
+        obs = run_both(prog, mode="purecap", num_warps=1,
+                       init_cap_regs=caps)
+        assert obs["fault"] is None
+
+    def test_store_fault_leaves_identical_memory(self):
+        # A faulting masked store must leave memory in the same state on
+        # both backends (the fault is precise: no partial effects after
+        # the faulting slot).
+        num_lanes = 4
+        cap, exact = root_capability().set_bounds(HEAP_BASE, 4 * num_lanes)
+        assert exact
+        caps = [cap.set_addr(HEAP_BASE + 8 * t) for t in range(num_lanes)]
+        prog = [Instr(Op.CSW, rs1=6, rs2=5, imm=0), Instr(Op.HALT)]
+        obs = run_both(prog, mode="purecap", num_warps=1,
+                       init_regs={5: [7] * num_lanes}, init_cap_regs={6: caps})
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+
+
+class TestWideSMNumpyPath:
+    """>= 16 lanes engages the vector backend's NumPy array ALU."""
+
+    def test_alu_mix_sixteen_lanes(self):
+        lanes = 16
+        prog = [
+            Instr(Op.ADD, rd=9, rs1=5, rs2=6),
+            Instr(Op.SLL, rd=10, rs1=9, rs2=7),
+            Instr(Op.XOR, rd=11, rs1=10, rs2=5),
+            Instr(Op.SUB, rd=12, rs1=11, rs2=6),
+            Instr(Op.SW, rs1=8, rs2=12, imm=0),
+            Instr(Op.HALT),
+        ]
+        obs = run_both(
+            prog,
+            num_warps=1, num_lanes=lanes,
+            init_regs={5: list(range(lanes)),
+                       6: [0x01010101 * (t % 3) for t in range(lanes)],
+                       7: [t % 5 for t in range(lanes)],
+                       8: heap_slots(lanes)},
+        )
+        for t in range(lanes):
+            a, b, sh = t, 0x01010101 * (t % 3), t % 5
+            value = ((((a + b) & 0xFFFFFFFF) << sh) & 0xFFFFFFFF) ^ a
+            value = (value - b) & 0xFFFFFFFF
+            assert obs["words"][(HEAP_BASE + 4 * t) >> 2] == value
+
+    def test_masked_wide_alu(self):
+        # Divergence at 16 lanes: the masked NumPy path must scatter
+        # results only into active lanes.
+        lanes = 16
+        prog = [
+            Instr(Op.ANDI, rd=7, rs1=5, imm=1),
+            Instr(Op.BNE, rs1=7, rs2=0, imm=12),
+            Instr(Op.ADD, rd=9, rs1=5, rs2=5, depth=1),
+            Instr(Op.JAL, rd=0, imm=8, depth=1),
+            Instr(Op.ADDI, rd=9, rs1=5, imm=100, depth=1),
+            Instr(Op.SW, rs1=8, rs2=9, imm=0),
+            Instr(Op.HALT),
+        ]
+        obs = run_both(
+            prog,
+            num_warps=1, num_lanes=lanes,
+            init_regs={5: list(range(lanes)), 8: heap_slots(lanes)},
+        )
+        for t in range(lanes):
+            expected = 2 * t if t % 2 == 0 else t + 100
+            assert obs["words"][(HEAP_BASE + 4 * t) >> 2] == expected
+
+
+class TestSubWordMemory:
+    def test_byte_halfword_roundtrip(self):
+        # Byte and halfword stores/loads with sign extension, strided so
+        # lanes hit different bytes of shared words.
+        lanes = 4
+        prog = [
+            Instr(Op.SB, rs1=8, rs2=5, imm=0),
+            Instr(Op.LB, rd=9, rs1=8, imm=0),
+            Instr(Op.LBU, rd=10, rs1=8, imm=0),
+            Instr(Op.SW, rs1=11, rs2=9, imm=0),
+            Instr(Op.SW, rs1=12, rs2=10, imm=0),
+            Instr(Op.HALT),
+        ]
+        threads = 2 * lanes
+        obs = run_both(
+            prog,
+            num_warps=2, num_lanes=lanes,
+            init_regs={
+                5: [0x80 + t for t in range(threads)],  # sign bit set
+                8: [HEAP_BASE + t for t in range(threads)],
+                11: heap_slots(threads, HEAP_BASE + 0x100),
+                12: heap_slots(threads, HEAP_BASE + 0x200),
+            },
+        )
+        for t in range(threads):
+            signed = (0x80 + t) - 0x100  # LB sign-extends
+            assert obs["words"][(HEAP_BASE + 0x100 + 4 * t) >> 2] == \
+                signed & 0xFFFFFFFF
+            assert obs["words"][(HEAP_BASE + 0x200 + 4 * t) >> 2] == \
+                0x80 + t
