@@ -36,14 +36,29 @@ def _add_mode_args(parser):
     parser.add_argument("--lanes", type=int, default=8)
     parser.add_argument("--scale", type=int, default=1)
     _add_backend_arg(parser)
+    _add_jit_args(parser)
 
 
 def _add_backend_arg(parser):
     parser.add_argument("--backend", default=None,
-                        choices=("scalar", "vector"),
-                        help="execution backend (default: the SMConfig "
-                             "default, currently vector; both are "
-                             "bit-identical)")
+                        choices=("scalar", "vector", "jit"),
+                        help="execution backend (default: $REPRO_BACKEND "
+                             "or vector; all are bit-identical)")
+
+
+def _add_jit_args(parser):
+    parser.add_argument("--jit-dump-dir", default=None, metavar="DIR",
+                        help="write each generated JIT region closure to "
+                             "DIR as region_<digest>_<pc>.py (jit backend "
+                             "only)")
+
+
+def _wire_jit(rt, args):
+    """Apply JIT-tier CLI knobs to a freshly built runtime."""
+    dump = getattr(args, "jit_dump_dir", None)
+    if dump and hasattr(rt.sm.backend, "jit_dump_dir"):
+        rt.sm.backend.jit_dump_dir = dump
+    return rt
 
 
 def _runtime(args):
@@ -56,7 +71,7 @@ def _runtime(args):
         config = SMConfig.cheri_optimised(**geometry)
     else:
         config = SMConfig.baseline(**geometry)
-    return NoCLRuntime(args.mode, config=config)
+    return _wire_jit(NoCLRuntime(args.mode, config=config), args)
 
 
 def cmd_list(_args):
@@ -179,6 +194,45 @@ def cmd_experiment(args):
     return 0
 
 
+def _render_regions(backend):
+    """The ``repro profile --regions`` view: per-region compiled-versus-
+    interpreted retire shares, plus why hot PCs escaped compilation."""
+    summary = backend.jit_summary()
+    report = backend.region_report()
+    out = []
+    out.append("  %d region(s) compiled (%d cache hit(s)), %.3fs codegen, "
+               "%.1f%% of retired steps inside covered regions"
+               % (summary["compiled_regions"], summary["cache_hits"],
+                  summary["codegen_seconds"],
+                  100 * summary["step_coverage"]))
+    rows = sorted(report["regions"], key=lambda r: -r["steps_retired"])
+    if rows:
+        out.append("")
+        out.append("  %-8s %-6s %5s %6s %11s %11s %7s %s"
+                   % ("pc", "lines", "len", "spec", "retired",
+                      "compiled", "miss", "state"))
+        for row in rows:
+            lines = row["source_lines"]
+            span = ("%d-%d" % (lines[0], lines[-1]) if len(lines) > 1
+                    else str(lines[0]) if lines else "-")
+            share = (100.0 * row["fused_steps"] / row["steps_retired"]
+                     if row["steps_retired"] else 0.0)
+            out.append("  %-8s %-6s %5d %6s %11d %10.1f%% %7d %s"
+                       % ("0x%x" % row["pc"], span, row["length"],
+                          "%d/%d" % (row["specialized_steps"],
+                                     row["length"]),
+                          row["steps_retired"], share, row["arm_misses"],
+                          "demoted" if row["demoted"] else "active"))
+    misses = report["uncompiled_hot_pcs"]
+    if misses:
+        out.append("")
+        out.append("  hot PCs that escaped compilation:")
+        for row in sorted(misses, key=lambda r: -r["count"])[:20]:
+            out.append("    0x%-6x seen %6d: %s"
+                       % (row["pc"], row["count"], row["reason"]))
+    return "\n".join(out)
+
+
 def cmd_profile(args):
     """Cycle-attributed profile of one benchmark (nvprof-style)."""
     from repro.eval import runner
@@ -193,25 +247,44 @@ def cmd_profile(args):
     if args.backend is not None:
         overrides["backend"] = args.backend
     mode, config = runner.config_for(args.config, **overrides)
-    rt = NoCLRuntime(mode, config=config)
+    rt = _wire_jit(NoCLRuntime(mode, config=config), args)
+    if args.regions and not hasattr(rt.sm.backend, "region_report"):
+        print("profile --regions needs the jit backend "
+              "(pass --backend jit or set REPRO_BACKEND=jit)",
+              file=sys.stderr)
+        return 2
     profiler = ProfileCollector()
     sinks = [profiler]
     timeline = None
     if args.perfetto is not None:
         timeline = TimelineCollector()
         sinks.append(timeline)
-    attach(rt.sm, *sinks)
-    try:
+    if args.regions:
+        # Attached probes run the instrumented scheduler, which bypasses
+        # hot-region formation entirely; the region view needs the quiet
+        # loop, and all its counters live on the backend.
         stats = bench.run(rt, scale=args.scale)
-    finally:
-        detach(rt.sm)
+    else:
+        attach(rt.sm, *sinks)
+        try:
+            stats = bench.run(rt, scale=args.scale)
+        finally:
+            detach(rt.sm)
     if args.json:
         import json
-        print(json.dumps({
+        payload = {
             "benchmark": bench.name, "config": args.config, "mode": mode,
             "scale": args.scale, "cycles": stats.cycles,
             "profile": profiler.as_dict(),
-        }, indent=1, sort_keys=True))
+        }
+        backend = rt.sm.backend
+        if hasattr(backend, "jit_summary"):
+            payload["jit"] = backend.jit_summary()
+            payload["jit_regions"] = backend.region_report()
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    elif args.regions:
+        print("%s [%s] JIT region profile" % (bench.name, args.config))
+        print(_render_regions(rt.sm.backend))
     elif args.pc:
         print(profiler.render_pc(stats, limit=args.limit or 40))
     elif args.per_warp:
@@ -609,6 +682,10 @@ def build_parser():
                       help="per-warp occupancy and stall-cause breakdown")
     view.add_argument("--timeline", action="store_true",
                       help="coarse issue/stall activity strip over time")
+    view.add_argument("--regions", action="store_true",
+                      help="per-region JIT view: compiled vs interpreted "
+                           "retire share, arm misses, and why hot PCs "
+                           "escaped compilation (jit backend only)")
     view.add_argument("--json", action="store_true",
                       help="dump the whole profile as JSON")
     profile.add_argument("--perfetto", nargs="?", const="", default=None,
@@ -623,6 +700,7 @@ def build_parser():
     profile.add_argument("--lanes", type=int, default=None,
                          help="override the evaluation lane count")
     _add_backend_arg(profile)
+    _add_jit_args(profile)
 
     diff = sub.add_parser(
         "diff", help="compare two run manifests, flag metric regressions")

@@ -91,6 +91,10 @@ class RunMeta:
 
     source: str = "sim"        # "sim" | "disk"
     wall_seconds: float = 0.0  # simulation wall-clock (0.0 for disk hits)
+    #: JIT-tier counters (``JITBackend.jit_summary()``) when the run
+    #: executed on the jit backend; None otherwise.  Purely diagnostic:
+    #: not part of the verified statistics and never compared.
+    jit: dict = None
 
 
 @dataclass
@@ -298,8 +302,12 @@ def _simulate(name, config_name, mode, config, scale):
     start = time.perf_counter()
     stats = bench.run(rt, scale=scale)
     elapsed = time.perf_counter() - start
+    backend = rt.sm.backend
+    jit = (backend.jit_summary() if hasattr(backend, "jit_summary")
+           else None)
     return RunResult(name, config_name, mode, stats, config,
-                     meta=RunMeta(source="sim", wall_seconds=elapsed))
+                     meta=RunMeta(source="sim", wall_seconds=elapsed,
+                                  jit=jit))
 
 
 def job_key(name, config_name, scale=1, **overrides):

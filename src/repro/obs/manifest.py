@@ -105,6 +105,12 @@ def build_manifest(results, config_name, scale, wall_seconds,
             "cache_source": meta.source if meta else "memo",
             "sim_seconds": round(meta.wall_seconds, 6) if meta else 0.0,
         }
+        # Additive: per-benchmark JIT-tier counters when the run executed
+        # on the jit backend (``getattr`` tolerates RunMeta objects
+        # unpickled from pre-JIT disk caches).
+        jit = getattr(meta, "jit", None) if meta else None
+        if jit is not None:
+            benchmarks[name]["jit"] = jit
     first = next(iter(results.values()), None)
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))

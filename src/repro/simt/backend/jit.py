@@ -1,0 +1,1275 @@
+"""The trace-JIT execution tier: codegen fused closures for hot regions.
+
+Layered on the lane-vectorized backend, this tier goes one step further
+than pre-decoded dispatch: when a straight-line region crosses the hot
+threshold, it *generates Python source* specialized to the region's
+decoded instructions and ``compile()``/``exec``-utes it once.
+
+What the generated code buys over the vectorized handlers:
+
+- **constants inlined** — register numbers, immediates, lane counts,
+  pipeline depth and the full-warp mask are literals; the per-issue aux
+  tuple unpack, dispatch-table lookups and guard cascades disappear;
+- **checks hoisted or batched** — each step's operand-pattern guards are
+  reduced to the shapes the region actually produces: a *pure* arm for
+  compact uniform/affine forms (one evaluation, one capability
+  *k*-window decode per warp) and a *lane* arm for resident vectors,
+  with the generic vectorized handler kept as a per-step fallback so
+  any other shape replays the reference semantics exactly;
+- **stats updates coalesced** — "pure" steps (width-1, no memory/SFU or
+  stall traffic) account with a single cycle bump, skipping the
+  per-step pipeline-state resets the generic driver needs.
+
+The region compiles to one **convoy frame** ``c<K>`` per step: the step
+body plus the scheduler bookkeeping (cycle/width accounting, ready-at,
+step-queue advance) fused into one call.  Two drivers dispatch them:
+
+- :meth:`JITBackend._convoy_run` — when every runnable warp sits inside
+  the same region, the JIT replays the barrel schedule itself (exact
+  pick order, exact cycles) without the generic loop's per-step
+  dispatch;
+- :meth:`JITBackend._run_region` — a solo warp drains a region
+  back-to-back through the same frames, replacing the generic
+  run-ahead driver.
+
+Keeping the module to one artefact per step (rather than also emitting
+standalone step closures and an unrolled region driver) keeps
+``compile()`` time — the dominant codegen cost — proportional to what
+actually runs hot.
+
+Compiled code objects are cached keyed by ``(program digest, region
+start)`` so recompilation survives re-launches of the same kernel; a
+per-step signature (op fields plus handler/aux function identities)
+guards the cache against monkeypatched dispatch tables.  Launch-scoped
+objects (instruction objects, handlers, aux tuples) are re-bound by
+re-running the cached module's ``_make`` hook, never by regenerating
+source.
+
+Every fast arm only commits after all checks pass and falls back to the
+generic vectorized handler otherwise — operand reads up to that point
+are side-effect-free dict peeks, so the fallback is an exact replay.
+Faulting lanes therefore bail out of a compiled region with the same
+fault PC, kind and statistics as the interpreter.  This is enforced by
+``tests/simt/test_jit.py``, the full-suite scalar-vs-JIT equivalence
+sweep and ``repro lockstep --backend jit``.
+
+An annotated (abbreviated) example frame for ``ADDI x9, x9, 1`` at
+pc 0x8, step 1 of a hot region on an 8-lane SM::
+
+    def c1(warp, rq, cycle, icounts):
+        wk = warp.index << 8
+        fast = 0
+        e1 = gpe_get(wk | 9)            # peek the compact operand form
+        if e1 is None:
+            e1 = NULL
+        if type(e1) is _S:              # uniform/affine: stay symbolic
+            wrf(warp, 9, _S((e1.base + 1) & 4294967295, e1.stride))
+            fast = 1
+        if fast:                        # width-1, no stalls: accounting
+            warp.pcs[:] = N1            #   collapses to one cycle bump
+            warp.ready_at = cycle + 6
+            icounts[2] += 1
+            stats.thread_instrs += 8
+            rq[1] = 2                   # advance the region step queue
+            return cycle + 1
+        sm._cycle = cycle               # otherwise: exact step_quiet
+        sm._mem_ready = cycle           #   replay — resets, lane arm or
+        ...                             #   vectorized handler fallback,
+        return cycle + width            #   stall/width accounting
+
+Dump the full generated source with ``--jit-dump-dir`` on the run/bench
+CLIs for debugging.
+"""
+
+import hashlib
+import time
+
+from repro.cheri.exceptions import CapabilityFault
+from repro.isa.instructions import Op
+from repro.simt.backend.vector import (
+    MASK32,
+    VectorBackend,
+    _FAR_FUTURE,
+    _ADD,
+    _FN_CCLEARTAG,
+    _FN_CGETADDR,
+    _FN_CINCOFFSET,
+    _FN_CINCOFFSETIMM,
+    _FN_CMOVE,
+    _FN_CSETADDR,
+    _P_LOAD,
+    _P_STORE,
+    _SYM_RR,
+)
+from repro.simt.regfile.compressed import (
+    _NULL_SCALAR,
+    _Scalar,
+    _Spilled,
+    _Vector,
+)
+
+#: Word-sized plain/capability loads and stores the memory fast arm
+#: transcribes (sub-word, capability-width and AMO ops stay generic).
+_MEM_ARM_OPS = frozenset((Op.LW, Op.SW, Op.CLW, Op.CSW))
+
+_M32 = "4294967295"
+_LIM = "4294967296"
+
+from repro.simt.alu import (  # noqa: E402  (grouped with the tables below)
+    _f_fadd,
+    _f_fmul,
+    _f_fsub,
+    _int_add,
+    _int_and,
+    _int_mul,
+    _int_or,
+    _int_sll,
+    _int_sltu,
+    _int_srl,
+    _int_sub,
+    _int_xor,
+    bits_to_f32,
+    f32_to_bits,
+)
+
+#: Per-lane fns whose bodies are inlined into the lane comprehension,
+#: saving one Python call per lane.  Each template is the alu fn's body
+#: verbatim over the ``{x}``/``{y}`` operand expressions (``btf``/``ftb``
+#: are ``bits_to_f32``/``f32_to_bits``, so the float templates round
+#: through binary32 exactly like the wrapped fns).
+_INLINE_RR = {
+    _int_add: "({x} + {y}) & " + _M32,
+    _int_sub: "({x} - {y}) & " + _M32,
+    _int_sll: "({x} << ({y} & 31)) & " + _M32,
+    _int_srl: "({x} & " + _M32 + ") >> ({y} & 31)",
+    _int_xor: "({x} ^ {y}) & " + _M32,
+    _int_or: "({x} | {y}) & " + _M32,
+    _int_and: "({x} & {y}) & " + _M32,
+    _int_sltu: "(1 if ({x} & " + _M32 + ") < ({y} & " + _M32 + ") else 0)",
+    _int_mul: "({x} * {y}) & " + _M32,
+    _f_fadd: "ftb(btf({x}) + btf({y}))",
+    _f_fsub: "ftb(btf({x}) - btf({y}))",
+    _f_fmul: "ftb(btf({x}) * btf({y}))",
+}
+
+
+class _Arm(object):
+    """One step's specialized fast paths.
+
+    ``pure_lines`` handle compact (uniform/affine) operand forms through
+    ``write_form`` only — no memory traffic, no stall flags, width 1 —
+    so callers may account them with a coalesced single-cycle frame.
+    ``vec_lines`` handle lane-resident operands; they need the per-step
+    pipeline-state resets done first and the full accounting after
+    (spills, stall flags and memory timing are all possible).  Either
+    tier may be None.  Both set ``fast = 1`` on success and must be
+    side-effect-free until that commit point; ``vec_lines`` may assume
+    ``pure_lines``' operand reads (``e1``/``e2``) are in scope when both
+    tiers exist.
+    """
+
+    __slots__ = ("pure_lines", "vec_lines", "binds")
+
+    def __init__(self, pure_lines, vec_lines, binds):
+        self.pure_lines = pure_lines
+        self.vec_lines = vec_lines
+        self.binds = binds      # launch-independent name -> value binds
+
+
+class _RegionCodegen(object):
+    """Generates the source module for one region.
+
+    The output is deterministic for a fixed (config, program, region):
+    arm selection keys off instruction fields and dispatch-function
+    identities only, and all emitted constants derive from the frozen SM
+    config, so the golden tests can pin the generated source.
+    """
+
+    def __init__(self, backend, index, steps):
+        sm = backend.sm
+        self.backend = backend
+        self.index = index
+        self.steps = steps
+        self.nl = sm._num_lanes
+        self.full_mask = sm._full_mask
+        self.depth = sm.cfg.pipeline_depth
+        self.shared_vrf = sm.cfg.shared_vrf
+        self.single_port = sm.cfg.metadata_srf_single_port
+        self.has_meta = sm.meta is not None
+        self.gp_pool = getattr(sm.gp, "pool", None) is not None
+        self.meta_pool = (self.has_meta and
+                          getattr(sm.meta, "pool", None) is not None)
+        self.plan = []          # per-step launch-independent binds
+        self.arms = []          # per-step _Arm or None
+
+    # -- per-step arm selection ---------------------------------------
+
+    def _read_gp(self, lines, var, reg):
+        if reg == 0:
+            lines.append("%s = NULL" % var)
+            return
+        lines.append("%s = gpe_get(wk | %d)" % (var, reg))
+        lines.append("if %s is None:" % var)
+        lines.append("    %s = NULL" % var)
+
+    def _read_meta(self, lines, var, reg):
+        if reg == 0:
+            lines.append("%s = NULL" % var)
+            return
+        lines.append("%s = me_get(wk | %d)" % (var, reg))
+        lines.append("if %s is None:" % var)
+        lines.append("    %s = NULL" % var)
+
+    def _lanes_of(self, lines, tvar, evar, avar):
+        """Expand one already-read operand form into a lane list bound
+        to ``avar`` (None when the form needs the reference path: a
+        spilled entry's reload is costed, so the handler owns it)."""
+        lines.append("%s = type(%s)" % (tvar, evar))
+        lines.append("if %s is _V:" % tvar)
+        lines.append("    sm._gp_vec_touch = True")
+        lines.append("    %s = %s.values" % (avar, evar))
+        lines.append("elif %s is list:" % tvar)
+        lines.append("    %s = %s" % (avar, evar))
+        lines.append("elif %s is _S:" % tvar)
+        lines.append("    %s = %s.expand(%d, %s)" % (avar, evar, self.nl,
+                                                     _M32))
+        lines.append("else:")
+        lines.append("    %s = None" % avar)
+
+    def _plan_arm(self, k, step):
+        pc, instr, handler, aux, _is_csc, op = step
+        fn_name = getattr(handler, "__func__", handler).__name__
+        method = getattr(self, "_arm" + fn_name, None)
+        if method is None:
+            return None
+        return method(k, pc, instr, aux)
+
+    def _arm_v_int_i(self, k, pc, instr, aux):
+        fn, imm = aux
+        rd = instr.rd or 0
+        pure = []
+        binds = {}
+        if instr.rs1 == 0:
+            # Constant-folded: the uniform path's single evaluation.
+            cst = _Scalar(fn(0, imm) & MASK32, 0)
+            binds["CST%d" % k] = cst
+            if rd:
+                pure.append("wrf(warp, %d, CST%d)" % (rd, k))
+            pure.append("fast = 1")
+            return _Arm(pure, None, binds)
+        self._read_gp(pure, "e1", instr.rs1)
+        if fn is _ADD:
+            pure.append("if type(e1) is _S:")
+            pure.append("    wrf(warp, %d, _S((e1.base + %d) & %s, "
+                        "e1.stride))" % (rd, imm, _M32))
+            pure.append("    fast = 1")
+        elif fn in _SYM_RR:
+            binds["SYM%d" % k] = _SYM_RR[fn]
+            pure.append("if type(e1) is _S:")
+            pure.append("    if e1.stride == 0:")
+            pure.append("        wrf(warp, %d, _S(FN%d(e1.base, %d) & %s, "
+                        "0))" % (rd, k, imm, _M32))
+            pure.append("        fast = 1")
+            pure.append("    else:")
+            pure.append("        out = SYM%d(e1.base, e1.stride, %d, 0, %d)"
+                        % (k, imm, self.nl))
+            pure.append("        if out is not None:")
+            pure.append("            wrf(warp, %d, out)" % rd)
+            pure.append("            fast = 1")
+        else:
+            pure.append("if type(e1) is _S and e1.stride == 0:")
+            pure.append("    wrf(warp, %d, _S(FN%d(e1.base, %d) & %s, 0))"
+                        % (rd, k, imm, _M32))
+            pure.append("    fast = 1")
+        binds["FN%d" % k] = fn
+        tpl = _INLINE_RR.get(fn)
+        if tpl is not None:
+            lane = tpl.format(x="x", y="(%d)" % imm)
+        else:
+            lane = "FN%d(x, %d)" % (k, imm)
+        vec = []
+        self._lanes_of(vec, "t1", "e1", "a")
+        vec.append("if a is not None:")
+        vec.append("    wrd(warp, %d, [%s for x in a], %d)"
+                   % (rd, lane, self.full_mask))
+        vec.append("    fast = 1")
+        return _Arm(pure, vec, binds)
+
+    def _arm_v_int_r(self, k, pc, instr, aux):
+        fn, is_sfu = aux
+        if is_sfu:
+            return None
+        rd = instr.rd or 0
+        pure = []
+        binds = {"FN%d" % k: fn}
+        self._read_gp(pure, "e1", instr.rs1)
+        self._read_gp(pure, "e2", instr.rs2)
+        pure.append("if type(e1) is _S and type(e2) is _S:")
+        pure.append("    if e1.stride == 0 and e2.stride == 0:")
+        pure.append("        wrf(warp, %d, _S(FN%d(e1.base, e2.base) & %s, "
+                    "0))" % (rd, k, _M32))
+        pure.append("        fast = 1")
+        if fn in _SYM_RR:
+            binds["SYM%d" % k] = _SYM_RR[fn]
+            pure.append("    else:")
+            pure.append("        out = SYM%d(e1.base, e1.stride, e2.base, "
+                        "e2.stride, %d)" % (k, self.nl))
+            pure.append("        if out is not None:")
+            pure.append("            wrf(warp, %d, out)" % rd)
+            pure.append("            fast = 1")
+        return _Arm(pure, self._vec_rr(k, rd, fn), binds)
+
+    def _vec_rr(self, k, rd, fn=None):
+        """Lane tier for a two-source op: both operands expanded, the
+        per-lane fn (inlined when its body is in ``_INLINE_RR``) zipped
+        across, full-mask write."""
+        tpl = _INLINE_RR.get(fn)
+        if tpl is not None:
+            lane = tpl.format(x="x", y="y")
+        else:
+            lane = "FN%d(x, y)" % k
+        vec = []
+        self._lanes_of(vec, "t1", "e1", "a")
+        vec.append("if a is not None:")
+        sub = []
+        self._lanes_of(sub, "t2", "e2", "b")
+        sub.append("if b is not None:")
+        sub.append("    wrd(warp, %d, [%s for x, y in zip(a, b)], "
+                   "%d)" % (rd, lane, self.full_mask))
+        sub.append("    fast = 1")
+        vec += ["    " + line for line in sub]
+        return vec
+
+    def _arm_v_lui(self, k, pc, instr, aux):
+        return self._const_arm(k, instr, _Scalar(aux, 0))
+
+    def _arm_v_auipc(self, k, pc, instr, aux):
+        return self._const_arm(k, instr, _Scalar((pc + aux) & MASK32, 0))
+
+    def _const_arm(self, k, instr, cst):
+        rd = instr.rd or 0
+        lines = []
+        binds = {}
+        if rd:
+            binds["CST%d" % k] = cst
+            lines.append("wrf(warp, %d, CST%d)" % (rd, k))
+        lines.append("fast = 1")
+        return _Arm(lines, None, binds)
+
+    def _arm_v_float_rr(self, k, pc, instr, aux):
+        fn, is_sfu = aux
+        if is_sfu:
+            return None
+        rd = instr.rd or 0
+        pure = []
+        self._read_gp(pure, "e1", instr.rs1)
+        self._read_gp(pure, "e2", instr.rs2)
+        pure.append("if type(e1) is _S and e1.stride == 0 and "
+                    "type(e2) is _S and e2.stride == 0:")
+        pure.append("    wrf(warp, %d, _S(FN%d(e1.base, e2.base) & %s, 0))"
+                    % (rd, k, _M32))
+        pure.append("    fast = 1")
+        return _Arm(pure, self._vec_rr(k, rd, fn), {"FN%d" % k: fn})
+
+    def _arm_v_float_unary(self, k, pc, instr, aux):
+        fn, is_sfu = aux
+        if is_sfu:
+            return None
+        rd = instr.rd or 0
+        pure, binds = self._unary_pure(k, instr, fn)
+        vec = []
+        self._lanes_of(vec, "t1", "e1", "a")
+        vec.append("if a is not None:")
+        vec.append("    wrd(warp, %d, [FN%d(x) for x in a], %d)"
+                   % (rd, k, self.full_mask))
+        vec.append("    fast = 1")
+        return _Arm(pure, vec, binds)
+
+    def _arm_v_crr(self, k, pc, instr, aux):
+        fn, slow = aux
+        if slow:
+            return None
+        pure, binds = self._unary_pure(k, instr, fn)
+        return _Arm(pure, None, binds)
+
+    def _unary_pure(self, k, instr, fn):
+        rd = instr.rd or 0
+        lines = []
+        self._read_gp(lines, "e1", instr.rs1)
+        lines.append("if type(e1) is _S and e1.stride == 0:")
+        lines.append("    wrf(warp, %d, _S(FN%d(e1.base) & %s, 0))"
+                     % (rd, k, _M32))
+        lines.append("    fast = 1")
+        return lines, {"FN%d" % k: fn}
+
+    def _arm_v_cget(self, k, pc, instr, aux):
+        fn, slow = aux
+        if slow or fn is not _FN_CGETADDR or not self.has_meta:
+            return None
+        rd = instr.rd or 0
+        lines = []
+        self._read_gp(lines, "e1", instr.rs1)
+        # A spilled metadata entry would be a costed reload in the
+        # handler's _meta_form read: keep that on the reference path.
+        if instr.rs1 == 0:
+            lines.append("if type(e1) is _S:")
+        else:
+            lines.append("if type(e1) is _S and "
+                         "type(me_get(wk | %d)) is not _SP:" % instr.rs1)
+        lines.append("    wrf(warp, %d, _S(e1.base, e1.stride))" % rd)
+        lines.append("    fast = 1")
+        return _Arm(lines, None, {})
+
+    def _arm_v_cmod1(self, k, pc, instr, aux):
+        fn = aux
+        if not self.has_meta or (fn is not _FN_CMOVE and
+                                 fn is not _FN_CCLEARTAG):
+            return None
+        rd = instr.rd or 0
+        lines = []
+        self._read_gp(lines, "e1", instr.rs1)
+        self._read_meta(lines, "m1", instr.rs1)
+        lines.append("if type(m1) is _S and m1.stride == 0 and "
+                     "type(e1) is _S:")
+        meta_expr = "m1.base" if fn is _FN_CMOVE else "m1.base & " + _M32
+        lines.append("    wrcf(warp, %d, _S(e1.base, e1.stride), %s)"
+                     % (rd, meta_expr))
+        lines.append("    fast = 1")
+        return _Arm(lines, None, {})
+
+    def _arm_v_cmod2(self, k, pc, instr, aux):
+        fn, slow = aux
+        if slow or not self.has_meta:
+            return None
+        if fn is _FN_CINCOFFSET:
+            nb = "(e1.base + e2.base) & " + _M32
+            aff = "e1.base + e2.base, e1.stride + e2.stride"
+        elif fn is _FN_CSETADDR:
+            nb = "e2.base & " + _M32
+            aff = "e2.base, e2.stride"
+        else:
+            return None
+        rd = instr.rd or 0
+        lines = []
+        self._read_gp(lines, "e1", instr.rs1)
+        self._read_gp(lines, "e2", instr.rs2)
+        self._read_meta(lines, "m1", instr.rs1)
+        lines.append("if type(e1) is _S and type(e2) is _S and "
+                     "type(m1) is _S and m1.stride == 0:")
+        lines.append("    m = m1.base")
+        lines.append("    if e1.stride == 0 and e2.stride == 0:")
+        lines.append("        nb = " + nb)
+        lines += self._uniform_addr_lines(rd)
+        lines.append("    elif saw(warp, %d, m, e1, %s):" % (rd, aff))
+        lines.append("        fast = 1")
+        return _Arm(lines, None, {})
+
+    def _arm_v_cimm(self, k, pc, instr, aux):
+        fn, imm, slow = aux
+        if slow or not self.has_meta or fn is not _FN_CINCOFFSETIMM:
+            return None
+        rd = instr.rd or 0
+        lines = []
+        self._read_gp(lines, "e1", instr.rs1)
+        self._read_meta(lines, "m1", instr.rs1)
+        lines.append("if type(e1) is _S and type(m1) is _S and "
+                     "m1.stride == 0:")
+        lines.append("    m = m1.base")
+        lines.append("    if e1.stride == 0:")
+        lines.append("        nb = (e1.base + %d) & %s" % (imm, _M32))
+        lines += self._uniform_addr_lines(rd)
+        lines.append("    elif saw(warp, %d, m, e1, e1.base + %d, "
+                     "e1.stride):" % (rd, imm))
+        lines.append("        fast = 1")
+        return _Arm(lines, None, {})
+
+    def _uniform_addr_lines(self, rd):
+        """Transcribed ``_uniform_addr_meta``: untagged and sealed keep
+        the meta word (sealed also clears the tag); a tagged unsealed
+        move staying in one *k*-window keeps everything.  A *k*-window
+        miss falls back to the exact Capability path."""
+        return [
+            "        info = ci(m)",
+            "        if not info[0]:",
+            "            wrcf(warp, %d, _S(nb, 0), m)" % rd,
+            "            fast = 1",
+            "        elif info[1] != 0:",
+            "            wrcf(warp, %d, _S(nb, 0), m & %s)" % (rd, _M32),
+            "            fast = 1",
+            "        elif ((e1.base >> info[4]) - info[5]) >> 8 == "
+            "((nb >> info[4]) - info[5]) >> 8:",
+            "            wrcf(warp, %d, _S(nb, 0), m)" % rd,
+            "            fast = 1",
+        ]
+
+    def _arm_v_memory(self, k, pc, instr, aux):
+        width, is_cap, is_store, is_amo, _amo_fn, _signed, imm = aux
+        op = instr.op
+        if is_amo or width != 4 or op not in _MEM_ARM_OPS:
+            return None
+        if is_cap and not self.has_meta:
+            return None
+        nl = self.nl
+        lines = []
+        binds = {"OP%d" % k: op}
+        self._read_gp(lines, "e1", instr.rs1)
+        if is_cap:
+            self._read_meta(lines, "m1", instr.rs1)
+            lines.append("if type(e1) is _S and type(m1) is _S and "
+                         "m1.stride == 0:")
+        else:
+            lines.append("if type(e1) is _S:")
+        lines.append("    base = e1.base")
+        lines.append("    stride = e1.stride")
+        lines.append("    span = %d * stride" % (nl - 1))
+        lines.append("    c_lo = base + (span if stride < 0 else 0)")
+        lines.append("    c_hi = base + (span if stride > 0 else 0)")
+        lines.append("    a_lo = c_lo + %d" % imm)
+        lines.append("    a_hi = c_hi + %d" % imm)
+        lines.append("    if c_lo >= 0 and c_hi + 4 <= %s and a_lo >= 0 "
+                     "and a_hi + 4 <= %s and not a_lo %% 4 and "
+                     "not stride %% 4:" % (_LIM, _LIM))
+        body_indent = "        "
+        if is_cap:
+            need = _P_STORE if is_store else _P_LOAD
+            lines.append("        info = ci(m1.base)")
+            lines.append("        if info[0] and info[1] == 0 and "
+                         "info[2] & %d and ((c_lo >> info[4]) - info[5]) "
+                         ">> 8 == ((c_hi >> info[4]) - info[5]) >> 8:"
+                         % need)
+            lines.append("            bt = dbs(m1.base, info[3], info[4], "
+                         "info[5], c_lo)")
+            lines.append("            if bt[0] <= a_lo and "
+                         "a_hi + 4 <= bt[1]:")
+            body_indent = "                "
+        body = (self._store_body(k, instr, imm) if is_store
+                else self._load_body(k, instr, imm))
+        lines += [body_indent + b for b in body]
+        return _Arm(None, lines, binds)
+
+    def _load_body(self, k, instr, imm):
+        nl = self.nl
+        rd = instr.rd or 0
+        return [
+            "addr = base + %d" % imm,
+            "if stride == 0:",
+            "    out = [wget(addr >> 2, 0)] * %d" % nl,
+            "else:",
+            "    out = [0] * %d" % nl,
+            "    for i in range(%d):" % nl,
+            "        out[i] = wget(addr >> 2, 0)",
+            "        addr += stride",
+            "wrd(warp, %d, out, %d)" % (rd, self.full_mask),
+            "fmt(OP%d, base + %d, stride, 4, %d, False, warp)"
+            % (k, imm, nl),
+            "fast = 1",
+        ]
+
+    def _store_body(self, k, instr, imm):
+        nl = self.nl
+        rs2 = instr.rs2 or 0
+        lines = []
+        if rs2 == 0:
+            lines.append("e2 = NULL")
+        else:
+            lines.append("e2 = gpe_get(wk | %d)" % rs2)
+            lines.append("if e2 is None:")
+            lines.append("    e2 = NULL")
+        lines += [
+            "t2 = type(e2)",
+            "if t2 is not _SP:",
+            "    if t2 is _V:",
+            "        sm._gp_vec_touch = True",
+            "        v2 = e2.values",
+            "    elif t2 is list:",
+            "        v2 = e2",
+            "    else:",
+            "        v2 = None",
+            "    addr = base + %d" % imm,
+            "    if stride == 0:",
+            "        index = addr >> 2",
+            "        if v2 is None:",
+            "            words[index] = (e2.base + %d * e2.stride) & %s"
+            % (nl - 1, _M32),
+            "        else:",
+            "            words[index] = v2[%d] & %s" % (nl - 1, _M32),
+            "        tdis(index)",
+            "    elif v2 is None:",
+            "        b2 = e2.base",
+            "        s2 = e2.stride",
+            "        for i in range(%d):" % nl,
+            "            index = addr >> 2",
+            "            words[index] = (b2 + i * s2) & %s" % _M32,
+            "            tdis(index)",
+            "            addr += stride",
+            "    else:",
+            "        for i in range(%d):" % nl,
+            "            index = addr >> 2",
+            "            words[index] = v2[i] & %s" % _M32,
+            "            tdis(index)",
+            "            addr += stride",
+            "    fmt(OP%d, base + %d, stride, 4, %d, True, warp)"
+            % (k, imm, nl),
+            "    fast = 1",
+        ]
+        return lines
+
+    # -- module assembly ----------------------------------------------
+
+    def generate(self):
+        steps = self.steps
+        for k, step in enumerate(steps):
+            arm = self._plan_arm(k, step)
+            self.arms.append(arm)
+            self.plan.append(arm.binds if arm is not None else {})
+        out = []
+        w = out.append
+        w("# JIT region @0x%x: %s" % (
+            self.index << 2,
+            " ".join(step[5].name for step in steps)))
+        w("# generated by repro.simt.backend.jit (deterministic for a")
+        w("# fixed config + program; do not edit)")
+        w("")
+        w("")
+        w("def _make(B):")
+        for name in self._global_binds():
+            w("    %s = B[%r]" % (name, name))
+        for k, step in enumerate(steps):
+            for name in ("I%d" % k, "h%d" % k, "A%d" % k, "N%d" % k):
+                w("    %s = B[%r]" % (name, name))
+            for name in sorted(self.plan[k]):
+                w("    %s = B[%r]" % (name, name))
+        w("")
+        for k, step in enumerate(steps):
+            self._emit_convoy_fn(w, k, step)
+        w("    return (%s)" % "".join("c%d, " % k
+                                      for k in range(len(steps))))
+        return "\n".join(out) + "\n"
+
+    def _global_binds(self):
+        names = ["sm", "stats", "gp", "meta", "gpe_get", "me_get",
+                 "words", "wget", "tdis", "wrd", "wrf", "wrcf", "saw",
+                 "ci", "dbs", "fmt", "NULL", "_S", "_V", "_SP", "lanes",
+                 "btf", "ftb", "RC"]
+        if self.gp_pool:
+            names.append("gp_cget")
+        if self.meta_pool:
+            names.append("meta_cget")
+        return names
+
+    def _resets(self):
+        """The per-step pipeline-state resets ``step_quiet`` does before
+        dispatching a handler (required by lane arms and fallbacks:
+        spills and memory timing read/raise these fields)."""
+        return [
+            "sm._cycle = cycle",
+            "sm._mem_ready = cycle",
+            "sm._extra_issue = 0",
+            "sm._gp_vec_touch = False",
+            "sm._meta_vec_touch = False",
+        ]
+
+    def _full_accounting(self, is_csc):
+        """Post-dispatch width/stall/ready-at accounting, transcribed
+        from ``step_quiet`` with the config flags resolved statically."""
+        lines = ["extra = sm._extra_issue"]
+        if self.shared_vrf:
+            lines += [
+                "if sm._gp_vec_touch and sm._meta_vec_touch:",
+                "    extra += 1",
+                "    stats.stall_shared_vrf += 1",
+            ]
+        if self.single_port and is_csc:
+            lines += [
+                "extra += 1",
+                "stats.stall_csc_operand += 1",
+            ]
+        lines += [
+            "completion = cycle + %d" % self.depth,
+            "if sm._mem_ready > completion:",
+            "    completion = sm._mem_ready",
+            "warp.ready_at = completion",
+            "width = 1 + extra",
+        ]
+        return lines
+
+    def _emit_slow_step(self, w, pad, k, step):
+        """Resets + lane arm (when present) + handler fallback — the
+        un-accounted step body shared by convoy and region frames.
+        Assumes the pure tier (if any) already ran and missed, leaving
+        its operand reads in scope for the lane tier."""
+        pc, _instr, _handler, _aux, _is_csc, _op = step
+        arm = self.arms[k]
+        call = "h%d(warp, I%d, %d, lanes, %d, A%d)" % (
+            k, k, pc, self.full_mask, k)
+        for line in self._resets():
+            w(pad + line)
+        if arm is not None and arm.vec_lines:
+            w(pad + "fast = 0")
+            for line in arm.vec_lines:
+                w(pad + line)
+            w(pad + "if fast:")
+            w(pad + "    warp.pcs[:] = N%d" % k)
+            w(pad + "else:")
+            w(pad + "    RC[2] += 1")
+            w(pad + "    " + call)
+        elif arm is not None:
+            # A pure-only arm that fell through: specialization missed.
+            w(pad + "RC[2] += 1")
+            w(pad + call)
+        else:
+            # No arm exists for this op: the handler call is the plan,
+            # not a miss.
+            w(pad + call)
+
+    def _emit_convoy_fn(self, w, k, step):
+        """``c<K>``: one barrel-scheduler slot for one warp — the step
+        body plus the exact ``step_quiet`` bookkeeping (issue counts,
+        thread instrs, occupancy, ready-at, step-queue advance) —
+        returning the cycle after the consumed issue slot(s)."""
+        pc, _instr, _handler, _aux, is_csc, _op = step
+        arm = self.arms[k]
+        last = k == len(self.steps) - 1
+        advance = "warp.rq = None" if last else "rq[1] = %d" % (k + 1)
+        w("    def c%d(warp, rq, cycle, icounts):" % k)
+        w("        wk = warp.index << 8")
+        if arm is not None and arm.pure_lines:
+            w("        fast = 0")
+            for line in arm.pure_lines:
+                w("        " + line)
+            w("        if fast:")
+            w("            warp.pcs[:] = N%d" % k)
+            w("            warp.ready_at = cycle + %d" % self.depth)
+            w("            icounts[%d] += 1" % (pc >> 2))
+            w("            stats.thread_instrs += %d" % self.nl)
+            for line in self._occ_lines(""):
+                w("            " + line)
+            w("            RC[1] += 1")
+            w("            " + advance)
+            w("            return cycle + 1")
+        self._emit_slow_step(w, "        ", k, step)
+        for line in self._full_accounting(is_csc):
+            w("        " + line)
+        w("        icounts[%d] += 1" % (pc >> 2))
+        w("        stats.thread_instrs += %d" % self.nl)
+        for line in self._occ_lines(" * width"):
+            w("        " + line)
+        w("        RC[1] += 1")
+        w("        " + advance)
+        w("        return cycle + width")
+        w("")
+
+    def _occ_lines(self, mult):
+        lines = []
+        if self.gp_pool:
+            lines.append("stats.gp_vrf_occupancy_integral += "
+                         "gp_cget(gp, 0)" + mult)
+        if self.meta_pool:
+            lines.append("stats.meta_vrf_occupancy_integral += "
+                         "meta_cget(meta, 0)" + mult)
+        return lines
+
+class JITBackend(VectorBackend):
+    """Codegen trace-JIT tier (see module docstring)."""
+
+    name = "jit"
+
+    #: Drive attempts (convoy formations or solo drains) a formed region
+    #: must accumulate before codegen runs.  Keeps compile time off
+    #: regions that merely crossed the fetch-count hot threshold.
+    _promote_after = 3
+
+    #: Frame executions a compiled region must accumulate before its
+    #: arm-miss ratio is trusted for demotion.
+    _demote_floor = 512
+
+    def __init__(self, sm):
+        super().__init__(sm)
+        #: (program digest, region start index) ->
+        #: (signature, source, code object, plan).
+        self._code_cache = {}
+        #: region start pc ->
+        #: (fused region fn, installed step list, convoy frames).
+        self._fused = {}
+        #: (digest, index) -> [fused calls, fused steps] (persistent
+        #: across launches, bound into the generated region fns).
+        self._region_counters = {}
+        #: (digest, index) -> static region facts for the report.
+        self._region_info = {}
+        #: region start pc -> reason codegen declined it.
+        self._rejects = {}
+        #: program digest -> banked hot-pc counts from earlier launches,
+        #: re-seeded on re-launch so short repeated kernels (multi-pass
+        #: benchmarks) don't re-heat every region from zero each time.
+        self._heat = {}
+        #: (digest, index) -> drive attempts accumulated across launches
+        #: while the region awaits codegen promotion.
+        self._drive_counts = {}
+        self._program_digest = ""
+        self.compiled_regions = 0
+        self.codegen_seconds = 0.0
+        self.cache_hits = 0
+        #: When set (e.g. via ``--jit-dump-dir``), every compiled
+        #: region's source is written there for debugging.
+        self.jit_dump_dir = None
+        # The pipeline module is fully initialized by the time a backend
+        # is constructed; capture the trap type the convoy must record
+        # fault cycles for (mirrors run()'s late import).
+        from repro.simt.pipeline import SoftwareTrap
+        self._trap_type = SoftwareTrap
+        self._convoy = self._convoy_run
+
+    def on_launch(self):
+        # Bank the outgoing program's heat before the base class wipes
+        # it: re-launching the same program (digest match below) then
+        # re-forms its regions after a single fetch instead of
+        # re-heating every pc from zero.  Heat only affects *when* a
+        # region forms, never the simulated statistics, so seeding is
+        # observationally neutral.
+        if self._program_digest and self._hot:
+            self._heat.setdefault(self._program_digest, {}).update(
+                self._hot)
+        super().on_launch()
+        self._fused = {}
+        h = hashlib.sha256()
+        for instr in self.sm.program:
+            h.update(("%s|%r|%r|%r|%r|%r;" % (
+                instr.op.name, instr.rd, instr.rs1, instr.rs2, instr.imm,
+                instr.depth)).encode())
+        self._program_digest = h.hexdigest()
+        seed = self._heat.get(self._program_digest)
+        if seed:
+            cap = self._hot_threshold - 1
+            self._hot.update(
+                (idx, count if count < cap else cap)
+                for idx, count in seed.items())
+
+    # -- region compilation -------------------------------------------
+
+    def _region_signature(self, steps):
+        return tuple(
+            (pc, op, instr.rd, instr.rs1, instr.rs2, instr.imm,
+             getattr(handler, "__func__", handler), aux)
+            for pc, instr, handler, aux, _is_csc, op in steps)
+
+    def _build_region(self, index):
+        steps = VectorBackend._build_region(self, index)
+        if not steps:
+            self._rejects.setdefault(
+                index << 2, "straight-line run shorter than 2 steps")
+            return steps
+        key = (self._program_digest, index)
+        rc = self._region_counters.setdefault(key, [0, 0, 0, 0])
+        # Codegen is deferred until the region proves hot in *execution*
+        # (``_promote_after`` drive attempts), not just in fetch count:
+        # one-shot regions — kernel prologues where every warp trips the
+        # hot threshold exactly once — never pay compile time.  Until
+        # promotion the entry drives through the interpreted vector tier.
+        entry = [steps, None, rc, key]
+        self._fused[index << 2] = entry
+        if self._code_cache.get(key) is not None:
+            # Already compiled by an earlier launch: rebinding the
+            # frames is an exec of the cached code object, far cheaper
+            # than a compile, so skip the drive-count probation.
+            self._promote(index, entry)
+        return steps
+
+    def _promote(self, index, entry):
+        """Generate, compile and install the convoy frames for a region
+        that has crossed the execution-drive threshold."""
+        steps = entry[0]
+        key = (self._program_digest, index)
+        signature = self._region_signature(steps)
+        cached = self._code_cache.get(key)
+        if cached is not None and cached[0] == signature:
+            _sig, source, code, plan = cached
+            self.cache_hits += 1
+        else:
+            started = time.perf_counter()
+            gen = _RegionCodegen(self, index, steps)
+            source = gen.generate()
+            code = compile(source, "<jit:%s+0x%x>"
+                           % (self._program_digest[:12], index << 2),
+                           "exec")
+            plan = gen.plan
+            self.codegen_seconds += time.perf_counter() - started
+            self._code_cache[key] = (signature, source, code, plan)
+            self.compiled_regions += 1
+            self._region_info[key] = {
+                "pc": index << 2,
+                "length": len(steps),
+                "specialized": sum(1 for p, a in zip(plan, gen.arms)
+                                   if a is not None),
+                "ops": [step[5].name for step in steps],
+                "lines": sorted({step[1].line for step in steps
+                                 if step[1].line is not None}),
+            }
+            if self.jit_dump_dir:
+                self._dump_source(index, source)
+        namespace = {}
+        exec(code, namespace)
+        cframes = namespace["_make"](self._bindings(steps, plan))
+        entry[1] = cframes
+        return cframes
+
+    def _bindings(self, steps, plan):
+        sm = self.sm
+        gp = sm.gp
+        meta = sm.meta
+        memory = sm.memory
+        binds = {
+            "sm": sm, "stats": sm.stats, "gp": gp, "meta": meta,
+            "gpe_get": gp._entries.get,
+            "me_get": meta._entries.get if meta is not None else None,
+            "words": memory._words, "wget": memory._words.get,
+            "tdis": memory._tags.discard,
+            "wrd": sm._write_rd, "wrf": self._write_rd_form,
+            "wrcf": self._write_rd_cap_form,
+            "saw": self._set_addr_window,
+            "ci": self._cap_info, "dbs": self._decoded_bounds,
+            "fmt": self._fast_mem_timing,
+            "NULL": _NULL_SCALAR, "_S": _Scalar, "_V": _Vector,
+            "_SP": _Spilled, "lanes": sm._all_lanes,
+            "btf": bits_to_f32, "ftb": f32_to_bits,
+            "RC": self._region_counters[
+                (self._program_digest, steps[0][0] >> 2)],
+        }
+        gp_pool = getattr(gp, "pool", None)
+        if gp_pool is not None:
+            binds["gp_cget"] = gp_pool._counts.get
+        meta_pool = getattr(meta, "pool", None) if meta is not None \
+            else None
+        if meta_pool is not None:
+            binds["meta_cget"] = meta_pool._counts.get
+        num_lanes = sm._num_lanes
+        for k, (step, extra) in enumerate(zip(steps, plan)):
+            pc, instr, handler, aux, _is_csc, _op = step
+            binds["I%d" % k] = instr
+            binds["h%d" % k] = handler
+            binds["A%d" % k] = aux
+            binds["N%d" % k] = [pc + 4] * num_lanes
+            binds.update(extra)
+        return binds
+
+    def _dump_source(self, index, source):
+        import os
+        os.makedirs(self.jit_dump_dir, exist_ok=True)
+        path = os.path.join(
+            self.jit_dump_dir, "region_%s_0x%x.py"
+            % (self._program_digest[:12], index << 2))
+        with open(path, "w") as fh:
+            fh.write(source)
+
+    def _demoted(self, rc):
+        """True when a compiled region's arms mostly miss.  Missing
+        frames pay their specialization guards *and* the handler
+        fallback, which is slower than plain ``step_quiet``, so such
+        regions go back to the interpreted vector tier.  The decision
+        latches (``rc[3]``): without the latch the frozen miss ratio
+        would sit exactly at the gate and the region would oscillate
+        between tiers.  Counters persist across launches, so the
+        demotion sticks."""
+        if rc[3]:
+            return True
+        if rc[1] >= self._demote_floor and rc[2] * 2 > rc[1]:
+            rc[3] = 1
+            return True
+        return False
+
+    def _rq_frames(self, steps):
+        """Resolve the compiled per-slot frames at region entry (queued
+        as ``rq[2]`` by the generic scheduler).  Every entry of a
+        not-yet-promoted region counts as one drive attempt, so regions
+        that execute slot-by-slot (partial warp occupancy, divergent
+        neighbours) still cross the promotion bar."""
+        entry = self._fused.get(steps[0][0])
+        if entry is None or entry[0] is not steps:
+            return None
+        cframes = entry[1]
+        if cframes is None:
+            drives = self._drive_counts
+            n = drives.get(entry[3], 0) + 1
+            drives[entry[3]] = n
+            if n < self._promote_after:
+                return None
+            cframes = self._promote(steps[0][0] >> 2, entry)
+        if self._demoted(entry[2]):
+            return None
+        return cframes
+
+    # -- convoy scheduling --------------------------------------------
+
+    def _convoy_run(self, picked, rq, cycle, icounts, max_cycles,
+                    kernel_abort):
+        """Drive the barrel schedule while every runnable warp is inside
+        one compiled region.
+
+        Replays the generic run() loop exactly — same pick order (first
+        ready warp at or after the rotation point), same idle advance,
+        same per-slot accounting (each ``c<K>`` frame is ``step_quiet``
+        specialized to its step) — so simulated statistics are
+        bit-identical.  Returns the ``(cycle, rotation)`` scheduler
+        state for run() to resume from as soon as a warp leaves the
+        region (run()'s rescan from that rotation reproduces the same
+        pick), or None when the convoy can't form.
+
+        Regions contain no control flow, halts or barriers, so member
+        warps can't retire, park on a barrier or release one mid-convoy:
+        done/in_barrier flags and the scheduler epoch are stable for the
+        whole drive, and non-member in_barrier warps can't wake up.
+        """
+        steps = rq[0]
+        entry = self._fused.get(steps[0][0])
+        if entry is None or entry[0] is not steps:
+            return None
+        warps = self.sm.warps
+        for w in warps:
+            if w.done or w.in_barrier:
+                continue
+            wrq = w.rq
+            if wrq is None or wrq[0] is not steps:
+                return None
+        cframes = entry[1]
+        if cframes is None:
+            drives = self._drive_counts
+            n = drives.get(entry[3], 0) + 1
+            drives[entry[3]] = n
+            if n < self._promote_after:
+                return None
+            cframes = self._promote(steps[0][0] >> 2, entry)
+        rc = entry[2]
+        if self._demoted(rc):
+            return None
+        count = len(warps)
+        # run() already picked this warp for this slot and advanced the
+        # rotation past it; execute its pending step, then take over.
+        rot = picked.index + 1
+        r0 = rot
+        sel = picked
+        wrq = rq
+        trap = self._trap_type
+        rc[0] += 1
+        while True:
+            try:
+                cycle = cframes[wrq[1]](sel, wrq, cycle, icounts)
+            except (CapabilityFault, trap):
+                # run()'s own handler would record its stale entry
+                # cycle; pin the exact slot cycle first (matching
+                # what step_quiet under the generic loop reports).
+                if self.fault_cycle is None:
+                    self.fault_cycle = cycle
+                raise
+            if cycle > max_cycles:
+                raise kernel_abort("cycle limit exceeded", cycle)
+            while True:
+                if rot >= count:
+                    rot = 0
+                r0 = rot
+                sel = None
+                for i in range(rot, count):
+                    w = warps[i]
+                    if w.ready_at <= cycle and not w.in_barrier:
+                        sel = w
+                        break
+                if sel is None:
+                    for i in range(rot):
+                        w = warps[i]
+                        if w.ready_at <= cycle and not w.in_barrier:
+                            sel = w
+                            break
+                if sel is None:
+                    next_ready = _FAR_FUTURE
+                    for w in warps:
+                        if not w.done and not w.in_barrier and \
+                                w.ready_at < next_ready:
+                            next_ready = w.ready_at
+                    if next_ready == _FAR_FUTURE:
+                        # Unreachable while members are runnable;
+                        # let the generic loop raise its deadlock
+                        # abort.
+                        return cycle, r0
+                    cycle = max(cycle + 1, next_ready)
+                    continue
+                break
+            wrq = sel.rq
+            if wrq is None or wrq[0] is not steps:
+                # This warp finished the region: hand the exact
+                # scheduler state back so run() re-picks it.
+                return cycle, r0
+            rot = sel.index + 1
+
+    # -- fused solo drain ---------------------------------------------
+
+    def _run_region(self, warp, steps, cycle, others, max_cycles,
+                    kernel_abort, icounts):
+        entry = self._fused.get(steps[0][0])
+        if entry is None or entry[0] is not steps:
+            # Mid-region suffixes (a barrel-interleaved warp going solo)
+            # run through the generic driver; they are rare because the
+            # convoy usually carries a warp to its region end.
+            return VectorBackend._run_region(self, warp, steps, cycle,
+                                             others, max_cycles,
+                                             kernel_abort, icounts)
+        cframes = entry[1]
+        if cframes is None:
+            drives = self._drive_counts
+            n = drives.get(entry[3], 0) + 1
+            drives[entry[3]] = n
+            if n < self._promote_after:
+                return VectorBackend._run_region(self, warp, steps, cycle,
+                                                 others, max_cycles,
+                                                 kernel_abort, icounts)
+            cframes = self._promote(steps[0][0] >> 2, entry)
+        rc = entry[2]
+        if self._demoted(rc):
+            return VectorBackend._run_region(self, warp, steps, cycle,
+                                             others, max_cycles,
+                                             kernel_abort, icounts)
+        # Drain the region through the convoy frames: identical per-slot
+        # accounting to the generic _run_region, with the same early
+        # exit as soon as the next issue slot would no longer be solo.
+        rq = [steps, 0]
+        last = len(steps) - 1
+        rc[0] += 1
+        while True:
+            k = rq[1]
+            try:
+                cycle = cframes[k](warp, rq, cycle, icounts)
+            except CapabilityFault:
+                # SoftwareTrap deliberately escapes un-pinned here,
+                # mirroring the generic driver (run() records its
+                # pre-region cycle).
+                if self.fault_cycle is None:
+                    self.fault_cycle = cycle
+                raise
+            if cycle > max_cycles:
+                raise kernel_abort("cycle limit exceeded", cycle)
+            if k == last:
+                return cycle
+            completion = warp.ready_at
+            nxt = cycle if cycle >= completion else completion
+            if nxt >= others:
+                return cycle
+            cycle = nxt
+
+    def _drain_rq(self, warp, rq, cycle, others, max_cycles, kernel_abort,
+                  icounts):
+        """Drain a solo warp's queued region through its compiled
+        per-slot frames, keeping ``rq`` live: an early exit (another
+        warp waking up) leaves the queue in place, so the generic loop
+        resumes per-slot frame dispatch instead of re-fetching and
+        re-interpreting the region tail."""
+        cframes = rq[2]
+        if cframes is None:
+            return VectorBackend._drain_rq(self, warp, rq, cycle, others,
+                                           max_cycles, kernel_abort,
+                                           icounts)
+        while True:
+            try:
+                cycle = cframes[rq[1]](warp, rq, cycle, icounts)
+            except CapabilityFault:
+                # SoftwareTrap deliberately escapes un-pinned, like the
+                # generic solo driver (run() records its pre-drain
+                # cycle).
+                if self.fault_cycle is None:
+                    self.fault_cycle = cycle
+                raise
+            if cycle > max_cycles:
+                raise kernel_abort("cycle limit exceeded", cycle)
+            if warp.rq is None:
+                return cycle
+            completion = warp.ready_at
+            nxt = cycle if cycle >= completion else completion
+            if nxt >= others:
+                return cycle
+            cycle = nxt
+
+    # -- observability ------------------------------------------------
+
+    def generated_source(self, pc):
+        """The generated source for the region starting at ``pc`` under
+        the current program, or None."""
+        entry = self._code_cache.get((self._program_digest, pc >> 2))
+        return entry[1] if entry is not None else None
+
+    def jit_summary(self):
+        """JSON-safe counters for manifests and ``repro profile``."""
+        counts = self._pc_issue_counts
+        steps_total = sum(counts.values())
+        # Overlapping regions share instructions: count each covered
+        # static instruction once.
+        covered_pcs = set()
+        regions = 0
+        for (digest, index), info in self._region_info.items():
+            if digest != self._program_digest:
+                continue
+            regions += 1
+            covered_pcs.update(range(index, index + info["length"]))
+        covered = sum(counts.get(i, 0) for i in covered_pcs)
+        fused_calls = sum(rc[0] for rc in self._region_counters.values())
+        fused_steps = sum(rc[1] for rc in self._region_counters.values())
+        arm_misses = sum(rc[2] for rc in self._region_counters.values())
+        demoted = sum(1 for rc in self._region_counters.values()
+                      if self._demoted(rc))
+        return {
+            "compiled_regions": self.compiled_regions,
+            "active_regions": regions,
+            "cache_hits": self.cache_hits,
+            "codegen_seconds": round(self.codegen_seconds, 6),
+            "fused_calls": fused_calls,
+            "fused_steps": fused_steps,
+            "arm_misses": arm_misses,
+            "demoted_regions": demoted,
+            "steps_total": steps_total,
+            "step_coverage": (round(covered / steps_total, 4)
+                              if steps_total else 0.0),
+        }
+
+    def region_report(self):
+        """Per-region rows for ``repro profile --regions``."""
+        counts = self._pc_issue_counts
+        rows = []
+        for (digest, index), info in sorted(self._region_info.items()):
+            if digest != self._program_digest:
+                continue
+            rc = self._region_counters.get((digest, index), [0, 0, 0, 0])
+            retired = sum(counts.get(i, 0)
+                          for i in range(index, index + info["length"]))
+            rows.append({
+                "pc": info["pc"],
+                "length": info["length"],
+                "specialized_steps": info["specialized"],
+                "ops": info["ops"],
+                "source_lines": info["lines"],
+                "steps_retired": retired,
+                "fused_calls": rc[0],
+                "fused_steps": rc[1],
+                "arm_misses": rc[2],
+                "demoted": self._demoted(rc),
+                "interpreted_steps": max(0, retired - rc[1]),
+            })
+        hot_misses = []
+        regions = self._regions
+        for idx, count in sorted(self._hot.items()):
+            if regions.get(idx):
+                entry = self._fused.get(idx << 2)
+                if entry is not None and entry[1] is None:
+                    # Formed but never promoted: the interpreted vector
+                    # tier drove it (if at all) below the drive bar.
+                    hot_misses.append({
+                        "pc": idx << 2,
+                        "count": count,
+                        "reason": "formed, not compiled: %d drive "
+                                  "attempt(s) < %d"
+                                  % (self._drive_counts.get(entry[3], 0),
+                                     self._promote_after),
+                    })
+                continue
+            hot_misses.append({
+                "pc": idx << 2,
+                "count": count,
+                "reason": self._rejects.get(
+                    idx << 2, "below hot threshold (%d < %d)"
+                    % (count, self._hot_threshold)),
+            })
+        return {"regions": rows, "uncompiled_hot_pcs": hot_misses}

@@ -181,6 +181,11 @@ class VectorBackend(ScalarBackend):
 
     name = "vector"
 
+    #: Region-formation knobs, overridable per instance (tests lower the
+    #: threshold; the JIT tier inherits both).
+    _hot_threshold = _HOT_THRESHOLD
+    _max_region = _MAX_REGION
+
     def __init__(self, sm):
         super().__init__(sm)
         #: meta register value -> (tag, otype, perms, bounds, exp, r).
@@ -189,6 +194,13 @@ class VectorBackend(ScalarBackend):
         self._bounds_memo = {}
         self._hot = {}
         self._regions = {}
+        #: Cumulative per-static-instruction issue counts (index -> n),
+        #: flushed alongside opcode_counts; feeds region coverage stats.
+        self._pc_issue_counts = {}
+        #: Optional multi-warp region driver hook (set by the JIT tier):
+        #: called as ``convoy(picked, rq, cycle, icounts, max_cycles,
+        #: KernelAbort)`` and returns ``(cycle, rotation)`` or None.
+        self._convoy = None
 
     def on_launch(self):
         super().on_launch()
@@ -1510,6 +1522,9 @@ class VectorBackend(ScalarBackend):
         regions_get = regions.get
         hot = self._hot
         hot_get = hot.get
+        hot_threshold = self._hot_threshold
+        convoy = self._convoy
+        rq_frames = self._rq_frames
 
         # Issue counters are accumulated in plain ints / a per-instruction
         # list and flushed to the stats object in the finally block below,
@@ -1572,13 +1587,13 @@ class VectorBackend(ScalarBackend):
                         c = pcc_cache.get(warp.pcc_meta[0])
                         if c is not None and c[2] and c[0] <= pc and \
                                 steps[-1][0] + 4 <= c[1]:
-                            warp.rq = [steps, 1]
+                            warp.rq = [steps, 1, rq_frames(steps)]
                     else:
-                        warp.rq = [steps, 1]
+                        warp.rq = [steps, 1, rq_frames(steps)]
                 elif steps is None:
                     count = hot_get(index, 0) + 1
                     hot[index] = count
-                    if count == _HOT_THRESHOLD:
+                    if count == hot_threshold:
                         regions[index] = self._build_region(index)
             instr = program[index]
             sm._cycle = cycle
@@ -1700,7 +1715,25 @@ class VectorBackend(ScalarBackend):
                 rotation = picked.index + 1
                 rq = picked.rq
                 if rq is not None:
-                    cycle = step_quiet(picked, cycle, rq)
+                    if convoy is not None and rq[1] <= 2:
+                        # JIT tier: when every runnable warp is inside
+                        # this region, a specialized driver replays the
+                        # barrel schedule over generated per-step frames
+                        # (exact pick order, exact cycles).  Returns the
+                        # (cycle, rotation) scheduler state to resume
+                        # from, or None when the convoy can't form.
+                        res = convoy(picked, rq, cycle, icounts,
+                                     max_cycles, KernelAbort)
+                        if res is not None:
+                            cycle, rotation = res
+                            continue
+                    fr = rq[2]
+                    if fr is not None:
+                        # JIT tier: one specialized frame per issue slot
+                        # (step_quiet semantics, same fault cycle).
+                        cycle = fr[rq[1]](picked, rq, cycle, icounts)
+                    else:
+                        cycle = step_quiet(picked, cycle, rq)
                 else:
                     cycle = issue(picked, cycle)
                 if cycle > max_cycles:
@@ -1742,10 +1775,11 @@ class VectorBackend(ScalarBackend):
                     if rq is not None:
                         # Solo: drain the queued region back-to-back
                         # instead of one step per slot.
-                        picked.rq = None
-                        steps = rq[0][rq[1]:]
-                    else:
-                        steps = self._region_at(picked)
+                        cycle = self._drain_rq(picked, rq, cycle, others,
+                                               max_cycles, KernelAbort,
+                                               icounts)
+                        continue
+                    steps = self._region_at(picked)
                     if steps is not None:
                         cycle = self._run_region(picked, steps, cycle,
                                                  others, max_cycles,
@@ -1774,11 +1808,13 @@ class VectorBackend(ScalarBackend):
             raise
         finally:
             opcode_counts = stats.opcode_counts
+            pc_counts = self._pc_issue_counts
             issued = 0
             for idx in range(program_len):
                 c = icounts[idx]
                 if c:
                     opcode_counts[program[idx].op] += c
+                    pc_counts[idx] = pc_counts.get(idx, 0) + c
                     issued += c
             stats.instrs_issued += issued
             stats.thread_instrs += thread_acc
@@ -1818,7 +1854,7 @@ class VectorBackend(ScalarBackend):
             hot = self._hot
             count = hot.get(index, 0) + 1
             hot[index] = count
-            if count != _HOT_THRESHOLD:
+            if count != self._hot_threshold:
                 return None
             steps = self._build_region(index)
             regions[index] = steps
@@ -1834,6 +1870,22 @@ class VectorBackend(ScalarBackend):
                 return None  # the per-instruction check faults precisely
         return steps
 
+    def _rq_frames(self, steps):
+        """Per-slot compiled frames for a region entry (queued as
+        ``rq[2]``), or None to step through the interpreted
+        ``step_quiet``.  The JIT tier overrides this."""
+        return None
+
+    def _drain_rq(self, warp, rq, cycle, others, max_cycles, kernel_abort,
+                  icounts):
+        """Drain a solo warp's queued region suffix back-to-back.  The
+        JIT tier overrides this to drive the compiled per-slot frames
+        with ``rq`` kept live (so an early exit resumes per-slot
+        dispatch instead of re-fetching)."""
+        warp.rq = None
+        return self._run_region(warp, rq[0][rq[1]:], cycle, others,
+                                max_cycles, kernel_abort, icounts)
+
     def _build_region(self, index):
         """Compile the straight-line run starting at ``index`` into steps
         of (pc, instr, handler, aux, is_csc, op), or the empty tuple if
@@ -1843,7 +1895,7 @@ class VectorBackend(ScalarBackend):
         program = sm.program
         steps = []
         i = index
-        end = min(len(program), index + _MAX_REGION)
+        end = min(len(program), index + self._max_region)
         while i < end:
             handler, aux = decoded[i]
             if handler.__func__ in _REGION_STOP:

@@ -10,7 +10,8 @@ The paper evaluates three configurations (section 4.1):
   SRF, bounds instructions in the SFU, static PC metadata restriction.
 """
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 #: Number of architectural registers per thread.
 REGS_PER_THREAD = 32
@@ -21,6 +22,17 @@ ARG_BASE = 0x00010000
 HEAP_BASE = 0x00100000
 STACK_BASE = 0x40000000
 SCRATCHPAD_BASE = 0xC0000000
+
+
+def default_backend():
+    """The default execution backend.
+
+    Honours the ``REPRO_BACKEND`` environment variable so CI jobs and
+    the serve workers can switch tiers without threading flags through
+    every entry point; an explicit ``backend=`` argument (e.g. from a
+    CLI ``--backend`` flag) still wins because it bypasses the default.
+    """
+    return os.environ.get("REPRO_BACKEND") or "vector"
 
 
 @dataclass(frozen=True)
@@ -67,9 +79,12 @@ class SMConfig:
     #: issued instruction across all lanes at once (symbolic uniform /
     #: affine forms, NumPy arrays on wide SMs, hot-trace specialisation)
     #: and is bit-identical to the scalar backend by construction —
-    #: enforced by the equivalence tests and ``repro lockstep``.  The
-    #: default is the fastest backend that preserves bit-identity.
-    backend: str = "vector"
+    #: enforced by the equivalence tests and ``repro lockstep``.
+    #: ``"jit"`` layers the codegen trace-JIT tier on top of the vector
+    #: backend (see :mod:`repro.simt.backend.jit`), same bit-identity
+    #: contract.  The default honours ``REPRO_BACKEND`` (see
+    #: :func:`default_backend`).
+    backend: str = field(default_factory=default_backend)
 
     # -- timing constants ----------------------------------------------------
     pipeline_depth: int = 6
@@ -100,9 +115,10 @@ class SMConfig:
             raise ValueError("SM needs at least one warp and one lane")
         if not 0.0 < self.vrf_fraction <= 1.0:
             raise ValueError("vrf_fraction must be in (0, 1]")
-        if self.backend not in ("scalar", "vector"):
-            raise ValueError("unknown backend %r (choose scalar or vector)"
-                             % (self.backend,))
+        if self.backend not in ("scalar", "vector", "jit"):
+            raise ValueError(
+                "unknown backend %r (choose scalar, vector or jit)"
+                % (self.backend,))
         features = (self.compress_metadata, self.shared_vrf, self.nvo,
                     self.metadata_srf_single_port, self.sfu_cheri_slow_path,
                     self.static_pc_metadata)

@@ -220,6 +220,27 @@ class TestBackendEquivalence:
                                       **GEOMETRY)
         assert _signature(scalar) == _signature(vector)
 
+    @pytest.mark.parametrize("config_name", runner.CONFIG_NAMES)
+    @pytest.mark.parametrize("name", sorted(
+        __import__("repro.benchsuite", fromlist=["ALL_BENCHMARKS"])
+        .ALL_BENCHMARKS))
+    def test_full_suite_scalar_jit_bit_identical(self, name, config_name,
+                                                 monkeypatch):
+        """The trace-JIT tier across all four protection configs.
+
+        Promotion thresholds are lowered so the small test geometry
+        actually compiles regions (otherwise nothing would reach the
+        fused closures and the sweep would only test the vector tier)."""
+        from repro.simt.backend.jit import JITBackend
+        monkeypatch.setattr(JITBackend, "_hot_threshold", 4)
+        monkeypatch.setattr(JITBackend, "_promote_after", 1)
+        runner.set_disk_cache(False)
+        scalar = runner.run_benchmark(name, config_name, backend="scalar",
+                                      **GEOMETRY)
+        jit = runner.run_benchmark(name, config_name, backend="jit",
+                                   **GEOMETRY)
+        assert _signature(scalar) == _signature(jit)
+
     def test_multism_scalar_vector_bit_identical(self):
         from repro.nocl import i32
         from repro.nocl.multism import MultiSMRuntime

@@ -1,0 +1,278 @@
+"""The codegen trace-JIT backend (``SMConfig.backend == "jit"``).
+
+The JIT tier compiles hot straight-line regions into fused per-slot
+closures.  These tests pin its contract:
+
+- generated source is deterministic for a fixed program + config (the
+  golden property that makes ``--jit-dump-dir`` artifacts diffable);
+- the code cache is keyed by program digest + region start: re-launching
+  the same program rebinds cached code (no recompile), a different
+  program digest compiles fresh entries without evicting the old ones;
+- a lane faulting mid-region bails out with the identical fault kind,
+  PC and statistics as the scalar reference;
+- regions whose specialization arms mostly miss demote back to the
+  interpreted vector tier — and stay bit-identical while doing so;
+- the ``REPRO_BACKEND`` environment variable selects the default
+  backend, with an explicit argument still winning.
+
+The full scalar-vs-jit benchmark sweep lives in
+``tests/eval/test_equivalence.py``; these are the SM-level corners.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cheri import root_capability
+from repro.isa.instructions import Instr, Op
+from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
+from repro.simt.backend.jit import JITBackend
+from repro.simt.config import HEAP_BASE
+
+
+@pytest.fixture
+def eager_jit(monkeypatch):
+    """Lower the JIT tier's heat/promotion bars so the tiny test
+    programs compile within a handful of loop iterations (the vector
+    tier's own thresholds are untouched)."""
+    monkeypatch.setattr(JITBackend, "_hot_threshold", 4)
+    monkeypatch.setattr(JITBackend, "_promote_after", 1)
+
+
+def _config(mode, backend, num_warps, num_lanes):
+    factory = (SMConfig.cheri_optimised if mode == "purecap"
+               else SMConfig.baseline)
+    return factory(num_warps=num_warps,
+                   num_lanes=num_lanes).with_(backend=backend)
+
+
+def _run_one(backend, prog, mode="baseline", num_warps=2, num_lanes=4,
+             init_regs=None, init_cap_regs=None):
+    """One backend's observables for a launch; also returns the SM."""
+    sm = StreamingMultiprocessor(
+        _config(mode, backend, num_warps, num_lanes))
+    fault = None
+    try:
+        sm.launch(prog, init_regs=init_regs, init_cap_regs=init_cap_regs)
+    except KernelAbort as abort:
+        cause = abort.cause
+        fault = (type(cause).__name__, str(cause))
+    return {
+        "stats": asdict(sm.stats),
+        "words": dict(sm.memory._words),
+        "tags": set(sm.memory._tags),
+        "fault": fault,
+    }, sm
+
+
+def run_both(prog, **kwargs):
+    """Scalar reference vs JIT tier: every observable must match.
+
+    Returns the scalar observation and the JIT SM (for assertions on
+    the backend's own counters).
+    """
+    scalar, _ = _run_one("scalar", prog, **kwargs)
+    jit, sm = _run_one("jit", prog, **kwargs)
+    assert scalar["fault"] == jit["fault"]
+    assert scalar["words"] == jit["words"]
+    assert scalar["tags"] == jit["tags"]
+    assert scalar["stats"] == jit["stats"]
+    return scalar, sm
+
+
+def heap_slots(num_threads, base=HEAP_BASE):
+    return [base + 4 * t for t in range(num_threads)]
+
+
+def _alu_loop(trips=12):
+    """A convergent counted loop with a 4-step straight-line body."""
+    prog = [
+        Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+        Instr(Op.BGE, rs1=9, rs2=5, imm=24),             # loop head
+        Instr(Op.ADD, rd=10, rs1=9, rs2=6),              # region start
+        Instr(Op.XOR, rd=11, rs1=10, rs2=7),
+        Instr(Op.SLLI, rd=12, rs1=11, imm=1),
+        Instr(Op.ADDI, rd=9, rs1=9, imm=1),
+        Instr(Op.JAL, rd=0, imm=-20),
+        Instr(Op.SW, rs1=8, rs2=12, imm=0),
+        Instr(Op.HALT),
+    ]
+    threads = 8
+    regs = {5: [trips] * threads,
+            6: [3] * threads,
+            7: [0x55] * threads,
+            8: heap_slots(threads)}
+    return prog, regs
+
+
+def _sources(sm):
+    """pc -> generated source for every compiled region."""
+    backend = sm.backend
+    return {index << 2: backend.generated_source(index << 2)
+            for (digest, index) in backend._code_cache
+            if digest == backend._program_digest}
+
+
+class TestGoldenCodegen:
+    def test_generated_source_is_deterministic(self, eager_jit):
+        prog, regs = _alu_loop()
+        _, sm_a = _run_one("jit", prog, init_regs=regs)
+        _, sm_b = _run_one("jit", prog, init_regs=regs)
+        sources_a = _sources(sm_a)
+        assert sources_a, "the loop body never compiled"
+        assert sources_a == _sources(sm_b)
+
+    def test_generated_source_shape(self, eager_jit):
+        prog, regs = _alu_loop()
+        _, sm = _run_one("jit", prog, init_regs=regs)
+        source = max(_sources(sm).values(), key=len)
+        # The closure factory and one frame per region step.
+        assert "def _make(B):" in source
+        assert "def c0(" in source
+        assert "return cycle + width" in source
+        # Region sources are Python: they must compile standalone.
+        compile(source, "<golden>", "exec")
+
+    def test_frames_actually_executed(self, eager_jit):
+        prog, regs = _alu_loop(trips=24)
+        _, sm = run_both(prog, init_regs=regs)
+        summary = sm.backend.jit_summary()
+        assert summary["compiled_regions"] >= 1
+        assert summary["fused_steps"] > 0
+
+
+class TestCodeCache:
+    def test_relaunch_rebinds_without_recompiling(self, eager_jit):
+        prog, regs = _alu_loop()
+        _, sm = _run_one("jit", prog, init_regs=regs)
+        backend = sm.backend
+        compiled = backend.compiled_regions
+        assert compiled >= 1
+        sm.launch(prog, init_regs=regs)
+        assert backend.compiled_regions == compiled
+        assert backend.cache_hits >= 1
+
+    def test_digest_change_compiles_fresh_entries(self, eager_jit):
+        prog, regs = _alu_loop()
+        _, sm = _run_one("jit", prog, init_regs=regs)
+        backend = sm.backend
+        compiled = backend.compiled_regions
+        old_keys = set(backend._code_cache)
+        changed = list(prog)
+        changed[3] = Instr(Op.OR, rd=11, rs1=10, rs2=7)
+        sm.launch(changed, init_regs=regs)
+        assert backend.compiled_regions > compiled
+        # The old program's entries survive for its digest (a later
+        # relaunch of it would rebind, not recompile).
+        assert old_keys <= set(backend._code_cache)
+
+    def test_relaunch_stats_match_scalar(self, eager_jit):
+        # The cross-launch heat/code cache must not leak into simulated
+        # statistics: launch twice on one SM, compare against a scalar
+        # SM doing the same.
+        prog, regs = _alu_loop()
+        per_backend = {}
+        for backend in ("scalar", "jit"):
+            sm = StreamingMultiprocessor(
+                _config("baseline", backend, 2, 4))
+            sm.launch(prog, init_regs=regs)
+            first = asdict(sm.stats)
+            sm.launch(prog, init_regs=regs)
+            per_backend[backend] = (first, asdict(sm.stats))
+        assert per_backend["scalar"] == per_backend["jit"]
+
+
+class TestMidRegionFault:
+    def _fault_loop(self, bad_lane=None, window_words=8, trips=12,
+                    num_lanes=4):
+        """A loop whose CLW sits mid-region and walks each lane's
+        capability forward until it leaves bounds."""
+        prog = [
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+            Instr(Op.BGE, rs1=9, rs2=5, imm=24),         # loop head
+            Instr(Op.ADD, rd=10, rs1=9, rs2=9),          # region start
+            Instr(Op.CLW, rd=11, rs1=6, imm=0),          # faults late
+            Instr(Op.CINCOFFSETIMM, rd=6, rs1=6, imm=4),
+            Instr(Op.ADDI, rd=9, rs1=9, imm=1),
+            Instr(Op.JAL, rd=0, imm=-20),
+            Instr(Op.HALT),
+        ]
+        cap, exact = root_capability().set_bounds(HEAP_BASE,
+                                                  4 * window_words)
+        assert exact
+        caps = []
+        for t in range(num_lanes):
+            addr = HEAP_BASE
+            if t == bad_lane:
+                # This lane starts deeper into the window, so it walks
+                # out of bounds iterations before the others.
+                addr = HEAP_BASE + 4 * (window_words - 2)
+            caps.append(cap.set_addr(addr))
+        regs = {5: [trips] * num_lanes}
+        return prog, regs, {6: caps}
+
+    def test_uniform_fault_mid_region(self, eager_jit):
+        prog, regs, caps = self._fault_loop()
+        obs, sm = run_both(prog, mode="purecap", num_warps=1,
+                           init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+        assert sm.backend.jit_summary()["compiled_regions"] >= 1
+
+    def test_single_lane_fault_mid_region(self, eager_jit):
+        prog, regs, caps = self._fault_loop(bad_lane=2)
+        obs, _ = run_both(prog, mode="purecap", num_warps=1,
+                          init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+
+    def test_clean_when_window_covers_the_walk(self, eager_jit):
+        prog, regs, caps = self._fault_loop(window_words=16, trips=12)
+        obs, _ = run_both(prog, mode="purecap", num_warps=1,
+                          init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is None
+
+
+class TestAdaptiveDemotion:
+    def test_miss_heavy_region_demotes_and_stays_identical(
+            self, eager_jit, monkeypatch):
+        monkeypatch.setattr(JITBackend, "_demote_floor", 8)
+        # Non-affine per-lane gather addresses (a scrambled permutation)
+        # miss the memory arm's affine-form guard on every execution.
+        # The region-entry step issues through the normal fetch path, so
+        # the *frames* cover steps 1..3: two SW misses per ADDI hit,
+        # comfortably past the one-half demotion ratio.
+        prog = [
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+            Instr(Op.BGE, rs1=9, rs2=5, imm=24),         # loop head
+            Instr(Op.SW, rs1=8, rs2=9, imm=0),           # region start
+            Instr(Op.SW, rs1=8, rs2=9, imm=0x100),
+            Instr(Op.SW, rs1=8, rs2=9, imm=0x200),
+            Instr(Op.ADDI, rd=9, rs1=9, imm=1),
+            Instr(Op.JAL, rd=0, imm=-20),
+            Instr(Op.HALT),
+        ]
+        threads = 8
+        perm = [3, 0, 6, 1, 7, 4, 2, 5]
+        regs = {5: [32] * threads,
+                8: [HEAP_BASE + 4 * perm[t] for t in range(threads)]}
+        _, sm = run_both(prog, init_regs=regs)
+        report = sm.backend.region_report()
+        assert any(row["demoted"] for row in report["regions"]), \
+            [row for row in report["regions"]]
+
+
+class TestBackendSelection:
+    def test_env_var_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "jit")
+        assert SMConfig.baseline().backend == "jit"
+        # An explicit argument still wins.
+        assert SMConfig.baseline(backend="scalar").backend == "scalar"
+
+    def test_jit_is_a_registered_backend(self):
+        from repro.simt.backend import BACKEND_NAMES, create_backend
+        assert "jit" in BACKEND_NAMES
+        sm = StreamingMultiprocessor(
+            _config("baseline", "jit", 2, 4))
+        assert type(sm.backend).__name__ == "JITBackend"
+        assert create_backend("jit", sm).name == "jit"
