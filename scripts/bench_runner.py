@@ -45,6 +45,34 @@ def _git_rev():
         return None
 
 
+def _cpu_model():
+    """The CPU model string (``/proc/cpuinfo`` where available)."""
+    try:
+        with open("/proc/cpuinfo") as stream:
+            for line in stream:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    import platform
+    return platform.processor() or platform.machine()
+
+
+def host_provenance(numpy_version=None):
+    """Where a record was measured: wall-clock numbers are only
+    comparable across records from the same host, so the trend report
+    (``repro obs report``) groups on this."""
+    import platform
+    return {
+        "cpu_model": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "python_version": platform.python_version(),
+        "numpy_version": numpy_version,
+        "platform": platform.system(),
+        "machine": platform.machine(),
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--config", default="cheri_opt")
@@ -74,6 +102,7 @@ def main(argv=None):
         "numpy_version": numpy_version,
         "git_rev": _git_rev(),
         "cpu_count": os.cpu_count(),
+        "host": host_provenance(numpy_version),
         "label": args.label,
     }
 

@@ -15,6 +15,7 @@ Usage::
 """
 
 import argparse
+import json
 import os
 import re
 import shutil
@@ -77,6 +78,14 @@ def run_session(workdir, expect_cached):
             assert names.count("done") == 2, \
                 "fresh submission must simulate, got events %r" % names
         with ServeClient(port=port, timeout=60.0) as client:
+            exposition = client.metrics()["exposition"]
+            for metric in ("serve_submissions_total", "serve_executed_total",
+                           "serve_job_latency_seconds_bucket",
+                           "serve_workers"):
+                assert metric in exposition, \
+                    "metrics exposition is missing %s" % metric
+            print("[%s] metrics exposition: %d lines"
+                  % (phase, len(exposition.splitlines())))
             reply = client.drain()
         assert reply["drained"] is True
         assert reply["manifest"] and os.path.exists(reply["manifest"]), \
@@ -87,6 +96,8 @@ def run_session(workdir, expect_cached):
                 "cached session ran %d job(s)" % stats["executed"]
         else:
             assert stats["executed"] == 2
+        check_telemetry(reply["manifest"], phase,
+                        expect_worker=not expect_cached)
         code = process.wait(timeout=30)
         assert code == 0, "server exited with %d" % code
         print("[%s] drained cleanly: executed=%d cache_hits=%d"
@@ -94,6 +105,40 @@ def run_session(workdir, expect_cached):
     finally:
         if process.poll() is None:
             process.kill()
+
+
+def check_telemetry(manifest_path, phase, expect_worker):
+    """The drain manifest must point at telemetry sidecars, and the
+    fresh session's trace must connect client -> scheduler -> worker
+    under one trace id."""
+    with open(manifest_path) as stream:
+        manifest = json.load(stream)
+    telemetry = manifest.get("telemetry") or {}
+    for key in ("metrics_ndjson", "trace_ndjson", "perfetto_trace"):
+        assert telemetry.get(key) and os.path.exists(telemetry[key]), \
+            "manifest telemetry is missing %s" % key
+    with open(telemetry["trace_ndjson"]) as stream:
+        spans = [json.loads(line) for line in stream if line.strip()]
+    traces = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], []).append(span)
+    if expect_worker:
+        connected = [
+            trace for trace in traces.values()
+            if {"serve.submit", "serve.job", "worker.execute"}
+            <= {span["name"] for span in trace}
+            and all(span.get("parent_id") is None
+                    or span["parent_id"] in {s["span_id"] for s in trace}
+                    for span in trace)
+        ]
+        assert connected, \
+            "no connected client->scheduler->worker trace among %d " \
+            "trace(s)" % len(traces)
+        processes = {span["process"] for span in connected[0]}
+        assert "client" in processes and "scheduler" in processes, \
+            "connected trace is missing a process tier: %r" % processes
+    print("[%s] telemetry sidecars ok: %d span(s), %d trace(s)"
+          % (phase, len(spans), len(traces)))
 
 
 def main():

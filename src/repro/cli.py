@@ -16,6 +16,8 @@ Commands:
 - ``submit [BENCH...]``         — submit a grid to a running server
 - ``jobs``                      — server job table / stats / drain
 - ``result ID``                 — fetch one job's result from the server
+- ``top``                       — live dashboard for a running serve node
+- ``obs report``                — longitudinal perf trends + regression gate
 - ``table3`` / ``headline``     — shortcuts for the area model / abstract
 
 ``run``/``bench`` accept ``--json`` for machine-readable output; every
@@ -263,6 +265,9 @@ def cmd_profile(args):
         # Attached probes run the instrumented scheduler, which bypasses
         # hot-region formation entirely; the region view needs the quiet
         # loop, and all its counters live on the backend.
+        print("profile: --regions runs unprobed (the region view needs "
+              "the quiet hot-path loop); cycle-attribution views are "
+              "empty for this run", file=sys.stderr)
         stats = bench.run(rt, scale=args.scale)
     else:
         attach(rt.sm, *sinks)
@@ -275,6 +280,7 @@ def cmd_profile(args):
         payload = {
             "benchmark": bench.name, "config": args.config, "mode": mode,
             "scale": args.scale, "cycles": stats.cycles,
+            "probed": not args.regions,
             "profile": profiler.as_dict(),
         }
         backend = rt.sm.backend
@@ -433,7 +439,51 @@ def cmd_serve(args):
     return serve_main(host=args.host, port=args.port, workers=args.workers,
                       max_pending=args.max_pending,
                       job_timeout=args.job_timeout,
-                      max_retries=args.retries, verbose=args.verbose)
+                      max_retries=args.retries, verbose=args.verbose,
+                      metrics_interval=args.metrics_interval)
+
+
+def cmd_top(args):
+    from repro.serve.top import run_top
+    from repro.serve.client import default_port
+    port = args.port if args.port is not None else default_port()
+    return run_top(args.host, port, interval=args.interval,
+                   iterations=args.iterations, once=args.once)
+
+
+def cmd_obs(args):
+    from repro.obs.trend import trend_report
+    if args.obs_command != "report":
+        print("unknown obs subcommand %r" % args.obs_command,
+              file=sys.stderr)
+        return 2
+    text, regressed = trend_report(
+        bench_path=args.bench, manifest_paths=args.manifests or (),
+        threshold=args.threshold, breakdown=args.breakdown)
+    if args.json:
+        import json
+        import os
+
+        from repro.obs.trend import (
+            BENCH_THRESHOLD,
+            bench_trends,
+            load_bench_history,
+        )
+        rows = []
+        if args.bench and os.path.exists(args.bench):
+            rows = bench_trends(
+                load_bench_history(args.bench),
+                threshold=(args.threshold if args.threshold is not None
+                           else BENCH_THRESHOLD),
+                breakdown=args.breakdown)
+        print(json.dumps({"rows": rows, "regressed": regressed},
+                         indent=1, sort_keys=True, default=list))
+    else:
+        print(text)
+    if regressed:
+        print("obs report: %d regression(s) beyond threshold" % regressed,
+              file=sys.stderr)
+    return 1 if (args.gate and regressed) else 0
 
 
 def _client(args):
@@ -685,9 +735,12 @@ def build_parser():
     view.add_argument("--regions", action="store_true",
                       help="per-region JIT view: compiled vs interpreted "
                            "retire share, arm misses, and why hot PCs "
-                           "escaped compilation (jit backend only)")
-    view.add_argument("--json", action="store_true",
-                      help="dump the whole profile as JSON")
+                           "escaped compilation (jit backend only; runs "
+                           "unprobed)")
+    profile.add_argument("--json", action="store_true",
+                         help="dump the whole profile as JSON (with "
+                              "--regions: the JIT region payload, "
+                              "probed=false)")
     profile.add_argument("--perfetto", nargs="?", const="", default=None,
                          metavar="OUT.json",
                          help="also export a Perfetto/Chrome trace (default "
@@ -776,6 +829,48 @@ def build_parser():
                        help="crash retries per job (default: 1)")
     serve.add_argument("--verbose", action="store_true",
                        help="log scheduling decisions")
+    serve.add_argument("--metrics-interval", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="cadence of the NDJSON metrics time-series "
+                            "written next to the manifests (<= 0 "
+                            "disables; default: 30)")
+
+    top = sub.add_parser(
+        "top", help="live dashboard for a running serve node")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="refresh cadence in seconds (default: 1)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: until ctrl-c)")
+    top.add_argument("--once", action="store_true",
+                     help="print a single frame without cursor control "
+                          "and exit (scriptable health check)")
+    _add_client_args(top)
+
+    obs = sub.add_parser(
+        "obs", help="observability reports over recorded telemetry")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="longitudinal perf trends over BENCH_runner.json "
+                       "and manifest chains, with regression flags")
+    obs_report.add_argument("--bench", default="BENCH_runner.json",
+                            help="BENCH history path (default: "
+                                 "BENCH_runner.json)")
+    obs_report.add_argument("--manifests", nargs="*", default=None,
+                            metavar="MANIFEST.json",
+                            help="chronological manifest sequence to "
+                                 "chain-diff")
+    obs_report.add_argument("--threshold", type=float, default=None,
+                            help="relative regression threshold "
+                                 "(default: 10%% wall-clock, 2%% "
+                                 "manifest metrics)")
+    obs_report.add_argument("--breakdown", action="store_true",
+                            help="also trend per-benchmark cold-serial "
+                                 "seconds")
+    obs_report.add_argument("--json", action="store_true",
+                            help="machine-readable trend rows")
+    obs_report.add_argument("--gate", action="store_true",
+                            help="exit non-zero when any metric "
+                                 "regressed (CI gating)")
 
     submit = sub.add_parser(
         "submit", help="submit a benchmark x config grid to the server")
@@ -837,6 +932,8 @@ def main(argv=None):
         "submit": cmd_submit,
         "jobs": cmd_jobs,
         "result": cmd_result,
+        "top": cmd_top,
+        "obs": cmd_obs,
     }
     try:
         return handlers[args.command](args)

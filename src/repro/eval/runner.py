@@ -31,10 +31,12 @@ import pickle
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import asdict, dataclass, field
 
 from repro.benchsuite import ALL_BENCHMARKS, BENCHMARK_NAMES
 from repro.nocl import NoCLRuntime
+from repro.obs.telemetry import active_tracer
 from repro.simt import SMConfig, SMStats
 
 #: Simulated SM geometry for the evaluation runs.  Plenty of warps are
@@ -299,12 +301,30 @@ def _disk_store(result, mode, scale):
 def _simulate(name, config_name, mode, config, scale):
     bench = ALL_BENCHMARKS[name]
     rt = NoCLRuntime(mode, config=config)
-    start = time.perf_counter()
-    stats = bench.run(rt, scale=scale)
-    elapsed = time.perf_counter() - start
+    tracer = active_tracer()
+    span_cm = (tracer.span("simulate",
+                           attrs={"benchmark": name, "config": config_name,
+                                  "scale": scale,
+                                  "backend": getattr(config, "backend", "")})
+               if tracer is not None else nullcontext())
+    with span_cm as span:
+        start = time.perf_counter()
+        stats = bench.run(rt, scale=scale)
+        elapsed = time.perf_counter() - start
     backend = rt.sm.backend
     jit = (backend.jit_summary() if hasattr(backend, "jit_summary")
            else None)
+    if tracer is not None and jit:
+        codegen = jit.get("codegen_seconds") or 0.0
+        if codegen > 0 and span.end is not None:
+            # The JIT compiles lazily inside the simulation, so there is
+            # no live span to time; synthesise one from its own counter,
+            # anchored at the end of the simulate span.
+            tracer.record(tracer.start_span(
+                "jit.codegen", parent=span,
+                start=span.end - codegen,
+                attrs={"regions": jit.get("compiled_regions", 0)}),
+                end=span.end)
     return RunResult(name, config_name, mode, stats, config,
                      meta=RunMeta(source="sim", wall_seconds=elapsed,
                                   jit=jit))
@@ -355,7 +375,26 @@ def run_benchmark(name, config_name, scale=1, **overrides):
     simulation service does this) see a consistent memo; the scheduler
     above is responsible for not simulating the same key twice in
     parallel.
+
+    With a process tracer installed (:func:`repro.obs.telemetry.install`)
+    the call is timed as a ``runner.run`` span whose ``source`` attr
+    records where the result came from; without one, nothing is touched
+    — the statistics are bit-identical either way (pinned by the
+    equivalence suite).
     """
+    tracer = active_tracer()
+    if tracer is not None:
+        with tracer.span("runner.run",
+                         attrs={"benchmark": name, "config": config_name,
+                                "scale": scale}) as span:
+            result = _run_benchmark(name, config_name, scale, **overrides)
+            span.set_attr("source",
+                          result.meta.source if result.meta else "?")
+        return result
+    return _run_benchmark(name, config_name, scale, **overrides)
+
+
+def _run_benchmark(name, config_name, scale, **overrides):
     mode, config = config_for(config_name, **overrides)
     key = (name, config_name, mode, config, scale)
     with _LOCK:

@@ -14,14 +14,34 @@ from repro.obs.manifest import (
     render_diff,
     write_manifest,
 )
-from repro.obs.perfetto import TimelineCollector, validate_trace
+from repro.obs.perfetto import (
+    TimelineCollector,
+    spans_to_trace_events,
+    validate_trace,
+    write_service_trace,
+)
 from repro.obs.probes import EVENTS, ProbeBus, attach, detach
 from repro.obs.profile import STALL_CAUSES, ProfileCollector, classify_op
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    active_tracer,
+    install,
+)
+from repro.obs.trend import bench_trends, manifest_trends, trend_report
 
 __all__ = [
     "EVENTS", "ProbeBus", "attach", "detach",
     "ProfileCollector", "STALL_CAUSES", "classify_op",
     "TimelineCollector", "validate_trace",
+    "spans_to_trace_events", "write_service_trace",
     "build_manifest", "write_manifest", "load_manifest",
     "diff_manifests", "render_diff",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Span", "Tracer", "active_tracer", "install",
+    "bench_trends", "manifest_trends", "trend_report",
 ]

@@ -153,18 +153,20 @@ def write_manifest(manifest, path=None):
     return path
 
 
-def build_service_manifest(snapshot, jobs=None):
+def build_service_manifest(snapshot, jobs=None, telemetry=None):
     """Assemble a manifest for one ``repro serve`` session.
 
     ``snapshot`` is the server's metrics snapshot (queue depth, dedup and
     cache hits, worker utilization, latency percentiles); ``jobs`` an
-    optional list of per-job summary dicts.  Written on drain so a
-    service session leaves the same provenance trail a ``run_suite``
-    invocation does.
+    optional list of per-job summary dicts; ``telemetry`` an optional
+    dict of sidecar artifact paths (metrics NDJSON, trace NDJSON,
+    Perfetto service trace) written alongside at drain.  Written on
+    drain so a service session leaves the same provenance trail a
+    ``run_suite`` invocation does.
     """
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))
-    return {
+    manifest = {
         "schema": SCHEMA,
         "generator": "repro.serve",
         "created_unix": round(time.time(), 3),
@@ -172,13 +174,18 @@ def build_service_manifest(snapshot, jobs=None):
         "service": dict(snapshot),
         "jobs": list(jobs or []),
     }
+    if telemetry:
+        manifest["telemetry"] = dict(telemetry)
+    return manifest
 
 
-def write_service_manifest(snapshot, jobs=None, path=None):
+def write_service_manifest(snapshot, jobs=None, path=None, telemetry=None):
     """Write the service manifest (best-effort); returns path or None."""
     if path is None:
         path = os.path.join(manifest_dir(), "serve.json")
-    return write_manifest(build_service_manifest(snapshot, jobs), path=path)
+    return write_manifest(build_service_manifest(snapshot, jobs,
+                                                 telemetry=telemetry),
+                          path=path)
 
 
 def load_manifest(path):

@@ -167,6 +167,81 @@ class TimelineCollector:
         return path
 
 
+#: pid for service-level (span) tracks, clear of the SM timeline pid.
+_SERVICE_PID = 2
+
+
+def spans_to_trace_events(spans, pid=_SERVICE_PID):
+    """Telemetry spans → Chrome trace events (service-level tracks).
+
+    ``spans`` are dicts from :meth:`repro.obs.telemetry.Tracer.to_dicts`
+    (or the NDJSON file).  One track (tid) per originating process
+    (``client`` / ``scheduler`` / ``worker-N``), B/E event pairs so
+    nested and overlapping spans render without slice-overlap
+    constraints.  Timestamps are microseconds relative to the earliest
+    span start, so service traces zoom sensibly in ui.perfetto.dev.
+    """
+    finished = [span for span in spans
+                if span.get("end_unix") is not None]
+    if not finished:
+        return []
+    base = min(span["start_unix"] for span in finished)
+    tracks = {}
+    for span in finished:
+        tracks.setdefault(span.get("process") or "service",
+                          len(tracks))
+    events = [{
+        "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+        "args": {"name": "repro.serve (service trace)"},
+    }]
+    for track, tid in tracks.items():
+        events.append({"name": "thread_name", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"name": track}})
+        events.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                       "tid": tid, "args": {"sort_index": tid}})
+    timed = []
+    for span in finished:
+        tid = tracks[span.get("process") or "service"]
+        args = {"trace_id": span.get("trace_id"),
+                "span_id": span.get("span_id"),
+                "status": span.get("status", "ok")}
+        if span.get("parent_id"):
+            args["parent_id"] = span["parent_id"]
+        for key, value in (span.get("attrs") or {}).items():
+            args[str(key)] = value
+        start = int(round((span["start_unix"] - base) * 1e6))
+        end = max(start, int(round((span["end_unix"] - base) * 1e6)))
+        common = {"name": span.get("name", "?"), "cat": "service",
+                  "pid": pid, "tid": tid}
+        timed.append((start, 1, dict(common, ph="B", ts=start, args=args)))
+        timed.append((end, 0, dict(common, ph="E", ts=end)))
+    # Equal timestamps: close the previous slice before opening the next.
+    timed.sort(key=lambda item: (item[0], item[1]))
+    events.extend(event for _, _, event in timed)
+    return events
+
+
+def write_service_trace(spans, path):
+    """Write spans as a standalone Perfetto/Chrome trace JSON file."""
+    trace = {
+        "traceEvents": spans_to_trace_events(spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.telemetry",
+            "time_unit": "1 ts = 1 microsecond (wall clock)",
+            "spans": len(spans),
+        },
+    }
+    try:
+        import os
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w") as stream:
+            json.dump(trace, stream, separators=(",", ":"))
+    except OSError:
+        return None
+    return path
+
+
 def validate_trace(trace):
     """Sanity-check a trace dict against the Chrome trace-event schema.
 

@@ -21,7 +21,9 @@ event can be missed).  Every reply with ``ok: false`` raises
 
 import os
 import socket
+import time
 
+from repro.obs.telemetry import new_id
 from repro.serve import protocol
 
 
@@ -107,6 +109,11 @@ class ServeClient:
     def stats(self):
         return self._request("stats")
 
+    def metrics(self):
+        """The server's metrics registry: Prometheus-style ``exposition``
+        text plus a structured ``metrics`` snapshot."""
+        return self._request("metrics")
+
     def jobs(self, payloads=False):
         return self._request("jobs", payloads=payloads)
 
@@ -119,6 +126,14 @@ class ServeClient:
         drained."""
         return self._request("drain")
 
+    @staticmethod
+    def _trace_context():
+        """A fresh root trace context stamped at submit time; the server
+        roots the submission's span tree here, so traces start on the
+        client's clock."""
+        return {"trace_id": new_id(), "span_id": new_id(),
+                "start_unix": round(time.time(), 6)}
+
     def submit(self, benchmarks=None, configs=None, scale=1, scales=None,
                overrides=None, verify=False, **extra):
         """Submit a grid; returns the submission reply (``grid``,
@@ -128,6 +143,7 @@ class ServeClient:
         if scales:
             body["scales"] = list(scales)
         body.update(extra)
+        body.setdefault("trace", self._trace_context())
         return self._request("submit", **body)
 
     def submit_and_stream(self, **kwargs):
@@ -135,6 +151,7 @@ class ServeClient:
         every lifecycle event through ``grid_done``."""
         body = dict(kwargs)
         body["stream"] = True
+        body.setdefault("trace", self._trace_context())
         reply = self._request("submit", **body)
         yield reply
         while True:

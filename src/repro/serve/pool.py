@@ -39,20 +39,41 @@ def _worker_main(worker_id, task_queue, result_queue, env):
     ``env`` carries the cache/manifest redirects the server was started
     with, so spawned workers (which do not inherit a fork'd
     environment's later mutations) hit the same disk cache.
+
+    Each job executes under a ``worker.execute`` telemetry span whose
+    parent is the scheduler-side job span (context propagated through
+    the task queue), so one submission yields a single connected
+    client → scheduler → worker trace.  The worker's tracer is
+    installed process-globally, which is how the runner's own
+    ``runner.run``/``simulate``/``jit.codegen`` spans nest underneath.
+    Finished spans ride back in the payload under ``trace_spans``; the
+    scheduler strips and ingests them.
     """
     os.environ.update(env)
+    from repro.obs import telemetry
+    tracer = telemetry.Tracer(process="worker-%d" % worker_id)
+    telemetry.install(tracer)
     while True:
         item = task_queue.get()
         if item is None:
             break
-        job_id, spec_dict = item
+        job_id, spec_dict, trace_ctx = (item if len(item) == 3
+                                        else (item[0], item[1], None))
         result_queue.put(("started", worker_id, job_id))
         try:
-            payload = execute_spec(spec_dict)
+            with tracer.span("worker.execute",
+                             parent=telemetry.Tracer.extract(trace_ctx),
+                             attrs={"job": job_id}):
+                payload = execute_spec(spec_dict)
         except BaseException as exc:  # report, keep the worker alive
+            tracer.drain()  # error replies carry no payload for spans
             result_queue.put(("error", worker_id, job_id,
                               "%s: %s" % (type(exc).__name__, exc)))
         else:
+            if isinstance(payload, dict):
+                payload["trace_spans"] = tracer.drain()
+            else:
+                tracer.drain()
             result_queue.put(("done", worker_id, job_id, payload))
 
 
@@ -122,11 +143,11 @@ class WorkerPool:
         return [worker for worker in self.workers
                 if worker.job_id is None and worker.alive()]
 
-    def assign(self, worker, job_id, spec_dict):
+    def assign(self, worker, job_id, spec_dict, trace_ctx=None):
         worker.job_id = job_id
         worker.assigned_at = time.monotonic()
         worker.kill_reason = None
-        worker.task_queue.put((job_id, spec_dict))
+        worker.task_queue.put((job_id, spec_dict, trace_ctx))
 
     def release(self, worker):
         """Mark the worker idle again (its job reached a terminal state)."""

@@ -22,9 +22,18 @@ jobs       ``{}`` → ``{ok, jobs: [...]}`` (the full job table)
 result     ``{id, wait}`` → ``{ok, job}`` (``wait`` blocks until the
            job is terminal)
 stats      ``{}`` → ``{ok, stats}`` (metrics snapshot + worker table)
+metrics    ``{}`` → ``{ok, exposition, metrics}`` — the session's full
+           metrics registry as Prometheus text exposition plus a
+           structured snapshot (histograms with bucket counts)
 drain      ``{}`` → finishes in-flight jobs, then ``{ok, drained}``
            and server exit
 ========== ==============================================================
+
+``submit`` additionally accepts an optional ``trace`` context
+(``{trace_id, span_id, start_unix}``, ids from
+:func:`repro.obs.telemetry.new_id`); when present the server roots the
+submission's telemetry trace at the client's clock, so one job yields a
+single connected client → scheduler → worker span tree.
 
 Events: ``queued``, ``started``, ``progress``, ``cached``, ``retry``,
 ``done``, ``failed``, ``grid_done`` — each carries the job ``id`` (grid

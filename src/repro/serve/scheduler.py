@@ -25,6 +25,7 @@ execution *raises* is failed immediately with the worker kept alive.
 import time
 from collections import deque
 
+from repro.obs.telemetry import Tracer
 from repro.serve import protocol
 from repro.serve.jobs import (
     CACHED,
@@ -64,6 +65,8 @@ class Job:
         self.error = None
         self.grids = set()
         self.done_event = asyncio.Event()
+        self.span = None        # "serve.job" span (submitted -> terminal)
+        self.queue_span = None  # "serve.queue" span (submitted -> assigned)
 
     @property
     def terminal(self):
@@ -89,9 +92,10 @@ class Job:
 
 class Scheduler:
     def __init__(self, pool, metrics, max_pending=256, job_timeout=300.0,
-                 max_retries=1, log=None):
+                 max_retries=1, log=None, tracer=None):
         self.pool = pool
         self.metrics = metrics
+        self.tracer = tracer
         self.max_pending = max_pending
         self.job_timeout = job_timeout
         self.max_retries = max_retries
@@ -113,13 +117,15 @@ class Scheduler:
         return sum(1 for job in self.jobs.values()
                    if job.state == RUNNING)
 
-    def admit(self, cells):
+    def admit(self, cells, parent_span=None):
         """Admit one submission.
 
         ``cells`` is a list of ``(spec, key, cached_payload)`` triples —
         keys and cache probes are computed by the server off-loop (they
         compile kernels).  Returns ``(grid_id, jobs)``.  Raises
         :class:`Backpressure` when the novel cells don't fit.
+        ``parent_span`` (the server's submit span) parents the per-job
+        trace spans when tracing is on.
         """
         novel = [key for _, key, _ in cells
                  if key not in self.by_key]
@@ -138,21 +144,40 @@ class Scheduler:
             if job is not None:
                 if job.terminal:
                     self.metrics.memo_hits += 1
+                    hit = "memo"
                 else:
                     self.metrics.dedup_hits += 1
+                    hit = "dedup"
+                if self.tracer is not None and parent_span is not None:
+                    # Instant marker: this submission coalesced onto an
+                    # existing job whose trace lives elsewhere.
+                    span = self.tracer.start_span(
+                        "serve.%s" % hit, parent=parent_span,
+                        attrs={"job": job.id, "state": job.state})
+                    self.tracer.record(span)
             else:
                 self._job_ids += 1
                 job = Job("j%06d" % self._job_ids, key, spec)
                 self.jobs[job.id] = job
                 self.by_key[key] = job
                 self.metrics.jobs_accepted += 1
+                if self.tracer is not None:
+                    job.span = self.tracer.start_span(
+                        "serve.job", parent=parent_span,
+                        attrs={"job": job.id, "label": spec.label()})
                 if cached_payload is not None:
                     job.state = CACHED
                     job.payload = cached_payload
                     job.finished_at = time.monotonic()
                     job.done_event.set()
                     self.metrics.cache_hits += 1
+                    if job.span is not None:
+                        job.span.set_attr("state", CACHED)
+                        self.tracer.record(job.span)
                 else:
+                    if self.tracer is not None:
+                        job.queue_span = self.tracer.start_span(
+                            "serve.queue", parent=job.span)
                     self.pending.append(job)
             job.grids.add(grid_id)
             if job.id not in grid["jobs"]:
@@ -180,7 +205,16 @@ class Scheduler:
                 continue
             worker = idle[0]
             job.assigned_at = time.monotonic()
-            self.pool.assign(worker, job.id, job.spec.as_dict())
+            trace_ctx = None
+            if job.queue_span is not None:
+                job.queue_span.set_attr("worker", worker.worker_id)
+                self.tracer.record(job.queue_span)
+                job.queue_span = None
+            if job.span is not None:
+                # Propagated through the task queue into the worker
+                # process, where it parents the "worker.execute" span.
+                trace_ctx = Tracer.inject(job.span)
+            self.pool.assign(worker, job.id, job.spec.as_dict(), trace_ctx)
 
     # -- pool message handlers --------------------------------------------
 
@@ -200,11 +234,18 @@ class Scheduler:
         if job is None or job.terminal:
             self.dispatch()
             return  # late duplicate after a racy retry: drop
+        if isinstance(payload, dict):
+            # Worker-side spans ride the payload; they are trace
+            # plumbing, not part of the job's result.
+            worker_spans = payload.pop("trace_spans", None)
+            if self.tracer is not None:
+                self.tracer.ingest(worker_spans)
         now = time.monotonic()
         job.state = DONE
         job.payload = payload
         job.finished_at = now
         job.done_event.set()
+        self._finish_span(job, DONE)
         self.metrics.executed += 1
         if job.assigned_at is not None:
             exec_seconds = now - job.assigned_at
@@ -242,6 +283,12 @@ class Scheduler:
         self.metrics.retries += 1
         job.state = QUEUED
         job.assigned_at = None
+        if self.tracer is not None:
+            if job.span is not None:
+                job.span.set_attr("retries", job.attempts)
+            job.queue_span = self.tracer.start_span(
+                "serve.queue", parent=job.span,
+                attrs={"retry": job.attempts})
         self.pending.appendleft(job)
         self._emit(job, "retry", attempt=job.attempts + 1,
                    of=self.max_retries + 1)
@@ -268,9 +315,24 @@ class Scheduler:
         job.error = message
         job.finished_at = time.monotonic()
         job.done_event.set()
+        self._finish_span(job, FAILED, status="error", error=message)
         self.metrics.failed += 1
         self._emit(job, "failed", error=message)
         self._finish(job)
+
+    def _finish_span(self, job, state, status=None, error=None):
+        """Close a job's open trace spans at its terminal transition."""
+        if self.tracer is None:
+            return
+        if job.queue_span is not None:
+            self.tracer.record(job.queue_span, status=status)
+            job.queue_span = None
+        if job.span is not None:
+            job.span.set_attr("state", state)
+            if error is not None:
+                job.span.set_attr("error", error)
+            self.tracer.record(job.span, status=status)
+            job.span = None
 
     def _finish(self, job):
         for grid_id in job.grids:

@@ -21,7 +21,9 @@ shutdown.
 import asyncio
 import os
 import threading
+import time
 
+from repro.obs.telemetry import MetricsRegistry, Tracer
 from repro.serve import protocol
 from repro.serve.jobs import (
     FAILED,
@@ -45,7 +47,7 @@ def default_workers():
 class ServeServer:
     def __init__(self, host="127.0.0.1", port=protocol.DEFAULT_PORT,
                  workers=None, max_pending=256, job_timeout=300.0,
-                 max_retries=1, verbose=False):
+                 max_retries=1, verbose=False, metrics_interval=30.0):
         self.host = host
         self.port = port
         self.num_workers = workers or default_workers()
@@ -53,7 +55,11 @@ class ServeServer:
         self.job_timeout = job_timeout
         self.max_retries = max_retries
         self.verbose = verbose
-        self.metrics = ServeMetrics()
+        self.registry = MetricsRegistry()
+        self.metrics = ServeMetrics(registry=self.registry)
+        self.tracer = Tracer(process="scheduler")
+        self.metrics_interval = metrics_interval
+        self._next_metrics_write = None
         self.pool = None
         self.scheduler = None
         self._server = None
@@ -78,7 +84,20 @@ class ServeServer:
                                    max_pending=self.max_pending,
                                    job_timeout=self.job_timeout,
                                    max_retries=self.max_retries,
-                                   log=self.log)
+                                   log=self.log, tracer=self.tracer)
+        self.registry.gauge(
+            "serve_queue_depth", help="jobs waiting for a worker",
+            fn=lambda: len(self.scheduler.pending))
+        self.registry.gauge(
+            "serve_running_jobs", help="jobs currently on a worker",
+            fn=lambda: self.scheduler.running())
+        self.registry.gauge(
+            "serve_workers", help="current pool width",
+            fn=lambda: len(self.pool.workers))
+        self.registry.gauge(
+            "serve_worker_utilization",
+            help="busy fraction of the pool right now",
+            fn=lambda: round(self.pool.utilization_now(), 4))
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port,
             limit=protocol.MAX_LINE_BYTES)
@@ -154,11 +173,51 @@ class ServeServer:
                 self.scheduler.on_casualty(job_id, kill_reason)
             self.scheduler.dispatch()
             self.metrics.note_pending(len(self.scheduler.pending))
+            self._maybe_write_metrics()
             if self.scheduler.draining and self.scheduler.all_idle() \
                     and not self._stop.is_set():
                 self._drained = self._write_manifest()
                 self.log("drained; manifest at %s" % self._drained)
                 self._stop.set()
+
+    def _telemetry_path(self, filename):
+        from repro.obs.manifest import manifest_dir
+        return os.path.join(manifest_dir(), filename)
+
+    def _maybe_write_metrics(self):
+        """Append a registry snapshot to the NDJSON time series.
+
+        A session leaves a ``serve_metrics.ndjson`` trail next to its
+        manifest — one line every ``metrics_interval`` seconds — so
+        queue depth and latency percentiles can be plotted over the
+        session afterwards.  ``metrics_interval <= 0`` disables it.
+        """
+        if self.metrics_interval is None or self.metrics_interval <= 0:
+            return
+        now = time.monotonic()
+        if self._next_metrics_write is not None \
+                and now < self._next_metrics_write:
+            return
+        self._next_metrics_write = now + self.metrics_interval
+        self.registry.write_snapshot(
+            self._telemetry_path("serve_metrics.ndjson"))
+
+    def _export_telemetry(self):
+        """Drain-time sidecars: final metrics line, spans, Perfetto."""
+        paths = {}
+        metrics_path = self._telemetry_path("serve_metrics.ndjson")
+        if self.registry.write_snapshot(metrics_path):
+            paths["metrics_ndjson"] = metrics_path
+        spans = self.tracer.to_dicts()
+        if spans:
+            trace_path = self._telemetry_path("serve_trace.ndjson")
+            if self.tracer.to_ndjson(trace_path):
+                paths["trace_ndjson"] = trace_path
+            from repro.obs.perfetto import write_service_trace
+            perfetto_path = self._telemetry_path("serve_trace.perfetto.json")
+            if write_service_trace(spans, perfetto_path):
+                paths["perfetto_trace"] = perfetto_path
+        return paths
 
     def _write_manifest(self):
         """Service provenance on drain, via the obs manifest path."""
@@ -166,7 +225,8 @@ class ServeServer:
             from repro.obs.manifest import write_service_manifest
             return write_service_manifest(
                 self._stats_snapshot(),
-                jobs=self.scheduler.job_table(payloads=False))
+                jobs=self.scheduler.job_table(payloads=False),
+                telemetry=self._export_telemetry())
         except Exception:
             return None
 
@@ -247,6 +307,10 @@ class ServeServer:
                 request, stats=self._stats_snapshot(),
                 workers=[worker.as_dict()
                          for worker in self.pool.workers]))
+        elif op == "metrics":
+            await self._send(writer, protocol.reply(
+                request, exposition=self.registry.exposition(),
+                metrics=self.registry.snapshot()))
         elif op == "drain":
             self.request_drain()
             await self._stop.wait()
@@ -259,6 +323,27 @@ class ServeServer:
                 request, protocol.E_BAD_REQUEST,
                 "unknown op %r" % op))
         return False
+
+    def _submit_span(self, request):
+        """The root ``serve.submit`` span for one submission.
+
+        When the client sent a ``trace`` context the span adopts the
+        client's ids and submit timestamp (``process="client"``), so the
+        whole trace starts on the client's clock; otherwise the server
+        roots a fresh trace itself.
+        """
+        context = request.get("trace")
+        ctx = Tracer.extract(context)
+        if ctx is not None:
+            start = context.get("start_unix")
+            if not isinstance(start, (int, float)):
+                start = None
+            span = self.tracer.start_span(
+                "serve.submit", trace_id=ctx["trace_id"],
+                start=start, process="client")
+            span.span_id = ctx["span_id"]
+            return span
+        return self.tracer.start_span("serve.submit")
 
     async def _op_submit(self, request, writer):
         if self.scheduler.draining:
@@ -273,14 +358,20 @@ class ServeServer:
             await self._send(writer, protocol.error(
                 request, protocol.E_BAD_REQUEST, str(exc)))
             return
+        submit_span = self._submit_span(request)
         cells = await asyncio.get_running_loop().run_in_executor(
             None, self._prepare_cells, specs)
         try:
-            grid_id, jobs = self.scheduler.admit(cells)
+            grid_id, jobs = self.scheduler.admit(cells,
+                                                 parent_span=submit_span)
         except Backpressure as exc:
+            self.tracer.record(submit_span, status="error")
             await self._send(writer, protocol.error(
                 request, protocol.E_BACKPRESSURE, str(exc)))
             return
+        submit_span.set_attr("grid", grid_id)
+        submit_span.set_attr("jobs", len(jobs))
+        self.tracer.record(submit_span)
         await self._send(writer, protocol.reply(
             request, grid=grid_id,
             jobs=[job.summary() for job in jobs]))
@@ -361,11 +452,12 @@ async def _amain(server):
 
 
 def serve_main(host, port, workers=None, max_pending=256, job_timeout=300.0,
-               max_retries=1, verbose=False):
+               max_retries=1, verbose=False, metrics_interval=30.0):
     """Blocking entry point for ``python -m repro serve``."""
     server = ServeServer(host=host, port=port, workers=workers,
                          max_pending=max_pending, job_timeout=job_timeout,
-                         max_retries=max_retries, verbose=verbose)
+                         max_retries=max_retries, verbose=verbose,
+                         metrics_interval=metrics_interval)
     try:
         asyncio.run(_amain(server))
     except KeyboardInterrupt:

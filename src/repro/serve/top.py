@@ -1,0 +1,146 @@
+"""``repro top`` — live terminal dashboard for a running serve node.
+
+Polls ``stats`` (queue/worker snapshot) and ``metrics`` (registry) over
+one client connection and redraws an ANSI screen every interval:
+uptime, worker utilization bar, queue depth with a sparkline of recent
+history, dedup/cache hit rates, latency percentiles, and the per-worker
+table.
+
+The frame renderer is a pure function of the polled snapshots
+(:func:`render_frame`), so tests can assert on a one-shot frame
+(``repro top --once``) against a live server without a TTY.
+"""
+
+import time
+from collections import deque
+
+from repro.serve.client import ServeClient, ServeError
+
+#: Queue-depth history kept for the sparkline.
+HISTORY = 60
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def sparkline(values, width=HISTORY):
+    """Recent ``values`` as a block-character sparkline string."""
+    values = list(values)[-width:]
+    if not values:
+        return ""
+    top = max(max(values), 1)
+    return "".join(
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1,
+                         int(value / top * (len(_SPARK_CHARS) - 1)))]
+        for value in values)
+
+
+def meter(fraction, width=20):
+    """A ``[####----]``-style utilization bar (ASCII: survives any TTY)."""
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "[%s%s]" % ("#" * filled, "-" * (width - filled))
+
+
+def _rate(hits, total):
+    return 100.0 * hits / total if total else 0.0
+
+
+def render_frame(stats, workers, history=(), now=None):
+    """One dashboard frame (a newline-joined string) from snapshots.
+
+    ``stats`` is the ``stats`` reply's metrics snapshot, ``workers`` its
+    worker table, ``history`` recent queue depths for the sparkline.
+    """
+    uptime = stats.get("uptime_seconds", 0.0)
+    busy = sum(1 for worker in workers if worker.get("job"))
+    width = max(1, len(workers) or stats.get("num_workers", 1))
+    util_now = busy / width
+    util_session = stats.get("worker_utilization", 0.0)
+    submissions = stats.get("submissions", 0)
+    dedup = stats.get("dedup_hits", 0)
+    memo = stats.get("memo_hits", 0)
+    cache = stats.get("cache_hits", 0)
+    reused = dedup + memo + cache
+    lines = [
+        "repro top — %s:%s   uptime %7.1fs   %s"
+        % (stats.get("host", "?"), stats.get("port", "?"), uptime,
+           "DRAINING" if stats.get("draining") else "serving"),
+        "",
+        "workers  %d/%d busy  %s %3.0f%% now  (%.0f%% session)"
+        % (busy, width, meter(util_now), 100 * util_now,
+           100 * util_session),
+        "queue    depth %-4d peak %-4d %s"
+        % (stats.get("queue_depth", 0), stats.get("peak_pending", 0),
+           sparkline(history)),
+        "jobs     accepted %-5d executed %-5d failed %-3d retries %-3d"
+        " timeouts %d"
+        % (stats.get("jobs_accepted", 0), stats.get("executed", 0),
+           stats.get("failed", 0), stats.get("retries", 0),
+           stats.get("timeouts", 0)),
+        "reuse    dedup %d  memo %d  disk-cache %d   — %.1f%% of %d"
+        " submissions reused"
+        % (dedup, memo, cache, _rate(reused, submissions), submissions),
+        "latency  p50 %.3fs  p95 %.3fs  p99 %.3fs   (exec p50 %.3fs"
+        "  p95 %.3fs  p99 %.3fs)"
+        % (stats.get("latency_p50_seconds", 0.0),
+           stats.get("latency_p95_seconds", 0.0),
+           stats.get("latency_p99_seconds", 0.0),
+           stats.get("exec_p50_seconds", 0.0),
+           stats.get("exec_p95_seconds", 0.0),
+           stats.get("exec_p99_seconds", 0.0)),
+        "",
+        "  %-4s %-7s %-6s %-14s %-9s %s"
+        % ("id", "pid", "state", "job", "busy", "done"),
+    ]
+    for worker in workers:
+        lines.append(
+            "  %-4s %-7s %-6s %-14s %8.1fs %d"
+            % (worker.get("worker_id"), worker.get("pid"),
+               "busy" if worker.get("job") else "idle",
+               (worker.get("job") or "-")[:14],
+               worker.get("busy_seconds", 0.0),
+               worker.get("jobs_done", 0)))
+    stamp = time.strftime("%H:%M:%S",
+                          time.localtime(now if now is not None
+                                         else time.time()))
+    lines.append("")
+    lines.append("updated %s — ctrl-c to quit" % stamp)
+    return "\n".join(lines)
+
+
+def run_top(host, port, interval=1.0, iterations=None, once=False,
+            out=None):
+    """Poll a serve node and redraw the dashboard until interrupted.
+
+    ``once`` prints a single frame with no cursor control and returns
+    (what tests and scripted health checks use); ``iterations`` bounds
+    the number of frames.  Returns 0, or 1 when the server is
+    unreachable.
+    """
+    import sys
+    out = out if out is not None else sys.stdout
+    history = deque(maxlen=HISTORY)
+    frames = 0
+    try:
+        with ServeClient(host=host, port=port) as client:
+            while True:
+                reply = client.stats()
+                stats = reply.get("stats", {})
+                workers = reply.get("workers", [])
+                history.append(stats.get("queue_depth", 0))
+                frame = render_frame(stats, workers, history)
+                if once:
+                    out.write(frame + "\n")
+                    return 0
+                out.write(_CLEAR + frame + "\n")
+                out.flush()
+                frames += 1
+                if iterations is not None and frames >= iterations:
+                    return 0
+                time.sleep(interval)
+    except (KeyboardInterrupt, BrokenPipeError):
+        return 0
+    except (ServeError, OSError) as exc:
+        out.write("repro top: %s\n" % exc)
+        return 1

@@ -140,6 +140,39 @@ class TestProbeEquivalence:
         assert profiler.total_attributed() == stats.cycles
 
 
+class TestTelemetryEquivalence:
+    """An installed tracer must not perturb a single statistic: the
+    runner's instrumentation only opens spans around the simulation
+    (guarded by one ``active_tracer() is None`` check) and never touches
+    pipeline state, so stats with telemetry attached are bit-identical
+    to the uninstrumented hot path."""
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("name", BENCHES)
+    def test_stats_bit_identical_with_tracer_installed(self, name,
+                                                       config_name):
+        from repro.obs.telemetry import Tracer, active_tracer, install
+        reference = _signature(_fresh(name, config_name))
+
+        tracer = Tracer(process="test")
+        previous = install(tracer)
+        try:
+            traced = runner.run_benchmark(name, config_name, **GEOMETRY)
+        finally:
+            install(previous)
+        assert active_tracer() is previous
+
+        assert _signature(traced) == reference
+        # ...and the tracer actually observed the run it did not perturb.
+        names = [span.name for span in tracer.spans]
+        assert "simulate" in names
+        assert "runner.run" in names
+        run_span = next(span for span in tracer.spans
+                        if span.name == "runner.run")
+        assert run_span.attrs["benchmark"] == name
+        assert run_span.duration > 0
+
+
 class TestLockstepEquivalence:
     """The lockstep cross-checker reads pipeline state through
     side-effect-free accessors only, so benchmark statistics with a

@@ -1,0 +1,322 @@
+"""Unit tests for the telemetry layer: metrics registry, histograms
+with exact streaming percentile bounds, span tracing, and cross-process
+trace-context propagation."""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.obs.telemetry import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    Tracer,
+    active_tracer,
+    install,
+    load_ndjson_spans,
+    new_id,
+)
+
+
+# ---------------------------------------------------------------------------
+# Instruments
+
+
+class TestCounterGauge:
+    def test_counter_monotonic(self):
+        counter = Counter("jobs_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("depth")
+        gauge.set(7)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 6
+
+    def test_callback_backed_instruments(self):
+        backing = {"value": 3}
+        counter = Counter("cb_total", fn=lambda: backing["value"])
+        gauge = Gauge("cb", fn=lambda: backing["value"] * 2)
+        assert counter.value == 3
+        assert gauge.value == 6
+        backing["value"] = 10
+        assert counter.value == 10
+        assert gauge.value == 20
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self):
+        hist = Histogram("latency", buckets=(1.0, 2.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 99.0):
+            hist.observe(value)
+        # bisect_left: a value equal to an edge lands in that bucket.
+        assert hist.counts == [2, 2, 1]
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(104.0)
+
+    def test_quantile_bounds_are_exact(self):
+        hist = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        values = [0.05, 0.2, 0.3, 5.0]
+        for value in values:
+            hist.observe(value)
+        # rank(0.5) over 4 samples -> index 2 -> value 0.3, which lives
+        # in the (0.1, 1.0] bucket with observed min 0.2 / max 0.3.
+        low, high = hist.quantile_bounds(0.5)
+        assert low == 0.2
+        assert high == 0.3
+        assert low <= sorted(values)[2] <= high
+        assert hist.quantile(0.0) == 0.05
+        assert hist.quantile(1.0) == 5.0
+
+    def test_no_drop_oldest_bias(self):
+        # The failure mode of the old reservoir: a recent burst of fast
+        # observations must not erase the slow majority from the tail.
+        hist = Histogram("latency")
+        for _ in range(6000):
+            hist.observe(50.0)
+        for _ in range(4096):
+            hist.observe(0.0005)
+        assert hist.count == 10096
+        assert hist.quantile(0.99) == 50.0
+        assert hist.quantile(0.50) == 50.0
+        assert hist.quantile(0.05) == 0.0005
+
+    def test_empty_histogram(self):
+        hist = Histogram("latency")
+        assert hist.quantile_bounds(0.99) == (0.0, 0.0)
+        snapshot = hist.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99"] == 0.0
+
+    def test_snapshot_buckets(self):
+        hist = Histogram("latency", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(3.0)
+        snapshot = hist.snapshot()
+        assert snapshot["buckets"] == {"1": 1, "+Inf": 1}
+        assert snapshot["min"] == 0.5
+        assert snapshot["max"] == 3.0
+
+    def test_memory_is_bounded_by_buckets(self):
+        hist = Histogram("latency")
+        for index in range(100_000):
+            hist.observe(index * 0.001)
+        assert len(hist.counts) == len(LATENCY_BUCKETS) + 1
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total")
+        second = registry.counter("a_total")
+        assert first is second
+        with pytest.raises(ValueError):
+            registry.gauge("a_total")
+
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("serve_executed_total",
+                         help="jobs executed").inc(2)
+        registry.gauge("serve_queue_depth").set(3)
+        hist = registry.histogram("serve_job_latency_seconds",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(9.0)
+        text = registry.exposition()
+        assert "# HELP serve_executed_total jobs executed" in text
+        assert "# TYPE serve_executed_total counter" in text
+        assert "serve_executed_total 2" in text
+        assert "serve_queue_depth 3" in text
+        # Prometheus histogram buckets are cumulative.
+        assert 'serve_job_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'serve_job_latency_seconds_bucket{le="1"} 2' in text
+        assert 'serve_job_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "serve_job_latency_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_ndjson_snapshot_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc(7)
+        path = str(tmp_path / "series" / "metrics.ndjson")
+        assert registry.write_snapshot(path, now=100.0) == path
+        assert registry.write_snapshot(path, now=200.0) == path
+        lines = [json.loads(line)
+                 for line in open(path).read().splitlines()]
+        assert [line["ts"] for line in lines] == [100.0, 200.0]
+        assert lines[0]["metrics"]["x_total"] == 7
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+
+
+class TestSpans:
+    def test_ids_and_finish(self):
+        span = Span("serve.job")
+        assert len(span.trace_id) == 16
+        assert span.end is None
+        span.finish(end=span.start + 1.5)
+        assert span.duration == pytest.approx(1.5)
+        # finish() is idempotent: the first end sticks.
+        span.finish(end=span.start + 99.0)
+        assert span.duration == pytest.approx(1.5)
+
+    def test_as_dict_from_dict_roundtrip(self):
+        span = Span("worker.execute", process="worker-3",
+                    attrs={"job": "j1"})
+        span.finish(status="error")
+        clone = Span.from_dict(span.as_dict())
+        assert clone.as_dict() == span.as_dict()
+
+    def test_tracer_nesting_via_context_stack(self):
+        tracer = Tracer(process="test")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        inner_rec, outer_rec = tracer.spans
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer_rec.span_id
+        assert inner_rec.trace_id == outer_rec.trace_id
+
+    def test_exception_marks_span_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        assert tracer.spans[0].status == "error"
+        assert tracer.spans[0].end is not None
+
+    def test_inject_extract(self):
+        span = Span("serve.job")
+        context = Tracer.inject(span)
+        assert Tracer.extract(context) == {"trace_id": span.trace_id,
+                                           "span_id": span.span_id}
+        assert Tracer.extract(None) is None
+        assert Tracer.extract({"trace_id": "x"}) is None
+        child = Tracer().start_span("worker.execute", parent=context)
+        assert child.trace_id == span.trace_id
+        assert child.parent_id == span.span_id
+
+    def test_ingest_merges_foreign_spans(self):
+        worker = Tracer(process="worker-0")
+        with worker.span("worker.execute"):
+            pass
+        scheduler = Tracer(process="scheduler")
+        scheduler.ingest(worker.drain())
+        assert worker.spans == []
+        assert scheduler.spans[0].process == "worker-0"
+
+    def test_span_limit_drops_not_grows(self):
+        tracer = Tracer(limit=2)
+        for index in range(5):
+            tracer.record(tracer.start_span("s%d" % index))
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+
+    def test_ndjson_roundtrip(self, tmp_path):
+        tracer = Tracer(process="test")
+        with tracer.span("a", attrs={"k": 1}):
+            pass
+        path = str(tmp_path / "trace.ndjson")
+        assert tracer.to_ndjson(path) == path
+        spans = load_ndjson_spans(path)
+        assert spans == tracer.to_dicts()
+
+    def test_install_and_active(self):
+        assert active_tracer() is None
+        tracer = Tracer()
+        previous = install(tracer)
+        try:
+            assert previous is None
+            assert active_tracer() is tracer
+        finally:
+            install(previous)
+        assert active_tracer() is None
+
+
+def _child_main(context, queue):
+    """Spawned-process child: execute under a propagated trace context
+    (exactly the worker pool's shape) and ship the spans back."""
+    tracer = Tracer(process="child")
+    install(tracer)
+    try:
+        with tracer.span("worker.execute", parent=Tracer.extract(context)):
+            with tracer.span("runner.run"):
+                pass
+        queue.put(tracer.drain())
+    finally:
+        install(None)
+
+
+class TestCrossProcessPropagation:
+    def test_context_propagates_through_spawned_process(self):
+        parent = Tracer(process="scheduler")
+        root = parent.start_span("serve.job")
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        process = ctx.Process(target=_child_main,
+                              args=(Tracer.inject(root), queue))
+        process.start()
+        try:
+            child_spans = queue.get(timeout=60)
+        finally:
+            process.join(timeout=10)
+        parent.ingest(child_spans)
+        parent.record(root)
+        spans = {span.name: span for span in parent.spans}
+        execute = spans["worker.execute"]
+        runner = spans["runner.run"]
+        assert execute.trace_id == root.trace_id
+        assert execute.parent_id == root.span_id
+        assert execute.process == "child"
+        assert runner.trace_id == root.trace_id
+        assert runner.parent_id == execute.span_id
+
+
+class TestPerfettoExport:
+    def test_spans_become_service_tracks(self):
+        from repro.obs.perfetto import spans_to_trace_events, validate_trace
+        tracer = Tracer(process="scheduler")
+        root = tracer.start_span("serve.job", start=10.0)
+        tracer.record(root, end=10.5)
+        worker = Tracer(process="worker-0")
+        child = worker.start_span("worker.execute", parent=root,
+                                  start=10.1)
+        worker.record(child, end=10.4)
+        spans = tracer.to_dicts() + worker.to_dicts()
+        events = spans_to_trace_events(spans)
+        assert validate_trace({"traceEvents": events}) == []
+        tracks = {event["args"]["name"] for event in events
+                  if event["name"] == "thread_name"}
+        assert tracks == {"scheduler", "worker-0"}
+        begins = [event for event in events if event["ph"] == "B"]
+        ends = [event for event in events if event["ph"] == "E"]
+        assert len(begins) == len(ends) == 2
+        job = [event for event in begins
+               if event["name"] == "serve.job"][0]
+        assert job["ts"] == 0                      # relative to earliest
+        assert job["args"]["trace_id"] == root.trace_id
+
+    def test_unfinished_spans_are_skipped(self):
+        from repro.obs.perfetto import spans_to_trace_events
+        open_span = Span("serve.job").as_dict()
+        assert spans_to_trace_events([open_span]) == []
+
+
+def test_new_id_shape_and_uniqueness():
+    ids = {new_id() for _ in range(100)}
+    assert len(ids) == 100
+    assert all(len(value) == 16 for value in ids)
+    assert all(int(value, 16) >= 0 for value in ids)

@@ -1,0 +1,185 @@
+"""Tests for longitudinal trend reporting (``repro obs report``)."""
+
+import json
+
+import pytest
+
+from repro.obs.trend import (
+    BENCH_THRESHOLD,
+    bench_trends,
+    group_key,
+    host_key,
+    load_bench_history,
+    manifest_trends,
+    render_bench_trends,
+    trend_report,
+)
+
+
+def _record(rev, cold, host=None, **extra):
+    record = {"git_rev": rev, "config": "baseline", "scale": 4,
+              "cpu_count": 8, "cold_serial_seconds": cold}
+    if host is not None:
+        record["host"] = host
+    record.update(extra)
+    return record
+
+
+HOST_A = {"cpu_model": "EPYC 7763", "cpu_count": 8,
+          "python_version": "3.11"}
+HOST_B = {"cpu_model": "Xeon 8480", "cpu_count": 64,
+          "python_version": "3.11"}
+
+
+class TestGrouping:
+    def test_host_key_fallback_for_legacy_records(self):
+        # Records written before host provenance was stamped only carry
+        # cpu_count; they must still form one comparable group.
+        legacy = {"cpu_count": 8}
+        assert host_key(legacy) == "unknown/8c"
+        assert host_key(_record("a", 1.0, host=HOST_A)) \
+            == "EPYC 7763/8c/py3.11"
+
+    def test_cross_host_records_never_compared(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 99.0, host=HOST_B)]
+        rows = bench_trends(history)
+        # Two groups of one record each: no pair exists, so a 10x
+        # wall-clock jump across machines cannot flag.
+        assert len(rows) == 2
+        assert all(row["old"] is None for row in rows)
+        assert not any(row["regressed"] for row in rows)
+
+    def test_backend_splits_groups(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 2.0, host=HOST_A, backend="vector")]
+        keys = {group_key(record) for record in history}
+        assert len(keys) == 2
+
+
+class TestRegressionFlag:
+    def test_flags_above_threshold(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 12.0, host=HOST_A)]
+        (row,) = bench_trends(history)
+        assert row["old"] == 10.0
+        assert row["new"] == 12.0
+        assert row["ratio"] == pytest.approx(1.2)
+        assert row["regressed"]
+
+    def test_within_threshold_passes(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 10.5, host=HOST_A)]
+        (row,) = bench_trends(history)
+        assert not row["regressed"]
+
+    def test_improvement_never_flags(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 5.0, host=HOST_A)]
+        (row,) = bench_trends(history)
+        assert not row["regressed"]
+
+    def test_noise_floor_suppresses_cache_hit_jitter(self):
+        # Warm cache-hit paths time at single milliseconds; a 3x blip
+        # there is scheduler noise, not a regression.
+        history = [_record("a", 10.0, host=HOST_A,
+                           warm_memo_seconds=0.002),
+                   _record("b", 10.0, host=HOST_A,
+                           warm_memo_seconds=0.006)]
+        rows = {row["metric"]: row for row in bench_trends(history)}
+        assert not rows["warm_memo_seconds"]["regressed"]
+
+    def test_latest_vs_previous_not_vs_oldest(self):
+        history = [_record("a", 20.0, host=HOST_A),
+                   _record("b", 10.0, host=HOST_A),
+                   _record("c", 10.4, host=HOST_A)]
+        (row,) = bench_trends(history)
+        assert row["old"] == 10.0
+        assert not row["regressed"]
+        assert [value for _rev, value in row["series"]] \
+            == [20.0, 10.0, 10.4]
+
+    def test_breakdown_rows(self):
+        # bench_runner records the breakdown as {benchmark: seconds}.
+        history = [_record("a", 3.0, host=HOST_A,
+                           cold_serial_breakdown={"VecAdd": 1.0,
+                                                  "Reduce": 2.0}),
+                   _record("b", 3.7, host=HOST_A,
+                           cold_serial_breakdown={"VecAdd": 1.0,
+                                                  "Reduce": 2.7})]
+        rows = {row["metric"]: row
+                for row in bench_trends(history, breakdown=True)}
+        assert rows["cold_serial_seconds[VecAdd]"]["new"] == 1.0
+        assert not rows["cold_serial_seconds[VecAdd]"]["regressed"]
+        assert rows["cold_serial_seconds[Reduce]"]["regressed"]
+
+
+class TestRendering:
+    def test_report_text_marks_regressions(self):
+        history = [_record("a", 10.0, host=HOST_A),
+                   _record("b", 15.0, host=HOST_A)]
+        text = render_bench_trends(bench_trends(history))
+        assert "<< REGRESSED" in text
+        assert "+50.0%" in text
+        assert "EPYC 7763" in text
+
+    def test_clean_history_says_so(self):
+        history = [_record("a", 10.0, host=HOST_A)]
+        text = render_bench_trends(bench_trends(history))
+        assert "no wall-clock regressions" in text
+
+
+def _manifest(cycles, backend="vector"):
+    return {"backend": backend,
+            "benchmarks": {"VecAdd": {"stats": {"cycles": cycles}}}}
+
+
+class TestManifestChain:
+    def test_pairwise_chaining(self, tmp_path):
+        paths = []
+        for index, cycles in enumerate((100, 100, 150)):
+            path = tmp_path / ("m%d.json" % index)
+            path.write_text(json.dumps(_manifest(cycles)))
+            paths.append(str(path))
+        steps, regressed = manifest_trends(paths)
+        assert len(steps) == 2
+        assert len(regressed) == 1
+        assert regressed[0]["metric"] == "cycles"
+        assert regressed[0]["new_manifest"] == "m2.json"
+
+
+class TestTrendReport:
+    def test_report_over_bench_file(self, tmp_path):
+        bench = tmp_path / "BENCH_runner.json"
+        bench.write_text(json.dumps([_record("a", 10.0, host=HOST_A),
+                                     _record("b", 15.0, host=HOST_A)]))
+        text, regressed = trend_report(bench_path=str(bench))
+        assert regressed == 1
+        assert "BENCH trajectory" in text
+        assert "<< REGRESSED" in text
+        # A looser explicit threshold can wave the same jump through.
+        _text, regressed = trend_report(bench_path=str(bench),
+                                        threshold=0.60)
+        assert regressed == 0
+
+    def test_missing_history_is_not_an_error(self, tmp_path):
+        text, regressed = trend_report(
+            bench_path=str(tmp_path / "absent.json"))
+        assert regressed == 0
+        assert "no history" in text
+
+    def test_rejects_non_list_history(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_bench_history(str(path))
+
+    def test_checked_in_history_gates_clean(self):
+        # The repo's own BENCH trajectory must pass its own gate.
+        import os
+        path = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "BENCH_runner.json")
+        text, regressed = trend_report(bench_path=path,
+                                       threshold=BENCH_THRESHOLD)
+        assert regressed == 0
+        assert "BENCH trajectory" in text

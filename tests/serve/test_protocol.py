@@ -187,11 +187,30 @@ class TestMetrics:
         assert snapshot["queue_depth"] == 1
         assert snapshot["latency_p50_seconds"] == 0.5
 
-    def test_latency_window_is_bounded(self):
+    def test_percentiles_remember_full_history(self):
+        # The old 4096-sample drop-oldest reservoir forgot everything
+        # before the most recent traffic: a burst of fast jobs at the
+        # end of a long session erased the slow majority from p99.  The
+        # streaming histogram observes every job ever completed.
         metrics = ServeMetrics()
-        for index in range(ServeMetrics.MAX_SAMPLES + 100):
-            metrics.note_latency(float(index), 0.0)
-        assert len(metrics._latencies) == ServeMetrics.MAX_SAMPLES
+        for _ in range(5904):
+            metrics.note_latency(100.0, 100.0)
+        for _ in range(4096):          # a full old-reservoir of fast jobs
+            metrics.note_latency(0.001, 0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["completed_samples"] == 10000
+        # 59% of history is slow, so the true p99 is 100s; the reservoir
+        # would have reported 0.001s here.
+        assert snapshot["latency_p99_seconds"] == 100.0
+        assert snapshot["latency_p50_seconds"] == 100.0
+
+    def test_counters_mirrored_into_registry_exposition(self):
+        metrics = ServeMetrics()
+        metrics.executed += 3
+        metrics.note_latency(0.5, 0.2)
+        exposition = metrics.registry.exposition()
+        assert "serve_executed_total 3" in exposition
+        assert "serve_job_latency_seconds_count 1" in exposition
 
     def test_utilization_clamped(self):
         clock = iter([0.0, 10.0]).__next__
@@ -232,7 +251,7 @@ class FakePool:
         return [worker for worker in self.workers
                 if worker.job_id is None]
 
-    def assign(self, worker, job_id, spec_dict):
+    def assign(self, worker, job_id, spec_dict, trace_ctx=None):
         worker.job_id = job_id
         worker.assigned.append((job_id, spec_dict))
 

@@ -217,6 +217,38 @@ def test_error_codes(server):
         assert excinfo.value.code == "bad-request"
 
 
+def test_metrics_exposition_and_snapshot(server):
+    with server.client() as client:
+        reply = client.metrics()
+    exposition = reply["exposition"]
+    assert "# TYPE serve_executed_total counter" in exposition
+    assert "# TYPE serve_job_latency_seconds histogram" in exposition
+    assert 'serve_job_latency_seconds_bucket{le="+Inf"}' in exposition
+    assert "serve_job_latency_seconds_count" in exposition
+    assert "serve_workers 1" in exposition
+    snapshot = reply["metrics"]
+    assert snapshot["serve_job_latency_seconds"]["count"] >= 1
+    assert snapshot["serve_executed_total"] >= 1
+    assert "+Inf" in snapshot["serve_job_latency_seconds"]["buckets"]
+
+
+def test_top_once_renders_live_dashboard(server):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [p for p in [os.path.join(os.getcwd(), "src"),
+                     env.get("PYTHONPATH")] if p])
+    top = subprocess.run(
+        [sys.executable, "-m", "repro", "top", "--once",
+         "--port", str(server.port)],
+        capture_output=True, text=True, env=env, timeout=60)
+    assert top.returncode == 0, top.stdout + top.stderr
+    assert "repro top" in top.stdout
+    assert "workers" in top.stdout
+    assert "latency" in top.stdout
+    # The frame reflects the live session, not a blank server.
+    assert "executed 0" not in top.stdout
+
+
 def test_result_lookup_by_content_key(server):
     with server.client() as client:
         jobs = client.jobs(payloads=True)["jobs"]
@@ -276,3 +308,36 @@ def test_drain_finishes_inflight_work_and_writes_manifest(server):
     assert manifest["service"]["executed"] >= 3
     assert any(job["label"].startswith("sleep")
                for job in manifest["jobs"])
+    # Drain exports the session's telemetry sidecars next to the
+    # manifest: span NDJSON, a Perfetto service trace, and the metrics
+    # time series.
+    telemetry = manifest.get("telemetry") or {}
+    for key in ("trace_ndjson", "perfetto_trace", "metrics_ndjson"):
+        assert key in telemetry, telemetry
+        assert os.path.exists(telemetry[key])
+    from repro.obs.perfetto import validate_trace
+    with open(telemetry["perfetto_trace"]) as handle:
+        assert validate_trace(json.load(handle)) == []
+    # One submitted job produced one *connected* trace spanning the
+    # client submission, the scheduler's job/queue spans, and the
+    # worker-process execution.
+    from repro.obs.telemetry import load_ndjson_spans
+    spans = load_ndjson_spans(telemetry["trace_ndjson"])
+    by_trace = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    connected = []
+    for trace_spans in by_trace.values():
+        names = {span["name"] for span in trace_spans}
+        processes = {span["process"] for span in trace_spans}
+        ids = {span["span_id"] for span in trace_spans}
+        linked = all(span["parent_id"] in ids
+                     for span in trace_spans if span["parent_id"])
+        if {"serve.submit", "serve.job",
+                "worker.execute"} <= names and linked:
+            connected.append((names, processes))
+    assert connected, "no connected client->scheduler->worker trace"
+    names, processes = connected[0]
+    assert "client" in processes
+    assert "scheduler" in processes
+    assert any(process.startswith("worker-") for process in processes)
