@@ -51,10 +51,10 @@ NUM_WARPS = 2
 NUM_LANES = 4
 NUM_THREADS = NUM_WARPS * NUM_LANES
 
-#: Case-kind rotation (one full cycle every 8 cases; kernel cases are
+#: Case-kind rotation (one full cycle every 9 cases; kernel cases are
 #: the expensive ones, so they get one slot).
 SCHEDULE = ("alu", "mem", "cheri", "cheri_mem", "spill", "cjalr", "mem",
-            "kernel")
+            "branchy", "kernel")
 
 #: Integer corner values: zero/one, sign boundaries, alternating bits,
 #: shift-amount edges, power-of-two edges.
@@ -187,13 +187,13 @@ def _r(reg):
 # Sequence generators
 # ---------------------------------------------------------------------------
 
-def _alu_line(rng, regs, label_state):
+def _alu_line(rng, regs, label_state, branch_prob=0.08):
     """One random computational line; occasionally a forward branch."""
     pick = rng.random()
     rd = rng.choice(regs)
     rs1 = rng.choice(regs)
     rs2 = rng.choice(regs)
-    if pick < 0.08 and label_state is not None:
+    if pick < branch_prob and label_state is not None:
         label = "L%d" % label_state["next"]
         label_state["next"] += 1
         label_state["pending"].append([rng.randrange(1, 4), label])
@@ -218,13 +218,13 @@ def _alu_line(rng, regs, label_state):
     return "auipc %s, %d" % (_r(rd), rng.randrange(0, 1 << 20))
 
 
-def _emit_alu_body(rng, regs, count):
+def _emit_alu_body(rng, regs, count, branch_prob=0.08):
     """A body of random ALU/FP lines with forward-only branches (labels
     always resolve later in the stream, so every case terminates)."""
     body = []
     labels = {"next": 0, "pending": []}
     for _ in range(count):
-        body.append(_alu_line(rng, regs, labels))
+        body.append(_alu_line(rng, regs, labels, branch_prob))
         for entry in labels["pending"]:
             entry[0] -= 1
         while labels["pending"] and labels["pending"][0][0] <= 0:
@@ -246,6 +246,20 @@ def _gen_alu(rng, index):
     regs = list(range(5, 16))
     return Case(index=index, kind="alu", config_name="baseline",
                 body=_emit_alu_body(rng, regs, rng.randrange(20, 50)),
+                init_regs=_seed_int_float_regs(rng, regs))
+
+
+def _gen_branchy(rng, index):
+    """The alu mix re-weighted hard toward forward branches (~4x the
+    usual rate) over per-lane scrambled operands: warps spend most of
+    the run partially diverged, driving the vector tier's masked issue
+    and the jit tier's masked compiled-region variants instead of the
+    converged fast paths."""
+    regs = list(range(5, 16))
+    return Case(index=index, kind="branchy",
+                config_name=rng.choice(("baseline", "cheri_opt")),
+                body=_emit_alu_body(rng, regs, rng.randrange(30, 70),
+                                    branch_prob=0.30),
                 init_regs=_seed_int_float_regs(rng, regs))
 
 
@@ -504,6 +518,7 @@ _GENERATORS = {
     "cheri_mem": _gen_cheri_mem,
     "spill": _gen_spill,
     "cjalr": _gen_cjalr,
+    "branchy": _gen_branchy,
     "kernel": _gen_kernel,
 }
 
@@ -700,21 +715,38 @@ def render_reproducer(failure, seed):
 # ---------------------------------------------------------------------------
 
 def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
-             verbose=False, log=None, backend=None):
+             verbose=False, log=None, backend=None, kinds=None):
     """Fuzz until ``budget`` cases have run (or ``time_budget`` seconds
     have elapsed, whichever comes first when both are set).  Returns a
     :class:`FuzzReport`; reproducers for failures are written under
-    ``out_dir`` when given."""
+    ``out_dir`` when given.
+
+    ``kinds`` biases the run to a subset of :data:`SCHEDULE` kinds
+    (e.g. ``("branchy",)`` for a divergence soak): other slots in the
+    rotation are skipped, but every executed case keeps its global
+    ``(seed, index)`` identity so reproducers regenerate unchanged.
+    """
     emit = log or (lambda text: None)
+    if kinds:
+        kinds = frozenset(kinds)
+        unknown = kinds - set(SCHEDULE)
+        if unknown:
+            raise ValueError("unknown fuzz kind(s): %s"
+                             % ", ".join(sorted(unknown)))
     start = time.monotonic()
     failures = []
     index = 0
+    executed = 0
     while True:
         elapsed = time.monotonic() - start
         if time_budget is not None and elapsed >= time_budget:
             break
-        if budget is not None and index >= budget:
+        if budget is not None and executed >= budget:
             break
+        if kinds and SCHEDULE[index % len(SCHEDULE)] not in kinds:
+            index += 1
+            continue
+        executed += 1
         case = generate_case(seed, index)
         outcome = run_case(case, backend)
         if verbose:
@@ -741,7 +773,7 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
             emit("FAIL case %d (%s): %s" % (index, case.kind, signature))
             failures.append(failure)
         index += 1
-    return FuzzReport(seed=seed, cases=index, failures=failures,
+    return FuzzReport(seed=seed, cases=executed, failures=failures,
                       elapsed=time.monotonic() - start)
 
 
@@ -762,13 +794,14 @@ def shard_seed(seed, shard):
 
 
 def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose,
-                backend=None):
+                backend=None, kinds=None):
     """Worker entry point: one shard's fuzz run, summarised picklably."""
     sub = shard_seed(seed, shard)
     shard_out = os.path.join(out_dir, "shard%02d" % shard) if out_dir \
         else None
     report = run_fuzz(seed=sub, budget=budget, time_budget=time_budget,
-                      out_dir=shard_out, verbose=verbose, backend=backend)
+                      out_dir=shard_out, verbose=verbose, backend=backend,
+                      kinds=kinds)
     return {
         "shard": shard,
         "seed": sub,
@@ -784,7 +817,8 @@ def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose,
 
 
 def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
-                      out_dir=None, verbose=False, log=None, backend=None):
+                      out_dir=None, verbose=False, log=None, backend=None,
+                      kinds=None):
     """Shard the fuzz budget across ``jobs`` worker processes.
 
     Each shard fuzzes under its own :func:`shard_seed`-derived seed (the
@@ -806,7 +840,7 @@ def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_fuzz_shard, seed, shard, shard_budgets[shard],
-                        time_budget, out_dir, verbose, backend)
+                        time_budget, out_dir, verbose, backend, kinds)
             for shard in range(jobs)
             if shard_budgets[shard] is None or shard_budgets[shard] > 0
         ]

@@ -202,29 +202,48 @@ def _render_regions(backend):
     summary = backend.jit_summary()
     report = backend.region_report()
     out = []
-    out.append("  %d region(s) compiled (%d cache hit(s)), %.3fs codegen, "
-               "%.1f%% of retired steps inside covered regions"
-               % (summary["compiled_regions"], summary["cache_hits"],
-                  summary["codegen_seconds"],
-                  100 * summary["step_coverage"]))
+    out.append("  %d region(s) compiled (+%d masked variant(s), %d cache "
+               "hit(s)), %.3fs codegen, %.1f%% of retired steps inside "
+               "covered regions (%d of %d outside)"
+               % (summary["compiled_regions"],
+                  summary["compiled_masked_variants"],
+                  summary["cache_hits"], summary["codegen_seconds"],
+                  100 * summary["step_coverage"],
+                  summary["steps_outside_regions"],
+                  summary["steps_total"]))
     rows = sorted(report["regions"], key=lambda r: -r["steps_retired"])
     if rows:
         out.append("")
-        out.append("  %-8s %-6s %5s %6s %11s %11s %7s %s"
+        out.append("  %-8s %-6s %5s %6s %11s %11s %7s %12s %7s %s"
                    % ("pc", "lines", "len", "spec", "retired",
-                      "compiled", "miss", "state"))
+                      "compiled", "miss", "entries f/m", "m-miss",
+                      "state"))
         for row in rows:
             lines = row["source_lines"]
             span = ("%d-%d" % (lines[0], lines[-1]) if len(lines) > 1
                     else str(lines[0]) if lines else "-")
-            share = (100.0 * row["fused_steps"] / row["steps_retired"]
+            compiled_steps = row["fused_steps"] + row["masked_steps"]
+            share = (100.0 * compiled_steps / row["steps_retired"]
                      if row["steps_retired"] else 0.0)
-            out.append("  %-8s %-6s %5d %6s %11d %10.1f%% %7d %s"
+            state = "demoted" if row["demoted"] else "active"
+            if row["masked_demoted"]:
+                state += "/m-demoted"
+            out.append("  %-8s %-6s %5d %6s %11d %10.1f%% %7d %12s %7d %s"
                        % ("0x%x" % row["pc"], span, row["length"],
                           "%d/%d" % (row["specialized_steps"],
                                      row["length"]),
                           row["steps_retired"], share, row["arm_misses"],
-                          "demoted" if row["demoted"] else "active"))
+                          "%d/%d" % (row["full_entries"],
+                                     row["masked_entries"]),
+                          row["masked_arm_misses"], state))
+            masks = {mask: count
+                     for mask, count in row["entry_masks"].items()
+                     if count}
+            if len(masks) > 1 or row["masked_entries"]:
+                top = sorted(masks.items(), key=lambda kv: -kv[1])[:4]
+                out.append("  %8s mask %s%s"
+                           % ("", "  ".join("%s:%d" % kv for kv in top),
+                              "  ..." if len(masks) > 4 else ""))
     misses = report["uncompiled_hot_pcs"]
     if misses:
         out.append("")
@@ -315,19 +334,22 @@ def cmd_profile(args):
 
 
 def cmd_fuzz(args):
+    kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip()) \
+        if args.kinds else None
     if args.jobs and args.jobs > 1:
         from repro.check.fuzz import run_fuzz_parallel
         report = run_fuzz_parallel(seed=args.seed, budget=args.budget,
                                    jobs=args.jobs,
                                    time_budget=args.time_budget,
                                    out_dir=args.out, verbose=args.verbose,
-                                   log=print, backend=args.backend)
+                                   log=print, backend=args.backend,
+                                   kinds=kinds)
     else:
         from repro.check.fuzz import run_fuzz
         report = run_fuzz(seed=args.seed, budget=args.budget,
                           time_budget=args.time_budget, out_dir=args.out,
                           verbose=args.verbose, log=print,
-                          backend=args.backend)
+                          backend=args.backend, kinds=kinds)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -785,6 +807,11 @@ def build_parser():
     fuzz.add_argument("--jobs", type=int, default=None,
                       help="shard the budget across N worker processes "
                            "with deterministic per-shard sub-seeds")
+    fuzz.add_argument("--kinds", default=None, metavar="KIND[,KIND...]",
+                      help="bias the run to these schedule kinds (e.g. "
+                           "'branchy' for a divergence soak); other "
+                           "rotation slots are skipped, case identities "
+                           "are unchanged")
     _add_backend_arg(fuzz)
 
     lockstep = sub.add_parser(

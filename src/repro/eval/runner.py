@@ -125,26 +125,32 @@ class RunnerStats:
     disk_hits: int = 0
     misses: int = 0
     sim_seconds: float = 0.0
+    manifest_write_failures: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
-    def bump(self, memo_hits=0, disk_hits=0, misses=0, sim_seconds=0.0):
+    def bump(self, memo_hits=0, disk_hits=0, misses=0, sim_seconds=0.0,
+             manifest_write_failures=0):
         with self._lock:
             self.memo_hits += memo_hits
             self.disk_hits += disk_hits
             self.misses += misses
             self.sim_seconds += sim_seconds
+            self.manifest_write_failures += manifest_write_failures
 
     def snapshot(self):
         with self._lock:
             return dict(memo_hits=self.memo_hits, disk_hits=self.disk_hits,
                         misses=self.misses,
-                        sim_seconds=round(self.sim_seconds, 3))
+                        sim_seconds=round(self.sim_seconds, 3),
+                        manifest_write_failures=
+                        self.manifest_write_failures)
 
     def reset(self):
         with self._lock:
             self.memo_hits = self.disk_hits = self.misses = 0
             self.sim_seconds = 0.0
+            self.manifest_write_failures = 0
 
 
 #: Counters for this process (reset with ``RUNNER_STATS.reset()``).
@@ -487,17 +493,33 @@ def _emit_manifest(results, config_name, scale, wall_seconds):
     """Write the structured run manifest for one suite invocation.
 
     Best-effort by design: a broken or read-only manifest directory must
-    never fail an experiment run.
+    never fail an experiment run — but a failure is never *silent*
+    either: it logs one line and bumps the process-wide
+    ``manifest_write_failures`` counter (carried in every later
+    manifest's ``runner_counters`` and flagged by ``repro obs
+    report``), so lost provenance stays visible.
     """
+    import sys
     from repro.obs import manifest as mf
     try:
         manifest = mf.build_manifest(
             results, config_name, scale, wall_seconds,
             sources_digest=_sources_digest().hex(),
             runner_counters=RUNNER_STATS.snapshot())
-        return mf.write_manifest(manifest)
-    except Exception:
-        return None
+        # write_manifest itself swallows filesystem errors and returns
+        # None — the common failure (read-only results dir) surfaces as
+        # that None, not as an exception.
+        path = mf.write_manifest(manifest)
+        reason = "results dir not writable" if path is None else None
+    except Exception as exc:
+        path = None
+        reason = "%s: %s" % (type(exc).__name__, exc)
+    if reason is not None:
+        RUNNER_STATS.bump(manifest_write_failures=1)
+        print("warning: run manifest write failed (%s) — provenance "
+              "for this suite invocation was not recorded"
+              % reason, file=sys.stderr)
+    return path
 
 
 def geomean(values):

@@ -169,6 +169,27 @@ def manifest_trends(paths, threshold=DEFAULT_THRESHOLD):
     return steps, regressed
 
 
+def manifest_failure_alerts(paths):
+    """Flag manifests whose runner counters recorded manifest-write
+    failures: some earlier suite invocation in that process lost its
+    provenance (the write was logged and counted, but no file exists
+    to chain), so the manifest trail has a gap."""
+    lines = []
+    for path in paths:
+        try:
+            manifest = load_manifest(path)
+        except Exception:
+            continue
+        counters = manifest.get("runner_counters") or {}
+        failures = counters.get("manifest_write_failures", 0)
+        if failures:
+            lines.append(
+                "%s: %d manifest write failure(s) recorded in this "
+                "process — provenance trail has gaps"
+                % (os.path.basename(path), failures))
+    return lines
+
+
 def _fmt_group(key):
     config, scale, backend, host = key
     backend = backend or "default"
@@ -256,4 +277,10 @@ def trend_report(bench_path=None, manifest_paths=(), threshold=None,
         sections.append("")
         sections.append("== manifest chain ==")
         sections.append(render_manifest_trends(steps, rows))
+    if manifest_paths:
+        alerts = manifest_failure_alerts(manifest_paths)
+        if alerts:
+            sections.append("")
+            sections.append("== manifest write failures ==")
+            sections.extend(alerts)
     return "\n".join(sections), regressed

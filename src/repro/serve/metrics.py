@@ -56,6 +56,8 @@ class ServeMetrics:
         ("retries", "crash-requeues"),
         ("timeouts", "jobs killed for exceeding the timeout"),
         ("events_streamed", "lifecycle events pushed to watchers"),
+        ("manifest_write_failures", "service manifests that failed to "
+                                    "write (lost provenance)"),
     )
 
     def __init__(self, clock=time.monotonic, registry=None):

@@ -220,15 +220,31 @@ class ServeServer:
         return paths
 
     def _write_manifest(self):
-        """Service provenance on drain, via the obs manifest path."""
+        """Service provenance on drain, via the obs manifest path.
+
+        Best-effort (a read-only results dir must not fail the drain)
+        but never silent: failures log one line and bump the
+        ``serve_manifest_write_failures_total`` counter surfaced by the
+        ``stats``/``metrics`` requests, ``repro top`` and the
+        Prometheus exposition.
+        """
         try:
             from repro.obs.manifest import write_service_manifest
-            return write_service_manifest(
+            # write_service_manifest swallows filesystem errors and
+            # returns None — count that path too, not just exceptions.
+            path = write_service_manifest(
                 self._stats_snapshot(),
                 jobs=self.scheduler.job_table(payloads=False),
                 telemetry=self._export_telemetry())
-        except Exception:
-            return None
+            reason = "results dir not writable" if path is None else None
+        except Exception as exc:
+            path = None
+            reason = "%s: %s" % (type(exc).__name__, exc)
+        if reason is not None:
+            self.metrics.manifest_write_failures += 1
+            self.log("warning: service manifest write failed (%s) — "
+                     "drain provenance was not recorded" % reason)
+        return path
 
     def _stats_snapshot(self):
         snapshot = self.metrics.snapshot(

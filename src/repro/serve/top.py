@@ -89,6 +89,13 @@ def render_frame(stats, workers, history=(), now=None):
            stats.get("exec_p50_seconds", 0.0),
            stats.get("exec_p95_seconds", 0.0),
            stats.get("exec_p99_seconds", 0.0)),
+    ]
+    manifest_failures = stats.get("manifest_write_failures", 0)
+    if manifest_failures:
+        lines.append("alerts   manifest writes failed: %d  (provenance "
+                     "lost — check results dir permissions)"
+                     % manifest_failures)
+    lines += [
         "",
         "  %-4s %-7s %-6s %-14s %-9s %s"
         % ("id", "pid", "state", "job", "busy", "done"),

@@ -204,36 +204,47 @@ def branch_taken(op_name, a, b):
 
 # -- floating point (binary32 via bit patterns) ------------------------------
 
+def _pack_arith(value):
+    # RISC-V F/Zfinx: an arithmetic result that is NaN is the *canonical*
+    # quiet NaN — operand payloads never propagate.  Canonicalizing here
+    # also keeps the result independent of the host's NaN-propagation
+    # order, which CPython's specializing interpreter can flip between
+    # cold and warm ``float + float`` code paths.
+    if value != value:  # NaN
+        return _CANONICAL_NAN
+    return f32_to_bits(value)
+
+
 def _f_fadd(a_bits, b_bits=0):
-    return f32_to_bits(bits_to_f32(a_bits) + bits_to_f32(b_bits))
+    return _pack_arith(bits_to_f32(a_bits) + bits_to_f32(b_bits))
 
 
 def _f_fsub(a_bits, b_bits=0):
-    return f32_to_bits(bits_to_f32(a_bits) - bits_to_f32(b_bits))
+    return _pack_arith(bits_to_f32(a_bits) - bits_to_f32(b_bits))
 
 
 def _f_fmul(a_bits, b_bits=0):
-    return f32_to_bits(bits_to_f32(a_bits) * bits_to_f32(b_bits))
+    return _pack_arith(bits_to_f32(a_bits) * bits_to_f32(b_bits))
 
 
 def _f_fdiv(a_bits, b_bits=0):
     a, b = bits_to_f32(a_bits), bits_to_f32(b_bits)
     if b == 0.0:
         if math.isnan(a):
-            return f32_to_bits(a)
+            return _CANONICAL_NAN
         if a == 0.0:
             return _CANONICAL_NAN  # 0/0 is invalid: canonical quiet NaN
         # x/±0: infinity whose sign is the XOR of the operand signs.
         sign = (a_bits ^ b_bits) & 0x80000000
         return 0xFF800000 if sign else 0x7F800000
-    return f32_to_bits(a / b)
+    return _pack_arith(a / b)
 
 
 def _f_fsqrt(a_bits, b_bits=0):
     a = bits_to_f32(a_bits)
     if a < 0.0:
-        return f32_to_bits(math.nan)
-    return f32_to_bits(math.sqrt(a))
+        return _CANONICAL_NAN
+    return _pack_arith(math.sqrt(a))
 
 
 _CANONICAL_NAN = 0x7FC00000

@@ -128,15 +128,16 @@ from repro.simt.alu import (  # noqa: E402  (grouped with the tables below)
     _int_srl,
     _int_sub,
     _int_xor,
+    _pack_arith,
     bits_to_f32,
     f32_to_bits,
 )
 
 #: Per-lane fns whose bodies are inlined into the lane comprehension,
 #: saving one Python call per lane.  Each template is the alu fn's body
-#: verbatim over the ``{x}``/``{y}`` operand expressions (``btf``/``ftb``
-#: are ``bits_to_f32``/``f32_to_bits``, so the float templates round
-#: through binary32 exactly like the wrapped fns).
+#: verbatim over the ``{x}``/``{y}`` operand expressions (``btf`` is
+#: ``bits_to_f32`` and ``fpk`` is ``_pack_arith`` — binary32 rounding
+#: plus NaN canonicalization, exactly like the wrapped fns).
 _INLINE_RR = {
     _int_add: "({x} + {y}) & " + _M32,
     _int_sub: "({x} - {y}) & " + _M32,
@@ -147,9 +148,9 @@ _INLINE_RR = {
     _int_and: "({x} & {y}) & " + _M32,
     _int_sltu: "(1 if ({x} & " + _M32 + ") < ({y} & " + _M32 + ") else 0)",
     _int_mul: "({x} * {y}) & " + _M32,
-    _f_fadd: "ftb(btf({x}) + btf({y}))",
-    _f_fsub: "ftb(btf({x}) - btf({y}))",
-    _f_fmul: "ftb(btf({x}) * btf({y}))",
+    _f_fadd: "fpk(btf({x}) + btf({y}))",
+    _f_fsub: "fpk(btf({x}) - btf({y}))",
+    _f_fmul: "fpk(btf({x}) * btf({y}))",
 }
 
 
@@ -185,7 +186,7 @@ class _RegionCodegen(object):
     config, so the golden tests can pin the generated source.
     """
 
-    def __init__(self, backend, index, steps):
+    def __init__(self, backend, index, steps, lanes=None, mask=None):
         sm = backend.sm
         self.backend = backend
         self.index = index
@@ -199,6 +200,21 @@ class _RegionCodegen(object):
         self.gp_pool = getattr(sm.gp, "pool", None) is not None
         self.meta_pool = (self.has_meta and
                           getattr(sm.meta, "pool", None) is not None)
+        #: Masked variant state: ``mask_lanes`` is the ascending active
+        #: lane list of one mask class (None = the full-warp module).
+        #: A masked module uses the handlers' partial-mask semantics —
+        #: merge writes through ``wrd``/``adv`` instead of full-warp
+        #: form writes — and separate RC counter slots, so full-mask
+        #: codegen is byte-identical to what it was without masking.
+        self.mask_lanes = list(lanes) if lanes is not None else None
+        if lanes is not None:
+            self.mask = mask
+            self.active = len(self.mask_lanes)
+            self.rc_calls, self.rc_steps, self.rc_miss = 4, 5, 6
+        else:
+            self.mask = self.full_mask
+            self.active = self.nl
+            self.rc_calls, self.rc_steps, self.rc_miss = 0, 1, 2
         self.plan = []          # per-step launch-independent binds
         self.arms = []          # per-step _Arm or None
 
@@ -239,7 +255,8 @@ class _RegionCodegen(object):
     def _plan_arm(self, k, step):
         pc, instr, handler, aux, _is_csc, op = step
         fn_name = getattr(handler, "__func__", handler).__name__
-        method = getattr(self, "_arm" + fn_name, None)
+        prefix = "_arm" if self.mask_lanes is None else "_marm"
+        method = getattr(self, prefix + fn_name, None)
         if method is None:
             return None
         return method(k, pc, instr, aux)
@@ -339,6 +356,70 @@ class _RegionCodegen(object):
         sub.append("    fast = 1")
         vec += ["    " + line for line in sub]
         return vec
+
+    # -- masked (partial-warp) arms -----------------------------------
+    #
+    # A masked arm transcribes the vectorized handler's *own*
+    # partial-mask path for compact ``_S`` operand forms, with the
+    # active lane subset unrolled as literal assignments: the masked
+    # merge write (``wrd``) and the per-lane PC advance (``adv``) are
+    # the very calls the handler makes, so the commit is bit-exact.
+    # Lane-resident (_V/list) and spilled operands stay on the handler
+    # fallback, exactly like the full-mask pure tier.
+
+    def _marm_v_int_i(self, k, pc, instr, aux):
+        fn, imm = aux
+        rd = instr.rd or 0
+        lines = []
+        binds = {"FN%d" % k: fn}
+        self._read_gp(lines, "e1", instr.rs1)
+        lines.append("if type(e1) is _S:")
+        lines.append("    if e1.stride == 0:")
+        lines.append("        wrd(warp, %d, [FN%d(e1.base, %d)] * %d, %d)"
+                     % (rd, k, imm, self.nl, self.mask))
+        lines.append("    else:")
+        lines.append("        b = e1.base")
+        lines.append("        s = e1.stride")
+        lines.append("        v = [0] * %d" % self.nl)
+        tpl = _INLINE_RR.get(fn)
+        for lane in self.mask_lanes:
+            x = "((b + %d * s) & %s)" % (lane, _M32)
+            expr = (tpl.format(x=x, y="(%d)" % imm) if tpl is not None
+                    else "FN%d(%s, %d)" % (k, x, imm))
+            lines.append("        v[%d] = %s" % (lane, expr))
+        lines.append("        wrd(warp, %d, v, %d)" % (rd, self.mask))
+        lines.append("    fast = 1")
+        return _Arm(None, lines, binds)
+
+    def _marm_v_int_r(self, k, pc, instr, aux):
+        fn, is_sfu = aux
+        if is_sfu:
+            return None
+        rd = instr.rd or 0
+        lines = []
+        binds = {"FN%d" % k: fn}
+        self._read_gp(lines, "e1", instr.rs1)
+        self._read_gp(lines, "e2", instr.rs2)
+        lines.append("if type(e1) is _S and type(e2) is _S:")
+        lines.append("    if e1.stride == 0 and e2.stride == 0:")
+        lines.append("        wrd(warp, %d, [FN%d(e1.base, e2.base)] * "
+                     "%d, %d)" % (rd, k, self.nl, self.mask))
+        lines.append("    else:")
+        lines.append("        b1 = e1.base")
+        lines.append("        s1 = e1.stride")
+        lines.append("        b2 = e2.base")
+        lines.append("        s2 = e2.stride")
+        lines.append("        v = [0] * %d" % self.nl)
+        tpl = _INLINE_RR.get(fn)
+        for lane in self.mask_lanes:
+            x = "((b1 + %d * s1) & %s)" % (lane, _M32)
+            y = "((b2 + %d * s2) & %s)" % (lane, _M32)
+            expr = (tpl.format(x=x, y=y) if tpl is not None
+                    else "FN%d(%s, %s)" % (k, x, y))
+            lines.append("        v[%d] = %s" % (lane, expr))
+        lines.append("        wrd(warp, %d, v, %d)" % (rd, self.mask))
+        lines.append("    fast = 1")
+        return _Arm(None, lines, binds)
 
     def _arm_v_lui(self, k, pc, instr, aux):
         return self._const_arm(k, instr, _Scalar(aux, 0))
@@ -642,15 +723,16 @@ class _RegionCodegen(object):
         w("")
         for k, step in enumerate(steps):
             self._emit_convoy_fn(w, k, step)
-        w("    return (%s)" % "".join("c%d, " % k
-                                      for k in range(len(steps))))
+        self._emit_drain_fn(w)
+        w("    return (%sd)" % "".join("c%d, " % k
+                                       for k in range(len(steps))))
         return "\n".join(out) + "\n"
 
     def _global_binds(self):
         names = ["sm", "stats", "gp", "meta", "gpe_get", "me_get",
                  "words", "wget", "tdis", "wrd", "wrf", "wrcf", "saw",
                  "ci", "dbs", "fmt", "NULL", "_S", "_V", "_SP", "lanes",
-                 "btf", "ftb", "RC"]
+                 "btf", "ftb", "fpk", "RC", "adv", "BK", "CF"]
         if self.gp_pool:
             names.append("gp_cget")
         if self.meta_pool:
@@ -693,6 +775,14 @@ class _RegionCodegen(object):
         ]
         return lines
 
+    def _fast_advance(self, k, pc):
+        """The PC advance a committed fast arm owes: the full-warp
+        module uses the prebuilt next-PC fill; a masked module replays
+        the handler's per-lane ``_advance`` over the active subset."""
+        if self.mask_lanes is None:
+            return "warp.pcs[:] = N%d" % k
+        return "adv(warp, lanes, %d)" % (pc + 4)
+
     def _emit_slow_step(self, w, pad, k, step):
         """Resets + lane arm (when present) + handler fallback — the
         un-accounted step body shared by convoy and region frames.
@@ -701,7 +791,7 @@ class _RegionCodegen(object):
         pc, _instr, _handler, _aux, _is_csc, _op = step
         arm = self.arms[k]
         call = "h%d(warp, I%d, %d, lanes, %d, A%d)" % (
-            k, k, pc, self.full_mask, k)
+            k, k, pc, self.mask, k)
         for line in self._resets():
             w(pad + line)
         if arm is not None and arm.vec_lines:
@@ -709,13 +799,13 @@ class _RegionCodegen(object):
             for line in arm.vec_lines:
                 w(pad + line)
             w(pad + "if fast:")
-            w(pad + "    warp.pcs[:] = N%d" % k)
+            w(pad + "    " + self._fast_advance(k, pc))
             w(pad + "else:")
-            w(pad + "    RC[2] += 1")
+            w(pad + "    RC[%d] += 1" % self.rc_miss)
             w(pad + "    " + call)
         elif arm is not None:
             # A pure-only arm that fell through: specialization missed.
-            w(pad + "RC[2] += 1")
+            w(pad + "RC[%d] += 1" % self.rc_miss)
             w(pad + call)
         else:
             # No arm exists for this op: the handler call is the plan,
@@ -730,7 +820,18 @@ class _RegionCodegen(object):
         pc, _instr, _handler, _aux, is_csc, _op = step
         arm = self.arms[k]
         last = k == len(self.steps) - 1
-        advance = "warp.rq = None" if last else "rq[1] = %d" % (k + 1)
+        if self.mask_lanes is None or last:
+            advance = ["warp.rq = None"] if last \
+                else ["rq[1] = %d" % (k + 1)]
+        else:
+            # A masked entry may queue a *prefix* of the compiled
+            # region (the dominance window shrinks with competitor
+            # groups), so the queue advance is resolved against the
+            # runtime step list, exactly like the interpreter's.
+            advance = ["if %d < len(rq[0]):" % (k + 1),
+                       "    rq[1] = %d" % (k + 1),
+                       "else:",
+                       "    warp.rq = None"]
         w("    def c%d(warp, rq, cycle, icounts):" % k)
         w("        wk = warp.index << 8")
         if arm is not None and arm.pure_lines:
@@ -744,20 +845,129 @@ class _RegionCodegen(object):
             w("            stats.thread_instrs += %d" % self.nl)
             for line in self._occ_lines(""):
                 w("            " + line)
-            w("            RC[1] += 1")
-            w("            " + advance)
+            w("            RC[%d] += 1" % self.rc_steps)
+            for line in advance:
+                w("            " + line)
             w("            return cycle + 1")
         self._emit_slow_step(w, "        ", k, step)
         for line in self._full_accounting(is_csc):
             w("        " + line)
         w("        icounts[%d] += 1" % (pc >> 2))
-        w("        stats.thread_instrs += %d" % self.nl)
+        w("        stats.thread_instrs += %d" % self.active)
         for line in self._occ_lines(" * width"):
             w("        " + line)
-        w("        RC[1] += 1")
-        w("        " + advance)
+        w("        RC[%d] += 1" % self.rc_steps)
+        for line in advance:
+            w("        " + line)
         w("        return cycle + width")
         w("")
+
+    def _emit_drain_fn(self, w):
+        """``d``: the cross-step fused drain.  A solo runnable warp
+        drains its whole (remaining) region in ONE call instead of one
+        frame dispatch per step: the per-step bodies of ``c<k>`` ..
+        ``c<N-1>`` are laid out back-to-back with the solo driver's
+        bookkeeping (cycle-limit abort, ready-at catch-up, early exit
+        as soon as another warp's wake time arrives) fused in between.
+        Bit-identical to dispatching the frames through the generic
+        drain loop: ``cycle`` only advances at the end of each step
+        body, so a faulting step pins its slot-entry cycle exactly
+        like a frame call would (``SoftwareTrap`` escapes un-pinned,
+        also like the generic driver); the queue cursor is only
+        written when control leaves mid-region."""
+        steps = self.steps
+        masked = self.mask_lanes is not None
+        w("    def d(warp, rq, cycle, icounts, others, max_cycles, ka):")
+        w("        wk = warp.index << 8")
+        w("        k = rq[1]")
+        if masked:
+            w("        n = len(rq[0])")
+        w("        RC[%d] += 1" % self.rc_calls)
+        w("        try:")
+        for k, step in enumerate(steps):
+            pc, _instr, _handler, _aux, is_csc, _op = step
+            arm = self.arms[k]
+            if masked and k < len(steps) - 1:
+                w("            if k <= %d and n > %d:" % (k, k))
+            else:
+                w("            if k <= %d:" % k)
+            pad = "                "
+            if arm is not None and arm.pure_lines:
+                w(pad + "fast = 0")
+                for line in arm.pure_lines:
+                    w(pad + line)
+                w(pad + "if fast:")
+                sub = pad + "    "
+                w(sub + "warp.pcs[:] = N%d" % k)
+                w(sub + "warp.ready_at = cycle + %d" % self.depth)
+                w(sub + "icounts[%d] += 1" % (pc >> 2))
+                w(sub + "stats.thread_instrs += %d" % self.nl)
+                for line in self._occ_lines(""):
+                    w(sub + line)
+                w(sub + "RC[%d] += 1" % self.rc_steps)
+                w(sub + "cycle += 1")
+                w(pad + "else:")
+                self._emit_slow_body(w, sub, k, step, is_csc)
+            else:
+                self._emit_slow_body(w, pad, k, step, is_csc)
+            self._emit_drain_epilogue(w, pad, k)
+        w("        except CF:")
+        w("            if BK.fault_cycle is None:")
+        w("                BK.fault_cycle = cycle")
+        w("            raise")
+        w("")
+
+    def _emit_slow_body(self, w, pad, k, step, is_csc):
+        """The slow step plus its full accounting, advancing ``cycle``
+        in place (the drain's non-returning form of a ``c<k>`` tail)."""
+        pc, _instr, _handler, _aux, _is_csc, _op = step
+        self._emit_slow_step(w, pad, k, step)
+        for line in self._full_accounting(is_csc):
+            w(pad + line)
+        w(pad + "icounts[%d] += 1" % (pc >> 2))
+        w(pad + "stats.thread_instrs += %d" % self.active)
+        for line in self._occ_lines(" * width"):
+            w(pad + line)
+        w(pad + "RC[%d] += 1" % self.rc_steps)
+        w(pad + "cycle += width")
+
+    def _emit_drain_epilogue(self, w, pad, k):
+        """Between-step bookkeeping transcribed from the generic solo
+        drain: abort past the cycle limit, park back on the queue when
+        another warp's wake time arrives, clear the queue after the
+        last step.  A masked region's length is runtime (``n``), so a
+        statically non-last step re-checks which case it is."""
+        last_lines = [
+            "warp.rq = None",
+            "if cycle > max_cycles:",
+            "    raise ka('cycle limit exceeded', cycle)",
+            "return cycle",
+        ]
+        more_lines = [
+            "if cycle > max_cycles:",
+            "    rq[1] = %d" % (k + 1),
+            "    raise ka('cycle limit exceeded', cycle)",
+            "completion = warp.ready_at",
+            "nxt = cycle if cycle >= completion else completion",
+            "if nxt >= others:",
+            "    rq[1] = %d" % (k + 1),
+            "    return cycle",
+            "cycle = nxt",
+        ]
+        statically_last = k == len(self.steps) - 1
+        if statically_last:
+            for line in last_lines:
+                w(pad + line)
+        elif self.mask_lanes is None:
+            for line in more_lines:
+                w(pad + line)
+        else:
+            w(pad + "if n > %d:" % (k + 1))
+            for line in more_lines:
+                w(pad + "    " + line)
+            w(pad + "else:")
+            for line in last_lines:
+                w(pad + "    " + line)
 
     def _occ_lines(self, mult):
         lines = []
@@ -788,11 +998,18 @@ class JITBackend(VectorBackend):
         #: (program digest, region start index) ->
         #: (signature, source, code object, plan).
         self._code_cache = {}
+        #: (program digest, region start index, entry mask) -> same,
+        #: for the per-mask-class variants diverged warps enter under.
+        self._masked_code_cache = {}
         #: region start pc ->
         #: (fused region fn, installed step list, convoy frames).
         self._fused = {}
-        #: (digest, index) -> [fused calls, fused steps] (persistent
-        #: across launches, bound into the generated region fns).
+        #: (digest, index) -> [fused calls, fused steps, arm misses,
+        #: demoted latch, masked calls, masked steps, masked arm
+        #: misses, masked demoted latch] (persistent across launches,
+        #: bound into the generated region fns; the masked slots are
+        #: tracked separately so a mask class whose arms miss demotes
+        #: without dragging the full-warp fast path down with it).
         self._region_counters = {}
         #: (digest, index) -> static region facts for the report.
         self._region_info = {}
@@ -805,8 +1022,14 @@ class JITBackend(VectorBackend):
         #: (digest, index) -> drive attempts accumulated across launches
         #: while the region awaits codegen promotion.
         self._drive_counts = {}
+        #: (digest, index, mask) -> masked entries accumulated while a
+        #: mask class awaits its own variant's promotion.  Compile time
+        #: is only paid for mask classes that recur (hot masks);
+        #: one-shot divergence shapes drive the interpreted tier.
+        self._mask_drives = {}
         self._program_digest = ""
         self.compiled_regions = 0
+        self.compiled_masked = 0
         self.codegen_seconds = 0.0
         self.cache_hits = 0
         #: When set (e.g. via ``--jit-dump-dir``), every compiled
@@ -839,10 +1062,12 @@ class JITBackend(VectorBackend):
         self._program_digest = h.hexdigest()
         seed = self._heat.get(self._program_digest)
         if seed:
-            cap = self._hot_threshold - 1
-            self._hot.update(
-                (idx, count if count < cap else cap)
-                for idx, count in seed.items())
+            # Seeds may sit at or past the threshold (banked full-warp
+            # heat plus masked entries accumulate on one counter); the
+            # promotion check is ``>=`` with the regions-dict entry as
+            # the once-only sentinel, so overshot counters still
+            # promote — on the first fetch — and build exactly once.
+            self._hot.update(seed)
 
     # -- region compilation -------------------------------------------
 
@@ -859,13 +1084,16 @@ class JITBackend(VectorBackend):
                 index << 2, "straight-line run shorter than 2 steps")
             return steps
         key = (self._program_digest, index)
-        rc = self._region_counters.setdefault(key, [0, 0, 0, 0])
+        rc = self._region_counters.setdefault(
+            key, [0, 0, 0, 0, 0, 0, 0, 0])
         # Codegen is deferred until the region proves hot in *execution*
         # (``_promote_after`` drive attempts), not just in fetch count:
         # one-shot regions — kernel prologues where every warp trips the
         # hot threshold exactly once — never pay compile time.  Until
         # promotion the entry drives through the interpreted vector tier.
-        entry = [steps, None, rc, key]
+        # ``entry[4]`` maps an entry mask to its promoted masked-variant
+        # frames for this launch.
+        entry = [steps, None, rc, key, {}]
         self._fused[index << 2] = entry
         if self._code_cache.get(key) is not None:
             # Already compiled by an earlier launch: rebinding the
@@ -912,7 +1140,41 @@ class JITBackend(VectorBackend):
         entry[1] = cframes
         return cframes
 
-    def _bindings(self, steps, plan):
+    def _promote_masked(self, index, entry, lanes, mask):
+        """Generate, compile and install one mask class's closure
+        variant for an already-promoted region.  The source depends
+        only on (config, program, region, mask) — the active lane set
+        is the mask's bit positions — so variants cache and re-bind
+        across launches exactly like the full-warp module."""
+        steps = entry[0]
+        key = (self._program_digest, index, mask)
+        signature = self._region_signature(steps)
+        cached = self._masked_code_cache.get(key)
+        if cached is not None and cached[0] == signature:
+            _sig, source, code, plan = cached
+            self.cache_hits += 1
+        else:
+            started = time.perf_counter()
+            gen = _RegionCodegen(self, index, steps, lanes, mask)
+            source = gen.generate()
+            code = compile(source, "<jit:%s+0x%x~m%x>"
+                           % (self._program_digest[:12], index << 2,
+                              mask), "exec")
+            plan = gen.plan
+            self.codegen_seconds += time.perf_counter() - started
+            self._masked_code_cache[key] = (signature, source, code,
+                                            plan)
+            self.compiled_masked += 1
+            if self.jit_dump_dir:
+                self._dump_source(index, source, mask)
+        namespace = {}
+        exec(code, namespace)
+        mframes = namespace["_make"](
+            self._bindings(steps, plan, lanes))
+        entry[4][mask] = mframes
+        return mframes
+
+    def _bindings(self, steps, plan, lanes=None):
         sm = self.sm
         gp = sm.gp
         meta = sm.meta
@@ -929,10 +1191,12 @@ class JITBackend(VectorBackend):
             "ci": self._cap_info, "dbs": self._decoded_bounds,
             "fmt": self._fast_mem_timing,
             "NULL": _NULL_SCALAR, "_S": _Scalar, "_V": _Vector,
-            "_SP": _Spilled, "lanes": sm._all_lanes,
-            "btf": bits_to_f32, "ftb": f32_to_bits,
+            "_SP": _Spilled,
+            "lanes": list(lanes) if lanes is not None else sm._all_lanes,
+            "btf": bits_to_f32, "ftb": f32_to_bits, "fpk": _pack_arith,
             "RC": self._region_counters[
                 (self._program_digest, steps[0][0] >> 2)],
+            "adv": sm._advance, "BK": self, "CF": CapabilityFault,
         }
         gp_pool = getattr(gp, "pool", None)
         if gp_pool is not None:
@@ -951,12 +1215,13 @@ class JITBackend(VectorBackend):
             binds.update(extra)
         return binds
 
-    def _dump_source(self, index, source):
+    def _dump_source(self, index, source, mask=None):
         import os
         os.makedirs(self.jit_dump_dir, exist_ok=True)
-        path = os.path.join(
-            self.jit_dump_dir, "region_%s_0x%x.py"
-            % (self._program_digest[:12], index << 2))
+        name = "region_%s_0x%x" % (self._program_digest[:12], index << 2)
+        if mask is not None:
+            name += "_m%x" % mask
+        path = os.path.join(self.jit_dump_dir, name + ".py")
         with open(path, "w") as fh:
             fh.write(source)
 
@@ -975,6 +1240,37 @@ class JITBackend(VectorBackend):
             rc[3] = 1
             return True
         return False
+
+    def _masked_demoted(self, rc):
+        """Masked-tier demotion, decided on the masked counter slots
+        only: a region whose full-warp arms hit fine but whose masked
+        arms mostly miss (operands go lane-resident once the warp
+        diverges) drops just its masked variants back to the
+        interpreter.  Latches like :meth:`_demoted`."""
+        if rc[7]:
+            return True
+        if rc[5] >= self._demote_floor and rc[6] * 2 > rc[5]:
+            rc[7] = 1
+            return True
+        return False
+
+    def _entry_for(self, steps):
+        """The fused entry whose installed region ``steps`` is, or is a
+        prefix of (masked entries queue the dominance prefix — the
+        slice shares its step tuples, so identity on the ends is
+        enough).  Mid-region *suffixes* (a barrel-interleaved warp
+        going solo) don't match and drive the generic tier."""
+        entry = self._fused.get(steps[0][0])
+        if entry is None:
+            return None
+        full = entry[0]
+        if full is steps:
+            return entry
+        n = len(steps)
+        if n <= len(full) and full[0] is steps[0] and \
+                full[n - 1] is steps[n - 1]:
+            return entry
+        return None
 
     def _rq_frames(self, steps):
         """Resolve the compiled per-slot frames at region entry (queued
@@ -996,6 +1292,41 @@ class JITBackend(VectorBackend):
         if self._demoted(entry[2]):
             return None
         return cframes
+
+    def _rq_frames_masked(self, sub, steps, lanes, mask):
+        """Resolve one mask class's compiled frames at a masked region
+        entry (queued as ``rq[2]``).  Masked entries count toward the
+        region's shared promotion bar — a region only ever entered
+        diverged still compiles — and then toward a per-mask bar, so
+        each variant's compile time is only paid once its mask class
+        proves recurrent.  Returns None (interpreted masked stepping)
+        until both bars are cleared or once the masked tier demotes."""
+        entry = self._fused.get(steps[0][0])
+        if entry is None or entry[0] is not steps:
+            return None
+        if entry[1] is None:
+            drives = self._drive_counts
+            n = drives.get(entry[3], 0) + 1
+            drives[entry[3]] = n
+            if n < self._promote_after:
+                return None
+            self._promote(steps[0][0] >> 2, entry)
+        rc = entry[2]
+        if self._masked_demoted(rc):
+            return None
+        mframes = entry[4].get(mask)
+        if mframes is None:
+            mkey = (entry[3][0], entry[3][1], mask)
+            cached = self._masked_code_cache.get(mkey)
+            if cached is None:
+                md = self._mask_drives
+                n = md.get(mkey, 0) + 1
+                md[mkey] = n
+                if n < self._promote_after:
+                    return None
+            mframes = self._promote_masked(steps[0][0] >> 2, entry,
+                                           lanes, mask)
+        return mframes
 
     # -- convoy scheduling --------------------------------------------
 
@@ -1027,7 +1358,9 @@ class JITBackend(VectorBackend):
             if w.done or w.in_barrier:
                 continue
             wrq = w.rq
-            if wrq is None or wrq[0] is not steps:
+            if wrq is None or wrq[0] is not steps or wrq[3] is not None:
+                # Masked members step under their own variants; the
+                # convoy's full-warp frames don't apply to them.
                 return None
         cframes = entry[1]
         if cframes is None:
@@ -1101,15 +1434,28 @@ class JITBackend(VectorBackend):
     # -- fused solo drain ---------------------------------------------
 
     def _run_region(self, warp, steps, cycle, others, max_cycles,
-                    kernel_abort, icounts):
-        entry = self._fused.get(steps[0][0])
-        if entry is None or entry[0] is not steps:
+                    kernel_abort, icounts, lanes=None, mask=0):
+        entry = self._entry_for(steps)
+        if entry is None:
             # Mid-region suffixes (a barrel-interleaved warp going solo)
             # run through the generic driver; they are rare because the
             # convoy usually carries a warp to its region end.
             return VectorBackend._run_region(self, warp, steps, cycle,
                                              others, max_cycles,
-                                             kernel_abort, icounts)
+                                             kernel_abort, icounts,
+                                             lanes, mask)
+        if lanes is not None:
+            mframes = self._rq_frames_masked(steps, entry[0], lanes,
+                                             mask)
+            if mframes is None:
+                return VectorBackend._run_region(self, warp, steps,
+                                                 cycle, others,
+                                                 max_cycles,
+                                                 kernel_abort, icounts,
+                                                 lanes, mask)
+            rq = [steps, 0, mframes, lanes, mask]
+            return mframes[-1](warp, rq, cycle, icounts, others,
+                               max_cycles, kernel_abort)
         cframes = entry[1]
         if cframes is None:
             drives = self._drive_counts
@@ -1120,43 +1466,22 @@ class JITBackend(VectorBackend):
                                                  others, max_cycles,
                                                  kernel_abort, icounts)
             cframes = self._promote(steps[0][0] >> 2, entry)
-        rc = entry[2]
-        if self._demoted(rc):
+        if self._demoted(entry[2]):
             return VectorBackend._run_region(self, warp, steps, cycle,
                                              others, max_cycles,
                                              kernel_abort, icounts)
-        # Drain the region through the convoy frames: identical per-slot
-        # accounting to the generic _run_region, with the same early
-        # exit as soon as the next issue slot would no longer be solo.
-        rq = [steps, 0]
-        last = len(steps) - 1
-        rc[0] += 1
-        while True:
-            k = rq[1]
-            try:
-                cycle = cframes[k](warp, rq, cycle, icounts)
-            except CapabilityFault:
-                # SoftwareTrap deliberately escapes un-pinned here,
-                # mirroring the generic driver (run() records its
-                # pre-region cycle).
-                if self.fault_cycle is None:
-                    self.fault_cycle = cycle
-                raise
-            if cycle > max_cycles:
-                raise kernel_abort("cycle limit exceeded", cycle)
-            if k == last:
-                return cycle
-            completion = warp.ready_at
-            nxt = cycle if cycle >= completion else completion
-            if nxt >= others:
-                return cycle
-            cycle = nxt
+        # Cross-step fusion: the whole region drains in one generated
+        # call (identical per-slot accounting and early exits to
+        # dispatching the frames one by one — see ``_emit_drain_fn``).
+        rq = [steps, 0, cframes, None, 0]
+        return cframes[-1](warp, rq, cycle, icounts, others, max_cycles,
+                           kernel_abort)
 
     def _drain_rq(self, warp, rq, cycle, others, max_cycles, kernel_abort,
                   icounts):
-        """Drain a solo warp's queued region through its compiled
-        per-slot frames, keeping ``rq`` live: an early exit (another
-        warp waking up) leaves the queue in place, so the generic loop
+        """Drain a solo warp's queued region through the region's fused
+        drain closure, keeping ``rq`` live: an early exit (another warp
+        waking up) parks the queue cursor in place, so the generic loop
         resumes per-slot frame dispatch instead of re-fetching and
         re-interpreting the region tail."""
         cframes = rq[2]
@@ -1164,25 +1489,8 @@ class JITBackend(VectorBackend):
             return VectorBackend._drain_rq(self, warp, rq, cycle, others,
                                            max_cycles, kernel_abort,
                                            icounts)
-        while True:
-            try:
-                cycle = cframes[rq[1]](warp, rq, cycle, icounts)
-            except CapabilityFault:
-                # SoftwareTrap deliberately escapes un-pinned, like the
-                # generic solo driver (run() records its pre-drain
-                # cycle).
-                if self.fault_cycle is None:
-                    self.fault_cycle = cycle
-                raise
-            if cycle > max_cycles:
-                raise kernel_abort("cycle limit exceeded", cycle)
-            if warp.rq is None:
-                return cycle
-            completion = warp.ready_at
-            nxt = cycle if cycle >= completion else completion
-            if nxt >= others:
-                return cycle
-            cycle = nxt
+        return cframes[-1](warp, rq, cycle, icounts, others, max_cycles,
+                           kernel_abort)
 
     # -- observability ------------------------------------------------
 
@@ -1206,21 +1514,29 @@ class JITBackend(VectorBackend):
             regions += 1
             covered_pcs.update(range(index, index + info["length"]))
         covered = sum(counts.get(i, 0) for i in covered_pcs)
-        fused_calls = sum(rc[0] for rc in self._region_counters.values())
-        fused_steps = sum(rc[1] for rc in self._region_counters.values())
-        arm_misses = sum(rc[2] for rc in self._region_counters.values())
-        demoted = sum(1 for rc in self._region_counters.values()
-                      if self._demoted(rc))
+        rcs = self._region_counters.values()
+        fused_calls = sum(rc[0] for rc in rcs)
+        fused_steps = sum(rc[1] for rc in rcs)
+        arm_misses = sum(rc[2] for rc in rcs)
+        demoted = sum(1 for rc in rcs if self._demoted(rc))
+        masked_demoted = sum(1 for rc in rcs
+                             if self._masked_demoted(rc))
         return {
             "compiled_regions": self.compiled_regions,
+            "compiled_masked_variants": self.compiled_masked,
             "active_regions": regions,
             "cache_hits": self.cache_hits,
             "codegen_seconds": round(self.codegen_seconds, 6),
             "fused_calls": fused_calls,
             "fused_steps": fused_steps,
             "arm_misses": arm_misses,
+            "masked_calls": sum(rc[4] for rc in rcs),
+            "masked_steps": sum(rc[5] for rc in rcs),
+            "masked_arm_misses": sum(rc[6] for rc in rcs),
             "demoted_regions": demoted,
+            "masked_demoted_regions": masked_demoted,
             "steps_total": steps_total,
+            "steps_outside_regions": max(0, steps_total - covered),
             "step_coverage": (round(covered / steps_total, 4)
                               if steps_total else 0.0),
         }
@@ -1228,15 +1544,27 @@ class JITBackend(VectorBackend):
     def region_report(self):
         """Per-region rows for ``repro profile --regions``."""
         counts = self._pc_issue_counts
+        entry_masks = self._entry_masks
+        full_mask = self.sm._full_mask
         rows = []
         for (digest, index), info in sorted(self._region_info.items()):
             if digest != self._program_digest:
                 continue
-            rc = self._region_counters.get((digest, index), [0, 0, 0, 0])
+            rc = self._region_counters.get(
+                (digest, index), [0, 0, 0, 0, 0, 0, 0, 0])
             retired = sum(counts.get(i, 0)
                           for i in range(index, index + info["length"]))
+            pc = info["pc"]
+            masks = {
+                "0x%x" % mask: count
+                for (epc, mask), count in entry_masks.items()
+                if epc == pc
+            }
+            variants = sum(
+                1 for (d, i, _mask) in self._masked_code_cache
+                if d == digest and i == index)
             rows.append({
-                "pc": info["pc"],
+                "pc": pc,
                 "length": info["length"],
                 "specialized_steps": info["specialized"],
                 "ops": info["ops"],
@@ -1245,8 +1573,18 @@ class JITBackend(VectorBackend):
                 "fused_calls": rc[0],
                 "fused_steps": rc[1],
                 "arm_misses": rc[2],
+                "masked_calls": rc[4],
+                "masked_steps": rc[5],
+                "masked_arm_misses": rc[6],
+                "masked_variants": variants,
+                "entry_masks": masks,
+                "full_entries": entry_masks.get((pc, full_mask), 0),
+                "masked_entries": sum(
+                    count for (epc, mask), count in entry_masks.items()
+                    if epc == pc and mask != full_mask),
                 "demoted": self._demoted(rc),
-                "interpreted_steps": max(0, retired - rc[1]),
+                "masked_demoted": self._masked_demoted(rc),
+                "interpreted_steps": max(0, retired - rc[1] - rc[5]),
             })
         hot_misses = []
         regions = self._regions
@@ -1272,4 +1610,14 @@ class JITBackend(VectorBackend):
                     idx << 2, "below hot threshold (%d < %d)"
                     % (count, self._hot_threshold)),
             })
-        return {"regions": rows, "uncompiled_hot_pcs": hot_misses}
+        histogram = {}
+        for (pc, mask), count in sorted(self._entry_masks.items()):
+            histogram.setdefault("0x%x" % pc, {})["0x%x" % mask] = count
+        summary = self.jit_summary()
+        return {
+            "regions": rows,
+            "uncompiled_hot_pcs": hot_misses,
+            "entry_mask_histogram": histogram,
+            "steps_outside_regions": summary["steps_outside_regions"],
+            "steps_total": summary["steps_total"],
+        }

@@ -194,6 +194,10 @@ class VectorBackend(ScalarBackend):
         self._bounds_memo = {}
         self._hot = {}
         self._regions = {}
+        #: (region start pc, entry mask) -> entry count.  Every region
+        #: entry — full-warp or masked — lands here, so divergence
+        #: starvation is visible per mask class in the region report.
+        self._entry_masks = {}
         #: Cumulative per-static-instruction issue counts (index -> n),
         #: flushed alongside opcode_counts; feeds region coverage stats.
         self._pc_issue_counts = {}
@@ -208,6 +212,7 @@ class VectorBackend(ScalarBackend):
         # regions from the previous program are invalid.
         self._hot = {}
         self._regions = {}
+        self._entry_masks = {}
         # The metadata memos are program-independent (pure functions of
         # the packed word); just bound their growth.
         if len(self._bounds_memo) > (1 << 15):
@@ -1525,6 +1530,9 @@ class VectorBackend(ScalarBackend):
         hot_threshold = self._hot_threshold
         convoy = self._convoy
         rq_frames = self._rq_frames
+        rq_frames_masked = self._rq_frames_masked
+        masked_prefix = self._masked_prefix
+        entry_masks = self._entry_masks
 
         # Issue counters are accumulated in plain ints / a per-instruction
         # list and flushed to the stats object in the finally block below,
@@ -1572,6 +1580,7 @@ class VectorBackend(ScalarBackend):
                     # PCC fetch fault.
                     check_pcc(warp, pc, lanes)
             if lanes is all_lanes:
+                mask = full_mask
                 # Hot-trace barrel entry: a converged warp at the start
                 # of a compiled straight-line region queues the rest of
                 # the region's pre-decoded steps.  The scheduler then
@@ -1587,13 +1596,56 @@ class VectorBackend(ScalarBackend):
                         c = pcc_cache.get(warp.pcc_meta[0])
                         if c is not None and c[2] and c[0] <= pc and \
                                 steps[-1][0] + 4 <= c[1]:
-                            warp.rq = [steps, 1, rq_frames(steps)]
+                            warp.rq = [steps, 1, rq_frames(steps),
+                                       None, 0]
                     else:
-                        warp.rq = [steps, 1, rq_frames(steps)]
+                        warp.rq = [steps, 1, rq_frames(steps), None, 0]
+                    if warp.rq is not None:
+                        em = (pc, full_mask)
+                        entry_masks[em] = entry_masks.get(em, 0) + 1
                 elif steps is None:
                     count = hot_get(index, 0) + 1
                     hot[index] = count
-                    if count == hot_threshold:
+                    # >= with the regions-dict entry as the promoted
+                    # sentinel: a counter seeded past the threshold
+                    # (banked heat, masked entries) still promotes, and
+                    # _build_region runs exactly once because the next
+                    # visit short-circuits on regions_get above.
+                    if count >= hot_threshold:
+                        regions[index] = self._build_region(index)
+            else:
+                mask = 0
+                for lane in lanes:
+                    mask |= 1 << lane
+                # Masked hot-trace entry: a diverged warp whose active
+                # lanes share a PC queues the longest region prefix its
+                # thread group is guaranteed to keep winning selection
+                # for (strict priority dominance over the frozen other
+                # groups), under its lane mask.  Regions are
+                # straight-line, so group membership, halted lanes and
+                # the group's PCC metadata are stable over the prefix.
+                steps = regions_get(index)
+                if steps:
+                    ok = True
+                    if enable_cheri:
+                        c = pcc_cache.get(warp.pcc_meta[lanes[0]])
+                        ok = (c is not None and c[2] and c[0] <= pc and
+                              steps[-1][0] + 4 <= c[1])
+                    if ok:
+                        prefix = masked_prefix(warp, lanes, steps)
+                        if prefix >= 2:
+                            sub = steps if prefix == len(steps) \
+                                else steps[:prefix]
+                            warp.rq = [sub, 1,
+                                       rq_frames_masked(sub, steps,
+                                                        lanes, mask),
+                                       lanes, mask]
+                            em = (pc, mask)
+                            entry_masks[em] = entry_masks.get(em, 0) + 1
+                elif steps is None:
+                    count = hot_get(index, 0) + 1
+                    hot[index] = count
+                    if count >= hot_threshold:
                         regions[index] = self._build_region(index)
             instr = program[index]
             sm._cycle = cycle
@@ -1601,12 +1653,6 @@ class VectorBackend(ScalarBackend):
             sm._extra_issue = 0
             sm._gp_vec_touch = False
             sm._meta_vec_touch = False
-            if lanes is all_lanes:
-                mask = full_mask
-            else:
-                mask = 0
-                for lane in lanes:
-                    mask |= 1 << lane
             handler, aux = decoded[index]
             handler(warp, instr, pc, lanes, mask, aux)
             extra = sm._extra_issue
@@ -1636,18 +1682,26 @@ class VectorBackend(ScalarBackend):
             # One pre-decoded region step: selection, convergence,
             # fetch-range and PCC checks were hoisted to region entry in
             # issue_quiet and stay valid because regions are
-            # straight-line (no control flow, halts or barriers).
-            # Accounting is bit-identical to issue_quiet's.
+            # straight-line (no control flow, halts or barriers).  The
+            # entry mask rides in rq[3]/rq[4] (None = full warp), so
+            # masked entries replay the handlers' own partial-mask
+            # paths.  Accounting is bit-identical to issue_quiet's.
             nonlocal thread_acc, gp_occ_acc, meta_occ_acc
             steps = rq[0]
             i = rq[1]
+            lanes = rq[3]
+            if lanes is None:
+                lanes = all_lanes
+                mask = full_mask
+            else:
+                mask = rq[4]
             pc, instr, handler, aux, is_csc, op = steps[i]
             sm._cycle = cycle
             sm._mem_ready = cycle
             sm._extra_issue = 0
             sm._gp_vec_touch = False
             sm._meta_vec_touch = False
-            handler(warp, instr, pc, all_lanes, full_mask, aux)
+            handler(warp, instr, pc, lanes, mask, aux)
             extra = sm._extra_issue
             if shared_vrf and sm._gp_vec_touch and sm._meta_vec_touch:
                 extra += 1
@@ -1656,7 +1710,7 @@ class VectorBackend(ScalarBackend):
                 extra += 1
                 stats.stall_csc_operand += 1
             icounts[pc >> 2] += 1
-            thread_acc += num_lanes
+            thread_acc += len(lanes)
             completion = cycle + depth
             if sm._mem_ready > completion:
                 completion = sm._mem_ready
@@ -1715,7 +1769,8 @@ class VectorBackend(ScalarBackend):
                 rotation = picked.index + 1
                 rq = picked.rq
                 if rq is not None:
-                    if convoy is not None and rq[1] <= 2:
+                    if convoy is not None and rq[1] <= 2 and \
+                            rq[3] is None:
                         # JIT tier: when every runnable warp is inside
                         # this region, a specialized driver replays the
                         # barrel schedule over generated per-step frames
@@ -1779,11 +1834,12 @@ class VectorBackend(ScalarBackend):
                                                max_cycles, KernelAbort,
                                                icounts)
                         continue
-                    steps = self._region_at(picked)
-                    if steps is not None:
-                        cycle = self._run_region(picked, steps, cycle,
+                    ra = self._region_at(picked)
+                    if ra is not None:
+                        cycle = self._run_region(picked, ra[0], cycle,
                                                  others, max_cycles,
-                                                 KernelAbort, icounts)
+                                                 KernelAbort, icounts,
+                                                 ra[1], ra[2])
                         continue
                     cycle = issue(picked, cycle)
                     if cycle > max_cycles:
@@ -1823,26 +1879,35 @@ class VectorBackend(ScalarBackend):
         return cycle
 
     def _region_at(self, warp):
-        """The fused step list starting at this warp's PC, or None.
+        """The fused region entry at this warp's PC: ``(steps, lanes,
+        mask)`` or None.  ``lanes`` is None for a full-warp entry.
 
-        Only fully-safe entries return steps: no halted lane, full-mask
-        convergence (PC and, under dynamic PCC, metadata), a known hot
-        straight-line region, and a PCC whose cached decode covers the
-        whole region so the per-instruction fetch checks can be hoisted
-        without changing fault behaviour.
+        A full-warp entry needs full-mask convergence (PC and, under
+        dynamic PCC, metadata) with no halted lane.  A diverged (or
+        partially halted) warp can still enter under a mask when its
+        selected thread group sits at a region start: ``steps`` is then
+        truncated to the prefix the group is guaranteed to keep winning
+        selection for (see :meth:`_masked_prefix`).  Both shapes also
+        need a known hot straight-line region and a PCC whose cached
+        decode covers the whole region so the per-instruction fetch
+        checks can be hoisted without changing fault behaviour.
         """
-        if True in warp.halted:
-            return None
         sm = self.sm
         pcs = warp.pcs
-        pc0 = pcs[0]
         num_lanes = sm._num_lanes
-        if pcs.count(pc0) != num_lanes:
-            return None
-        if sm._dynamic_pcc:
-            metas = warp.pcc_meta
-            if metas.count(metas[0]) != num_lanes:
+        lanes = None
+        if True in warp.halted:
+            pc0, lanes = sm._select_threads(warp)
+            if pc0 is None:
                 return None
+        else:
+            pc0 = pcs[0]
+            if pcs.count(pc0) != num_lanes or (
+                    sm._dynamic_pcc and
+                    warp.pcc_meta.count(warp.pcc_meta[0]) != num_lanes):
+                pc0, lanes = sm._select_threads(warp)
+                if lanes is sm._all_lanes:
+                    lanes = None
         index = pc0 >> 2
         regions = self._regions
         steps = regions.get(index)
@@ -1854,26 +1919,89 @@ class VectorBackend(ScalarBackend):
             hot = self._hot
             count = hot.get(index, 0) + 1
             hot[index] = count
-            if count != self._hot_threshold:
+            if count < self._hot_threshold:
                 return None
             steps = self._build_region(index)
             regions[index] = steps
             if not steps:
                 return None
         if sm.cfg.enable_cheri:
-            cached = sm._pcc_cache.get(warp.pcc_meta[0])
+            meta0 = warp.pcc_meta[lanes[0] if lanes is not None else 0]
+            cached = sm._pcc_cache.get(meta0)
             if cached is None:
                 return None  # first fetch populates the cache via issue()
             base, top, ok_perms = cached
             if not ok_perms or not (base <= pc0
                                     and steps[-1][0] + 4 <= top):
                 return None  # the per-instruction check faults precisely
-        return steps
+        if lanes is None:
+            em = (pc0, sm._full_mask)
+            self._entry_masks[em] = self._entry_masks.get(em, 0) + 1
+            return steps, None, 0
+        prefix = self._masked_prefix(warp, lanes, steps)
+        if prefix < 2:
+            return None
+        if prefix < len(steps):
+            steps = steps[:prefix]
+        mask = 0
+        for lane in lanes:
+            mask |= 1 << lane
+        em = (pc0, mask)
+        self._entry_masks[em] = self._entry_masks.get(em, 0) + 1
+        return steps, lanes, mask
+
+    def _masked_prefix(self, warp, lanes, steps):
+        """Longest region prefix the selected group keeps winning.
+
+        While the group drains a straight-line region, the other
+        groups' (pc, metadata) keys are frozen — their lanes don't
+        execute, and regions contain no halts or barriers — so the
+        selection outcome at every queued step is decided by comparing
+        the group's static ``(depth, -pc)`` priority along the region
+        against the best frozen competitor.  Strict dominance is
+        required: ties fall to insertion order, which the drained group
+        cannot claim ahead of time.  Step 0 is already won (the caller
+        selected this group for the current slot).
+        """
+        sm = self.sm
+        program = sm.program
+        program_len = len(program)
+        pcs = warp.pcs
+        halted = warp.halted
+        active = set(lanes)
+        other = None
+        for lane in range(sm._num_lanes):
+            if halted[lane] or lane in active:
+                continue
+            opc = pcs[lane]
+            oi = opc >> 2
+            od = program[oi].depth if 0 <= oi < program_len else 0
+            pr = (od, -opc)
+            if other is None or pr > other:
+                other = pr
+        n = len(steps)
+        if other is None:
+            return n  # halted-only remainder: no competing group
+        k = 1
+        while k < n:
+            spc = steps[k][0]
+            if (program[spc >> 2].depth, -spc) <= other:
+                break
+            k += 1
+        return k
 
     def _rq_frames(self, steps):
         """Per-slot compiled frames for a region entry (queued as
         ``rq[2]``), or None to step through the interpreted
         ``step_quiet``.  The JIT tier overrides this."""
+        return None
+
+    def _rq_frames_masked(self, sub, steps, lanes, mask):
+        """Per-slot compiled frames for a *masked* region entry
+        (``sub`` is the dominance prefix of the full region ``steps``),
+        or None to step through the interpreted ``step_quiet`` under
+        the entry mask.  The JIT tier overrides this with per-mask-class
+        closure variants."""
         return None
 
     def _drain_rq(self, warp, rq, cycle, others, max_cycles, kernel_abort,
@@ -1884,7 +2012,8 @@ class VectorBackend(ScalarBackend):
         dispatch instead of re-fetching)."""
         warp.rq = None
         return self._run_region(warp, rq[0][rq[1]:], cycle, others,
-                                max_cycles, kernel_abort, icounts)
+                                max_cycles, kernel_abort, icounts,
+                                rq[3], rq[4])
 
     def _build_region(self, index):
         """Compile the straight-line run starting at ``index`` into steps
@@ -1907,17 +2036,18 @@ class VectorBackend(ScalarBackend):
         return steps if len(steps) >= 2 else ()
 
     def _run_region(self, warp, steps, cycle, others, max_cycles,
-                    kernel_abort, icounts):
+                    kernel_abort, icounts, lanes=None, mask=0):
         """Execute fused region steps back-to-back for a solo warp.
 
         Replays the exact per-issue accounting of :meth:`issue` minus the
-        hoisted selection and fetch checks.  Stops at the region end or
-        as soon as the next issue slot would no longer be solo.  Returns
-        the cycle after the last consumed issue slot.  Per-instruction
-        issue counts go into the caller's ``icounts`` list (flushed to
-        the stats object by :meth:`run`); thread counts are flushed here
-        so a fault mid-region leaves the same stats as per-issue
-        accounting would.
+        hoisted selection and fetch checks.  ``lanes``/``mask`` carry a
+        masked entry's thread group (None = full warp).  Stops at the
+        region end or as soon as the next issue slot would no longer be
+        solo.  Returns the cycle after the last consumed issue slot.
+        Per-instruction issue counts go into the caller's ``icounts``
+        list (flushed to the stats object by :meth:`run`); thread counts
+        are flushed here so a fault mid-region leaves the same stats as
+        per-issue accounting would.
         """
         sm = self.sm
         stats = sm.stats
@@ -1925,9 +2055,10 @@ class VectorBackend(ScalarBackend):
         depth = cfg.pipeline_depth
         shared_vrf = cfg.shared_vrf
         single_port = cfg.metadata_srf_single_port
-        lanes = sm._all_lanes
-        mask = sm._full_mask
-        num_lanes = sm._num_lanes
+        if lanes is None:
+            lanes = sm._all_lanes
+            mask = sm._full_mask
+        active = len(lanes)
         gp = sm.gp
         meta = sm.meta
         gp_pool = getattr(gp, "pool", None)
@@ -1982,7 +2113,7 @@ class VectorBackend(ScalarBackend):
                     return cycle
                 cycle = nxt
         finally:
-            stats.thread_instrs += num_lanes * done_steps
+            stats.thread_instrs += active * done_steps
 
 
 def _np_int(key, a, b):

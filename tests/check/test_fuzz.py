@@ -36,6 +36,31 @@ def test_cases_are_deterministic():
             b.kind, b.body, b.init_regs, b.source)
 
 
+def test_branchy_kind_is_branch_heavy_and_divergent():
+    index = SCHEDULE.index("branchy")
+    case = generate_case(3, index)
+    assert case.kind == "branchy"
+    branches = sum(1 for line in case.body if ", L" in line)
+    # ~30% branch probability vs the alu mix's 8%: a branchy body is
+    # reliably branch-heavy (deterministic for a fixed seed).
+    assert branches >= len(case.body) // 8
+    # Per-lane scrambled operands, so the branches actually diverge.
+    assert any(len(set(values)) > 1
+               for values in case.init_regs.values())
+
+
+def test_kinds_filter_restricts_the_rotation(tmp_path):
+    report = run_fuzz(seed=5, budget=4, kinds=("branchy",),
+                      out_dir=str(tmp_path))
+    assert report.cases == 4
+    assert report.ok, report.summary()
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError):
+        run_fuzz(seed=0, budget=1, kinds=("turbo",))
+
+
 def test_time_budget_stops_early():
     report = run_fuzz(seed=2, budget=None, time_budget=0.0)
     assert report.cases == 0 and report.ok

@@ -119,6 +119,29 @@ def test_fdiv_signed_zero_divisor():
     assert fdiv(_QNAN, _POS_ZERO) == _QNAN            # NaN propagates
 
 
+def test_arithmetic_nan_results_stay_canonical_when_warm():
+    # fadd/fsub/fmul/fdiv/fsqrt with a NaN operand must produce the
+    # canonical quiet NaN, never an operand payload.  Found by the
+    # branchy fuzz kind: CPython's specializing interpreter flips which
+    # operand's payload ``float + float`` propagates once BINARY_OP
+    # warms up, so payload-propagating results diverged between the
+    # pipeline and the golden model depending on code-path warmth.
+    _NAN_IN = 0xFFFFFFFE  # negative NaN with an all-ones payload
+    for fns in (alu.FLOAT_FNS,
+                {name: golden._FLOAT2[op] for name, op in
+                 (("fadd", golden.Op.FADD_S), ("fsub", golden.Op.FSUB_S),
+                  ("fmul", golden.Op.FMUL_S), ("fdiv", golden.Op.FDIV_S))}):
+        for _ in range(64):  # warm the host's adaptive interpreter
+            fns["fadd"](_ONE, 0x40000000)
+        for name in ("fadd", "fsub", "fmul", "fdiv"):
+            assert fns[name](_NAN_IN, _SNAN) == _QNAN, name
+            assert fns[name](_SNAN, _NAN_IN) == _QNAN, name
+            assert fns[name](_NAN_IN, _ONE) == _QNAN, name
+            assert fns[name](_ONE, _NAN_IN) == _QNAN, name
+    assert alu.FLOAT_FNS["fsqrt"](_NAN_IN) == _QNAN
+    assert golden._FLOAT1[golden.Op.FSQRT_S](_NAN_IN) == _QNAN
+
+
 def test_fcvt_saturates_infinities_and_nan():
     fcvt_w = alu.FLOAT_FNS["fcvt.w.s"]
     fcvt_wu = alu.FLOAT_FNS["fcvt.wu.s"]

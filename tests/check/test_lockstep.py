@@ -65,6 +65,28 @@ def test_in_bounds_access_is_not_a_fault():
 
 
 # ---------------------------------------------------------------------------
+# Divergence-stress micro-kernels (masked compiled regions)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", ["vector", "jit"])
+def test_divergence_micro_kernels_lockstep(backend, monkeypatch):
+    """The irregular micro-kernels retire in golden-model lockstep on
+    the interpreted and compiled tiers (thresholds lowered so the jit
+    tier's masked region variants actually engage within the run)."""
+    from repro.simt.backend.jit import JITBackend
+    from tests.simt.kernels import branch_ladder, frontier_loop
+    monkeypatch.setattr(JITBackend, "_hot_threshold", 4)
+    monkeypatch.setattr(JITBackend, "_promote_after", 1)
+    for prog, regs in (branch_ladder(), frontier_loop()):
+        config = SMConfig.baseline(num_warps=2, num_lanes=4).with_(
+            backend=backend)
+        stats, checker, fault = check_program(prog, config,
+                                              init_regs=regs)
+        assert fault is None
+        assert stats is not None and checker.retired > 0
+
+
+# ---------------------------------------------------------------------------
 # Sensitivity: the checker must actually catch a wrong pipeline
 # ---------------------------------------------------------------------------
 

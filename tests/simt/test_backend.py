@@ -23,6 +23,8 @@ from repro.isa.instructions import Instr, Op
 from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
 from repro.simt.config import HEAP_BASE
 
+from tests.simt.kernels import branch_ladder, frontier_loop
+
 
 def _config(mode, backend, num_warps, num_lanes, **kwargs):
     factory = (SMConfig.cheri_optimised if mode == "purecap"
@@ -251,6 +253,35 @@ class TestWideSMNumpyPath:
         for t in range(lanes):
             expected = 2 * t if t % 2 == 0 else t + 100
             assert obs["words"][(HEAP_BASE + 4 * t) >> 2] == expected
+
+
+class TestIrregularKernels:
+    """Divergence-stress micro-kernels (shared with the jit stack).
+
+    Both kernels keep a strict subset of each warp's lanes converged on
+    a long straight-line block, so the vector backend's masked region
+    entries — not just its per-slot masked issue — carry the run."""
+
+    def test_branch_ladder_bit_identical(self):
+        prog, regs = branch_ladder()
+        obs = run_both(prog, num_warps=2, num_lanes=4, init_regs=regs)
+        assert obs["fault"] is None
+        # Every lane rejoined and stored its final accumulator.
+        for t in range(8):
+            assert (HEAP_BASE + 4 * t) >> 2 in obs["words"]
+
+    def test_frontier_loop_bit_identical(self):
+        prog, regs = frontier_loop()
+        obs = run_both(prog, num_warps=2, num_lanes=4, init_regs=regs)
+        assert obs["fault"] is None
+        for t in range(8):
+            trips = (3 * t) % 7 + 1
+            assert obs["words"][(HEAP_BASE + 0x100 + 4 * t) >> 2] == trips
+
+    def test_frontier_loop_wide_numpy_path(self):
+        prog, regs = frontier_loop(threads=16)
+        obs = run_both(prog, num_warps=1, num_lanes=16, init_regs=regs)
+        assert obs["fault"] is None
 
 
 class TestSubWordMemory:

@@ -29,6 +29,8 @@ from repro.simt import KernelAbort, SMConfig, StreamingMultiprocessor
 from repro.simt.backend.jit import JITBackend
 from repro.simt.config import HEAP_BASE
 
+from tests.simt.kernels import branch_ladder, frontier_loop
+
 
 @pytest.fixture
 def eager_jit(monkeypatch):
@@ -231,6 +233,122 @@ class TestMidRegionFault:
         obs, _ = run_both(prog, mode="purecap", num_warps=1,
                           init_regs=regs, init_cap_regs=caps)
         assert obs["fault"] is None
+
+
+class TestIrregularKernels:
+    """Masked region variants on divergence-stress kernels.
+
+    A warp whose active subset stays converged on a straight-line block
+    must enter the compiled tier under a partial mask — and stay
+    bit-identical to the scalar reference while doing so."""
+
+    def test_branch_ladder_uses_masked_variants(self, eager_jit):
+        prog, regs = branch_ladder(trips=24)
+        _, sm = run_both(prog, num_warps=2, num_lanes=4, init_regs=regs)
+        summary = sm.backend.jit_summary()
+        assert summary["compiled_masked_variants"] >= 1
+        assert summary["masked_steps"] > 0
+
+    def test_frontier_loop_uses_masked_variants(self, eager_jit):
+        prog, regs = frontier_loop()
+        _, sm = run_both(prog, num_warps=2, num_lanes=4, init_regs=regs)
+        summary = sm.backend.jit_summary()
+        assert summary["masked_steps"] > 0
+        report = sm.backend.region_report()
+        assert report["entry_mask_histogram"]
+        assert any(row["masked_entries"] for row in report["regions"])
+
+
+class TestMaskedMidRegionFault:
+    """Capability faults raised from inside a *masked* compiled region:
+    same fault kind, same pinned cycle, same statistics as the scalar
+    reference — whether the fault is uniform across the active subset
+    or confined to a single lane of it."""
+
+    def _masked_fault_loop(self, bad_lane=None, window_words=8, trips=12,
+                           num_lanes=4, parked_lane=3):
+        """One lane branches straight to HALT, so the remaining subset
+        walks the capability-fault loop under a partial mask."""
+        prog = [
+            Instr(Op.BNE, rs1=12, rs2=0, imm=32),        # parked lane out
+            Instr(Op.ADDI, rd=9, rs1=0, imm=0),
+            Instr(Op.BGE, rs1=9, rs2=5, imm=28),         # loop head
+            Instr(Op.ADD, rd=10, rs1=9, rs2=9, depth=1),  # region start
+            Instr(Op.CLW, rd=11, rs1=6, imm=0, depth=1),  # faults late
+            Instr(Op.CINCOFFSETIMM, rd=6, rs1=6, imm=4, depth=1),
+            Instr(Op.ADDI, rd=9, rs1=9, imm=1, depth=1),
+            Instr(Op.JAL, rd=0, imm=-20, depth=1),       # -> loop head
+            Instr(Op.HALT),                              # parked lane
+            Instr(Op.HALT),                              # loop exit
+        ]
+        cap, exact = root_capability().set_bounds(HEAP_BASE,
+                                                  4 * window_words)
+        assert exact
+        caps = []
+        for t in range(num_lanes):
+            addr = HEAP_BASE
+            if t == bad_lane:
+                addr = HEAP_BASE + 4 * (window_words - 2)
+            caps.append(cap.set_addr(addr))
+        regs = {5: [trips] * num_lanes,
+                12: [1 if t == parked_lane else 0
+                     for t in range(num_lanes)]}
+        return prog, regs, {6: caps}
+
+    def test_uniform_masked_fault(self, eager_jit):
+        prog, regs, caps = self._masked_fault_loop()
+        obs, _ = run_both(prog, mode="purecap", num_warps=1,
+                          init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+
+    def test_single_lane_masked_fault(self, eager_jit):
+        prog, regs, caps = self._masked_fault_loop(bad_lane=1)
+        obs, _ = run_both(prog, mode="purecap", num_warps=1,
+                          init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is not None
+        assert obs["fault"][0] == "BoundsViolation"
+
+    def test_clean_masked_walk_compiles_masked_variant(self, eager_jit):
+        prog, regs, caps = self._masked_fault_loop(window_words=16)
+        obs, sm = run_both(prog, mode="purecap", num_warps=1,
+                           init_regs=regs, init_cap_regs=caps)
+        assert obs["fault"] is None
+        summary = sm.backend.jit_summary()
+        assert summary["compiled_masked_variants"] >= 1
+        assert summary["masked_steps"] > 0
+
+
+class TestHotCounterPromotion:
+    def test_banked_heat_overshoot_still_promotes_once(self, eager_jit,
+                                                       monkeypatch):
+        # A formed region's hot counter parks exactly at the threshold,
+        # and relaunch seeding banks it unchanged — so the relaunch's
+        # first fetch bumps the counter *past* the bar.  Promotion is a
+        # >= check (an == check never re-forms the region once the
+        # counter overshoots), with the regions-dict entry as the
+        # sentinel that keeps _build_region to one call per region.
+        prog, regs = _alu_loop()
+        sm = StreamingMultiprocessor(_config("baseline", "jit", 2, 4))
+        sm.launch(prog, init_regs=regs)
+        backend = sm.backend
+        formed = {idx for idx, steps in backend._regions.items() if steps}
+        assert formed, "the loop body never formed a region"
+        builds = []
+        orig = JITBackend._build_region
+
+        def counting(self, index):
+            builds.append(index)
+            return orig(self, index)
+
+        monkeypatch.setattr(JITBackend, "_build_region", counting)
+        sm.launch(prog, init_regs=regs)
+        assert formed <= set(builds), "an overshot counter never promoted"
+        assert len(builds) == len(set(builds)), \
+            "a region was rebuilt after forming"
+        # The overshoot really happened: counters sit past the bar.
+        assert any(backend._hot.get(idx, 0) > backend._hot_threshold
+                   for idx in formed)
 
 
 class TestAdaptiveDemotion:
