@@ -573,9 +573,16 @@ def _run_seq(case, body, backend=None):
     return None
 
 
-def _run_kernel(case, backend=None):
-    """Compile and run a DSL kernel in all three modes, each under
-    lockstep, then require bit-identical outputs across modes."""
+def _run_kernel(case, backend=None, opt_levels=(0, 1)):
+    """Compile and run a DSL kernel in all three modes at every opt
+    level in ``opt_levels``, each under lockstep, then require
+    bit-identical outputs across every (mode, opt) cell.
+
+    This is the compiler's differential test: the ``-O1`` pipeline
+    (``repro.nocl.opt``) must produce the same architectural results as
+    the direct ``-O0`` translation for arbitrary generated kernels, not
+    just the benchmark suite.
+    """
     from repro.eval import runner
     from repro.nocl import NoCLRuntime, i32
     from repro.nocl.dsl import KernelSource
@@ -589,8 +596,14 @@ def _run_kernel(case, backend=None):
     a_vals, b_vals = case.kernel_inputs
     n = len(a_vals)
     outputs = {}
-    for config_name in ("baseline", "cheri_opt", "boundscheck"):
-        overrides = {} if backend is None else {"backend": backend}
+    cells = [(config_name, opt)
+             for config_name in ("baseline", "cheri_opt", "boundscheck")
+             for opt in opt_levels]
+    for config_name, opt in cells:
+        label = "%s@O%d" % (config_name, opt)
+        overrides = {"opt": opt}
+        if backend is not None:
+            overrides["backend"] = backend
         mode, config = runner.config_for(config_name, num_warps=NUM_WARPS,
                                          num_lanes=NUM_LANES, **overrides)
         rt = NoCLRuntime(mode, config=config)
@@ -603,31 +616,32 @@ def _run_kernel(case, backend=None):
             rt.upload(a, a_vals)
             rt.upload(b, b_vals)
             rt.launch(kernel, 2, NUM_LANES, [n, a, b, c])
-            outputs[config_name] = rt.download(c)
+            outputs[label] = rt.download(c)
         except DivergenceError as exc:
             checker._aborted = True
-            return ("divergence", "[%s] %s" % (config_name, exc))
+            return ("divergence", "[%s] %s" % (label, exc))
         except Exception as exc:
             checker._aborted = True
             return ("crash:%s" % type(exc).__name__,
-                    "[%s] %s: %s" % (config_name, type(exc).__name__, exc))
+                    "[%s] %s: %s" % (label, type(exc).__name__, exc))
         finally:
             detach(rt.sm)
-    reference = outputs["baseline"]
-    for config_name, values in outputs.items():
+    ref_label = "baseline@O%d" % opt_levels[0]
+    reference = outputs[ref_label]
+    for label, values in outputs.items():
         if values != reference:
             diffs = [(i, reference[i], values[i]) for i in range(n)
                      if reference[i] != values[i]][:8]
             return ("cross-mode",
-                    "%s disagrees with baseline at %d element(s); first: %s"
-                    % (config_name, len(diffs), diffs))
+                    "%s disagrees with %s at %d element(s); first: %s"
+                    % (label, ref_label, len(diffs), diffs))
     return None
 
 
-def run_case(case, backend=None):
+def run_case(case, backend=None, opt_levels=(0, 1)):
     """Run one case; returns (signature, message) on failure, else None."""
     if case.kind == "kernel":
-        return _run_kernel(case, backend)
+        return _run_kernel(case, backend, opt_levels)
     return _run_seq(case, case.body, backend)
 
 
@@ -715,7 +729,8 @@ def render_reproducer(failure, seed):
 # ---------------------------------------------------------------------------
 
 def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
-             verbose=False, log=None, backend=None, kinds=None):
+             verbose=False, log=None, backend=None, kinds=None,
+             opt_levels=(0, 1)):
     """Fuzz until ``budget`` cases have run (or ``time_budget`` seconds
     have elapsed, whichever comes first when both are set).  Returns a
     :class:`FuzzReport`; reproducers for failures are written under
@@ -725,6 +740,8 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
     (e.g. ``("branchy",)`` for a divergence soak): other slots in the
     rotation are skipped, but every executed case keeps its global
     ``(seed, index)`` identity so reproducers regenerate unchanged.
+    ``opt_levels`` selects the compiler opt levels kernel cases run
+    differentially (default: O0 vs O1, cross-checked bit-for-bit).
     """
     emit = log or (lambda text: None)
     if kinds:
@@ -748,7 +765,7 @@ def run_fuzz(seed=0, budget=200, time_budget=None, out_dir=None,
             continue
         executed += 1
         case = generate_case(seed, index)
-        outcome = run_case(case, backend)
+        outcome = run_case(case, backend, opt_levels)
         if verbose:
             emit("case %4d %-9s %-9s %s"
                  % (index, case.kind, case.config_name,
@@ -794,14 +811,14 @@ def shard_seed(seed, shard):
 
 
 def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose,
-                backend=None, kinds=None):
+                backend=None, kinds=None, opt_levels=(0, 1)):
     """Worker entry point: one shard's fuzz run, summarised picklably."""
     sub = shard_seed(seed, shard)
     shard_out = os.path.join(out_dir, "shard%02d" % shard) if out_dir \
         else None
     report = run_fuzz(seed=sub, budget=budget, time_budget=time_budget,
                       out_dir=shard_out, verbose=verbose, backend=backend,
-                      kinds=kinds)
+                      kinds=kinds, opt_levels=opt_levels)
     return {
         "shard": shard,
         "seed": sub,
@@ -818,7 +835,7 @@ def _fuzz_shard(seed, shard, budget, time_budget, out_dir, verbose,
 
 def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
                       out_dir=None, verbose=False, log=None, backend=None,
-                      kinds=None):
+                      kinds=None, opt_levels=(0, 1)):
     """Shard the fuzz budget across ``jobs`` worker processes.
 
     Each shard fuzzes under its own :func:`shard_seed`-derived seed (the
@@ -840,7 +857,8 @@ def run_fuzz_parallel(seed=0, budget=200, jobs=2, time_budget=None,
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [
             pool.submit(_fuzz_shard, seed, shard, shard_budgets[shard],
-                        time_budget, out_dir, verbose, backend, kinds)
+                        time_budget, out_dir, verbose, backend, kinds,
+                        opt_levels)
             for shard in range(jobs)
             if shard_budgets[shard] is None or shard_budgets[shard] > 0
         ]

@@ -371,7 +371,7 @@ def verified_run(name, config_name="cheri_opt", scale=1, num_warps=4,
     }
 
 
-def lockstep_case(name, config_name, scale=1, backend=None):
+def lockstep_case(name, config_name, scale=1, backend=None, opt=0):
     """One sweep cell, picklable for process pools.
 
     Returns ``(name, config_name, ok, message, wall_seconds)``; a
@@ -380,7 +380,9 @@ def lockstep_case(name, config_name, scale=1, backend=None):
     """
     import time
     start = time.perf_counter()
-    overrides = {} if backend is None else {"backend": backend}
+    overrides = {"opt": opt}
+    if backend is not None:
+        overrides["backend"] = backend
     try:
         _, checker = check_benchmark(name, config_name, scale=scale,
                                      **overrides)
@@ -393,7 +395,7 @@ def lockstep_case(name, config_name, scale=1, backend=None):
 
 
 def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None,
-                       backend=None):
+                       backend=None, opt=0):
     """The benchmark × config lockstep sweep, optionally across processes.
 
     ``jobs=None``/``1`` runs serially in-process; ``jobs=N`` fans the
@@ -409,12 +411,12 @@ def run_lockstep_sweep(names, configs, scale=1, jobs=None, log=None,
              for config_name in configs]
     start = time.perf_counter()
     if jobs is None or jobs <= 1 or len(cells) <= 1:
-        outcomes = [lockstep_case(name, config_name, scale, backend)
+        outcomes = [lockstep_case(name, config_name, scale, backend, opt)
                     for name, config_name in cells]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(cells))) as pool:
             futures = [pool.submit(lockstep_case, name, config_name, scale,
-                                   backend)
+                                   backend, opt)
                        for name, config_name in cells]
             outcomes = [future.result() for future in futures]
     failures = 0

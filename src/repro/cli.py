@@ -38,7 +38,15 @@ def _add_mode_args(parser):
     parser.add_argument("--lanes", type=int, default=8)
     parser.add_argument("--scale", type=int, default=1)
     _add_backend_arg(parser)
+    _add_opt_arg(parser)
     _add_jit_args(parser)
+
+
+def _add_opt_arg(parser, default=0):
+    parser.add_argument("--opt", type=int, default=default, choices=(0, 1),
+                        help="kernel-compiler optimization level (0: direct "
+                             "frontend output, 1: dataflow pass pipeline; "
+                             "default %(default)s)")
 
 
 def _add_backend_arg(parser):
@@ -66,7 +74,8 @@ def _wire_jit(rt, args):
 def _runtime(args):
     from repro.nocl import NoCLRuntime
     from repro.simt import SMConfig
-    geometry = dict(num_warps=args.warps, num_lanes=args.lanes)
+    geometry = dict(num_warps=args.warps, num_lanes=args.lanes,
+                    opt=getattr(args, "opt", 0))
     if getattr(args, "backend", None):
         geometry["backend"] = args.backend
     if args.mode == "purecap":
@@ -103,12 +112,13 @@ def cmd_run(args):
         import json
         print(json.dumps({
             "benchmark": bench.name, "mode": args.mode,
-            "scale": args.scale,
+            "scale": args.scale, "opt": args.opt,
             "geometry": {"num_warps": args.warps, "num_lanes": args.lanes},
             "stats": stats.as_dict(),
         }, indent=1, sort_keys=True))
         return 0
-    print("%s [%s] PASSED self test" % (bench.name, args.mode))
+    print("%s [%s -O%d] PASSED self test" % (bench.name, args.mode,
+                                             args.opt))
     print("  cycles=%d instrs=%d IPC=%.2f" % (stats.cycles,
                                               stats.instrs_issued,
                                               stats.ipc))
@@ -131,12 +141,30 @@ def cmd_listing(args):
     kernels = [obj for _, obj in vars(mod).items()
                if isinstance(obj, KernelSource)]
     for source in kernels:
-        compiled = compile_kernel(source, args.mode)
-        print("== %s [%s], %d instructions ==" % (source.name, args.mode,
-                                                  len(compiled.instrs)))
+        compiled = compile_kernel(source, args.mode, opt=args.opt)
+        print("== %s [%s -O%d], %d instructions =="
+              % (source.name, args.mode, args.opt, len(compiled.instrs)))
+        if compiled.opt_report and compiled.opt_report.get("passes"):
+            print("-- opt: %s" % _render_opt_report(compiled.opt_report))
         print(compiled.listing())
         print()
     return 0
+
+
+def _render_opt_report(report):
+    """One-line summary of a kernel's ``repro.nocl.opt`` pass report."""
+    passes = ", ".join("%s:%d" % (name, count)
+                       for name, count in report.get("passes", {}).items())
+    text = "%d -> %d items (%s)" % (report.get("items_before", 0),
+                                    report.get("items_after", 0),
+                                    passes or "no changes")
+    removed = (report.get("bounds_dominated", 0)
+               + report.get("bounds_range_proved", 0))
+    if removed:
+        text += ", %d bounds check(s) removed (%d dominated, %d proved)" % (
+            removed, report.get("bounds_dominated", 0),
+            report.get("bounds_range_proved", 0))
+    return text
 
 
 def cmd_trace(args):
@@ -267,6 +295,7 @@ def cmd_profile(args):
         overrides["num_lanes"] = args.lanes
     if args.backend is not None:
         overrides["backend"] = args.backend
+    overrides["opt"] = args.opt
     mode, config = runner.config_for(args.config, **overrides)
     rt = _wire_jit(NoCLRuntime(mode, config=config), args)
     if args.regions and not hasattr(rt.sm.backend, "region_report"):
@@ -294,14 +323,19 @@ def cmd_profile(args):
             stats = bench.run(rt, scale=args.scale)
         finally:
             detach(rt.sm)
+    opt_reports = {program.name: program.opt_report
+                   for program in rt._compiled.values()
+                   if program.opt_report is not None}
     if args.json:
         import json
         payload = {
             "benchmark": bench.name, "config": args.config, "mode": mode,
-            "scale": args.scale, "cycles": stats.cycles,
+            "scale": args.scale, "opt": args.opt, "cycles": stats.cycles,
             "probed": not args.regions,
             "profile": profiler.as_dict(),
         }
+        if opt_reports:
+            payload["opt_reports"] = opt_reports
         backend = rt.sm.backend
         if hasattr(backend, "jit_summary"):
             payload["jit"] = backend.jit_summary()
@@ -320,6 +354,10 @@ def cmd_profile(args):
         print("%s [%s] cycle profile by source line"
               % (bench.name, args.config))
         print(profiler.render_source(stats, limit=args.limit))
+    if opt_reports and not args.json:
+        for name, report in sorted(opt_reports.items()):
+            print("opt[-O%d] %s: %s"
+                  % (args.opt, name, _render_opt_report(report)))
     if timeline is not None:
         path = args.perfetto
         if path == "":
@@ -336,6 +374,7 @@ def cmd_profile(args):
 def cmd_fuzz(args):
     kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip()) \
         if args.kinds else None
+    opt_levels = (0, 1) if args.opt is None else (args.opt,)
     if args.jobs and args.jobs > 1:
         from repro.check.fuzz import run_fuzz_parallel
         report = run_fuzz_parallel(seed=args.seed, budget=args.budget,
@@ -343,13 +382,14 @@ def cmd_fuzz(args):
                                    time_budget=args.time_budget,
                                    out_dir=args.out, verbose=args.verbose,
                                    log=print, backend=args.backend,
-                                   kinds=kinds)
+                                   kinds=kinds, opt_levels=opt_levels)
     else:
         from repro.check.fuzz import run_fuzz
         report = run_fuzz(seed=args.seed, budget=args.budget,
                           time_budget=args.time_budget, out_dir=args.out,
                           verbose=args.verbose, log=print,
-                          backend=args.backend, kinds=kinds)
+                          backend=args.backend, kinds=kinds,
+                          opt_levels=opt_levels)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -360,7 +400,7 @@ def cmd_lockstep(args):
              for name in (args.benchmarks or list(BENCHMARK_NAMES))]
     failures = run_lockstep_sweep(names, args.configs, scale=args.scale,
                                   jobs=args.jobs, log=print,
-                                  backend=args.backend)
+                                  backend=args.backend, opt=args.opt)
     return 1 if failures else 0
 
 
@@ -373,9 +413,10 @@ def cmd_diff(args):
         print("diff: %s" % exc, file=sys.stderr)
         return 2
     rows = mf.diff_manifests(old, new, threshold=args.threshold)
-    print("manifest diff: %s (%s) -> %s (%s), threshold %.1f%%"
-          % (args.old, old.get("config", "?"),
-             args.new, new.get("config", "?"), 100 * args.threshold))
+    print("manifest diff: %s (%s -O%d) -> %s (%s -O%d), threshold %.1f%%"
+          % (args.old, old.get("config", "?"), mf.manifest_opt(old),
+             args.new, new.get("config", "?"), mf.manifest_opt(new),
+             100 * args.threshold))
     print(mf.render_diff(rows, old_label="old", new_label="new",
                          verbose=args.verbose))
     return 1 if any(row["regressed"] for row in rows) else 0
@@ -400,6 +441,8 @@ def cmd_bench(args):
         overrides["num_lanes"] = args.lanes
     if args.backend is not None:
         overrides["backend"] = args.backend
+    if args.opt:
+        overrides["opt"] = args.opt
     total_start = time.perf_counter()
     if args.json:
         import json
@@ -554,6 +597,8 @@ def cmd_submit(args):
         overrides["num_warps"] = args.warps
     if args.lanes is not None:
         overrides["num_lanes"] = args.lanes
+    if args.opt:
+        overrides["opt"] = args.opt
     body = dict(benchmarks=benchmarks, configs=args.configs or None,
                 scale=args.scale, overrides=overrides, verify=args.verify)
     if args.scales:
@@ -706,6 +751,7 @@ def build_parser():
     listing.add_argument("benchmark", choices=BENCHMARK_NAMES)
     listing.add_argument("--mode", default="purecap",
                          choices=("baseline", "purecap", "boundscheck"))
+    _add_opt_arg(listing)
 
     trace = sub.add_parser("trace", help="run with instruction tracing")
     trace.add_argument("benchmark", choices=BENCHMARK_NAMES)
@@ -735,6 +781,7 @@ def build_parser():
     bench.add_argument("--lanes", type=int, default=None,
                        help="override the evaluation lane count")
     _add_backend_arg(bench)
+    _add_opt_arg(bench)
 
     profile = sub.add_parser(
         "profile",
@@ -775,6 +822,7 @@ def build_parser():
     profile.add_argument("--lanes", type=int, default=None,
                          help="override the evaluation lane count")
     _add_backend_arg(profile)
+    _add_opt_arg(profile)
     _add_jit_args(profile)
 
     diff = sub.add_parser(
@@ -812,6 +860,10 @@ def build_parser():
                            "'branchy' for a divergence soak); other "
                            "rotation slots are skipped, case identities "
                            "are unchanged")
+    fuzz.add_argument("--opt", type=int, default=None, choices=(0, 1),
+                      help="run generated kernels at this single compiler "
+                           "opt level only (default: differential O0 vs O1,"
+                           " cross-checked bit-for-bit)")
     _add_backend_arg(fuzz)
 
     lockstep = sub.add_parser(
@@ -828,6 +880,7 @@ def build_parser():
                           help="run the benchmark x config sweep across N "
                                "worker processes (default: serial)")
     _add_backend_arg(lockstep)
+    _add_opt_arg(lockstep)
 
     from repro.serve.protocol import DEFAULT_PORT
 
@@ -913,6 +966,7 @@ def build_parser():
                         help="override the evaluation warp count")
     submit.add_argument("--lanes", type=int, default=None,
                         help="override the evaluation lane count")
+    _add_opt_arg(submit)
     submit.add_argument("--verify", action="store_true",
                         help="run each job under golden-model lockstep")
     submit.add_argument("--no-follow", action="store_true",

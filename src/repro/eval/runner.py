@@ -97,6 +97,10 @@ class RunMeta:
     #: executed on the jit backend; None otherwise.  Purely diagnostic:
     #: not part of the verified statistics and never compared.
     jit: dict = None
+    #: Per-kernel optimizer reports (``CompiledKernel.opt_report``) when
+    #: the run compiled at -O1; None otherwise.  Diagnostic side-band,
+    #: surfaced in manifests and ``repro profile``.
+    opt: dict = None
 
 
 @dataclass
@@ -235,13 +239,15 @@ def _sources_digest():
     return _sources_digest_memo
 
 
-def _kernel_digest(name, mode):
+def _kernel_digest(name, mode, opt=0):
     """Hash of the benchmark's compiled kernel binaries under ``mode``.
 
     The kernels are discovered the same way the CLI's ``listing`` command
     finds them: every :class:`KernelSource` bound in the benchmark's
-    module.  Compiling is milliseconds; simulating is seconds, so paying
-    a compile per cache probe is a bargain for content-exact keys.
+    module, compiled at the run's optimization level — so -O0 and -O1
+    results can never alias even before the config repr is hashed.
+    Compiling is milliseconds; simulating is seconds, so paying a compile
+    per cache probe is a bargain for content-exact keys.
     """
     import inspect
 
@@ -252,7 +258,7 @@ def _kernel_digest(name, mode):
     h = hashlib.sha256()
     for attr, obj in sorted(vars(mod).items()):
         if isinstance(obj, KernelSource):
-            words = compile_kernel(obj, mode).to_binary()
+            words = compile_kernel(obj, mode, opt=opt).to_binary()
             h.update(attr.encode())
             h.update(repr(words).encode())
     return h.digest()
@@ -263,7 +269,7 @@ def _disk_key(name, mode, config, scale):
     h.update(_sources_digest())
     h.update(repr((name, mode, scale,
                    sorted(asdict(config).items()))).encode())
-    h.update(_kernel_digest(name, mode))
+    h.update(_kernel_digest(name, mode, opt=getattr(config, "opt", 0)))
     return h.hexdigest()
 
 
@@ -285,7 +291,11 @@ def _disk_load(name, config_name, mode, config, scale):
     # Re-label: different config aliases can resolve to the same content
     # key (e.g. an overridden cheri_opt equals an ablation config).
     result.config_name = config_name
-    result.meta = RunMeta(source="disk", wall_seconds=0.0)
+    # Optimizer reports are deterministic per (kernel, config) — unlike
+    # the runtime JIT counters, they survive the cache so -O1 manifests
+    # carry per-pass data whether the run simulated or hit disk.
+    result.meta = RunMeta(source="disk", wall_seconds=0.0,
+                          opt=getattr(result.meta, "opt", None))
     return result
 
 
@@ -331,9 +341,16 @@ def _simulate(name, config_name, mode, config, scale):
                 start=span.end - codegen,
                 attrs={"regions": jit.get("compiled_regions", 0)}),
                 end=span.end)
+    opt_reports = None
+    if getattr(config, "opt", 0):
+        opt_reports = {
+            program.name: program.opt_report
+            for program in rt._compiled.values()
+            if program.opt_report is not None
+        } or None
     return RunResult(name, config_name, mode, stats, config,
                      meta=RunMeta(source="sim", wall_seconds=elapsed,
-                                  jit=jit))
+                                  jit=jit, opt=opt_reports))
 
 
 def job_key(name, config_name, scale=1, **overrides):

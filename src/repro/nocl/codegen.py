@@ -34,6 +34,11 @@ HDR_GRID_DIM = 0
 HDR_BLOCK_DIM = 4
 ARGS_OFFSET = 8
 
+#: Comment stamped on every software bounds-check guard (the BLTU of the
+#: compare-and-trap triple).  The optimizer and the dynamic-check probe
+#: identify guards by this marker, so keep it in sync with check_bounds.
+BOUNDS_CHECK_COMMENT = "bounds check"
+
 
 class Value:
     """A scalar SSA-ish value: virtual register + type (+ known constant)."""
@@ -263,7 +268,7 @@ class BoundsCheckCodeGen(BaselineCodeGen):
         idx_vreg = idx.vreg
         ok = self.e.new_label("bc_ok")
         self.e.emit(VInstr(Op.BLTU, rs1=idx_vreg, rs2=pointer.len_vreg,
-                           target=ok, comment="bounds check"))
+                           target=ok, comment=BOUNDS_CHECK_COMMENT))
         self.e.emit(VInstr(Op.TRAP, comment="index out of bounds"))
         self.e.place_label(ok)
 

@@ -8,11 +8,12 @@ layout contract the runtime must honour.
 """
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.isa.instructions import Instr, Op
 from repro.nocl.codegen import (
     ARGS_OFFSET,
+    BOUNDS_CHECK_COMMENT,
     CODEGENS,
     HDR_BLOCK_DIM,
     HDR_GRID_DIM,
@@ -54,6 +55,13 @@ class CompiledKernel:
     #: Dedented DSL source; ``Instr.line`` values are 1-based indices
     #: into its lines (profiler side-band, not part of the binary).
     source_text: str = ""
+    #: Optimization level the kernel was compiled at (0 = none).
+    opt: int = 0
+    #: Per-pass report from the ``-O1`` pipeline (None at ``-O0``).
+    opt_report: Optional[dict] = None
+    #: PCs of surviving software bounds-check guards (boundscheck mode);
+    #: the dynamic-check probe counts issue slots at these addresses.
+    bounds_check_pcs: Tuple[int, ...] = ()
 
     @property
     def uses_cheri(self):
@@ -110,13 +118,23 @@ def _layout_args(source, cg_cls):
     return slots, offset
 
 
-def compile_kernel(source, mode):
-    """Compile a :class:`KernelSource` for one of the three MODES."""
+def compile_kernel(source, mode, opt=0):
+    """Compile a :class:`KernelSource` for one of the three MODES.
+
+    ``opt`` selects the optimization level: 0 (default) is the direct
+    frontend output — byte-identical to the historical compiler — and 1
+    runs the :mod:`repro.nocl.opt` pass pipeline between the frontend
+    and register allocation.
+    """
     if not isinstance(source, KernelSource):
         raise TypeError("expected a @kernel function, got %r" % (source,))
     if mode not in MODES:
         raise ValueError("unknown mode %r (expected one of %s)"
                          % (mode, ", ".join(MODES)))
+    from repro.nocl.opt import OPT_LEVELS
+    if opt not in OPT_LEVELS:
+        raise ValueError("unknown opt level %r (expected one of %s)"
+                         % (opt, OPT_LEVELS))
     cg_cls = CODEGENS[mode]
     fe = Frontend(source, cg_cls)
     arg_slots, arg_block_bytes = _layout_args(source, cg_cls)
@@ -188,10 +206,23 @@ def compile_kernel(source, mode):
             if value.vreg >= FIRST_VREG:
                 var_vregs.add(value.vreg)
 
+    # --- optimize (the -O0 path must not touch the frontend output) ---------
+    vitems, loop_spans = fe.items, fe.loop_spans
+    opt_report = None
+    if opt:
+        from repro.nocl.opt import optimize
+        vitems, loop_spans, var_vregs, report = optimize(
+            vitems, loop_spans, var_vregs, opt,
+            cap_spills=(mode == "purecap"))
+        opt_report = report.as_dict()
+
     items, frame_bytes = allocate(
-        fe.items, fe.loop_spans, var_vregs,
+        vitems, loop_spans, var_vregs,
         cap_spills=(mode == "purecap"))
     instrs = assemble(items)
+    bounds_check_pcs = tuple(
+        4 * i for i, instr in enumerate(instrs)
+        if instr.comment == BOUNDS_CHECK_COMMENT)
     return CompiledKernel(
         name=source.name,
         mode=mode,
@@ -202,4 +233,7 @@ def compile_kernel(source, mode):
         uses_barrier=fe.uses_barrier,
         frame_bytes=frame_bytes,
         source_text=getattr(source, "source_text", ""),
+        opt=opt,
+        opt_report=opt_report,
+        bounds_check_pcs=bounds_check_pcs,
     )

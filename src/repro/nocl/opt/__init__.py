@@ -1,0 +1,45 @@
+"""repro.nocl.opt — dataflow analyses and the optimizing pass pipeline.
+
+The frontend emits straight-line virtual-register assembly with symbolic
+branch targets (:mod:`repro.nocl.ir`).  This package adds the missing
+middle-end: a control-flow graph over that linear form (:mod:`.cfg`),
+classic dataflow analyses — reaching definitions, liveness, available
+bounds checks (:mod:`.dataflow`) — an unsigned value-range analysis
+(:mod:`.ranges`), and a pass manager (:mod:`.pipeline`) that runs the
+semantics-preserving passes of :mod:`.passes` at ``-O1``:
+
+- loop-invariant code motion (CIncOffset/CSetBounds and address math),
+- dominator-scoped common-subexpression elimination,
+- strength reduction of address arithmetic,
+- redundant/provably-in-bounds software bounds-check elimination,
+- liveness-based dead-code elimination.
+
+``-O0`` is a strict no-op: :func:`repro.nocl.compiler.compile_kernel`
+does not even construct a CFG, so its output is byte-identical to the
+historical compiler.  Every ``-O1`` program is held to the golden-model
+lockstep and differential-fuzz bar (see ``repro.check``).
+"""
+
+from repro.nocl.opt.cfg import CFG, build_cfg
+from repro.nocl.opt.dataflow import (
+    AvailableChecks,
+    Liveness,
+    ReachingDefs,
+    def_sites,
+)
+from repro.nocl.opt.pipeline import OPT_LEVELS, OptReport, optimize
+from repro.nocl.opt.ranges import Interval, RangeAnalysis
+
+__all__ = [
+    "CFG",
+    "build_cfg",
+    "ReachingDefs",
+    "Liveness",
+    "AvailableChecks",
+    "def_sites",
+    "Interval",
+    "RangeAnalysis",
+    "OPT_LEVELS",
+    "OptReport",
+    "optimize",
+]

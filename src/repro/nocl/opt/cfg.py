@@ -1,0 +1,246 @@
+"""Control-flow graph, dominators and natural loops over the linear IR.
+
+The virtual-register assembly is a flat list of :class:`VInstr` /
+:class:`VLabel` / :class:`VLoadImm` items.  A :class:`CFG` partitions it
+into basic blocks (half-open item-index ranges), wires successor edges
+from branch targets and fallthrough, and derives the classic structural
+facts every pass needs: reverse postorder, dominators, and natural loops
+discovered from back edges.
+
+Blocks are *views* onto the item list, not copies: passes edit the item
+list and rebuild the CFG, which is cheap at kernel sizes (hundreds of
+items).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import BRANCH_OPS, JUMP_OPS, Op
+from repro.nocl.ir import VInstr, VLabel
+
+#: Ops after which control never falls through to the next instruction.
+_NO_FALLTHROUGH = frozenset({Op.HALT, Op.TRAP, Op.EBREAK, Op.ECALL})
+
+#: Indirect jumps: successor unknown at compile time.  The optimizer
+#: refuses to touch programs containing these (the DSL frontend never
+#: emits them; only hand-written fuzz sequences do).
+_INDIRECT = frozenset({Op.JALR, Op.CJALR})
+
+
+class CFGError(Exception):
+    """Raised on IR the CFG builder cannot model (e.g. indirect jumps)."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of items: ``items[start:end]``."""
+
+    index: int
+    start: int
+    end: int
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def item_indices(self):
+        return range(self.start, self.end)
+
+
+class CFG:
+    """Basic blocks + edges + dominators over one item list."""
+
+    def __init__(self, items):
+        self.items = items
+        self.blocks: List[BasicBlock] = []
+        self.label_block: Dict[str, int] = {}
+        #: item index -> owning block index
+        self.block_of_item: List[int] = []
+        self._build()
+        self.rpo = self._reverse_postorder()
+        self.reachable: Set[int] = set(self.rpo)
+        self.idom = self._dominators()
+        self.loops = self._natural_loops()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self):
+        items = self.items
+        n = len(items)
+        leaders = set([0]) if n else set()
+        for i, item in enumerate(items):
+            if isinstance(item, VLabel):
+                leaders.add(i)
+            elif isinstance(item, VInstr):
+                if item.op in _INDIRECT:
+                    raise CFGError("indirect jump %s at item %d"
+                                   % (item.op.name, i))
+                if (item.op in BRANCH_OPS or item.op in JUMP_OPS
+                        or item.op in _NO_FALLTHROUGH):
+                    if i + 1 < n:
+                        leaders.add(i + 1)
+        starts = sorted(leaders)
+        bounds = list(zip(starts, starts[1:] + [n]))
+        self.blocks = [BasicBlock(bi, s, e)
+                       for bi, (s, e) in enumerate(bounds)]
+        self.block_of_item = [0] * n
+        for block in self.blocks:
+            for i in block.item_indices():
+                self.block_of_item[i] = block.index
+            for i in block.item_indices():
+                item = items[i]
+                if isinstance(item, VLabel):
+                    self.label_block[item.name] = block.index
+                else:
+                    break  # labels only lead a block
+
+        for block in self.blocks:
+            last = items[block.end - 1] if block.end > block.start else None
+            succs = []
+            if isinstance(last, VInstr) and last.target is not None:
+                if last.op in BRANCH_OPS:
+                    if block.index + 1 < len(self.blocks):
+                        succs.append(block.index + 1)
+                    succs.append(self._target_block(last.target))
+                elif last.op in JUMP_OPS:
+                    succs.append(self._target_block(last.target))
+                else:
+                    raise CFGError("unexpected targeted op %s" % last.op)
+            elif isinstance(last, VInstr) and last.op in _NO_FALLTHROUGH:
+                pass
+            elif block.index + 1 < len(self.blocks):
+                succs.append(block.index + 1)
+            # De-duplicate (a conditional branch to the next block).
+            seen = []
+            for s in succs:
+                if s not in seen:
+                    seen.append(s)
+            block.succs = seen
+        for block in self.blocks:
+            for s in block.succs:
+                self.blocks[s].preds.append(block.index)
+
+    def _target_block(self, label):
+        try:
+            return self.label_block[label]
+        except KeyError:
+            raise CFGError("branch to unknown label %r" % label)
+
+    # ------------------------------------------------------------------
+    # Orderings and dominators
+    # ------------------------------------------------------------------
+
+    def _reverse_postorder(self):
+        seen, order = set(), []
+
+        def visit(b):
+            stack = [(b, iter(self.blocks[b].succs))]
+            seen.add(b)
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, iter(self.blocks[s].succs)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        if self.blocks:
+            visit(0)
+        order.reverse()
+        return order
+
+    def _dominators(self):
+        """Cooper-Harvey-Kennedy iterative idom computation."""
+        if not self.blocks:
+            return {}
+        rpo_index = {b: i for i, b in enumerate(self.rpo)}
+        idom: Dict[int, Optional[int]] = {0: 0}
+        changed = True
+        while changed:
+            changed = False
+            for b in self.rpo:
+                if b == 0:
+                    continue
+                preds = [p for p in self.blocks[b].preds if p in idom]
+                if not preds:
+                    continue
+                new = preds[0]
+                for p in preds[1:]:
+                    new = self._intersect(new, p, idom, rpo_index)
+                if idom.get(b) != new:
+                    idom[b] = new
+                    changed = True
+        return idom
+
+    @staticmethod
+    def _intersect(a, b, idom, rpo_index):
+        while a != b:
+            while rpo_index[a] > rpo_index[b]:
+                a = idom[a]
+            while rpo_index[b] > rpo_index[a]:
+                b = idom[b]
+        return a
+
+    def dominates(self, a, b):
+        """Does block ``a`` dominate block ``b``?  (Reflexive.)"""
+        if b not in self.idom or a not in self.idom:
+            return False
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:
+                return False
+            node = parent
+
+    def instr_dominates(self, i, j):
+        """Does item ``i`` dominate item ``j`` (execute on every path)?"""
+        bi, bj = self.block_of_item[i], self.block_of_item[j]
+        if bi == bj:
+            return i <= j
+        return self.dominates(bi, bj)
+
+    # ------------------------------------------------------------------
+    # Natural loops
+    # ------------------------------------------------------------------
+
+    def _natural_loops(self):
+        """Loops from back edges, merged per header.
+
+        Returns a list of ``(header, body)`` with ``body`` a set of block
+        indices including the header, ordered innermost-first (smallest
+        body first).
+        """
+        per_header: Dict[int, Set[int]] = {}
+        for block in self.blocks:
+            if block.index not in self.reachable:
+                continue
+            for succ in block.succs:
+                if self.dominates(succ, block.index):
+                    body = per_header.setdefault(succ, {succ})
+                    stack = [block.index]
+                    while stack:
+                        node = stack.pop()
+                        if node in body:
+                            continue
+                        body.add(node)
+                        stack.extend(self.blocks[node].preds)
+        loops = sorted(per_header.items(), key=lambda kv: (len(kv[1]), kv[0]))
+        return [(header, body) for header, body in loops]
+
+    def loop_item_span(self, body) -> Tuple[int, int]:
+        """The half-open item-index range covered by a loop body."""
+        lo = min(self.blocks[b].start for b in body)
+        hi = max(self.blocks[b].end for b in body)
+        return lo, hi
+
+
+def build_cfg(items):
+    """Construct a :class:`CFG` (raises :class:`CFGError` on indirect IR)."""
+    return CFG(items)

@@ -1,0 +1,227 @@
+"""Classic dataflow analyses over the :class:`~repro.nocl.opt.cfg.CFG`.
+
+Three analyses, each a textbook fixpoint over block-level transfer
+functions:
+
+- :class:`ReachingDefs` — which definition sites (item indices) can
+  reach each block entry.  May-analysis, union meet.
+- :class:`Liveness` — which registers are live at block boundaries.
+  Backward may-analysis; drives the ``-O1`` dead-code pass, which is
+  strictly stronger than the allocator's "never read anywhere" sweep.
+- :class:`AvailableChecks` — which ``(index, length)`` register pairs
+  have been bounds-checked on *every* path with no intervening
+  redefinition.  Must-analysis, intersection meet; drives redundant
+  bounds-check elimination in ``boundscheck`` mode.
+
+Register 0 is the RISC-V zero register: writes to it are discarded by
+hardware, so it is never treated as a definition.
+"""
+
+from typing import Dict, List, Set, Tuple
+
+from repro.nocl.ir import VLabel
+
+
+def _defined_reg(item):
+    """The register ``item`` defines, or None (labels, stores, x0)."""
+    if isinstance(item, VLabel):
+        return None
+    written = item.regs_written()
+    if not written or written[0] == 0:
+        return None
+    return written[0]
+
+
+def def_sites(items) -> Dict[int, List[int]]:
+    """Map register -> ordered item indices that define it."""
+    sites: Dict[int, List[int]] = {}
+    for i, item in enumerate(items):
+        reg = _defined_reg(item)
+        if reg is not None:
+            sites.setdefault(reg, []).append(i)
+    return sites
+
+
+class ReachingDefs:
+    """Reaching definitions: sets of defining item indices per block."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.sites = def_sites(cfg.items)
+        self.block_in: Dict[int, Set[int]] = {}
+        self.block_out: Dict[int, Set[int]] = {}
+        self._run()
+
+    def _gen_kill(self, block):
+        gen: Set[int] = set()
+        kill: Set[int] = set()
+        for i in block.item_indices():
+            reg = _defined_reg(self.cfg.items[i])
+            if reg is None:
+                continue
+            others = set(self.sites[reg])
+            gen -= others
+            gen.add(i)
+            kill |= others - {i}
+        return gen, kill
+
+    def _run(self):
+        cfg = self.cfg
+        gen_kill = {b: self._gen_kill(cfg.blocks[b]) for b in cfg.rpo}
+        for b in cfg.rpo:
+            self.block_in[b] = set()
+            self.block_out[b] = set()
+        changed = True
+        while changed:
+            changed = False
+            for b in cfg.rpo:
+                new_in: Set[int] = set()
+                for p in cfg.blocks[b].preds:
+                    if p in self.block_out:
+                        new_in |= self.block_out[p]
+                gen, kill = gen_kill[b]
+                new_out = (new_in - kill) | gen
+                if new_in != self.block_in[b] or new_out != self.block_out[b]:
+                    self.block_in[b] = new_in
+                    self.block_out[b] = new_out
+                    changed = True
+
+    def reaching_at(self, index) -> Set[int]:
+        """Definition sites reaching the point just before item ``index``."""
+        block = self.cfg.blocks[self.cfg.block_of_item[index]]
+        state = set(self.block_in.get(block.index, set()))
+        for i in range(block.start, index):
+            reg = _defined_reg(self.cfg.items[i])
+            if reg is None:
+                continue
+            state -= set(self.sites[reg])
+            state.add(i)
+        return state
+
+    def defs_of(self, reg, index) -> Set[int]:
+        """The defs of ``reg`` that reach the point before item ``index``."""
+        mine = set(self.sites.get(reg, ()))
+        return self.reaching_at(index) & mine
+
+
+class Liveness:
+    """Backward liveness of registers at block boundaries."""
+
+    def __init__(self, cfg):
+        self.cfg = cfg
+        self.live_in: Dict[int, Set[int]] = {}
+        self.live_out: Dict[int, Set[int]] = {}
+        self._run()
+
+    def _use_def(self, block):
+        use: Set[int] = set()
+        defined: Set[int] = set()
+        for i in block.item_indices():
+            item = self.cfg.items[i]
+            if isinstance(item, VLabel):
+                continue
+            for reg in item.regs_read():
+                if reg != 0 and reg not in defined:
+                    use.add(reg)
+            reg = _defined_reg(item)
+            if reg is not None:
+                defined.add(reg)
+        return use, defined
+
+    def _run(self):
+        cfg = self.cfg
+        use_def = {b: self._use_def(cfg.blocks[b]) for b in cfg.rpo}
+        for b in cfg.rpo:
+            self.live_in[b] = set()
+            self.live_out[b] = set()
+        changed = True
+        while changed:
+            changed = False
+            for b in reversed(cfg.rpo):
+                out: Set[int] = set()
+                for s in cfg.blocks[b].succs:
+                    out |= self.live_in.get(s, set())
+                use, defined = use_def[b]
+                new_in = use | (out - defined)
+                if out != self.live_out[b] or new_in != self.live_in[b]:
+                    self.live_out[b] = out
+                    self.live_in[b] = new_in
+                    changed = True
+
+
+class AvailableChecks:
+    """Available bounds checks: a forward must-analysis.
+
+    A *check* is the guard of the software bounds-check triple the
+    ``boundscheck`` code generator emits::
+
+        BLTU idx, len -> ok      ; the guard (gen point)
+        TRAP                     ; unreachable when in bounds
+    ok:
+
+    The pair ``(idx, len)`` becomes available after the guard — on the
+    fallthrough edge the program traps, so propagating availability on
+    both edges is sound — and is killed by any redefinition of either
+    register.  A later identical guard whose pair is available on every
+    incoming path can never trap and may be deleted together with its
+    TRAP and label.
+    """
+
+    def __init__(self, cfg, checks):
+        """``checks``: list of ``(item_index, idx_reg, len_reg)``."""
+        self.cfg = cfg
+        self.checks = checks
+        self.universe: Set[Tuple[int, int]] = {
+            (idx, ln) for _, idx, ln in checks}
+        self.check_at = {i: (idx, ln) for i, idx, ln in checks}
+        self.block_in: Dict[int, Set[Tuple[int, int]]] = {}
+        self.block_out: Dict[int, Set[Tuple[int, int]]] = {}
+        self._run()
+
+    def _transfer(self, state, index):
+        item = self.cfg.items[index]
+        reg = _defined_reg(item)
+        if reg is not None:
+            state = {pair for pair in state if reg not in pair}
+        if index in self.check_at:
+            state = state | {self.check_at[index]}
+        return state
+
+    def _run(self):
+        cfg = self.cfg
+        # Optimistic init (full universe) so loop-carried availability
+        # converges to the greatest fixpoint of the intersection meet.
+        for b in cfg.rpo:
+            self.block_in[b] = set(self.universe)
+            self.block_out[b] = set(self.universe)
+        if cfg.rpo:
+            self.block_in[cfg.rpo[0]] = set()
+        changed = True
+        while changed:
+            changed = False
+            for b in cfg.rpo:
+                preds = [p for p in cfg.blocks[b].preds if p in self.block_out]
+                if b == cfg.rpo[0] and not preds:
+                    new_in: Set[Tuple[int, int]] = set()
+                else:
+                    new_in = set(self.universe)
+                    for p in preds:
+                        new_in &= self.block_out[p]
+                    if b == cfg.rpo[0]:
+                        new_in = set()  # entry has an implicit undefined pred
+                state = set(new_in)
+                for i in cfg.blocks[b].item_indices():
+                    state = self._transfer(state, i)
+                if (new_in != self.block_in[b]
+                        or state != self.block_out[b]):
+                    self.block_in[b] = new_in
+                    self.block_out[b] = state
+                    changed = True
+
+    def available_before(self, index) -> Set[Tuple[int, int]]:
+        """Pairs checked on every path to the point before item ``index``."""
+        block = self.cfg.blocks[self.cfg.block_of_item[index]]
+        state = set(self.block_in.get(block.index, set()))
+        for i in range(block.start, index):
+            state = self._transfer(state, i)
+        return state

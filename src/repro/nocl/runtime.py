@@ -16,7 +16,13 @@ from repro.cheri.revocation import Quarantine, sweep_memory
 from repro.nocl.compiler import MODES, compile_kernel
 from repro.nocl.dsl import ScalarType
 from repro.simt import SMConfig, StreamingMultiprocessor
-from repro.simt.config import ARG_BASE, HEAP_BASE, SCRATCHPAD_BASE, STACK_BASE
+from repro.simt.config import (
+    ARG_BASE,
+    HEAP_BASE,
+    MAX_BLOCK_DIM,
+    SCRATCHPAD_BASE,
+    STACK_BASE,
+)
 
 #: Stack frame reserve per thread (must cover regalloc's spill frame).
 FRAME_RESERVE = 512
@@ -56,6 +62,9 @@ class NoCLRuntime:
         if mode == "purecap" and not config.enable_cheri:
             raise ValueError("purecap mode needs a CHERI-enabled SMConfig")
         self.config = config
+        #: Kernel-compiler optimization level, taken from the config so
+        #: cache keys and manifests see it (see SMConfig.opt).
+        self.opt = getattr(config, "opt", 0)
         self.sm = StreamingMultiprocessor(config)
         self._heap = HEAP_BASE
         self._compiled = {}
@@ -155,7 +164,8 @@ class NoCLRuntime:
     def compiled(self, kernel_src):
         key = id(kernel_src)
         if key not in self._compiled:
-            self._compiled[key] = compile_kernel(kernel_src, self.mode)
+            self._compiled[key] = compile_kernel(kernel_src, self.mode,
+                                                 opt=self.opt)
         return self._compiled[key]
 
     # -- launching -----------------------------------------------------------------
@@ -166,6 +176,15 @@ class NoCLRuntime:
         cfg = self.config
         if block_dim <= 0 or grid_dim <= 0:
             raise LaunchError("grid and block dimensions must be positive")
+        if grid_dim > 0x7FFFFFFF:
+            # The optimizer's range analysis assumes the launch-geometry
+            # header words are positive signed 32-bit values.
+            raise LaunchError("gridDim must fit in a signed 32-bit int")
+        if block_dim > MAX_BLOCK_DIM:
+            # The CUDA blockDim limit; also a compiler assumption (the
+            # range analysis bounds threadIdx.x by it).
+            raise LaunchError("blockDim is capped at %d threads per block"
+                              % MAX_BLOCK_DIM)
         if block_dim % cfg.num_lanes:
             raise LaunchError("blockDim must be a multiple of the warp size "
                               "(%d)" % cfg.num_lanes)

@@ -7,6 +7,7 @@ and its statistics are bit-identical to an uninstrumented build; see
 invariant the profilers rely on.
 """
 
+from repro.obs.boundscheck import BoundsCheckCounter
 from repro.obs.manifest import (
     build_manifest,
     diff_manifests,
@@ -36,6 +37,7 @@ from repro.obs.trend import bench_trends, manifest_trends, trend_report
 
 __all__ = [
     "EVENTS", "ProbeBus", "attach", "detach",
+    "BoundsCheckCounter",
     "ProfileCollector", "STALL_CAUSES", "classify_op",
     "TimelineCollector", "validate_trace",
     "spans_to_trace_events", "write_service_trace",

@@ -76,10 +76,12 @@ def manifest_dir():
     return os.path.join(root, "results", "manifests")
 
 
-def default_path(config_name, scale):
-    """Stable per-(config, scale) filename, so reruns overwrite in place."""
+def default_path(config_name, scale, opt=0):
+    """Stable per-(config, scale, opt) filename, so reruns overwrite in
+    place — and an ``-O1`` sweep never clobbers the ``-O0`` record."""
+    suffix = "_O%d" % opt if opt else ""
     return os.path.join(manifest_dir(),
-                        "%s_s%d.json" % (config_name, scale))
+                        "%s_s%d%s.json" % (config_name, scale, suffix))
 
 
 def build_manifest(results, config_name, scale, wall_seconds,
@@ -111,6 +113,11 @@ def build_manifest(results, config_name, scale, wall_seconds,
         jit = getattr(meta, "jit", None) if meta else None
         if jit is not None:
             benchmarks[name]["jit"] = jit
+        # Additive: per-kernel optimizer pass reports when the run was
+        # compiled at -O1 (absent on -O0 runs and pre-opt disk caches).
+        opt_reports = getattr(meta, "opt", None) if meta else None
+        if opt_reports is not None:
+            benchmarks[name]["opt"] = opt_reports
     first = next(iter(results.values()), None)
     repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))))
@@ -121,6 +128,7 @@ def build_manifest(results, config_name, scale, wall_seconds,
         "config": config_name,
         "mode": mode or "",
         "scale": scale,
+        "opt": getattr(first.config, "opt", 0) if first else 0,
         "backend": first.config.backend if first else "",
         "geometry": geometry,
         "sm_config": dict(sorted(asdict(first.config).items())) if first
@@ -140,7 +148,8 @@ def write_manifest(manifest, path=None):
     break experiments — but returns ``None`` in that case.
     """
     if path is None:
-        path = default_path(manifest["config"], manifest["scale"])
+        path = default_path(manifest["config"], manifest["scale"],
+                            manifest.get("opt", 0))
     try:
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         tmp = "%s.tmp.%d" % (path, os.getpid())
@@ -207,6 +216,13 @@ def manifest_backend(manifest):
             or manifest.get("sm_config", {}).get("backend", ""))
 
 
+def manifest_opt(manifest):
+    """The compiler opt level a manifest's suite ran at (0 when absent —
+    every pre-opt manifest compiled the direct frontend output)."""
+    return int(manifest.get("opt")
+               or manifest.get("sm_config", {}).get("opt", 0) or 0)
+
+
 def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
                    metrics=REGRESSION_METRICS):
     """Per-benchmark, per-metric comparison of two manifests.
@@ -235,6 +251,16 @@ def diff_manifests(old, new, threshold=DEFAULT_THRESHOLD,
                      "old": old_backend or "?", "new": new_backend or "?",
                      "delta": None, "ratio": None, "regressed": False,
                      "note": "cross-backend comparison"})
+    old_opt = manifest_opt(old)
+    new_opt = manifest_opt(new)
+    if old_opt != new_opt:
+        # Unlike backends, opt levels legitimately change the metrics —
+        # that is their point — so flag the comparison rather than let a
+        # reader mistake an -O1 improvement for a workload change.
+        rows.append({"benchmark": "<suite>", "metric": "opt",
+                     "old": "O%d" % old_opt, "new": "O%d" % new_opt,
+                     "delta": None, "ratio": None, "regressed": False,
+                     "note": "cross-opt-level comparison"})
     old_benches = old.get("benchmarks", {})
     new_benches = new.get("benchmarks", {})
     for name in sorted(set(old_benches) | set(new_benches)):

@@ -16,6 +16,15 @@ from dataclasses import dataclass, field, replace
 #: Number of architectural registers per thread.
 REGS_PER_THREAD = 32
 
+#: Architectural ceiling on hardware threads per SM (warps x lanes).
+#: Mirrors real SM limits (a few thousand threads) with generous slack.
+MAX_HW_THREADS = 1 << 16
+
+#: Maximum threads per block, mirroring the CUDA ``blockDim`` limit.
+#: ``NoCLRuntime.launch`` rejects larger blocks, which gives the kernel
+#: compiler's range analysis a sound static bound on ``threadIdx.x``.
+MAX_BLOCK_DIM = 1024
+
 #: Memory map used by the simulator and the NoCL runtime.
 IMEM_BASE = 0x00000000
 ARG_BASE = 0x00010000
@@ -86,6 +95,15 @@ class SMConfig:
     #: :func:`default_backend`).
     backend: str = field(default_factory=default_backend)
 
+    # -- compiler ------------------------------------------------------------
+    #: Kernel-compiler optimization level (``repro.nocl.opt``): 0 compiles
+    #: the direct frontend output (historical behaviour), 1 runs the
+    #: dataflow-analysis pass pipeline (LICM, CSE, strength reduction,
+    #: bounds-check elimination, DCE).  Part of the config — not a side
+    #: channel — so cache keys, manifests and the service dedup path all
+    #: distinguish -O0 from -O1 results automatically.
+    opt: int = 0
+
     # -- timing constants ----------------------------------------------------
     pipeline_depth: int = 6
     sfu_latency: int = 12
@@ -113,12 +131,18 @@ class SMConfig:
     def validate(self):
         if self.num_warps < 1 or self.num_lanes < 1:
             raise ValueError("SM needs at least one warp and one lane")
+        if self.num_threads > MAX_HW_THREADS:
+            raise ValueError("SM capped at %d hardware threads"
+                             % MAX_HW_THREADS)
         if not 0.0 < self.vrf_fraction <= 1.0:
             raise ValueError("vrf_fraction must be in (0, 1]")
         if self.backend not in ("scalar", "vector", "jit"):
             raise ValueError(
                 "unknown backend %r (choose scalar, vector or jit)"
                 % (self.backend,))
+        if self.opt not in (0, 1):
+            raise ValueError("unknown opt level %r (choose 0 or 1)"
+                             % (self.opt,))
         features = (self.compress_metadata, self.shared_vrf, self.nvo,
                     self.metadata_srf_single_port, self.sfu_cheri_slow_path,
                     self.static_pc_metadata)
